@@ -1,0 +1,96 @@
+// Experiment E7 (ablation) — external identifiers (paper Section II-C2).
+//
+// SEPTIC's query ID composes an optional application-supplied external
+// identifier with its own internal one. This ablation runs the same
+// train-then-attack sequence with and without the SSLE emitting external
+// IDs and reports:
+//   - how many distinct IDs / models the store holds (external IDs separate
+//     call sites that would otherwise share an internal ID);
+//   - internal-ID collision rate (IDs carrying more than one model);
+//   - detection outcome over the attack corpus (should stay complete in
+//     both settings — the internal ID is attack-invariant by construction).
+#include <cstdio>
+#include <memory>
+
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+using namespace septic;
+
+namespace {
+
+struct Result {
+  size_t ids = 0;
+  size_t models = 0;
+  size_t collided_ids = 0;
+  size_t attacks_blocked = 0;
+  size_t attacks_total = 0;
+  size_t false_positives = 0;
+};
+
+Result run(const std::string& app_name, bool external_ids) {
+  engine::Database db;
+  std::unique_ptr<web::App> app;
+  if (app_name == "tickets") {
+    app = std::make_unique<web::apps::TicketsApp>();
+  } else {
+    app = std::make_unique<web::apps::WaspMonApp>();
+  }
+  app->install(db);
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  web::WebStack stack(*app, db);
+  stack.config().emit_external_ids = external_ids;
+
+  septic->set_mode(core::Mode::kTraining);
+  web::train_on_application(stack);
+  septic->set_mode(core::Mode::kPrevention);
+
+  Result r;
+  r.ids = septic->store().id_count();
+  r.models = septic->store().model_count();
+  // Collisions: ids holding >1 model.
+  r.collided_ids = r.models > r.ids ? r.models - r.ids : 0;
+
+  auto corpus = app_name == "tickets" ? attacks::tickets_attacks()
+                                      : attacks::waspmon_attacks();
+  for (const auto& attack : corpus) {
+    ++r.attacks_total;
+    bool blocked = false;
+    for (const auto& setup : attack.setup) {
+      if (stack.handle(setup).blocked()) blocked = true;
+    }
+    if (!blocked) blocked = stack.handle(attack.attack).blocked();
+    if (blocked) ++r.attacks_blocked;
+  }
+  for (const auto& probe : attacks::benign_probes(app_name)) {
+    if (stack.handle(probe).blocked()) ++r.false_positives;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: external identifiers on/off (Section II-C2)\n\n");
+  std::printf("%-10s %-10s %6s %7s %10s %9s %4s\n", "app", "ext-ids", "ids",
+              "models", "collisions", "blocked", "FPs");
+  for (const char* app : {"tickets", "waspmon"}) {
+    for (bool ext : {true, false}) {
+      Result r = run(app, ext);
+      std::printf("%-10s %-10s %6zu %7zu %10zu %6zu/%zu %4zu\n", app,
+                  ext ? "on" : "off", r.ids, r.models, r.collided_ids,
+                  r.attacks_blocked, r.attacks_total, r.false_positives);
+    }
+  }
+  std::printf(
+      "\n# expected: with ext-ids ON the store separates call sites (more "
+      "ids, fewer collisions); detection stays complete and FP-free either "
+      "way because the internal ID is attack-invariant\n");
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "web/apps/addressbook.h"
+#include "web/apps/refbase.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/apps/zerocms.h"
+#include "web/trainer.h"
+
+namespace septic::bench {
+
+const char* septic_config_name(SepticConfig c) {
+  switch (c) {
+    case SepticConfig::kVanilla: return "vanilla";
+    case SepticConfig::kNN: return "NN";
+    case SepticConfig::kYN: return "YN";
+    case SepticConfig::kNY: return "NY";
+    case SepticConfig::kYY: return "YY";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Bulk-load `rows` synthetic rows into the app's dominant tables so scan
+/// costs reflect a populated database.
+void prepopulate(const std::string& app_name, engine::Database& db,
+                 int rows) {
+  if (rows <= 0) return;
+  auto bulk = [&](const std::string& prefix,
+                  const std::function<std::string(int)>& row_sql) {
+    constexpr int kChunk = 200;
+    for (int start = 0; start < rows; start += kChunk) {
+      std::string stmt = prefix;
+      int end = std::min(rows, start + kChunk);
+      for (int i = start; i < end; ++i) {
+        if (i != start) stmt += ", ";
+        stmt += row_sql(i);
+      }
+      db.execute_admin(stmt);
+    }
+  };
+  auto num = [](int i) { return std::to_string(i); };
+
+  if (app_name == "addressbook") {
+    bulk("INSERT INTO contacts (firstname, lastname, email, phone, address, "
+         "group_id) VALUES ",
+         [&](int i) {
+           return "('fn" + num(i) + "', 'ln" + num(i) + "', 'e" + num(i) +
+                  "@x.pt', '+351" + num(i) + "', 'city" + num(i % 50) +
+                  "', " + num(1 + i % 3) + ")";
+         });
+  } else if (app_name == "refbase") {
+    bulk("INSERT INTO refs (author, title, journal, year, doi) VALUES ",
+         [&](int i) {
+           return "('Author" + num(i) + "', 'Title " + num(i) + "', 'J" +
+                  num(i % 20) + "', " + num(1990 + i % 30) + ", 'doi" +
+                  num(i) + "')";
+         });
+  } else if (app_name == "zerocms") {
+    bulk("INSERT INTO articles (author_id, title, body) VALUES ",
+         [&](int i) {
+           return "(1, 'Article " + num(i) + "', 'Body of article " + num(i) +
+                  " with some web content.')";
+         });
+    bulk("INSERT INTO comments (article_id, author, body) VALUES ",
+         [&](int i) {
+           return "(" + num(1 + i % 100) + ", 'reader', 'comment " + num(i) +
+                  "')";
+         });
+  } else if (app_name == "waspmon") {
+    bulk("INSERT INTO readings (device_id, watts, ts) VALUES ", [&](int i) {
+      return "(" + num(1 + i % 3) + ", " + num(50 + i % 900) +
+             ".5, '2017-06-25 10:00:00')";
+    });
+  } else if (app_name == "tickets") {
+    bulk("INSERT INTO tickets (reservID, creditCard, passenger, flight, "
+         "seat) VALUES ",
+         [&](int i) {
+           return "('RS" + num(i) + "', " + num(1000 + i) + ", 'Pax " +
+                  num(i) + "', 'LX" + num(i % 30) + "', '" + num(1 + i % 40) +
+                  "A')";
+         });
+  }
+}
+
+}  // namespace
+
+Deployment make_deployment(const std::string& app_name, SepticConfig config,
+                           int prepopulate_rows) {
+  Deployment d;
+  d.db = std::make_unique<engine::Database>();
+  if (app_name == "tickets") {
+    d.app = std::make_unique<web::apps::TicketsApp>();
+  } else if (app_name == "waspmon") {
+    d.app = std::make_unique<web::apps::WaspMonApp>();
+  } else if (app_name == "addressbook") {
+    d.app = std::make_unique<web::apps::AddressBookApp>();
+  } else if (app_name == "refbase") {
+    d.app = std::make_unique<web::apps::RefbaseApp>();
+  } else {
+    d.app = std::make_unique<web::apps::ZeroCmsApp>();
+  }
+  d.app->install(*d.db);
+  prepopulate(app_name, *d.db, prepopulate_rows);
+  d.stack = std::make_unique<web::WebStack>(*d.app, *d.db);
+
+  if (config != SepticConfig::kVanilla) {
+    d.septic = std::make_shared<core::Septic>();
+    d.septic->set_log_processed_queries(false);
+    d.db->set_interceptor(d.septic);
+    d.septic->set_mode(core::Mode::kTraining);
+    web::train_on_application(*d.stack);
+    d.septic->set_mode(core::Mode::kPrevention);
+    d.septic->set_sqli_detection(config == SepticConfig::kYN ||
+                                 config == SepticConfig::kYY);
+    d.septic->set_stored_detection(config == SepticConfig::kNY ||
+                                   config == SepticConfig::kYY);
+  }
+  return d;
+}
+
+LatencyStats run_workload(Deployment& deployment, int browsers, int loops) {
+  const std::vector<web::Request> workload = deployment.app->workload();
+
+  std::vector<std::vector<double>> per_thread(
+      static_cast<size_t>(browsers));
+  std::vector<size_t> per_thread_errors(static_cast<size_t>(browsers), 0);
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(browsers));
+  for (int b = 0; b < browsers; ++b) {
+    threads.emplace_back([&, b] {
+      auto& samples = per_thread[static_cast<size_t>(b)];
+      samples.reserve(workload.size() * static_cast<size_t>(loops));
+      for (int loop = 0; loop < loops; ++loop) {
+        for (const auto& request : workload) {
+          auto t0 = std::chrono::steady_clock::now();
+          web::Response r = deployment.stack->handle(request);
+          auto t1 = std::chrono::steady_clock::now();
+          samples.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          if (!r.ok()) ++per_thread_errors[static_cast<size_t>(b)];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto wall_end = std::chrono::steady_clock::now();
+
+  std::vector<double> all;
+  size_t errors = 0;
+  for (size_t b = 0; b < per_thread.size(); ++b) {
+    all.insert(all.end(), per_thread[b].begin(), per_thread[b].end());
+    errors += per_thread_errors[b];
+  }
+  std::sort(all.begin(), all.end());
+
+  LatencyStats stats;
+  stats.requests = all.size();
+  stats.errors = errors;
+  stats.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (all.empty()) return stats;
+  double sum = 0;
+  for (double v : all) sum += v;
+  stats.mean_us = sum / static_cast<double>(all.size());
+  size_t lo = all.size() / 20;            // trim 5% each side
+  size_t hi = all.size() - lo;
+  double tsum = 0;
+  for (size_t i = lo; i < hi; ++i) tsum += all[i];
+  stats.trimmed_mean_us = hi > lo ? tsum / static_cast<double>(hi - lo) : 0;
+  auto pct = [&](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  stats.p50_us = pct(0.50);
+  stats.p95_us = pct(0.95);
+  stats.p99_us = pct(0.99);
+  stats.max_us = all.back();
+  stats.throughput_rps =
+      static_cast<double>(all.size()) / stats.wall_seconds;
+  return stats;
+}
+
+double overhead_percent(const LatencyStats& baseline,
+                        const LatencyStats& measured) {
+  if (baseline.mean_us <= 0) return 0;
+  return (measured.mean_us - baseline.mean_us) / baseline.mean_us * 100.0;
+}
+
+OverheadResult measure_overhead(const std::string& app_name,
+                                SepticConfig config, int browsers, int loops,
+                                int rounds) {
+  Deployment base =
+      make_deployment(app_name, SepticConfig::kVanilla, bench_rows());
+  Deployment cfg = make_deployment(app_name, config, bench_rows());
+
+  // One warm-up round each (populates caches, grows tables equally).
+  run_workload(base, browsers, loops);
+  run_workload(cfg, browsers, loops);
+
+  OverheadResult result;
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    // Workloads insert rows, so tables grow monotonically and whichever
+    // deployment runs second in a pair sees slightly bigger tables.
+    // Alternating the order each round cancels that bias.
+    LatencyStats b, m;
+    if (r % 2 == 0) {
+      b = run_workload(base, browsers, loops);
+      m = run_workload(cfg, browsers, loops);
+    } else {
+      m = run_workload(cfg, browsers, loops);
+      b = run_workload(base, browsers, loops);
+    }
+    if (b.trimmed_mean_us > 0) {
+      samples.push_back((m.trimmed_mean_us - b.trimmed_mean_us) /
+                        b.trimmed_mean_us * 100.0);
+    }
+    result.baseline = b;
+    result.measured = m;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (!samples.empty()) {
+    result.overhead_pct = samples[samples.size() / 2];
+  }
+  return result;
+}
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int out = std::atoi(v);
+  return out > 0 ? out : fallback;
+}
+}  // namespace
+
+int bench_browsers() { return env_int("SEPTIC_BENCH_BROWSERS", 20); }
+int bench_loops() { return env_int("SEPTIC_BENCH_LOOPS", 30); }
+int bench_rounds() { return env_int("SEPTIC_BENCH_ROUNDS", 7); }
+int bench_rows() { return env_int("SEPTIC_BENCH_ROWS", 3000); }
+
+}  // namespace septic::bench

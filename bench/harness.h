@@ -1,0 +1,98 @@
+// BenchLab-style workload driver (paper Section II-F): the original testbed
+// replayed recorded browser sessions against the web applications from
+// multiple client machines, each running several browsers. Here a "browser"
+// is a thread replaying the application's recorded workload in a loop, and
+// the per-request latency distribution is collected exactly as BenchLab's
+// clients measured theirs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/framework.h"
+#include "web/stack.h"
+
+namespace septic::bench {
+
+/// The Fig. 5 SEPTIC configurations: (SQLI detection, stored detection).
+enum class SepticConfig {
+  kVanilla,  // no SEPTIC installed at all (the baseline)
+  kNN,       // SEPTIC installed, both detections off
+  kYN,       // SQLI only
+  kNY,       // stored-injection only
+  kYY,       // both
+};
+
+const char* septic_config_name(SepticConfig c);
+
+/// A ready-to-benchmark deployment: app installed, SEPTIC (if any) trained
+/// on the workload and switched to prevention with the requested toggles.
+struct Deployment {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<web::App> app;
+  std::unique_ptr<web::WebStack> stack;
+  std::shared_ptr<core::Septic> septic;  // null for kVanilla
+};
+
+/// app_name: "tickets", "waspmon", "addressbook", "refbase", "zerocms".
+/// `prepopulate_rows` > 0 bulk-loads that many synthetic rows into the
+/// app's main tables first, so that per-request cost is dominated by real
+/// query work and the rows the workload itself inserts are marginal —
+/// without this, table growth across measurement rounds drowns the
+/// overhead signal.
+Deployment make_deployment(const std::string& app_name, SepticConfig config,
+                           int prepopulate_rows = 0);
+
+/// SEPTIC_BENCH_ROWS (default 3000).
+int bench_rows();
+
+struct LatencyStats {
+  size_t requests = 0;
+  double mean_us = 0;
+  double trimmed_mean_us = 0;  // mean of the middle 90% (stable for the
+                               // bimodal static+dynamic request mixtures)
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+  size_t errors = 0;  // non-2xx responses (should stay 0 on benign runs)
+};
+
+/// Replay the app's recorded workload `loops` times on each of `browsers`
+/// threads; returns the merged latency distribution.
+LatencyStats run_workload(Deployment& deployment, int browsers, int loops);
+
+/// Percentage overhead of `measured` vs `baseline` mean latency.
+double overhead_percent(const LatencyStats& baseline,
+                        const LatencyStats& measured);
+
+/// Paired overhead measurement. On a shared-memory engine the per-query
+/// SEPTIC cost (a few microseconds) is far below scheduler/contention
+/// noise, so a single long run of baseline-then-config produces unusable
+/// deltas. Instead the two deployments are exercised in interleaved rounds
+/// (B, C, B, C, ...); each round pair yields one overhead sample from its
+/// median latencies, and the reported overhead is the median of those
+/// samples — robust to drift and tail noise.
+struct OverheadResult {
+  LatencyStats baseline;  // last baseline round
+  LatencyStats measured;  // last config round
+  double overhead_pct = 0;
+};
+OverheadResult measure_overhead(const std::string& app_name,
+                                SepticConfig config, int browsers, int loops,
+                                int rounds);
+
+/// SEPTIC_BENCH_ROUNDS (default 7).
+int bench_rounds();
+
+/// Benchmark scale knobs, overridable via environment for quick runs:
+///   SEPTIC_BENCH_BROWSERS (default 20), SEPTIC_BENCH_LOOPS (default 30).
+int bench_browsers();
+int bench_loops();
+
+}  // namespace septic::bench

@@ -1,0 +1,193 @@
+// Experiment E6 — component microbenchmarks backing the paper's Section
+// II-F claim that SEPTIC's per-query work is "very limited": cost of each
+// SEPTIC stage in isolation, and of the full pipeline with and without the
+// interceptor.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/unicode.h"
+#include "engine/database.h"
+#include "septic/detector.h"
+#include "septic/id_generator.h"
+#include "septic/query_model.h"
+#include "septic/septic.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "web/proxy.h"
+
+namespace {
+
+using namespace septic;
+
+const char* kQuery =
+    "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+const char* kBigQuery =
+    "SELECT t.a, t.b, u.c, COUNT(*) AS n FROM t JOIN u ON t.id = u.tid "
+    "WHERE t.a = 'x' AND t.b BETWEEN 1 AND 100 AND u.c IN (1, 2, 3, 4, 5) "
+    "GROUP BY t.a, t.b, u.c HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 10";
+
+void BM_CharsetConvert(benchmark::State& state) {
+  std::string payload =
+      "SELECT * FROM t WHERE a = 'ID34FG\xca\xbc' AND b \xef\xbc\x9d 1";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::server_charset_convert(payload));
+  }
+}
+BENCHMARK(BM_CharsetConvert);
+
+void BM_Parse(benchmark::State& state) {
+  const char* q = state.range(0) == 0 ? kQuery : kBigQuery;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::parse(q));
+  }
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+void BM_BuildItemStack(benchmark::State& state) {
+  sql::ParsedQuery parsed =
+      sql::parse(state.range(0) == 0 ? kQuery : kBigQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::build_item_stack(parsed.statement));
+  }
+}
+BENCHMARK(BM_BuildItemStack)->Arg(0)->Arg(1);
+
+void BM_DeriveQueryModel(benchmark::State& state) {
+  sql::ItemStack qs = sql::build_item_stack(sql::parse(kQuery).statement);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_query_model(qs));
+  }
+}
+BENCHMARK(BM_DeriveQueryModel);
+
+void BM_CompareQsQm(benchmark::State& state) {
+  sql::ItemStack qs = sql::build_item_stack(
+      sql::parse(state.range(0) == 0 ? kQuery : kBigQuery).statement);
+  core::QueryModel qm = core::make_query_model(qs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compare_qs_qm(qs, qm));
+  }
+}
+BENCHMARK(BM_CompareQsQm)->Arg(0)->Arg(1);
+
+void BM_IdGeneration(benchmark::State& state) {
+  sql::ParsedQuery parsed =
+      sql::parse(std::string("/* ID:app:site */ ") + kQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::IdGenerator::generate(parsed));
+  }
+}
+BENCHMARK(BM_IdGeneration);
+
+void BM_StoreLookup(benchmark::State& state) {
+  core::QmStore store;
+  sql::ItemStack qs = sql::build_item_stack(sql::parse(kQuery).statement);
+  core::QueryModel qm = core::make_query_model(qs);
+  for (int i = 0; i < 200; ++i) {
+    store.add("id" + std::to_string(i), qm);
+  }
+  store.add("target", qm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.lookup("target"));
+  }
+}
+BENCHMARK(BM_StoreLookup);
+
+void BM_PluginQuickFilter(benchmark::State& state) {
+  auto plugins = core::make_default_plugins();
+  std::string benign = "a perfectly ordinary profile note about appliances";
+  for (auto _ : state) {
+    for (const auto& p : plugins) {
+      benchmark::DoNotOptimize(p->quick_check(benign));
+    }
+  }
+}
+BENCHMARK(BM_PluginQuickFilter);
+
+void BM_PluginDeepXss(benchmark::State& state) {
+  auto plugin = core::make_xss_plugin();
+  std::string payload = "<details open ontoggle=alert(1)>x</details>";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plugin->deep_check(payload));
+  }
+}
+BENCHMARK(BM_PluginDeepXss);
+
+void BM_ProxyFingerprint(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::QueryFirewall::fingerprint(kQuery));
+  }
+}
+BENCHMARK(BM_ProxyFingerprint);
+
+// Full pipeline: vanilla engine vs engine+SEPTIC, per query.
+void BM_PipelineVanilla(benchmark::State& state) {
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID "
+      "TEXT, creditCard INT, passenger TEXT, flight TEXT, seat TEXT)");
+  db.execute_admin(
+      "INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)");
+  engine::Session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.execute(session, kQuery));
+  }
+}
+BENCHMARK(BM_PipelineVanilla);
+
+void BM_PipelineWithSeptic(benchmark::State& state) {
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID "
+      "TEXT, creditCard INT, passenger TEXT, flight TEXT, seat TEXT)");
+  db.execute_admin(
+      "INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)");
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_log_processed_queries(false);
+  db.set_interceptor(septic);
+  engine::Session session;
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, kQuery);
+  septic->set_mode(core::Mode::kPrevention);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.execute(session, kQuery));
+  }
+}
+BENCHMARK(BM_PipelineWithSeptic);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  db.execute_admin("INSERT INTO w (v) VALUES ('x')");
+  net::Server server(db, 0);
+  server.start();
+  net::Client client(server.port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.query("SELECT v FROM w WHERE id = 1"));
+  }
+  server.stop();
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_WirePreparedExec(benchmark::State& state) {
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  db.execute_admin("INSERT INTO w (v) VALUES ('x')");
+  net::Server server(db, 0);
+  server.start();
+  net::Client client(server.port());
+  uint64_t stmt = client.prepare("SELECT v FROM w WHERE id = ?");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.execute(stmt, {sql::Value(int64_t{1})}));
+  }
+  server.stop();
+}
+BENCHMARK(BM_WirePreparedExec);
+
+}  // namespace

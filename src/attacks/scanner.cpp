@@ -1,0 +1,107 @@
+#include "attacks/scanner.h"
+
+#include "attacks/corpus.h"
+
+namespace septic::attacks {
+
+namespace {
+
+using web::FormSpec;
+using web::Request;
+using web::Response;
+
+Request form_request(const FormSpec& form, const std::string& param,
+                     const std::string& value) {
+  Request r;
+  r.method = form.method;
+  r.path = form.path;
+  for (const auto& field : form.fields) {
+    r.params[field.name] = field.name == param ? value : field.sample;
+  }
+  return r;
+}
+
+}  // namespace
+
+ScanReport scan_application(web::WebStack& stack) {
+  ScanReport report;
+  const std::string prime = kModifierApostrophe;
+  const std::string fw_eq = kFullwidthEquals;
+
+  for (const FormSpec& form : stack.app_forms()) {
+    ++report.forms_scanned;
+    for (const auto& field : form.fields) {
+      ++report.params_probed;
+
+      auto send = [&](const std::string& value) -> Response {
+        ++report.requests_sent;
+        Response r = stack.handle(form_request(form, field.name, value));
+        if (r.blocked()) ++report.probes_blocked;
+        return r;
+      };
+
+      // Page-stability check (as sqlmap does): non-idempotent endpoints
+      // answer differently to identical benign requests (fresh insert ids,
+      // counters), which would make any differential technique meaningless.
+      Response baseline = send(field.sample);
+      Response baseline2 = send(field.sample);
+      const bool stable =
+          baseline.ok() && baseline2.ok() && baseline.body == baseline2.body;
+
+      // --- error-based: naked quote and backslash-eaten quote ----------
+      for (const std::string& payload :
+           {std::string("'\""), field.sample + "\\"}) {
+        Response r = send(payload);
+        if (r.status == 500 &&
+            r.body.find("SQL error") != std::string::npos) {
+          report.findings.push_back({form.path, form.method, field.name,
+                                     "error-based", payload, r.body});
+          break;
+        }
+      }
+
+      // --- boolean-differential (numeric context) ----------------------
+      if (stable) {
+        Response r_true = send(field.sample + " OR 1=1");
+        Response r_false = send(field.sample + " AND 1=0");
+        if (r_true.ok() && r_false.ok() && r_true.body != r_false.body &&
+            r_true.body != baseline.body) {
+          report.findings.push_back(
+              {form.path, form.method, field.name, "boolean-differential",
+               field.sample + " OR 1=1",
+               "true/false payloads produced different responses"});
+        }
+      }
+
+      // --- unicode-quote (error-based through the mismatch) -------------
+      {
+        // U+02BC alone: if it decodes to a quote inside the server, the
+        // statement breaks and the app reports a SQL error.
+        Response r = send(field.sample + prime);
+        if (r.status == 500 &&
+            r.body.find("SQL error") != std::string::npos) {
+          report.findings.push_back({form.path, form.method, field.name,
+                                     "unicode-quote", field.sample + prime,
+                                     r.body});
+        }
+      }
+
+      // --- unicode-tautology (boolean through the mismatch) -------------
+      if (stable) {
+        Response r_true =
+            send(field.sample + prime + " OR 1" + fw_eq + "1-- ");
+        Response r_false =
+            send(field.sample + prime + " AND 1" + fw_eq + "0-- ");
+        if (r_true.ok() && r_false.ok() && r_true.body != r_false.body) {
+          report.findings.push_back(
+              {form.path, form.method, field.name, "unicode-tautology",
+               field.sample + prime + " OR 1" + fw_eq + "1-- ",
+               "confusable-encoded true/false payloads diverged"});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace septic::attacks

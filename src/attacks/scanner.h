@@ -1,0 +1,51 @@
+// sqlmap-like injection scanner (paper Section IV / Figure 7: "a browser
+// ... and other tools to perform SQLI attacks, such as sqlmap"). Crawls an
+// application's forms and probes every parameter with differential
+// payloads:
+//
+//   error-based          a lone quote / broken syntax probe; a 500 "SQL
+//                        error" response means the input reaches a query
+//                        unneutralized;
+//   boolean-differential an always-true vs always-false pair in numeric
+//                        context ("1 OR 1=1" vs "1 AND 1=0"); differing
+//                        bodies reveal the injection;
+//   unicode-quote        the semantic-mismatch probe: U+02BC + "-- "
+//                        (and the fullwidth-equals tautology), which only
+//                        detonates inside the server — the class of
+//                        payloads plain sqlmap misses and the demo adds.
+//
+// Probes are sent through the full stack, so a protected deployment shows
+// them being blocked instead (the scan report records that too).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/stack.h"
+
+namespace septic::attacks {
+
+struct ScanFinding {
+  std::string path;
+  web::Method method = web::Method::kGet;
+  std::string param;
+  std::string technique;  // "error-based" | "boolean-differential" |
+                          // "unicode-quote" | "unicode-tautology"
+  std::string payload;
+  std::string evidence;   // what differed / which error came back
+};
+
+struct ScanReport {
+  size_t forms_scanned = 0;
+  size_t params_probed = 0;
+  size_t requests_sent = 0;
+  size_t probes_blocked = 0;  // probes stopped by a protection layer
+  std::vector<ScanFinding> findings;
+
+  bool vulnerable() const { return !findings.empty(); }
+};
+
+/// Probe every form parameter of the stack's application.
+ScanReport scan_application(web::WebStack& stack);
+
+}  // namespace septic::attacks

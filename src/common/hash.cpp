@@ -1,0 +1,60 @@
+#include "common/hash.h"
+
+namespace septic::common {
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}
+
+uint64_t fnv1a(std::string_view bytes) { return fnv1a(bytes, kFnvInit); }
+
+uint64_t fnv1a(std::string_view bytes, uint64_t state) {
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+uint64_t hash_combine(uint64_t state, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    state ^= (value >> (i * 8)) & 0xff;
+    state *= kFnvPrime;
+  }
+  // Length/terminator byte to avoid concatenation ambiguity.
+  state ^= 0xfe;
+  state *= kFnvPrime;
+  return state;
+}
+
+std::string to_hex(uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool from_hex(std::string_view s, uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace septic::common

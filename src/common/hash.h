@@ -1,0 +1,31 @@
+// Deterministic, platform-independent hashing used for query identifiers and
+// model fingerprints. std::hash is deliberately avoided: its values are not
+// stable across implementations, and SEPTIC persists IDs to disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace septic::common {
+
+/// 64-bit FNV-1a over bytes.
+uint64_t fnv1a(std::string_view bytes);
+
+/// Continue an FNV-1a stream from a previous state.
+uint64_t fnv1a(std::string_view bytes, uint64_t state);
+
+/// The FNV-1a initial state (offset basis).
+inline constexpr uint64_t kFnvInit = 0xcbf29ce484222325ull;
+
+/// Mix an already-computed 64-bit value into a hash state (length-prefixed
+/// so that concatenation ambiguities cannot collide).
+uint64_t hash_combine(uint64_t state, uint64_t value);
+
+/// Fixed-width lowercase hex rendering of a 64-bit value.
+std::string to_hex(uint64_t v);
+
+/// Parse a hex string produced by `to_hex`; returns false on bad input.
+bool from_hex(std::string_view s, uint64_t& out);
+
+}  // namespace septic::common

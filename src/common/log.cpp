@@ -1,0 +1,52 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace septic::common {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  std::lock_guard lock(mu_);
+  if (level < level_) return;
+  if (sink_) {
+    sink_(level, msg);
+    return;
+  }
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void log_debug(std::string_view msg) {
+  Logger::instance().log(LogLevel::kDebug, msg);
+}
+void log_info(std::string_view msg) {
+  Logger::instance().log(LogLevel::kInfo, msg);
+}
+void log_warn(std::string_view msg) {
+  Logger::instance().log(LogLevel::kWarn, msg);
+}
+void log_error(std::string_view msg) {
+  Logger::instance().log(LogLevel::kError, msg);
+}
+
+}  // namespace septic::common

@@ -1,0 +1,43 @@
+// Tiny leveled logger for the engine and substrates. SEPTIC's own *event
+// register* (septic/logger.h) is separate and structured; this one is for
+// human-readable diagnostics.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace septic::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide logger. Thread-safe. Default sink is stderr; tests install
+/// capture sinks.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replace the output sink (pass nullptr to restore stderr).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+void log_debug(std::string_view msg);
+void log_info(std::string_view msg);
+void log_warn(std::string_view msg);
+void log_error(std::string_view msg);
+
+}  // namespace septic::common

@@ -1,0 +1,52 @@
+// String helpers shared across the project.
+//
+// All functions are pure and operate on std::string / std::string_view; no
+// locale dependence (SQL identifiers and keywords are ASCII-folded only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::common {
+
+/// ASCII-only lowercase copy (SQL keywords/identifiers; never touches UTF-8
+/// continuation bytes).
+std::string to_lower(std::string_view s);
+
+/// ASCII-only uppercase copy.
+std::string to_upper(std::string_view s);
+
+/// Strip ASCII whitespace (space, \t, \r, \n, \f, \v) from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Case-insensitive (ASCII) equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive (ASCII) substring search; returns npos when absent.
+size_t ifind(std::string_view haystack, std::string_view needle);
+
+/// True if `s` contains `needle` case-insensitively.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Collapse runs of ASCII whitespace into a single space (used by the WAF
+/// `compressWhitespace` transformation and query fingerprinting).
+std::string compress_whitespace(std::string_view s);
+
+/// Printable rendering of arbitrary bytes: non-printable bytes become \xNN.
+std::string escape_for_log(std::string_view s);
+
+/// True if every character satisfies isdigit (and s is non-empty).
+bool all_digits(std::string_view s);
+
+}  // namespace septic::common

@@ -1,0 +1,177 @@
+#include "common/unicode.h"
+
+#include <cctype>
+
+namespace septic::common {
+
+DecodedCp decode_utf8(std::string_view s, size_t i) {
+  const auto byte = [&](size_t k) -> uint8_t {
+    return static_cast<uint8_t>(s[k]);
+  };
+  uint8_t b0 = byte(i);
+  if (b0 < 0x80) return {b0, 1};
+  auto cont_ok = [&](size_t k) {
+    return k < s.size() && (byte(k) & 0xc0) == 0x80;
+  };
+  if ((b0 & 0xe0) == 0xc0 && cont_ok(i + 1)) {
+    char32_t cp = (char32_t(b0 & 0x1f) << 6) | (byte(i + 1) & 0x3f);
+    if (cp >= 0x80) return {cp, 2};
+  } else if ((b0 & 0xf0) == 0xe0 && cont_ok(i + 1) && cont_ok(i + 2)) {
+    char32_t cp = (char32_t(b0 & 0x0f) << 12) |
+                  (char32_t(byte(i + 1) & 0x3f) << 6) | (byte(i + 2) & 0x3f);
+    if (cp >= 0x800) return {cp, 3};
+  } else if ((b0 & 0xf8) == 0xf0 && cont_ok(i + 1) && cont_ok(i + 2) &&
+             cont_ok(i + 3)) {
+    char32_t cp = (char32_t(b0 & 0x07) << 18) |
+                  (char32_t(byte(i + 1) & 0x3f) << 12) |
+                  (char32_t(byte(i + 2) & 0x3f) << 6) | (byte(i + 3) & 0x3f);
+    if (cp >= 0x10000 && cp <= 0x10ffff) return {cp, 4};
+  }
+  // Malformed: pass the byte through as its own codepoint.
+  return {b0, 1};
+}
+
+std::string encode_utf8(char32_t cp) {
+  std::string out;
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xc0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xe0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    out += static_cast<char>(0xf0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+  return out;
+}
+
+std::vector<char32_t> decode_all(std::string_view s) {
+  std::vector<char32_t> out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    DecodedCp d = decode_utf8(s, i);
+    out.push_back(d.cp);
+    i += d.len;
+  }
+  return out;
+}
+
+size_t codepoint_count(std::string_view s) {
+  size_t n = 0;
+  for (size_t i = 0; i < s.size();) {
+    i += decode_utf8(s, i).len;
+    ++n;
+  }
+  return n;
+}
+
+namespace {
+/// Maps confusable codepoints to their ASCII collapse, or 0 when unmapped.
+constexpr char confusable_ascii(char32_t cp) {
+  switch (cp) {
+    case 0x02bc:  // MODIFIER LETTER APOSTROPHE (the paper's example)
+    case 0x2019:  // RIGHT SINGLE QUOTATION MARK
+    case 0x2018:  // LEFT SINGLE QUOTATION MARK
+    case 0xff07:  // FULLWIDTH APOSTROPHE
+      return '\'';
+    case 0x201c:  // LEFT DOUBLE QUOTATION MARK
+    case 0x201d:  // RIGHT DOUBLE QUOTATION MARK
+    case 0xff02:  // FULLWIDTH QUOTATION MARK
+      return '"';
+    case 0xff1d:  // FULLWIDTH EQUALS SIGN
+      return '=';
+    case 0xff08:  // FULLWIDTH LEFT PARENTHESIS
+      return '(';
+    case 0xff09:  // FULLWIDTH RIGHT PARENTHESIS
+      return ')';
+    case 0xff0c:  // FULLWIDTH COMMA
+      return ',';
+    case 0xff1b:  // FULLWIDTH SEMICOLON
+      return ';';
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+std::string server_charset_convert(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    DecodedCp d = decode_utf8(s, i);
+    if (char a = confusable_ascii(d.cp); a != 0) {
+      out += a;
+    } else {
+      out.append(s.substr(i, d.len));
+    }
+    i += d.len;
+  }
+  return out;
+}
+
+bool has_confusable_quote(std::string_view s) {
+  for (size_t i = 0; i < s.size();) {
+    DecodedCp d = decode_utf8(s, i);
+    if (confusable_ascii(d.cp) != 0) return true;
+    i += d.len;
+  }
+  return false;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string url_decode(std::string_view s, bool plus_as_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+' && plus_as_space) {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size()) {
+      int hi = hex_val(s[i + 1]);
+      int lo = hex_val(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += c;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size() * 3);
+  for (unsigned char c : s) {
+    bool unreserved = std::isalnum(c) || c == '-' || c == '_' || c == '.' ||
+                      c == '~';
+    if (unreserved) {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  return out;
+}
+
+}  // namespace septic::common

@@ -1,0 +1,64 @@
+// Minimal UTF-8 toolkit plus the character-set conversion behaviour the
+// SEPTIC paper's second-order attack exploits.
+//
+// MySQL converts client text to the connection character set before parsing.
+// During that conversion, "confusable" codepoints such as U+02BC (MODIFIER
+// LETTER APOSTROPHE) can collapse into a plain ASCII apostrophe — *after*
+// application-side sanitization (mysql_real_escape_string) has already run.
+// This gap between what the sanitizer saw and what the parser executes is
+// the paper's semantic mismatch. `server_charset_convert` reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::common {
+
+/// One decoded codepoint and the byte length it occupied.
+struct DecodedCp {
+  char32_t cp = 0;
+  int len = 0;  // bytes consumed; 1 on malformed input (byte passed through)
+};
+
+/// Decode the UTF-8 sequence starting at s[i]. Malformed sequences decode as
+/// the single byte value (latin-1 style passthrough) with len 1, matching
+/// the permissive behaviour of MySQL's converter rather than throwing.
+DecodedCp decode_utf8(std::string_view s, size_t i);
+
+/// Encode a codepoint as UTF-8 (up to 4 bytes).
+std::string encode_utf8(char32_t cp);
+
+/// Decode a whole string into codepoints (malformed bytes pass through).
+std::vector<char32_t> decode_all(std::string_view s);
+
+/// Number of codepoints in the string.
+size_t codepoint_count(std::string_view s);
+
+/// The server-side character set conversion applied to incoming statements
+/// before lexing. Collapses apostrophe/quote confusables to their ASCII
+/// forms:
+///   U+02BC MODIFIER LETTER APOSTROPHE  -> '
+///   U+2019 RIGHT SINGLE QUOTATION MARK -> '
+///   U+FF07 FULLWIDTH APOSTROPHE        -> '
+///   U+FF02 FULLWIDTH QUOTATION MARK    -> "
+///   U+FF1D FULLWIDTH EQUALS SIGN       -> =
+///   U+FF08/U+FF09 FULLWIDTH PARENS     -> ( )
+/// Everything else is preserved byte-for-byte.
+std::string server_charset_convert(std::string_view s);
+
+/// True if the string contains any codepoint that `server_charset_convert`
+/// would rewrite (useful for tests and the WAF-bypass analysis).
+bool has_confusable_quote(std::string_view s);
+
+/// Percent-decode (%XX and '+' as space when `plus_as_space`). Invalid
+/// escapes are passed through verbatim. Used by the HTTP layer and the WAF's
+/// urlDecode transformation.
+std::string url_decode(std::string_view s, bool plus_as_space = true);
+
+/// Percent-encode everything except unreserved characters.
+std::string url_encode(std::string_view s);
+
+}  // namespace septic::common

@@ -1,0 +1,249 @@
+#include "engine/database.h"
+
+#include "common/unicode.h"
+#include "engine/error.h"
+#include "engine/executor.h"
+#include "sqlcore/lexer.h"
+#include "sqlcore/parser.h"
+
+namespace septic::engine {
+
+void Database::set_interceptor(std::shared_ptr<QueryInterceptor> interceptor) {
+  std::lock_guard lock(mu_);
+  interceptor_ = std::move(interceptor);
+}
+
+ResultSet Database::execute(Session& session, std::string_view raw_sql) {
+  std::lock_guard lock(mu_);
+
+  // 1. Character-set conversion (where U+02BC becomes a plain quote).
+  std::string converted = charset_conversion_
+                              ? common::server_charset_convert(raw_sql)
+                              : std::string(raw_sql);
+
+  // 2+3. Lex, parse.
+  sql::ParsedQuery parsed;
+  try {
+    parsed = sql::parse(converted);
+  } catch (const sql::LexError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("lex error: ") + e.what());
+  } catch (const sql::ParseError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("parse error: ") + e.what());
+  }
+
+  // Transaction control bypasses the interceptor: BEGIN/COMMIT/ROLLBACK
+  // carry no user data and are handled by the facade, which owns the
+  // snapshot.
+  if (sql::statement_kind(parsed.statement) ==
+      sql::StatementKind::kTransaction) {
+    return handle_transaction(session,
+                              std::get<sql::TransactionStmt>(parsed.statement));
+  }
+  if (txn_active_ && session.id() != txn_owner_) {
+    throw DbError(ErrorCode::kUnsupported,
+                  "another session's transaction is in progress");
+  }
+
+  // 4. Validation against the catalog.
+  validate_statement(catalog_, parsed.statement);
+
+  // 5. Item stack + interceptor (SEPTIC's hook point).
+  if (interceptor_) {
+    sql::ItemStack stack = sql::build_item_stack(parsed.statement);
+    QueryEvent event{parsed, stack, session.id(), session.user()};
+    InterceptDecision decision = interceptor_->on_query(event);
+    if (!decision.allow) {
+      ++blocked_count_;
+      throw DbError(ErrorCode::kBlocked,
+                    decision.reason.empty() ? "query dropped by interceptor"
+                                            : decision.reason);
+    }
+  }
+
+  // 6. Execution.
+  ++executed_count_;
+  return execute_statement(catalog_, session, parsed.statement);
+}
+
+ResultSet Database::execute_admin(std::string_view raw_sql) {
+  Session admin("admin");
+  return execute(admin, raw_sql);
+}
+
+ResultSet Database::handle_transaction(Session& session,
+                                       const sql::TransactionStmt& txn) {
+  switch (txn.op) {
+    case sql::TransactionStmt::Op::kBegin:
+      if (txn_active_) {
+        throw DbError(ErrorCode::kUnsupported,
+                      txn_owner_ == session.id()
+                          ? "nested transactions are not supported"
+                          : "another session's transaction is in progress");
+      }
+      txn_snapshot_ = catalog_.save_snapshot();
+      txn_active_ = true;
+      txn_owner_ = session.id();
+      return {};
+    case sql::TransactionStmt::Op::kCommit:
+      if (!txn_active_ || txn_owner_ != session.id()) {
+        throw DbError(ErrorCode::kUnsupported, "no transaction to commit");
+      }
+      txn_active_ = false;
+      txn_snapshot_.clear();
+      return {};
+    case sql::TransactionStmt::Op::kRollback:
+      if (!txn_active_ || txn_owner_ != session.id()) {
+        throw DbError(ErrorCode::kUnsupported, "no transaction to roll back");
+      }
+      catalog_.load_snapshot(txn_snapshot_);
+      txn_active_ = false;
+      txn_snapshot_.clear();
+      return {};
+  }
+  throw DbError(ErrorCode::kInternal, "unreachable transaction op");
+}
+
+bool Database::in_transaction() const {
+  std::lock_guard lock(mu_);
+  return txn_active_;
+}
+
+void Database::rollback_if_owner(uint64_t session_id) {
+  std::lock_guard lock(mu_);
+  if (txn_active_ && txn_owner_ == session_id) {
+    catalog_.load_snapshot(txn_snapshot_);
+    txn_active_ = false;
+    txn_snapshot_.clear();
+  }
+}
+
+namespace {
+
+void bind_select(sql::SelectStmt& sel, const std::vector<sql::Value>& params,
+                 size_t& bound);
+
+void bind_expr(sql::Expr& e, const std::vector<sql::Value>& params,
+               size_t& bound) {
+  if (e.subquery) bind_select(*e.subquery, params, bound);
+  if (e.kind == sql::ExprKind::kPlaceholder) {
+    if (e.placeholder_index < 0 ||
+        static_cast<size_t>(e.placeholder_index) >= params.size()) {
+      throw DbError(ErrorCode::kSyntax,
+                    "not enough parameters for prepared statement");
+    }
+    const sql::Value& v = params[static_cast<size_t>(e.placeholder_index)];
+    e.kind = sql::ExprKind::kLiteral;
+    e.literal = v;
+    e.literal_was_quoted = v.type() == sql::ValueType::kString;
+    ++bound;
+    return;
+  }
+  for (auto& c : e.children) bind_expr(*c, params, bound);
+}
+
+void bind_select(sql::SelectStmt& sel, const std::vector<sql::Value>& params,
+                 size_t& bound) {
+  for (auto& it : sel.items) {
+    if (it.expr) bind_expr(*it.expr, params, bound);
+  }
+  for (auto& j : sel.joins) {
+    if (j.on) bind_expr(*j.on, params, bound);
+  }
+  if (sel.where) bind_expr(*sel.where, params, bound);
+  for (auto& g : sel.group_by) bind_expr(*g, params, bound);
+  if (sel.having) bind_expr(*sel.having, params, bound);
+  for (auto& o : sel.order_by) bind_expr(*o.expr, params, bound);
+  for (auto& u : sel.unions) bind_select(*u.select, params, bound);
+}
+
+/// Substitute every placeholder with its bound parameter; returns how many
+/// placeholders were bound.
+size_t bind_statement(sql::Statement& stmt,
+                      const std::vector<sql::Value>& params) {
+  size_t bound = 0;
+  switch (sql::statement_kind(stmt)) {
+    case sql::StatementKind::kSelect:
+      bind_select(*std::get<sql::SelectPtr>(stmt), params, bound);
+      break;
+    case sql::StatementKind::kInsert:
+      for (auto& row : std::get<sql::InsertStmt>(stmt).rows) {
+        for (auto& v : row) bind_expr(*v, params, bound);
+      }
+      break;
+    case sql::StatementKind::kUpdate: {
+      auto& up = std::get<sql::UpdateStmt>(stmt);
+      for (auto& a : up.assignments) bind_expr(*a.value, params, bound);
+      if (up.where) bind_expr(*up.where, params, bound);
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      auto& del = std::get<sql::DeleteStmt>(stmt);
+      if (del.where) bind_expr(*del.where, params, bound);
+      break;
+    }
+    default:
+      break;
+  }
+  return bound;
+}
+
+}  // namespace
+
+ResultSet Database::execute_prepared(Session& session,
+                                     std::string_view template_sql,
+                                     const std::vector<sql::Value>& params) {
+  std::lock_guard lock(mu_);
+
+  // The TEMPLATE undergoes charset conversion (it is statement text); the
+  // bound parameters do not (they travel as typed data in the binary
+  // protocol and can never be re-lexed).
+  std::string converted = charset_conversion_
+                              ? common::server_charset_convert(template_sql)
+                              : std::string(template_sql);
+
+  sql::ParsedQuery parsed;
+  try {
+    parsed = sql::parse(converted);
+  } catch (const sql::LexError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("lex error: ") + e.what());
+  } catch (const sql::ParseError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("parse error: ") + e.what());
+  }
+
+  if (sql::statement_kind(parsed.statement) ==
+      sql::StatementKind::kTransaction) {
+    return handle_transaction(session,
+                              std::get<sql::TransactionStmt>(parsed.statement));
+  }
+  if (txn_active_ && session.id() != txn_owner_) {
+    throw DbError(ErrorCode::kUnsupported,
+                  "another session's transaction is in progress");
+  }
+
+  size_t bound = bind_statement(parsed.statement, params);
+  if (bound != params.size()) {
+    throw DbError(ErrorCode::kSyntax,
+                  "parameter count mismatch: statement has " +
+                      std::to_string(bound) + " placeholder(s), got " +
+                      std::to_string(params.size()));
+  }
+
+  validate_statement(catalog_, parsed.statement);
+
+  if (interceptor_) {
+    sql::ItemStack stack = sql::build_item_stack(parsed.statement);
+    QueryEvent event{parsed, stack, session.id(), session.user()};
+    InterceptDecision decision = interceptor_->on_query(event);
+    if (!decision.allow) {
+      ++blocked_count_;
+      throw DbError(ErrorCode::kBlocked,
+                    decision.reason.empty() ? "query dropped by interceptor"
+                                            : decision.reason);
+    }
+  }
+
+  ++executed_count_;
+  return execute_statement(catalog_, session, parsed.statement);
+}
+
+}  // namespace septic::engine

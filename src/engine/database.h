@@ -1,0 +1,95 @@
+// The DBMS facade: the full server-side statement pipeline.
+//
+//   raw SQL -> charset conversion -> lex/parse -> validate ->
+//     [QueryInterceptor hook: SEPTIC]  -> execute
+//
+// The interceptor sees the statement exactly as it will execute — after the
+// server has decoded confusable Unicode, stripped comments, and resolved
+// the parse — which is what lets SEPTIC close the semantic-mismatch gap.
+//
+// Thread-safe: execute() serializes on an internal mutex (the storage
+// engine is single-writer); fine for the workloads reproduced here.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/interceptor.h"
+#include "engine/result.h"
+#include "engine/session.h"
+#include "storage/catalog.h"
+
+namespace septic::engine {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Install (or clear, with nullptr) the pre-execution hook.
+  void set_interceptor(std::shared_ptr<QueryInterceptor> interceptor);
+  QueryInterceptor* interceptor() const { return interceptor_.get(); }
+
+  /// Server-side character-set conversion of incoming statement text
+  /// (confusable quotes collapsing to ASCII). ON models the
+  /// latin1-connection MySQL deployments the paper's attacks target; OFF
+  /// models a strict binary/utf8mb4 configuration where those payloads
+  /// stay inert. The ablation bench flips this to show that the
+  /// semantic-mismatch attacks live or die with the conversion.
+  void set_charset_conversion(bool on) { charset_conversion_ = on; }
+  bool charset_conversion() const { return charset_conversion_; }
+
+  /// Run one statement through the whole pipeline. Throws DbError.
+  ResultSet execute(Session& session, std::string_view raw_sql);
+
+  /// Prepared-statement execution: parse a template containing `?`
+  /// placeholders, bind `params` positionally, then run the bound statement
+  /// through validation, the interceptor, and execution. Bound values are
+  /// data, never SQL text: they skip charset conversion and can never alter
+  /// the statement's structure — the interceptor sees them as ordinary
+  /// data nodes. Throws DbError (kSyntax on parameter-count mismatch).
+  ResultSet execute_prepared(Session& session, std::string_view template_sql,
+                             const std::vector<sql::Value>& params);
+
+  /// Convenience for setup code: execute with a throwaway admin session.
+  ResultSet execute_admin(std::string_view raw_sql);
+
+  storage::Catalog& catalog() { return catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+
+  /// Number of statements that reached execution (post-hook), for tests
+  /// and the detection benches.
+  uint64_t executed_count() const { return executed_count_; }
+  /// Number of statements dropped by the interceptor.
+  uint64_t blocked_count() const { return blocked_count_; }
+
+  /// True while a transaction is open (any session).
+  bool in_transaction() const;
+
+  /// Roll back the open transaction if `session_id` owns one — the server
+  /// calls this when a connection dies mid-transaction.
+  void rollback_if_owner(uint64_t session_id);
+
+ private:
+  /// Handle BEGIN/COMMIT/ROLLBACK. Transactions are snapshot-based and
+  /// serialized: one open transaction at a time, statements from other
+  /// sessions are rejected until it finishes (coarse but honest
+  /// serializable semantics for a single-writer engine).
+  ResultSet handle_transaction(Session& session,
+                               const sql::TransactionStmt& txn);
+
+  mutable std::mutex mu_;
+  storage::Catalog catalog_;
+  std::shared_ptr<QueryInterceptor> interceptor_;
+  uint64_t executed_count_ = 0;
+  uint64_t blocked_count_ = 0;
+
+  bool txn_active_ = false;
+  uint64_t txn_owner_ = 0;
+  std::string txn_snapshot_;  // catalog state at BEGIN
+  bool charset_conversion_ = true;
+};
+
+}  // namespace septic::engine

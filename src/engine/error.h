@@ -1,0 +1,44 @@
+// Engine-level error taxonomy. Everything the server reports to a client
+// maps to one DbError; SEPTIC rejections use kBlocked so applications can
+// distinguish "query dropped by the protection mechanism" from SQL errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace septic::engine {
+
+enum class ErrorCode {
+  kSyntax,         // lex/parse failure
+  kUnknownTable,
+  kUnknownColumn,
+  kConstraint,     // PK duplicate, NOT NULL, column count mismatch
+  kUnsupported,    // recognized but unimplemented construct
+  kBlocked,        // dropped by a QueryInterceptor (SEPTIC prevention mode)
+  kInternal,
+};
+
+class DbError : public std::runtime_error {
+ public:
+  DbError(ErrorCode code, std::string msg)
+      : std::runtime_error(std::move(msg)), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kSyntax: return "SYNTAX";
+    case ErrorCode::kUnknownTable: return "UNKNOWN_TABLE";
+    case ErrorCode::kUnknownColumn: return "UNKNOWN_COLUMN";
+    case ErrorCode::kConstraint: return "CONSTRAINT";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kBlocked: return "BLOCKED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+}  // namespace septic::engine

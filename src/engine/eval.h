@@ -1,0 +1,59 @@
+// Expression evaluation with MySQL semantics: permissive coercion, NULL
+// propagation, case-insensitive string comparison, LIKE patterns, and the
+// scalar function library the workload applications use.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlcore/ast.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace septic::engine {
+
+/// One table visible to name resolution: its (alias or real) name, schema,
+/// and the current row values (offset into the joined row).
+struct ScopeEntry {
+  std::string binding;  // alias if present, else table name
+  const storage::TableSchema* schema = nullptr;
+  size_t offset = 0;  // first column's index in the joined row
+};
+
+/// Resolves column references across the joined tables of a SELECT.
+class NameScope {
+ public:
+  void add(std::string binding, const storage::TableSchema* schema,
+           size_t offset);
+
+  /// Resolve [table.]column to an index into the joined row. Throws
+  /// DbError(kUnknownColumn) when absent or ambiguous.
+  size_t resolve(std::string_view table, std::string_view column) const;
+
+  /// Total width of the joined row.
+  size_t width() const { return width_; }
+  const std::vector<ScopeEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<ScopeEntry> entries_;
+  size_t width_ = 0;
+};
+
+/// Evaluate an expression against a row (may be nullptr for row-less
+/// contexts such as INSERT VALUES). Aggregate functions are NOT handled
+/// here — the executor intercepts them; reaching one in eval() throws.
+sql::Value eval_expr(const sql::Expr& e, const NameScope* scope,
+                     const storage::Row* row);
+
+/// SQL LIKE with % and _ wildcards and backslash escapes; ASCII
+/// case-insensitive like MySQL's default collation.
+bool sql_like(std::string_view text, std::string_view pattern);
+
+/// True if the function name is an aggregate (COUNT/SUM/AVG/MIN/MAX).
+bool is_aggregate_function(std::string_view upper_name);
+
+/// True if the expression tree contains an aggregate call.
+bool contains_aggregate(const sql::Expr& e);
+
+}  // namespace septic::engine

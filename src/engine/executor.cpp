@@ -1,0 +1,932 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "engine/error.h"
+#include "engine/eval.h"
+
+namespace septic::engine {
+
+using sql::Value;
+using sql::ValueType;
+using storage::Row;
+using storage::Table;
+
+namespace {
+
+// ----------------------------------------------------------- validation
+
+void validate_select(const storage::Catalog& catalog,
+                     const sql::SelectStmt& sel);
+
+void validate_expr_names_in(const sql::Expr& e, const NameScope& scope,
+                            const storage::Catalog& catalog) {
+  if (e.kind == sql::ExprKind::kColumn) {
+    if (e.column == "*") return;  // COUNT(*)
+    scope.resolve(e.table, e.column);  // throws when unknown
+    return;
+  }
+  // Uncorrelated subqueries validate against their own scope only.
+  if (e.subquery) validate_select(catalog, *e.subquery);
+  for (const auto& c : e.children) {
+    validate_expr_names_in(*c, scope, catalog);
+  }
+}
+
+NameScope build_select_scope(const storage::Catalog& catalog,
+                             const sql::SelectStmt& sel) {
+  NameScope scope;
+  size_t offset = 0;
+  auto add_table = [&](const sql::TableRef& ref) {
+    const Table* t = catalog.find(ref.name);
+    if (t == nullptr) {
+      throw DbError(ErrorCode::kUnknownTable,
+                    "table '" + ref.name + "' doesn't exist");
+    }
+    scope.add(ref.alias.empty() ? ref.name : ref.alias, &t->schema(), offset);
+    offset += t->schema().column_count();
+  };
+  for (const auto& ref : sel.from) add_table(ref);
+  for (const auto& j : sel.joins) add_table(j.table);
+  return scope;
+}
+
+void validate_select(const storage::Catalog& catalog,
+                     const sql::SelectStmt& sel) {
+  NameScope scope = build_select_scope(catalog, sel);
+  for (const auto& it : sel.items) {
+    if (!it.star) validate_expr_names_in(*it.expr, scope, catalog);
+  }
+  for (const auto& j : sel.joins) validate_expr_names_in(*j.on, scope, catalog);
+  if (sel.where) validate_expr_names_in(*sel.where, scope, catalog);
+  for (const auto& g : sel.group_by) validate_expr_names_in(*g, scope, catalog);
+  if (sel.having) validate_expr_names_in(*sel.having, scope, catalog);
+  for (const auto& o : sel.order_by) {
+    // ORDER BY may reference select aliases; tolerate unknown bare columns
+    // that match an alias.
+    if (o.expr->kind == sql::ExprKind::kColumn && o.expr->table.empty()) {
+      bool is_alias = false;
+      for (const auto& it : sel.items) {
+        if (!it.star && common::iequals(it.alias, o.expr->column)) {
+          is_alias = true;
+          break;
+        }
+      }
+      if (is_alias) continue;
+    }
+    validate_expr_names_in(*o.expr, scope, catalog);
+  }
+  for (const auto& u : sel.unions) validate_select(catalog, *u.select);
+}
+
+// --------------------------------------------------------------- SELECT
+
+struct Aggregator {
+  std::string func;  // COUNT/SUM/AVG/MIN/MAX
+  const sql::Expr* arg = nullptr;  // nullptr for COUNT(*)
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value best;  // MIN/MAX
+  bool seen = false;
+
+  void feed(const NameScope& scope, const Row& row) {
+    if (func == "COUNT") {
+      if (arg == nullptr) {
+        ++count;
+      } else {
+        Value v = eval_expr(*arg, &scope, &row);
+        if (!v.is_null()) ++count;
+      }
+      return;
+    }
+    Value v = eval_expr(*arg, &scope, &row);
+    if (v.is_null()) return;
+    if (func == "SUM" || func == "AVG") {
+      ++count;
+      if (v.type() != ValueType::kInt) sum_is_int = false;
+      isum += v.coerce_int();
+      sum += v.coerce_double();
+      return;
+    }
+    // MIN / MAX
+    if (!seen) {
+      best = v;
+      seen = true;
+      return;
+    }
+    int cmp = v.compare(best);
+    if ((func == "MIN" && cmp < 0) || (func == "MAX" && cmp > 0)) best = v;
+  }
+
+  Value result() const {
+    if (func == "COUNT") return Value(count);
+    if (func == "SUM") {
+      if (count == 0) return Value::null();
+      return sum_is_int ? Value(isum) : Value(sum);
+    }
+    if (func == "AVG") {
+      if (count == 0) return Value::null();
+      return Value(sum / static_cast<double>(count));
+    }
+    return seen ? best : Value::null();
+  }
+};
+
+/// Evaluates an expression in aggregate context: aggregate calls are
+/// substituted with their computed results (matched by pointer).
+Value eval_with_aggregates(
+    const sql::Expr& e, const NameScope& scope, const Row* sample_row,
+    const std::map<const sql::Expr*, Value>& agg_values) {
+  if (auto it = agg_values.find(&e); it != agg_values.end()) return it->second;
+  if (e.kind == sql::ExprKind::kColumn) {
+    // Non-aggregated column in an aggregate query: MySQL (pre-ONLY_FULL_
+    // GROUP_BY) picks a representative row value.
+    if (sample_row == nullptr) return Value::null();
+    return (*sample_row)[scope.resolve(e.table, e.column)];
+  }
+  if (e.children.empty()) return eval_expr(e, &scope, sample_row);
+  // Rebuild the node with children evaluated recursively via a shallow
+  // clone holding literal results.
+  sql::Expr shallow;
+  shallow.kind = e.kind;
+  shallow.op = e.op;
+  shallow.func_name = e.func_name;
+  shallow.negated = e.negated;
+  shallow.table = e.table;
+  shallow.column = e.column;
+  shallow.literal = e.literal;
+  for (const auto& c : e.children) {
+    Value v = eval_with_aggregates(*c, scope, sample_row, agg_values);
+    shallow.children.push_back(sql::Expr::make_literal(std::move(v), false));
+  }
+  return eval_expr(shallow, &scope, sample_row);
+}
+
+void collect_aggregates(const sql::Expr& e,
+                        std::vector<const sql::Expr*>& out) {
+  if (e.kind == sql::ExprKind::kFunc && is_aggregate_function(e.func_name)) {
+    out.push_back(&e);
+    return;  // no nested aggregates
+  }
+  for (const auto& c : e.children) collect_aggregates(*c, out);
+}
+
+std::string select_item_name(const sql::SelectItem& it) {
+  if (!it.alias.empty()) return it.alias;
+  if (it.expr->kind == sql::ExprKind::kColumn) return it.expr->column;
+  return it.expr->to_sql();
+}
+
+ResultSet execute_select(storage::Catalog& catalog, Session& session,
+                         const sql::SelectStmt& sel);
+
+/// Access-path selection: for a single-table SELECT whose WHERE is (or
+/// conjunctively contains at top level) `col = literal` with an index on
+/// `col` (or the primary key), fetch candidate slots from the index
+/// instead of scanning. The WHERE clause is still evaluated on every
+/// candidate, so this is purely an optimization, never a semantic change.
+const sql::Expr* find_indexable_equality(const sql::Expr& e,
+                                         const Table& table) {
+  if (e.kind == sql::ExprKind::kBinary && e.op == "AND") {
+    if (const sql::Expr* hit = find_indexable_equality(*e.children[0], table)) {
+      return hit;
+    }
+    return find_indexable_equality(*e.children[1], table);
+  }
+  if (e.kind != sql::ExprKind::kBinary || e.op != "=") return nullptr;
+  const sql::Expr* col = e.children[0].get();
+  const sql::Expr* lit = e.children[1].get();
+  if (col->kind != sql::ExprKind::kColumn) std::swap(col, lit);
+  if (col->kind != sql::ExprKind::kColumn ||
+      lit->kind != sql::ExprKind::kLiteral) {
+    return nullptr;
+  }
+  int idx = table.schema().column_index(col->column);
+  if (idx < 0) return nullptr;
+  bool is_pk = table.schema().primary_key_index() == idx;
+  if (is_pk || table.has_index_on(col->column)) return &e;
+  return nullptr;
+}
+
+/// Produce the cross/joined row set of FROM + JOINs with ON filtering.
+std::vector<Row> materialize_joined_rows(storage::Catalog& catalog,
+                                         const sql::SelectStmt& sel,
+                                         const NameScope& scope) {
+  std::vector<Row> rows;
+  if (sel.from.empty()) {
+    rows.emplace_back();  // one empty row for table-less SELECT
+    return rows;
+  }
+
+  // Single table, no joins: try an index path.
+  if (sel.from.size() == 1 && sel.joins.empty() && sel.where != nullptr) {
+    const Table& t = catalog.require(sel.from[0].name);
+    if (const sql::Expr* eq = find_indexable_equality(*sel.where, t)) {
+      const sql::Expr* col = eq->children[0].get();
+      const sql::Expr* lit = eq->children[1].get();
+      if (col->kind != sql::ExprKind::kColumn) std::swap(col, lit);
+      int col_idx = t.schema().column_index(col->column);
+      std::vector<size_t> slots;
+      if (t.schema().primary_key_index() == col_idx) {
+        int64_t slot = t.find_by_pk(lit->literal);
+        if (slot >= 0) slots.push_back(static_cast<size_t>(slot));
+      } else {
+        slots = t.index_lookup(col->column, lit->literal);
+      }
+      rows.reserve(slots.size());
+      for (size_t slot : slots) {
+        Row r = t.row(slot);
+        r.resize(scope.width());
+        rows.push_back(std::move(r));
+      }
+      return rows;
+    }
+  }
+  // Seed with first table.
+  std::vector<const Table*> tables;
+  for (const auto& ref : sel.from) tables.push_back(&catalog.require(ref.name));
+  for (const auto& j : sel.joins) tables.push_back(&catalog.require(j.table.name));
+
+  rows.emplace_back();  // start with a single empty prefix
+  size_t n_from = sel.from.size();
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    std::vector<Row> next;
+    const Table* t = tables[ti];
+    bool is_left_join =
+        ti >= n_from && sel.joins[ti - n_from].kind == sql::Join::Kind::kLeft;
+    const sql::Expr* on =
+        ti >= n_from ? sel.joins[ti - n_from].on.get() : nullptr;
+    for (const auto& prefix : rows) {
+      bool matched = false;
+      t->scan([&](size_t, const Row& r) {
+        Row combined = prefix;
+        combined.insert(combined.end(), r.begin(), r.end());
+        if (on != nullptr) {
+          // Pad to full width so resolve() of later tables doesn't read
+          // out of range (ON can only mention tables joined so far).
+          Row padded = combined;
+          padded.resize(scope.width());
+          Value ok = eval_expr(*on, &scope, &padded);
+          if (ok.is_null() || !ok.truthy()) return true;
+        }
+        matched = true;
+        next.push_back(std::move(combined));
+        return true;
+      });
+      if (is_left_join && !matched) {
+        Row combined = prefix;
+        combined.resize(combined.size() + t->schema().column_count());
+        next.push_back(std::move(combined));
+      }
+    }
+    rows = std::move(next);
+  }
+  for (auto& r : rows) r.resize(scope.width());
+  return rows;
+}
+
+ResultSet project_aggregate(const sql::SelectStmt& sel, const NameScope& scope,
+                            const std::vector<Row>& rows) {
+  ResultSet out;
+  for (const auto& it : sel.items) {
+    if (it.star) {
+      throw DbError(ErrorCode::kUnsupported, "SELECT * with aggregates");
+    }
+    out.columns.push_back(select_item_name(it));
+  }
+
+  // Group rows by GROUP BY key (single group when none).
+  std::map<std::string, std::vector<const Row*>> groups;
+  for (const auto& r : rows) {
+    std::string key;
+    for (const auto& g : sel.group_by) {
+      key += eval_expr(*g, &scope, &r).repr();
+      key += '\x1f';
+    }
+    groups[key].push_back(&r);
+  }
+  if (groups.empty() && sel.group_by.empty()) {
+    groups[""] = {};  // aggregates over an empty set still yield one row
+  }
+
+  std::vector<const sql::Expr*> agg_nodes;
+  for (const auto& it : sel.items) collect_aggregates(*it.expr, agg_nodes);
+  if (sel.having) collect_aggregates(*sel.having, agg_nodes);
+
+  for (const auto& [key, members] : groups) {
+    std::map<const sql::Expr*, Value> agg_values;
+    for (const sql::Expr* node : agg_nodes) {
+      Aggregator agg;
+      agg.func = node->func_name;
+      if (!(node->children.size() == 1 &&
+            node->children[0]->kind == sql::ExprKind::kColumn &&
+            node->children[0]->column == "*")) {
+        if (node->children.size() != 1) {
+          throw DbError(ErrorCode::kSyntax,
+                        agg.func + "() expects one argument");
+        }
+        agg.arg = node->children[0].get();
+      }
+      for (const Row* r : members) agg.feed(scope, *r);
+      agg_values[node] = agg.result();
+    }
+    const Row* sample = members.empty() ? nullptr : members.front();
+    if (sel.having) {
+      Value h = eval_with_aggregates(*sel.having, scope, sample, agg_values);
+      if (h.is_null() || !h.truthy()) continue;
+    }
+    Row out_row;
+    for (const auto& it : sel.items) {
+      out_row.push_back(
+          eval_with_aggregates(*it.expr, scope, sample, agg_values));
+    }
+    out.rows.push_back(std::move(out_row));
+  }
+  return out;
+}
+
+ResultSet project_plain(const sql::SelectStmt& sel, const NameScope& scope,
+                        const std::vector<Row>& rows) {
+  ResultSet out;
+  struct Projector {
+    bool star = false;
+    const sql::Expr* expr = nullptr;
+  };
+  std::vector<Projector> projectors;
+  for (const auto& it : sel.items) {
+    if (it.star) {
+      for (const auto& entry : scope.entries()) {
+        for (size_t c = 0; c < entry.schema->column_count(); ++c) {
+          out.columns.push_back(entry.schema->column(c).name);
+        }
+      }
+      projectors.push_back({true, nullptr});
+    } else {
+      out.columns.push_back(select_item_name(it));
+      projectors.push_back({false, it.expr.get()});
+    }
+  }
+  for (const auto& r : rows) {
+    Row out_row;
+    for (const auto& p : projectors) {
+      if (p.star) {
+        out_row.insert(out_row.end(), r.begin(), r.end());
+      } else {
+        out_row.push_back(eval_expr(*p.expr, &scope, &r));
+      }
+    }
+    out.rows.push_back(std::move(out_row));
+  }
+  if (sel.distinct) {
+    std::set<std::string> seen;
+    std::vector<Row> unique;
+    for (auto& r : out.rows) {
+      std::string key;
+      for (const auto& v : r) {
+        key += v.repr();
+        key += '\x1f';
+      }
+      if (seen.insert(key).second) unique.push_back(std::move(r));
+    }
+    out.rows = std::move(unique);
+  }
+  return out;
+}
+
+void order_result(const sql::SelectStmt& sel, const NameScope& scope,
+                  const std::vector<Row>& source_rows, ResultSet& out) {
+  if (sel.order_by.empty()) return;
+  // Compute sort keys. Keys may reference select aliases (by output column)
+  // or scope columns (by source row). source_rows and out.rows are aligned
+  // only for non-aggregate, non-distinct queries; otherwise sort on output
+  // columns / constants only.
+  bool aligned = source_rows.size() == out.rows.size();
+  struct Keyed {
+    Row row;
+    std::vector<Value> keys;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(out.rows.size());
+  for (size_t i = 0; i < out.rows.size(); ++i) {
+    Keyed k;
+    k.row = out.rows[i];
+    for (const auto& ob : sel.order_by) {
+      // Alias or positional output column?
+      if (ob.expr->kind == sql::ExprKind::kColumn && ob.expr->table.empty()) {
+        int out_idx = -1;
+        for (size_t c = 0; c < out.columns.size(); ++c) {
+          if (common::iequals(out.columns[c], ob.expr->column)) {
+            out_idx = static_cast<int>(c);
+            break;
+          }
+        }
+        if (out_idx >= 0) {
+          k.keys.push_back(k.row[static_cast<size_t>(out_idx)]);
+          continue;
+        }
+      }
+      if (ob.expr->kind == sql::ExprKind::kLiteral &&
+          ob.expr->literal.type() == ValueType::kInt) {
+        int64_t pos = ob.expr->literal.as_int();  // ORDER BY 2
+        if (pos >= 1 && static_cast<size_t>(pos) <= k.row.size()) {
+          k.keys.push_back(k.row[static_cast<size_t>(pos - 1)]);
+          continue;
+        }
+      }
+      if (aligned) {
+        k.keys.push_back(eval_expr(*ob.expr, &scope, &source_rows[i]));
+      } else {
+        k.keys.push_back(Value::null());
+      }
+    }
+    keyed.push_back(std::move(k));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const Keyed& a, const Keyed& b) {
+                     for (size_t i = 0; i < sel.order_by.size(); ++i) {
+                       const Value& va = a.keys[i];
+                       const Value& vb = b.keys[i];
+                       int cmp;
+                       if (va.is_null() && vb.is_null()) {
+                         cmp = 0;
+                       } else if (va.is_null()) {
+                         cmp = -1;  // NULLs first, like MySQL ASC
+                       } else if (vb.is_null()) {
+                         cmp = 1;
+                       } else {
+                         cmp = va.compare(vb);
+                       }
+                       if (sel.order_by[i].desc) cmp = -cmp;
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  out.rows.clear();
+  for (auto& k : keyed) out.rows.push_back(std::move(k.row));
+}
+
+bool contains_subquery(const sql::Expr& e) {
+  if (e.subquery) return true;
+  for (const auto& c : e.children) {
+    if (contains_subquery(*c)) return true;
+  }
+  return false;
+}
+
+/// Replace every uncorrelated IN-subquery by the literal list of its first
+/// column's values (executed once, up front — MySQL's materialization
+/// strategy for uncorrelated subqueries).
+void materialize_subqueries(sql::Expr& e, storage::Catalog& catalog,
+                            Session& session) {
+  if (e.subquery) {
+    ResultSet sub = execute_select(catalog, session, *e.subquery);
+    if (sub.columns.size() != 1) {
+      throw DbError(ErrorCode::kSyntax,
+                    "IN subquery must return exactly one column");
+    }
+    for (auto& row : sub.rows) {
+      e.children.push_back(sql::Expr::make_literal(std::move(row[0]), false));
+    }
+    e.subquery.reset();
+  }
+  for (auto& c : e.children) materialize_subqueries(*c, catalog, session);
+}
+
+ResultSet execute_select(storage::Catalog& catalog, Session& session,
+                         const sql::SelectStmt& sel) {
+  NameScope scope = build_select_scope(catalog, sel);
+  std::vector<Row> rows = materialize_joined_rows(catalog, sel, scope);
+
+  // WHERE filter (IN-subqueries materialized into a private copy first).
+  if (sel.where) {
+    const sql::Expr* where = sel.where.get();
+    sql::ExprPtr materialized;
+    if (contains_subquery(*sel.where)) {
+      materialized = sel.where->clone();
+      materialize_subqueries(*materialized, catalog, session);
+      where = materialized.get();
+    }
+    std::vector<Row> kept;
+    kept.reserve(rows.size());
+    for (auto& r : rows) {
+      Value v = eval_expr(*where, &scope, &r);
+      if (!v.is_null() && v.truthy()) kept.push_back(std::move(r));
+    }
+    rows = std::move(kept);
+  }
+
+  bool has_agg = !sel.group_by.empty();
+  for (const auto& it : sel.items) {
+    if (!it.star && contains_aggregate(*it.expr)) has_agg = true;
+  }
+  if (sel.having && !has_agg) {
+    throw DbError(ErrorCode::kSyntax, "HAVING requires aggregation");
+  }
+
+  ResultSet out = has_agg ? project_aggregate(sel, scope, rows)
+                          : project_plain(sel, scope, rows);
+  order_result(sel, scope, rows, out);
+
+  // LIMIT/OFFSET.
+  if (sel.offset) {
+    size_t off = static_cast<size_t>(std::max<int64_t>(0, *sel.offset));
+    if (off >= out.rows.size()) {
+      out.rows.clear();
+    } else {
+      out.rows.erase(out.rows.begin(),
+                     out.rows.begin() + static_cast<ptrdiff_t>(off));
+    }
+  }
+  if (sel.limit && out.rows.size() > static_cast<size_t>(*sel.limit)) {
+    out.rows.resize(static_cast<size_t>(std::max<int64_t>(0, *sel.limit)));
+  }
+
+  // UNION arms.
+  for (const auto& u : sel.unions) {
+    ResultSet arm = execute_select(catalog, session, *u.select);
+    if (arm.columns.size() != out.columns.size()) {
+      throw DbError(ErrorCode::kSyntax,
+                    "UNION arms have different column counts");
+    }
+    for (auto& r : arm.rows) out.rows.push_back(std::move(r));
+    if (!u.all) {
+      std::set<std::string> seen;
+      std::vector<Row> unique;
+      for (auto& r : out.rows) {
+        std::string key;
+        for (const auto& v : r) {
+          key += v.repr();
+          key += '\x1f';
+        }
+        if (seen.insert(key).second) unique.push_back(std::move(r));
+      }
+      out.rows = std::move(unique);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- DML / DDL
+
+ResultSet execute_insert(storage::Catalog& catalog, Session& session,
+                         const sql::InsertStmt& ins) {
+  Table& table = catalog.require(ins.table);
+  const storage::TableSchema& schema = table.schema();
+
+  // Map the written columns to schema positions.
+  std::vector<size_t> positions;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < schema.column_count(); ++i) positions.push_back(i);
+  } else {
+    for (const auto& c : ins.columns) {
+      int idx = schema.column_index(c);
+      if (idx < 0) {
+        throw DbError(ErrorCode::kUnknownColumn,
+                      "unknown column '" + c + "' in field list");
+      }
+      positions.push_back(static_cast<size_t>(idx));
+    }
+  }
+
+  ResultSet out;
+  for (const auto& row_exprs : ins.rows) {
+    if (row_exprs.size() != positions.size()) {
+      throw DbError(ErrorCode::kConstraint,
+                    "column count doesn't match value count");
+    }
+    Row row(schema.column_count(), Value::null());
+    std::vector<bool> provided(schema.column_count(), false);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = eval_expr(*row_exprs[i], nullptr, nullptr);
+      provided[positions[i]] = true;
+    }
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      if (!provided[i] && schema.column(i).default_value) {
+        row[i] = *schema.column(i).default_value;
+      }
+    }
+    try {
+      auto res = table.insert(std::move(row));
+      if (!res.pk_value.is_null() &&
+          res.pk_value.type() == ValueType::kInt) {
+        session.set_last_insert_id(res.pk_value.as_int());
+      }
+    } catch (const storage::StorageError& e) {
+      throw DbError(ErrorCode::kConstraint, e.what());
+    }
+    ++out.affected_rows;
+  }
+  out.last_insert_id = session.last_insert_id();
+  return out;
+}
+
+ResultSet execute_update(storage::Catalog& catalog, Session&,
+                         const sql::UpdateStmt& up) {
+  Table& table = catalog.require(up.table);
+  NameScope scope;
+  scope.add(up.table, &table.schema(), 0);
+
+  std::vector<std::pair<size_t, const sql::Expr*>> targets;
+  for (const auto& a : up.assignments) {
+    int idx = table.schema().column_index(a.column);
+    if (idx < 0) {
+      throw DbError(ErrorCode::kUnknownColumn,
+                    "unknown column '" + a.column + "'");
+    }
+    targets.emplace_back(static_cast<size_t>(idx), a.value.get());
+  }
+
+  std::vector<size_t> slots;
+  table.scan([&](size_t slot, const Row& row) {
+    if (up.where) {
+      Value v = eval_expr(*up.where, &scope, &row);
+      if (v.is_null() || !v.truthy()) return true;
+    }
+    slots.push_back(slot);
+    return !(up.limit && slots.size() >= static_cast<size_t>(*up.limit));
+  });
+
+  ResultSet out;
+  for (size_t slot : slots) {
+    const Row& row = table.row(slot);
+    std::vector<std::pair<size_t, Value>> changes;
+    for (const auto& [col, expr] : targets) {
+      changes.emplace_back(col, eval_expr(*expr, &scope, &row));
+    }
+    try {
+      table.update(slot, changes);
+    } catch (const storage::StorageError& e) {
+      throw DbError(ErrorCode::kConstraint, e.what());
+    }
+    ++out.affected_rows;
+  }
+  return out;
+}
+
+ResultSet execute_delete(storage::Catalog& catalog, Session&,
+                         const sql::DeleteStmt& del) {
+  Table& table = catalog.require(del.table);
+  NameScope scope;
+  scope.add(del.table, &table.schema(), 0);
+
+  std::vector<size_t> slots;
+  table.scan([&](size_t slot, const Row& row) {
+    if (del.where) {
+      Value v = eval_expr(*del.where, &scope, &row);
+      if (v.is_null() || !v.truthy()) return true;
+    }
+    slots.push_back(slot);
+    return !(del.limit && slots.size() >= static_cast<size_t>(*del.limit));
+  });
+  ResultSet out;
+  for (size_t slot : slots) {
+    table.erase(slot);
+    ++out.affected_rows;
+  }
+  return out;
+}
+
+}  // namespace
+
+void validate_statement(const storage::Catalog& catalog,
+                        const sql::Statement& stmt) {
+  switch (sql::statement_kind(stmt)) {
+    case sql::StatementKind::kSelect:
+      validate_select(catalog, *std::get<sql::SelectPtr>(stmt));
+      break;
+    case sql::StatementKind::kInsert: {
+      const auto& ins = std::get<sql::InsertStmt>(stmt);
+      const Table* t = catalog.find(ins.table);
+      if (t == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + ins.table + "' doesn't exist");
+      }
+      for (const auto& c : ins.columns) {
+        if (t->schema().column_index(c) < 0) {
+          throw DbError(ErrorCode::kUnknownColumn,
+                        "unknown column '" + c + "' in field list");
+        }
+      }
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& up = std::get<sql::UpdateStmt>(stmt);
+      const Table* t = catalog.find(up.table);
+      if (t == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + up.table + "' doesn't exist");
+      }
+      NameScope scope;
+      scope.add(up.table, &t->schema(), 0);
+      for (const auto& a : up.assignments) {
+        if (t->schema().column_index(a.column) < 0) {
+          throw DbError(ErrorCode::kUnknownColumn,
+                        "unknown column '" + a.column + "'");
+        }
+        validate_expr_names_in(*a.value, scope, catalog);
+      }
+      if (up.where) validate_expr_names_in(*up.where, scope, catalog);
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = std::get<sql::DeleteStmt>(stmt);
+      const Table* t = catalog.find(del.table);
+      if (t == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + del.table + "' doesn't exist");
+      }
+      if (del.where) {
+        NameScope scope;
+        scope.add(del.table, &t->schema(), 0);
+        validate_expr_names_in(*del.where, scope, catalog);
+      }
+      break;
+    }
+    case sql::StatementKind::kCreate:
+    case sql::StatementKind::kDrop:
+    case sql::StatementKind::kShowTables:
+      break;  // existence checked at execution (IF EXISTS semantics)
+    case sql::StatementKind::kDescribe: {
+      const auto& d = std::get<sql::DescribeStmt>(stmt);
+      if (catalog.find(d.table) == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + d.table + "' doesn't exist");
+      }
+      break;
+    }
+    case sql::StatementKind::kTruncate: {
+      const auto& t = std::get<sql::TruncateStmt>(stmt);
+      if (catalog.find(t.table) == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + t.table + "' doesn't exist");
+      }
+      break;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& ci = std::get<sql::CreateIndexStmt>(stmt);
+      const Table* t = catalog.find(ci.table);
+      if (t == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + ci.table + "' doesn't exist");
+      }
+      if (t->schema().column_index(ci.column) < 0) {
+        throw DbError(ErrorCode::kUnknownColumn,
+                      "unknown column '" + ci.column + "'");
+      }
+      break;
+    }
+    case sql::StatementKind::kDropIndex: {
+      const auto& di = std::get<sql::DropIndexStmt>(stmt);
+      if (catalog.find(di.table) == nullptr) {
+        throw DbError(ErrorCode::kUnknownTable,
+                      "table '" + di.table + "' doesn't exist");
+      }
+      break;
+    }
+    case sql::StatementKind::kTransaction:
+      break;  // no names to validate
+    case sql::StatementKind::kExplain:
+      validate_select(catalog, *std::get<sql::ExplainStmt>(stmt).select);
+      break;
+  }
+}
+
+ResultSet execute_statement(storage::Catalog& catalog, Session& session,
+                            const sql::Statement& stmt) {
+  switch (sql::statement_kind(stmt)) {
+    case sql::StatementKind::kSelect:
+      return execute_select(catalog, session, *std::get<sql::SelectPtr>(stmt));
+    case sql::StatementKind::kInsert:
+      return execute_insert(catalog, session, std::get<sql::InsertStmt>(stmt));
+    case sql::StatementKind::kUpdate:
+      return execute_update(catalog, session, std::get<sql::UpdateStmt>(stmt));
+    case sql::StatementKind::kDelete:
+      return execute_delete(catalog, session, std::get<sql::DeleteStmt>(stmt));
+    case sql::StatementKind::kCreate: {
+      const auto& ct = std::get<sql::CreateTableStmt>(stmt);
+      try {
+        catalog.create_table(storage::TableSchema::from_ast(ct),
+                             ct.if_not_exists);
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kConstraint, e.what());
+      }
+      return {};
+    }
+    case sql::StatementKind::kDrop: {
+      const auto& d = std::get<sql::DropTableStmt>(stmt);
+      try {
+        catalog.drop_table(d.table, d.if_exists);
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kUnknownTable, e.what());
+      }
+      return {};
+    }
+    case sql::StatementKind::kShowTables: {
+      ResultSet out;
+      out.columns = {"Tables"};
+      for (const auto& name : catalog.table_names()) {
+        out.rows.push_back({Value(name)});
+      }
+      return out;
+    }
+    case sql::StatementKind::kDescribe: {
+      const auto& d = std::get<sql::DescribeStmt>(stmt);
+      const Table& table = catalog.require(d.table);
+      ResultSet out;
+      out.columns = {"Field", "Type", "Null", "Key", "Default", "Extra"};
+      for (const auto& col : table.schema().columns()) {
+        Row row;
+        row.push_back(Value(col.name));
+        row.push_back(Value(std::string(storage::column_type_name(col.type))));
+        row.push_back(Value(std::string(col.not_null ? "NO" : "YES")));
+        row.push_back(Value(std::string(col.primary_key ? "PRI" : "")));
+        row.push_back(col.default_value ? *col.default_value : Value::null());
+        row.push_back(
+            Value(std::string(col.auto_increment ? "auto_increment" : "")));
+        out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& ci = std::get<sql::CreateIndexStmt>(stmt);
+      try {
+        catalog.require(ci.table).create_index(ci.index_name, ci.column);
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kConstraint, e.what());
+      }
+      return {};
+    }
+    case sql::StatementKind::kDropIndex: {
+      const auto& di = std::get<sql::DropIndexStmt>(stmt);
+      try {
+        catalog.require(di.table).drop_index(di.index_name);
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kConstraint, e.what());
+      }
+      return {};
+    }
+    case sql::StatementKind::kTruncate: {
+      const auto& t = std::get<sql::TruncateStmt>(stmt);
+      Table& table = catalog.require(t.table);
+      ResultSet out;
+      std::vector<size_t> slots;
+      table.scan([&](size_t slot, const Row&) {
+        slots.push_back(slot);
+        return true;
+      });
+      for (size_t slot : slots) table.erase(slot);
+      table.set_auto_increment(1);  // MySQL TRUNCATE resets the counter
+      out.affected_rows = static_cast<int64_t>(slots.size());
+      return out;
+    }
+    case sql::StatementKind::kTransaction:
+      // Transaction control is the Database facade's job (it owns the
+      // snapshot); reaching the executor means the facade was bypassed.
+      throw DbError(ErrorCode::kInternal,
+                    "transaction statement reached the executor");
+    case sql::StatementKind::kExplain: {
+      const auto& sel = *std::get<sql::ExplainStmt>(stmt).select;
+      ResultSet out;
+      out.columns = {"table", "access_path", "key"};
+      if (sel.from.empty()) {
+        out.rows.push_back({Value(std::string("<none>")),
+                            Value(std::string("const")), Value::null()});
+        return out;
+      }
+      for (size_t i = 0; i < sel.from.size(); ++i) {
+        std::string path = "scan";
+        sql::Value key = Value::null();
+        if (i == 0 && sel.from.size() == 1 && sel.joins.empty() &&
+            sel.where != nullptr) {
+          const Table& t = catalog.require(sel.from[0].name);
+          if (const sql::Expr* eq = find_indexable_equality(*sel.where, t)) {
+            const sql::Expr* col = eq->children[0].get();
+            if (col->kind != sql::ExprKind::kColumn) {
+              col = eq->children[1].get();
+            }
+            int col_idx = t.schema().column_index(col->column);
+            path = t.schema().primary_key_index() == col_idx
+                       ? "const (primary key)"
+                       : "ref (secondary index)";
+            key = Value(col->column);
+          }
+        }
+        out.rows.push_back({Value(sel.from[i].name), Value(path), key});
+      }
+      for (const auto& j : sel.joins) {
+        out.rows.push_back({Value(j.table.name),
+                            Value(std::string("scan (join)")),
+                            Value::null()});
+      }
+      return out;
+    }
+  }
+  throw DbError(ErrorCode::kInternal, "unreachable statement kind");
+}
+
+}  // namespace septic::engine

@@ -1,0 +1,25 @@
+// Statement execution against a Catalog. The executor implements
+// SELECT (joins, aggregates, GROUP BY/HAVING, ORDER BY, LIMIT, UNION),
+// INSERT (multi-row, column lists, defaults, auto-increment), UPDATE,
+// DELETE, CREATE TABLE and DROP TABLE.
+#pragma once
+
+#include "engine/result.h"
+#include "engine/session.h"
+#include "sqlcore/ast.h"
+#include "storage/catalog.h"
+
+namespace septic::engine {
+
+/// Execute a validated statement. Throws DbError on failure. `session`
+/// receives last_insert_id updates.
+ResultSet execute_statement(storage::Catalog& catalog, Session& session,
+                            const sql::Statement& stmt);
+
+/// Name-resolution validation only (no execution): checks that referenced
+/// tables and columns exist. Throws DbError. This is the "validated by the
+/// DBMS" step that precedes the SEPTIC hook.
+void validate_statement(const storage::Catalog& catalog,
+                        const sql::Statement& stmt);
+
+}  // namespace septic::engine

@@ -1,0 +1,41 @@
+// The pre-execution hook. The server calls the interceptor *after* the
+// statement has been received, parsed, and validated, and *right before*
+// execution — the exact point where the paper inserts SEPTIC ("SEPTIC runs
+// right before the execution step, after all potential modifications have
+// been applied to the queries").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::engine {
+
+/// Everything SEPTIC (or any other in-DBMS guard) can see about a query.
+struct QueryEvent {
+  const sql::ParsedQuery& query;   // post charset-conversion text + AST
+  const sql::ItemStack& stack;     // MySQL-style item stack
+  uint64_t session_id = 0;
+  std::string user;
+};
+
+struct InterceptDecision {
+  /// When false, the server drops the query and reports ErrorCode::kBlocked.
+  bool allow = true;
+  std::string reason;
+
+  static InterceptDecision proceed() { return {true, {}}; }
+  static InterceptDecision reject(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+class QueryInterceptor {
+ public:
+  virtual ~QueryInterceptor() = default;
+  virtual InterceptDecision on_query(const QueryEvent& event) = 0;
+};
+
+}  // namespace septic::engine

@@ -1,0 +1,39 @@
+// Result of executing one statement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace septic::engine {
+
+struct ResultSet {
+  std::vector<std::string> columns;       // empty for DML/DDL
+  std::vector<storage::Row> rows;
+  int64_t affected_rows = 0;              // for INSERT/UPDATE/DELETE
+  int64_t last_insert_id = 0;             // after auto-increment INSERT
+
+  bool has_rows() const { return !columns.empty(); }
+
+  /// Tab-separated rendering with a header line, for examples and logs.
+  std::string to_text() const {
+    std::string out;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) out += '\t';
+      out += columns[i];
+    }
+    if (!columns.empty()) out += '\n';
+    for (const auto& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) out += '\t';
+        out += row[i].to_display();
+      }
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+}  // namespace septic::engine

@@ -1,0 +1,33 @@
+// Per-connection session state. Sessions are cheap value objects; the
+// Database facade is shared and internally synchronized.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace septic::engine {
+
+class Session {
+ public:
+  Session() : id_(next_id().fetch_add(1, std::memory_order_relaxed)) {}
+  explicit Session(std::string user) : Session() { user_ = std::move(user); }
+
+  uint64_t id() const { return id_; }
+  const std::string& user() const { return user_; }
+
+  int64_t last_insert_id() const { return last_insert_id_; }
+  void set_last_insert_id(int64_t v) { last_insert_id_ = v; }
+
+ private:
+  static std::atomic<uint64_t>& next_id() {
+    static std::atomic<uint64_t> counter{1};
+    return counter;
+  }
+
+  uint64_t id_;
+  std::string user_ = "app";
+  int64_t last_insert_id_ = 0;
+};
+
+}  // namespace septic::engine

@@ -1,0 +1,98 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace septic::net {
+
+Client::Client(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect() failed");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    quit();
+    ::close(fd_);
+  }
+}
+
+Frame Client::roundtrip(const Frame& frame) {
+  std::string bytes = encode_frame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+    if (w <= 0) throw std::runtime_error("send() failed");
+    sent += static_cast<size_t>(w);
+  }
+  char buf[4096];
+  for (;;) {
+    if (auto reply = decoder_.next()) return *reply;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) throw std::runtime_error("connection closed by server");
+    decoder_.feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+std::string Client::query(std::string_view sql) {
+  Frame request;
+  request.op = Opcode::kQuery;
+  request.payload = std::string(sql);
+  Frame reply = roundtrip(request);
+  if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
+  return reply.payload;
+}
+
+uint64_t Client::prepare(std::string_view template_sql) {
+  Frame request;
+  request.op = Opcode::kPrepare;
+  request.payload = std::string(template_sql);
+  Frame reply = roundtrip(request);
+  if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
+  // Reply payload: "stmt=<id>".
+  size_t eq = reply.payload.find('=');
+  if (eq == std::string::npos) {
+    throw std::runtime_error("malformed PREPARE reply");
+  }
+  return std::strtoull(reply.payload.c_str() + eq + 1, nullptr, 10);
+}
+
+std::string Client::execute(uint64_t stmt_id,
+                            const std::vector<sql::Value>& params) {
+  Frame request;
+  request.op = Opcode::kExec;
+  request.payload = std::to_string(stmt_id);
+  request.payload += '\x1f';
+  for (const auto& p : params) {
+    std::string repr = p.repr();
+    request.payload += std::to_string(repr.size());
+    request.payload += ':';
+    request.payload += repr;
+  }
+  Frame reply = roundtrip(request);
+  if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
+  return reply.payload;
+}
+
+void Client::quit() {
+  if (fd_ < 0) return;
+  Frame f;
+  f.op = Opcode::kQuit;
+  std::string bytes = encode_frame(f);
+  (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+}  // namespace septic::net

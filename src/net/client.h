@@ -1,0 +1,57 @@
+// Client connector. Any number of these — from any thread or process —
+// can talk to one Server; no configuration is needed to benefit from the
+// SEPTIC instance inside the server (the paper's "no client configuration"
+// and "client diversity" features).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "sqlcore/value.h"
+
+namespace septic::net {
+
+/// Raised when the server answers with an ERROR frame. The message starts
+/// with the engine error code name ("BLOCKED: ..." for SEPTIC drops).
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(std::string msg) : std::runtime_error(std::move(msg)) {}
+
+  bool blocked() const {
+    return std::string_view(what()).rfind("BLOCKED", 0) == 0;
+  }
+};
+
+class Client {
+ public:
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  explicit Client(uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Run one query; returns the reply payload (row text or OK summary).
+  /// Throws RemoteError for server-side errors.
+  std::string query(std::string_view sql);
+
+  /// Prepare a template with '?' placeholders; returns the statement id.
+  uint64_t prepare(std::string_view template_sql);
+
+  /// Execute a prepared statement with positionally bound parameters.
+  std::string execute(uint64_t stmt_id, const std::vector<sql::Value>& params);
+
+  void quit();
+
+ private:
+  Frame roundtrip(const Frame& frame);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace septic::net

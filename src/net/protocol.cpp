@@ -1,0 +1,44 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace septic::net {
+
+std::string encode_frame(const Frame& frame) {
+  uint32_t len = static_cast<uint32_t>(frame.payload.size() + 1);
+  std::string out;
+  out.reserve(4 + len);
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((len >> (i * 8)) & 0xff);
+  }
+  out += static_cast<char>(frame.op);
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[i]))
+           << (i * 8);
+  }
+  if (len == 0 || len > kMaxFrameSize) {
+    throw std::runtime_error("malformed frame: bad length");
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
+  uint8_t op = static_cast<uint8_t>(buffer_[4]);
+  if (op < 1 || op > 7) throw std::runtime_error("malformed frame: bad opcode");
+  Frame frame;
+  frame.op = static_cast<Opcode>(op);
+  frame.payload = buffer_.substr(5, len - 1);
+  buffer_.erase(0, 4 + len);
+  return frame;
+}
+
+}  // namespace septic::net

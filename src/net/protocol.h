@@ -1,0 +1,62 @@
+// Wire protocol between DBMS clients and the server: length-prefixed frames
+// carrying a one-byte opcode. Deliberately simple (this is not the MySQL
+// protocol), but real enough to demonstrate the paper's "client diversity"
+// and "no client configuration" features: any number of clients of any kind
+// connect and are protected by SEPTIC inside the server, with zero
+// client-side changes.
+//
+// Frame layout: [u32 length (LE)] [u8 opcode] [payload...]
+//
+//   QUERY    c->s  payload = SQL text
+//   ROWS     s->c  payload = result table (text serialization)
+//   OK       s->c  payload = "affected=<n> last_insert_id=<n>"
+//   ERROR    s->c  payload = "<code-name>: <message>"
+//   QUIT     c->s  close the session
+//   PREPARE  c->s  payload = template SQL with '?' placeholders;
+//                  reply OK carries "stmt=<id>"
+//   EXEC     c->s  payload = "<id>" + (0x1F + Value::repr())* — execute a
+//                  prepared statement with positionally bound parameters
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace septic::net {
+
+enum class Opcode : uint8_t {
+  kQuery = 1,
+  kRows = 2,
+  kOk = 3,
+  kError = 4,
+  kQuit = 5,
+  kPrepare = 6,
+  kExec = 7,
+};
+
+struct Frame {
+  Opcode op = Opcode::kQuery;
+  std::string payload;
+};
+
+/// Serialize a frame to wire bytes.
+std::string encode_frame(const Frame& frame);
+
+/// Incremental decoder: feed bytes, pull complete frames.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+
+  /// Pop the next complete frame, if any. Throws std::runtime_error on a
+  /// malformed frame (bad opcode, oversized length).
+  std::optional<Frame> next();
+
+  /// Frames larger than this are rejected (sanity bound).
+  static constexpr uint32_t kMaxFrameSize = 16 * 1024 * 1024;
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace septic::net

@@ -1,0 +1,193 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <unordered_map>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "engine/error.h"
+#include "net/protocol.h"
+
+namespace septic::net {
+
+Server::Server(engine::Database& db, uint16_t port) : db_(db) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("listen() failed");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    // Wake workers blocked in recv() on still-open client connections.
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(workers_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;
+      continue;
+    }
+    ++connections_;
+    std::lock_guard lock(workers_mu_);
+    open_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  engine::Session session("net-client");
+  FrameDecoder decoder;
+  // Per-connection prepared statements, like MySQL's.
+  std::unordered_map<uint64_t, std::string> prepared;
+  uint64_t next_stmt_id = 1;
+  char buf[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    decoder.feed(std::string_view(buf, static_cast<size_t>(n)));
+    try {
+      while (auto frame = decoder.next()) {
+        if (frame->op == Opcode::kQuit) {
+          open = false;
+          break;
+        }
+        if (frame->op != Opcode::kQuery && frame->op != Opcode::kPrepare &&
+            frame->op != Opcode::kExec) {
+          continue;
+        }
+        Frame reply;
+        try {
+          engine::ResultSet rs;
+          bool has_result = true;
+          if (frame->op == Opcode::kPrepare) {
+            uint64_t id = next_stmt_id++;
+            prepared[id] = frame->payload;
+            reply.op = Opcode::kOk;
+            reply.payload = "stmt=" + std::to_string(id);
+            has_result = false;
+          } else if (frame->op == Opcode::kExec) {
+            // payload: "<id>" + (0x1F + repr)*
+            std::string_view body = frame->payload;
+            size_t sep = body.find('\x1f');
+            std::string_view id_s =
+                sep == std::string_view::npos ? body : body.substr(0, sep);
+            uint64_t id = std::strtoull(std::string(id_s).c_str(), nullptr, 10);
+            auto it = prepared.find(id);
+            if (it == prepared.end()) {
+              throw engine::DbError(engine::ErrorCode::kSyntax,
+                                    "unknown prepared statement id");
+            }
+            // Parameters are length-prefixed ("<len>:<repr-bytes>") so
+            // arbitrary bytes inside string values cannot break framing.
+            std::vector<sql::Value> params;
+            size_t pos = sep == std::string_view::npos ? body.size() : sep + 1;
+            while (pos < body.size()) {
+              size_t colon = body.find(':', pos);
+              if (colon == std::string_view::npos) {
+                throw engine::DbError(engine::ErrorCode::kSyntax,
+                                      "malformed parameter framing");
+              }
+              size_t len = std::strtoull(
+                  std::string(body.substr(pos, colon - pos)).c_str(), nullptr,
+                  10);
+              if (colon + 1 + len > body.size()) {
+                throw engine::DbError(engine::ErrorCode::kSyntax,
+                                      "truncated parameter");
+              }
+              sql::Value v;
+              if (!sql::Value::from_repr(body.substr(colon + 1, len), v)) {
+                throw engine::DbError(engine::ErrorCode::kSyntax,
+                                      "malformed parameter encoding");
+              }
+              params.push_back(std::move(v));
+              pos = colon + 1 + len;
+            }
+            rs = db_.execute_prepared(session, it->second, params);
+          } else {
+            rs = db_.execute(session, frame->payload);
+          }
+          if (has_result) {
+            if (rs.has_rows()) {
+              reply.op = Opcode::kRows;
+              reply.payload = rs.to_text();
+            } else {
+              reply.op = Opcode::kOk;
+              reply.payload = "affected=" + std::to_string(rs.affected_rows) +
+                              " last_insert_id=" +
+                              std::to_string(rs.last_insert_id);
+            }
+          }
+        } catch (const engine::DbError& e) {
+          reply.op = Opcode::kError;
+          reply.payload =
+              std::string(engine::error_code_name(e.code())) + ": " + e.what();
+        }
+        std::string bytes = encode_frame(reply);
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+          ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+          if (w <= 0) {
+            open = false;
+            break;
+          }
+          sent += static_cast<size_t>(w);
+        }
+      }
+    } catch (const std::exception& e) {
+      common::log_warn(std::string("net: dropping connection: ") + e.what());
+      break;
+    }
+  }
+  // A connection that dies mid-transaction must not leave the engine
+  // locked against every other session.
+  db_.rollback_if_owner(session.id());
+  ::close(fd);
+  std::lock_guard lock(workers_mu_);
+  std::erase(open_fds_, fd);
+}
+
+}  // namespace septic::net

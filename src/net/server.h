@@ -1,0 +1,47 @@
+// TCP server exposing a Database (and whatever interceptor — SEPTIC — is
+// installed in it) to remote clients. Thread-per-connection; sessions are
+// per-connection, like MySQL's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace septic::net {
+
+class Server {
+ public:
+  /// Bind to 127.0.0.1:port (port 0 = ephemeral; see port()).
+  Server(engine::Database& db, uint16_t port);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start the accept loop in a background thread.
+  void start();
+  /// Stop accepting, close the listener, join all connection threads.
+  void stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t connections_served() const { return connections_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  engine::Database& db_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<int> open_fds_;  // live connection sockets (for stop())
+  std::mutex workers_mu_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+};
+
+}  // namespace septic::net

@@ -1,0 +1,51 @@
+// SEPTIC operation modes and detection toggles (paper Section II-E,
+// Table I).
+#pragma once
+
+#include <string>
+
+namespace septic::core {
+
+/// Training: build and store query models, never detect, always execute.
+/// Prevention: detect, log, and DROP attacking queries.
+/// Detection: detect and log attacks but let the queries execute.
+enum class Mode { kTraining, kPrevention, kDetection };
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kTraining: return "TRAINING";
+    case Mode::kPrevention: return "PREVENTION";
+    case Mode::kDetection: return "DETECTION";
+  }
+  return "?";
+}
+
+struct Config {
+  Mode mode = Mode::kTraining;
+
+  /// The Fig. 5 evaluation toggles: SQLI detection (YN/YY) and stored-
+  /// injection detection (NY/YY). Both off = NN (SEPTIC infrastructure
+  /// still runs: QS construction, ID generation, model lookup).
+  bool detect_sqli = true;
+  bool detect_stored = true;
+
+  /// In normal mode, unknown query IDs trigger incremental learning: the
+  /// model is created, stored and logged for later admin review (paper
+  /// Section II-E). When false, unknown queries are treated as attacks in
+  /// prevention mode (strict deployments).
+  bool incremental_learning = true;
+
+  /// Require exact data-type equality between QS and QM data nodes
+  /// (INT_ITEM vs DECIMAL_ITEM becomes a mismatch). Stricter than the
+  /// default numeric-compatible comparison; `bench/ablation_strictness`
+  /// measures what it costs in false positives on benign numeric inputs.
+  bool strict_numeric_types = false;
+
+  /// Record a QUERY_PROCESSED event for every benign query. The paper's
+  /// logger registers only attacks and new models; per-query events are an
+  /// observability extra that the demos/tests enjoy and the performance
+  /// benches turn off.
+  bool log_processed_queries = true;
+};
+
+}  // namespace septic::core

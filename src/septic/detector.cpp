@@ -1,0 +1,99 @@
+#include "septic/detector.h"
+
+namespace septic::core {
+
+SqliVerdict compare_qs_qm(const sql::ItemStack& qs, const QueryModel& qm,
+                          bool strict_numeric_types) {
+  // Step 1: structural verification — node counts must be equal.
+  if (qs.nodes.size() != qm.nodes.size()) {
+    SqliVerdict v;
+    v.attack = true;
+    v.step = SqliStep::kStructural;
+    v.detail = "node count mismatch: QS has " +
+               std::to_string(qs.nodes.size()) + " nodes, QM has " +
+               std::to_string(qm.nodes.size());
+    return v;
+  }
+  // Step 2: syntactic verification — element-by-element comparison.
+  // INT_ITEM and DECIMAL_ITEM are treated as one numeric data category:
+  // the same form field legitimately yields "500" one day and "99.5" the
+  // next, and neither can smuggle structure. The distinction that matters
+  // for detection is numeric-vs-STRING (a quoted payload always surfaces
+  // as STRING_ITEM) and data-vs-element.
+  auto numeric_data = [](sql::ItemType t) {
+    return t == sql::ItemType::kIntItem || t == sql::ItemType::kDecimalItem;
+  };
+  for (size_t i = 0; i < qs.nodes.size(); ++i) {
+    const sql::ItemNode& a = qs.nodes[i];
+    const sql::ItemNode& b = qm.nodes[i];
+    bool match;
+    if (a.type == b.type) {
+      match = sql::is_data_item(a.type) ? true : a.data == b.data;
+    } else if (!strict_numeric_types && numeric_data(a.type) &&
+               numeric_data(b.type)) {
+      match = true;
+    } else {
+      match = false;
+    }
+    if (!match) {
+      SqliVerdict v;
+      v.attack = true;
+      v.step = SqliStep::kSyntactic;
+      v.detail = "node " + std::to_string(i) + ": QS <" +
+                 sql::item_type_name(a.type) + "," + a.data + "> vs QM <" +
+                 sql::item_type_name(b.type) + "," + b.data + ">";
+      return v;
+    }
+  }
+  return {};
+}
+
+SqliVerdict detect_sqli(const sql::ItemStack& qs,
+                        const std::vector<QueryModel>& models,
+                        bool strict_numeric_types) {
+  SqliVerdict closest;
+  bool have_syntactic = false;
+  for (const auto& qm : models) {
+    SqliVerdict v = compare_qs_qm(qs, qm, strict_numeric_types);
+    if (!v.attack) return {};  // one match is enough: benign
+    if (v.step == SqliStep::kSyntactic && !have_syntactic) {
+      closest = v;
+      have_syntactic = true;
+    } else if (!have_syntactic && closest.step == SqliStep::kNone) {
+      closest = v;
+    }
+  }
+  if (models.empty()) return {};  // no model: not this detector's call
+  return closest;
+}
+
+StoredVerdict detect_stored_injection(
+    const sql::Statement& stmt,
+    const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins) {
+  sql::StatementKind kind = sql::statement_kind(stmt);
+  if (kind != sql::StatementKind::kInsert &&
+      kind != sql::StatementKind::kUpdate) {
+    return {};
+  }
+  std::vector<sql::Value> values = sql::extract_data_values(stmt);
+  for (const auto& value : values) {
+    if (value.type() != sql::ValueType::kString) continue;
+    const std::string& s = value.as_string();
+    for (const auto& plugin : plugins) {
+      // Step 1: lightweight character filter.
+      if (!plugin->quick_check(s)) continue;
+      // Step 2: precise validation.
+      if (auto finding = plugin->deep_check(s)) {
+        StoredVerdict v;
+        v.attack = true;
+        v.plugin = plugin->name();
+        v.detail = *finding;
+        v.offending_value = s;
+        return v;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace septic::core

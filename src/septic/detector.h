@@ -1,0 +1,72 @@
+// The attack detector module, paper Section II-C3.
+//
+// SQLI detection compares the query structure (QS) with the learned query
+// model(s) in two steps:
+//   step 1 (structural): equal number of nodes;
+//   step 2 (syntactic):  node-by-node element equality — types must match,
+//                        element nodes must also match on their data
+//                        (field/function/table names), data nodes match on
+//                        DATA_TYPE only (their DATA is ⊥ in the model).
+// A query is an attack if it matches no stored model for its ID.
+//
+// Stored-injection detection (INSERT/UPDATE only) runs the plugin battery
+// over user-supplied string values: a lightweight character filter first,
+// then the plugin's precise validation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "septic/plugins/plugin.h"
+#include "septic/query_model.h"
+#include "sqlcore/item.h"
+
+namespace septic::core {
+
+enum class SqliStep {
+  kNone = 0,
+  kStructural = 1,  // node-count mismatch (paper: "structural" attacks)
+  kSyntactic = 2,   // node mismatch at equal count ("syntax mimicry")
+};
+
+struct SqliVerdict {
+  bool attack = false;
+  SqliStep step = SqliStep::kNone;
+  /// Human-readable mismatch description, e.g.
+  /// "node 4: QS <INT_ITEM,1> vs QM <FIELD_ITEM,creditCard>".
+  std::string detail;
+};
+
+/// Compare one QS against one QM. Pure function.
+///
+/// `strict_numeric_types`: when false (default), INT_ITEM and DECIMAL_ITEM
+/// data nodes are one numeric category — a form field legitimately yields
+/// "500" one day and "99.5" the next, and neither can smuggle structure.
+/// When true, the exact data type must match (the original paper's
+/// stricter reading); the ablation bench quantifies the false-positive
+/// cost of that choice.
+SqliVerdict compare_qs_qm(const sql::ItemStack& qs, const QueryModel& qm,
+                          bool strict_numeric_types = false);
+
+/// Compare against a model set: benign if ANY model matches. When all fail,
+/// the verdict reports the step of the *closest* model (one with equal node
+/// count if any — syntactic; otherwise structural).
+SqliVerdict detect_sqli(const sql::ItemStack& qs,
+                        const std::vector<QueryModel>& models,
+                        bool strict_numeric_types = false);
+
+struct StoredVerdict {
+  bool attack = false;
+  std::string plugin;  // which plugin fired (XSS, RFI/LFI, OSCI, RCE)
+  std::string detail;
+  std::string offending_value;
+};
+
+/// Run the plugin battery over the data values of an INSERT/UPDATE.
+StoredVerdict detect_stored_injection(
+    const sql::Statement& stmt,
+    const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins);
+
+}  // namespace septic::core

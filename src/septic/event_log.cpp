@@ -1,0 +1,92 @@
+#include "septic/event_log.h"
+
+#include "common/string_util.h"
+
+namespace septic::core {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kModeChanged: return "MODE_CHANGED";
+    case EventKind::kModelCreated: return "MODEL_CREATED";
+    case EventKind::kModelLoaded: return "MODEL_LOADED";
+    case EventKind::kQueryProcessed: return "QUERY_PROCESSED";
+    case EventKind::kSqliDetected: return "SQLI_DETECTED";
+    case EventKind::kStoredDetected: return "STORED_DETECTED";
+    case EventKind::kQueryDropped: return "QUERY_DROPPED";
+    case EventKind::kModelApproved: return "MODEL_APPROVED";
+    case EventKind::kModelRejected: return "MODEL_REJECTED";
+  }
+  return "?";
+}
+
+void EventLog::record(Event e) {
+  std::lock_guard lock(mu_);
+  e.seq = next_seq_++;
+  if (sink_) sink_(e);
+  if (file_.is_open()) file_ << format(e) << '\n' << std::flush;
+  events_.push_back(std::move(e));
+}
+
+void EventLog::tee_to_file(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (file_.is_open()) file_.close();
+  if (path.empty()) return;
+  file_.open(path, std::ios::app);
+  if (!file_) {
+    throw std::runtime_error("cannot open event log file: " + path);
+  }
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::vector<Event> EventLog::events_of(EventKind kind) const {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+size_t EventLog::count_of(EventKind kind) const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+void EventLog::set_sink(std::function<void(const Event&)> sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::string EventLog::format(const Event& e) {
+  std::string out = "[" + std::to_string(e.seq) + "] ";
+  out += event_kind_name(e.kind);
+  if (!e.attack_type.empty()) out += " type=" + e.attack_type;
+  if (e.detection_step != 0) {
+    out += " step=" + std::to_string(e.detection_step);
+    out += e.detection_step == 1 ? "(structural)" : "(syntactic)";
+  }
+  if (!e.query_id.empty()) out += " id=" + e.query_id;
+  if (!e.query.empty()) out += " query=\"" + common::escape_for_log(e.query) + "\"";
+  if (!e.detail.empty()) out += " detail=\"" + e.detail + "\"";
+  return out;
+}
+
+}  // namespace septic::core

@@ -1,0 +1,75 @@
+// The logger module (paper Section II-C4): SEPTIC's register of events —
+// new query models, query processing, attacks detected — backing the demo's
+// "SEPTIC events" display. Structured and queryable (the detection benches
+// and tests filter it), with optional append-to-file.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace septic::core {
+
+enum class EventKind {
+  kModeChanged,
+  kModelCreated,      // new QM learned (training or incremental)
+  kModelLoaded,       // models restored from the persistent store
+  kQueryProcessed,    // a known query passed all checks
+  kSqliDetected,
+  kStoredDetected,
+  kQueryDropped,      // prevention mode stopped the query
+  kModelApproved,     // admin approved an incrementally learned model
+  kModelRejected,     // admin rejected one; it is removed from the store
+};
+
+const char* event_kind_name(EventKind k);
+
+struct Event {
+  uint64_t seq = 0;
+  EventKind kind = EventKind::kQueryProcessed;
+  std::string query;       // query text as received by the DBMS
+  std::string query_id;    // composed identifier
+  std::string model;       // serialized or pretty QM where relevant
+  int detection_step = 0;  // 1 = structural, 2 = syntactic (SQLI only)
+  std::string attack_type; // "SQLI", "XSS", "RFI", "LFI", "OSCI", "RCE"
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  void record(Event e);
+
+  /// Snapshot of all events (copy; the log keeps growing).
+  std::vector<Event> events() const;
+
+  /// Events of one kind.
+  std::vector<Event> events_of(EventKind kind) const;
+  size_t count_of(EventKind kind) const;
+  size_t size() const;
+  void clear();
+
+  /// Optional live sink (e.g. the demo's events display). Called with the
+  /// lock held; keep callbacks fast.
+  void set_sink(std::function<void(const Event&)> sink);
+
+  /// Append every event (formatted, one line each) to a file as well —
+  /// the persistent "register of events" of the demo setup. Throws
+  /// std::runtime_error when the file cannot be opened; pass an empty path
+  /// to stop file logging.
+  void tee_to_file(const std::string& path);
+
+  /// Render one event as a log line.
+  static std::string format(const Event& e);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::function<void(const Event&)> sink_;
+  std::ofstream file_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace septic::core

@@ -1,0 +1,119 @@
+#include "septic/id_generator.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace septic::core {
+
+std::optional<std::string> IdGenerator::external_id(
+    const sql::ParsedQuery& query) {
+  // First match wins: the SSLE prepends the identifier comment, so the
+  // first one is the legitimate one — later comments could have been
+  // injected through user input and must not override it.
+  for (const auto& c : query.comments) {
+    if (c.kind != sql::Comment::Kind::kBlock) continue;
+    std::string_view body = common::trim(c.body);
+    if (body.rfind(kExternalIdPrefix, 0) == 0) {
+      return std::string(
+          body.substr(std::string_view(kExternalIdPrefix).size()));
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void mix(uint64_t& h, std::string_view s) {
+  h = common::fnv1a(s, h);
+  h = common::hash_combine(h, s.size());
+}
+
+}  // namespace
+
+std::string IdGenerator::internal_id(const sql::Statement& stmt) {
+  uint64_t h = common::kFnvInit;
+  sql::StatementKind kind = sql::statement_kind(stmt);
+  mix(h, sql::statement_kind_name(kind));
+
+  switch (kind) {
+    case sql::StatementKind::kSelect: {
+      const auto& sel = *std::get<sql::SelectPtr>(stmt);
+      // Primary FROM tables only — UNION arms are attacker-addable.
+      for (const auto& t : sel.from) mix(h, common::to_lower(t.name));
+      for (const auto& j : sel.joins) mix(h, common::to_lower(j.table.name));
+      for (const auto& it : sel.items) {
+        if (it.star) {
+          mix(h, "*");
+        } else if (it.expr->kind == sql::ExprKind::kColumn) {
+          mix(h, common::to_lower(it.expr->column));
+        } else {
+          mix(h, "<expr>");
+        }
+      }
+      break;
+    }
+    case sql::StatementKind::kInsert: {
+      const auto& ins = std::get<sql::InsertStmt>(stmt);
+      mix(h, common::to_lower(ins.table));
+      for (const auto& c : ins.columns) mix(h, common::to_lower(c));
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& up = std::get<sql::UpdateStmt>(stmt);
+      mix(h, common::to_lower(up.table));
+      for (const auto& a : up.assignments) mix(h, common::to_lower(a.column));
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = std::get<sql::DeleteStmt>(stmt);
+      mix(h, common::to_lower(del.table));
+      break;
+    }
+    case sql::StatementKind::kCreate: {
+      const auto& ct = std::get<sql::CreateTableStmt>(stmt);
+      mix(h, common::to_lower(ct.table));
+      break;
+    }
+    case sql::StatementKind::kDrop: {
+      const auto& d = std::get<sql::DropTableStmt>(stmt);
+      mix(h, common::to_lower(d.table));
+      break;
+    }
+    case sql::StatementKind::kShowTables:
+      break;  // the kind alone identifies it
+    case sql::StatementKind::kDescribe:
+      mix(h, common::to_lower(std::get<sql::DescribeStmt>(stmt).table));
+      break;
+    case sql::StatementKind::kTruncate:
+      mix(h, common::to_lower(std::get<sql::TruncateStmt>(stmt).table));
+      break;
+    case sql::StatementKind::kCreateIndex: {
+      const auto& ci = std::get<sql::CreateIndexStmt>(stmt);
+      mix(h, common::to_lower(ci.table));
+      mix(h, common::to_lower(ci.column));
+      break;
+    }
+    case sql::StatementKind::kDropIndex:
+      mix(h, common::to_lower(std::get<sql::DropIndexStmt>(stmt).table));
+      break;
+    case sql::StatementKind::kTransaction:
+      mix(h, std::get<sql::TransactionStmt>(stmt).to_sql());
+      break;
+    case sql::StatementKind::kExplain: {
+      mix(h, "EXPLAIN");
+      const auto& sel = *std::get<sql::ExplainStmt>(stmt).select;
+      for (const auto& t : sel.from) mix(h, common::to_lower(t.name));
+      break;
+    }
+  }
+  return common::to_hex(h);
+}
+
+QueryId IdGenerator::generate(const sql::ParsedQuery& query) {
+  QueryId id;
+  if (auto ext = external_id(query)) id.external = *ext;
+  id.internal = internal_id(query.statement);
+  return id;
+}
+
+}  // namespace septic::core

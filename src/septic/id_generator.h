@@ -1,0 +1,56 @@
+// Query identifier generation, paper Section II-C2.
+//
+// The ID composes two identifier types:
+//  - an *external* identifier, optionally supplied by the application or
+//    server-side language engine inside a block comment appended to the
+//    query:   SELECT ... /* ID:checkout.php:42 */
+//  - an *internal* identifier created by SEPTIC itself.
+//
+// The internal identifier must be attack-invariant: it is derived from the
+// parts of the model an injection cannot change without changing which
+// application query this is — the statement kind, the primary table, and
+// the target fields (select list / insert columns / update columns). The
+// WHERE clause and UNION arms are deliberately excluded so that a
+// structural attack still maps to the learned model and is *compared*
+// against it (and flagged), rather than landing on a fresh ID and being
+// mistaken for a new query. Distinct queries that collide on an internal
+// ID are handled by the QM store keeping a set of models per ID.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+
+/// Marker prefix our SSLE shim uses inside block comments.
+inline constexpr const char* kExternalIdPrefix = "ID:";
+
+struct QueryId {
+  std::string external;  // empty when the application supplied none
+  std::string internal;
+
+  /// The composed identifier used as the QM-store key.
+  std::string composed() const {
+    return external.empty() ? internal : external + "#" + internal;
+  }
+  bool operator==(const QueryId&) const = default;
+};
+
+class IdGenerator {
+ public:
+  /// Extract the external identifier, if any, from the query's comments
+  /// (first block comment whose trimmed body starts with kExternalIdPrefix;
+  /// the SSLE prepends it, so later — possibly injected — comments lose).
+  static std::optional<std::string> external_id(const sql::ParsedQuery& query);
+
+  /// Compute the internal identifier from the statement.
+  static std::string internal_id(const sql::Statement& stmt);
+
+  /// Full ID for a parsed query.
+  static QueryId generate(const sql::ParsedQuery& query);
+};
+
+}  // namespace septic::core

@@ -1,0 +1,135 @@
+// Remote / local file inclusion plugin (RFI and LFI). Quick filter on path
+// and URL markers; precise validation distinguishes:
+//  - RFI: a URL with a remote or code-execution scheme (http, https, ftp,
+//    data, expect) or a PHP stream wrapper that fetches/executes
+//    (php://input, php://filter, zip://, phar://);
+//  - LFI: path traversal escaping the document root ("../" chains, also in
+//    percent-encoded or null-byte-truncated form) or direct absolute paths
+//    to sensitive files.
+#include <array>
+
+#include "common/string_util.h"
+#include "common/unicode.h"
+#include "septic/plugins/plugin.h"
+
+namespace septic::core {
+
+namespace {
+
+using common::icontains;
+
+constexpr std::array<std::string_view, 8> kSensitivePaths = {
+    "/etc/passwd", "/etc/shadow",  "/proc/self",      "/etc/hosts",
+    "c:\\windows", "c:/windows",   "/var/log/",       "boot.ini",
+};
+
+class FileIncPlugin final : public StoredInjectionPlugin {
+ public:
+  std::string_view name() const override { return "RFI/LFI"; }
+
+  bool quick_check(std::string_view input) const override {
+    return icontains(input, "://") || icontains(input, "../") ||
+           icontains(input, "..\\") || icontains(input, "%2e%2e") ||
+           icontains(input, "%252e") ||  // double-encoded traversal
+           icontains(input, "/etc/") || icontains(input, "php://") ||
+           icontains(input, "%00") || icontains(input, "c:\\") ||
+           icontains(input, "boot.ini");
+  }
+
+  std::optional<std::string> deep_check(std::string_view input) const override {
+    // Decode percent-encoding until it stabilizes (max 3 layers): WAFs
+    // decode once, PHP applications often decode again — double encoding
+    // is the classic way to slip traversal past the first decoder.
+    std::string decoded(input);
+    for (int layer = 0; layer < 3; ++layer) {
+      std::string next =
+          common::url_decode(decoded, /*plus_as_space=*/false);
+      if (next == decoded) break;
+      decoded = std::move(next);
+    }
+    std::string lower = common::to_lower(decoded);
+
+    // RFI: wrapper/exec schemes are attacks outright — there is no benign
+    // reason to store them as data destined for include()-style sinks.
+    static constexpr std::array<std::string_view, 6> kWrapperSchemes = {
+        "data://", "expect://", "zip://", "phar://", "ogg://", "glob://",
+    };
+    for (std::string_view scheme : kWrapperSchemes) {
+      if (lower.find(scheme) != std::string::npos) {
+        return "stream wrapper inclusion '" + std::string(scheme) + "...'";
+      }
+    }
+    if (lower.find("php://") != std::string::npos) {
+      return "PHP stream wrapper inclusion";
+    }
+    // Fetch schemes appear in plenty of honest data ("my homepage:
+    // https://..."); treat as RFI only when the target smells like a code
+    // payload: script extension, query string on a script, or an IP-literal
+    // host (attacker drop boxes rarely have DNS).
+    static constexpr std::array<std::string_view, 4> kFetchSchemes = {
+        "http://", "https://", "ftp://", "ftps://",
+    };
+    for (std::string_view scheme : kFetchSchemes) {
+      if (size_t pos = lower.find(scheme); pos != std::string::npos) {
+        std::string_view rest = std::string_view(lower).substr(pos);
+        if (rest.find(".php") != std::string_view::npos ||
+            rest.find(".txt?") != std::string_view::npos ||
+            looks_like_ip(rest)) {
+          return "remote inclusion target '" + std::string(scheme) + "...'";
+        }
+      }
+    }
+
+    // LFI: traversal chains. One "../" occurs in benign relative paths;
+    // two or more, or traversal reaching a sensitive file, is an attack.
+    size_t traversals = 0;
+    for (size_t pos = 0;;) {
+      size_t hit = lower.find("../", pos);
+      size_t hit2 = lower.find("..\\", pos);
+      size_t next = std::min(hit, hit2);
+      if (next == std::string::npos) break;
+      ++traversals;
+      pos = next + 3;
+    }
+    if (traversals >= 2) {
+      return "path traversal chain (" + std::to_string(traversals) +
+             " levels)";
+    }
+    for (std::string_view path : kSensitivePaths) {
+      if (lower.find(path) != std::string::npos) {
+        return "sensitive file path '" + std::string(path) + "'";
+      }
+    }
+    // Null-byte truncation of an appended extension.
+    if (decoded.find('\0') != std::string::npos && traversals >= 1) {
+      return "null-byte truncated traversal";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static bool looks_like_ip(std::string_view s) {
+    // Scheme-prefixed host beginning with a digit triple.
+    size_t pos = s.find("//");
+    if (pos == std::string_view::npos) return false;
+    size_t i = pos + 2;
+    int dots = 0, digits = 0;
+    while (i < s.size() && (s[i] == '.' || (s[i] >= '0' && s[i] <= '9'))) {
+      if (s[i] == '.') {
+        ++dots;
+      } else {
+        ++digits;
+      }
+      ++i;
+    }
+    return dots == 3 && digits >= 4;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StoredInjectionPlugin> make_fileinc_plugin() {
+  return std::make_unique<FileIncPlugin>();
+}
+
+}  // namespace septic::core

@@ -1,0 +1,151 @@
+#include "septic/plugins/html_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/unicode.h"
+
+namespace septic::core::html {
+
+const Attribute* Tag::find_attr(std::string_view name) const {
+  for (const auto& a : attributes) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::string decode_entities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out += s[i];
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out += '&';
+      continue;
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    if (body == "lt") {
+      out += '<';
+    } else if (body == "gt") {
+      out += '>';
+    } else if (body == "amp") {
+      out += '&';
+    } else if (body == "quot") {
+      out += '"';
+    } else if (body == "apos" || body == "#39") {
+      out += '\'';
+    } else if (!body.empty() && body[0] == '#') {
+      char32_t cp = 0;
+      bool ok = false;
+      if (body.size() > 1 && (body[1] == 'x' || body[1] == 'X')) {
+        cp = static_cast<char32_t>(
+            std::strtoul(std::string(body.substr(2)).c_str(), nullptr, 16));
+        ok = body.size() > 2;
+      } else {
+        cp = static_cast<char32_t>(
+            std::strtoul(std::string(body.substr(1)).c_str(), nullptr, 10));
+        ok = body.size() > 1;
+      }
+      if (ok && cp > 0 && cp <= 0x10ffff) {
+        out += common::encode_utf8(cp);
+      } else {
+        out += '&';
+        continue;
+      }
+    } else {
+      out += '&';
+      continue;
+    }
+    i = semi;
+  }
+  return out;
+}
+
+Fragment parse_fragment(std::string_view input) {
+  Fragment frag;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    if (input[i] != '<') {
+      size_t lt = input.find('<', i);
+      if (lt == std::string_view::npos) lt = n;
+      frag.text += decode_entities(input.substr(i, lt - i));
+      i = lt;
+      continue;
+    }
+    // Comment?
+    if (input.substr(i, 4) == "<!--") {
+      size_t end = input.find("-->", i + 4);
+      i = (end == std::string_view::npos) ? n : end + 3;
+      continue;
+    }
+    // Tag.
+    size_t j = i + 1;
+    Tag tag;
+    if (j < n && input[j] == '/') {
+      tag.closing = true;
+      ++j;
+    }
+    size_t name_start = j;
+    while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                     input[j] == '-' || input[j] == ':')) {
+      ++j;
+    }
+    if (j == name_start) {
+      // Not a real tag ("a < b"); treat '<' as text.
+      frag.text += '<';
+      ++i;
+      continue;
+    }
+    tag.name = common::to_lower(input.substr(name_start, j - name_start));
+    // Attributes until '>' (or end; browsers tolerate unterminated tags,
+    // and XSS payloads exploit that, so we do too).
+    while (j < n && input[j] != '>') {
+      while (j < n && (std::isspace(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '/')) {
+        if (input[j] == '/') tag.self_closing = true;
+        ++j;
+      }
+      if (j >= n || input[j] == '>') break;
+      size_t attr_start = j;
+      while (j < n && input[j] != '=' && input[j] != '>' &&
+             !std::isspace(static_cast<unsigned char>(input[j])) &&
+             input[j] != '/') {
+        ++j;
+      }
+      Attribute attr;
+      attr.name = common::to_lower(input.substr(attr_start, j - attr_start));
+      if (j < n && input[j] == '=') {
+        ++j;
+        while (j < n && std::isspace(static_cast<unsigned char>(input[j]))) ++j;
+        if (j < n && (input[j] == '"' || input[j] == '\'')) {
+          char q = input[j];
+          ++j;
+          size_t v_start = j;
+          while (j < n && input[j] != q) ++j;
+          attr.value = decode_entities(input.substr(v_start, j - v_start));
+          if (j < n) ++j;
+        } else {
+          size_t v_start = j;
+          while (j < n && input[j] != '>' &&
+                 !std::isspace(static_cast<unsigned char>(input[j]))) {
+            ++j;
+          }
+          attr.value = decode_entities(input.substr(v_start, j - v_start));
+        }
+      }
+      if (!attr.name.empty()) tag.attributes.push_back(std::move(attr));
+    }
+    if (j < n) ++j;  // consume '>'
+    frag.tags.push_back(std::move(tag));
+    i = j;
+  }
+  return frag;
+}
+
+}  // namespace septic::core::html

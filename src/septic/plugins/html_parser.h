@@ -1,0 +1,40 @@
+// Minimal HTML tokenizer used by the stored-XSS plugin. The paper's plugin
+// "inserts this input in a web page and calls an HTML parser" — this is
+// that parser: it tokenizes a fragment into tags with attributes and text,
+// handling entity decoding, so the plugin can look for script content
+// rather than bare angle brackets.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::core::html {
+
+struct Attribute {
+  std::string name;   // lower-cased
+  std::string value;  // entity-decoded, unquoted
+};
+
+struct Tag {
+  std::string name;  // lower-cased; empty for malformed tags
+  bool closing = false;
+  bool self_closing = false;
+  std::vector<Attribute> attributes;
+
+  const Attribute* find_attr(std::string_view name) const;
+};
+
+struct Fragment {
+  std::vector<Tag> tags;
+  std::string text;  // concatenated character data (entity-decoded)
+};
+
+/// Decode &lt; &gt; &amp; &quot; &#NN; &#xNN; entities.
+std::string decode_entities(std::string_view s);
+
+/// Tokenize an HTML fragment. Never throws: malformed markup yields
+/// best-effort tags (browsers are forgiving, and so are XSS payloads).
+Fragment parse_fragment(std::string_view input);
+
+}  // namespace septic::core::html

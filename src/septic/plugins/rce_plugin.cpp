@@ -1,0 +1,112 @@
+// Remote code execution plugin: PHP code evaluation sinks and PHP object
+// injection (unsafe deserialization) payloads stored into the database.
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "septic/plugins/plugin.h"
+
+namespace septic::core {
+
+namespace {
+
+using common::icontains;
+
+constexpr std::array<std::string_view, 12> kEvalSinks = {
+    "eval(",          "assert(",        "system(",       "exec(",
+    "shell_exec(",    "passthru(",      "popen(",        "proc_open(",
+    "call_user_func", "create_function","preg_replace(", "include(",
+};
+
+/// Matches a PHP serialized object/array prefix: O:4:"Evil", a:2:{...},
+/// s:5:"...";  — the payload shape of PHP object injection.
+bool looks_like_php_serialized(std::string_view s) {
+  for (size_t i = 0; i + 3 < s.size(); ++i) {
+    char c = s[i];
+    if ((c == 'O' || c == 'a' || c == 's') && s[i + 1] == ':' &&
+        std::isdigit(static_cast<unsigned char>(s[i + 2]))) {
+      size_t j = i + 2;
+      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j]))) {
+        ++j;
+      }
+      if (j < s.size() && s[j] == ':') {
+        // O:len:"Name" / s:len:"body" / a:count:{
+        if (c == 'a' && j + 1 < s.size() && s[j + 1] == '{') return true;
+        if ((c == 'O' || c == 's') && j + 1 < s.size() && s[j + 1] == '"') {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+class RcePlugin final : public StoredInjectionPlugin {
+ public:
+  std::string_view name() const override { return "RCE"; }
+
+  bool quick_check(std::string_view input) const override {
+    if (input.find('(') != std::string_view::npos &&
+        (icontains(input, "eval") || icontains(input, "exec") ||
+         icontains(input, "system") || icontains(input, "assert") ||
+         icontains(input, "passthru") || icontains(input, "popen") ||
+         icontains(input, "call_user_func") ||
+         icontains(input, "create_function") ||
+         icontains(input, "preg_replace") || icontains(input, "include"))) {
+      return true;
+    }
+    if (icontains(input, "base64_decode")) return true;
+    if (icontains(input, "<?php") || icontains(input, "<?=")) return true;
+    if (input.find(":{") != std::string_view::npos ||
+        input.find(":\"") != std::string_view::npos) {
+      return true;  // possible serialized payload; deep check decides
+    }
+    return false;
+  }
+
+  std::optional<std::string> deep_check(std::string_view input) const override {
+    std::string lower = common::to_lower(input);
+    for (std::string_view sink : kEvalSinks) {
+      if (size_t pos = lower.find(sink); pos != std::string::npos) {
+        // preg_replace is RCE only with the /e modifier.
+        if (sink == "preg_replace(") {
+          if (lower.find("/e'") == std::string::npos &&
+              lower.find("/e\"") == std::string::npos &&
+              lower.find("/e,") == std::string::npos) {
+            continue;
+          }
+        }
+        return "PHP evaluation sink '" + std::string(sink) + "...)'";
+      }
+    }
+    if (lower.find("<?php") != std::string::npos ||
+        lower.find("<?=") != std::string::npos) {
+      return "embedded PHP code tag";
+    }
+    if (lower.find("base64_decode") != std::string::npos &&
+        lower.find('(') != std::string::npos) {
+      return "base64-wrapped code evaluation";
+    }
+    if (looks_like_php_serialized(input)) {
+      return "PHP serialized object payload";
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StoredInjectionPlugin> make_rce_plugin() {
+  return std::make_unique<RcePlugin>();
+}
+
+std::vector<std::unique_ptr<StoredInjectionPlugin>> make_default_plugins() {
+  std::vector<std::unique_ptr<StoredInjectionPlugin>> out;
+  out.push_back(make_xss_plugin());
+  out.push_back(make_fileinc_plugin());
+  out.push_back(make_osci_plugin());
+  out.push_back(make_rce_plugin());
+  return out;
+}
+
+}  // namespace septic::core

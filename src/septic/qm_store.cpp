@@ -1,0 +1,111 @@
+#include "septic/qm_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace septic::core {
+
+bool QmStore::add(const std::string& id, const QueryModel& qm) {
+  std::lock_guard lock(mu_);
+  auto& vec = models_[id];
+  if (std::find(vec.begin(), vec.end(), qm) != vec.end()) return false;
+  vec.push_back(qm);
+  return true;
+}
+
+std::vector<QueryModel> QmStore::lookup(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return {};
+  return it->second;
+}
+
+bool QmStore::remove(const std::string& id, const QueryModel& qm) {
+  std::lock_guard lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return false;
+  auto& vec = it->second;
+  auto pos = std::find(vec.begin(), vec.end(), qm);
+  if (pos == vec.end()) return false;
+  vec.erase(pos);
+  if (vec.empty()) models_.erase(it);
+  return true;
+}
+
+bool QmStore::contains(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  return models_.count(id) > 0;
+}
+
+size_t QmStore::id_count() const {
+  std::lock_guard lock(mu_);
+  return models_.size();
+}
+
+size_t QmStore::model_count() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, vec] : models_) n += vec.size();
+  return n;
+}
+
+void QmStore::clear() {
+  std::lock_guard lock(mu_);
+  models_.clear();
+}
+
+std::string QmStore::serialize() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [id, vec] : models_) {
+    for (const auto& qm : vec) {
+      out += id;
+      out += '\t';
+      out += qm.serialize();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void QmStore::deserialize(std::string_view data) {
+  std::lock_guard lock(mu_);
+  models_.clear();
+  std::istringstream in{std::string(data)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw std::runtime_error("QM store: missing tab on line " +
+                               std::to_string(line_no));
+    }
+    QueryModel qm;
+    if (!QueryModel::deserialize(std::string_view(line).substr(tab + 1), qm)) {
+      throw std::runtime_error("QM store: bad model on line " +
+                               std::to_string(line_no));
+    }
+    models_[line.substr(0, tab)].push_back(std::move(qm));
+  }
+}
+
+void QmStore::save_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write QM store to " + path);
+  out << serialize();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void QmStore::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read QM store from " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  deserialize(buf.str());
+}
+
+}  // namespace septic::core

@@ -1,0 +1,50 @@
+// The "QM learned" store (Figure 1): learned query models keyed by query
+// identifier. Each ID maps to a *set* of models — internal IDs may collide
+// across call sites issuing the same command/table/field shape, and a
+// benign query matches if ANY stored model accepts it.
+//
+// Models live in memory and can be persisted to a text file (one
+// "id<TAB>serialized-model" line per model), mirroring the demo's restart
+// sequence: train, persist, restart in prevention mode, reload.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "septic/query_model.h"
+
+namespace septic::core {
+
+class QmStore {
+ public:
+  /// Add a model under an ID; deduplicates identical models. Returns true
+  /// when the model was new.
+  bool add(const std::string& id, const QueryModel& qm);
+
+  /// Models learned for an ID (empty vector when unknown).
+  std::vector<QueryModel> lookup(const std::string& id) const;
+
+  /// Remove one model from an ID's set (admin rejection); drops the ID
+  /// entirely when its set becomes empty. Returns false when absent.
+  bool remove(const std::string& id, const QueryModel& qm);
+
+  bool contains(const std::string& id) const;
+
+  size_t id_count() const;
+  size_t model_count() const;
+  void clear();
+
+  /// Persistence (throws std::runtime_error on I/O or parse failure).
+  void save_to_file(const std::string& path) const;
+  void load_from_file(const std::string& path);
+  std::string serialize() const;
+  void deserialize(std::string_view data);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<QueryModel>> models_;
+};
+
+}  // namespace septic::core

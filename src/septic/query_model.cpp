@@ -1,0 +1,111 @@
+#include "septic/query_model.h"
+
+#include "common/string_util.h"
+
+namespace septic::core {
+
+QueryModel make_query_model(const sql::ItemStack& qs) {
+  QueryModel qm;
+  qm.kind = qs.kind;
+  qm.nodes.reserve(qs.nodes.size());
+  for (const auto& node : qs.nodes) {
+    if (sql::is_data_item(node.type)) {
+      qm.nodes.push_back({node.type, kBottom});
+    } else {
+      qm.nodes.push_back(node);
+    }
+  }
+  return qm;
+}
+
+std::string QueryModel::to_string() const {
+  std::string out;
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    out += sql::item_type_name(it->type);
+    out += ' ';
+    out += it->data;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string QueryModel::serialize() const {
+  // kind;type,base64ish-escaped-data;type,data;...
+  std::string out = std::to_string(static_cast<int>(kind));
+  for (const auto& n : nodes) {
+    out += ';';
+    out += std::to_string(static_cast<int>(n.type));
+    out += ',';
+    // Escape ; , and newline in data.
+    for (char c : n.data) {
+      switch (c) {
+        case ';': out += "\\s"; break;
+        case ',': out += "\\c"; break;
+        case '\n': out += "\\n"; break;
+        case '\\': out += "\\\\"; break;
+        default: out += c;
+      }
+    }
+  }
+  return out;
+}
+
+bool QueryModel::deserialize(std::string_view line, QueryModel& out) {
+  out.nodes.clear();
+  // Split on ';' — escaped as \s inside data, so raw ';' is a separator.
+  std::vector<std::string> parts;
+  {
+    std::string cur;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        cur += line[i];
+        cur += line[i + 1];
+        ++i;
+        continue;
+      }
+      if (line[i] == ';') {
+        parts.push_back(std::move(cur));
+        cur.clear();
+        continue;
+      }
+      cur += line[i];
+    }
+    parts.push_back(std::move(cur));
+  }
+  if (parts.empty()) return false;
+  if (!common::all_digits(parts[0])) return false;
+  int kind_val = std::stoi(parts[0]);
+  if (kind_val < 0 || kind_val > 5) return false;
+  out.kind = static_cast<sql::StatementKind>(kind_val);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    size_t comma = parts[i].find(',');
+    if (comma == std::string::npos) return false;
+    std::string_view type_s = std::string_view(parts[i]).substr(0, comma);
+    if (!common::all_digits(type_s)) return false;
+    int type_val = std::stoi(std::string(type_s));
+    if (type_val < 0 ||
+        type_val > static_cast<int>(sql::ItemType::kNullItem)) {
+      return false;
+    }
+    std::string data;
+    std::string_view body = std::string_view(parts[i]).substr(comma + 1);
+    for (size_t j = 0; j < body.size(); ++j) {
+      if (body[j] == '\\' && j + 1 < body.size()) {
+        switch (body[j + 1]) {
+          case 's': data += ';'; break;
+          case 'c': data += ','; break;
+          case 'n': data += '\n'; break;
+          case '\\': data += '\\'; break;
+          default: data += body[j + 1];
+        }
+        ++j;
+      } else {
+        data += body[j];
+      }
+    }
+    out.nodes.push_back({static_cast<sql::ItemType>(type_val), std::move(data)});
+  }
+  return true;
+}
+
+}  // namespace septic::core

@@ -1,0 +1,36 @@
+// Query structures (QS) and query models (QM), paper Section II-C1.
+//
+// The QS is the engine's item stack verbatim. The QM is derived from a QS
+// by replacing the DATA of every <DATA_TYPE, DATA> node with the special
+// value ⊥ (bottom), keeping element nodes intact — Figure 2(b).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sqlcore/item.h"
+
+namespace septic::core {
+
+/// The placeholder shown for blanked data in query models (the paper's ⊥).
+inline constexpr const char* kBottom = "\xe2\x8a\xa5";  // UTF-8 ⊥
+
+/// A query model: same node layout as a QS but with data blanked.
+struct QueryModel {
+  sql::StatementKind kind = sql::StatementKind::kSelect;
+  std::vector<sql::ItemNode> nodes;
+
+  bool operator==(const QueryModel&) const = default;
+
+  /// Paper-style top-down rendering (Figure 2(b)).
+  std::string to_string() const;
+
+  /// One-line serialization for the persistent QM store.
+  std::string serialize() const;
+  static bool deserialize(std::string_view line, QueryModel& out);
+};
+
+/// Build the model for a query structure: every data node's DATA -> ⊥.
+QueryModel make_query_model(const sql::ItemStack& qs);
+
+}  // namespace septic::core

@@ -1,0 +1,55 @@
+#include "septic/review.h"
+
+#include <algorithm>
+
+namespace septic::core {
+
+uint64_t ReviewQueue::enqueue(std::string query_id, QueryModel model,
+                              std::string sample_query) {
+  std::lock_guard lock(mu_);
+  PendingModel entry;
+  entry.review_id = next_id_++;
+  entry.query_id = std::move(query_id);
+  entry.model = std::move(model);
+  entry.sample_query = std::move(sample_query);
+  uint64_t id = entry.review_id;
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+std::vector<PendingModel> ReviewQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return entries_;
+}
+
+size_t ReviewQueue::pending_count() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::optional<PendingModel> ReviewQueue::find(uint64_t review_id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& e : entries_) {
+    if (e.review_id == review_id) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingModel> ReviewQueue::take(uint64_t review_id) {
+  std::lock_guard lock(mu_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const PendingModel& e) {
+                           return e.review_id == review_id;
+                         });
+  if (it == entries_.end()) return std::nullopt;
+  PendingModel out = std::move(*it);
+  entries_.erase(it);
+  return out;
+}
+
+void ReviewQueue::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace septic::core

@@ -1,0 +1,53 @@
+// Administrator review queue for incrementally learned query models
+// (paper Section II-E): models created in normal mode — i.e. for query IDs
+// SEPTIC had never seen — are provisionally trusted but queued here, and
+// "later, the programmer/administrator will have to decide if the query
+// model comes from a malicious or a benign query". Approving keeps the
+// model; rejecting removes it from the store (subsequent occurrences of
+// that query shape are then treated as attacks in strict deployments, or
+// re-learned and re-queued otherwise).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "septic/query_model.h"
+
+namespace septic::core {
+
+struct PendingModel {
+  uint64_t review_id = 0;     // handle for approve/reject
+  std::string query_id;       // composed SEPTIC query identifier
+  QueryModel model;
+  std::string sample_query;   // the query text that created the model
+};
+
+class ReviewQueue {
+ public:
+  /// Queue a model learned incrementally; returns its review id.
+  uint64_t enqueue(std::string query_id, QueryModel model,
+                   std::string sample_query);
+
+  /// All models awaiting a decision.
+  std::vector<PendingModel> pending() const;
+  size_t pending_count() const;
+
+  /// Fetch one entry by review id.
+  std::optional<PendingModel> find(uint64_t review_id) const;
+
+  /// Remove an entry from the queue (the caller decides what that means
+  /// for the model store). Returns the entry, or nullopt if unknown.
+  std::optional<PendingModel> take(uint64_t review_id);
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PendingModel> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace septic::core

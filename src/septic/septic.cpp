@@ -1,0 +1,226 @@
+#include "septic/septic.h"
+
+namespace septic::core {
+
+Septic::Septic() : Septic(Config{}) {}
+
+Septic::Septic(Config config)
+    : config_(config), plugins_(make_default_plugins()) {}
+
+void Septic::set_mode(Mode mode) {
+  {
+    std::lock_guard lock(mu_);
+    config_.mode = mode;
+  }
+  Event e;
+  e.kind = EventKind::kModeChanged;
+  e.detail = std::string("mode set to ") + mode_name(mode);
+  log_.record(std::move(e));
+}
+
+Mode Septic::mode() const {
+  std::lock_guard lock(mu_);
+  return config_.mode;
+}
+
+void Septic::set_sqli_detection(bool on) {
+  std::lock_guard lock(mu_);
+  config_.detect_sqli = on;
+}
+
+void Septic::set_stored_detection(bool on) {
+  std::lock_guard lock(mu_);
+  config_.detect_stored = on;
+}
+
+void Septic::set_incremental_learning(bool on) {
+  std::lock_guard lock(mu_);
+  config_.incremental_learning = on;
+}
+
+void Septic::set_log_processed_queries(bool on) {
+  std::lock_guard lock(mu_);
+  config_.log_processed_queries = on;
+}
+
+void Septic::set_strict_numeric_types(bool on) {
+  std::lock_guard lock(mu_);
+  config_.strict_numeric_types = on;
+}
+
+Config Septic::config() const {
+  std::lock_guard lock(mu_);
+  return config_;
+}
+
+void Septic::save_models(const std::string& path) const {
+  store_.save_to_file(path);
+}
+
+void Septic::load_models(const std::string& path) {
+  store_.load_from_file(path);
+  Event e;
+  e.kind = EventKind::kModelLoaded;
+  e.detail = std::to_string(store_.model_count()) + " models loaded from " +
+             path;
+  log_.record(std::move(e));
+}
+
+bool Septic::approve_model(uint64_t review_id) {
+  auto entry = review_.take(review_id);
+  if (!entry) return false;
+  Event e;
+  e.kind = EventKind::kModelApproved;
+  e.query_id = entry->query_id;
+  e.query = entry->sample_query;
+  log_.record(std::move(e));
+  return true;
+}
+
+bool Septic::reject_model(uint64_t review_id) {
+  auto entry = review_.take(review_id);
+  if (!entry) return false;
+  store_.remove(entry->query_id, entry->model);
+  Event e;
+  e.kind = EventKind::kModelRejected;
+  e.query_id = entry->query_id;
+  e.query = entry->sample_query;
+  log_.record(std::move(e));
+  return true;
+}
+
+SepticStats Septic::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void Septic::train_on(const engine::QueryEvent& event, const QueryId& id) {
+  QueryModel qm = make_query_model(event.stack);
+  bool added = store_.add(id.composed(), qm);
+  if (added && mode() != Mode::kTraining) {
+    // Incremental learning: provisionally trusted, queued for the admin.
+    review_.enqueue(id.composed(), qm, event.query.text);
+  }
+  if (added) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.models_created;
+    }
+    Event e;
+    e.kind = EventKind::kModelCreated;
+    e.query = event.query.text;
+    e.query_id = id.composed();
+    e.model = qm.serialize();
+    log_.record(std::move(e));
+  }
+}
+
+engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
+  Config cfg;
+  {
+    std::lock_guard lock(mu_);
+    cfg = config_;
+    ++stats_.queries_seen;
+  }
+
+  // ID generation (always runs; part of the NN-config baseline cost).
+  QueryId id = IdGenerator::generate(event.query);
+
+  if (cfg.mode == Mode::kTraining) {
+    train_on(event, id);
+    return engine::InterceptDecision::proceed();
+  }
+
+  // ---- normal mode (prevention or detection) ----
+  bool attack = false;
+  std::string attack_type;
+
+  // Model lookup always happens (again: NN baseline cost).
+  std::vector<QueryModel> models = store_.lookup(id.composed());
+
+  if (models.empty()) {
+    // Unknown query. Incremental learning: create + store + log, and let
+    // the query run; the administrator later classifies the new model
+    // (paper Section II-E). Strict deployments may disable this.
+    if (cfg.incremental_learning) {
+      train_on(event, id);
+    } else if (cfg.detect_sqli) {
+      attack = true;
+      attack_type = "SQLI";
+      Event e;
+      e.kind = EventKind::kSqliDetected;
+      e.query = event.query.text;
+      e.query_id = id.composed();
+      e.attack_type = "SQLI";
+      e.detail = "no query model for ID (incremental learning disabled)";
+      log_.record(std::move(e));
+      std::lock_guard lock(mu_);
+      ++stats_.sqli_detected;
+    }
+  } else if (cfg.detect_sqli) {
+    SqliVerdict verdict =
+        detect_sqli(event.stack, models, cfg.strict_numeric_types);
+    if (verdict.attack) {
+      attack = true;
+      attack_type = "SQLI";
+      Event e;
+      e.kind = EventKind::kSqliDetected;
+      e.query = event.query.text;
+      e.query_id = id.composed();
+      e.detection_step = static_cast<int>(verdict.step);
+      e.attack_type = "SQLI";
+      e.detail = verdict.detail;
+      // Log the (first) model the query was compared against.
+      e.model = models.front().serialize();
+      log_.record(std::move(e));
+      std::lock_guard lock(mu_);
+      ++stats_.sqli_detected;
+    }
+  }
+
+  if (!attack && cfg.detect_stored) {
+    StoredVerdict sv = detect_stored_injection(event.query.statement, plugins_);
+    if (sv.attack) {
+      attack = true;
+      attack_type = sv.plugin;
+      Event e;
+      e.kind = EventKind::kStoredDetected;
+      e.query = event.query.text;
+      e.query_id = id.composed();
+      e.attack_type = sv.plugin;
+      e.detail = sv.detail;
+      log_.record(std::move(e));
+      std::lock_guard lock(mu_);
+      ++stats_.stored_detected;
+    }
+  }
+
+  if (!attack) {
+    if (cfg.log_processed_queries) {
+      Event e;
+      e.kind = EventKind::kQueryProcessed;
+      e.query_id = id.composed();
+      log_.record(std::move(e));
+    }
+    return engine::InterceptDecision::proceed();
+  }
+
+  if (cfg.mode == Mode::kPrevention) {
+    Event e;
+    e.kind = EventKind::kQueryDropped;
+    e.query = event.query.text;
+    e.query_id = id.composed();
+    e.attack_type = attack_type;
+    log_.record(std::move(e));
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.dropped;
+    }
+    return engine::InterceptDecision::reject(
+        "SEPTIC: " + attack_type + " attack detected; query dropped");
+  }
+  // Detection mode: attack logged above, query executes.
+  return engine::InterceptDecision::proceed();
+}
+
+}  // namespace septic::core

@@ -1,0 +1,99 @@
+// SEPTIC: SElf-Protecting daTabases preventIng attaCks.
+//
+// The top-level mechanism (paper Figure 1) wired into the engine as a
+// QueryInterceptor. It combines the four modules:
+//   - QS&QM manager  (this class: builds QS, derives/looks up QMs)
+//   - ID generator   (id_generator.h)
+//   - attack detector (detector.h + plugins/)
+//   - logger         (event_log.h)
+//
+// Operation (Table I):
+//   TRAINING    — learn QM for each new ID, log creation, execute.
+//   PREVENTION  — detect SQLI + stored injection; attacks are logged and
+//                 the query DROPPED. Unknown IDs incrementally learn.
+//   DETECTION   — same detection, attacks logged but queries EXECUTE.
+//
+// Usage:
+//   auto septic = std::make_shared<core::Septic>();
+//   db.set_interceptor(septic);
+//   septic->set_mode(core::Mode::kTraining);
+//   ... run benign workload ...
+//   septic->save_models("models.qm");
+//   septic->set_mode(core::Mode::kPrevention);
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/interceptor.h"
+#include "septic/config.h"
+#include "septic/detector.h"
+#include "septic/event_log.h"
+#include "septic/id_generator.h"
+#include "septic/qm_store.h"
+#include "septic/review.h"
+
+namespace septic::core {
+
+struct SepticStats {
+  uint64_t queries_seen = 0;
+  uint64_t models_created = 0;
+  uint64_t sqli_detected = 0;
+  uint64_t stored_detected = 0;
+  uint64_t dropped = 0;
+};
+
+class Septic final : public engine::QueryInterceptor {
+ public:
+  Septic();
+  explicit Septic(Config config);
+
+  // --- configuration -------------------------------------------------
+  void set_mode(Mode mode);
+  Mode mode() const;
+  void set_sqli_detection(bool on);
+  void set_stored_detection(bool on);
+  void set_incremental_learning(bool on);
+  void set_log_processed_queries(bool on);
+  void set_strict_numeric_types(bool on);
+  Config config() const;
+
+  // --- the hook -------------------------------------------------------
+  engine::InterceptDecision on_query(const engine::QueryEvent& event) override;
+
+  // --- model store ----------------------------------------------------
+  QmStore& store() { return store_; }
+  const QmStore& store() const { return store_; }
+  void save_models(const std::string& path) const;
+  void load_models(const std::string& path);
+
+  // --- admin review (Section II-E) -------------------------------------
+  /// Models learned incrementally in normal mode await review here.
+  ReviewQueue& review_queue() { return review_; }
+  const ReviewQueue& review_queue() const { return review_; }
+  /// Approve: the model stays in the store; the queue entry is cleared.
+  bool approve_model(uint64_t review_id);
+  /// Reject: the model is removed from the store (it came from a query the
+  /// admin judged malicious) and the queue entry is cleared.
+  bool reject_model(uint64_t review_id);
+
+  // --- observability --------------------------------------------------
+  EventLog& event_log() { return log_; }
+  SepticStats stats() const;
+
+ private:
+  /// Handle a query in training mode: learn, log, allow.
+  void train_on(const engine::QueryEvent& event, const QueryId& id);
+
+  mutable std::mutex mu_;  // guards config_ and stats_
+  Config config_;
+  QmStore store_;
+  ReviewQueue review_;
+  EventLog log_;
+  std::vector<std::unique_ptr<StoredInjectionPlugin>> plugins_;
+  SepticStats stats_;
+};
+
+}  // namespace septic::core

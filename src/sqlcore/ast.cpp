@@ -1,0 +1,357 @@
+#include "sqlcore/ast.h"
+
+#include <cassert>
+
+namespace septic::sql {
+
+// ------------------------------------------------------------------ builders
+
+ExprPtr Expr::make_literal(Value v, bool quoted) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  e->literal_was_quoted = quoted;
+  return e;
+}
+
+ExprPtr Expr::make_column(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::make_unary(std::string op, ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr Expr::make_binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::make_func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunc;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->literal_was_quoted = literal_was_quoted;
+  e->table = table;
+  e->column = column;
+  e->op = op;
+  e->func_name = func_name;
+  e->negated = negated;
+  e->placeholder_index = placeholder_index;
+  if (subquery) e->subquery = subquery->clone();
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->clone());
+  return e;
+}
+
+SelectItem SelectItem::clone() const {
+  SelectItem it;
+  it.star = star;
+  it.alias = alias;
+  if (expr) it.expr = expr->clone();
+  return it;
+}
+
+SelectPtr SelectStmt::clone() const {
+  auto s = std::make_unique<SelectStmt>();
+  s->distinct = distinct;
+  for (const auto& it : items) s->items.push_back(it.clone());
+  s->from = from;
+  for (const auto& j : joins) {
+    Join nj;
+    nj.kind = j.kind;
+    nj.table = j.table;
+    nj.on = j.on ? j.on->clone() : nullptr;
+    s->joins.push_back(std::move(nj));
+  }
+  s->where = where ? where->clone() : nullptr;
+  for (const auto& g : group_by) s->group_by.push_back(g->clone());
+  s->having = having ? having->clone() : nullptr;
+  for (const auto& o : order_by) {
+    OrderKey k;
+    k.expr = o.expr->clone();
+    k.desc = o.desc;
+    s->order_by.push_back(std::move(k));
+  }
+  s->limit = limit;
+  s->offset = offset;
+  for (const auto& u : unions) {
+    SelectStmt::UnionArm arm;
+    arm.all = u.all;
+    arm.select = u.select->clone();
+    s->unions.push_back(std::move(arm));
+  }
+  return s;
+}
+
+// ------------------------------------------------------------------ printing
+
+std::string quote_sql_string(std::string_view s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+std::string Expr::to_sql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.is_null()) return "NULL";
+      if (literal.type() == ValueType::kString || literal_was_quoted) {
+        return quote_sql_string(literal.coerce_string());
+      }
+      return literal.coerce_string();
+    case ExprKind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kUnary:
+      assert(children.size() == 1);
+      if (op == "NOT") return "NOT (" + children[0]->to_sql() + ")";
+      return op + children[0]->to_sql();
+    case ExprKind::kBinary:
+      assert(children.size() == 2);
+      return "(" + children[0]->to_sql() + " " + op + " " +
+             children[1]->to_sql() + ")";
+    case ExprKind::kFunc: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->to_sql();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kIn: {
+      assert(!children.empty());
+      std::string out = children[0]->to_sql();
+      out += negated ? " NOT IN (" : " IN (";
+      if (subquery) {
+        out += subquery->to_sql();
+      } else {
+        for (size_t i = 1; i < children.size(); ++i) {
+          if (i > 1) out += ", ";
+          out += children[i]->to_sql();
+        }
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kBetween:
+      assert(children.size() == 3);
+      return children[0]->to_sql() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->to_sql() + " AND " + children[2]->to_sql();
+    case ExprKind::kIsNull:
+      assert(children.size() == 1);
+      return children[0]->to_sql() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kPlaceholder:
+      return "?";
+  }
+  return "";
+}
+
+namespace {
+std::string table_ref_sql(const TableRef& t) {
+  return t.alias.empty() ? t.name : t.name + " AS " + t.alias;
+}
+}  // namespace
+
+std::string SelectStmt::to_sql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    if (items[i].star) {
+      out += "*";
+    } else {
+      out += items[i].expr->to_sql();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i) out += ", ";
+      out += table_ref_sql(from[i]);
+    }
+  }
+  for (const auto& j : joins) {
+    out += (j.kind == Join::Kind::kLeft) ? " LEFT JOIN " : " JOIN ";
+    out += table_ref_sql(j.table);
+    out += " ON " + j.on->to_sql();
+  }
+  if (where) out += " WHERE " + where->to_sql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i]->to_sql();
+    }
+  }
+  if (having) out += " HAVING " + having->to_sql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->to_sql();
+      if (order_by[i].desc) out += " DESC";
+    }
+  }
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  if (offset) out += " OFFSET " + std::to_string(*offset);
+  for (const auto& u : unions) {
+    out += u.all ? " UNION ALL " : " UNION ";
+    out += u.select->to_sql();
+  }
+  return out;
+}
+
+std::string InsertStmt::to_sql() const {
+  std::string out = "INSERT INTO " + table;
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) out += ", ";
+      out += columns[i];
+    }
+    out += ")";
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) out += ", ";
+      out += rows[r][i]->to_sql();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string UpdateStmt::to_sql() const {
+  std::string out = "UPDATE " + table + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i) out += ", ";
+    out += assignments[i].column + " = " + assignments[i].value->to_sql();
+  }
+  if (where) out += " WHERE " + where->to_sql();
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+std::string DeleteStmt::to_sql() const {
+  std::string out = "DELETE FROM " + table;
+  if (where) out += " WHERE " + where->to_sql();
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+std::string CreateTableStmt::to_sql() const {
+  std::string out = "CREATE TABLE ";
+  if (if_not_exists) out += "IF NOT EXISTS ";
+  out += table + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    const auto& c = columns[i];
+    out += c.name + " ";
+    switch (c.type) {
+      case ColumnDefAst::Type::kInt: out += "INT"; break;
+      case ColumnDefAst::Type::kDouble: out += "DOUBLE"; break;
+      case ColumnDefAst::Type::kText: out += "TEXT"; break;
+    }
+    if (c.primary_key) out += " PRIMARY KEY";
+    if (c.auto_increment) out += " AUTO_INCREMENT";
+    if (c.not_null) out += " NOT NULL";
+    if (c.default_value) {
+      out += " DEFAULT ";
+      if (c.default_value->type() == ValueType::kString) {
+        out += quote_sql_string(c.default_value->as_string());
+      } else {
+        out += c.default_value->to_display();
+      }
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string DropTableStmt::to_sql() const {
+  std::string out = "DROP TABLE ";
+  if (if_exists) out += "IF EXISTS ";
+  out += table;
+  return out;
+}
+
+StatementKind statement_kind(const Statement& s) {
+  switch (s.index()) {
+    case 0: return StatementKind::kSelect;
+    case 1: return StatementKind::kInsert;
+    case 2: return StatementKind::kUpdate;
+    case 3: return StatementKind::kDelete;
+    case 4: return StatementKind::kCreate;
+    case 5: return StatementKind::kDrop;
+    case 6: return StatementKind::kShowTables;
+    case 7: return StatementKind::kDescribe;
+    case 8: return StatementKind::kTruncate;
+    case 9: return StatementKind::kCreateIndex;
+    case 10: return StatementKind::kDropIndex;
+    case 11: return StatementKind::kTransaction;
+    default: return StatementKind::kExplain;
+  }
+}
+
+const char* statement_kind_name(StatementKind k) {
+  switch (k) {
+    case StatementKind::kSelect: return "SELECT";
+    case StatementKind::kInsert: return "INSERT";
+    case StatementKind::kUpdate: return "UPDATE";
+    case StatementKind::kDelete: return "DELETE";
+    case StatementKind::kCreate: return "CREATE";
+    case StatementKind::kDrop: return "DROP";
+    case StatementKind::kShowTables: return "SHOW";
+    case StatementKind::kDescribe: return "DESCRIBE";
+    case StatementKind::kTruncate: return "TRUNCATE";
+    case StatementKind::kCreateIndex: return "CREATE_INDEX";
+    case StatementKind::kDropIndex: return "DROP_INDEX";
+    case StatementKind::kTransaction: return "TRANSACTION";
+    case StatementKind::kExplain: return "EXPLAIN";
+  }
+  return "?";
+}
+
+std::string statement_to_sql(const Statement& s) {
+  return std::visit(
+      [](const auto& st) -> std::string {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, SelectPtr>) {
+          return st->to_sql();
+        } else {
+          return st.to_sql();
+        }
+      },
+      s);
+}
+
+}  // namespace septic::sql

@@ -1,0 +1,256 @@
+// Abstract syntax tree for the supported SQL dialect:
+//   SELECT [DISTINCT] items FROM tables [JOIN t ON e]* [WHERE e]
+//     [GROUP BY cols] [HAVING e] [ORDER BY col [ASC|DESC], ...]
+//     [LIMIT n [OFFSET m]] [UNION [ALL] select]*
+//   INSERT INTO t [(cols)] VALUES (...), (...)
+//   UPDATE t SET c = e, ... [WHERE e]
+//   DELETE FROM t [WHERE e]
+//   CREATE TABLE [IF NOT EXISTS] t (coldefs)
+//   DROP TABLE [IF EXISTS] t
+//
+// The tree is ownership-structured with unique_ptr; statements are a
+// variant. Printing (to_sql) produces parseable SQL used by fingerprints,
+// logs, and tests.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sqlcore/value.h"
+
+namespace septic::sql {
+
+// ---------------------------------------------------------------- Expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct SelectStmt;
+using SelectPtr = std::unique_ptr<SelectStmt>;
+
+enum class ExprKind {
+  kLiteral,      // Value
+  kColumn,       // [table.]name
+  kUnary,        // -x, NOT x, !x
+  kBinary,       // arithmetic / comparison / AND / OR / LIKE
+  kFunc,         // name(args) incl. aggregates; name('*') for COUNT(*)
+  kIn,           // lhs [NOT] IN (list)
+  kBetween,      // lhs [NOT] BETWEEN lo AND hi
+  kIsNull,       // lhs IS [NOT] NULL
+  kPlaceholder,  // ? — prepared-statement parameter awaiting a bound value
+};
+
+/// Binary operator spelling is stored normalized (e.g. "!=" -> "<>",
+/// "&&" -> "AND") so that structurally equal queries produce identical
+/// item stacks — exactly what MySQL's parser does before SEPTIC sees them.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+  /// True when the literal was written as a quoted string in the source
+  /// (affects item type: STRING_ITEM vs INT/DECIMAL_ITEM).
+  bool literal_was_quoted = false;
+
+  // kColumn
+  std::string table;   // optional qualifier
+  std::string column;  // or "*" inside COUNT(*)
+
+  // kUnary / kBinary / kFunc
+  std::string op;  // "NOT", "-", "=", "<>", "AND", "OR", "LIKE", "+", ...
+  std::string func_name;  // normalized upper-case for kFunc
+
+  // children: unary->1; binary->2; func->args; in->lhs+list;
+  // between->lhs,lo,hi; isnull->lhs
+  std::vector<ExprPtr> children;
+
+  /// kIn only: when non-null, the IN list is this (uncorrelated) subquery
+  /// instead of the literal children — `lhs IN (SELECT col FROM t ...)`.
+  SelectPtr subquery;
+
+  bool negated = false;  // NOT IN / NOT BETWEEN / IS NOT NULL / NOT LIKE
+  int placeholder_index = -1;  // kPlaceholder: 0-based parameter position
+
+  static ExprPtr make_literal(Value v, bool quoted);
+  static ExprPtr make_column(std::string table, std::string column);
+  static ExprPtr make_unary(std::string op, ExprPtr child);
+  static ExprPtr make_binary(std::string op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_func(std::string name, std::vector<ExprPtr> args);
+
+  ExprPtr clone() const;
+  std::string to_sql() const;
+};
+
+// ----------------------------------------------------------------- Statements
+
+struct SelectItem {
+  bool star = false;   // bare `*`
+  ExprPtr expr;        // when !star
+  std::string alias;   // optional AS alias
+
+  SelectItem clone() const;
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;
+};
+
+struct Join {
+  enum class Kind { kInner, kLeft } kind = Kind::kInner;
+  TableRef table;
+  ExprPtr on;
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;  // empty for table-less SELECT (SELECT 1)
+  std::vector<Join> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  /// UNION chain: this select followed by each entry (left-assoc).
+  struct UnionArm {
+    bool all = false;
+    SelectPtr select;
+  };
+  std::vector<UnionArm> unions;
+
+  SelectPtr clone() const;
+  std::string to_sql() const;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = full-row insert
+  std::vector<std::vector<ExprPtr>> rows;
+
+  std::string to_sql() const;
+};
+
+struct UpdateStmt {
+  std::string table;
+  struct Assign {
+    std::string column;
+    ExprPtr value;
+  };
+  std::vector<Assign> assignments;
+  ExprPtr where;
+  std::optional<int64_t> limit;  // MySQL: UPDATE ... LIMIT n
+
+  std::string to_sql() const;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+  std::optional<int64_t> limit;  // MySQL: DELETE ... LIMIT n
+
+  std::string to_sql() const;
+};
+
+struct ColumnDefAst {
+  std::string name;
+  enum class Type { kInt, kDouble, kText } type = Type::kText;
+  bool primary_key = false;
+  bool not_null = false;
+  bool auto_increment = false;
+  std::optional<Value> default_value;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  bool if_not_exists = false;
+  std::vector<ColumnDefAst> columns;
+
+  std::string to_sql() const;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+
+  std::string to_sql() const;
+};
+
+struct ShowTablesStmt {
+  std::string to_sql() const { return "SHOW TABLES"; }
+};
+
+struct DescribeStmt {
+  std::string table;
+  std::string to_sql() const { return "DESCRIBE " + table; }
+};
+
+struct TruncateStmt {
+  std::string table;
+  std::string to_sql() const { return "TRUNCATE TABLE " + table; }
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+  std::string to_sql() const {
+    return "CREATE INDEX " + index_name + " ON " + table + " (" + column +
+           ")";
+  }
+};
+
+struct DropIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string to_sql() const {
+    return "DROP INDEX " + index_name + " ON " + table;
+  }
+};
+
+struct ExplainStmt {
+  SelectPtr select;
+  std::string to_sql() const { return "EXPLAIN " + select->to_sql(); }
+};
+
+struct TransactionStmt {
+  enum class Op { kBegin, kCommit, kRollback } op = Op::kBegin;
+  std::string to_sql() const {
+    switch (op) {
+      case Op::kBegin: return "BEGIN";
+      case Op::kCommit: return "COMMIT";
+      case Op::kRollback: return "ROLLBACK";
+    }
+    return "";
+  }
+};
+
+using Statement = std::variant<SelectPtr, InsertStmt, UpdateStmt, DeleteStmt,
+                               CreateTableStmt, DropTableStmt, ShowTablesStmt,
+                               DescribeStmt, TruncateStmt, CreateIndexStmt,
+                               DropIndexStmt, TransactionStmt, ExplainStmt>;
+
+enum class StatementKind {
+  kSelect, kInsert, kUpdate, kDelete, kCreate, kDrop,
+  kShowTables, kDescribe, kTruncate, kCreateIndex, kDropIndex,
+  kTransaction, kExplain,
+};
+
+StatementKind statement_kind(const Statement& s);
+const char* statement_kind_name(StatementKind k);
+std::string statement_to_sql(const Statement& s);
+
+/// Quote a string back into SQL literal syntax (escaping ' and \).
+std::string quote_sql_string(std::string_view s);
+
+}  // namespace septic::sql

@@ -1,0 +1,347 @@
+#include "sqlcore/item.h"
+
+#include <cassert>
+
+namespace septic::sql {
+
+bool is_data_item(ItemType t) {
+  switch (t) {
+    case ItemType::kStringItem:
+    case ItemType::kIntItem:
+    case ItemType::kDecimalItem:
+    case ItemType::kNullItem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* item_type_name(ItemType t) {
+  switch (t) {
+    case ItemType::kSelectField: return "SELECT_FIELD";
+    case ItemType::kFromTable: return "FROM_TABLE";
+    case ItemType::kJoinTable: return "JOIN_TABLE";
+    case ItemType::kFieldItem: return "FIELD_ITEM";
+    case ItemType::kFuncItem: return "FUNC_ITEM";
+    case ItemType::kCondItem: return "COND_ITEM";
+    case ItemType::kOrderItem: return "ORDER_ITEM";
+    case ItemType::kGroupItem: return "GROUP_ITEM";
+    case ItemType::kLimitItem: return "LIMIT_ITEM";
+    case ItemType::kInsertTable: return "INSERT_TABLE";
+    case ItemType::kInsertField: return "INSERT_FIELD";
+    case ItemType::kUpdateTable: return "UPDATE_TABLE";
+    case ItemType::kUpdateField: return "UPDATE_FIELD";
+    case ItemType::kDeleteTable: return "DELETE_TABLE";
+    case ItemType::kSetOpItem: return "SET_OP";
+    case ItemType::kRowItem: return "ROW_ITEM";
+    case ItemType::kStringItem: return "STRING_ITEM";
+    case ItemType::kIntItem: return "INT_ITEM";
+    case ItemType::kDecimalItem: return "DECIMAL_ITEM";
+    case ItemType::kNullItem: return "NULL_ITEM";
+  }
+  return "?";
+}
+
+std::string ItemStack::to_string() const {
+  std::string out;
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    out += item_type_name(it->type);
+    out += ' ';
+    out += it->data;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+class StackBuilder {
+ public:
+  explicit StackBuilder(ItemStack& out) : out_(out) {}
+
+  void push(ItemType t, std::string data) {
+    out_.nodes.push_back({t, std::move(data)});
+  }
+
+  /// Postorder emission: operands first, then the operator — which is how
+  /// the nodes stack up as MySQL evaluates its Item tree.
+  void emit_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        emit_literal(e);
+        return;
+      case ExprKind::kColumn:
+        push(ItemType::kFieldItem,
+             e.table.empty() ? e.column : e.table + "." + e.column);
+        return;
+      case ExprKind::kUnary:
+        emit_expr(*e.children[0]);
+        push(ItemType::kFuncItem, e.op);
+        return;
+      case ExprKind::kBinary: {
+        emit_expr(*e.children[0]);
+        emit_expr(*e.children[1]);
+        if (e.op == "AND" || e.op == "OR") {
+          push(ItemType::kCondItem, e.op);
+        } else {
+          std::string op = e.op;
+          if (e.negated) op = "NOT " + op;  // NOT LIKE
+          push(ItemType::kFuncItem, std::move(op));
+        }
+        return;
+      }
+      case ExprKind::kFunc: {
+        for (const auto& a : e.children) emit_expr(*a);
+        push(ItemType::kFuncItem, e.func_name);
+        return;
+      }
+      case ExprKind::kIn: {
+        for (const auto& a : e.children) emit_expr(*a);
+        if (e.subquery) {
+          push(ItemType::kSetOpItem, "SUBQUERY");
+          emit_select(*e.subquery);
+        }
+        push(ItemType::kFuncItem, e.negated ? "NOT IN" : "IN");
+        return;
+      }
+      case ExprKind::kBetween: {
+        for (const auto& a : e.children) emit_expr(*a);
+        push(ItemType::kFuncItem, e.negated ? "NOT BETWEEN" : "BETWEEN");
+        return;
+      }
+      case ExprKind::kIsNull: {
+        emit_expr(*e.children[0]);
+        push(ItemType::kFuncItem, e.negated ? "IS NOT NULL" : "IS NULL");
+        return;
+      }
+      case ExprKind::kPlaceholder: {
+        // Unbound parameter of a prepared-statement template.
+        push(ItemType::kNullItem, "?");
+        return;
+      }
+    }
+  }
+
+  void emit_literal(const Expr& e) {
+    const Value& v = e.literal;
+    switch (v.type()) {
+      case ValueType::kNull:
+        push(ItemType::kNullItem, "NULL");
+        return;
+      case ValueType::kInt:
+        // A quoted numeric string stays STRING_ITEM ('123' != 123 in the
+        // item tree even though MySQL coerces at evaluation).
+        push(e.literal_was_quoted ? ItemType::kStringItem : ItemType::kIntItem,
+             v.coerce_string());
+        return;
+      case ValueType::kDouble:
+        push(e.literal_was_quoted ? ItemType::kStringItem
+                                  : ItemType::kDecimalItem,
+             v.coerce_string());
+        return;
+      case ValueType::kString:
+        push(ItemType::kStringItem, v.as_string());
+        return;
+    }
+  }
+
+  void emit_select(const SelectStmt& sel) {
+    for (const auto& t : sel.from) push(ItemType::kFromTable, t.name);
+    for (const auto& j : sel.joins) push(ItemType::kJoinTable, j.table.name);
+    for (const auto& it : sel.items) {
+      if (it.star) {
+        push(ItemType::kSelectField, "*");
+      } else if (it.expr->kind == ExprKind::kColumn) {
+        push(ItemType::kSelectField, it.expr->table.empty()
+                                         ? it.expr->column
+                                         : it.expr->table + "." +
+                                               it.expr->column);
+      } else {
+        // Computed select item: its expression participates structurally.
+        emit_expr(*it.expr);
+        push(ItemType::kSelectField, "<expr>");
+      }
+    }
+    for (const auto& j : sel.joins) emit_expr(*j.on);
+    if (sel.where) emit_expr(*sel.where);
+    for (const auto& g : sel.group_by) {
+      emit_expr(*g);
+      push(ItemType::kGroupItem, "GROUP");
+    }
+    if (sel.having) {
+      emit_expr(*sel.having);
+      push(ItemType::kFuncItem, "HAVING");
+    }
+    for (const auto& o : sel.order_by) {
+      emit_expr(*o.expr);
+      push(ItemType::kOrderItem, o.desc ? "DESC" : "ASC");
+    }
+    if (sel.limit) {
+      push(ItemType::kIntItem, std::to_string(*sel.limit));
+      push(ItemType::kLimitItem, "LIMIT");
+    }
+    if (sel.offset) {
+      push(ItemType::kIntItem, std::to_string(*sel.offset));
+      push(ItemType::kLimitItem, "OFFSET");
+    }
+    for (const auto& u : sel.unions) {
+      push(ItemType::kSetOpItem, u.all ? "UNION ALL" : "UNION");
+      emit_select(*u.select);
+    }
+  }
+
+  void emit_insert(const InsertStmt& ins) {
+    push(ItemType::kInsertTable, ins.table);
+    for (const auto& c : ins.columns) push(ItemType::kInsertField, c);
+    for (const auto& row : ins.rows) {
+      push(ItemType::kRowItem, "ROW");
+      for (const auto& v : row) emit_expr(*v);
+    }
+  }
+
+  void emit_update(const UpdateStmt& up) {
+    push(ItemType::kUpdateTable, up.table);
+    for (const auto& a : up.assignments) {
+      push(ItemType::kUpdateField, a.column);
+      emit_expr(*a.value);
+      push(ItemType::kFuncItem, "=");
+    }
+    if (up.where) emit_expr(*up.where);
+    if (up.limit) {
+      push(ItemType::kIntItem, std::to_string(*up.limit));
+      push(ItemType::kLimitItem, "LIMIT");
+    }
+  }
+
+  void emit_delete(const DeleteStmt& del) {
+    push(ItemType::kDeleteTable, del.table);
+    if (del.where) emit_expr(*del.where);
+    if (del.limit) {
+      push(ItemType::kIntItem, std::to_string(*del.limit));
+      push(ItemType::kLimitItem, "LIMIT");
+    }
+  }
+
+ private:
+  ItemStack& out_;
+};
+
+void collect_values_select(const SelectStmt& sel, std::vector<Value>& out);
+
+void collect_values(const Expr& e, std::vector<Value>& out) {
+  if (e.kind == ExprKind::kLiteral && !e.literal.is_null()) {
+    out.push_back(e.literal);
+  }
+  if (e.subquery) collect_values_select(*e.subquery, out);
+  for (const auto& c : e.children) collect_values(*c, out);
+}
+
+void collect_values_select(const SelectStmt& sel, std::vector<Value>& out) {
+  for (const auto& it : sel.items) {
+    if (it.expr) collect_values(*it.expr, out);
+  }
+  for (const auto& j : sel.joins) collect_values(*j.on, out);
+  if (sel.where) collect_values(*sel.where, out);
+  if (sel.having) collect_values(*sel.having, out);
+  for (const auto& u : sel.unions) collect_values_select(*u.select, out);
+}
+
+}  // namespace
+
+ItemStack build_item_stack(const Statement& stmt) {
+  ItemStack out;
+  out.kind = statement_kind(stmt);
+  StackBuilder b(out);
+  switch (out.kind) {
+    case StatementKind::kSelect:
+      b.emit_select(*std::get<SelectPtr>(stmt));
+      break;
+    case StatementKind::kInsert:
+      b.emit_insert(std::get<InsertStmt>(stmt));
+      break;
+    case StatementKind::kUpdate:
+      b.emit_update(std::get<UpdateStmt>(stmt));
+      break;
+    case StatementKind::kDelete:
+      b.emit_delete(std::get<DeleteStmt>(stmt));
+      break;
+    case StatementKind::kCreate: {
+      const auto& ct = std::get<CreateTableStmt>(stmt);
+      b.push(ItemType::kFromTable, ct.table);
+      for (const auto& c : ct.columns) b.push(ItemType::kFieldItem, c.name);
+      break;
+    }
+    case StatementKind::kDrop: {
+      const auto& d = std::get<DropTableStmt>(stmt);
+      b.push(ItemType::kFromTable, d.table);
+      break;
+    }
+    case StatementKind::kShowTables:
+      break;  // no operands
+    case StatementKind::kDescribe:
+      b.push(ItemType::kFromTable, std::get<DescribeStmt>(stmt).table);
+      break;
+    case StatementKind::kTruncate:
+      b.push(ItemType::kFromTable, std::get<TruncateStmt>(stmt).table);
+      break;
+    case StatementKind::kCreateIndex: {
+      const auto& ci = std::get<CreateIndexStmt>(stmt);
+      b.push(ItemType::kFromTable, ci.table);
+      b.push(ItemType::kFieldItem, ci.column);
+      break;
+    }
+    case StatementKind::kDropIndex:
+      b.push(ItemType::kFromTable, std::get<DropIndexStmt>(stmt).table);
+      break;
+    case StatementKind::kTransaction:
+      break;  // no operands
+    case StatementKind::kExplain:
+      b.push(ItemType::kFuncItem, "EXPLAIN");
+      b.emit_select(*std::get<ExplainStmt>(stmt).select);
+      break;
+  }
+  return out;
+}
+
+std::vector<Value> extract_data_values(const Statement& stmt) {
+  std::vector<Value> out;
+  switch (statement_kind(stmt)) {
+    case StatementKind::kSelect: {
+      const auto& sel = *std::get<SelectPtr>(stmt);
+      std::vector<const SelectStmt*> all = {&sel};
+      for (const auto& u : sel.unions) all.push_back(u.select.get());
+      for (const SelectStmt* s : all) {
+        for (const auto& it : s->items) {
+          if (it.expr) collect_values(*it.expr, out);
+        }
+        for (const auto& j : s->joins) collect_values(*j.on, out);
+        if (s->where) collect_values(*s->where, out);
+        if (s->having) collect_values(*s->having, out);
+      }
+      break;
+    }
+    case StatementKind::kInsert: {
+      const auto& ins = std::get<InsertStmt>(stmt);
+      for (const auto& row : ins.rows) {
+        for (const auto& v : row) collect_values(*v, out);
+      }
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const auto& up = std::get<UpdateStmt>(stmt);
+      for (const auto& a : up.assignments) collect_values(*a.value, out);
+      if (up.where) collect_values(*up.where, out);
+      break;
+    }
+    case StatementKind::kDelete: {
+      const auto& del = std::get<DeleteStmt>(stmt);
+      if (del.where) collect_values(*del.where, out);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace septic::sql

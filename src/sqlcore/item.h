@@ -1,0 +1,91 @@
+// MySQL-style "item stack": the flat representation of a validated query
+// that SEPTIC consumes. Reproduces the paper's Figure 2 layout:
+//
+//   COND_ITEM    AND          <- top
+//   FUNC_ITEM    =
+//   INT_ITEM     1234
+//   FIELD_ITEM   creditCard
+//   FUNC_ITEM    =
+//   STRING_ITEM  ID34FG
+//   FIELD_ITEM   reservID
+//   SELECT_FIELD *
+//   FROM_TABLE   tickets      <- bottom
+//
+// Internally the stack is a vector with index 0 = bottom; clauses are
+// emitted bottom-up (FROM, SELECT list, then a postorder walk of WHERE so
+// operands precede their operator), matching MySQL's Item tree traversal.
+//
+// Nodes are either *element* nodes <ELEM_TYPE, ELEM_DATA> (structure: field
+// names, function names, operators, tables) or *data* nodes
+// <DATA_TYPE, DATA> (user-controllable literals). Query models blank only
+// the data nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlcore/ast.h"
+
+namespace septic::sql {
+
+enum class ItemType : uint8_t {
+  // Element nodes (structure).
+  kSelectField,   // SELECT_FIELD   column name or *
+  kFromTable,     // FROM_TABLE     table name
+  kJoinTable,     // JOIN_TABLE     joined table name
+  kFieldItem,     // FIELD_ITEM     column reference inside an expression
+  kFuncItem,      // FUNC_ITEM      operator or function name
+  kCondItem,      // COND_ITEM      AND / OR
+  kOrderItem,     // ORDER_ITEM     ASC / DESC marker
+  kGroupItem,     // GROUP_ITEM
+  kLimitItem,     // LIMIT_ITEM
+  kInsertTable,   // INSERT_TABLE
+  kInsertField,   // INSERT_FIELD   target column of INSERT
+  kUpdateTable,   // UPDATE_TABLE
+  kUpdateField,   // UPDATE_FIELD   target column of UPDATE SET
+  kDeleteTable,   // DELETE_TABLE
+  kSetOpItem,     // SET_OP         UNION / UNION ALL
+  kRowItem,       // ROW_ITEM       VALUES row separator
+
+  // Data nodes (user-controllable literals; blanked in query models).
+  kStringItem,    // STRING_ITEM
+  kIntItem,       // INT_ITEM
+  kDecimalItem,   // DECIMAL_ITEM
+  kNullItem,      // NULL_ITEM
+};
+
+/// True for <DATA_TYPE, DATA> nodes whose DATA is replaced by ⊥ in a QM.
+bool is_data_item(ItemType t);
+
+/// Paper-style name ("FUNC_ITEM", "STRING_ITEM", ...).
+const char* item_type_name(ItemType t);
+
+struct ItemNode {
+  ItemType type;
+  std::string data;
+
+  bool operator==(const ItemNode&) const = default;
+};
+
+/// The flattened query. index 0 = bottom of the stack.
+struct ItemStack {
+  StatementKind kind = StatementKind::kSelect;
+  std::vector<ItemNode> nodes;
+
+  bool operator==(const ItemStack&) const = default;
+
+  /// Render top-down, one node per line, like the paper's figures:
+  ///   "COND_ITEM AND\nFUNC_ITEM =\n..."
+  std::string to_string() const;
+};
+
+/// Build the item stack for a validated statement.
+ItemStack build_item_stack(const Statement& stmt);
+
+/// The data values (literals) appearing in the statement, in stack order.
+/// Used by the stored-injection plugins, which inspect user inputs of
+/// INSERT/UPDATE commands.
+std::vector<Value> extract_data_values(const Statement& stmt);
+
+}  // namespace septic::sql

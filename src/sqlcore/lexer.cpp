@@ -1,0 +1,315 @@
+#include "sqlcore/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace septic::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kw = {
+      "SELECT", "FROM",   "WHERE",   "AND",    "OR",     "NOT",    "INSERT",
+      "INTO",   "VALUES", "UPDATE",  "SET",    "DELETE", "CREATE", "TABLE",
+      "DROP",   "IF",     "EXISTS",  "NULL",   "LIKE",   "IN",     "BETWEEN",
+      "IS",     "ORDER",  "BY",      "ASC",    "DESC",   "LIMIT",  "OFFSET",
+      "GROUP",  "HAVING", "JOIN",    "INNER",  "LEFT",   "ON",     "AS",
+      "UNION",  "ALL",    "DISTINCT","PRIMARY","KEY",    "DEFAULT","INT",
+      "INTEGER","BIGINT", "DOUBLE",  "FLOAT",  "TEXT",   "VARCHAR","CHAR",
+      "TRUE",   "FALSE",  "AUTO_INCREMENT", "SHOW", "TABLES", "DESCRIBE", "TRUNCATE", "INDEX",
+      "BEGIN", "START", "TRANSACTION", "COMMIT", "ROLLBACK", "EXPLAIN",
+  };
+  return kw;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '$';
+}
+
+}  // namespace
+
+bool is_reserved_keyword(std::string_view upper_word) {
+  return keyword_set().count(std::string(upper_word)) > 0;
+}
+
+LexResult lex(std::string_view sql) {
+  LexResult out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  bool in_conditional_comment = false;  // inside /*! ... */
+
+  auto push = [&](Token t) { out.tokens.push_back(std::move(t)); };
+
+  while (i < n) {
+    char c = sql[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '#') {
+      size_t start = i + 1;
+      size_t end = sql.find('\n', start);
+      if (end == std::string_view::npos) end = n;
+      out.comments.push_back(
+          {Comment::Kind::kHash, std::string(sql.substr(start, end - start)), i});
+      i = end;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-' &&
+        (i + 2 >= n || sql[i + 2] == ' ' || sql[i + 2] == '\t' ||
+         sql[i + 2] == '\n' || sql[i + 2] == '\r')) {
+      // MySQL requires whitespace (or end of statement) after "--".
+      size_t start = i + 2;
+      size_t end = sql.find('\n', start);
+      if (end == std::string_view::npos) end = n;
+      out.comments.push_back({Comment::Kind::kDashDash,
+                              std::string(sql.substr(start, end - start)), i});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      // MySQL version-conditional comment /*!50000 ... */: the body is
+      // EXECUTED, not stripped — the classic mismatch WAFs fall for.
+      if (i + 2 < n && sql[i + 2] == '!') {
+        size_t j = i + 3;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+        if (sql.find("*/", j) == std::string_view::npos) {
+          throw LexError("unterminated /*! comment", i);
+        }
+        in_conditional_comment = true;
+        i = j;
+        continue;
+      }
+      size_t start = i + 2;
+      size_t end = sql.find("*/", start);
+      if (end == std::string_view::npos) {
+        // MySQL treats an unterminated block comment as a syntax error.
+        throw LexError("unterminated /* comment", i);
+      }
+      out.comments.push_back(
+          {Comment::Kind::kBlock, std::string(sql.substr(start, end - start)), i});
+      i = end + 2;
+      continue;
+    }
+    if (c == '*' && i + 1 < n && sql[i + 1] == '/' && in_conditional_comment) {
+      in_conditional_comment = false;
+      i += 2;
+      continue;
+    }
+    // String literals (' or "), with backslash escapes and doubled quotes.
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::string value;
+      size_t start = i;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        char d = sql[i];
+        if (d == '\\' && i + 1 < n) {
+          char e = sql[i + 1];
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case 'r': value += '\r'; break;
+            case '0': value += '\0'; break;
+            case 'b': value += '\b'; break;
+            case 'Z': value += '\x1a'; break;
+            case '\\': value += '\\'; break;
+            case '\'': value += '\''; break;
+            case '"': value += '"'; break;
+            case '%': value += "\\%"; break;   // kept escaped for LIKE
+            case '_': value += "\\_"; break;
+            default: value += e; break;  // MySQL: unknown escape = literal char
+          }
+          i += 2;
+          continue;
+        }
+        if (d == quote) {
+          if (i + 1 < n && sql[i + 1] == quote) {  // doubled quote
+            value += quote;
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += d;
+        ++i;
+      }
+      if (!closed) throw LexError("unterminated string literal", start);
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::string(sql.substr(start, i - start));
+      t.str_value = std::move(value);
+      t.pos = start;
+      push(std::move(t));
+      continue;
+    }
+    // Backtick-quoted identifier.
+    if (c == '`') {
+      size_t start = i;
+      ++i;
+      std::string name;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '`') {
+          if (i + 1 < n && sql[i + 1] == '`') {
+            name += '`';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        name += sql[i];
+        ++i;
+      }
+      if (!closed) throw LexError("unterminated quoted identifier", start);
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.text = std::move(name);
+      t.pos = start;
+      push(std::move(t));
+      continue;
+    }
+    // Numbers (integer, decimal, 0x hex).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '0' && i + 1 < n && (sql[i + 1] == 'x' || sql[i + 1] == 'X')) {
+        i += 2;
+        size_t hex_start = i;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        if (i == hex_start) throw LexError("malformed hex literal", start);
+        Token t;
+        t.type = TokenType::kInteger;
+        t.text = std::string(sql.substr(start, i - start));
+        t.int_value = static_cast<int64_t>(
+            std::strtoull(std::string(sql.substr(hex_start, i - hex_start)).c_str(),
+                          nullptr, 16));
+        t.pos = start;
+        push(std::move(t));
+        continue;
+      }
+      bool has_dot = false;
+      bool has_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !has_dot && !has_exp) {
+          has_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !has_exp && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                    ((sql[i + 1] == '+' || sql[i + 1] == '-') && i + 2 < n &&
+                     std::isdigit(static_cast<unsigned char>(sql[i + 2]))))) {
+          has_exp = true;
+          ++i;
+          if (sql[i] == '+' || sql[i] == '-') ++i;
+        } else {
+          break;
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      Token t;
+      t.text = text;
+      t.pos = start;
+      if (has_dot || has_exp) {
+        t.type = TokenType::kDecimal;
+        t.dbl_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10));
+      }
+      push(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = common::to_upper(word);
+      Token t;
+      t.pos = start;
+      if (is_reserved_keyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = std::move(upper);
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      push(std::move(t));
+      continue;
+    }
+    // Multi-char operators.
+    auto try_op = [&](std::string_view op) -> bool {
+      if (sql.substr(i, op.size()) == op) {
+        Token t;
+        t.type = TokenType::kOperator;
+        t.text = std::string(op);
+        t.pos = i;
+        i += op.size();
+        push(std::move(t));
+        return true;
+      }
+      return false;
+    };
+    if (try_op("<=>") || try_op("<>") || try_op("!=") || try_op("<=") ||
+        try_op(">=") || try_op("||") || try_op("&&")) {
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '+' || c == '-' ||
+        c == '*' || c == '/' || c == '%' || c == '!') {
+      Token t;
+      t.type = TokenType::kOperator;
+      t.text = std::string(1, c);
+      t.pos = i;
+      ++i;
+      push(std::move(t));
+      continue;
+    }
+    if (c == '?') {
+      Token t;
+      t.type = TokenType::kPlaceholder;
+      t.text = "?";
+      t.pos = i;
+      ++i;
+      push(std::move(t));
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.') {
+      Token t;
+      t.type = TokenType::kPunct;
+      t.text = std::string(1, c);
+      t.pos = i;
+      ++i;
+      push(std::move(t));
+      continue;
+    }
+    throw LexError("unexpected character '" + std::string(1, c) + "'", i);
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.pos = n;
+  out.tokens.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace septic::sql

@@ -1,0 +1,35 @@
+// SQL lexer with MySQL-compatible behaviours that matter for injection:
+//  - string literals in ' or " with backslash escapes and doubled quotes;
+//  - `-- ` (dash-dash-space/EOL), `#`, and `/* ... */` comments, all
+//    stripped from the token stream but captured for SEPTIC's external ID;
+//  - an unterminated trailing `-- ` comment silently swallows the rest of
+//    the statement (the classic injection trick).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "sqlcore/token.h"
+
+namespace septic::sql {
+
+/// Thrown on malformed input the server would reject at scan time
+/// (e.g. an unterminated string literal).
+class LexError : public std::runtime_error {
+ public:
+  LexError(std::string msg, size_t pos)
+      : std::runtime_error(std::move(msg)), pos_(pos) {}
+  size_t pos() const { return pos_; }
+
+ private:
+  size_t pos_;
+};
+
+/// Tokenize one statement. `sql` must already have gone through
+/// common::server_charset_convert (the engine facade does this).
+LexResult lex(std::string_view sql);
+
+/// True if the word is a reserved keyword of our dialect.
+bool is_reserved_keyword(std::string_view upper_word);
+
+}  // namespace septic::sql

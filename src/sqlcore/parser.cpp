@@ -1,0 +1,636 @@
+#include "sqlcore/parser.h"
+
+#include "common/string_util.h"
+#include "sqlcore/lexer.h"
+
+namespace septic::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Statement parse_statement() {
+    const Token& t = peek();
+    if (t.is_keyword("SELECT")) return parse_select_chain();
+    if (t.is_keyword("INSERT")) return parse_insert();
+    if (t.is_keyword("UPDATE")) return parse_update();
+    if (t.is_keyword("DELETE")) return parse_delete();
+    if (t.is_keyword("CREATE")) return parse_create();
+    if (t.is_keyword("DROP")) return parse_drop();
+    if (t.is_keyword("SHOW")) {
+      advance();
+      expect_kw("TABLES");
+      return Statement(ShowTablesStmt{});
+    }
+    if (t.is_keyword("DESCRIBE") || t.is_keyword("DESC")) {
+      advance();
+      DescribeStmt d;
+      d.table = expect_identifier("table name");
+      return Statement(std::move(d));
+    }
+    if (t.is_keyword("EXPLAIN")) {
+      advance();
+      expect_kw("SELECT");
+      pos_--;  // parse_select_core consumes SELECT itself
+      ExplainStmt ex;
+      ex.select = parse_select_core();
+      return Statement(std::move(ex));
+    }
+    if (t.is_keyword("BEGIN") || t.is_keyword("START")) {
+      bool is_start = t.is_keyword("START");
+      advance();
+      if (is_start) expect_kw("TRANSACTION");
+      return Statement(TransactionStmt{TransactionStmt::Op::kBegin});
+    }
+    if (t.is_keyword("COMMIT")) {
+      advance();
+      return Statement(TransactionStmt{TransactionStmt::Op::kCommit});
+    }
+    if (t.is_keyword("ROLLBACK")) {
+      advance();
+      return Statement(TransactionStmt{TransactionStmt::Op::kRollback});
+    }
+    if (t.is_keyword("TRUNCATE")) {
+      advance();
+      accept_kw("TABLE");
+      TruncateStmt tr;
+      tr.table = expect_identifier("table name");
+      return Statement(std::move(tr));
+    }
+    throw ParseError("expected a statement, got '" + t.text + "'", t.pos);
+  }
+
+  void expect_end() {
+    if (peek().is_punct(';')) advance();
+    if (peek().type != TokenType::kEnd) {
+      throw ParseError("unexpected trailing input '" + peek().text + "'",
+                       peek().pos);
+    }
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= toks_.size()) i = toks_.size() - 1;
+    return toks_[i];
+  }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept_kw(std::string_view kw) {
+    if (peek().is_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_kw(std::string_view kw) {
+    if (!accept_kw(kw)) {
+      throw ParseError("expected " + std::string(kw) + ", got '" +
+                           peek().text + "'",
+                       peek().pos);
+    }
+  }
+  bool accept_punct(char c) {
+    if (peek().is_punct(c)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(char c) {
+    if (!accept_punct(c)) {
+      throw ParseError(std::string("expected '") + c + "', got '" +
+                           peek().text + "'",
+                       peek().pos);
+    }
+  }
+
+  std::string expect_identifier(const char* what) {
+    const Token& t = peek();
+    if (t.type == TokenType::kIdentifier) {
+      advance();
+      return t.text;
+    }
+    throw ParseError(std::string("expected ") + what + ", got '" + t.text + "'",
+                     t.pos);
+  }
+
+  // ------------------------------------------------------------- statements
+
+  Statement parse_select_chain() {
+    SelectPtr first = parse_select_core();
+    while (peek().is_keyword("UNION")) {
+      advance();
+      SelectStmt::UnionArm arm;
+      arm.all = accept_kw("ALL");
+      expect_kw("SELECT");
+      pos_--;  // parse_select_core expects to consume SELECT itself
+      arm.select = parse_select_core();
+      first->unions.push_back(std::move(arm));
+    }
+    return Statement(std::move(first));
+  }
+
+  SelectPtr parse_select_core() {
+    expect_kw("SELECT");
+    auto sel = std::make_unique<SelectStmt>();
+    sel->distinct = accept_kw("DISTINCT");
+    if (accept_kw("ALL") && sel->distinct) {
+      throw ParseError("SELECT DISTINCT ALL is invalid", peek().pos);
+    }
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (peek().is_op("*")) {
+        advance();
+        item.star = true;
+      } else {
+        item.expr = parse_expr();
+        if (accept_kw("AS")) {
+          item.alias = expect_identifier("alias");
+        } else if (peek().type == TokenType::kIdentifier) {
+          item.alias = peek().text;
+          advance();
+        }
+      }
+      sel->items.push_back(std::move(item));
+    } while (accept_punct(','));
+
+    if (accept_kw("FROM")) {
+      do {
+        sel->from.push_back(parse_table_ref());
+      } while (accept_punct(','));
+      // JOIN chain.
+      while (peek().is_keyword("JOIN") || peek().is_keyword("INNER") ||
+             peek().is_keyword("LEFT")) {
+        Join j;
+        if (accept_kw("LEFT")) {
+          j.kind = Join::Kind::kLeft;
+          expect_kw("JOIN");
+        } else {
+          accept_kw("INNER");
+          expect_kw("JOIN");
+        }
+        j.table = parse_table_ref();
+        expect_kw("ON");
+        j.on = parse_expr();
+        sel->joins.push_back(std::move(j));
+      }
+    }
+
+    if (accept_kw("WHERE")) sel->where = parse_expr();
+
+    if (accept_kw("GROUP")) {
+      expect_kw("BY");
+      do {
+        sel->group_by.push_back(parse_expr());
+      } while (accept_punct(','));
+    }
+    if (accept_kw("HAVING")) sel->having = parse_expr();
+
+    if (accept_kw("ORDER")) {
+      expect_kw("BY");
+      do {
+        OrderKey k;
+        k.expr = parse_expr();
+        if (accept_kw("DESC")) {
+          k.desc = true;
+        } else {
+          accept_kw("ASC");
+        }
+        sel->order_by.push_back(std::move(k));
+      } while (accept_punct(','));
+    }
+
+    if (accept_kw("LIMIT")) {
+      sel->limit = expect_integer("LIMIT count");
+      if (accept_kw("OFFSET")) {
+        sel->offset = expect_integer("OFFSET count");
+      } else if (accept_punct(',')) {
+        // MySQL "LIMIT offset, count"
+        sel->offset = sel->limit;
+        sel->limit = expect_integer("LIMIT count");
+      }
+    }
+    return sel;
+  }
+
+  int64_t expect_integer(const char* what) {
+    const Token& t = peek();
+    if (t.type != TokenType::kInteger) {
+      throw ParseError(std::string("expected integer for ") + what, t.pos);
+    }
+    advance();
+    return t.int_value;
+  }
+
+  TableRef parse_table_ref() {
+    TableRef ref;
+    ref.name = expect_identifier("table name");
+    if (accept_kw("AS")) {
+      ref.alias = expect_identifier("table alias");
+    } else if (peek().type == TokenType::kIdentifier) {
+      ref.alias = peek().text;
+      advance();
+    }
+    return ref;
+  }
+
+  Statement parse_insert() {
+    expect_kw("INSERT");
+    expect_kw("INTO");
+    InsertStmt ins;
+    ins.table = expect_identifier("table name");
+    if (accept_punct('(')) {
+      do {
+        ins.columns.push_back(expect_identifier("column name"));
+      } while (accept_punct(','));
+      expect_punct(')');
+    }
+    expect_kw("VALUES");
+    do {
+      expect_punct('(');
+      std::vector<ExprPtr> row;
+      if (!peek().is_punct(')')) {
+        do {
+          row.push_back(parse_expr());
+        } while (accept_punct(','));
+      }
+      expect_punct(')');
+      ins.rows.push_back(std::move(row));
+    } while (accept_punct(','));
+    return Statement(std::move(ins));
+  }
+
+  Statement parse_update() {
+    expect_kw("UPDATE");
+    UpdateStmt up;
+    up.table = expect_identifier("table name");
+    expect_kw("SET");
+    do {
+      UpdateStmt::Assign a;
+      a.column = expect_identifier("column name");
+      if (!peek().is_op("=")) {
+        throw ParseError("expected '=' in SET clause", peek().pos);
+      }
+      advance();
+      a.value = parse_expr();
+      up.assignments.push_back(std::move(a));
+    } while (accept_punct(','));
+    if (accept_kw("WHERE")) up.where = parse_expr();
+    if (accept_kw("LIMIT")) up.limit = expect_integer("LIMIT count");
+    return Statement(std::move(up));
+  }
+
+  Statement parse_delete() {
+    expect_kw("DELETE");
+    expect_kw("FROM");
+    DeleteStmt del;
+    del.table = expect_identifier("table name");
+    if (accept_kw("WHERE")) del.where = parse_expr();
+    if (accept_kw("LIMIT")) del.limit = expect_integer("LIMIT count");
+    return Statement(std::move(del));
+  }
+
+  Statement parse_create() {
+    expect_kw("CREATE");
+    if (accept_kw("INDEX")) {
+      CreateIndexStmt ci;
+      ci.index_name = expect_identifier("index name");
+      expect_kw("ON");
+      ci.table = expect_identifier("table name");
+      expect_punct('(');
+      ci.column = expect_identifier("column name");
+      expect_punct(')');
+      return Statement(std::move(ci));
+    }
+    expect_kw("TABLE");
+    CreateTableStmt ct;
+    if (accept_kw("IF")) {
+      expect_kw("NOT");
+      // NOT is lexed as keyword NOT; EXISTS follows.
+      expect_kw("EXISTS");
+      ct.if_not_exists = true;
+    }
+    ct.table = expect_identifier("table name");
+    expect_punct('(');
+    do {
+      ColumnDefAst col;
+      col.name = expect_identifier("column name");
+      const Token& ty = peek();
+      if (ty.is_keyword("INT") || ty.is_keyword("INTEGER") ||
+          ty.is_keyword("BIGINT")) {
+        col.type = ColumnDefAst::Type::kInt;
+        advance();
+      } else if (ty.is_keyword("DOUBLE") || ty.is_keyword("FLOAT")) {
+        col.type = ColumnDefAst::Type::kDouble;
+        advance();
+      } else if (ty.is_keyword("TEXT") || ty.is_keyword("VARCHAR") ||
+                 ty.is_keyword("CHAR")) {
+        col.type = ColumnDefAst::Type::kText;
+        advance();
+        if (accept_punct('(')) {  // VARCHAR(n): length accepted and ignored
+          expect_integer("varchar length");
+          expect_punct(')');
+        }
+      } else {
+        throw ParseError("expected column type, got '" + ty.text + "'", ty.pos);
+      }
+      for (;;) {
+        if (accept_kw("PRIMARY")) {
+          expect_kw("KEY");
+          col.primary_key = true;
+        } else if (accept_kw("NOT")) {
+          expect_kw("NULL");
+          col.not_null = true;
+        } else if (accept_kw("AUTO_INCREMENT")) {
+          col.auto_increment = true;
+        } else if (accept_kw("DEFAULT")) {
+          const Token& dv = peek();
+          if (dv.type == TokenType::kString) {
+            col.default_value = Value(dv.str_value);
+          } else if (dv.type == TokenType::kInteger) {
+            col.default_value = Value(dv.int_value);
+          } else if (dv.type == TokenType::kDecimal) {
+            col.default_value = Value(dv.dbl_value);
+          } else if (dv.is_keyword("NULL")) {
+            col.default_value = Value::null();
+          } else {
+            throw ParseError("expected literal DEFAULT value", dv.pos);
+          }
+          advance();
+        } else {
+          break;
+        }
+      }
+      ct.columns.push_back(std::move(col));
+    } while (accept_punct(','));
+    expect_punct(')');
+    return Statement(std::move(ct));
+  }
+
+  Statement parse_drop() {
+    expect_kw("DROP");
+    if (accept_kw("INDEX")) {
+      DropIndexStmt di;
+      di.index_name = expect_identifier("index name");
+      expect_kw("ON");
+      di.table = expect_identifier("table name");
+      return Statement(std::move(di));
+    }
+    expect_kw("TABLE");
+    DropTableStmt d;
+    if (accept_kw("IF")) {
+      expect_kw("EXISTS");
+      d.if_exists = true;
+    }
+    d.table = expect_identifier("table name");
+    return Statement(std::move(d));
+  }
+
+  // ------------------------------------------------------------ expressions
+  //
+  // Precedence (low to high): OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS
+  // < additive < multiplicative < unary minus < primary.
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (peek().is_keyword("OR") || peek().is_op("||")) {
+      advance();
+      lhs = Expr::make_binary("OR", std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (peek().is_keyword("AND") || peek().is_op("&&")) {
+      advance();
+      lhs = Expr::make_binary("AND", std::move(lhs), parse_not());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (accept_kw("NOT") || (peek().is_op("!") && (advance(), true))) {
+      return Expr::make_unary("NOT", parse_not());
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    const Token& t = peek();
+    if (t.type == TokenType::kOperator &&
+        (t.text == "=" || t.text == "<>" || t.text == "!=" || t.text == "<" ||
+         t.text == "<=" || t.text == ">" || t.text == ">=" ||
+         t.text == "<=>")) {
+      std::string op = t.text == "!=" ? "<>" : t.text;
+      advance();
+      return Expr::make_binary(std::move(op), std::move(lhs), parse_additive());
+    }
+    bool negated = false;
+    if (peek().is_keyword("NOT") &&
+        (peek(1).is_keyword("IN") || peek(1).is_keyword("BETWEEN") ||
+         peek(1).is_keyword("LIKE"))) {
+      negated = true;
+      advance();
+    }
+    if (accept_kw("LIKE")) {
+      ExprPtr rhs = parse_additive();
+      ExprPtr e = Expr::make_binary("LIKE", std::move(lhs), std::move(rhs));
+      e->negated = negated;
+      return e;
+    }
+    if (accept_kw("IN")) {
+      expect_punct('(');
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIn;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      if (peek().is_keyword("SELECT")) {
+        e->subquery = parse_select_core();
+      } else {
+        do {
+          e->children.push_back(parse_expr());
+        } while (accept_punct(','));
+      }
+      expect_punct(')');
+      return e;
+    }
+    if (accept_kw("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_additive());
+      expect_kw("AND");
+      e->children.push_back(parse_additive());
+      return e;
+    }
+    if (accept_kw("IS")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = accept_kw("NOT");
+      expect_kw("NULL");
+      e->children.push_back(std::move(lhs));
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (peek().is_op("+") || peek().is_op("-")) {
+      std::string op = peek().text;
+      advance();
+      lhs = Expr::make_binary(std::move(op), std::move(lhs),
+                              parse_multiplicative());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (peek().is_op("*") || peek().is_op("/") || peek().is_op("%")) {
+      std::string op = peek().text;
+      advance();
+      lhs = Expr::make_binary(std::move(op), std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().is_op("-")) {
+      advance();
+      // Fold negative literals so "-1" is a literal, as MySQL's item tree does.
+      ExprPtr inner = parse_unary();
+      if (inner->kind == ExprKind::kLiteral && !inner->literal_was_quoted) {
+        if (inner->literal.type() == ValueType::kInt) {
+          inner->literal = Value(-inner->literal.as_int());
+          return inner;
+        }
+        if (inner->literal.type() == ValueType::kDouble) {
+          inner->literal = Value(-inner->literal.as_double());
+          return inner;
+        }
+      }
+      return Expr::make_unary("-", std::move(inner));
+    }
+    if (peek().is_op("+")) {
+      advance();
+      return parse_unary();
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    if (t.type == TokenType::kPlaceholder) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kPlaceholder;
+      e->placeholder_index = next_placeholder_++;
+      return e;
+    }
+    switch (t.type) {
+      case TokenType::kString: {
+        advance();
+        return Expr::make_literal(Value(t.str_value), /*quoted=*/true);
+      }
+      case TokenType::kInteger: {
+        advance();
+        return Expr::make_literal(Value(t.int_value), /*quoted=*/false);
+      }
+      case TokenType::kDecimal: {
+        advance();
+        return Expr::make_literal(Value(t.dbl_value), /*quoted=*/false);
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "NULL") {
+          advance();
+          return Expr::make_literal(Value::null(), false);
+        }
+        if (t.text == "TRUE") {
+          advance();
+          return Expr::make_literal(Value(int64_t{1}), false);
+        }
+        if (t.text == "FALSE") {
+          advance();
+          return Expr::make_literal(Value(int64_t{0}), false);
+        }
+        if (t.text == "IF") {  // IF(cond, a, b) function form
+          advance();
+          expect_punct('(');
+          std::vector<ExprPtr> args;
+          do {
+            args.push_back(parse_expr());
+          } while (accept_punct(','));
+          expect_punct(')');
+          return Expr::make_func("IF", std::move(args));
+        }
+        throw ParseError("unexpected keyword '" + t.text + "' in expression",
+                         t.pos);
+      }
+      case TokenType::kIdentifier: {
+        std::string name = t.text;
+        advance();
+        if (accept_punct('(')) {
+          // Function call; COUNT(*) special-cased.
+          std::vector<ExprPtr> args;
+          if (peek().is_op("*")) {
+            advance();
+            args.push_back(Expr::make_column("", "*"));
+          } else if (!peek().is_punct(')')) {
+            do {
+              args.push_back(parse_expr());
+            } while (accept_punct(','));
+          }
+          expect_punct(')');
+          return Expr::make_func(common::to_upper(name), std::move(args));
+        }
+        if (accept_punct('.')) {
+          std::string col = expect_identifier("column name");
+          return Expr::make_column(std::move(name), std::move(col));
+        }
+        return Expr::make_column("", std::move(name));
+      }
+      case TokenType::kPunct: {
+        if (t.text == "(") {
+          advance();
+          ExprPtr e = parse_expr();
+          expect_punct(')');
+          return e;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    throw ParseError("unexpected token '" + t.text + "' in expression", t.pos);
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  int next_placeholder_ = 0;
+};
+
+}  // namespace
+
+ParsedQuery parse(std::string_view sql) {
+  LexResult lexed = lex(sql);
+  Parser p(std::move(lexed.tokens));
+  ParsedQuery out;
+  out.text = std::string(sql);
+  out.statement = p.parse_statement();
+  p.expect_end();
+  out.comments = std::move(lexed.comments);
+  return out;
+}
+
+}  // namespace septic::sql

@@ -1,0 +1,39 @@
+// Recursive-descent parser producing the AST plus the comment list.
+// Mirrors MySQL's behaviour of accepting the statement *after* charset
+// conversion, so injection payloads that survive sanitization but mutate
+// under conversion are parsed in their decoded form — the hook point SEPTIC
+// relies on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlcore/ast.h"
+#include "sqlcore/token.h"
+
+namespace septic::sql {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string msg, size_t pos)
+      : std::runtime_error(std::move(msg)), pos_(pos) {}
+  size_t pos() const { return pos_; }
+
+ private:
+  size_t pos_;
+};
+
+/// A fully parsed statement plus the out-of-band artefacts SEPTIC uses.
+struct ParsedQuery {
+  std::string text;  // the statement text as the server saw it (post-convert)
+  Statement statement;
+  std::vector<Comment> comments;
+};
+
+/// Parse exactly one statement (a trailing ';' is allowed). Throws
+/// LexError/ParseError on malformed input.
+ParsedQuery parse(std::string_view sql);
+
+}  // namespace septic::sql

@@ -1,0 +1,55 @@
+// Token stream produced by the lexer. Comments are captured out-of-band
+// (SEPTIC's external identifier travels inside a /* ... */ comment that the
+// server otherwise discards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace septic::sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ... (text is upper-cased)
+  kIdentifier,  // bare or `quoted` identifier (text as written, unquoted)
+  kString,      // string literal; `str_value` holds the decoded bytes
+  kInteger,     // integer literal; `int_value`
+  kDecimal,     // decimal/float literal; `dbl_value`
+  kOperator,    // = <> != < <= > >= + - * / % || && !
+  kPunct,       // ( ) , ; .
+  kPlaceholder, // ? (prepared-statement parameter marker)
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // normalized text (keywords upper, operators as-is)
+  std::string str_value;  // decoded contents for kString
+  int64_t int_value = 0;
+  double dbl_value = 0.0;
+  size_t pos = 0;  // byte offset in the (charset-converted) statement
+
+  bool is_keyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool is_op(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+  bool is_punct(char c) const {
+    return type == TokenType::kPunct && text.size() == 1 && text[0] == c;
+  }
+};
+
+/// A comment found while lexing, with its raw body (delimiters stripped).
+struct Comment {
+  enum class Kind { kBlock, kDashDash, kHash } kind = Kind::kBlock;
+  std::string body;
+  size_t pos = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;    // always ends with kEnd
+  std::vector<Comment> comments;
+};
+
+}  // namespace septic::sql

@@ -1,0 +1,187 @@
+#include "sqlcore/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace septic::sql {
+
+ValueType Value::type() const {
+  switch (v_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInt;
+    case 2: return ValueType::kDouble;
+    default: return ValueType::kString;
+  }
+}
+
+int64_t Value::as_int() const { return std::get<int64_t>(v_); }
+double Value::as_double() const { return std::get<double>(v_); }
+const std::string& Value::as_string() const { return std::get<std::string>(v_); }
+
+double numeric_prefix(std::string_view s, bool allow_fraction) {
+  size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  size_t start = i;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  size_t digits_begin = i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  if (allow_fraction && i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i == digits_begin ||
+      (i == digits_begin + 1 && !allow_fraction && s[digits_begin] == '.')) {
+    return 0.0;
+  }
+  std::string prefix(s.substr(start, i - start));
+  return std::strtod(prefix.c_str(), nullptr);
+}
+
+int64_t Value::coerce_int() const {
+  switch (type()) {
+    case ValueType::kNull: return 0;
+    case ValueType::kInt: return as_int();
+    case ValueType::kDouble: return static_cast<int64_t>(std::llround(as_double()));
+    case ValueType::kString:
+      return static_cast<int64_t>(numeric_prefix(as_string(), false));
+  }
+  return 0;
+}
+
+double Value::coerce_double() const {
+  switch (type()) {
+    case ValueType::kNull: return 0.0;
+    case ValueType::kInt: return static_cast<double>(as_int());
+    case ValueType::kDouble: return as_double();
+    case ValueType::kString: return numeric_prefix(as_string(), true);
+  }
+  return 0.0;
+}
+
+std::string Value::coerce_string() const {
+  switch (type()) {
+    case ValueType::kNull: return "";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case ValueType::kString: return as_string();
+  }
+  return "";
+}
+
+bool Value::truthy() const {
+  switch (type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kInt: return as_int() != 0;
+    case ValueType::kDouble: return as_double() != 0.0;
+    case ValueType::kString: return numeric_prefix(as_string(), true) != 0.0;
+  }
+  return false;
+}
+
+int Value::compare(const Value& other) const {
+  // Numeric comparison when either side is numeric (MySQL coercion).
+  bool lnum = type() == ValueType::kInt || type() == ValueType::kDouble;
+  bool rnum = other.type() == ValueType::kInt ||
+              other.type() == ValueType::kDouble;
+  if (lnum || rnum) {
+    double l = coerce_double();
+    double r = other.coerce_double();
+    if (l < r) return -1;
+    if (l > r) return 1;
+    return 0;
+  }
+  const std::string& l = as_string();
+  const std::string& r = other.as_string();
+  // MySQL default collations are case-insensitive for comparison purposes;
+  // binary-fold ASCII case here.
+  std::string lf = common::to_lower(l);
+  std::string rf = common::to_lower(r);
+  if (lf < rf) return -1;
+  if (lf > rf) return 1;
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull: return true;
+    case ValueType::kInt: return as_int() == other.as_int();
+    case ValueType::kDouble: return as_double() == other.as_double();
+    case ValueType::kString: return as_string() == other.as_string();
+  }
+  return false;
+}
+
+std::string Value::repr() const {
+  switch (type()) {
+    case ValueType::kNull: return "N";
+    case ValueType::kInt: return "I" + std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "D%.17g", as_double());
+      return buf;
+    }
+    case ValueType::kString: {
+      // Length-prefixed so embedded separators are safe.
+      return "S" + std::to_string(as_string().size()) + ":" + as_string();
+    }
+  }
+  return "N";
+}
+
+bool Value::from_repr(std::string_view s, Value& out) {
+  if (s.empty()) return false;
+  char tag = s[0];
+  std::string_view rest = s.substr(1);
+  switch (tag) {
+    case 'N':
+      if (!rest.empty()) return false;
+      out = Value::null();
+      return true;
+    case 'I': {
+      if (rest.empty()) return false;
+      char* end = nullptr;
+      std::string tmp(rest);
+      long long v = std::strtoll(tmp.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return false;
+      out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case 'D': {
+      if (rest.empty()) return false;
+      char* end = nullptr;
+      std::string tmp(rest);
+      double v = std::strtod(tmp.c_str(), &end);
+      if (end == nullptr || *end != '\0') return false;
+      out = Value(v);
+      return true;
+    }
+    case 'S': {
+      size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) return false;
+      std::string_view len_s = rest.substr(0, colon);
+      if (!common::all_digits(len_s)) return false;
+      size_t len = std::strtoull(std::string(len_s).c_str(), nullptr, 10);
+      std::string_view body = rest.substr(colon + 1);
+      if (body.size() != len) return false;
+      out = Value(std::string(body));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string Value::to_display() const {
+  if (is_null()) return "NULL";
+  return coerce_string();
+}
+
+}  // namespace septic::sql

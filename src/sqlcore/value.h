@@ -1,0 +1,72 @@
+// SQL runtime value: the typed cell used by literals, rows, and expression
+// evaluation. Comparison and coercion follow MySQL's permissive semantics
+// (string->number coercion in numeric context), because several of the
+// paper's semantic-mismatch attacks rely on exactly that behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace septic::sql {
+
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+/// A dynamically-typed SQL value. Regular type: copyable, comparable,
+/// hashable via repr().
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}  // NULL
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  static Value null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Numeric accessors; preconditions checked with assertions in callers.
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// MySQL-style coercions (never throw):
+  ///  - to_int: leading numeric prefix of a string, 0 otherwise.
+  ///  - to_double: same with decimal support.
+  ///  - to_string: canonical text rendering; NULL -> "" for concatenation
+  ///    contexts is handled by callers (SQL NULL propagates).
+  int64_t coerce_int() const;
+  double coerce_double() const;
+  std::string coerce_string() const;
+
+  /// True in a boolean context (MySQL: nonzero number, numeric-prefix
+  /// string nonzero; NULL is false).
+  bool truthy() const;
+
+  /// Three-way compare with MySQL coercion; NULLs compare as unknown and
+  /// must be handled by the caller (is_null checks first). Numeric compare
+  /// if either side is numeric, else binary string compare.
+  int compare(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+
+  /// Unambiguous serialized representation (type-tagged), used for
+  /// persistence and hashing.
+  std::string repr() const;
+  /// Parse a repr() string back; returns false on malformed input.
+  static bool from_repr(std::string_view s, Value& out);
+
+  /// Human-readable rendering for logs / result printing.
+  std::string to_display() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// MySQL-style numeric prefix parse: skips leading spaces, reads an optional
+/// sign and digits (and fraction when `allow_fraction`), ignores trailing
+/// garbage. "123abc" -> 123, "abc" -> 0.
+double numeric_prefix(std::string_view s, bool allow_fraction);
+
+}  // namespace septic::sql

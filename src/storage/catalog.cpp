@@ -1,0 +1,264 @@
+#include "storage/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace septic::storage {
+
+std::string Catalog::key_of(std::string_view name) {
+  return common::to_lower(name);
+}
+
+Table& Catalog::create_table(TableSchema schema, bool if_not_exists) {
+  std::string key = key_of(schema.name());
+  auto it = tables_.find(key);
+  if (it != tables_.end()) {
+    if (if_not_exists) return *it->second;
+    throw StorageError("table '" + schema.name() + "' already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table& ref = *table;
+  tables_.emplace(std::move(key), std::move(table));
+  return ref;
+}
+
+void Catalog::drop_table(std::string_view name, bool if_exists) {
+  auto it = tables_.find(key_of(name));
+  if (it == tables_.end()) {
+    if (if_exists) return;
+    throw StorageError("unknown table '" + std::string(name) + "'");
+  }
+  tables_.erase(it);
+}
+
+Table* Catalog::find(std::string_view name) {
+  auto it = tables_.find(key_of(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::find(std::string_view name) const {
+  auto it = tables_.find(key_of(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table& Catalog::require(std::string_view name) {
+  Table* t = find(name);
+  if (t == nullptr) {
+    throw StorageError("table '" + std::string(name) + "' doesn't exist");
+  }
+  return *t;
+}
+
+std::vector<std::string> Catalog::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table->schema().name());
+  return out;
+}
+
+std::string Catalog::save_snapshot() const {
+  std::string out;
+  for (const auto& [key, table] : tables_) {
+    const TableSchema& s = table->schema();
+    out += "T " + s.name() + "\n";
+    for (const auto& c : s.columns()) {
+      out += "C " + c.name + " " + column_type_name(c.type) + " ";
+      std::string flags;
+      if (c.primary_key) flags += 'p';
+      if (c.not_null) flags += 'n';
+      if (c.auto_increment) flags += 'a';
+      if (flags.empty()) flags = "-";
+      out += flags;
+      if (c.default_value) out += " D " + c.default_value->repr();
+      out += "\n";
+    }
+    out += "A " + std::to_string(table->next_auto_increment()) + "\n";
+    table->scan([&](size_t, const Row& row) {
+      out += "R ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) out += '|';
+        out += row[i].repr();
+      }
+      out += "\n";
+      return true;
+    });
+    for (const auto& [idx_name, idx_col] : table->index_defs()) {
+      out += "I " + idx_name + " " + idx_col + "\n";
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+namespace {
+
+ColumnType parse_column_type(std::string_view s) {
+  if (s == "INT") return ColumnType::kInt;
+  if (s == "DOUBLE") return ColumnType::kDouble;
+  if (s == "TEXT") return ColumnType::kText;
+  throw StorageError("snapshot: bad column type '" + std::string(s) + "'");
+}
+
+// Split a row line into value reprs. Reprs may contain '|' inside string
+// bodies, so split respecting the S<len>: length prefix.
+std::vector<std::string> split_row_reprs(std::string_view body) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] == 'S') {
+      size_t colon = body.find(':', i);
+      if (colon == std::string_view::npos) {
+        throw StorageError("snapshot: malformed string repr");
+      }
+      std::string_view len_s = body.substr(i + 1, colon - i - 1);
+      if (!common::all_digits(len_s)) {
+        throw StorageError("snapshot: malformed string length");
+      }
+      size_t len = std::stoull(std::string(len_s));
+      size_t end = colon + 1 + len;
+      if (end > body.size()) {
+        throw StorageError("snapshot: truncated string repr");
+      }
+      out.emplace_back(body.substr(i, end - i));
+      i = end;
+    } else {
+      size_t bar = body.find('|', i);
+      if (bar == std::string_view::npos) bar = body.size();
+      out.emplace_back(body.substr(i, bar - i));
+      i = bar;
+    }
+    if (i < body.size()) {
+      if (body[i] != '|') throw StorageError("snapshot: expected '|'");
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Catalog::load_snapshot(std::string_view data) {
+  tables_.clear();
+  std::istringstream in{std::string(data)};
+  std::string line;
+  Table* current = nullptr;
+  std::vector<ColumnDef> pending_cols;
+  std::string pending_name;
+  int64_t pending_auto_inc = 1;
+  bool in_table = false;
+
+  auto materialize = [&]() {
+    if (!in_table || current != nullptr) return;
+    current = &create_table(TableSchema(pending_name, pending_cols));
+    current->set_auto_increment(pending_auto_inc);
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    char tag = line[0];
+    std::string_view body =
+        line.size() > 2 ? std::string_view(line).substr(2) : std::string_view();
+    switch (tag) {
+      case 'T': {
+        if (in_table) throw StorageError("snapshot: nested table");
+        pending_name = std::string(body);
+        pending_cols.clear();
+        pending_auto_inc = 1;
+        current = nullptr;
+        in_table = true;
+        break;
+      }
+      case 'C': {
+        if (!in_table || current != nullptr) {
+          throw StorageError("snapshot: stray column line");
+        }
+        auto parts = common::split(std::string(body), ' ');
+        if (parts.size() < 3) throw StorageError("snapshot: bad column line");
+        ColumnDef def;
+        def.name = parts[0];
+        def.type = parse_column_type(parts[1]);
+        for (char f : parts[2]) {
+          if (f == 'p') def.primary_key = true;
+          if (f == 'n') def.not_null = true;
+          if (f == 'a') def.auto_increment = true;
+        }
+        if (parts.size() >= 5 && parts[3] == "D") {
+          // Default value repr may itself contain spaces; rejoin.
+          std::string repr = parts[4];
+          for (size_t i = 5; i < parts.size(); ++i) repr += " " + parts[i];
+          sql::Value v;
+          if (!sql::Value::from_repr(repr, v)) {
+            throw StorageError("snapshot: bad default repr");
+          }
+          def.default_value = v;
+        }
+        pending_cols.push_back(std::move(def));
+        break;
+      }
+      case 'A': {
+        if (!in_table) throw StorageError("snapshot: stray A line");
+        pending_auto_inc = std::stoll(std::string(body));
+        break;
+      }
+      case 'R': {
+        if (!in_table) throw StorageError("snapshot: stray row line");
+        materialize();
+        auto reprs = split_row_reprs(body);
+        Row row;
+        row.reserve(reprs.size());
+        for (const auto& r : reprs) {
+          sql::Value v;
+          if (!sql::Value::from_repr(r, v)) {
+            throw StorageError("snapshot: bad value repr '" + r + "'");
+          }
+          row.push_back(std::move(v));
+        }
+        int64_t saved_auto_inc = current->next_auto_increment();
+        current->insert(std::move(row));
+        // insert() may bump auto_inc past the saved value; keep the max.
+        if (current->next_auto_increment() < saved_auto_inc) {
+          current->set_auto_increment(saved_auto_inc);
+        }
+        break;
+      }
+      case 'I': {
+        if (!in_table) throw StorageError("snapshot: stray index line");
+        materialize();
+        auto parts = common::split(std::string(body), ' ');
+        if (parts.size() != 2) throw StorageError("snapshot: bad index line");
+        current->create_index(parts[0], parts[1]);
+        break;
+      }
+      case '.': {
+        if (!in_table) throw StorageError("snapshot: stray terminator");
+        materialize();
+        current = nullptr;
+        in_table = false;
+        break;
+      }
+      default:
+        throw StorageError("snapshot: unknown line tag '" +
+                           std::string(1, tag) + "'");
+    }
+  }
+  if (in_table) throw StorageError("snapshot: unterminated table block");
+}
+
+void Catalog::save_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw StorageError("cannot open '" + path + "' for writing");
+  out << save_snapshot();
+  if (!out) throw StorageError("write failed for '" + path + "'");
+}
+
+void Catalog::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw StorageError("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  load_snapshot(buf.str());
+}
+
+}  // namespace septic::storage

@@ -1,0 +1,58 @@
+// The database catalog: named tables plus snapshot persistence. A catalog is
+// single-database (MySQL "schema"); the engine owns one per Database.
+//
+// Persistence format is line-oriented text:
+//   T <name>
+//   C <name> <type> <flags: p=pk, n=not_null, a=auto_inc> [D <value-repr>]
+//   A <next_auto_increment>
+//   R <value-repr>|<value-repr>|...   (| is safe: reprs are length-prefixed)
+//   I <index-name> <column>           (secondary indexes, rebuilt on load)
+//   .
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace septic::storage {
+
+class Catalog {
+ public:
+  /// Create a table; throws StorageError if it exists (unless
+  /// `if_not_exists`).
+  Table& create_table(TableSchema schema, bool if_not_exists = false);
+
+  /// Drop a table; throws StorageError when missing (unless `if_exists`).
+  void drop_table(std::string_view name, bool if_exists = false);
+
+  /// Lookup; nullptr when absent. Case-insensitive, like MySQL on
+  /// case-insensitive filesystems.
+  Table* find(std::string_view name);
+  const Table* find(std::string_view name) const;
+
+  /// Lookup or throw StorageError("table ... doesn't exist").
+  Table& require(std::string_view name);
+
+  std::vector<std::string> table_names() const;
+  size_t table_count() const { return tables_.size(); }
+
+  /// Serialize every table (schema + rows) to the snapshot format.
+  std::string save_snapshot() const;
+  /// Rebuild the catalog from a snapshot; throws StorageError on malformed
+  /// input. Replaces current contents.
+  void load_snapshot(std::string_view data);
+
+  /// File convenience wrappers (throw StorageError on I/O failure).
+  void save_to_file(const std::string& path) const;
+  void load_from_file(const std::string& path);
+
+ private:
+  static std::string key_of(std::string_view name);
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
+};
+
+}  // namespace septic::storage

@@ -1,0 +1,68 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace septic::storage {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) {
+      pk_index_ = static_cast<int>(i);
+      break;
+    }
+  }
+}
+
+TableSchema TableSchema::from_ast(const sql::CreateTableStmt& stmt) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(stmt.columns.size());
+  for (const auto& c : stmt.columns) {
+    ColumnDef def;
+    def.name = c.name;
+    switch (c.type) {
+      case sql::ColumnDefAst::Type::kInt: def.type = ColumnType::kInt; break;
+      case sql::ColumnDefAst::Type::kDouble:
+        def.type = ColumnType::kDouble;
+        break;
+      case sql::ColumnDefAst::Type::kText: def.type = ColumnType::kText; break;
+    }
+    def.not_null = c.not_null;
+    def.primary_key = c.primary_key;
+    def.auto_increment = c.auto_increment;
+    def.default_value = c.default_value;
+    cols.push_back(std::move(def));
+  }
+  return TableSchema(stmt.table, std::move(cols));
+}
+
+int TableSchema::column_index(std::string_view col) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (common::iequals(columns_[i].name, col)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+sql::Value TableSchema::coerce_to_column(size_t col, const sql::Value& v) const {
+  if (v.is_null()) return v;
+  switch (columns_[col].type) {
+    case ColumnType::kInt:
+      return sql::Value(v.coerce_int());
+    case ColumnType::kDouble:
+      return sql::Value(v.coerce_double());
+    case ColumnType::kText:
+      return sql::Value(v.coerce_string());
+  }
+  return v;
+}
+
+const char* column_type_name(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+}  // namespace septic::storage

@@ -1,0 +1,57 @@
+// Table schemas: column definitions with storage types, primary key,
+// auto-increment, and defaults.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlcore/ast.h"
+#include "sqlcore/value.h"
+
+namespace septic::storage {
+
+enum class ColumnType { kInt, kDouble, kText };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool not_null = false;
+  bool primary_key = false;
+  bool auto_increment = false;
+  std::optional<sql::Value> default_value;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns);
+
+  /// Build from a parsed CREATE TABLE statement.
+  static TableSchema from_ast(const sql::CreateTableStmt& stmt);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Index of a column by case-insensitive name; -1 when absent.
+  int column_index(std::string_view col) const;
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the primary key column; -1 when the table has none.
+  int primary_key_index() const { return pk_index_; }
+
+  /// Coerce a value into the column's storage type (MySQL-style silent
+  /// coercion: strings into INT columns take their numeric prefix).
+  sql::Value coerce_to_column(size_t col, const sql::Value& v) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  int pk_index_ = -1;
+};
+
+const char* column_type_name(ColumnType t);
+
+}  // namespace septic::storage

@@ -1,0 +1,223 @@
+#include "storage/table.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace septic::storage {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+std::string Table::pk_key(const sql::Value& v) const { return v.repr(); }
+
+void Table::check_not_null(const Row& row) const {
+  for (size_t i = 0; i < schema_.column_count(); ++i) {
+    if (schema_.column(i).not_null && row[i].is_null()) {
+      throw StorageError("column '" + schema_.column(i).name +
+                         "' cannot be NULL");
+    }
+  }
+}
+
+Table::InsertResult Table::insert(Row row) {
+  if (row.size() != schema_.column_count()) {
+    throw StorageError("column count mismatch for table '" + schema_.name() +
+                       "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    row[i] = schema_.coerce_to_column(i, row[i]);
+  }
+  int pk = schema_.primary_key_index();
+  sql::Value pk_value;
+  if (pk >= 0) {
+    auto pi = static_cast<size_t>(pk);
+    if (row[pi].is_null() && schema_.column(pi).auto_increment) {
+      row[pi] = sql::Value(auto_inc_);
+    }
+    if (row[pi].is_null()) {
+      throw StorageError("primary key cannot be NULL");
+    }
+    if (pk_index_.count(pk_key(row[pi])) > 0) {
+      throw StorageError("duplicate primary key " + row[pi].to_display() +
+                         " in table '" + schema_.name() + "'");
+    }
+    pk_value = row[pi];
+    if (schema_.column(pi).type == ColumnType::kInt) {
+      int64_t v = row[pi].coerce_int();
+      if (v >= auto_inc_) auto_inc_ = v + 1;
+    }
+  }
+  check_not_null(row);
+  size_t slot = rows_.size();
+  if (pk >= 0) pk_index_[pk_key(row[static_cast<size_t>(pk)])] = slot;
+  index_insert(slot, row);
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return {slot, pk_value};
+}
+
+void Table::scan(const std::function<bool(size_t, const Row&)>& fn) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!live_[i]) continue;
+    if (!fn(i, rows_[i])) return;
+  }
+}
+
+const Row& Table::row(size_t slot) const {
+  assert(slot < rows_.size() && live_[slot]);
+  return rows_[slot];
+}
+
+void Table::update(size_t slot,
+                   const std::vector<std::pair<size_t, sql::Value>>& changes) {
+  assert(slot < rows_.size() && live_[slot]);
+  Row candidate = rows_[slot];
+  int pk = schema_.primary_key_index();
+  for (const auto& [col, value] : changes) {
+    candidate[col] = schema_.coerce_to_column(col, value);
+  }
+  check_not_null(candidate);
+  if (pk >= 0) {
+    auto pi = static_cast<size_t>(pk);
+    const std::string old_key = pk_key(rows_[slot][pi]);
+    const std::string new_key = pk_key(candidate[pi]);
+    if (old_key != new_key) {
+      if (auto it = pk_index_.find(new_key);
+          it != pk_index_.end() && it->second != slot) {
+        throw StorageError("duplicate primary key on update in '" +
+                           schema_.name() + "'");
+      }
+      pk_index_.erase(old_key);
+      pk_index_[new_key] = slot;
+    }
+  }
+  index_erase(slot, rows_[slot]);
+  index_insert(slot, candidate);
+  rows_[slot] = std::move(candidate);
+}
+
+void Table::erase(size_t slot) {
+  assert(slot < rows_.size() && live_[slot]);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
+  index_erase(slot, rows_[slot]);
+  live_[slot] = false;
+  rows_[slot].clear();
+  --live_count_;
+}
+
+namespace {
+/// Index keys must agree with eval's comparison semantics: TEXT compares
+/// ASCII-case-insensitively, so text keys are folded before hashing.
+std::string index_key(const TableSchema& schema, size_t column,
+                      const sql::Value& v) {
+  if (schema.column(column).type == ColumnType::kText && !v.is_null()) {
+    return sql::Value(common::to_lower(v.coerce_string())).repr();
+  }
+  return v.repr();
+}
+}  // namespace
+
+void Table::index_insert(size_t slot, const Row& row) {
+  for (auto& idx : indexes_) {
+    idx.map.emplace(index_key(schema_, idx.column, row[idx.column]), slot);
+  }
+}
+
+void Table::index_erase(size_t slot, const Row& row) {
+  for (auto& idx : indexes_) {
+    auto [begin, end] =
+        idx.map.equal_range(index_key(schema_, idx.column, row[idx.column]));
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == slot) {
+        idx.map.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void Table::create_index(const std::string& index_name,
+                         const std::string& column) {
+  for (const auto& idx : indexes_) {
+    if (idx.name == index_name) {
+      throw StorageError("index '" + index_name + "' already exists");
+    }
+  }
+  int col = schema_.column_index(column);
+  if (col < 0) {
+    throw StorageError("unknown column '" + column + "' for index");
+  }
+  SecondaryIndex idx;
+  idx.name = index_name;
+  idx.column = static_cast<size_t>(col);
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (live_[slot]) {
+      idx.map.emplace(index_key(schema_, idx.column, rows_[slot][idx.column]),
+                      slot);
+    }
+  }
+  indexes_.push_back(std::move(idx));
+}
+
+void Table::drop_index(const std::string& index_name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->name == index_name) {
+      indexes_.erase(it);
+      return;
+    }
+  }
+  throw StorageError("unknown index '" + index_name + "'");
+}
+
+bool Table::has_index_on(std::string_view column) const {
+  int col = schema_.column_index(column);
+  if (col < 0) return false;
+  for (const auto& idx : indexes_) {
+    if (idx.column == static_cast<size_t>(col)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> Table::index_lookup(std::string_view column,
+                                        const sql::Value& key) const {
+  int col = schema_.column_index(column);
+  std::vector<size_t> out;
+  if (col < 0) return out;
+  sql::Value probe = schema_.coerce_to_column(static_cast<size_t>(col), key);
+  for (const auto& idx : indexes_) {
+    if (idx.column != static_cast<size_t>(col)) continue;
+    auto [begin, end] =
+        idx.map.equal_range(index_key(schema_, idx.column, probe));
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    return out;
+  }
+  return out;
+}
+
+std::vector<std::string> Table::index_names() const {
+  std::vector<std::string> out;
+  for (const auto& idx : indexes_) out.push_back(idx.name);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Table::index_defs() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& idx : indexes_) {
+    out.emplace_back(idx.name, schema_.column(idx.column).name);
+  }
+  return out;
+}
+
+int64_t Table::find_by_pk(const sql::Value& key) const {
+  if (schema_.primary_key_index() < 0) return -1;
+  // Coerce the probe to the PK column type so '7' finds 7.
+  sql::Value probe = schema_.coerce_to_column(
+      static_cast<size_t>(schema_.primary_key_index()), key);
+  auto it = pk_index_.find(pk_key(probe));
+  if (it == pk_index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+}  // namespace septic::storage

@@ -1,0 +1,106 @@
+// Heap table with an optional hash index on the primary key and
+// auto-increment support. Rows are dense vectors of sql::Value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlcore/value.h"
+#include "storage/schema.h"
+
+namespace septic::storage {
+
+using Row = std::vector<sql::Value>;
+
+/// Error type for storage-level constraint violations.
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t row_count() const { return live_count_; }
+
+  /// Insert a full row (already column-ordered, unvalidated values are
+  /// coerced to column types). Fills auto-increment when the PK value is
+  /// NULL. Returns the row id (slot) and the value assigned to the PK (or
+  /// NULL when no PK). Throws StorageError on duplicate PK / NOT NULL
+  /// violation.
+  struct InsertResult {
+    size_t slot;
+    sql::Value pk_value;
+  };
+  InsertResult insert(Row row);
+
+  /// Visit every live row: fn(slot, row). Return false from fn to stop.
+  void scan(const std::function<bool(size_t, const Row&)>& fn) const;
+
+  /// Direct row access (slot must be live).
+  const Row& row(size_t slot) const;
+
+  /// Replace columns of a live row; PK updates re-index. Throws on
+  /// constraint violation.
+  void update(size_t slot, const std::vector<std::pair<size_t, sql::Value>>&
+                               changes);
+
+  /// Remove a live row.
+  void erase(size_t slot);
+
+  /// Fast lookup by primary key; returns -1 when absent / no PK.
+  int64_t find_by_pk(const sql::Value& key) const;
+
+  // ---- secondary indexes ------------------------------------------------
+
+  /// Build (and maintain from then on) a hash index over one column.
+  /// Throws StorageError for unknown columns or duplicate index names.
+  void create_index(const std::string& index_name, const std::string& column);
+
+  /// Drop by name; throws StorageError when unknown.
+  void drop_index(const std::string& index_name);
+
+  /// True when any index covers this column (the executor's access-path
+  /// check).
+  bool has_index_on(std::string_view column) const;
+
+  /// Slots whose indexed column equals `key` (coerced to the column type).
+  /// Must only be called when has_index_on(column) is true.
+  std::vector<size_t> index_lookup(std::string_view column,
+                                   const sql::Value& key) const;
+
+  std::vector<std::string> index_names() const;
+
+  /// (index name, column name) pairs, for snapshot persistence.
+  std::vector<std::pair<std::string, std::string>> index_defs() const;
+
+  int64_t next_auto_increment() const { return auto_inc_; }
+  void set_auto_increment(int64_t v) { auto_inc_ = v; }
+
+ private:
+  struct SecondaryIndex {
+    std::string name;
+    size_t column = 0;
+    std::unordered_multimap<std::string, size_t> map;  // value repr -> slot
+  };
+
+  std::string pk_key(const sql::Value& v) const;
+  void check_not_null(const Row& row) const;
+  void index_insert(size_t slot, const Row& row);
+  void index_erase(size_t slot, const Row& row);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::unordered_map<std::string, size_t> pk_index_;
+  std::vector<SecondaryIndex> indexes_;
+  int64_t auto_inc_ = 1;
+};
+
+}  // namespace septic::storage

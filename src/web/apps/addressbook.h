@@ -1,0 +1,19 @@
+// PHP-Address-Book-like contact manager: one of the three real applications
+// used for the Fig. 5 overhead evaluation. Its recorded workload has 12
+// requests (paper Section II-F).
+#pragma once
+
+#include "web/framework.h"
+
+namespace septic::web::apps {
+
+class AddressBookApp final : public App {
+ public:
+  std::string name() const override { return "addressbook"; }
+  void install(engine::Database& db) override;
+  std::vector<FormSpec> forms() const override;
+  Response handle(const Request& request, AppContext& ctx) override;
+  std::vector<Request> workload() const override;  // 12 requests
+};
+
+}  // namespace septic::web::apps

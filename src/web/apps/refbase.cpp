@@ -1,0 +1,154 @@
+#include "web/apps/refbase.h"
+
+#include "web/sanitize.h"
+
+namespace septic::web::apps {
+
+namespace {
+std::string param(const Request& r, const std::string& key) {
+  auto it = r.params.find(key);
+  return it == r.params.end() ? std::string() : it->second;
+}
+}  // namespace
+
+void RefbaseApp::install(engine::Database& db) {
+  db.execute_admin(
+      "CREATE TABLE refs ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " author TEXT NOT NULL,"
+      " title TEXT NOT NULL,"
+      " journal TEXT,"
+      " year INT,"
+      " doi TEXT,"
+      " citations INT DEFAULT 0)");
+  db.execute_admin(
+      "CREATE TABLE keywords ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " ref_id INT NOT NULL,"
+      " word TEXT NOT NULL)");
+  db.execute_admin(
+      "INSERT INTO refs (author, title, journal, year, doi, citations) VALUES "
+      "('Medeiros, I.', 'Hacking the DBMS to Prevent Injection Attacks', "
+      "'CODASPY', 2016, '10.1145/2857705.2857723', 42),"
+      "('Halfond, W.', 'AMNESIA: Analysis and Monitoring for NEutralizing "
+      "SQL-Injection Attacks', 'ASE', 2005, '10.1145/1101908.1101935', 800),"
+      "('Boyd, S.', 'SQLrand: Preventing SQL Injection Attacks', 'ACNS', "
+      "2004, '', 500),"
+      "('Su, Z.', 'The Essence of Command Injection Attacks in Web "
+      "Applications', 'POPL', 2006, '10.1145/1111037.1111070', 650)");
+  db.execute_admin(
+      "INSERT INTO keywords (ref_id, word) VALUES "
+      "(1, 'sql-injection'), (1, 'dbms'), (2, 'sql-injection'), "
+      "(2, 'static-analysis'), (3, 'randomization'), (4, 'injection')");
+
+
+  // Realistic production indexes (exercised by the engine's index
+  // access path; EXPLAIN shows 'ref (secondary index)' on these columns).
+  db.execute_admin("CREATE INDEX idx_keywords_word ON keywords (word)");
+}
+
+std::vector<FormSpec> RefbaseApp::forms() const {
+  return {
+      {Method::kPost, "/ref/add",
+       {{"author", "Neves, N."}, {"title", "Trustworthy systems"},
+        {"journal", "TDSC"}, {"year", "2015"}, {"doi", "10.1109/td.1"}}},
+      {Method::kGet, "/search", {{"author", "Medeiros"}, {"year", "2016"}}},
+      {Method::kGet, "/ref", {{"id", "1"}}},
+      {Method::kGet, "/by-keyword", {{"word", "sql-injection"}}},
+      {Method::kGet, "/cite", {{"id", "1"}}},
+      {Method::kGet, "/recent", {{"since", "2005"}}},
+      {Method::kGet, "/refs", {}},
+  };
+}
+
+Response RefbaseApp::handle(const Request& request, AppContext& ctx) {
+  using php::intval;
+  using php::mysql_real_escape_string;
+
+  if (request.path == "/refs") {
+    auto rs = ctx.sql(
+        "SELECT id, author, title, year FROM refs ORDER BY year DESC, author",
+        "refs-list");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/ref") {
+    int64_t id = intval(param(request, "id"));
+    auto rs =
+        ctx.sql("SELECT * FROM refs WHERE id = " + std::to_string(id), "ref");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/search") {
+    std::string author = mysql_real_escape_string(param(request, "author"));
+    std::string year = mysql_real_escape_string(param(request, "year"));
+    std::string q =
+        "SELECT id, author, title, year FROM refs WHERE author LIKE '%" +
+        author + "%'";
+    if (!year.empty()) q += " AND year = " + year;  // numeric context
+    q += " ORDER BY year DESC";
+    auto rs = ctx.sql(std::move(q), year.empty() ? "search-author"
+                                                 : "search-author-year");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/by-keyword") {
+    std::string word = mysql_real_escape_string(param(request, "word"));
+    auto rs = ctx.sql(
+        "SELECT r.author, r.title, r.year FROM refs r JOIN keywords k ON "
+        "k.ref_id = r.id WHERE k.word = '" + word + "' ORDER BY r.year",
+        "by-keyword");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/cite") {
+    int64_t id = intval(param(request, "id"));
+    auto rs = ctx.sql("UPDATE refs SET citations = citations + 1 WHERE id = " +
+                          std::to_string(id),
+                      "cite");
+    return Response::make_ok(std::to_string(rs.affected_rows) + " cited\n");
+  }
+  if (request.path == "/recent") {
+    std::string since = mysql_real_escape_string(param(request, "since"));
+    auto rs = ctx.sql(
+        "SELECT author, title, year FROM refs WHERE year >= " +
+            (since.empty() ? "2000" : since) + " ORDER BY year DESC LIMIT 10",
+        "recent");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/ref/add") {
+    std::string author = mysql_real_escape_string(param(request, "author"));
+    std::string title = mysql_real_escape_string(param(request, "title"));
+    std::string journal = mysql_real_escape_string(param(request, "journal"));
+    std::string year = mysql_real_escape_string(param(request, "year"));
+    std::string doi = mysql_real_escape_string(param(request, "doi"));
+    ctx.sql("INSERT INTO refs (author, title, journal, year, doi) VALUES ('" +
+                author + "', '" + title + "', '" + journal + "', " +
+                (year.empty() ? "0" : year) + ", '" + doi + "')",
+            "ref-add");
+    return Response::make_ok("reference " +
+                             std::to_string(ctx.last_insert_id()) + " added\n");
+  }
+  return Response::not_found();
+}
+
+std::vector<Request> RefbaseApp::workload() const {
+  // The 14-request recorded session (paper Section II-F).
+  return {
+      Request::get("/refs"),
+      Request::get("/ref", {{"id", "1"}}),
+      Request::get("/search", {{"author", "Halfond"}, {"year", ""}}),
+      Request::get("/ref", {{"id", "2"}}),
+      Request::get("/by-keyword", {{"word", "sql-injection"}}),
+      Request::get("/cite", {{"id", "2"}}),
+      Request::get("/recent", {{"since", "2005"}}),
+      Request::post("/ref/add",
+                    {{"author", "Correia, M."}, {"title", "Intrusion "
+                     "tolerance"}, {"journal", "Computing"}, {"year", "2011"},
+                     {"doi", "10.1007/c.1"}}),
+      Request::get("/refs"),
+      Request::get("/search", {{"author", "Correia"}, {"year", "2011"}}),
+      Request::get("/ref", {{"id", "5"}}),
+      Request::get("/cite", {{"id", "5"}}),
+      Request::get("/by-keyword", {{"word", "dbms"}}),
+      Request::get("/refs"),
+  };
+}
+
+}  // namespace septic::web::apps

@@ -1,0 +1,19 @@
+// refbase-like web reference database (bibliography manager): the second of
+// the three Fig. 5 workload applications; its recorded workload has 14
+// requests (paper Section II-F).
+#pragma once
+
+#include "web/framework.h"
+
+namespace septic::web::apps {
+
+class RefbaseApp final : public App {
+ public:
+  std::string name() const override { return "refbase"; }
+  void install(engine::Database& db) override;
+  std::vector<FormSpec> forms() const override;
+  Response handle(const Request& request, AppContext& ctx) override;
+  std::vector<Request> workload() const override;  // 14 requests
+};
+
+}  // namespace septic::web::apps

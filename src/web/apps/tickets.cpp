@@ -1,0 +1,133 @@
+#include "web/apps/tickets.h"
+
+#include "web/sanitize.h"
+
+namespace septic::web::apps {
+
+namespace {
+std::string param(const Request& r, const std::string& key) {
+  auto it = r.params.find(key);
+  return it == r.params.end() ? std::string() : it->second;
+}
+}  // namespace
+
+void TicketsApp::install(engine::Database& db) {
+  db.execute_admin(
+      "CREATE TABLE tickets ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " reservID TEXT NOT NULL,"
+      " creditCard INT,"
+      " passenger TEXT,"
+      " flight TEXT,"
+      " seat TEXT)");
+  db.execute_admin(
+      "CREATE TABLE profiles ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " username TEXT NOT NULL,"
+      " fullname TEXT,"
+      " defaultReserv TEXT,"
+      " creditCard INT)");
+  db.execute_admin(
+      "INSERT INTO tickets (reservID, creditCard, passenger, flight, seat) "
+      "VALUES ('ID34FG', 1234, 'Alice Traveler', 'LX100', '12A'),"
+      "('QX81Zx', 5678, 'Bob Flyer', 'LX200', '3C'),"
+      "('KJ92MN', 9012, 'Carol Jet', 'TP440', '21F')");
+  db.execute_admin(
+      "INSERT INTO profiles (username, fullname, defaultReserv, creditCard) "
+      "VALUES ('alice', 'Alice Traveler', 'ID34FG', 1234)");
+
+
+  // Realistic production indexes (exercised by the engine's index
+  // access path; EXPLAIN shows 'ref (secondary index)' on these columns).
+  db.execute_admin("CREATE INDEX idx_tickets_reserv ON tickets (reservID)");
+  db.execute_admin("CREATE INDEX idx_profiles_user ON profiles (username)");
+}
+
+std::vector<FormSpec> TicketsApp::forms() const {
+  return {
+      {Method::kGet, "/ticket",
+       {{"reservID", "ID34FG"}, {"creditCard", "1234"}}},
+      {Method::kPost, "/profile",
+       {{"username", "bob"}, {"fullname", "Bob Flyer"},
+        {"defaultReserv", "QX81Zx"}, {"creditCard", "5678"}}},
+      {Method::kGet, "/my-ticket", {{"username", "alice"}}},
+      {Method::kGet, "/flights", {}},
+  };
+}
+
+Response TicketsApp::handle(const Request& request, AppContext& ctx) {
+  using php::mysql_real_escape_string;
+  using php::intval;
+
+  if (request.path == "/ticket") {
+    // The careful developer escapes both inputs... but embeds creditCard
+    // unquoted (it is "a number, after all"), the classic numeric-context
+    // mistake.
+    std::string reserv = mysql_real_escape_string(param(request, "reservID"));
+    std::string cc = mysql_real_escape_string(param(request, "creditCard"));
+    auto rs = ctx.sql("SELECT * FROM tickets WHERE reservID = '" + reserv +
+                          "' AND creditCard = " + (cc.empty() ? "0" : cc),
+                      "ticket");
+    if (rs.rows.empty()) return Response::make_ok("no ticket found\n");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  if (request.path == "/profile" && request.method == Method::kPost) {
+    // The write path was migrated to prepared statements (PDO style): the
+    // values are bound as data, so the INSERT itself is injection-proof —
+    // and the payload bytes are stored VERBATIM, which is what arms the
+    // second-order attack against the legacy /my-ticket read path below.
+    ctx.sql_prepared(
+        "INSERT INTO profiles (username, fullname, defaultReserv, "
+        "creditCard) VALUES (?, ?, ?, ?)",
+        {sql::Value(param(request, "username")),
+         sql::Value(param(request, "fullname")),
+         sql::Value(param(request, "defaultReserv")),
+         sql::Value(php::intval(param(request, "creditCard")))},
+        "profile-add");
+    return Response::make_ok("profile saved (id " +
+                             std::to_string(ctx.last_insert_id()) + ")\n");
+  }
+
+  if (request.path == "/my-ticket") {
+    // Second-order flow: fetch the stored default reservation, then embed
+    // it in the ticket query WITHOUT re-sanitizing — "it came from our own
+    // database, it must be safe".
+    std::string user = mysql_real_escape_string(param(request, "username"));
+    auto prof = ctx.sql(
+        "SELECT defaultReserv, creditCard FROM profiles WHERE username = '" +
+            user + "'",
+        "my-ticket-profile");
+    if (prof.rows.empty()) return Response::make_ok("no such user\n");
+    std::string stored = prof.rows[0][0].coerce_string();
+    std::string stored_cc = std::to_string(prof.rows[0][1].coerce_int());
+    auto rs = ctx.sql("SELECT * FROM tickets WHERE reservID = '" + stored +
+                          "' AND creditCard = " + stored_cc,
+                      "my-ticket-lookup");
+    if (rs.rows.empty()) {
+      return Response::make_ok("no ticket for stored reservation\n");
+    }
+    return Response::make_ok(render_rows(rs));
+  }
+
+  if (request.path == "/flights") {
+    auto rs = ctx.sql(
+        "SELECT flight, COUNT(*) AS seats FROM tickets GROUP BY flight "
+        "ORDER BY flight",
+        "flights");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  return Response::not_found();
+}
+
+std::vector<Request> TicketsApp::workload() const {
+  return {
+      Request::get("/ticket", {{"reservID", "ID34FG"}, {"creditCard", "1234"}}),
+      Request::get("/ticket", {{"reservID", "QX81Zx"}, {"creditCard", "5678"}}),
+      Request::get("/my-ticket", {{"username", "alice"}}),
+      Request::get("/flights"),
+  };
+}
+
+}  // namespace septic::web::apps

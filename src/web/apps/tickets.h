@@ -1,0 +1,28 @@
+// The paper's running example (Section II-C1/II-D1): a flight-ticket
+// application whose lookup query is
+//   SELECT * FROM tickets WHERE reservID = '?' AND creditCard = ?
+// The developer was careful — every string input goes through
+// mysql_real_escape_string — yet the app is vulnerable through the
+// semantic mismatch:
+//   - reservID: quoted, escaped — but Unicode confusable quotes survive
+//     escaping and decode into quotes inside the server;
+//   - creditCard: numeric context, embedded unquoted — escaping is
+//     irrelevant there;
+//   - /my-ticket: a second-order flow that trusts data previously stored
+//     in the profiles table.
+#pragma once
+
+#include "web/framework.h"
+
+namespace septic::web::apps {
+
+class TicketsApp final : public App {
+ public:
+  std::string name() const override { return "tickets"; }
+  void install(engine::Database& db) override;
+  std::vector<FormSpec> forms() const override;
+  Response handle(const Request& request, AppContext& ctx) override;
+  std::vector<Request> workload() const override;
+};
+
+}  // namespace septic::web::apps

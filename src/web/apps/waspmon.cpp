@@ -1,0 +1,177 @@
+#include "web/apps/waspmon.h"
+
+#include "web/sanitize.h"
+
+namespace septic::web::apps {
+
+namespace {
+std::string param(const Request& r, const std::string& key) {
+  auto it = r.params.find(key);
+  return it == r.params.end() ? std::string() : it->second;
+}
+}  // namespace
+
+void WaspMonApp::install(engine::Database& db) {
+  db.execute_admin(
+      "CREATE TABLE devices ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " name TEXT NOT NULL,"
+      " type TEXT,"
+      " location TEXT,"
+      " api_url TEXT,"
+      " status TEXT DEFAULT 'online')");
+  db.execute_admin(
+      "CREATE TABLE readings ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " device_id INT NOT NULL,"
+      " watts DOUBLE,"
+      " ts TEXT)");
+  db.execute_admin(
+      "CREATE TABLE users ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " username TEXT NOT NULL,"
+      " fullname TEXT,"
+      " note TEXT)");
+  db.execute_admin(
+      "INSERT INTO devices (name, type, location, api_url) VALUES "
+      "('fridge', 'appliance', 'kitchen', 'http://device.local/fridge'),"
+      "('heatpump', 'hvac', 'basement', 'http://device.local/hp'),"
+      "('solar-inverter', 'generation', 'roof', 'http://device.local/solar')");
+  db.execute_admin(
+      "INSERT INTO readings (device_id, watts, ts) VALUES "
+      "(1, 120.5, '2017-06-25 10:00:00'),"
+      "(1, 118.2, '2017-06-25 11:00:00'),"
+      "(2, 850.0, '2017-06-25 10:00:00'),"
+      "(3, -1500.0, '2017-06-25 12:00:00')");
+  db.execute_admin(
+      "INSERT INTO users (username, fullname, note) VALUES "
+      "('admin', 'Grid Admin', 'installer account')");
+
+
+  // Realistic production indexes (exercised by the engine's index
+  // access path; EXPLAIN shows 'ref (secondary index)' on these columns).
+  db.execute_admin("CREATE INDEX idx_readings_device ON readings (device_id)");
+  db.execute_admin("CREATE INDEX idx_users_name ON users (username)");
+}
+
+std::vector<FormSpec> WaspMonApp::forms() const {
+  return {
+      {Method::kPost, "/device/add",
+       {{"name", "dishwasher"},
+        {"type", "appliance"},
+        {"location", "kitchen"},
+        {"api_url", "http://device.local/dw"}}},
+      {Method::kPost, "/reading/add",
+       {{"device_id", "1"}, {"watts", "99.5"}}},
+      {Method::kGet, "/device/history",
+       {{"device_id", "1"}, {"limit", "10"}}},
+      {Method::kGet, "/device/search", {{"name", "fridge"}}},
+      {Method::kPost, "/user/register",
+       {{"username", "carol"}, {"fullname", "Carol Grid"},
+        {"note", "new tenant"}}},
+      {Method::kGet, "/device/by-user", {{"username", "admin"}}},
+      {Method::kGet, "/devices", {}},
+  };
+}
+
+Response WaspMonApp::handle(const Request& request, AppContext& ctx) {
+  using php::intval;
+  using php::mysql_real_escape_string;
+
+  if (request.path == "/device/add" && request.method == Method::kPost) {
+    std::string name = mysql_real_escape_string(param(request, "name"));
+    std::string type = mysql_real_escape_string(param(request, "type"));
+    std::string loc = mysql_real_escape_string(param(request, "location"));
+    std::string url = mysql_real_escape_string(param(request, "api_url"));
+    ctx.sql("INSERT INTO devices (name, type, location, api_url) VALUES ('" +
+                name + "', '" + type + "', '" + loc + "', '" + url + "')",
+            "device-add");
+    return Response::make_ok("device registered (id " +
+                             std::to_string(ctx.last_insert_id()) + ")\n");
+  }
+
+  if (request.path == "/reading/add" && request.method == Method::kPost) {
+    // Numeric inputs: escaped, then embedded unquoted — the numeric-context
+    // hole that escaping cannot close.
+    std::string dev = mysql_real_escape_string(param(request, "device_id"));
+    std::string watts = mysql_real_escape_string(param(request, "watts"));
+    ctx.sql("INSERT INTO readings (device_id, watts, ts) VALUES (" +
+                (dev.empty() ? "0" : dev) + ", " +
+                (watts.empty() ? "0" : watts) + ", NOW())",
+            "reading-add");
+    return Response::make_ok("reading stored\n");
+  }
+
+  if (request.path == "/device/history") {
+    std::string dev = mysql_real_escape_string(param(request, "device_id"));
+    std::string limit = param(request, "limit");
+    int64_t lim = limit.empty() ? 20 : intval(limit);  // intval: safe
+    auto rs = ctx.sql("SELECT ts, watts FROM readings WHERE device_id = " +
+                          (dev.empty() ? "0" : dev) +
+                          " ORDER BY id DESC LIMIT " + std::to_string(lim),
+                      "device-history");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  if (request.path == "/device/search") {
+    std::string name = mysql_real_escape_string(param(request, "name"));
+    auto rs = ctx.sql(
+        "SELECT id, name, type, location, status FROM devices WHERE name "
+        "LIKE '%" + name + "%' ORDER BY name",
+        "device-search");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  if (request.path == "/user/register" && request.method == Method::kPost) {
+    // Prepared write (values stored verbatim): immune to SQLI by
+    // construction, but the stored bytes still carry XSS/OSCI/RCE payloads
+    // and arm the second-order flow at /device/by-user — which is exactly
+    // why SEPTIC's stored-injection plugins inspect INSERT data.
+    ctx.sql_prepared(
+        "INSERT INTO users (username, fullname, note) VALUES (?, ?, ?)",
+        {sql::Value(param(request, "username")),
+         sql::Value(param(request, "fullname")),
+         sql::Value(param(request, "note"))},
+        "user-register");
+    return Response::make_ok("user registered\n");
+  }
+
+  if (request.path == "/device/by-user") {
+    // Second-order: the user's stored note doubles as a device filter in a
+    // later query (a real WaspMon-style misfeature: notes hold the device
+    // name the tenant cares about). Stored data is not re-sanitized.
+    std::string user = mysql_real_escape_string(param(request, "username"));
+    auto prof = ctx.sql("SELECT note FROM users WHERE username = '" + user +
+                            "'",
+                        "by-user-note");
+    if (prof.rows.empty()) return Response::make_ok("no such user\n");
+    std::string note = prof.rows[0][0].coerce_string();
+    auto rs = ctx.sql("SELECT id, name, status FROM devices WHERE name = '" +
+                          note + "'",
+                      "by-user-devices");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  if (request.path == "/devices") {
+    auto rs = ctx.sql(
+        "SELECT d.name, d.location, COUNT(r.id) AS samples "
+        "FROM devices d LEFT JOIN readings r ON d.id = r.device_id "
+        "GROUP BY d.name, d.location ORDER BY d.name",
+        "devices-list");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  return Response::not_found();
+}
+
+std::vector<Request> WaspMonApp::workload() const {
+  return {
+      Request::get("/devices"),
+      Request::get("/device/history", {{"device_id", "1"}, {"limit", "5"}}),
+      Request::get("/device/search", {{"name", "heat"}}),
+      Request::post("/reading/add", {{"device_id", "2"}, {"watts", "845.5"}}),
+      Request::get("/device/by-user", {{"username", "admin"}}),
+  };
+}
+
+}  // namespace septic::web::apps

@@ -1,0 +1,25 @@
+// WaspMon-like energy-consumption monitoring application (paper Section
+// III): manages devices of a household/factory, stores power readings
+// collected from them, and lets users review history and schedule actions.
+// Typical smart-grid deployment; compromises could cause "power imbalances
+// in the grid".
+//
+// The programmer "was careful and used PHP sanitization functions ... to
+// check all inputs" — every handler below sanitizes. The remaining attack
+// surface is precisely the semantic-mismatch one the demo exploits.
+#pragma once
+
+#include "web/framework.h"
+
+namespace septic::web::apps {
+
+class WaspMonApp final : public App {
+ public:
+  std::string name() const override { return "waspmon"; }
+  void install(engine::Database& db) override;
+  std::vector<FormSpec> forms() const override;
+  Response handle(const Request& request, AppContext& ctx) override;
+  std::vector<Request> workload() const override;
+};
+
+}  // namespace septic::web::apps

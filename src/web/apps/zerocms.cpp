@@ -1,0 +1,191 @@
+#include "web/apps/zerocms.h"
+
+#include "web/sanitize.h"
+
+namespace septic::web::apps {
+
+namespace {
+std::string param(const Request& r, const std::string& key) {
+  auto it = r.params.find(key);
+  return it == r.params.end() ? std::string() : it->second;
+}
+}  // namespace
+
+void ZeroCmsApp::install(engine::Database& db) {
+  db.execute_admin(
+      "CREATE TABLE cms_users ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " username TEXT NOT NULL,"
+      " passhash TEXT NOT NULL,"
+      " bio TEXT)");
+  db.execute_admin(
+      "CREATE TABLE articles ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " author_id INT NOT NULL,"
+      " title TEXT NOT NULL,"
+      " body TEXT,"
+      " views INT DEFAULT 0)");
+  db.execute_admin(
+      "CREATE TABLE comments ("
+      " id INT PRIMARY KEY AUTO_INCREMENT,"
+      " article_id INT NOT NULL,"
+      " author TEXT,"
+      " body TEXT)");
+  db.execute_admin(
+      "INSERT INTO cms_users (username, passhash, bio) VALUES "
+      "('editor', 'x1', 'site editor'), ('reader', 'x2', 'casual reader')");
+  db.execute_admin(
+      "INSERT INTO articles (author_id, title, body) VALUES "
+      "(1, 'Welcome to ZeroCMS', 'First post.'),"
+      "(1, 'Securing web apps', 'Sanitize your inputs... or better.'),"
+      "(2, 'Reader diary', 'Notes from a reader.')");
+  db.execute_admin(
+      "INSERT INTO comments (article_id, author, body) VALUES "
+      "(1, 'reader', 'Nice site!'), (2, 'reader', 'What about SEPTIC?')");
+
+
+  // Realistic production indexes (exercised by the engine's index
+  // access path; EXPLAIN shows 'ref (secondary index)' on these columns).
+  db.execute_admin("CREATE INDEX idx_comments_article ON comments (article_id)");
+  db.execute_admin("CREATE INDEX idx_articles_author ON articles (author_id)");
+}
+
+std::vector<FormSpec> ZeroCmsApp::forms() const {
+  return {
+      {Method::kPost, "/article/new",
+       {{"author_id", "1"}, {"title", "Draft"}, {"body", "Draft body."}}},
+      {Method::kPost, "/comment/add",
+       {{"article_id", "1"}, {"author", "reader"}, {"body", "A comment."}}},
+      {Method::kPost, "/login", {{"username", "editor"}, {"password", "pw"}}},
+      {Method::kPost, "/comment/delete", {{"id", "2"}}},
+      {Method::kGet, "/article", {{"id", "1"}}},
+      {Method::kGet, "/user", {{"id", "1"}}},
+      {Method::kGet, "/search", {{"q", "web"}}},
+      {Method::kGet, "/", {}},
+  };
+}
+
+Response ZeroCmsApp::handle(const Request& request, AppContext& ctx) {
+  using php::intval;
+  using php::mysql_real_escape_string;
+
+  // Static web objects: no DBMS interaction at all.
+  if (request.path.rfind("/static/", 0) == 0) {
+    return Response::make_ok(std::string(512, '#'));  // pretend bytes
+  }
+
+  if (request.path == "/") {
+    auto rs = ctx.sql(
+        "SELECT a.id, a.title, u.username, a.views FROM articles a JOIN "
+        "cms_users u ON a.author_id = u.id ORDER BY a.id DESC LIMIT 10",
+        "front");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/article") {
+    int64_t id = intval(param(request, "id"));
+    ctx.sql("UPDATE articles SET views = views + 1 WHERE id = " +
+                std::to_string(id),
+            "article-views");
+    auto rs = ctx.sql(
+        "SELECT title, body, views FROM articles WHERE id = " +
+            std::to_string(id),
+        "article");
+    auto comments = ctx.sql(
+        "SELECT author, body FROM comments WHERE article_id = " +
+            std::to_string(id) + " ORDER BY id",
+        "article-comments");
+    return Response::make_ok(render_rows(rs) + render_rows(comments));
+  }
+  if (request.path == "/user") {
+    int64_t id = intval(param(request, "id"));
+    auto rs = ctx.sql(
+        "SELECT username, bio FROM cms_users WHERE id = " + std::to_string(id),
+        "user");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/search") {
+    std::string q = mysql_real_escape_string(param(request, "q"));
+    auto rs = ctx.sql(
+        "SELECT id, title FROM articles WHERE title LIKE '%" + q +
+            "%' OR body LIKE '%" + q + "%' ORDER BY id DESC",
+        "search");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/login") {
+    std::string user = mysql_real_escape_string(param(request, "username"));
+    std::string pass = mysql_real_escape_string(param(request, "password"));
+    auto rs = ctx.sql(
+        "SELECT id FROM cms_users WHERE username = '" + user +
+            "' AND passhash = MD5('" + pass + "')",
+        "login");
+    return Response::make_ok(rs.rows.empty() ? "login failed\n"
+                                             : "welcome back\n");
+  }
+  if (request.path == "/article/new") {
+    int64_t author = intval(param(request, "author_id"));
+    std::string title = mysql_real_escape_string(param(request, "title"));
+    std::string body = mysql_real_escape_string(param(request, "body"));
+    ctx.sql("INSERT INTO articles (author_id, title, body) VALUES (" +
+                std::to_string(author) + ", '" + title + "', '" + body + "')",
+            "article-new");
+    return Response::make_ok("article " +
+                             std::to_string(ctx.last_insert_id()) + "\n");
+  }
+  if (request.path == "/comment/add") {
+    int64_t art = intval(param(request, "article_id"));
+    std::string author = mysql_real_escape_string(param(request, "author"));
+    std::string body = mysql_real_escape_string(param(request, "body"));
+    ctx.sql("INSERT INTO comments (article_id, author, body) VALUES (" +
+                std::to_string(art) + ", '" + author + "', '" + body + "')",
+            "comment-add");
+    return Response::make_ok("comment added\n");
+  }
+  if (request.path == "/comment/delete") {
+    int64_t id = intval(param(request, "id"));
+    auto rs = ctx.sql("DELETE FROM comments WHERE id = " + std::to_string(id),
+                      "comment-delete");
+    return Response::make_ok(std::to_string(rs.affected_rows) + " deleted\n");
+  }
+  return Response::not_found();
+}
+
+std::vector<Request> ZeroCmsApp::workload() const {
+  // The 26-request recorded session: page views, one login, article/comment
+  // writes, a delete, and static objects (paper Section II-F).
+  return {
+      Request::get("/"),
+      Request::get("/static/style.css"),
+      Request::get("/static/logo.png"),
+      Request::get("/article", {{"id", "1"}}),
+      Request::get("/static/avatar1.png"),
+      Request::get("/article", {{"id", "2"}}),
+      Request::get("/user", {{"id", "1"}}),
+      Request::get("/search", {{"q", "web"}}),
+      Request::post("/login", {{"username", "editor"}, {"password", "pw"}}),
+      Request::post("/article/new",
+                    {{"author_id", "1"}, {"title", "News of the day"},
+                     {"body", "Fresh content."}}),
+      Request::get("/"),
+      Request::get("/static/style.css"),
+      Request::get("/article", {{"id", "4"}}),
+      Request::post("/comment/add",
+                    {{"article_id", "4"}, {"author", "reader"},
+                     {"body", "First!"}}),
+      Request::get("/article", {{"id", "4"}}),
+      Request::get("/static/banner.jpg"),
+      Request::get("/user", {{"id", "2"}}),
+      Request::get("/search", {{"q", "news"}}),
+      Request::post("/comment/add",
+                    {{"article_id", "1"}, {"author", "reader"},
+                     {"body", "Still nice."}}),
+      Request::get("/article", {{"id", "1"}}),
+      Request::post("/comment/delete", {{"id", "1"}}),
+      Request::get("/article", {{"id", "1"}}),
+      Request::get("/"),
+      Request::get("/static/footer.svg"),
+      Request::get("/article", {{"id", "3"}}),
+      Request::get("/"),
+  };
+}
+
+}  // namespace septic::web::apps

@@ -1,0 +1,22 @@
+// ZeroCMS-like content management system: the third Fig. 5 workload
+// application. Its recorded workload has 26 requests "with queries of
+// several types (SELECT, UPDATE, INSERT and DELETE) and downloading of web
+// objects (e.g., images, css)" (paper Section II-F) — the static-object
+// requests are served without touching the DBMS, diluting per-request DB
+// cost exactly as in BenchLab.
+#pragma once
+
+#include "web/framework.h"
+
+namespace septic::web::apps {
+
+class ZeroCmsApp final : public App {
+ public:
+  std::string name() const override { return "zerocms"; }
+  void install(engine::Database& db) override;
+  std::vector<FormSpec> forms() const override;
+  Response handle(const Request& request, AppContext& ctx) override;
+  std::vector<Request> workload() const override;  // 26 requests
+};
+
+}  // namespace septic::web::apps

@@ -1,0 +1,48 @@
+#include "web/framework.h"
+
+namespace septic::web {
+
+engine::ResultSet AppContext::sql(std::string query, std::string_view site) {
+  if (emit_external_ids_) {
+    // Prepended, not appended: an injected "-- " inside the statement can
+    // comment out everything after it, but never anything before it, so a
+    // leading identifier comment survives every truncation attack.
+    std::string tagged = "/* ID:";
+    tagged += app_name_;
+    tagged += ':';
+    tagged += site;
+    tagged += " */ ";
+    tagged += query;
+    return conn_.query(session_, tagged);
+  }
+  return conn_.query(session_, query);
+}
+
+engine::ResultSet AppContext::sql_prepared(std::string template_query,
+                                           std::vector<sql::Value> params,
+                                           std::string_view site) {
+  if (emit_external_ids_) {
+    std::string tagged = "/* ID:";
+    tagged += app_name_;
+    tagged += ':';
+    tagged += site;
+    tagged += " */ ";
+    tagged += template_query;
+    return conn_.query_prepared(session_, tagged, params);
+  }
+  return conn_.query_prepared(session_, template_query, params);
+}
+
+std::string render_rows(const engine::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    out += "<tr>";
+    for (const auto& v : row) {
+      out += "<td>" + v.to_display() + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  return out;
+}
+
+}  // namespace septic::web

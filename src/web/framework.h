@@ -1,0 +1,149 @@
+// The PHP-application shim: a tiny web framework whose handlers build SQL
+// strings by concatenation (with sanitizer calls), exactly as the PHP
+// applications in the paper do. Also defines the connection abstraction so
+// a GreenSQL-style proxy can be interposed between application and DBMS.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "web/http.h"
+#include "web/proxy.h"
+
+namespace septic::web {
+
+// ------------------------------------------------------------- connections
+
+/// Where the application sends its queries: directly to the DBMS, or
+/// through a proxy firewall.
+class DbConnection {
+ public:
+  virtual ~DbConnection() = default;
+  virtual engine::ResultSet query(engine::Session& session,
+                                  std::string_view sql) = 0;
+  /// Prepared-statement path (PDO-style): the template carries `?`
+  /// placeholders, values are bound out-of-band.
+  virtual engine::ResultSet query_prepared(
+      engine::Session& session, std::string_view template_sql,
+      const std::vector<sql::Value>& params) = 0;
+};
+
+class DirectConnection final : public DbConnection {
+ public:
+  explicit DirectConnection(engine::Database& db) : db_(db) {}
+  engine::ResultSet query(engine::Session& session,
+                          std::string_view sql) override {
+    return db_.execute(session, sql);
+  }
+  engine::ResultSet query_prepared(
+      engine::Session& session, std::string_view template_sql,
+      const std::vector<sql::Value>& params) override {
+    return db_.execute_prepared(session, template_sql, params);
+  }
+
+ private:
+  engine::Database& db_;
+};
+
+/// Routes queries through a QueryFirewall first. Blocked queries surface as
+/// DbError(kBlocked) with a "proxy:" reason, like a dropped connection
+/// would in a real deployment.
+class ProxyConnection final : public DbConnection {
+ public:
+  ProxyConnection(QueryFirewall& firewall, DbConnection& next)
+      : firewall_(firewall), next_(next) {}
+  engine::ResultSet query(engine::Session& session,
+                          std::string_view sql) override {
+    if (!firewall_.check(sql)) {
+      throw engine::DbError(engine::ErrorCode::kBlocked,
+                            "proxy: unknown query fingerprint");
+    }
+    return next_.query(session, sql);
+  }
+  engine::ResultSet query_prepared(
+      engine::Session& session, std::string_view template_sql,
+      const std::vector<sql::Value>& params) override {
+    // The proxy fingerprints the template text; bound parameters are
+    // invisible to it (they never appear as statement bytes).
+    if (!firewall_.check(template_sql)) {
+      throw engine::DbError(engine::ErrorCode::kBlocked,
+                            "proxy: unknown query fingerprint");
+    }
+    return next_.query_prepared(session, template_sql, params);
+  }
+
+ private:
+  QueryFirewall& firewall_;
+  DbConnection& next_;
+};
+
+// ---------------------------------------------------------------- app model
+
+/// A form the training crawler can discover and fill with benign inputs.
+struct FormField {
+  std::string name;
+  std::string sample;  // a benign value the crawler submits
+};
+
+struct FormSpec {
+  Method method = Method::kPost;
+  std::string path;
+  std::vector<FormField> fields;
+};
+
+/// Per-request execution context handed to route handlers.
+class AppContext {
+ public:
+  AppContext(DbConnection& conn, std::string app_name, bool emit_external_ids)
+      : conn_(conn),
+        app_name_(std::move(app_name)),
+        emit_external_ids_(emit_external_ids) {}
+
+  /// Execute a query, prepending the SSLE external-identifier comment
+  /// ("/* ID:<app>:<site> */") when enabled. DbError propagates.
+  engine::ResultSet sql(std::string query, std::string_view site);
+
+  /// Prepared-statement flavour (the PDO-style code path some handlers
+  /// use for writes).
+  engine::ResultSet sql_prepared(std::string template_query,
+                                 std::vector<sql::Value> params,
+                                 std::string_view site);
+
+  engine::Session& session() { return session_; }
+  int64_t last_insert_id() const { return session_.last_insert_id(); }
+
+ private:
+  DbConnection& conn_;
+  engine::Session session_;
+  std::string app_name_;
+  bool emit_external_ids_;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Create tables and seed data (admin path: bypasses protections).
+  virtual void install(engine::Database& db) = 0;
+
+  /// Entry points for the training crawler.
+  virtual std::vector<FormSpec> forms() const = 0;
+
+  /// Handle one request. Database failures must be caught by the caller
+  /// (WebStack) — handlers just let DbError propagate.
+  virtual Response handle(const Request& request, AppContext& ctx) = 0;
+
+  /// The recorded benign workload (BenchLab-style request sequence).
+  virtual std::vector<Request> workload() const = 0;
+};
+
+/// Render rows as a simple HTML-ish table body (what handlers echo back).
+std::string render_rows(const engine::ResultSet& rs);
+
+}  // namespace septic::web

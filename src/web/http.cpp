@@ -1,0 +1,52 @@
+#include "web/http.h"
+
+#include "common/unicode.h"
+
+namespace septic::web {
+
+const char* method_name(Method m) {
+  return m == Method::kGet ? "GET" : "POST";
+}
+
+Request Request::get(std::string path,
+                     std::map<std::string, std::string> params) {
+  Request r;
+  r.method = Method::kGet;
+  r.path = std::move(path);
+  r.params = std::move(params);
+  return r;
+}
+
+Request Request::post(std::string path,
+                      std::map<std::string, std::string> params) {
+  Request r;
+  r.method = Method::kPost;
+  r.path = std::move(path);
+  r.params = std::move(params);
+  return r;
+}
+
+std::string Request::encoded_params() const {
+  std::string out;
+  for (const auto& [k, v] : params) {
+    if (!out.empty()) out += '&';
+    out += common::url_encode(k);
+    out += '=';
+    out += common::url_encode(v);
+  }
+  return out;
+}
+
+std::string Request::to_string() const {
+  std::string out = method_name(method);
+  out += ' ';
+  out += path;
+  std::string enc = encoded_params();
+  if (!enc.empty()) {
+    out += method == Method::kGet ? '?' : ' ';
+    out += enc;
+  }
+  return out;
+}
+
+}  // namespace septic::web

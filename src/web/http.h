@@ -1,0 +1,57 @@
+// Minimal HTTP request/response model: enough surface for the web
+// applications, the WAF (which inspects method, path, query string, and
+// form parameters), and the BenchLab-style workload driver.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::web {
+
+enum class Method { kGet, kPost };
+
+const char* method_name(Method m);
+
+struct Request {
+  Method method = Method::kGet;
+  std::string path;                           // e.g. "/search"
+  std::map<std::string, std::string> params;  // query-string + form fields
+  std::map<std::string, std::string> headers;
+
+  static Request get(std::string path,
+                     std::map<std::string, std::string> params = {});
+  static Request post(std::string path,
+                      std::map<std::string, std::string> params = {});
+
+  /// The raw query/body string the WAF inspects in addition to the decoded
+  /// parameters ("a=1&b=x%27"). Built from params with URL encoding.
+  std::string encoded_params() const;
+
+  std::string to_string() const;  // "GET /search?reservID=..."
+};
+
+struct Response {
+  int status = 200;
+  std::string body;
+  std::string blocked_by;  // "", "waf", "proxy", "septic", "db"
+
+  bool ok() const { return status >= 200 && status < 300; }
+  bool blocked() const { return !blocked_by.empty(); }
+
+  static Response make_ok(std::string body) { return {200, std::move(body), ""}; }
+  static Response not_found() { return {404, "not found", ""}; }
+  static Response forbidden(std::string by, std::string why) {
+    Response r;
+    r.status = 403;
+    r.body = std::move(why);
+    r.blocked_by = std::move(by);
+    return r;
+  }
+  static Response server_error(std::string why) {
+    return {500, std::move(why), ""};
+  }
+};
+
+}  // namespace septic::web

@@ -1,0 +1,203 @@
+#include "web/proxy.h"
+
+#include <cctype>
+
+namespace septic::web {
+
+std::string QueryFirewall::fingerprint(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  bool last_space = true;
+  auto push = [&](char c) {
+    if (c == ' ') {
+      if (last_space) return;
+      last_space = true;
+    } else {
+      last_space = false;
+    }
+    out += c;
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    // String literal -> '?'. Handles backslash escapes and doubled quotes
+    // at the byte level (no charset awareness — that is the point).
+    if (c == '\'' || c == '"') {
+      char q = c;
+      ++i;
+      while (i < n) {
+        if (sql[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (sql[i] == q) {
+          if (i + 1 < n && sql[i + 1] == q) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      push('?');
+      continue;
+    }
+    // Numeric literal -> '?' (only when not part of an identifier).
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (out.empty() ||
+         (!std::isalnum(static_cast<unsigned char>(out.back())) &&
+          out.back() != '_' && out.back() != '?'))) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      push('?');
+      continue;
+    }
+    // Comments stripped (text-level view).
+    if (c == '#' || (c == '-' && i + 1 < n && sql[i + 1] == '-')) {
+      size_t end = sql.find('\n', i);
+      i = (end == std::string_view::npos) ? n : end + 1;
+      push(' ');
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      i = (end == std::string_view::npos) ? n : end + 2;
+      push(' ');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      push(' ');
+      ++i;
+      continue;
+    }
+    push(lower(c));
+    ++i;
+  }
+  // Trim trailing space.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string QueryFirewall::digest(std::string_view sql) {
+  std::string fp = fingerprint(sql);
+  // Collapse placeholder runs: "?, ?, ?" -> "?+" and "(?+), (?+)" -> "(?+)".
+  std::string out;
+  out.reserve(fp.size());
+  size_t i = 0;
+  while (i < fp.size()) {
+    if (fp[i] == '?') {
+      // Swallow the whole comma-separated run of ?s.
+      size_t j = i;
+      bool run = false;
+      while (j < fp.size()) {
+        if (fp[j] == '?') {
+          ++j;
+        } else if (fp[j] == ',' || fp[j] == ' ') {
+          size_t k = j;
+          while (k < fp.size() && (fp[k] == ',' || fp[k] == ' ')) ++k;
+          if (k < fp.size() && fp[k] == '?') {
+            run = true;
+            j = k;
+          } else {
+            break;
+          }
+        } else {
+          break;
+        }
+      }
+      out += run ? "?+" : "?";
+      i = j;
+      continue;
+    }
+    out += fp[i++];
+  }
+  // Collapse repeated "(?+)" groups from multi-row VALUES.
+  for (;;) {
+    size_t hit = out.find("(?+), (?+)");
+    if (hit == std::string::npos) break;
+    out.replace(hit, 10, "(?+)");
+  }
+  // pt-fingerprint collapses lists regardless of arity: a one-element
+  // IN/VALUES list digests the same as a long one.
+  struct Rewrite {
+    const char* from;
+    const char* to;
+  };
+  for (const Rewrite& rw : {Rewrite{"in (?)", "in (?+)"},
+                            Rewrite{"values (?)", "values (?+)"}}) {
+    for (;;) {
+      size_t hit = out.find(rw.from);
+      if (hit == std::string::npos) break;
+      out.replace(hit, std::string_view(rw.from).size(), rw.to);
+    }
+  }
+  return out;
+}
+
+void QueryFirewall::set_digest_mode(bool on) {
+  std::lock_guard lock(mu_);
+  digest_mode_ = on;
+}
+
+bool QueryFirewall::digest_mode() const {
+  std::lock_guard lock(mu_);
+  return digest_mode_;
+}
+
+std::string QueryFirewall::normalize(std::string_view sql) const {
+  return digest_mode_ ? digest(sql) : fingerprint(sql);
+}
+
+QueryFirewall::Mode QueryFirewall::mode() const {
+  std::lock_guard lock(mu_);
+  return mode_;
+}
+
+void QueryFirewall::set_mode(Mode m) {
+  std::lock_guard lock(mu_);
+  mode_ = m;
+}
+
+void QueryFirewall::learn(std::string_view sql) {
+  std::lock_guard lock(mu_);
+  known_.insert(normalize(sql));
+}
+
+bool QueryFirewall::check(std::string_view sql) {
+  std::lock_guard lock(mu_);
+  std::string fp = normalize(sql);
+  if (mode_ == Mode::kLearning) {
+    known_.insert(fp);
+    return true;
+  }
+  if (known_.count(fp) > 0) return true;
+  ++blocked_;
+  return false;
+}
+
+size_t QueryFirewall::fingerprint_count() const {
+  std::lock_guard lock(mu_);
+  return known_.size();
+}
+
+uint64_t QueryFirewall::blocked_count() const {
+  std::lock_guard lock(mu_);
+  return blocked_;
+}
+
+void QueryFirewall::clear() {
+  std::lock_guard lock(mu_);
+  known_.clear();
+  blocked_ = 0;
+  mode_ = Mode::kLearning;
+}
+
+}  // namespace septic::web

@@ -1,0 +1,70 @@
+// GreenSQL-style learning database firewall ("SQL proxies or database
+// firewalls, operating between the application and the DBMS, filtering the
+// queries" — paper Section I).
+//
+// The proxy never parses like the server does: it normalizes the raw query
+// *text* into a fingerprint (literals -> ?, whitespace compressed, comments
+// stripped, lowercased) and, in protect mode, drops queries whose
+// fingerprint was not learned. Its structural blind spot — reproduced
+// faithfully here — is that normalization happens on the bytes the
+// application sent: a U+02BC hidden inside a quoted literal still looks
+// like a literal, even though MySQL will decode it into a quote and change
+// the statement's shape.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace septic::web {
+
+class QueryFirewall {
+ public:
+  enum class Mode { kLearning, kProtect };
+
+  /// Normalize a query's text into its fingerprint.
+  static std::string fingerprint(std::string_view sql);
+
+  /// Percona pt-fingerprint-style digest: like fingerprint(), but runs of
+  /// placeholders are additionally collapsed — `in (?, ?, ?)` -> `in (?+)`
+  /// and multi-row `values (?, ?), (?, ?)` -> `values (?+)` — so queries
+  /// that differ only in list arity share one digest. Coarser than
+  /// fingerprint(): fewer entries to learn, but it also accepts arity
+  /// changes an attacker can cause (paper Section II-B groups GreenSQL and
+  /// Percona Tools as the same class of learning tools).
+  static std::string digest(std::string_view sql);
+
+  /// Switch the firewall between exact fingerprints (GreenSQL-like,
+  /// default) and collapsed digests (Percona-like). Clears nothing; call
+  /// clear() when switching modes mid-run.
+  void set_digest_mode(bool on);
+  bool digest_mode() const;
+
+  Mode mode() const;
+  void set_mode(Mode m);
+
+  /// Learning-mode ingestion (also callable directly for test setup).
+  void learn(std::string_view sql);
+
+  /// True when the query may pass. In learning mode every query passes and
+  /// is learned; in protect mode only known fingerprints pass.
+  bool check(std::string_view sql);
+
+  size_t fingerprint_count() const;
+  uint64_t blocked_count() const;
+  void clear();
+
+ private:
+  std::string normalize(std::string_view sql) const;
+
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kLearning;
+  bool digest_mode_ = false;
+  std::unordered_set<std::string> known_;
+  uint64_t blocked_ = 0;
+};
+
+}  // namespace septic::web

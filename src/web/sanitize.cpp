@@ -1,0 +1,114 @@
+#include "web/sanitize.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sqlcore/value.h"
+
+namespace septic::web::php {
+
+std::string mysql_real_escape_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '\0': out += "\\0"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      case '\'': out += "\\'"; break;
+      case '"': out += "\\\""; break;
+      case '\x1a': out += "\\Z"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string addslashes(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '\0': out += "\\0"; break;
+      case '\\': out += "\\\\"; break;
+      case '\'': out += "\\'"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+int64_t intval(std::string_view s) {
+  return static_cast<int64_t>(sql::numeric_prefix(s, /*allow_fraction=*/false));
+}
+
+double floatval(std::string_view s) {
+  return sql::numeric_prefix(s, /*allow_fraction=*/true);
+}
+
+bool is_numeric(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (i >= s.size()) return false;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  bool digits = false, dot = false, exp = false;
+  size_t mantissa_digits = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits = true;
+      if (!exp) ++mantissa_digits;
+      continue;
+    }
+    if (c == '.' && !dot && !exp) {
+      dot = true;
+      continue;
+    }
+    if ((c == 'e' || c == 'E') && !exp && digits) {
+      exp = true;
+      if (i + 1 < s.size() && (s[i + 1] == '+' || s[i + 1] == '-')) ++i;
+      digits = false;  // require digits after the exponent
+      continue;
+    }
+    return false;
+  }
+  (void)mantissa_digits;
+  return digits;
+}
+
+std::string htmlspecialchars(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#039;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string strip_tags(std::string_view s) {
+  std::string out;
+  bool in_tag = false;
+  for (char c : s) {
+    if (c == '<') {
+      in_tag = true;
+      continue;
+    }
+    if (c == '>') {
+      in_tag = false;
+      continue;
+    }
+    if (!in_tag) out += c;
+  }
+  return out;
+}
+
+}  // namespace septic::web::php

@@ -1,0 +1,39 @@
+// PHP-compatible sanitization functions (paper Section I: "sanitization of
+// user inputs ... functions provided by the language, e.g.
+// mysql_real_escape_string"). Semantics follow the PHP/libmysql originals
+// byte-for-byte — including their blind spots, which the semantic-mismatch
+// attacks exploit:
+//   - mysql_real_escape_string escapes only NUL, \n, \r, \, ', " and ^Z;
+//     multi-byte codepoints such as U+02BC pass through untouched.
+//   - escaping is useless when the value lands in an unquoted numeric
+//     context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace septic::web::php {
+
+/// libmysql's mysql_real_escape_string (latin1/utf8 connection charset).
+std::string mysql_real_escape_string(std::string_view s);
+
+/// PHP addslashes: escapes ', ", \ and NUL only.
+std::string addslashes(std::string_view s);
+
+/// PHP intval with base 10: numeric prefix, 0 otherwise.
+int64_t intval(std::string_view s);
+
+/// PHP floatval.
+double floatval(std::string_view s);
+
+/// PHP is_numeric (integer/float syntax, leading whitespace allowed).
+bool is_numeric(std::string_view s);
+
+/// PHP htmlspecialchars (ENT_QUOTES): & < > " ' to entities.
+std::string htmlspecialchars(std::string_view s);
+
+/// PHP strip_tags: removes <...> sequences.
+std::string strip_tags(std::string_view s);
+
+}  // namespace septic::web::php

@@ -1,0 +1,44 @@
+#include "web/stack.h"
+
+#include "common/string_util.h"
+
+namespace septic::web {
+
+WebStack::WebStack(App& app, engine::Database& db, StackConfig config)
+    : app_(app),
+      db_(db),
+      config_(config),
+      direct_(db),
+      proxied_(proxy_, direct_) {}
+
+Response WebStack::handle(const Request& request) {
+  if (config_.waf_enabled) {
+    waf::WafDecision decision = waf_.inspect(request);
+    if (decision.blocked) {
+      waf_.audit(request, decision);
+      std::string why = "request blocked by ModSecurity-lite:";
+      for (const auto& m : decision.matches) {
+        why += " [" + std::to_string(m.rule_id) + "] " + m.msg + ";";
+      }
+      return Response::forbidden("waf", std::move(why));
+    }
+  }
+
+  DbConnection& conn =
+      config_.proxy_enabled ? static_cast<DbConnection&>(proxied_)
+                            : static_cast<DbConnection&>(direct_);
+  AppContext ctx(conn, app_.name(), config_.emit_external_ids);
+  try {
+    return app_.handle(request, ctx);
+  } catch (const engine::DbError& e) {
+    if (e.code() == engine::ErrorCode::kBlocked) {
+      std::string_view what = e.what();
+      std::string by =
+          what.rfind("proxy:", 0) == 0 ? "proxy" : "septic";
+      return Response::forbidden(std::move(by), std::string(what));
+    }
+    return Response::server_error(std::string("SQL error: ") + e.what());
+  }
+}
+
+}  // namespace septic::web

@@ -1,0 +1,54 @@
+// The full deployment stack of the demonstration (paper Figure 7):
+//
+//   browser -> [ModSecurity-lite WAF] -> application -> [proxy firewall]
+//           -> MySQL-like engine (+ SEPTIC interceptor inside)
+//
+// Every protection layer is independently switchable, which is exactly what
+// the five demo phases and the detection-matrix bench toggle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "web/framework.h"
+#include "web/proxy.h"
+#include "web/waf/waf.h"
+
+namespace septic::web {
+
+struct StackConfig {
+  bool waf_enabled = false;
+  bool proxy_enabled = false;
+  bool emit_external_ids = true;  // the optional SSLE support
+};
+
+class WebStack {
+ public:
+  WebStack(App& app, engine::Database& db, StackConfig config = {});
+
+  /// Process a request through WAF -> app -> (proxy) -> DB. Blocked
+  /// requests return 403 with blocked_by set to the layer that stopped it
+  /// ("waf", "proxy", "septic"); SQL errors return 500.
+  Response handle(const Request& request);
+
+  waf::Waf& waf() { return waf_; }
+  QueryFirewall& proxy() { return proxy_; }
+  StackConfig& config() { return config_; }
+
+  /// Pass-throughs used by the training crawler.
+  std::vector<FormSpec> app_forms() const { return app_.forms(); }
+  std::vector<Request> app_workload() const { return app_.workload(); }
+  const std::string app_name() const { return app_.name(); }
+
+ private:
+  App& app_;
+  engine::Database& db_;
+  StackConfig config_;
+  waf::Waf waf_;
+  QueryFirewall proxy_;
+  DirectConnection direct_;
+  ProxyConnection proxied_;
+};
+
+}  // namespace septic::web

@@ -1,0 +1,37 @@
+#include "web/trainer.h"
+
+namespace septic::web {
+
+namespace {
+
+Request request_from_form(const FormSpec& form) {
+  std::map<std::string, std::string> params;
+  for (const auto& f : form.fields) params[f.name] = f.sample;
+  Request r;
+  r.method = form.method;
+  r.path = form.path;
+  r.params = std::move(params);
+  return r;
+}
+
+}  // namespace
+
+TrainingReport train_on_application(WebStack& stack, int rounds) {
+  TrainingReport report;
+  for (int round = 0; round < rounds; ++round) {
+    for (const FormSpec& form : stack.app_forms()) {
+      if (round == 0) ++report.forms_visited;
+      Response resp = stack.handle(request_from_form(form));
+      ++report.requests_sent;
+      if (!resp.ok()) ++report.requests_failed;
+    }
+    for (const Request& r : stack.app_workload()) {
+      Response resp = stack.handle(r);
+      ++report.requests_sent;
+      if (!resp.ok()) ++report.requests_failed;
+    }
+  }
+  return report;
+}
+
+}  // namespace septic::web

@@ -1,0 +1,26 @@
+// The "septic training module" (paper Section II-E): runs externally to
+// SEPTIC, works like a crawler — navigates the application looking for
+// forms, then injects benign inputs that end up in queries transmitted to
+// the DBMS, so SEPTIC (in training mode) learns their models. The same
+// pass also teaches the GreenSQL-style proxy when one is interposed.
+#pragma once
+
+#include <cstddef>
+
+#include "web/stack.h"
+
+namespace septic::web {
+
+struct TrainingReport {
+  size_t forms_visited = 0;
+  size_t requests_sent = 0;
+  size_t requests_failed = 0;  // non-2xx during training (should be 0)
+};
+
+/// Crawl every form of the stack's application, submitting each with its
+/// benign sample values `rounds` times (repeats verify model dedup), and
+/// additionally replay the app's recorded workload so read-only routes
+/// (GETs without forms) are learned too.
+TrainingReport train_on_application(WebStack& stack, int rounds = 1);
+
+}  // namespace septic::web

@@ -1,0 +1,130 @@
+// CRS-lite: a representative subset of the OWASP ModSecurity Core Rule Set
+// 3.0 rules used in the demo (SQLI, XSS, LFI/RFI, command injection, PHP
+// injection). Rule ids mirror their CRS counterparts; regexes are
+// simplified but honest re-implementations of what those rules match — and
+// therefore share their blind spots:
+//   - all matching happens on the ASCII byte stream the browser sent; the
+//     rules cannot know that MySQL will later collapse U+02BC into a quote
+//     or evaluate /*!...*/ bodies it can also see but scores low;
+//   - second-order payloads never traverse the WAF at exploit time.
+#include "web/waf/waf.h"
+
+namespace septic::web::waf {
+
+std::vector<Rule> make_crs_rules() {
+  using T = Transform;
+  std::vector<Rule> rules;
+  const std::vector<T> kStd = {T::kUrlDecode, T::kLowercase,
+                               T::kCompressWhitespace};
+
+  // ---- SQL injection (942xxx) ----
+  rules.emplace_back(
+      942100, "SQL Injection Attack Detected via libinjection-style signature",
+      "sqli", RuleTarget::kArgs, kStd,
+      R"((['"`])\s*(or|and)\s+[\w'"`]+\s*=\s*[\w'"`]+)", 5);
+  rules.emplace_back(
+      942130, "SQL Injection Attack: SQL Tautology Detected", "sqli",
+      RuleTarget::kArgs, kStd,
+      R"(\b(\d+)\s*=\s*\1\b|\bor\s+1\s*=\s*1\b|\band\s+1\s*=\s*1\b|'[^']*'\s*=\s*'[^']*')",
+      5);
+  rules.emplace_back(
+      942190, "Detects MSSQL/MySQL UNION-based injections", "sqli",
+      RuleTarget::kArgs, kStd,
+      R"(\bunion\b.{0,40}\bselect\b|\bselect\b.{0,60}\bfrom\b.{0,40}\b(information_schema|users|passwd|mysql)\b)",
+      5);
+  rules.emplace_back(
+      942440, "SQL Comment Sequence Detected", "sqli", RuleTarget::kArgs,
+      std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"(['";]\s*(--|#)|\*\/|\/\*[\s\S]{0,100}?\*\/)", 5);
+  rules.emplace_back(
+      942500, "MySQL in-line comment detected", "sqli", RuleTarget::kArgs,
+      std::vector<T>{T::kUrlDecode, T::kLowercase}, R"(\/\*!)", 5);
+  rules.emplace_back(
+      942160, "Detects blind SQLI via sleep/benchmark", "sqli",
+      RuleTarget::kArgs, kStd, R"(\b(sleep|benchmark)\s*\()", 5);
+  rules.emplace_back(
+      942360, "Detects concatenated basic SQL injection / DDL", "sqli",
+      RuleTarget::kArgs, kStd,
+      R"(\b(drop|alter|truncate)\s+table\b|\binsert\s+into\b|\bdelete\s+from\b)",
+      5);
+
+  // ---- XSS (941xxx) ----
+  rules.emplace_back(941100, "XSS Attack Detected via libinjection", "xss",
+                     RuleTarget::kArgs,
+                     std::vector<T>{T::kUrlDecode, T::kHtmlEntityDecode, T::kLowercase},
+                     R"(<script[\s>/]|<\s*script)", 5);
+  rules.emplace_back(
+      941110, "XSS Filter - Category 1: Script Tag Vector", "xss",
+      RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kHtmlEntityDecode, T::kLowercase},
+      R"(<script[^>]*>[\s\S]*?)", 5);
+  rules.emplace_back(
+      941160, "NoScript XSS InjectionChecker: HTML Injection", "xss",
+      RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kHtmlEntityDecode, T::kLowercase},
+      // Common handler list: the CRS pattern enumeration circa 3.0; rare
+      // handlers (ontoggle, onauxclick, ...) are the known gap.
+      R"(<\w+[^>]*\s(onerror|onload|onclick|onmouseover|onmouseout|onfocus|onblur|onsubmit|onchange|onkeyup|onkeydown)\s*=)",
+      5);
+  rules.emplace_back(941170, "JavaScript URI in attribute", "xss",
+                     RuleTarget::kArgs,
+                     std::vector<T>{T::kUrlDecode, T::kHtmlEntityDecode, T::kLowercase},
+                     R"((href|src|action)\s*=\s*['"]?\s*(javascript|vbscript):)",
+                     5);
+  rules.emplace_back(941180, "Document/window JS property access", "xss",
+                     RuleTarget::kArgs,
+                     std::vector<T>{T::kUrlDecode, T::kHtmlEntityDecode, T::kLowercase},
+                     R"(document\.cookie|document\.write|window\.location|\balert\s*\()",
+                     4);
+
+  // ---- LFI / path traversal (930xxx) ----
+  rules.emplace_back(930100, "Path Traversal Attack (/../)", "lfi",
+                     RuleTarget::kArgs, std::vector<T>{T::kUrlDecode},
+                     R"(\.\.[\/\\])", 5);
+  rules.emplace_back(930120, "OS File Access Attempt", "lfi",
+                     RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kLowercase},
+                     R"(/etc/(passwd|shadow|hosts)|boot\.ini|windows/system32)",
+                     5);
+
+  // ---- RFI (931xxx) ----
+  rules.emplace_back(
+      931100, "RFI: URL Parameter using IP Address", "rfi", RuleTarget::kArgs,
+      std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"((https?|ftp):\/\/\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})", 5);
+  rules.emplace_back(
+      931120, "RFI: URL payload with trailing question mark", "rfi",
+      RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"((https?|ftp):\/\/[^\s]+\.(php|asp|jsp)\?)", 5);
+
+  // ---- OS command injection (932xxx) ----
+  rules.emplace_back(
+      932100, "Remote Command Execution: Unix Command Injection", "rce-os",
+      RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"([;&|`]\s*(cat|rm|wget|curl|nc|bash|sh|ping|chmod|python|perl)\b|\$\((cat|rm|wget|curl|nc|id|whoami))",
+      5);
+
+  // ---- request-line rules (920xxx / 930xxx on PATH) ----
+  rules.emplace_back(930110, "Path Traversal Attack in request path", "lfi",
+                     RuleTarget::kPath, std::vector<T>{T::kUrlDecode},
+                     R"(\.\.[\/\\])", 5);
+  rules.emplace_back(
+      920440, "URL file extension is restricted by policy", "policy",
+      RuleTarget::kPath, std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"(\.(bak|old|orig|sql|env|git)$)", 5);
+  rules.emplace_back(
+      920230, "Multiple URL-encoding layers detected", "evasion",
+      RuleTarget::kRawQuery, std::vector<T>{},
+      R"(%25[0-9a-fA-F]{2})", 3);  // warning-level: double encoding smell
+
+  // ---- PHP injection (933xxx) ----
+  rules.emplace_back(933100, "PHP Injection: Opening Tag", "php",
+                     RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kLowercase},
+                     R"(<\?php|<\?=)", 5);
+  rules.emplace_back(
+      933150, "PHP Injection: High-Risk PHP Function Call", "php",
+      RuleTarget::kArgs, std::vector<T>{T::kUrlDecode, T::kLowercase},
+      R"(\b(eval|system|exec|shell_exec|passthru|assert|base64_decode)\s*\()",
+      5);
+
+  return rules;
+}
+
+}  // namespace septic::web::waf

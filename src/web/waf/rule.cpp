@@ -1,0 +1,16 @@
+#include "web/waf/rule.h"
+
+namespace septic::web::waf {
+
+Rule::Rule(int id_, std::string msg_, std::string tag_, RuleTarget target_,
+           std::vector<Transform> transforms_, std::string pattern_, int score)
+    : id(id_),
+      msg(std::move(msg_)),
+      tag(std::move(tag_)),
+      target(target_),
+      transforms(std::move(transforms_)),
+      pattern(std::move(pattern_)),
+      re(pattern, std::regex::ECMAScript | std::regex::optimize),
+      anomaly_score(score) {}
+
+}  // namespace septic::web::waf

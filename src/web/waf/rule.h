@@ -1,0 +1,43 @@
+// One WAF rule: id, attack class, transformations, a regex over request
+// arguments, and an anomaly score contribution (CRS-style scoring).
+#pragma once
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "web/waf/transform.h"
+
+namespace septic::web::waf {
+
+enum class RuleTarget {
+  kArgs,       // every decoded parameter value
+  kArgNames,   // parameter names
+  kPath,       // request path
+  kRawQuery,   // the url-encoded parameter string
+};
+
+struct Rule {
+  int id = 0;                 // CRS-style rule id (942100, ...)
+  std::string msg;            // human description
+  std::string tag;            // attack class: "sqli", "xss", "lfi", ...
+  RuleTarget target = RuleTarget::kArgs;
+  std::vector<Transform> transforms;
+  std::string pattern;        // original regex text (for reporting)
+  std::regex re;              // compiled, case-sensitive (use lowercase
+                              // transform for case-insensitive behaviour)
+  int anomaly_score = 5;      // CRS critical=5, error=4, warning=3
+
+  Rule(int id_, std::string msg_, std::string tag_, RuleTarget target_,
+       std::vector<Transform> transforms_, std::string pattern_,
+       int score = 5);
+};
+
+struct RuleMatch {
+  int rule_id = 0;
+  std::string msg;
+  std::string tag;
+  std::string matched_value;  // the transformed value that matched
+};
+
+}  // namespace septic::web::waf

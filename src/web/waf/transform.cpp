@@ -1,0 +1,75 @@
+#include "web/waf/transform.h"
+
+#include "common/string_util.h"
+#include "common/unicode.h"
+#include "septic/plugins/html_parser.h"
+
+namespace septic::web::waf {
+
+namespace {
+
+std::string remove_comments(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      size_t end = s.find("*/", i + 2);
+      if (end == std::string_view::npos) break;
+      i = end + 1;
+      out += ' ';
+      continue;
+    }
+    if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '-') {
+      break;  // rest of line commented
+    }
+    if (s[i] == '#') break;
+    out += s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string apply_transform(Transform t, std::string_view input) {
+  switch (t) {
+    case Transform::kLowercase:
+      return common::to_lower(input);
+    case Transform::kUrlDecode:
+      return common::url_decode(input);
+    case Transform::kHtmlEntityDecode:
+      return core::html::decode_entities(input);
+    case Transform::kCompressWhitespace:
+      return common::compress_whitespace(input);
+    case Transform::kRemoveComments:
+      return remove_comments(input);
+    case Transform::kReplaceNulls: {
+      std::string out(input);
+      for (char& c : out) {
+        if (c == '\0') c = ' ';
+      }
+      return out;
+    }
+  }
+  return std::string(input);
+}
+
+std::string apply_transforms(const std::vector<Transform>& ts,
+                             std::string_view input) {
+  std::string cur(input);
+  for (Transform t : ts) cur = apply_transform(t, cur);
+  return cur;
+}
+
+const char* transform_name(Transform t) {
+  switch (t) {
+    case Transform::kLowercase: return "lowercase";
+    case Transform::kUrlDecode: return "urlDecode";
+    case Transform::kHtmlEntityDecode: return "htmlEntityDecode";
+    case Transform::kCompressWhitespace: return "compressWhitespace";
+    case Transform::kRemoveComments: return "removeComments";
+    case Transform::kReplaceNulls: return "replaceNulls";
+  }
+  return "?";
+}
+
+}  // namespace septic::web::waf

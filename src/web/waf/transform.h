@@ -1,0 +1,28 @@
+// ModSecurity-style input transformations, applied to a request value
+// before rule regexes run. Names follow ModSecurity's actions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::web::waf {
+
+enum class Transform {
+  kLowercase,
+  kUrlDecode,           // one layer of %XX decoding
+  kHtmlEntityDecode,
+  kCompressWhitespace,
+  kRemoveComments,      // strips /* */ and -- and # comment syntax
+  kReplaceNulls,        // NUL -> space
+};
+
+std::string apply_transform(Transform t, std::string_view input);
+
+/// Apply a pipeline in order.
+std::string apply_transforms(const std::vector<Transform>& ts,
+                             std::string_view input);
+
+const char* transform_name(Transform t);
+
+}  // namespace septic::web::waf

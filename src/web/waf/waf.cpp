@@ -1,0 +1,58 @@
+#include "web/waf/waf.h"
+
+namespace septic::web::waf {
+
+Waf::Waf() : Waf(make_crs_rules(), /*inbound_threshold=*/5) {}
+
+Waf::Waf(std::vector<Rule> rules, int inbound_threshold)
+    : rules_(std::move(rules)), threshold_(inbound_threshold) {}
+
+WafDecision Waf::inspect(const Request& request) const {
+  WafDecision d;
+  if (!enabled_) return d;
+
+  for (const Rule& rule : rules_) {
+    std::vector<std::string> values;
+    switch (rule.target) {
+      case RuleTarget::kArgs:
+        for (const auto& [k, v] : request.params) values.push_back(v);
+        break;
+      case RuleTarget::kArgNames:
+        for (const auto& [k, v] : request.params) values.push_back(k);
+        break;
+      case RuleTarget::kPath:
+        values.push_back(request.path);
+        break;
+      case RuleTarget::kRawQuery:
+        values.push_back(request.encoded_params());
+        break;
+    }
+    for (const std::string& raw : values) {
+      std::string transformed = apply_transforms(rule.transforms, raw);
+      if (std::regex_search(transformed, rule.re)) {
+        d.anomaly_score += rule.anomaly_score;
+        d.matches.push_back({rule.id, rule.msg, rule.tag, transformed});
+        break;  // one match per rule, like ModSecurity's per-rule semantics
+      }
+    }
+  }
+  d.blocked = d.anomaly_score >= threshold_;
+  return d;
+}
+
+void Waf::audit(const Request& request, const WafDecision& decision) {
+  std::lock_guard lock(mu_);
+  audit_log_.push_back({request.to_string(), decision});
+}
+
+std::vector<Waf::AuditEntry> Waf::audit_log() const {
+  std::lock_guard lock(mu_);
+  return audit_log_;
+}
+
+void Waf::clear_audit_log() {
+  std::lock_guard lock(mu_);
+  audit_log_.clear();
+}
+
+}  // namespace septic::web::waf

@@ -1,0 +1,58 @@
+// ModSecurity-lite web application firewall with CRS-style anomaly scoring:
+// every matching rule adds its score; the request is blocked when the total
+// reaches the inbound threshold (CRS default: 5 — one critical match
+// blocks). Sits in front of the application (paper Section III: "integrated
+// in the Apache web server and checks the requests incoming from the
+// browsers ... before they reach the web application").
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "web/http.h"
+#include "web/waf/rule.h"
+
+namespace septic::web::waf {
+
+/// The CRS-lite rule set (crs_rules.cpp).
+std::vector<Rule> make_crs_rules();
+
+struct WafDecision {
+  bool blocked = false;
+  int anomaly_score = 0;
+  std::vector<RuleMatch> matches;
+};
+
+class Waf {
+ public:
+  /// Default: CRS-lite rules, inbound threshold 5.
+  Waf();
+  Waf(std::vector<Rule> rules, int inbound_threshold);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Inspect a request. Does not mutate it.
+  WafDecision inspect(const Request& request) const;
+
+  /// Audit log of blocked requests (the demo's "ModSecurity display").
+  struct AuditEntry {
+    std::string request;
+    WafDecision decision;
+  };
+  void audit(const Request& request, const WafDecision& decision);
+  std::vector<AuditEntry> audit_log() const;
+  void clear_audit_log();
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+  int threshold_;
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+  std::vector<AuditEntry> audit_log_;
+};
+
+}  // namespace septic::web::waf

@@ -1,0 +1,132 @@
+// The five demonstration phases of paper Section IV, as assertions: this is
+// the machine-checkable version of examples/waspmon_demo.cpp and the
+// contract behind the EXPERIMENTS.md E4 row.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic {
+namespace {
+
+struct Demo {
+  engine::Database db;
+  web::apps::WaspMonApp app;
+  std::unique_ptr<web::WebStack> stack;
+  std::shared_ptr<core::Septic> septic;
+
+  explicit Demo(bool with_septic) {
+    app.install(db);
+    stack = std::make_unique<web::WebStack>(app, db);
+    if (with_septic) {
+      septic = std::make_shared<core::Septic>();
+      db.set_interceptor(septic);
+    }
+  }
+
+  /// True when any request of the chain is blocked.
+  bool chain_blocked(const attacks::AttackCase& attack) {
+    for (const auto& setup : attack.setup) {
+      if (stack->handle(setup).blocked()) return true;
+    }
+    return stack->handle(attack.attack).blocked();
+  }
+};
+
+TEST(DemoPhaseA, SanitizersAloneStopNothing) {
+  Demo demo(/*with_septic=*/false);
+  for (const auto& attack : attacks::waspmon_attacks()) {
+    EXPECT_FALSE(demo.chain_blocked(attack)) << attack.id;
+  }
+}
+
+TEST(DemoPhaseB, WafBlocksExactlyItsDocumentedSubset) {
+  Demo demo(false);
+  demo.stack->config().waf_enabled = true;
+  size_t blocked = 0, missed = 0;
+  for (const auto& attack : attacks::waspmon_attacks()) {
+    bool b = demo.chain_blocked(attack);
+    EXPECT_EQ(b, attack.waf_should_catch) << attack.id;
+    (b ? blocked : missed) += 1;
+  }
+  // The phase-B narrative needs both outcomes present.
+  EXPECT_GT(blocked, 0u);
+  EXPECT_GT(missed, 0u);
+  EXPECT_EQ(demo.stack->waf().audit_log().size(), blocked);
+}
+
+TEST(DemoPhaseC, TrainingLearnsOnceAndPersists) {
+  Demo demo(true);
+  demo.septic->set_mode(core::Mode::kTraining);
+  web::TrainingReport report = web::train_on_application(*demo.stack);
+  EXPECT_EQ(report.requests_failed, 0u);
+  size_t learned = demo.septic->store().model_count();
+  EXPECT_GT(learned, 0u);
+
+  // Re-running the workload creates nothing new (model dedup).
+  web::train_on_application(*demo.stack);
+  EXPECT_EQ(demo.septic->store().model_count(), learned);
+
+  // Persist + reload on a "restarted" instance.
+  const std::string path = "/tmp/septic_demo_phases.qm";
+  demo.septic->save_models(path);
+  auto restarted = std::make_shared<core::Septic>();
+  restarted->load_models(path);
+  EXPECT_EQ(restarted->store().model_count(), learned);
+}
+
+TEST(DemoPhaseD, SepticPreventionBlocksAllWithNoFalsePositives) {
+  Demo demo(true);
+  demo.septic->set_mode(core::Mode::kTraining);
+  web::train_on_application(*demo.stack);
+  demo.septic->set_mode(core::Mode::kPrevention);
+
+  for (const auto& attack : attacks::waspmon_attacks()) {
+    EXPECT_TRUE(demo.chain_blocked(attack)) << attack.id;
+  }
+  for (const auto& probe : attacks::benign_probes("waspmon")) {
+    EXPECT_FALSE(demo.stack->handle(probe).blocked()) << probe.to_string();
+  }
+  // The event register has what the demo's display would show: attack
+  // types and, for SQLI, the detection step.
+  bool saw_structural = false, saw_stored = false;
+  for (const auto& event : demo.septic->event_log().events()) {
+    if (event.kind == core::EventKind::kSqliDetected &&
+        event.detection_step == 1) {
+      saw_structural = true;
+    }
+    if (event.kind == core::EventKind::kStoredDetected) saw_stored = true;
+  }
+  EXPECT_TRUE(saw_structural);
+  EXPECT_TRUE(saw_stored);
+}
+
+TEST(DemoPhaseE, SepticStrictlyDominatesTheWaf) {
+  // Phase E: every attack the WAF blocks, SEPTIC blocks too; and SEPTIC
+  // blocks attacks the WAF misses.
+  Demo waf_demo(false);
+  waf_demo.stack->config().waf_enabled = true;
+  Demo septic_demo(true);
+  septic_demo.septic->set_mode(core::Mode::kTraining);
+  web::train_on_application(*septic_demo.stack);
+  septic_demo.septic->set_mode(core::Mode::kPrevention);
+
+  size_t waf_only = 0, septic_only = 0;
+  for (const auto& attack : attacks::waspmon_attacks()) {
+    bool waf_blocked = waf_demo.chain_blocked(attack);
+    bool septic_blocked = septic_demo.chain_blocked(attack);
+    if (waf_blocked && !septic_blocked) ++waf_only;
+    if (septic_blocked && !waf_blocked) ++septic_only;
+  }
+  EXPECT_EQ(waf_only, 0u);      // dominance
+  EXPECT_GT(septic_only, 0u);   // strictness
+}
+
+}  // namespace
+}  // namespace septic

@@ -1,0 +1,163 @@
+#include "septic/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/unicode.h"
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+sql::ItemStack stack_of(std::string_view q) {
+  return sql::build_item_stack(
+      sql::parse(common::server_charset_convert(q)).statement);
+}
+
+QueryModel model_of(std::string_view q) {
+  return make_query_model(stack_of(q));
+}
+
+const char* kTicketQuery =
+    "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+
+TEST(CompareQsQm, BenignMatch) {
+  QueryModel qm = model_of(kTicketQuery);
+  SqliVerdict v = compare_qs_qm(
+      stack_of("SELECT * FROM tickets WHERE reservID = 'OTHER9' AND "
+               "creditCard = 9999"),
+      qm);
+  EXPECT_FALSE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kNone);
+}
+
+TEST(CompareQsQm, StructuralAttackStep1) {
+  QueryModel qm = model_of(kTicketQuery);
+  // The paper's Figure 3 second-order attack.
+  SqliVerdict v = compare_qs_qm(
+      stack_of("SELECT * FROM tickets WHERE reservID = "
+               "'ID34FG\xca\xbc-- ' AND creditCard = 0"),
+      qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kStructural);
+  EXPECT_NE(v.detail.find("node count mismatch"), std::string::npos);
+}
+
+TEST(CompareQsQm, MimicryAttackStep2) {
+  QueryModel qm = model_of(kTicketQuery);
+  // The paper's Figure 4 mimicry: same node count, INT where FIELD was.
+  SqliVerdict v = compare_qs_qm(
+      stack_of("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1"),
+      qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kSyntactic);
+  EXPECT_NE(v.detail.find("INT_ITEM"), std::string::npos);
+  EXPECT_NE(v.detail.find("creditCard"), std::string::npos);
+}
+
+TEST(CompareQsQm, DataTypeSwapIsSyntacticAttack) {
+  // Model learned an INT in that position; a quoted string is a mismatch.
+  QueryModel qm = model_of("SELECT a FROM t WHERE b = 5");
+  SqliVerdict v = compare_qs_qm(stack_of("SELECT a FROM t WHERE b = 'x'"), qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kSyntactic);
+}
+
+TEST(CompareQsQm, FieldNameChangeIsSyntacticAttack) {
+  QueryModel qm = model_of("SELECT a FROM t WHERE b = 5");
+  SqliVerdict v = compare_qs_qm(stack_of("SELECT a FROM t WHERE c = 5"), qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kSyntactic);
+}
+
+TEST(CompareQsQm, TautologyOrInjectionIsStructural) {
+  QueryModel qm = model_of("SELECT a FROM t WHERE b = 'x'");
+  SqliVerdict v = compare_qs_qm(
+      stack_of("SELECT a FROM t WHERE b = 'x' OR 1 = 1"), qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kStructural);
+}
+
+TEST(CompareQsQm, UnionInjectionIsStructural) {
+  QueryModel qm = model_of("SELECT a FROM t WHERE b = 1");
+  SqliVerdict v = compare_qs_qm(
+      stack_of("SELECT a FROM t WHERE b = 1 UNION SELECT c FROM u"), qm);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kStructural);
+}
+
+TEST(DetectSqli, AnyMatchingModelMeansBenign) {
+  std::vector<QueryModel> models = {
+      model_of("SELECT a FROM t WHERE b = 1"),
+      model_of("SELECT a FROM t WHERE b = 'x'"),
+  };
+  EXPECT_FALSE(detect_sqli(stack_of("SELECT a FROM t WHERE b = 'y'"), models)
+                   .attack);
+  EXPECT_FALSE(
+      detect_sqli(stack_of("SELECT a FROM t WHERE b = 42"), models).attack);
+}
+
+TEST(DetectSqli, AllModelsFailReportsClosest) {
+  std::vector<QueryModel> models = {
+      model_of("SELECT a FROM t WHERE b = 1"),          // 6 nodes
+      model_of("SELECT a FROM t WHERE b = 1 AND c = 2") // 10 nodes
+  };
+  // Attack with 10 nodes but wrong element: syntactic against model 2.
+  SqliVerdict v = detect_sqli(
+      stack_of("SELECT a FROM t WHERE b = 1 AND 2 = 2"), models);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.step, SqliStep::kSyntactic);
+}
+
+TEST(DetectSqli, NoModelsMeansNoVerdict) {
+  EXPECT_FALSE(detect_sqli(stack_of("SELECT 1"), {}).attack);
+}
+
+TEST(StoredDetection, OnlyInsertAndUpdateAreChecked) {
+  auto plugins = make_default_plugins();
+  auto select_stmt =
+      sql::parse("SELECT a FROM t WHERE b = '<script>x</script>'").statement;
+  EXPECT_FALSE(detect_stored_injection(select_stmt, plugins).attack);
+
+  auto insert_stmt =
+      sql::parse("INSERT INTO t (a) VALUES ('<script>x</script>')").statement;
+  StoredVerdict v = detect_stored_injection(insert_stmt, plugins);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.plugin, "XSS");
+}
+
+TEST(StoredDetection, UpdateChecked) {
+  auto plugins = make_default_plugins();
+  auto stmt = sql::parse("UPDATE t SET bio = '<img src=x onerror=alert(1)>' "
+                         "WHERE id = 1")
+                  .statement;
+  StoredVerdict v = detect_stored_injection(stmt, plugins);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.plugin, "XSS");
+}
+
+TEST(StoredDetection, BenignInsertPasses) {
+  auto plugins = make_default_plugins();
+  auto stmt = sql::parse("INSERT INTO t (a, b) VALUES ('hello world', 42)")
+                  .statement;
+  EXPECT_FALSE(detect_stored_injection(stmt, plugins).attack);
+}
+
+TEST(StoredDetection, ReportsOffendingValue) {
+  auto plugins = make_default_plugins();
+  auto stmt =
+      sql::parse("INSERT INTO t (a, b) VALUES ('ok', 'x; rm -rf /tmp/y')")
+          .statement;
+  StoredVerdict v = detect_stored_injection(stmt, plugins);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.plugin, "OSCI");
+  EXPECT_EQ(v.offending_value, "x; rm -rf /tmp/y");
+}
+
+TEST(StoredDetection, NumericValuesIgnored) {
+  auto plugins = make_default_plugins();
+  auto stmt = sql::parse("INSERT INTO t (a) VALUES (12345)").statement;
+  EXPECT_FALSE(detect_stored_injection(stmt, plugins).attack);
+}
+
+}  // namespace
+}  // namespace septic::core

@@ -1,0 +1,118 @@
+// Metamorphic mutation-testing of the SQLI detector: for a spread of query
+// shapes, EVERY structural mutation of the item stack (node inserted,
+// removed, type changed, element data changed) must be detected against
+// the original's model, while every data-only mutation (literal DATA
+// change, INT<->DECIMAL numeric swap) must pass. This pins the exact
+// boundary of what a query model permits.
+#include <gtest/gtest.h>
+
+#include "septic/detector.h"
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+sql::ItemStack stack_of(const char* q) {
+  return sql::build_item_stack(sql::parse(q).statement);
+}
+
+bool is_numeric_item(sql::ItemType t) {
+  return t == sql::ItemType::kIntItem || t == sql::ItemType::kDecimalItem;
+}
+
+class DetectorMutation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DetectorMutation, NodeInsertionAlwaysDetected) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos <= qs.nodes.size(); ++pos) {
+    sql::ItemStack mutated = qs;
+    mutated.nodes.insert(mutated.nodes.begin() + static_cast<ptrdiff_t>(pos),
+                         {sql::ItemType::kIntItem, "1"});
+    SqliVerdict v = compare_qs_qm(mutated, qm);
+    EXPECT_TRUE(v.attack) << "insert at " << pos;
+    EXPECT_EQ(v.step, SqliStep::kStructural);
+  }
+}
+
+TEST_P(DetectorMutation, NodeRemovalAlwaysDetected) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos < qs.nodes.size(); ++pos) {
+    sql::ItemStack mutated = qs;
+    mutated.nodes.erase(mutated.nodes.begin() + static_cast<ptrdiff_t>(pos));
+    SqliVerdict v = compare_qs_qm(mutated, qm);
+    EXPECT_TRUE(v.attack) << "remove at " << pos;
+    EXPECT_EQ(v.step, SqliStep::kStructural);
+  }
+}
+
+TEST_P(DetectorMutation, ElementDataChangeAlwaysDetected) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos < qs.nodes.size(); ++pos) {
+    if (sql::is_data_item(qs.nodes[pos].type)) continue;
+    sql::ItemStack mutated = qs;
+    mutated.nodes[pos].data += "_mutated";
+    SqliVerdict v = compare_qs_qm(mutated, qm);
+    EXPECT_TRUE(v.attack) << "element data at " << pos;
+    EXPECT_EQ(v.step, SqliStep::kSyntactic);
+  }
+}
+
+TEST_P(DetectorMutation, TypeSwapToStringDetectedOnDataNodes) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos < qs.nodes.size(); ++pos) {
+    if (!is_numeric_item(qs.nodes[pos].type)) continue;
+    sql::ItemStack mutated = qs;
+    // A quoted payload would surface as STRING_ITEM where a number was.
+    mutated.nodes[pos].type = sql::ItemType::kStringItem;
+    SqliVerdict v = compare_qs_qm(mutated, qm);
+    EXPECT_TRUE(v.attack) << "numeric->string at " << pos;
+    EXPECT_EQ(v.step, SqliStep::kSyntactic);
+  }
+}
+
+TEST_P(DetectorMutation, DataValueChangesAlwaysPass) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos < qs.nodes.size(); ++pos) {
+    if (!sql::is_data_item(qs.nodes[pos].type)) continue;
+    sql::ItemStack mutated = qs;
+    mutated.nodes[pos].data = "completely different value 12345";
+    EXPECT_FALSE(compare_qs_qm(mutated, qm).attack) << "data at " << pos;
+  }
+}
+
+TEST_P(DetectorMutation, NumericTypeSwapsPass) {
+  sql::ItemStack qs = stack_of(GetParam());
+  QueryModel qm = make_query_model(qs);
+  for (size_t pos = 0; pos < qs.nodes.size(); ++pos) {
+    if (!is_numeric_item(qs.nodes[pos].type)) continue;
+    sql::ItemStack mutated = qs;
+    mutated.nodes[pos].type =
+        mutated.nodes[pos].type == sql::ItemType::kIntItem
+            ? sql::ItemType::kDecimalItem
+            : sql::ItemType::kIntItem;
+    // The same form field legitimately yields "500" or "99.5".
+    EXPECT_FALSE(compare_qs_qm(mutated, qm).attack)
+        << "numeric swap at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DetectorMutation,
+    ::testing::Values(
+        "SELECT * FROM tickets WHERE reservID = 'X' AND creditCard = 1234",
+        "SELECT a, b FROM t WHERE c LIKE '%q%' OR d BETWEEN 1 AND 9",
+        "INSERT INTO t (a, b, c) VALUES ('x', 2, 3.5)",
+        "UPDATE t SET a = 'v', b = b + 1 WHERE id IN (1, 2, 3)",
+        "DELETE FROM t WHERE x = 5 AND y IS NOT NULL",
+        "SELECT x, COUNT(*) FROM t GROUP BY x HAVING COUNT(*) > 1 "
+        "ORDER BY x DESC LIMIT 5",
+        "SELECT a FROM t WHERE b = 1 UNION SELECT c FROM u WHERE d = 'z'",
+        "SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.tid WHERE t2.v = 7"));
+
+}  // namespace
+}  // namespace septic::core

@@ -1,0 +1,316 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/error.h"
+
+namespace septic::engine {
+namespace {
+
+using sql::Value;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE emp (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT "
+        "NOT NULL, dept TEXT, salary INT, bonus DOUBLE DEFAULT 0.0)");
+    db.execute_admin(
+        "INSERT INTO emp (name, dept, salary) VALUES "
+        "('alice', 'eng', 120), ('bob', 'eng', 100), ('carol', 'sales', 90),"
+        " ('dan', 'sales', 80), ('erin', 'hr', 70)");
+    db.execute_admin(
+        "CREATE TABLE dept (code TEXT PRIMARY KEY, label TEXT)");
+    db.execute_admin(
+        "INSERT INTO dept VALUES ('eng', 'Engineering'), "
+        "('sales', 'Sales')");
+  }
+
+  ResultSet run(std::string_view q) { return db.execute(session, q); }
+
+  Database db;
+  Session session;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  auto rs = run("SELECT * FROM emp");
+  EXPECT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.columns.size(), 5u);
+  EXPECT_EQ(rs.columns[1], "name");
+}
+
+TEST_F(ExecutorTest, WhereFiltering) {
+  auto rs = run("SELECT name FROM emp WHERE salary > 90");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereStringCoercionMySqlStyle) {
+  // salary = '100abc' coerces to 100 — MySQL semantics.
+  auto rs = run("SELECT name FROM emp WHERE salary = '100abc'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+}
+
+TEST_F(ExecutorTest, SelectExpressionsAndAliases) {
+  auto rs = run("SELECT name, salary * 2 AS double_pay FROM emp WHERE id = 1");
+  EXPECT_EQ(rs.columns[1], "double_pay");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 240);
+}
+
+TEST_F(ExecutorTest, OrderByAscDesc) {
+  auto rs = run("SELECT name FROM emp ORDER BY salary DESC");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  EXPECT_EQ(rs.rows[4][0].as_string(), "erin");
+  rs = run("SELECT name FROM emp ORDER BY salary");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "erin");
+}
+
+TEST_F(ExecutorTest, OrderByAliasAndPosition) {
+  auto rs = run("SELECT name, salary AS s FROM emp ORDER BY s DESC LIMIT 1");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  rs = run("SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+}
+
+TEST_F(ExecutorTest, LimitOffset) {
+  auto rs = run("SELECT name FROM emp ORDER BY id LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+  rs = run("SELECT name FROM emp ORDER BY id LIMIT 0");
+  EXPECT_TRUE(rs.rows.empty());
+  rs = run("SELECT name FROM emp ORDER BY id LIMIT 100 OFFSET 99");
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(ExecutorTest, AggregatesWithoutGroupBy) {
+  auto rs = run(
+      "SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) "
+      "FROM emp");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 460);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].as_double(), 92.0);
+  EXPECT_EQ(rs.rows[0][3].as_int(), 70);
+  EXPECT_EQ(rs.rows[0][4].as_int(), 120);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptySet) {
+  auto rs = run("SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 999");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  auto rs = run(
+      "SELECT dept, COUNT(*) AS n, SUM(salary) FROM emp GROUP BY dept "
+      "HAVING COUNT(*) >= 2 ORDER BY dept");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "eng");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][2].as_int(), 220);
+}
+
+TEST_F(ExecutorTest, InnerJoin) {
+  auto rs = run(
+      "SELECT e.name, d.label FROM emp e JOIN dept d ON e.dept = d.code "
+      "WHERE e.salary >= 100 ORDER BY e.name");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][1].as_string(), "Engineering");
+}
+
+TEST_F(ExecutorTest, LeftJoinKeepsUnmatched) {
+  // erin's dept 'hr' has no dept row: LEFT JOIN keeps her with NULL label.
+  auto rs = run(
+      "SELECT e.name, d.label FROM emp e LEFT JOIN dept d ON e.dept = "
+      "d.code WHERE e.name = 'erin'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, CrossJoinTwoTables) {
+  auto rs = run("SELECT COUNT(*) FROM emp, dept");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 10);  // 5 x 2
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  auto rs = run("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicatesUnionAllKeeps) {
+  auto rs = run("SELECT dept FROM emp UNION SELECT dept FROM emp");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  rs = run("SELECT dept FROM emp UNION ALL SELECT dept FROM emp");
+  EXPECT_EQ(rs.rows.size(), 10u);
+}
+
+TEST_F(ExecutorTest, UnionColumnCountMismatchFails) {
+  EXPECT_THROW(run("SELECT dept FROM emp UNION SELECT dept, salary FROM emp"),
+               DbError);
+}
+
+TEST_F(ExecutorTest, TableLessSelect) {
+  auto rs = run("SELECT 1 + 1, UPPER('x')");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][1].as_string(), "X");
+}
+
+TEST_F(ExecutorTest, LikeOperator) {
+  auto rs = run("SELECT name FROM emp WHERE name LIKE '%ar%'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "carol");
+  rs = run("SELECT name FROM emp WHERE name LIKE '_ob'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+}
+
+TEST_F(ExecutorTest, InAndBetween) {
+  auto rs = run("SELECT name FROM emp WHERE dept IN ('hr', 'sales') "
+                "ORDER BY name");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  rs = run("SELECT name FROM emp WHERE salary BETWEEN 80 AND 100");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, IsNullAndThreeValuedLogic) {
+  db.execute_admin("INSERT INTO emp (name, dept, salary) VALUES "
+                   "('noel', NULL, NULL)");
+  auto rs = run("SELECT name FROM emp WHERE dept IS NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "noel");
+  // NULL salary row never matches a comparison (3VL).
+  rs = run("SELECT COUNT(*) FROM emp WHERE salary > 0 OR salary <= 0");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  auto rs = run(
+      "SELECT CONCAT(name, '@corp'), LENGTH(name), SUBSTR(name, 1, 2), "
+      "COALESCE(NULL, name), IF(salary > 100, 'top', 'std') FROM emp "
+      "WHERE id = 1");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice@corp");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 5);
+  EXPECT_EQ(rs.rows[0][2].as_string(), "al");
+  EXPECT_EQ(rs.rows[0][3].as_string(), "alice");
+  EXPECT_EQ(rs.rows[0][4].as_string(), "top");
+}
+
+TEST_F(ExecutorTest, DivisionByZeroYieldsNull) {
+  auto rs = run("SELECT 1 / 0, 5 % 0");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, InsertWithDefaultsAndLastInsertId) {
+  auto rs = run("INSERT INTO emp (name) VALUES ('frank')");
+  EXPECT_EQ(rs.affected_rows, 1);
+  EXPECT_EQ(rs.last_insert_id, 6);
+  auto check = run("SELECT dept, salary, bonus FROM emp WHERE id = 6");
+  EXPECT_TRUE(check.rows[0][0].is_null());
+  EXPECT_TRUE(check.rows[0][1].is_null());
+  EXPECT_DOUBLE_EQ(check.rows[0][2].as_double(), 0.0);  // DEFAULT applied
+}
+
+TEST_F(ExecutorTest, InsertMultiRow) {
+  auto rs = run("INSERT INTO emp (name, salary) VALUES ('g', 1), ('h', 2)");
+  EXPECT_EQ(rs.affected_rows, 2);
+}
+
+TEST_F(ExecutorTest, InsertColumnCountMismatch) {
+  EXPECT_THROW(run("INSERT INTO emp (name, salary) VALUES ('x')"), DbError);
+}
+
+TEST_F(ExecutorTest, InsertUnknownColumn) {
+  try {
+    run("INSERT INTO emp (ghost) VALUES (1)");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownColumn);
+  }
+}
+
+TEST_F(ExecutorTest, UpdateWithExpressionAndWhere) {
+  auto rs = run("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'");
+  EXPECT_EQ(rs.affected_rows, 2);
+  auto check = run("SELECT salary FROM emp WHERE name = 'alice'");
+  EXPECT_EQ(check.rows[0][0].as_int(), 130);
+}
+
+TEST_F(ExecutorTest, UpdateNoMatchAffectsZero) {
+  auto rs = run("UPDATE emp SET salary = 0 WHERE name = 'ghost'");
+  EXPECT_EQ(rs.affected_rows, 0);
+}
+
+TEST_F(ExecutorTest, DeleteWithWhere) {
+  auto rs = run("DELETE FROM emp WHERE dept = 'sales'");
+  EXPECT_EQ(rs.affected_rows, 2);
+  EXPECT_EQ(run("SELECT COUNT(*) FROM emp").rows[0][0].as_int(), 3);
+}
+
+TEST_F(ExecutorTest, CreateAndDropTable) {
+  run("CREATE TABLE tmp (x INT)");
+  run("INSERT INTO tmp VALUES (1)");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM tmp").rows[0][0].as_int(), 1);
+  run("DROP TABLE tmp");
+  EXPECT_THROW(run("SELECT * FROM tmp"), DbError);
+}
+
+TEST_F(ExecutorTest, UnknownTableError) {
+  try {
+    run("SELECT * FROM nope");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownTable);
+  }
+}
+
+TEST_F(ExecutorTest, UnknownColumnError) {
+  try {
+    run("SELECT ghost FROM emp");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownColumn);
+  }
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnError) {
+  db.execute_admin("CREATE TABLE emp2 (name TEXT)");
+  EXPECT_THROW(run("SELECT name FROM emp, emp2"), DbError);
+}
+
+TEST_F(ExecutorTest, SyntaxErrorSurfacesAsDbError) {
+  try {
+    run("SELEKT * FROM emp");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSyntax);
+  }
+}
+
+TEST_F(ExecutorTest, DuplicatePkSurfacesAsConstraint) {
+  try {
+    run("INSERT INTO emp (id, name) VALUES (1, 'dup')");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConstraint);
+  }
+}
+
+TEST_F(ExecutorTest, ExecutedAndBlockedCounters) {
+  uint64_t before = db.executed_count();
+  run("SELECT 1");
+  EXPECT_EQ(db.executed_count(), before + 1);
+  EXPECT_EQ(db.blocked_count(), 0u);
+}
+
+TEST_F(ExecutorTest, ResultToText) {
+  auto rs = run("SELECT name, salary FROM emp WHERE id = 1");
+  std::string text = rs.to_text();
+  EXPECT_NE(text.find("name\tsalary"), std::string::npos);
+  EXPECT_NE(text.find("alice\t120"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -1,0 +1,142 @@
+// Scalar-function and expression-evaluation edge cases with MySQL
+// semantics, beyond what the main executor tests cover.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/error.h"
+
+namespace septic::engine {
+namespace {
+
+class FnTest : public ::testing::Test {
+ protected:
+  sql::Value scalar(std::string expr) {
+    auto rs = db.execute(session, "SELECT " + expr);
+    return rs.rows.at(0).at(0);
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(FnTest, ConcatNullPropagates) {
+  EXPECT_EQ(scalar("CONCAT('a', 'b', 'c')").as_string(), "abc");
+  EXPECT_TRUE(scalar("CONCAT('a', NULL)").is_null());
+  EXPECT_EQ(scalar("CONCAT('n=', 42)").as_string(), "n=42");
+}
+
+TEST_F(FnTest, ConcatWsSkipsNulls) {
+  EXPECT_EQ(scalar("CONCAT_WS('-', 'a', NULL, 'b')").as_string(), "a-b");
+  EXPECT_TRUE(scalar("CONCAT_WS(NULL, 'a', 'b')").is_null());
+  EXPECT_EQ(scalar("CONCAT_WS(',', 'only')").as_string(), "only");
+}
+
+TEST_F(FnTest, SubstrMySqlIndexing) {
+  EXPECT_EQ(scalar("SUBSTR('hello', 2)").as_string(), "ello");
+  EXPECT_EQ(scalar("SUBSTR('hello', 2, 3)").as_string(), "ell");
+  EXPECT_EQ(scalar("SUBSTR('hello', -3)").as_string(), "llo");
+  EXPECT_EQ(scalar("SUBSTR('hello', 0)").as_string(), "");  // MySQL quirk
+  EXPECT_EQ(scalar("SUBSTR('hello', 99)").as_string(), "");
+  EXPECT_EQ(scalar("SUBSTR('hello', 2, -1)").as_string(), "");
+}
+
+TEST_F(FnTest, ReplaceAndTrim) {
+  EXPECT_EQ(scalar("REPLACE('aXbX', 'X', 'yy')").as_string(), "ayybyy");
+  EXPECT_EQ(scalar("TRIM('  pad  ')").as_string(), "pad");
+}
+
+TEST_F(FnTest, RoundModes) {
+  EXPECT_EQ(scalar("ROUND(2.5)").coerce_int(), 3);
+  EXPECT_EQ(scalar("ROUND(-2.5)").coerce_int(), -3);  // round-half-away
+  EXPECT_DOUBLE_EQ(scalar("ROUND(3.14159, 2)").as_double(), 3.14);
+  EXPECT_EQ(scalar("ROUND(1234, -2)").coerce_double(), 1200);
+}
+
+TEST_F(FnTest, CoalesceAndIfnull) {
+  EXPECT_EQ(scalar("COALESCE(NULL, NULL, 7)").as_int(), 7);
+  EXPECT_TRUE(scalar("COALESCE(NULL, NULL)").is_null());
+  EXPECT_EQ(scalar("IFNULL(NULL, 'fallback')").as_string(), "fallback");
+  EXPECT_EQ(scalar("IFNULL('x', 'fallback')").as_string(), "x");
+}
+
+TEST_F(FnTest, IfThreeArg) {
+  EXPECT_EQ(scalar("IF(1 < 2, 'yes', 'no')").as_string(), "yes");
+  EXPECT_EQ(scalar("IF(NULL, 'yes', 'no')").as_string(), "no");
+}
+
+TEST_F(FnTest, AbsAndArithmetic) {
+  EXPECT_EQ(scalar("ABS(-5)").as_int(), 5);
+  EXPECT_DOUBLE_EQ(scalar("ABS(-2.5)").as_double(), 2.5);
+  EXPECT_EQ(scalar("7 % 3").as_int(), 1);
+  EXPECT_DOUBLE_EQ(scalar("7 / 2").as_double(), 3.5);  // '/' always double
+  EXPECT_EQ(scalar("2 + 3 * 4").as_int(), 14);
+}
+
+TEST_F(FnTest, Md5IsStableHexDigest) {
+  std::string d1 = scalar("MD5('password')").as_string();
+  std::string d2 = scalar("MD5('password')").as_string();
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1.size(), 32u);
+  EXPECT_NE(scalar("MD5('other')").as_string(), d1);
+  EXPECT_TRUE(scalar("MD5(NULL)").is_null());
+}
+
+TEST_F(FnTest, LengthAndCase) {
+  EXPECT_EQ(scalar("LENGTH('abc')").as_int(), 3);
+  EXPECT_EQ(scalar("UPPER('mIx')").as_string(), "MIX");
+  EXPECT_EQ(scalar("LOWER('mIx')").as_string(), "mix");
+  EXPECT_EQ(scalar("UCASE('x')").as_string(), "X");  // alias
+}
+
+TEST_F(FnTest, VersionDatabaseSleep) {
+  EXPECT_NE(scalar("VERSION()").as_string().find("septicdb"),
+            std::string::npos);
+  EXPECT_EQ(scalar("DATABASE()").as_string(), "septicdb");
+  EXPECT_EQ(scalar("SLEEP(5)").as_int(), 0);       // no real delay
+  EXPECT_EQ(scalar("BENCHMARK(1000, 1)").as_int(), 0);
+}
+
+TEST_F(FnTest, NullSafeEquals) {
+  EXPECT_EQ(scalar("NULL <=> NULL").as_int(), 1);
+  EXPECT_EQ(scalar("1 <=> NULL").as_int(), 0);
+  EXPECT_EQ(scalar("1 <=> 1").as_int(), 1);
+  // Ordinary '=' with NULL is NULL, not 0.
+  EXPECT_TRUE(scalar("1 = NULL").is_null());
+}
+
+TEST_F(FnTest, InWithNullThreeValued) {
+  EXPECT_EQ(scalar("2 IN (1, 2, 3)").as_int(), 1);
+  EXPECT_EQ(scalar("9 IN (1, 2, 3)").as_int(), 0);
+  // Not found but list has NULL: UNKNOWN, not false.
+  EXPECT_TRUE(scalar("9 IN (1, NULL)").is_null());
+  // Found despite NULL in list: true.
+  EXPECT_EQ(scalar("1 IN (1, NULL)").as_int(), 1);
+}
+
+TEST_F(FnTest, LikeEscapes) {
+  EXPECT_EQ(scalar("'50%' LIKE '50\\\\%'").as_int(), 1);
+  EXPECT_EQ(scalar("'503' LIKE '50\\\\%'").as_int(), 0);
+  EXPECT_EQ(scalar("'a_c' LIKE 'a\\\\_c'").as_int(), 1);
+  EXPECT_EQ(scalar("'abc' LIKE 'a_c'").as_int(), 1);
+  EXPECT_EQ(scalar("'ABC' LIKE 'abc'").as_int(), 1);  // case-insensitive
+}
+
+TEST_F(FnTest, UnknownFunctionRejected) {
+  EXPECT_THROW(scalar("NOT_A_FUNCTION(1)"), DbError);
+}
+
+TEST_F(FnTest, WrongArityRejected) {
+  EXPECT_THROW(scalar("LENGTH()"), DbError);
+  EXPECT_THROW(scalar("LENGTH('a', 'b')"), DbError);
+  EXPECT_THROW(scalar("IF(1, 2)"), DbError);
+}
+
+TEST_F(FnTest, AggregateOutsideSelectContextRejected) {
+  db.execute_admin("CREATE TABLE fx (a INT)");
+  db.execute_admin("INSERT INTO fx VALUES (1)");
+  // Aggregates in WHERE are not valid.
+  EXPECT_THROW(db.execute(session, "SELECT a FROM fx WHERE SUM(a) > 0"),
+               DbError);
+}
+
+}  // namespace
+}  // namespace septic::engine

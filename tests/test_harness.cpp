@@ -1,0 +1,107 @@
+// The benchmark harness is a small library; its correctness underwrites
+// every number in EXPERIMENTS.md, so it is tested like any other module.
+#include "../bench/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::bench {
+namespace {
+
+TEST(Harness, ConfigNames) {
+  EXPECT_STREQ(septic_config_name(SepticConfig::kVanilla), "vanilla");
+  EXPECT_STREQ(septic_config_name(SepticConfig::kNN), "NN");
+  EXPECT_STREQ(septic_config_name(SepticConfig::kYN), "YN");
+  EXPECT_STREQ(septic_config_name(SepticConfig::kNY), "NY");
+  EXPECT_STREQ(septic_config_name(SepticConfig::kYY), "YY");
+}
+
+TEST(Harness, VanillaDeploymentHasNoSeptic) {
+  Deployment d = make_deployment("tickets", SepticConfig::kVanilla);
+  EXPECT_EQ(d.septic, nullptr);
+  EXPECT_EQ(d.db->interceptor(), nullptr);
+}
+
+TEST(Harness, ConfigTogglesMatchRequested) {
+  Deployment yn = make_deployment("tickets", SepticConfig::kYN);
+  ASSERT_NE(yn.septic, nullptr);
+  EXPECT_TRUE(yn.septic->config().detect_sqli);
+  EXPECT_FALSE(yn.septic->config().detect_stored);
+  EXPECT_EQ(yn.septic->mode(), core::Mode::kPrevention);
+
+  Deployment ny = make_deployment("tickets", SepticConfig::kNY);
+  EXPECT_FALSE(ny.septic->config().detect_sqli);
+  EXPECT_TRUE(ny.septic->config().detect_stored);
+
+  Deployment nn = make_deployment("tickets", SepticConfig::kNN);
+  EXPECT_FALSE(nn.septic->config().detect_sqli);
+  EXPECT_FALSE(nn.septic->config().detect_stored);
+}
+
+TEST(Harness, DeploymentIsTrainedBeforePrevention) {
+  Deployment d = make_deployment("waspmon", SepticConfig::kYY);
+  EXPECT_GT(d.septic->store().model_count(), 0u);
+}
+
+TEST(Harness, PrepopulationGrowsTables) {
+  Deployment small = make_deployment("addressbook", SepticConfig::kVanilla);
+  Deployment big =
+      make_deployment("addressbook", SepticConfig::kVanilla, 500);
+  auto count = [](Deployment& dep) {
+    return dep.db->execute_admin("SELECT COUNT(*) FROM contacts")
+        .rows[0][0]
+        .as_int();
+  };
+  EXPECT_GE(count(big), count(small) + 500);
+}
+
+TEST(Harness, RunWorkloadCollectsEveryRequest) {
+  Deployment d = make_deployment("tickets", SepticConfig::kVanilla);
+  const int browsers = 2, loops = 3;
+  LatencyStats stats = run_workload(d, browsers, loops);
+  EXPECT_EQ(stats.requests,
+            d.app->workload().size() * browsers * loops);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.mean_us, 0.0);
+  EXPECT_GT(stats.trimmed_mean_us, 0.0);
+  EXPECT_GE(stats.p95_us, stats.p50_us);
+  EXPECT_GE(stats.p99_us, stats.p95_us);
+  EXPECT_GE(stats.max_us, stats.p99_us);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+}
+
+TEST(Harness, WorkloadWithSepticHasNoFalsePositives) {
+  Deployment d = make_deployment("zerocms", SepticConfig::kYY);
+  LatencyStats stats = run_workload(d, 2, 2);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(d.septic->stats().sqli_detected, 0u);
+  EXPECT_EQ(d.septic->stats().stored_detected, 0u);
+}
+
+TEST(Harness, OverheadPercentMath) {
+  LatencyStats base;
+  base.mean_us = 100;
+  LatencyStats measured;
+  measured.mean_us = 103;
+  EXPECT_NEAR(overhead_percent(base, measured), 3.0, 1e-9);
+  LatencyStats zero;
+  EXPECT_EQ(overhead_percent(zero, measured), 0.0);
+}
+
+TEST(Harness, EnvKnobsHaveSaneDefaults) {
+  EXPECT_GT(bench_browsers(), 0);
+  EXPECT_GT(bench_loops(), 0);
+  EXPECT_GT(bench_rounds(), 0);
+  EXPECT_GT(bench_rows(), 0);
+}
+
+TEST(Harness, EveryAppNameResolves) {
+  for (const char* app :
+       {"tickets", "waspmon", "addressbook", "refbase", "zerocms"}) {
+    Deployment d = make_deployment(app, SepticConfig::kVanilla);
+    EXPECT_EQ(d.app->name(), app);
+    EXPECT_FALSE(d.app->workload().empty());
+  }
+}
+
+}  // namespace
+}  // namespace septic::bench

@@ -1,0 +1,68 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::common {
+namespace {
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), kFnvInit);
+  // Standard test vector: fnv1a("a") = 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Fnv1a, DifferentInputsDiffer) {
+  EXPECT_NE(fnv1a("SELECT"), fnv1a("select"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Fnv1a, Chaining) {
+  EXPECT_EQ(fnv1a("ab"), fnv1a("b", fnv1a("a")));
+}
+
+TEST(HashCombine, OrderMatters) {
+  uint64_t a = hash_combine(hash_combine(kFnvInit, 1), 2);
+  uint64_t b = hash_combine(hash_combine(kFnvInit, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashCombine, NoConcatenationAmbiguity) {
+  // ("ab", "c") must differ from ("a", "bc") when mixed with lengths.
+  uint64_t h1 = hash_combine(fnv1a("ab", kFnvInit), 2);
+  h1 = hash_combine(fnv1a("c", h1), 1);
+  uint64_t h2 = hash_combine(fnv1a("a", kFnvInit), 1);
+  h2 = hash_combine(fnv1a("bc", h2), 2);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(ToHex, FixedWidth) {
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(to_hex(~0ull), "ffffffffffffffff");
+}
+
+class HexRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HexRoundTrip, ToHexFromHex) {
+  uint64_t v = GetParam();
+  uint64_t out = 0;
+  ASSERT_TRUE(from_hex(to_hex(v), out));
+  EXPECT_EQ(out, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HexRoundTrip,
+                         ::testing::Values(0ull, 1ull, 0xffull, 0xdeadbeefull,
+                                           0x123456789abcdef0ull, ~0ull));
+
+TEST(FromHex, RejectsBadInput) {
+  uint64_t v;
+  EXPECT_FALSE(from_hex("", v));
+  EXPECT_FALSE(from_hex("xyz", v));
+  EXPECT_FALSE(from_hex("12345678901234567", v));  // 17 chars
+  EXPECT_TRUE(from_hex("ABCDEF", v));              // uppercase accepted
+  EXPECT_EQ(v, 0xabcdefull);
+}
+
+}  // namespace
+}  // namespace septic::common

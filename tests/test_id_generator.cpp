@@ -1,0 +1,134 @@
+#include "septic/id_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/unicode.h"
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+sql::ParsedQuery parse_conv(std::string_view q) {
+  return sql::parse(common::server_charset_convert(q));
+}
+
+TEST(ExternalId, ExtractedFromLeadingBlockComment) {
+  auto q = parse_conv("/* ID:tickets:lookup */ SELECT 1");
+  auto ext = IdGenerator::external_id(q);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(*ext, "tickets:lookup");
+}
+
+TEST(ExternalId, AbsentWhenNoComment) {
+  auto q = parse_conv("SELECT 1");
+  EXPECT_FALSE(IdGenerator::external_id(q).has_value());
+}
+
+TEST(ExternalId, NonIdCommentIgnored) {
+  auto q = parse_conv("/* just a note */ SELECT 1");
+  EXPECT_FALSE(IdGenerator::external_id(q).has_value());
+}
+
+TEST(ExternalId, FirstCommentWinsAgainstInjectedOnes) {
+  // An attacker appends their own /* ID:... */ through user input; the
+  // SSLE's prepended identifier must win.
+  auto q = parse_conv(
+      "/* ID:legit:site */ SELECT * FROM t WHERE a = 1 /* ID:spoofed */");
+  auto ext = IdGenerator::external_id(q);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(*ext, "legit:site");
+}
+
+TEST(ExternalId, DashDashAndHashCommentsNeverCarryIds) {
+  auto q = parse_conv("SELECT 1 -- ID:nope");
+  EXPECT_FALSE(IdGenerator::external_id(q).has_value());
+}
+
+TEST(InternalId, StableAcrossDataChanges) {
+  auto a = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM t WHERE x = 'aaa'").statement);
+  auto b = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM t WHERE x = 'zzz' AND 1 = 1").statement);
+  // WHERE contents excluded: same kind/table/fields -> same internal id,
+  // so the attacked query still finds its learned model.
+  EXPECT_EQ(a, b);
+}
+
+TEST(InternalId, AttackInvariantUnderCommentTruncation) {
+  auto benign = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM tickets WHERE reservID = 'X' AND "
+                 "creditCard = 1")
+          .statement);
+  auto attacked = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM tickets WHERE reservID = 'X\xca\xbc-- ' AND "
+                 "creditCard = 1")
+          .statement);
+  EXPECT_EQ(benign, attacked);
+}
+
+TEST(InternalId, AttackInvariantUnderUnionInjection) {
+  auto benign = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM tickets WHERE creditCard = 1").statement);
+  auto attacked = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM tickets WHERE creditCard = 1 UNION SELECT "
+                 "a, b, c, d, e, f FROM profiles")
+          .statement);
+  EXPECT_EQ(benign, attacked);
+}
+
+TEST(InternalId, DifferentTablesDiffer) {
+  auto a =
+      IdGenerator::internal_id(parse_conv("SELECT * FROM t1").statement);
+  auto b =
+      IdGenerator::internal_id(parse_conv("SELECT * FROM t2").statement);
+  EXPECT_NE(a, b);
+}
+
+TEST(InternalId, DifferentKindsDiffer) {
+  auto a = IdGenerator::internal_id(
+      parse_conv("DELETE FROM t WHERE id = 1").statement);
+  auto b = IdGenerator::internal_id(
+      parse_conv("SELECT * FROM t WHERE id = 1").statement);
+  EXPECT_NE(a, b);
+}
+
+TEST(InternalId, SelectFieldsMatter) {
+  auto a = IdGenerator::internal_id(parse_conv("SELECT a FROM t").statement);
+  auto b = IdGenerator::internal_id(parse_conv("SELECT b FROM t").statement);
+  EXPECT_NE(a, b);
+}
+
+TEST(InternalId, CaseInsensitiveNames) {
+  auto a = IdGenerator::internal_id(parse_conv("SELECT a FROM T").statement);
+  auto b = IdGenerator::internal_id(parse_conv("select A from t").statement);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ComposedId, ConcatenatesExternalAndInternal) {
+  auto q = parse_conv("/* ID:app:site */ SELECT 1");
+  QueryId id = IdGenerator::generate(q);
+  EXPECT_EQ(id.external, "app:site");
+  EXPECT_FALSE(id.internal.empty());
+  EXPECT_EQ(id.composed(), "app:site#" + id.internal);
+}
+
+TEST(ComposedId, InternalOnlyWithoutExternal) {
+  auto q = parse_conv("SELECT 1");
+  QueryId id = IdGenerator::generate(q);
+  EXPECT_TRUE(id.external.empty());
+  EXPECT_EQ(id.composed(), id.internal);
+}
+
+TEST(InternalId, UpdateUsesTableAndSetColumns) {
+  auto a = IdGenerator::internal_id(
+      parse_conv("UPDATE t SET a = 1 WHERE id = 2").statement);
+  auto b = IdGenerator::internal_id(
+      parse_conv("UPDATE t SET a = 99 WHERE id = 5 AND 1 = 1").statement);
+  auto c = IdGenerator::internal_id(
+      parse_conv("UPDATE t SET b = 1 WHERE id = 2").statement);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace septic::core

@@ -1,0 +1,157 @@
+// Secondary indexes: DDL, maintenance under DML, the executor's index
+// access path (results must be identical with and without the index), and
+// consistency with the evaluator's comparison semantics.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "storage/table.h"
+
+namespace septic::engine {
+namespace {
+
+using sql::Value;
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE ix (id INT PRIMARY KEY AUTO_INCREMENT, tag TEXT, "
+        "score INT)");
+    db.execute_admin(
+        "INSERT INTO ix (tag, score) VALUES ('red', 10), ('blue', 20), "
+        "('red', 30), ('green', 40), ('RED', 50)");
+  }
+  ResultSet run(std::string_view q) { return db.execute(session, q); }
+  Database db;
+  Session session;
+};
+
+TEST_F(IndexTest, CreateAndDropIndex) {
+  EXPECT_NO_THROW(run("CREATE INDEX idx_tag ON ix (tag)"));
+  storage::Table& t = db.catalog().require("ix");
+  EXPECT_TRUE(t.has_index_on("tag"));
+  ASSERT_EQ(t.index_names().size(), 1u);
+  EXPECT_EQ(t.index_names()[0], "idx_tag");
+  EXPECT_NO_THROW(run("DROP INDEX idx_tag ON ix"));
+  EXPECT_FALSE(t.has_index_on("tag"));
+}
+
+TEST_F(IndexTest, DuplicateIndexNameRejected) {
+  run("CREATE INDEX idx ON ix (tag)");
+  EXPECT_THROW(run("CREATE INDEX idx ON ix (score)"), DbError);
+}
+
+TEST_F(IndexTest, UnknownColumnOrTableRejected) {
+  EXPECT_THROW(run("CREATE INDEX i ON ix (ghost)"), DbError);
+  EXPECT_THROW(run("CREATE INDEX i ON nope (tag)"), DbError);
+  EXPECT_THROW(run("DROP INDEX missing ON ix"), DbError);
+}
+
+TEST_F(IndexTest, QueryResultsIdenticalWithAndWithoutIndex) {
+  const char* queries[] = {
+      "SELECT id FROM ix WHERE tag = 'red' ORDER BY id",
+      "SELECT id FROM ix WHERE tag = 'red' AND score > 15 ORDER BY id",
+      "SELECT COUNT(*) FROM ix WHERE tag = 'blue'",
+      "SELECT id FROM ix WHERE tag = 'missing'",
+      "SELECT id FROM ix WHERE score = 20",
+  };
+  std::vector<std::string> before;
+  for (const char* q : queries) before.push_back(run(q).to_text());
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  run("CREATE INDEX idx_score ON ix (score)");
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    EXPECT_EQ(run(queries[i]).to_text(), before[i]) << queries[i];
+  }
+}
+
+TEST_F(IndexTest, IndexIsCaseInsensitiveLikeEval) {
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  // 'RED' row (id 5) and 'red' rows (1, 3) must all match, as a scan would.
+  auto rs = run("SELECT COUNT(*) FROM ix WHERE tag = 'red'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+  rs = run("SELECT COUNT(*) FROM ix WHERE tag = 'RED'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+}
+
+TEST_F(IndexTest, IndexMaintainedAcrossDml) {
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  run("INSERT INTO ix (tag, score) VALUES ('red', 60)");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'red'")
+                .rows[0][0]
+                .as_int(),
+            4);
+  run("UPDATE ix SET tag = 'blue' WHERE id = 1");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'red'")
+                .rows[0][0]
+                .as_int(),
+            3);
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'blue'")
+                .rows[0][0]
+                .as_int(),
+            2);
+  run("DELETE FROM ix WHERE tag = 'red'");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'red'")
+                .rows[0][0]
+                .as_int(),
+            0);
+}
+
+TEST_F(IndexTest, PkEqualityUsesPkIndexPath) {
+  // Covered behaviourally: PK lookup returns the right row even with other
+  // WHERE conjuncts that must still be evaluated.
+  auto rs = run("SELECT tag FROM ix WHERE id = 2 AND score > 5");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "blue");
+  rs = run("SELECT tag FROM ix WHERE id = 2 AND score > 100");
+  EXPECT_TRUE(rs.rows.empty());  // residual predicate still applied
+}
+
+TEST_F(IndexTest, IndexPathAppliesResidualPredicates) {
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  auto rs = run("SELECT id FROM ix WHERE tag = 'red' AND score >= 30 "
+                "ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 2u);  // ids 3 (30) and 5 (50); id 1 filtered out
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+}
+
+TEST_F(IndexTest, StringProbeCoercedToIntColumn) {
+  run("CREATE INDEX idx_score ON ix (score)");
+  auto rs = run("SELECT id FROM ix WHERE score = '20'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+}
+
+TEST_F(IndexTest, OrConditionNeverUsesEqualityShortcut) {
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  // OR at the top level: must fall back to a scan (the index path only
+  // fires for conjunctive contexts).
+  auto rs = run("SELECT COUNT(*) FROM ix WHERE tag = 'red' OR score = 40");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);
+}
+
+TEST_F(IndexTest, TruncateClearsIndexedRows) {
+  run("CREATE INDEX idx_tag ON ix (tag)");
+  run("TRUNCATE ix");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'red'")
+                .rows[0][0]
+                .as_int(),
+            0);
+  run("INSERT INTO ix (tag, score) VALUES ('red', 1)");
+  EXPECT_EQ(run("SELECT COUNT(*) FROM ix WHERE tag = 'red'")
+                .rows[0][0]
+                .as_int(),
+            1);
+}
+
+TEST_F(IndexTest, ParseRoundTrip) {
+  EXPECT_EQ(sql::statement_to_sql(
+                sql::parse("create index i on t (c)").statement),
+            "CREATE INDEX i ON t (c)");
+  EXPECT_EQ(
+      sql::statement_to_sql(sql::parse("drop index i on t").statement),
+      "DROP INDEX i ON t");
+}
+
+}  // namespace
+}  // namespace septic::engine

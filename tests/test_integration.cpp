@@ -1,0 +1,157 @@
+// Cross-cutting integration tests: belt-and-braces deployments (WAF +
+// proxy + SEPTIC together), SEPTIC under concurrent sessions, and the
+// charset-conversion ablation as assertions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "attacks/corpus.h"
+#include "common/unicode.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic {
+namespace {
+
+TEST(BeltAndBraces, AllLayersTogetherBlockEverythingFpFree) {
+  engine::Database db;
+  web::apps::WaspMonApp app;
+  app.install(db);
+  auto guard = std::make_shared<core::Septic>();
+  db.set_interceptor(guard);
+  web::WebStack stack(app, db);
+
+  guard->set_mode(core::Mode::kTraining);
+  web::train_on_application(stack);
+  guard->set_mode(core::Mode::kPrevention);
+  stack.config().waf_enabled = true;
+  stack.config().proxy_enabled = true;
+  web::train_on_application(stack);  // teach the proxy too
+  stack.proxy().set_mode(web::QueryFirewall::Mode::kProtect);
+
+  for (const auto& attack : attacks::waspmon_attacks()) {
+    bool blocked = false;
+    for (const auto& setup : attack.setup) {
+      if (stack.handle(setup).blocked()) blocked = true;
+    }
+    if (!blocked) blocked = stack.handle(attack.attack).blocked();
+    EXPECT_TRUE(blocked) << attack.id;
+  }
+  for (const auto& probe : attacks::benign_probes("waspmon")) {
+    web::Response r = stack.handle(probe);
+    EXPECT_FALSE(r.blocked()) << probe.to_string() << " by " << r.blocked_by;
+  }
+}
+
+TEST(Concurrency, SepticUnderParallelSessions) {
+  engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE cc (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT, n INT)");
+  db.execute_admin("INSERT INTO cc (v, n) VALUES ('a', 1), ('b', 2)");
+  auto guard = std::make_shared<core::Septic>();
+  guard->set_log_processed_queries(false);
+  db.set_interceptor(guard);
+
+  engine::Session trainer;
+  guard->set_mode(core::Mode::kTraining);
+  db.execute(trainer, "SELECT v FROM cc WHERE n = 1");
+  db.execute(trainer, "INSERT INTO cc (v, n) VALUES ('x', 9)");
+  guard->set_mode(core::Mode::kPrevention);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> benign_ok{0};
+  std::atomic<int> attacks_blocked{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      engine::Session session;
+      for (int i = 0; i < kRounds; ++i) {
+        try {
+          db.execute(session, "SELECT v FROM cc WHERE n = " +
+                                  std::to_string(i % 7));
+          ++benign_ok;
+        } catch (const engine::DbError&) {
+        }
+        if (t % 2 == 0) {
+          try {
+            db.execute(session,
+                       "SELECT v FROM cc WHERE n = 1 OR 1 = 1");
+          } catch (const engine::DbError& e) {
+            if (e.code() == engine::ErrorCode::kBlocked) ++attacks_blocked;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(benign_ok.load(), kThreads * kRounds);
+  EXPECT_EQ(attacks_blocked.load(), kThreads / 2 * kRounds);
+  EXPECT_EQ(guard->stats().sqli_detected,
+            static_cast<uint64_t>(attacks_blocked.load()));
+}
+
+// The E9 ablation as assertions: Unicode-borne attacks are inert without
+// charset conversion and detonate with it; ASCII attacks are unaffected.
+class CharsetAblation : public ::testing::TestWithParam<attacks::AttackCase> {
+ protected:
+  static bool uses_unicode(const attacks::AttackCase& attack) {
+    for (const auto& setup : attack.setup) {
+      for (const auto& [k, v] : setup.params) {
+        if (common::has_confusable_quote(v)) return true;
+      }
+    }
+    for (const auto& [k, v] : attack.attack.params) {
+      if (common::has_confusable_quote(v)) return true;
+    }
+    return false;
+  }
+
+  static bool detonates(const attacks::AttackCase& attack, bool conversion) {
+    engine::Database db;
+    db.set_charset_conversion(conversion);
+    std::unique_ptr<web::App> app;
+    if (attack.app == "tickets") {
+      app = std::make_unique<web::apps::TicketsApp>();
+    } else {
+      app = std::make_unique<web::apps::WaspMonApp>();
+    }
+    app->install(db);
+    auto oracle = std::make_shared<core::Septic>();
+    oracle->set_log_processed_queries(false);
+    db.set_interceptor(oracle);
+    web::WebStack stack(*app, db);
+    oracle->set_mode(core::Mode::kTraining);
+    web::train_on_application(stack);
+    oracle->set_mode(core::Mode::kDetection);
+    for (const auto& setup : attack.setup) stack.handle(setup);
+    stack.handle(attack.attack);
+    return oracle->stats().sqli_detected > 0 ||
+           oracle->stats().stored_detected > 0;
+  }
+};
+
+TEST_P(CharsetAblation, UnicodeAttacksRequireConversion) {
+  const attacks::AttackCase& attack = GetParam();
+  EXPECT_TRUE(detonates(attack, /*conversion=*/true)) << attack.id;
+  if (uses_unicode(attack)) {
+    EXPECT_FALSE(detonates(attack, /*conversion=*/false))
+        << attack.id << " should be inert without charset conversion";
+  } else {
+    EXPECT_TRUE(detonates(attack, /*conversion=*/false))
+        << attack.id << " is plain ASCII and should not depend on it";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CharsetAblation,
+                         ::testing::ValuesIn(attacks::all_attacks()),
+                         [](const auto& info) { return info.param.id; });
+
+}  // namespace
+}  // namespace septic

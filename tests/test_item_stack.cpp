@@ -1,0 +1,174 @@
+#include "sqlcore/item.h"
+
+#include <gtest/gtest.h>
+
+#include "common/unicode.h"
+#include "sqlcore/parser.h"
+
+namespace septic::sql {
+namespace {
+
+ItemStack stack_of(std::string_view sql) {
+  ParsedQuery q = parse(common::server_charset_convert(sql));
+  return build_item_stack(q.statement);
+}
+
+std::vector<std::pair<std::string, std::string>> flat(const ItemStack& s) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& n : s.nodes) {
+    out.emplace_back(item_type_name(n.type), n.data);
+  }
+  return out;
+}
+
+// Figure 2(a) of the paper: exact node layout, bottom-to-top.
+TEST(ItemStack, PaperFigure2a) {
+  ItemStack s = stack_of(
+      "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = "
+      "1234");
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"FROM_TABLE", "tickets"}, {"SELECT_FIELD", "*"},
+      {"FIELD_ITEM", "reservID"}, {"STRING_ITEM", "ID34FG"},
+      {"FUNC_ITEM", "="},         {"FIELD_ITEM", "creditCard"},
+      {"INT_ITEM", "1234"},       {"FUNC_ITEM", "="},
+      {"COND_ITEM", "AND"},
+  };
+  EXPECT_EQ(flat(s), expected);
+}
+
+// Figure 3: the second-order attack truncates the stack to 5 nodes.
+TEST(ItemStack, PaperFigure3AttackStack) {
+  ItemStack s = stack_of(
+      "SELECT * FROM tickets WHERE reservID = 'ID34FG\xca\xbc-- ' AND "
+      "creditCard = 0");
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"FROM_TABLE", "tickets"},  {"SELECT_FIELD", "*"},
+      {"FIELD_ITEM", "reservID"}, {"STRING_ITEM", "ID34FG"},
+      {"FUNC_ITEM", "="},
+  };
+  EXPECT_EQ(flat(s), expected);
+}
+
+// Figure 4: mimicry preserves the count but swaps a FIELD for an INT.
+TEST(ItemStack, PaperFigure4MimicryStack) {
+  ItemStack s =
+      stack_of("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1");
+  ASSERT_EQ(s.nodes.size(), 9u);
+  EXPECT_EQ(s.nodes[5].type, ItemType::kIntItem);
+  EXPECT_EQ(s.nodes[5].data, "1");
+  EXPECT_EQ(s.nodes[6].type, ItemType::kIntItem);
+}
+
+TEST(ItemStack, QuotedNumberIsStringItem) {
+  ItemStack s = stack_of("SELECT * FROM t WHERE a = '123'");
+  EXPECT_EQ(s.nodes.back().type, ItemType::kFuncItem);
+  EXPECT_EQ(s.nodes[s.nodes.size() - 2].type, ItemType::kStringItem);
+}
+
+TEST(ItemStack, InsertLayout) {
+  ItemStack s = stack_of("INSERT INTO t (a, b) VALUES (1, 'x')");
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"INSERT_TABLE", "t"}, {"INSERT_FIELD", "a"}, {"INSERT_FIELD", "b"},
+      {"ROW_ITEM", "ROW"},   {"INT_ITEM", "1"},     {"STRING_ITEM", "x"},
+  };
+  EXPECT_EQ(flat(s), expected);
+  EXPECT_EQ(s.kind, StatementKind::kInsert);
+}
+
+TEST(ItemStack, MultiRowInsertHasRowMarkers) {
+  ItemStack s = stack_of("INSERT INTO t (a) VALUES (1), (2)");
+  size_t rows = 0;
+  for (const auto& n : s.nodes) {
+    if (n.type == ItemType::kRowItem) ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(ItemStack, UpdateLayout) {
+  ItemStack s = stack_of("UPDATE t SET a = 5 WHERE id = 3");
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"UPDATE_TABLE", "t"}, {"UPDATE_FIELD", "a"}, {"INT_ITEM", "5"},
+      {"FUNC_ITEM", "="},    {"FIELD_ITEM", "id"},  {"INT_ITEM", "3"},
+      {"FUNC_ITEM", "="},
+  };
+  EXPECT_EQ(flat(s), expected);
+}
+
+TEST(ItemStack, DeleteLayout) {
+  ItemStack s = stack_of("DELETE FROM t WHERE id = 3");
+  EXPECT_EQ(s.nodes[0].type, ItemType::kDeleteTable);
+  EXPECT_EQ(s.kind, StatementKind::kDelete);
+}
+
+TEST(ItemStack, UnionAddsSetOpAndArmNodes) {
+  ItemStack plain = stack_of("SELECT a FROM t WHERE b = 1");
+  ItemStack with_union =
+      stack_of("SELECT a FROM t WHERE b = 1 UNION SELECT c FROM u");
+  EXPECT_GT(with_union.nodes.size(), plain.nodes.size());
+  bool has_setop = false;
+  for (const auto& n : with_union.nodes) {
+    if (n.type == ItemType::kSetOpItem) has_setop = true;
+  }
+  EXPECT_TRUE(has_setop);
+}
+
+TEST(ItemStack, OrderLimitNodes) {
+  ItemStack s = stack_of("SELECT a FROM t ORDER BY a DESC LIMIT 5");
+  bool has_order = false, has_limit = false;
+  for (const auto& n : s.nodes) {
+    if (n.type == ItemType::kOrderItem && n.data == "DESC") has_order = true;
+    if (n.type == ItemType::kLimitItem) has_limit = true;
+  }
+  EXPECT_TRUE(has_order);
+  EXPECT_TRUE(has_limit);
+}
+
+TEST(ItemStack, FunctionArgsPostorder) {
+  ItemStack s = stack_of("SELECT CONCAT(a, 'x') FROM t");
+  // a, 'x', CONCAT, <expr> marker.
+  ASSERT_GE(s.nodes.size(), 4u);
+  EXPECT_EQ(s.nodes[1].type, ItemType::kFieldItem);
+  EXPECT_EQ(s.nodes[2].type, ItemType::kStringItem);
+  EXPECT_EQ(s.nodes[3].type, ItemType::kFuncItem);
+  EXPECT_EQ(s.nodes[3].data, "CONCAT");
+}
+
+TEST(ItemStack, ToStringRendersTopDown) {
+  ItemStack s = stack_of("SELECT * FROM t WHERE a = 1");
+  std::string rendered = s.to_string();
+  // Top of stack (FUNC_ITEM =) is printed first, FROM_TABLE last.
+  EXPECT_LT(rendered.find("FUNC_ITEM"), rendered.find("FROM_TABLE"));
+}
+
+TEST(ItemStack, EqualityIsStructural) {
+  EXPECT_EQ(stack_of("SELECT * FROM t WHERE a = 1"),
+            stack_of("SELECT * FROM t WHERE a=1"));
+  EXPECT_NE(stack_of("SELECT * FROM t WHERE a = 1"),
+            stack_of("SELECT * FROM t WHERE a = 2"));
+}
+
+TEST(ExtractDataValues, InsertValues) {
+  ParsedQuery q = parse("INSERT INTO t (a, b) VALUES (1, '<script>')");
+  auto values = extract_data_values(q.statement);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[1].as_string(), "<script>");
+}
+
+TEST(ExtractDataValues, UpdateValuesAndWhere) {
+  ParsedQuery q = parse("UPDATE t SET a = 'payload' WHERE id = 7");
+  auto values = extract_data_values(q.statement);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].as_string(), "payload");
+  EXPECT_EQ(values[1].as_int(), 7);
+}
+
+TEST(ExtractDataValues, SelectWhereAndUnionArms) {
+  ParsedQuery q = parse(
+      "SELECT a FROM t WHERE b = 'x' UNION SELECT c FROM u WHERE d = 'y'");
+  auto values = extract_data_values(q.statement);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[1].as_string(), "y");
+}
+
+}  // namespace
+}  // namespace septic::sql

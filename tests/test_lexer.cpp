@@ -1,0 +1,174 @@
+#include "sqlcore/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::sql {
+namespace {
+
+std::vector<Token> tokens_of(std::string_view sql) {
+  return lex(sql).tokens;
+}
+
+TEST(Lexer, KeywordsUppercasedIdentifiersPreserved) {
+  auto toks = tokens_of("select Name from Users");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].text, "Name");
+  EXPECT_TRUE(toks[2].is_keyword("FROM"));
+  EXPECT_EQ(toks[3].text, "Users");
+  EXPECT_EQ(toks[4].type, TokenType::kEnd);
+}
+
+TEST(Lexer, StringSingleAndDoubleQuotes) {
+  auto toks = tokens_of("'abc' \"def\"");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].str_value, "abc");
+  EXPECT_EQ(toks[1].str_value, "def");
+}
+
+TEST(Lexer, BackslashEscapes) {
+  auto toks = tokens_of(R"('a\'b\\c\nd')");
+  EXPECT_EQ(toks[0].str_value, "a'b\\c\nd");
+}
+
+TEST(Lexer, DoubledQuoteEscape) {
+  auto toks = tokens_of("'it''s'");
+  EXPECT_EQ(toks[0].str_value, "it's");
+}
+
+TEST(Lexer, UnknownEscapeIsLiteralChar) {
+  auto toks = tokens_of(R"('a\qb')");
+  EXPECT_EQ(toks[0].str_value, "aqb");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("'never ends"), LexError);
+}
+
+TEST(Lexer, DashDashCommentSwallowsRestOfLine) {
+  LexResult r = lex("SELECT 1 -- the rest ' is gone");
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].kind, Comment::Kind::kDashDash);
+  // Tokens: SELECT, 1, END.
+  EXPECT_EQ(r.tokens.size(), 3u);
+}
+
+TEST(Lexer, DashDashNeedsWhitespaceAfter) {
+  // MySQL: "a--b" is NOT a comment (no space after --).
+  auto toks = tokens_of("1--2");
+  // 1, -, -, 2, END: minus minus parses as two operators.
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1].text, "-");
+  EXPECT_EQ(toks[2].text, "-");
+}
+
+TEST(Lexer, HashComment) {
+  LexResult r = lex("SELECT 1 # comment here");
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].kind, Comment::Kind::kHash);
+  EXPECT_EQ(r.comments[0].body, " comment here");
+}
+
+TEST(Lexer, BlockCommentCaptured) {
+  LexResult r = lex("/* ID:app:route */ SELECT 1");
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].kind, Comment::Kind::kBlock);
+  EXPECT_EQ(r.comments[0].body, " ID:app:route ");
+  EXPECT_TRUE(r.tokens[0].is_keyword("SELECT"));
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("SELECT 1 /* oops"), LexError);
+}
+
+TEST(Lexer, ConditionalCommentBodyIsExecuted) {
+  // /*!UNION*/ lexes as the UNION keyword — the MySQL mismatch.
+  auto toks = tokens_of("1 /*!UNION*/ 2");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_TRUE(toks[1].is_keyword("UNION"));
+}
+
+TEST(Lexer, ConditionalCommentVersionPrefix) {
+  auto toks = tokens_of("/*!50000 SELECT*/ 1");
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+}
+
+TEST(Lexer, UnterminatedConditionalCommentThrows) {
+  EXPECT_THROW(lex("SELECT /*!UNION 1"), LexError);
+}
+
+TEST(Lexer, IntegerAndDecimal) {
+  auto toks = tokens_of("42 3.5 .25 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].type, TokenType::kDecimal);
+  EXPECT_DOUBLE_EQ(toks[1].dbl_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].dbl_value, 0.25);
+  EXPECT_DOUBLE_EQ(toks[3].dbl_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[4].dbl_value, 0.025);
+}
+
+TEST(Lexer, HexLiteral) {
+  auto toks = tokens_of("0x1F");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[0].int_value, 31);
+}
+
+TEST(Lexer, MalformedHexThrows) { EXPECT_THROW(lex("0x"), LexError); }
+
+TEST(Lexer, BacktickIdentifier) {
+  auto toks = tokens_of("`weird table`");
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "weird table");
+}
+
+TEST(Lexer, BacktickKeywordStaysIdentifier) {
+  // `select` is an identifier, not a keyword.
+  auto toks = tokens_of("`select`");
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "select");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto toks = tokens_of("<= >= <> != <=> || &&");
+  EXPECT_EQ(toks[0].text, "<=");
+  EXPECT_EQ(toks[1].text, ">=");
+  EXPECT_EQ(toks[2].text, "<>");
+  EXPECT_EQ(toks[3].text, "!=");
+  EXPECT_EQ(toks[4].text, "<=>");
+  EXPECT_EQ(toks[5].text, "||");
+  EXPECT_EQ(toks[6].text, "&&");
+}
+
+TEST(Lexer, Placeholder) {
+  auto toks = tokens_of("id = ?");
+  EXPECT_EQ(toks[2].type, TokenType::kPlaceholder);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(lex("SELECT @"), LexError);
+}
+
+TEST(Lexer, PositionTracking) {
+  auto toks = tokens_of("SELECT abc");
+  EXPECT_EQ(toks[0].pos, 0u);
+  EXPECT_EQ(toks[1].pos, 7u);
+}
+
+TEST(Lexer, CommentInjectionTruncation) {
+  // The classic "payload' -- " shape after embedding: everything after the
+  // comment marker is gone, including a trailing external-ID comment.
+  LexResult r = lex("SELECT * FROM t WHERE a = 'x'-- ' AND b = 1 /* ID:x */");
+  bool has_b = false;
+  for (const auto& t : r.tokens) {
+    if (t.type == TokenType::kIdentifier && t.text == "b") has_b = true;
+  }
+  EXPECT_FALSE(has_b);
+  // The block comment never materializes: it was inside the -- comment.
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].kind, Comment::Kind::kDashDash);
+}
+
+}  // namespace
+}  // namespace septic::sql

@@ -1,0 +1,168 @@
+// SHOW TABLES / DESCRIBE / TRUNCATE statements plus the event-register
+// file sink.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::engine {
+namespace {
+
+class MetaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE alpha (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "name TEXT NOT NULL, score DOUBLE DEFAULT 1.5)");
+    db.execute_admin("CREATE TABLE beta (x INT)");
+    db.execute_admin("INSERT INTO alpha (name) VALUES ('a'), ('b')");
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(MetaTest, ShowTablesListsAll) {
+  auto rs = db.execute(session, "SHOW TABLES");
+  ASSERT_EQ(rs.columns.size(), 1u);
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alpha");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "beta");
+}
+
+TEST_F(MetaTest, DescribeReportsSchema) {
+  auto rs = db.execute(session, "DESCRIBE alpha");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "id");
+  EXPECT_EQ(rs.rows[0][1].as_string(), "INT");
+  EXPECT_EQ(rs.rows[0][3].as_string(), "PRI");
+  EXPECT_EQ(rs.rows[0][5].as_string(), "auto_increment");
+  EXPECT_EQ(rs.rows[1][2].as_string(), "NO");  // name NOT NULL
+  EXPECT_DOUBLE_EQ(rs.rows[2][4].coerce_double(), 1.5);  // default
+}
+
+TEST_F(MetaTest, DescribeAliasDescWorks) {
+  auto rs = db.execute(session, "DESC alpha");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(MetaTest, DescribeUnknownTableFails) {
+  EXPECT_THROW(db.execute(session, "DESCRIBE ghost"), DbError);
+}
+
+TEST_F(MetaTest, TruncateEmptiesAndResetsAutoIncrement) {
+  auto rs = db.execute(session, "TRUNCATE TABLE alpha");
+  EXPECT_EQ(rs.affected_rows, 2);
+  EXPECT_EQ(db.execute(session, "SELECT COUNT(*) FROM alpha")
+                .rows[0][0]
+                .as_int(),
+            0);
+  db.execute(session, "INSERT INTO alpha (name) VALUES ('fresh')");
+  EXPECT_EQ(db.execute(session, "SELECT id FROM alpha").rows[0][0].as_int(),
+            1);  // counter reset, like MySQL TRUNCATE
+}
+
+TEST_F(MetaTest, TruncateWithoutTableKeyword) {
+  EXPECT_NO_THROW(db.execute(session, "TRUNCATE beta"));
+}
+
+TEST_F(MetaTest, TruncateUnknownTableFails) {
+  EXPECT_THROW(db.execute(session, "TRUNCATE ghost"), DbError);
+}
+
+TEST_F(MetaTest, MetadataStatementsFlowThroughSeptic) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, "SHOW TABLES");
+  db.execute(session, "DESCRIBE alpha");
+  EXPECT_EQ(septic->store().model_count(), 2u);
+
+  septic->set_mode(core::Mode::kPrevention);
+  EXPECT_NO_THROW(db.execute(session, "SHOW TABLES"));
+  EXPECT_NO_THROW(db.execute(session, "DESCRIBE alpha"));
+  // TRUNCATE was never trained; strict mode blocks it — the DDL-guard
+  // deployment pattern.
+  septic->set_incremental_learning(false);
+  EXPECT_THROW(db.execute(session, "TRUNCATE alpha"), DbError);
+}
+
+TEST(MetaStacks, ItemStacksForMetadataStatements) {
+  auto stack = sql::build_item_stack(sql::parse("DESCRIBE t").statement);
+  ASSERT_EQ(stack.nodes.size(), 1u);
+  EXPECT_EQ(stack.nodes[0].type, sql::ItemType::kFromTable);
+  EXPECT_EQ(stack.kind, sql::StatementKind::kDescribe);
+
+  auto show = sql::build_item_stack(sql::parse("SHOW TABLES").statement);
+  EXPECT_TRUE(show.nodes.empty());
+  EXPECT_EQ(show.kind, sql::StatementKind::kShowTables);
+}
+
+TEST(MetaParse, ToSqlRoundTrip) {
+  EXPECT_EQ(sql::statement_to_sql(sql::parse("show tables").statement),
+            "SHOW TABLES");
+  EXPECT_EQ(sql::statement_to_sql(sql::parse("truncate table t").statement),
+            "TRUNCATE TABLE t");
+  EXPECT_EQ(sql::statement_to_sql(sql::parse("describe t").statement),
+            "DESCRIBE t");
+}
+
+TEST(EventLogFile, TeeWritesFormattedLines) {
+  const std::string path = "/tmp/septic_test_events.log";
+  std::remove(path.c_str());
+
+  core::EventLog log;
+  log.tee_to_file(path);
+  core::Event e;
+  e.kind = core::EventKind::kSqliDetected;
+  e.attack_type = "SQLI";
+  e.query = "SELECT 1 OR 1=1";
+  log.record(std::move(e));
+  log.tee_to_file("");  // stop logging (flush + close)
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("SQLI_DETECTED"), std::string::npos);
+  EXPECT_NE(line.find("SELECT 1 OR 1=1"), std::string::npos);
+}
+
+TEST(EventLogFile, AppendsAcrossSessions) {
+  const std::string path = "/tmp/septic_test_events2.log";
+  std::remove(path.c_str());
+  {
+    core::EventLog log;
+    log.tee_to_file(path);
+    core::Event e;
+    e.kind = core::EventKind::kModeChanged;
+    log.record(std::move(e));
+  }
+  {
+    core::EventLog log;
+    log.tee_to_file(path);
+    core::Event e;
+    e.kind = core::EventKind::kModelLoaded;
+    log.record(std::move(e));
+  }
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventLogFile, BadPathThrows) {
+  core::EventLog log;
+  EXPECT_THROW(log.tee_to_file("/nonexistent-dir/x.log"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+
+namespace septic::net {
+namespace {
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, EncodeDecodeRoundTrip) {
+  Frame f{Opcode::kQuery, "SELECT 1"};
+  FrameDecoder dec;
+  dec.feed(encode_frame(f));
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->op, Opcode::kQuery);
+  EXPECT_EQ(out->payload, "SELECT 1");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Protocol, PartialFeedBuffersUntilComplete) {
+  Frame f{Opcode::kRows, "a\tb\n1\t2\n"};
+  std::string bytes = encode_frame(f);
+  FrameDecoder dec;
+  dec.feed(bytes.substr(0, 3));
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed(bytes.substr(3, 4));
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed(bytes.substr(7));
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, f.payload);
+}
+
+TEST(Protocol, MultipleFramesInOneFeed) {
+  std::string bytes = encode_frame({Opcode::kQuery, "a"}) +
+                      encode_frame({Opcode::kQuit, ""});
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_EQ(dec.next()->op, Opcode::kQuery);
+  EXPECT_EQ(dec.next()->op, Opcode::kQuit);
+}
+
+TEST(Protocol, EmptyPayloadFrame) {
+  FrameDecoder dec;
+  dec.feed(encode_frame({Opcode::kQuit, ""}));
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(Protocol, BadOpcodeThrows) {
+  FrameDecoder dec;
+  std::string bytes = encode_frame({Opcode::kQuery, "x"});
+  bytes[4] = 99;  // corrupt the opcode
+  dec.feed(bytes);
+  EXPECT_THROW(dec.next(), std::runtime_error);
+}
+
+TEST(Protocol, ZeroLengthFrameThrows) {
+  FrameDecoder dec;
+  dec.feed(std::string("\0\0\0\0", 4));
+  EXPECT_THROW(dec.next(), std::runtime_error);
+}
+
+TEST(Protocol, OversizedLengthThrows) {
+  FrameDecoder dec;
+  dec.feed(std::string("\xff\xff\xff\xff", 4));
+  EXPECT_THROW(dec.next(), std::runtime_error);
+}
+
+// ---------------------------------------------------------- server/client
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE n (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+    db.execute_admin("INSERT INTO n (v) VALUES ('one'), ('two')");
+    server = std::make_unique<Server>(db, 0);
+    server->start();
+  }
+  void TearDown() override { server->stop(); }
+
+  engine::Database db;
+  std::unique_ptr<Server> server;
+};
+
+TEST_F(NetTest, QueryRowsOverTheWire) {
+  Client c(server->port());
+  std::string reply = c.query("SELECT v FROM n ORDER BY id");
+  EXPECT_NE(reply.find("one"), std::string::npos);
+  EXPECT_NE(reply.find("two"), std::string::npos);
+}
+
+TEST_F(NetTest, DmlReturnsOkSummary) {
+  Client c(server->port());
+  std::string reply = c.query("INSERT INTO n (v) VALUES ('three')");
+  EXPECT_NE(reply.find("affected=1"), std::string::npos);
+  EXPECT_NE(reply.find("last_insert_id=3"), std::string::npos);
+}
+
+TEST_F(NetTest, SqlErrorBecomesRemoteError) {
+  Client c(server->port());
+  try {
+    c.query("SELECT * FROM ghost");
+    FAIL();
+  } catch (const RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("UNKNOWN_TABLE"), std::string::npos);
+    EXPECT_FALSE(e.blocked());
+  }
+}
+
+TEST_F(NetTest, SepticBlockSurfacesAsBlockedError) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  {
+    Client trainer(server->port());
+    trainer.query("SELECT v FROM n WHERE id = 1");
+  }
+  septic->set_mode(core::Mode::kPrevention);
+  Client c(server->port());
+  try {
+    c.query("SELECT v FROM n WHERE id = 1 OR 1 = 1");
+    FAIL();
+  } catch (const RemoteError& e) {
+    EXPECT_TRUE(e.blocked());
+  }
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(NetTest, ConcurrentClientDiversity) {
+  // Several clients, each its own session, all served correctly.
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      Client c(server->port());
+      for (int round = 0; round < 10; ++round) {
+        std::string reply = c.query("SELECT COUNT(*) FROM n");
+        if (reply.find("2") != std::string::npos) ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 10);
+  EXPECT_EQ(server->connections_served(), static_cast<uint64_t>(kClients));
+}
+
+TEST_F(NetTest, SessionsGetDistinctLastInsertIds) {
+  Client a(server->port());
+  Client b(server->port());
+  std::string ra = a.query("INSERT INTO n (v) VALUES ('a')");
+  std::string rb = b.query("INSERT INTO n (v) VALUES ('b')");
+  EXPECT_NE(ra.find("last_insert_id=3"), std::string::npos);
+  EXPECT_NE(rb.find("last_insert_id=4"), std::string::npos);
+}
+
+TEST(NetLifecycle, StopWhileClientConnected) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE z (x INT)");
+  auto server = std::make_unique<Server>(db, 0);
+  server->start();
+  Client c(server->port());
+  c.query("INSERT INTO z VALUES (1)");
+  // Must not deadlock even though the client is still connected.
+  server->stop();
+}
+
+}  // namespace
+}  // namespace septic::net

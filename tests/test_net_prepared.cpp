@@ -1,0 +1,118 @@
+// Prepared statements over the wire: PREPARE/EXEC opcodes, parameter
+// framing with hostile bytes, and SEPTIC interaction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+
+namespace septic::net {
+namespace {
+
+using sql::Value;
+
+class NetPreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE np (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT, "
+        "n INT)");
+    db.execute_admin("INSERT INTO np (v, n) VALUES ('one', 1), ('two', 2)");
+    server = std::make_unique<Server>(db, 0);
+    server->start();
+  }
+  void TearDown() override { server->stop(); }
+
+  engine::Database db;
+  std::unique_ptr<Server> server;
+};
+
+TEST_F(NetPreparedTest, PrepareExecuteRoundTrip) {
+  Client c(server->port());
+  uint64_t stmt = c.prepare("SELECT v FROM np WHERE n = ?");
+  std::string reply = c.execute(stmt, {Value(int64_t{2})});
+  EXPECT_NE(reply.find("two"), std::string::npos);
+  // Re-execute with different binding.
+  reply = c.execute(stmt, {Value(int64_t{1})});
+  EXPECT_NE(reply.find("one"), std::string::npos);
+}
+
+TEST_F(NetPreparedTest, MultipleStatementsPerConnection) {
+  Client c(server->port());
+  uint64_t s1 = c.prepare("SELECT v FROM np WHERE n = ?");
+  uint64_t s2 = c.prepare("INSERT INTO np (v, n) VALUES (?, ?)");
+  EXPECT_NE(s1, s2);
+  std::string reply =
+      c.execute(s2, {Value(std::string("three")), Value(int64_t{3})});
+  EXPECT_NE(reply.find("affected=1"), std::string::npos);
+  reply = c.execute(s1, {Value(int64_t{3})});
+  EXPECT_NE(reply.find("three"), std::string::npos);
+}
+
+TEST_F(NetPreparedTest, HostileBytesInParametersSurviveFraming) {
+  Client c(server->port());
+  uint64_t ins = c.prepare("INSERT INTO np (v, n) VALUES (?, ?)");
+  // Bytes that would break naive framing: separators, colons, NULs-ish,
+  // the Unicode prime, quotes.
+  std::string payload = "a\x1f:b'c\xca\xbc-- \"d";
+  c.execute(ins, {Value(payload), Value(int64_t{42})});
+  uint64_t sel = c.prepare("SELECT v FROM np WHERE n = ?");
+  std::string reply = c.execute(sel, {Value(int64_t{42})});
+  EXPECT_NE(reply.find(payload), std::string::npos);
+}
+
+TEST_F(NetPreparedTest, UnknownStatementIdErrors) {
+  Client c(server->port());
+  EXPECT_THROW(c.execute(999, {}), RemoteError);
+}
+
+TEST_F(NetPreparedTest, ParamCountMismatchErrors) {
+  Client c(server->port());
+  uint64_t stmt = c.prepare("SELECT v FROM np WHERE n = ?");
+  EXPECT_THROW(c.execute(stmt, {}), RemoteError);
+  EXPECT_THROW(c.execute(stmt, {Value(int64_t{1}), Value(int64_t{2})}),
+               RemoteError);
+}
+
+TEST_F(NetPreparedTest, StatementsArePerConnection) {
+  Client a(server->port());
+  uint64_t stmt = a.prepare("SELECT v FROM np WHERE n = ?");
+  Client b(server->port());
+  // b never prepared anything; a's id is not visible to it.
+  EXPECT_THROW(b.execute(stmt, {Value(int64_t{1})}), RemoteError);
+}
+
+TEST_F(NetPreparedTest, SepticTreatsWireParamsAsData) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  {
+    Client trainer(server->port());
+    uint64_t stmt = trainer.prepare("SELECT v FROM np WHERE v = ?");
+    trainer.execute(stmt, {Value(std::string("one"))});
+  }
+  septic->set_mode(core::Mode::kPrevention);
+  Client c(server->port());
+  uint64_t stmt = c.prepare("SELECT v FROM np WHERE v = ?");
+  // A tautology bound over the wire is inert data: passes, returns nothing.
+  std::string reply =
+      c.execute(stmt, {Value(std::string("' OR '1'='1"))});
+  EXPECT_EQ(reply.find("one"), std::string::npos);
+  EXPECT_EQ(septic->stats().sqli_detected, 0u);
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(NetPreparedTest, NullParameterBinds) {
+  Client c(server->port());
+  uint64_t ins = c.prepare("INSERT INTO np (v, n) VALUES (?, ?)");
+  c.execute(ins, {Value::null(), Value(int64_t{77})});
+  uint64_t sel = c.prepare("SELECT n FROM np WHERE v IS NULL");
+  std::string reply = c.execute(sel, {});
+  EXPECT_NE(reply.find("77"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace septic::net

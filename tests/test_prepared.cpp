@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+
+namespace septic::engine {
+namespace {
+
+using sql::Value;
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE p (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, "
+        "amount INT)");
+    db.execute_admin("INSERT INTO p (name, amount) VALUES ('a', 10), "
+                     "('b', 20)");
+  }
+
+  Database db;
+  Session session;
+};
+
+TEST_F(PreparedTest, SelectWithBoundParams) {
+  auto rs = db.execute_prepared(session,
+                                "SELECT amount FROM p WHERE name = ?",
+                                {Value(std::string("b"))});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 20);
+}
+
+TEST_F(PreparedTest, InsertStoresValuesVerbatim) {
+  db.execute_prepared(session, "INSERT INTO p (name, amount) VALUES (?, ?)",
+                      {Value(std::string("pay'load\xca\xbc-- ")),
+                       Value(int64_t{5})});
+  auto rs = db.execute_prepared(session,
+                                "SELECT name FROM p WHERE amount = ?",
+                                {Value(int64_t{5})});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  // Raw bytes intact: neither escaping nor charset conversion touched the
+  // bound value.
+  EXPECT_EQ(rs.rows[0][0].as_string(), "pay'load\xca\xbc-- ");
+}
+
+TEST_F(PreparedTest, InjectionThroughParamIsInert) {
+  // The classic proof: a tautology bound as a parameter is just a string.
+  auto rs = db.execute_prepared(session,
+                                "SELECT amount FROM p WHERE name = ?",
+                                {Value(std::string("a' OR '1'='1"))});
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(PreparedTest, ParamCountMismatchRejected) {
+  EXPECT_THROW(db.execute_prepared(session,
+                                   "SELECT amount FROM p WHERE name = ?", {}),
+               DbError);
+  EXPECT_THROW(
+      db.execute_prepared(session, "SELECT amount FROM p WHERE name = ?",
+                          {Value(std::string("a")), Value(int64_t{2})}),
+      DbError);
+}
+
+TEST_F(PreparedTest, UnboundPlaceholderInDirectExecuteRejected) {
+  EXPECT_THROW(db.execute(session, "SELECT amount FROM p WHERE name = ?"),
+               DbError);
+}
+
+TEST_F(PreparedTest, MultiplePlaceholdersPositional) {
+  auto rs = db.execute_prepared(
+      session, "SELECT name FROM p WHERE amount > ? AND amount < ?",
+      {Value(int64_t{5}), Value(int64_t{15})});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "a");
+}
+
+TEST_F(PreparedTest, UpdateAndDeletePrepared) {
+  auto up = db.execute_prepared(session,
+                                "UPDATE p SET amount = ? WHERE name = ?",
+                                {Value(int64_t{99}), Value(std::string("a"))});
+  EXPECT_EQ(up.affected_rows, 1);
+  auto del = db.execute_prepared(session, "DELETE FROM p WHERE amount = ?",
+                                 {Value(int64_t{99})});
+  EXPECT_EQ(del.affected_rows, 1);
+}
+
+TEST_F(PreparedTest, SepticSeesBoundValuesAsDataNodes) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute_prepared(session, "SELECT amount FROM p WHERE name = ?",
+                      {Value(std::string("a"))});
+  EXPECT_EQ(septic->store().model_count(), 1u);
+
+  septic->set_mode(core::Mode::kPrevention);
+  // Any bound string matches the STRING_ITEM ⊥ slot: benign by construction.
+  EXPECT_NO_THROW(db.execute_prepared(
+      session, "SELECT amount FROM p WHERE name = ?",
+      {Value(std::string("x' OR '1'='1"))}));
+}
+
+TEST_F(PreparedTest, SepticStoredPluginsStillInspectBoundValues) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kPrevention);
+  // SQLI through a prepared INSERT is impossible, but a stored-XSS payload
+  // in a bound value must still be caught by the plugins.
+  EXPECT_THROW(
+      db.execute_prepared(session,
+                          "INSERT INTO p (name, amount) VALUES (?, ?)",
+                          {Value(std::string("<script>alert(1)</script>")),
+                           Value(int64_t{1})}),
+      DbError);
+  EXPECT_EQ(septic->stats().stored_detected, 1u);
+}
+
+TEST_F(PreparedTest, TemplateTextStillCharsetConverted) {
+  // The template is statement text: confusables in it DO decode. (Only
+  // bound values are exempt.) A template with a fullwidth '=' parses.
+  auto rs = db.execute_prepared(
+      session, std::string("SELECT amount FROM p WHERE name \xef\xbc\x9d ?"),
+      {Value(std::string("a"))});
+  ASSERT_EQ(rs.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -1,0 +1,223 @@
+// Property-style sweeps over generated inputs: the invariants the demo
+// depends on, checked across many random instances rather than a handful
+// of hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/corpus.h"
+#include "common/unicode.h"
+#include "engine/database.h"
+#include "septic/query_model.h"
+#include "septic/septic.h"
+#include "sqlcore/parser.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/proxy.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic {
+namespace {
+
+// Property 1: after training, randomized benign form submissions are never
+// flagged — for any app and many seeds.
+struct BenignSweepParam {
+  const char* app;
+  uint64_t seed;
+};
+
+class BenignNeverFlagged : public ::testing::TestWithParam<BenignSweepParam> {
+};
+
+TEST_P(BenignNeverFlagged, RandomFormInputsPass) {
+  const auto& param = GetParam();
+  engine::Database db;
+  std::unique_ptr<web::App> app;
+  if (std::string(param.app) == "tickets") {
+    app = std::make_unique<web::apps::TicketsApp>();
+  } else {
+    app = std::make_unique<web::apps::WaspMonApp>();
+  }
+  app->install(db);
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  web::WebStack stack(*app, db);
+
+  septic->set_mode(core::Mode::kTraining);
+  web::train_on_application(stack);
+  septic->set_mode(core::Mode::kPrevention);
+
+  for (const auto& request :
+       attacks::random_benign_requests(param.app, param.seed, 40)) {
+    web::Response r = stack.handle(request);
+    EXPECT_FALSE(r.blocked())
+        << param.app << " seed=" << param.seed << " " << request.to_string();
+  }
+  EXPECT_EQ(septic->stats().sqli_detected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BenignNeverFlagged,
+    ::testing::Values(BenignSweepParam{"tickets", 1},
+                      BenignSweepParam{"tickets", 42},
+                      BenignSweepParam{"tickets", 20260707},
+                      BenignSweepParam{"waspmon", 1},
+                      BenignSweepParam{"waspmon", 42},
+                      BenignSweepParam{"waspmon", 20260707}),
+    [](const auto& info) {
+      return std::string(info.param.app) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+// Property 2: model derivation is deterministic and idempotent, and the
+// model always matches the structure it was derived from.
+class ModelInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelInvariants, DeriveCompareRoundTrip) {
+  sql::ItemStack qs =
+      sql::build_item_stack(sql::parse(GetParam()).statement);
+  core::QueryModel qm1 = core::make_query_model(qs);
+  core::QueryModel qm2 = core::make_query_model(qs);
+  EXPECT_EQ(qm1, qm2);
+  // A QS always matches its own model.
+  EXPECT_FALSE(core::compare_qs_qm(qs, qm1).attack);
+  // Serialization round-trips.
+  core::QueryModel parsed;
+  ASSERT_TRUE(core::QueryModel::deserialize(qm1.serialize(), parsed));
+  EXPECT_EQ(parsed, qm1);
+  EXPECT_FALSE(core::compare_qs_qm(qs, parsed).attack);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, ModelInvariants,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT * FROM t WHERE a = 'x'",
+        "SELECT a, b FROM t WHERE c = 1 AND d = 'y' OR e < 3",
+        "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+        "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y WHERE t2.z LIKE '%q%'",
+        "INSERT INTO t (a, b, c) VALUES ('x', 2, 3.5)",
+        "INSERT INTO t (a) VALUES (1), (2), (3)",
+        "UPDATE t SET a = 'v', b = b + 1 WHERE id IN (1, 2)",
+        "DELETE FROM t WHERE x BETWEEN 1 AND 9",
+        "SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+        "SELECT a FROM t UNION ALL SELECT b FROM u"));
+
+// Property 3: any single-condition value change never alters the model;
+// any structural edit always does.
+TEST(ModelSensitivity, DataChangesNeverStructureAlwaysDetected) {
+  const char* base = "SELECT a FROM t WHERE b = 'seed' AND c = 10";
+  core::QueryModel qm = core::make_query_model(
+      sql::build_item_stack(sql::parse(base).statement));
+
+  const char* data_variants[] = {
+      "SELECT a FROM t WHERE b = 'other' AND c = 10",
+      "SELECT a FROM t WHERE b = '' AND c = 0",
+      "SELECT a FROM t WHERE b = 'O''Brien' AND c = -5",
+      "SELECT a FROM t WHERE b = 'x y z' AND c = 99999",
+  };
+  for (const char* v : data_variants) {
+    sql::ItemStack qs = sql::build_item_stack(sql::parse(v).statement);
+    EXPECT_FALSE(core::compare_qs_qm(qs, qm).attack) << v;
+  }
+
+  const char* structural_variants[] = {
+      "SELECT a FROM t WHERE b = 'x'",                       // dropped cond
+      "SELECT a FROM t WHERE b = 'x' AND c = 10 AND 1 = 1",  // added cond
+      "SELECT a FROM t WHERE b = 'x' OR c = 10",             // AND -> OR
+      "SELECT a FROM t WHERE b = 'x' AND d = 10",            // field swap
+      "SELECT a FROM t WHERE b = 'x' AND c = 'ten'",         // type swap
+      "SELECT a FROM t WHERE b = 'x' AND c < 10",            // operator swap
+  };
+  for (const char* v : structural_variants) {
+    sql::ItemStack qs = sql::build_item_stack(sql::parse(v).statement);
+    EXPECT_TRUE(core::compare_qs_qm(qs, qm).attack) << v;
+  }
+}
+
+// Property 4: the charset conversion is idempotent, and output never
+// contains a confusable the converter knows about.
+class CharsetIdempotence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CharsetIdempotence, ConvertTwiceEqualsOnce) {
+  std::string once = common::server_charset_convert(GetParam());
+  EXPECT_EQ(common::server_charset_convert(once), once);
+  EXPECT_FALSE(common::has_confusable_quote(once));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, CharsetIdempotence,
+    ::testing::Values("plain", "ID34FG\xca\xbc-- ",
+                      "1\xef\xbc\x9d" "1", "mixed \xe2\x80\x99 and '",
+                      "\xef\xbc\x88nested\xef\xbc\x89",
+                      "caf\xc3\xa9 stays caf\xc3\xa9"));
+
+// Property 5: proxy fingerprints are invariant under literal changes and
+// whitespace, for a spread of query shapes.
+class FingerprintInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FingerprintInvariance, LiteralSubstitutionStable) {
+  std::string q = GetParam();
+  std::string fp1 = web::QueryFirewall::fingerprint(q);
+  // Replace literal payloads: fingerprint of a mutated-literal query is
+  // identical.
+  std::string mutated = q;
+  size_t quote = mutated.find('\'');
+  if (quote != std::string::npos) {
+    size_t end = mutated.find('\'', quote + 1);
+    if (end != std::string::npos) {
+      mutated = mutated.substr(0, quote + 1) + "DIFFERENT" +
+                mutated.substr(end);
+    }
+  }
+  EXPECT_EQ(web::QueryFirewall::fingerprint(mutated), fp1) << mutated;
+  // Whitespace immaterial.
+  std::string spaced = std::string("  ") + q + "   ";
+  EXPECT_EQ(web::QueryFirewall::fingerprint(spaced), fp1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, FingerprintInvariance,
+    ::testing::Values("SELECT * FROM t WHERE a = 'x'",
+                      "INSERT INTO t (a, b) VALUES ('v', 7)",
+                      "UPDATE t SET a = 'w' WHERE id = 3",
+                      "DELETE FROM t WHERE name = 'gone'"));
+
+// Property 6: every attack in the corpus carries either a confusable
+// codepoint, a stored-payload marker, or plain-ASCII injection syntax —
+// i.e. the corpus stays honest about which detection layer it probes.
+TEST(CorpusSanity, EveryCaseTargetsAKnownApp) {
+  for (const auto& attack : attacks::all_attacks()) {
+    EXPECT_TRUE(attack.app == "tickets" || attack.app == "waspmon")
+        << attack.id;
+    EXPECT_FALSE(attack.name.empty());
+    EXPECT_FALSE(attack.category.empty());
+  }
+}
+
+TEST(CorpusSanity, IdsAreUnique) {
+  auto attacks_list = attacks::all_attacks();
+  std::set<std::string> ids;
+  for (const auto& a : attacks_list) {
+    EXPECT_TRUE(ids.insert(a.id).second) << "duplicate id " << a.id;
+  }
+}
+
+TEST(CorpusSanity, RandomBenignGeneratorIsDeterministic) {
+  auto a = attacks::random_benign_requests("waspmon", 7, 10);
+  auto b = attacks::random_benign_requests("waspmon", 7, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_string(), b[i].to_string());
+  }
+  auto c = attacks::random_benign_requests("waspmon", 8, 10);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].to_string() != c[i].to_string()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace septic

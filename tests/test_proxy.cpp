@@ -1,0 +1,139 @@
+#include "web/proxy.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::web {
+namespace {
+
+TEST(Fingerprint, LiteralsBecomePlaceholders) {
+  EXPECT_EQ(QueryFirewall::fingerprint(
+                "SELECT * FROM t WHERE a = 'xyz' AND b = 42"),
+            "select * from t where a = ? and b = ?");
+}
+
+TEST(Fingerprint, WhitespaceAndCaseNormalized) {
+  EXPECT_EQ(QueryFirewall::fingerprint("SELECT   *\tFROM  T"),
+            QueryFirewall::fingerprint("select * from t"));
+}
+
+TEST(Fingerprint, EscapedQuotesInsideLiterals) {
+  EXPECT_EQ(QueryFirewall::fingerprint(R"(SELECT 1 WHERE a = 'it\'s')"),
+            "select ? where a = ?");
+  EXPECT_EQ(QueryFirewall::fingerprint("SELECT 1 WHERE a = 'it''s'"),
+            "select ? where a = ?");
+}
+
+TEST(Fingerprint, CommentsStripped) {
+  EXPECT_EQ(QueryFirewall::fingerprint("SELECT 1 /* note */ -- tail"),
+            QueryFirewall::fingerprint("SELECT 1"));
+}
+
+TEST(Fingerprint, NumbersInsideIdentifiersKept) {
+  EXPECT_EQ(QueryFirewall::fingerprint("SELECT col2 FROM t2"),
+            "select col2 from t2");
+}
+
+TEST(Fingerprint, TheUnicodeBlindSpot) {
+  // The proxy normalizes at the byte level: U+02BC inside a quoted literal
+  // is just literal content, so the attacked query fingerprints EXACTLY
+  // like the benign one — the blind spot SEPTIC closes.
+  std::string benign =
+      "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 0";
+  std::string attacked =
+      "SELECT * FROM tickets WHERE reservID = 'ID34FG\xca\xbc-- ' AND "
+      "creditCard = 0";
+  EXPECT_EQ(QueryFirewall::fingerprint(benign),
+            QueryFirewall::fingerprint(attacked));
+}
+
+TEST(Fingerprint, AsciiInjectionChangesFingerprint) {
+  std::string benign = "SELECT a FROM t WHERE b = 1";
+  std::string attacked = "SELECT a FROM t WHERE b = 1 OR 1=1";
+  EXPECT_NE(QueryFirewall::fingerprint(benign),
+            QueryFirewall::fingerprint(attacked));
+}
+
+TEST(Firewall, LearningModePassesAndLearns) {
+  QueryFirewall fw;
+  EXPECT_EQ(fw.mode(), QueryFirewall::Mode::kLearning);
+  EXPECT_TRUE(fw.check("SELECT a FROM t WHERE b = 1"));
+  EXPECT_EQ(fw.fingerprint_count(), 1u);
+  // Same shape, different literal: no new fingerprint.
+  EXPECT_TRUE(fw.check("SELECT a FROM t WHERE b = 2"));
+  EXPECT_EQ(fw.fingerprint_count(), 1u);
+}
+
+TEST(Firewall, ProtectModeBlocksUnknown) {
+  QueryFirewall fw;
+  fw.learn("SELECT a FROM t WHERE b = 1");
+  fw.set_mode(QueryFirewall::Mode::kProtect);
+  EXPECT_TRUE(fw.check("SELECT a FROM t WHERE b = 99"));
+  EXPECT_FALSE(fw.check("SELECT a FROM t WHERE b = 1 OR 1=1"));
+  EXPECT_FALSE(fw.check("DELETE FROM t"));
+  EXPECT_EQ(fw.blocked_count(), 2u);
+}
+
+TEST(Firewall, ProtectModeMissesUnicodeSecondOrder) {
+  QueryFirewall fw;
+  fw.learn("SELECT * FROM tickets WHERE reservID = 'X' AND creditCard = 0");
+  fw.set_mode(QueryFirewall::Mode::kProtect);
+  // The payload hides inside the literal at the byte level: passes.
+  EXPECT_TRUE(fw.check(
+      "SELECT * FROM tickets WHERE reservID = 'ID34FG\xca\xbc-- ' AND "
+      "creditCard = 0"));
+  EXPECT_EQ(fw.blocked_count(), 0u);
+}
+
+TEST(Digest, CollapsesInListArity) {
+  EXPECT_EQ(QueryFirewall::digest("SELECT a FROM t WHERE b IN (1, 2, 3)"),
+            QueryFirewall::digest("SELECT a FROM t WHERE b IN (7)"));
+  EXPECT_EQ(QueryFirewall::digest("SELECT a FROM t WHERE b IN (1, 2, 3)"),
+            "select a from t where b in (?+)");
+}
+
+TEST(Digest, CollapsesMultiRowValues) {
+  EXPECT_EQ(
+      QueryFirewall::digest("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"),
+      QueryFirewall::digest("INSERT INTO t (a, b) VALUES (3, 'z')"));
+}
+
+TEST(Digest, SingleLiteralStaysSingle) {
+  EXPECT_EQ(QueryFirewall::digest("SELECT a FROM t WHERE b = 42"),
+            "select a from t where b = ?");
+}
+
+TEST(Digest, StructureStillDistinguished) {
+  EXPECT_NE(QueryFirewall::digest("SELECT a FROM t WHERE b = 1"),
+            QueryFirewall::digest("SELECT a FROM t WHERE b = 1 OR 1=1"));
+}
+
+TEST(Firewall, DigestModeAcceptsArityChanges) {
+  // The Percona-style tradeoff: coarser normalization accepts IN-list
+  // growth that exact fingerprints would flag.
+  QueryFirewall exact;
+  exact.learn("SELECT a FROM t WHERE b IN (1, 2)");
+  exact.set_mode(QueryFirewall::Mode::kProtect);
+  EXPECT_FALSE(exact.check("SELECT a FROM t WHERE b IN (1, 2, 3, 4)"));
+
+  QueryFirewall digesty;
+  digesty.set_digest_mode(true);
+  digesty.learn("SELECT a FROM t WHERE b IN (1, 2)");
+  digesty.set_mode(QueryFirewall::Mode::kProtect);
+  EXPECT_TRUE(digesty.check("SELECT a FROM t WHERE b IN (1, 2, 3, 4)"));
+  // Structural injection is still caught by both.
+  EXPECT_FALSE(digesty.check("SELECT a FROM t WHERE b IN (1) OR 1=1"));
+}
+
+TEST(Firewall, ClearResets) {
+  QueryFirewall fw;
+  fw.learn("SELECT 1");
+  fw.set_mode(QueryFirewall::Mode::kProtect);
+  fw.check("DELETE FROM x");
+  fw.clear();
+  EXPECT_EQ(fw.fingerprint_count(), 0u);
+  EXPECT_EQ(fw.blocked_count(), 0u);
+  EXPECT_EQ(fw.mode(), QueryFirewall::Mode::kLearning);
+}
+
+}  // namespace
+}  // namespace septic::web

@@ -1,0 +1,85 @@
+#include "septic/qm_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+QueryModel model_of(std::string_view q) {
+  return make_query_model(sql::build_item_stack(sql::parse(q).statement));
+}
+
+TEST(QmStore, AddAndLookup) {
+  QmStore store;
+  EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
+  auto models = store.lookup("id1");
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_TRUE(store.contains("id1"));
+  EXPECT_FALSE(store.contains("id2"));
+  EXPECT_TRUE(store.lookup("id2").empty());
+}
+
+TEST(QmStore, DeduplicatesIdenticalModels) {
+  QmStore store;
+  EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
+  EXPECT_FALSE(store.add("id1", model_of("SELECT a FROM t WHERE b = 999")));
+  EXPECT_EQ(store.lookup("id1").size(), 1u);
+}
+
+TEST(QmStore, MultipleModelsPerIdOnCollision) {
+  QmStore store;
+  EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
+  EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 'str'")));
+  EXPECT_EQ(store.lookup("id1").size(), 2u);
+  EXPECT_EQ(store.id_count(), 1u);
+  EXPECT_EQ(store.model_count(), 2u);
+}
+
+TEST(QmStore, Clear) {
+  QmStore store;
+  store.add("id1", model_of("SELECT 1"));
+  store.clear();
+  EXPECT_EQ(store.id_count(), 0u);
+}
+
+TEST(QmStore, SerializeRoundTrip) {
+  QmStore store;
+  store.add("tickets:lookup#abc", model_of("SELECT * FROM t WHERE a = 'x'"));
+  store.add("tickets:lookup#abc", model_of("SELECT * FROM t WHERE a = 1"));
+  store.add("other", model_of("DELETE FROM t WHERE id = 1"));
+
+  QmStore restored;
+  restored.deserialize(store.serialize());
+  EXPECT_EQ(restored.id_count(), 2u);
+  EXPECT_EQ(restored.model_count(), 3u);
+  EXPECT_EQ(restored.lookup("tickets:lookup#abc").size(), 2u);
+}
+
+TEST(QmStore, FileRoundTrip) {
+  QmStore store;
+  store.add("a", model_of("SELECT 1"));
+  const std::string path = "/tmp/septic_test_store.qm";
+  store.save_to_file(path);
+  QmStore restored;
+  restored.load_from_file(path);
+  EXPECT_EQ(restored.model_count(), 1u);
+}
+
+TEST(QmStore, LoadRejectsMalformed) {
+  QmStore store;
+  EXPECT_THROW(store.deserialize("no-tab-here\n"), std::runtime_error);
+  EXPECT_THROW(store.deserialize("id\tgarbage-model\n"), std::runtime_error);
+  EXPECT_THROW(store.load_from_file("/nonexistent/x.qm"), std::runtime_error);
+}
+
+TEST(QmStore, EmptySerializeRoundTrip) {
+  QmStore store;
+  QmStore restored;
+  restored.deserialize(store.serialize());
+  EXPECT_EQ(restored.model_count(), 0u);
+}
+
+}  // namespace
+}  // namespace septic::core

@@ -1,0 +1,104 @@
+#include "septic/query_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+sql::ItemStack stack_of(std::string_view q) {
+  return sql::build_item_stack(sql::parse(q).statement);
+}
+
+TEST(QueryModel, BlanksOnlyDataNodes) {
+  sql::ItemStack qs =
+      stack_of("SELECT * FROM t WHERE a = 'x' AND b = 1 AND c = 2.5");
+  QueryModel qm = make_query_model(qs);
+  ASSERT_EQ(qm.nodes.size(), qs.nodes.size());
+  for (size_t i = 0; i < qs.nodes.size(); ++i) {
+    EXPECT_EQ(qm.nodes[i].type, qs.nodes[i].type);
+    if (sql::is_data_item(qs.nodes[i].type)) {
+      EXPECT_EQ(qm.nodes[i].data, kBottom);
+    } else {
+      EXPECT_EQ(qm.nodes[i].data, qs.nodes[i].data);
+    }
+  }
+}
+
+TEST(QueryModel, SameShapeDifferentDataSameModel) {
+  QueryModel a =
+      make_query_model(stack_of("SELECT * FROM t WHERE x = 'alpha'"));
+  QueryModel b =
+      make_query_model(stack_of("SELECT * FROM t WHERE x = 'omega'"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(QueryModel, DifferentLiteralTypesDifferentModel) {
+  // 'alpha' (STRING_ITEM) vs 1 (INT_ITEM): distinct models.
+  QueryModel a =
+      make_query_model(stack_of("SELECT * FROM t WHERE x = 'alpha'"));
+  QueryModel b = make_query_model(stack_of("SELECT * FROM t WHERE x = 1"));
+  EXPECT_NE(a, b);
+}
+
+TEST(QueryModel, ModelOfModelIsIdempotent) {
+  sql::ItemStack qs = stack_of("SELECT a FROM t WHERE b = 7");
+  QueryModel once = make_query_model(qs);
+  // Re-deriving from a stack whose data is already ⊥ changes nothing.
+  sql::ItemStack as_stack;
+  as_stack.kind = once.kind;
+  as_stack.nodes = once.nodes;
+  QueryModel twice = make_query_model(as_stack);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(QueryModel, ToStringShowsBottom) {
+  QueryModel qm = make_query_model(stack_of("SELECT a FROM t WHERE b = 7"));
+  EXPECT_NE(qm.to_string().find(kBottom), std::string::npos);
+}
+
+class ModelSerializeRoundTrip : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ModelSerializeRoundTrip, SerializeDeserialize) {
+  QueryModel qm = make_query_model(stack_of(GetParam()));
+  QueryModel out;
+  ASSERT_TRUE(QueryModel::deserialize(qm.serialize(), out));
+  EXPECT_EQ(out, qm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, ModelSerializeRoundTrip,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT * FROM tickets WHERE reservID = 'X' AND creditCard = 1",
+        "INSERT INTO t (a, b) VALUES ('x;y,z', 2)",
+        "UPDATE t SET a = 'with\\nnewline' WHERE id = 1",
+        "DELETE FROM t WHERE id IN (1, 2, 3)",
+        "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a LIMIT 5",
+        "SELECT a FROM t UNION SELECT b FROM u"));
+
+TEST(ModelDeserialize, RejectsGarbage) {
+  QueryModel qm;
+  EXPECT_FALSE(QueryModel::deserialize("", qm));
+  EXPECT_FALSE(QueryModel::deserialize("notanumber;0,x", qm));
+  EXPECT_FALSE(QueryModel::deserialize("9", qm));        // kind out of range
+  EXPECT_FALSE(QueryModel::deserialize("0;99,x", qm));   // type out of range
+  EXPECT_FALSE(QueryModel::deserialize("0;nocomma", qm));
+}
+
+TEST(ModelSerialize, EscapesSeparators) {
+  QueryModel qm = make_query_model(
+      stack_of("INSERT INTO t (a) VALUES ('semi;colon,comma')"));
+  std::string line = qm.serialize();
+  // The serialized form must be a single logical record (no raw separators
+  // inside escaped data breaking the framing). ⊥ data has no separators,
+  // but element data like table names passes through; check reparse.
+  QueryModel out;
+  ASSERT_TRUE(QueryModel::deserialize(line, out));
+  EXPECT_EQ(out, qm);
+}
+
+}  // namespace
+}  // namespace septic::core

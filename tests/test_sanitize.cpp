@@ -1,0 +1,85 @@
+#include "web/sanitize.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::web::php {
+namespace {
+
+TEST(MysqlRealEscapeString, EscapesTheMySqlSet) {
+  EXPECT_EQ(mysql_real_escape_string("it's"), "it\\'s");
+  EXPECT_EQ(mysql_real_escape_string("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(mysql_real_escape_string("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(mysql_real_escape_string(std::string_view("nul\0byte", 8)),
+            "nul\\0byte");
+  EXPECT_EQ(mysql_real_escape_string("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(mysql_real_escape_string("cr\rhere"), "cr\\rhere");
+  EXPECT_EQ(mysql_real_escape_string("ctrl\x1az"), "ctrl\\Zz");
+}
+
+TEST(MysqlRealEscapeString, PlainTextUntouched) {
+  EXPECT_EQ(mysql_real_escape_string("hello world 123"), "hello world 123");
+}
+
+TEST(MysqlRealEscapeString, TheSemanticMismatchHole) {
+  // The paper's central observation: U+02BC is NOT in the escape set, so
+  // the "careful" sanitizer passes it through — and the server later
+  // collapses it into a real quote.
+  std::string payload = "ID34FG\xca\xbc-- ";
+  EXPECT_EQ(mysql_real_escape_string(payload), payload);
+}
+
+TEST(MysqlRealEscapeString, UselessInNumericContext) {
+  // No quotes in the payload: escaping changes nothing.
+  std::string payload = "0 OR 1=1";
+  EXPECT_EQ(mysql_real_escape_string(payload), payload);
+}
+
+TEST(Addslashes, WeakerSetThanMysql) {
+  EXPECT_EQ(addslashes("it's"), "it\\'s");
+  EXPECT_EQ(addslashes("a\nb"), "a\nb");  // newline NOT escaped
+  EXPECT_EQ(addslashes("q\"w"), "q\\\"w");
+}
+
+TEST(Intval, PhpSemantics) {
+  EXPECT_EQ(intval("42"), 42);
+  EXPECT_EQ(intval("42abc"), 42);
+  EXPECT_EQ(intval("abc"), 0);
+  EXPECT_EQ(intval("-7"), -7);
+  EXPECT_EQ(intval("3.9"), 3);
+  EXPECT_EQ(intval(""), 0);
+  EXPECT_EQ(intval("  12"), 12);
+  // intval IS a safe sanitizer for numeric context: the attack payload
+  // collapses to its numeric prefix.
+  EXPECT_EQ(intval("0 OR 1=1"), 0);
+}
+
+TEST(Floatval, PhpSemantics) {
+  EXPECT_DOUBLE_EQ(floatval("2.5kg"), 2.5);
+  EXPECT_DOUBLE_EQ(floatval("x"), 0.0);
+}
+
+TEST(IsNumeric, AcceptsNumbersRejectsInjection) {
+  EXPECT_TRUE(is_numeric("42"));
+  EXPECT_TRUE(is_numeric("-3.5"));
+  EXPECT_TRUE(is_numeric("  7"));
+  EXPECT_TRUE(is_numeric("1e3"));
+  EXPECT_FALSE(is_numeric("42abc"));
+  EXPECT_FALSE(is_numeric("0 OR 1=1"));
+  EXPECT_FALSE(is_numeric(""));
+  EXPECT_FALSE(is_numeric("1e"));
+  EXPECT_FALSE(is_numeric("."));
+}
+
+TEST(Htmlspecialchars, EntQuotes) {
+  EXPECT_EQ(htmlspecialchars("<b>&'\""), "&lt;b&gt;&amp;&#039;&quot;");
+  EXPECT_EQ(htmlspecialchars("plain"), "plain");
+}
+
+TEST(StripTags, RemovesMarkup) {
+  EXPECT_EQ(strip_tags("<script>alert(1)</script>hi"), "alert(1)hi");
+  EXPECT_EQ(strip_tags("a<b>c</b>d"), "acd");
+  EXPECT_EQ(strip_tags("no tags"), "no tags");
+}
+
+}  // namespace
+}  // namespace septic::web::php

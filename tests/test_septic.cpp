@@ -1,0 +1,221 @@
+// Tests for the Septic interceptor: Table I mode/action semantics,
+// incremental learning, persistence across "restarts", stats and events.
+#include "septic/septic.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/error.h"
+
+namespace septic::core {
+namespace {
+
+class SepticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, a TEXT, b INT)");
+    db.execute_admin("INSERT INTO t (a, b) VALUES ('x', 1), ('y', 2)");
+    septic = std::make_shared<Septic>();
+    db.set_interceptor(septic);
+  }
+
+  void train(std::string_view q) {
+    septic->set_mode(Mode::kTraining);
+    db.execute(session, q);
+  }
+
+  engine::Database db;
+  engine::Session session;
+  std::shared_ptr<Septic> septic;
+};
+
+TEST_F(SepticTest, TrainingLearnsAndExecutes) {
+  septic->set_mode(Mode::kTraining);
+  auto rs = db.execute(session, "SELECT a FROM t WHERE b = 1");
+  EXPECT_EQ(rs.rows.size(), 1u);  // Table I: training executes the query
+  EXPECT_EQ(septic->store().model_count(), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kModelCreated), 1u);
+}
+
+TEST_F(SepticTest, TrainingDeduplicatesModels) {
+  septic->set_mode(Mode::kTraining);
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 42");
+  EXPECT_EQ(septic->store().model_count(), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kModelCreated), 1u);
+}
+
+TEST_F(SepticTest, PreventionBlocksAndLogsAttack) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kPrevention);
+  uint64_t executed_before = db.executed_count();
+  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1"),
+               engine::DbError);
+  // Table I prevention row: log yes, drop yes, exec no.
+  EXPECT_EQ(db.executed_count(), executed_before);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kSqliDetected), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kQueryDropped), 1u);
+  EXPECT_EQ(septic->stats().dropped, 1u);
+}
+
+TEST_F(SepticTest, DetectionLogsButExecutes) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kDetection);
+  // Table I detection row: log yes, drop no, exec yes.
+  auto rs = db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1");
+  EXPECT_EQ(rs.rows.size(), 2u);  // tautology returned everything
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kSqliDetected), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kQueryDropped), 0u);
+}
+
+TEST_F(SepticTest, BenignQueryPassesInPrevention) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kPrevention);
+  auto rs = db.execute(session, "SELECT a FROM t WHERE b = 2");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kQueryProcessed), 1u);
+}
+
+TEST_F(SepticTest, IncrementalLearningOnUnknownId) {
+  septic->set_mode(Mode::kPrevention);
+  // Never trained: incremental learning stores the model and lets it run.
+  auto rs = db.execute(session, "SELECT b FROM t WHERE a = 'x'");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(septic->store().model_count(), 1u);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kModelCreated), 1u);
+  // Second occurrence now compares against the learned model.
+  EXPECT_THROW(
+      db.execute(session, "SELECT b FROM t WHERE a = 'x' OR 1 = 1"),
+      engine::DbError);
+}
+
+TEST_F(SepticTest, StrictModeBlocksUnknownIds) {
+  septic->set_incremental_learning(false);
+  septic->set_mode(Mode::kPrevention);
+  EXPECT_THROW(db.execute(session, "SELECT b FROM t WHERE a = 'x'"),
+               engine::DbError);
+  EXPECT_EQ(septic->store().model_count(), 0u);
+}
+
+TEST_F(SepticTest, SqliToggleOffDisablesStructuralDetection) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kPrevention);
+  septic->set_sqli_detection(false);  // the Fig. 5 "N?" configurations
+  auto rs = db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(septic->stats().sqli_detected, 0u);
+}
+
+TEST_F(SepticTest, StoredToggleControlsPluginDetection) {
+  septic->set_mode(Mode::kPrevention);
+  // INSERT with an XSS payload; unknown ID learns incrementally, but the
+  // stored-injection plugins still run.
+  EXPECT_THROW(
+      db.execute(session,
+                 "INSERT INTO t (a, b) VALUES ('<script>x</script>', 1)"),
+      engine::DbError);
+  EXPECT_EQ(septic->stats().stored_detected, 1u);
+
+  septic->set_stored_detection(false);
+  auto rs = db.execute(
+      session, "INSERT INTO t (a, b) VALUES ('<script>y</script>', 1)");
+  EXPECT_EQ(rs.affected_rows, 1);
+}
+
+TEST_F(SepticTest, StoredDetectionReportsPluginName) {
+  septic->set_mode(Mode::kPrevention);
+  try {
+    db.execute(session,
+               "INSERT INTO t (a, b) VALUES ('x; rm -rf /tmp/z', 1)");
+    FAIL();
+  } catch (const engine::DbError& e) {
+    EXPECT_NE(std::string(e.what()).find("OSCI"), std::string::npos);
+  }
+}
+
+TEST_F(SepticTest, PersistenceSurvivesRestart) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->save_models("/tmp/septic_test_models.qm");
+
+  // Simulate a DBMS restart with a fresh SEPTIC instance.
+  auto fresh = std::make_shared<Septic>();
+  fresh->load_models("/tmp/septic_test_models.qm");
+  db.set_interceptor(fresh);
+  fresh->set_mode(Mode::kPrevention);
+
+  EXPECT_EQ(fresh->event_log().count_of(EventKind::kModelLoaded), 1u);
+  auto rs = db.execute(session, "SELECT a FROM t WHERE b = 2");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 2 OR 1 = 1"),
+               engine::DbError);
+}
+
+TEST_F(SepticTest, ExternalIdSeparatesCallSites) {
+  septic->set_mode(Mode::kTraining);
+  db.execute(session, "/* ID:app:site1 */ SELECT a FROM t WHERE b = 1");
+  db.execute(session, "/* ID:app:site2 */ SELECT a FROM t WHERE b = 'x'");
+  EXPECT_EQ(septic->store().id_count(), 2u);
+
+  septic->set_mode(Mode::kPrevention);
+  // site1 learned INT: a quoted string there is a mimicry attack.
+  EXPECT_THROW(
+      db.execute(session, "/* ID:app:site1 */ SELECT a FROM t WHERE b = 'x'"),
+      engine::DbError);
+  // site2 legitimately uses strings.
+  EXPECT_NO_THROW(
+      db.execute(session, "/* ID:app:site2 */ SELECT a FROM t WHERE b = 'y'"));
+}
+
+TEST_F(SepticTest, StatsCounters) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kPrevention);
+  db.execute(session, "SELECT a FROM t WHERE b = 2");
+  try {
+    db.execute(session, "SELECT a FROM t WHERE b = 2 OR 1 = 1");
+  } catch (const engine::DbError&) {
+  }
+  SepticStats stats = septic->stats();
+  EXPECT_EQ(stats.queries_seen, 3u);
+  EXPECT_EQ(stats.models_created, 1u);
+  EXPECT_EQ(stats.sqli_detected, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST_F(SepticTest, ModeChangesAreLogged) {
+  septic->set_mode(Mode::kPrevention);
+  septic->set_mode(Mode::kDetection);
+  EXPECT_EQ(septic->event_log().count_of(EventKind::kModeChanged), 2u);
+  EXPECT_EQ(septic->mode(), Mode::kDetection);
+}
+
+TEST_F(SepticTest, EventSinkReceivesLiveEvents) {
+  size_t sink_calls = 0;
+  septic->event_log().set_sink([&](const Event&) { ++sink_calls; });
+  septic->set_mode(Mode::kTraining);
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  EXPECT_GE(sink_calls, 2u);  // mode change + model created
+}
+
+TEST_F(SepticTest, EventFormatIsReadable) {
+  train("SELECT a FROM t WHERE b = 1");
+  auto events = septic->event_log().events_of(EventKind::kModelCreated);
+  ASSERT_EQ(events.size(), 1u);
+  std::string line = EventLog::format(events[0]);
+  EXPECT_NE(line.find("MODEL_CREATED"), std::string::npos);
+  EXPECT_NE(line.find("SELECT a FROM t"), std::string::npos);
+}
+
+TEST_F(SepticTest, DetectionStepRecordedInEvents) {
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(Mode::kDetection);
+  db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1");  // structural
+  db.execute(session, "SELECT a FROM t WHERE b = 'q'");         // mimicry
+  auto events = septic->event_log().events_of(EventKind::kSqliDetected);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detection_step, 1);
+  EXPECT_EQ(events[1].detection_step, 2);
+}
+
+}  // namespace
+}  // namespace septic::core

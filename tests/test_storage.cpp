@@ -1,0 +1,204 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::storage {
+namespace {
+
+using sql::Value;
+
+TableSchema make_users_schema() {
+  return TableSchema(
+      "users",
+      {{"id", ColumnType::kInt, false, true, true, std::nullopt},
+       {"name", ColumnType::kText, true, false, false, std::nullopt},
+       {"age", ColumnType::kInt, false, false, false, Value(int64_t{0})}});
+}
+
+TEST(Schema, ColumnLookupCaseInsensitive) {
+  TableSchema s = make_users_schema();
+  EXPECT_EQ(s.column_index("NAME"), 1);
+  EXPECT_EQ(s.column_index("nope"), -1);
+  EXPECT_EQ(s.primary_key_index(), 0);
+}
+
+TEST(Schema, CoerceToColumnType) {
+  TableSchema s = make_users_schema();
+  EXPECT_EQ(s.coerce_to_column(0, Value(std::string("42x"))).as_int(), 42);
+  EXPECT_EQ(s.coerce_to_column(1, Value(int64_t{7})).as_string(), "7");
+  EXPECT_TRUE(s.coerce_to_column(2, Value::null()).is_null());
+}
+
+TEST(Table, InsertScanRoundtrip) {
+  Table t(make_users_schema());
+  t.insert({Value(int64_t{1}), Value(std::string("a")), Value(int64_t{30})});
+  t.insert({Value(int64_t{2}), Value(std::string("b")), Value(int64_t{40})});
+  EXPECT_EQ(t.row_count(), 2u);
+  size_t seen = 0;
+  t.scan([&](size_t, const Row& r) {
+    EXPECT_EQ(r.size(), 3u);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(Table, AutoIncrementAssignsAndAdvances) {
+  Table t(make_users_schema());
+  auto r1 = t.insert({Value::null(), Value(std::string("a")), Value::null()});
+  auto r2 = t.insert({Value::null(), Value(std::string("b")), Value::null()});
+  EXPECT_EQ(r1.pk_value.as_int(), 1);
+  EXPECT_EQ(r2.pk_value.as_int(), 2);
+  // Explicit high PK bumps the counter past it.
+  t.insert({Value(int64_t{100}), Value(std::string("c")), Value::null()});
+  auto r4 = t.insert({Value::null(), Value(std::string("d")), Value::null()});
+  EXPECT_EQ(r4.pk_value.as_int(), 101);
+}
+
+TEST(Table, DuplicatePkRejected) {
+  Table t(make_users_schema());
+  t.insert({Value(int64_t{1}), Value(std::string("a")), Value::null()});
+  EXPECT_THROW(
+      t.insert({Value(int64_t{1}), Value(std::string("b")), Value::null()}),
+      StorageError);
+}
+
+TEST(Table, NotNullEnforced) {
+  Table t(make_users_schema());
+  EXPECT_THROW(t.insert({Value(int64_t{1}), Value::null(), Value::null()}),
+               StorageError);
+}
+
+TEST(Table, ColumnCountMismatchRejected) {
+  Table t(make_users_schema());
+  EXPECT_THROW(t.insert({Value(int64_t{1})}), StorageError);
+}
+
+TEST(Table, FindByPkWithCoercion) {
+  Table t(make_users_schema());
+  t.insert({Value(int64_t{7}), Value(std::string("a")), Value::null()});
+  EXPECT_GE(t.find_by_pk(Value(int64_t{7})), 0);
+  // '7' finds 7 (probe coerced to the column type).
+  EXPECT_GE(t.find_by_pk(Value(std::string("7"))), 0);
+  EXPECT_EQ(t.find_by_pk(Value(int64_t{8})), -1);
+}
+
+TEST(Table, UpdateReindexesPk) {
+  Table t(make_users_schema());
+  auto r = t.insert({Value(int64_t{1}), Value(std::string("a")), Value::null()});
+  t.update(r.slot, {{0, Value(int64_t{5})}});
+  EXPECT_EQ(t.find_by_pk(Value(int64_t{1})), -1);
+  EXPECT_GE(t.find_by_pk(Value(int64_t{5})), 0);
+}
+
+TEST(Table, UpdateToDuplicatePkRejected) {
+  Table t(make_users_schema());
+  t.insert({Value(int64_t{1}), Value(std::string("a")), Value::null()});
+  auto r2 =
+      t.insert({Value(int64_t{2}), Value(std::string("b")), Value::null()});
+  EXPECT_THROW(t.update(r2.slot, {{0, Value(int64_t{1})}}), StorageError);
+}
+
+TEST(Table, EraseRemovesFromScanAndIndex) {
+  Table t(make_users_schema());
+  auto r = t.insert({Value(int64_t{1}), Value(std::string("a")), Value::null()});
+  t.erase(r.slot);
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(t.find_by_pk(Value(int64_t{1})), -1);
+  size_t seen = 0;
+  t.scan([&](size_t, const Row&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(Table, ScanEarlyStop) {
+  Table t(make_users_schema());
+  for (int i = 1; i <= 5; ++i) {
+    t.insert({Value(int64_t{i}), Value(std::string("x")), Value::null()});
+  }
+  size_t seen = 0;
+  t.scan([&](size_t, const Row&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(Catalog, CreateFindDrop) {
+  Catalog c;
+  c.create_table(make_users_schema());
+  EXPECT_NE(c.find("users"), nullptr);
+  EXPECT_NE(c.find("USERS"), nullptr);  // case-insensitive
+  EXPECT_THROW(c.create_table(make_users_schema()), StorageError);
+  EXPECT_NO_THROW(c.create_table(make_users_schema(), /*if_not_exists=*/true));
+  c.drop_table("users");
+  EXPECT_EQ(c.find("users"), nullptr);
+  EXPECT_THROW(c.drop_table("users"), StorageError);
+  EXPECT_NO_THROW(c.drop_table("users", /*if_exists=*/true));
+}
+
+TEST(Catalog, RequireThrowsWithMySqlStyleMessage) {
+  Catalog c;
+  try {
+    c.require("ghost");
+    FAIL() << "expected StorageError";
+  } catch (const StorageError& e) {
+    EXPECT_NE(std::string(e.what()).find("doesn't exist"), std::string::npos);
+  }
+}
+
+TEST(Catalog, SnapshotRoundTrip) {
+  Catalog c;
+  Table& t = c.create_table(make_users_schema());
+  t.insert({Value::null(), Value(std::string("alice")), Value(int64_t{30})});
+  t.insert({Value::null(), Value(std::string("bo|b;x")), Value::null()});
+
+  std::string snap = c.save_snapshot();
+  Catalog c2;
+  c2.load_snapshot(snap);
+
+  Table* t2 = c2.find("users");
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t2->row_count(), 2u);
+  EXPECT_EQ(t2->schema().column_count(), 3u);
+  EXPECT_TRUE(t2->schema().column(0).auto_increment);
+  EXPECT_TRUE(t2->schema().column(1).not_null);
+  ASSERT_TRUE(t2->schema().column(2).default_value);
+  // Auto-increment state preserved.
+  EXPECT_EQ(t2->next_auto_increment(), t.next_auto_increment());
+  // Values with separators intact.
+  int64_t slot = t2->find_by_pk(Value(int64_t{2}));
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(t2->row(static_cast<size_t>(slot))[1].as_string(), "bo|b;x");
+}
+
+TEST(Catalog, SnapshotEmptyCatalog) {
+  Catalog c;
+  Catalog c2;
+  c2.load_snapshot(c.save_snapshot());
+  EXPECT_EQ(c2.table_count(), 0u);
+}
+
+TEST(Catalog, SnapshotRejectsGarbage) {
+  Catalog c;
+  EXPECT_THROW(c.load_snapshot("Z nonsense\n"), StorageError);
+  EXPECT_THROW(c.load_snapshot("T t\nC a INT -\n"), StorageError);  // no '.'
+  EXPECT_THROW(c.load_snapshot("R I1\n"), StorageError);  // row outside table
+}
+
+TEST(Catalog, FileRoundTrip) {
+  Catalog c;
+  Table& t = c.create_table(make_users_schema());
+  t.insert({Value::null(), Value(std::string("x")), Value::null()});
+  const std::string path = "/tmp/septic_test_catalog.snap";
+  c.save_to_file(path);
+  Catalog c2;
+  c2.load_from_file(path);
+  EXPECT_EQ(c2.require("users").row_count(), 1u);
+  EXPECT_THROW(c2.load_from_file("/nonexistent/nope"), StorageError);
+}
+
+}  // namespace
+}  // namespace septic::storage

@@ -1,0 +1,61 @@
+// The detector's data-type strictness knob (ablation E10 as assertions).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+#include "sqlcore/parser.h"
+
+namespace septic::core {
+namespace {
+
+sql::ItemStack stack_of(const char* q) {
+  return sql::build_item_stack(sql::parse(q).statement);
+}
+
+TEST(Strictness, CompatibleAcceptsNumericSpellingDrift) {
+  QueryModel qm = make_query_model(stack_of("SELECT a FROM t WHERE b = 9.5"));
+  sql::ItemStack int_spelling = stack_of("SELECT a FROM t WHERE b = 9");
+  EXPECT_FALSE(compare_qs_qm(int_spelling, qm, /*strict=*/false).attack);
+  EXPECT_TRUE(compare_qs_qm(int_spelling, qm, /*strict=*/true).attack);
+}
+
+TEST(Strictness, BothSettingsFlagStringWhereNumberWas) {
+  QueryModel qm = make_query_model(stack_of("SELECT a FROM t WHERE b = 9"));
+  sql::ItemStack quoted = stack_of("SELECT a FROM t WHERE b = 'x'");
+  EXPECT_TRUE(compare_qs_qm(quoted, qm, false).attack);
+  EXPECT_TRUE(compare_qs_qm(quoted, qm, true).attack);
+}
+
+TEST(Strictness, BothSettingsFlagStructuralChange) {
+  QueryModel qm = make_query_model(stack_of("SELECT a FROM t WHERE b = 9"));
+  sql::ItemStack injected =
+      stack_of("SELECT a FROM t WHERE b = 9 OR 1 = 1");
+  EXPECT_TRUE(compare_qs_qm(injected, qm, false).attack);
+  EXPECT_TRUE(compare_qs_qm(injected, qm, true).attack);
+}
+
+TEST(Strictness, SepticConfigPlumbing) {
+  engine::Database db;
+  engine::Session s;
+  db.execute_admin("CREATE TABLE st (a TEXT, b DOUBLE)");
+  db.execute_admin("INSERT INTO st VALUES ('x', 1.5)");
+  auto guard = std::make_shared<Septic>();
+  db.set_interceptor(guard);
+  guard->set_mode(Mode::kTraining);
+  db.execute(s, "SELECT a FROM st WHERE b = 1.5");
+  guard->set_mode(Mode::kPrevention);
+
+  // Default (compatible): an integer-spelled probe passes.
+  EXPECT_NO_THROW(db.execute(s, "SELECT a FROM st WHERE b = 2"));
+
+  guard->set_strict_numeric_types(true);
+  EXPECT_THROW(db.execute(s, "SELECT a FROM st WHERE b = 2"),
+               engine::DbError);
+  EXPECT_NO_THROW(db.execute(s, "SELECT a FROM st WHERE b = 2.5"));
+}
+
+}  // namespace
+}  // namespace septic::core

@@ -1,0 +1,114 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::common {
+namespace {
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("SELECT * FROM T"), "select * from t");
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(ToLower, LeavesUtf8ContinuationBytesAlone) {
+  // U+02BC = 0xCA 0xBC; ASCII-folding must not mangle it.
+  std::string s = "A\xca\xbcZ";
+  EXPECT_EQ(to_lower(s), "a\xca\xbcz");
+}
+
+TEST(ToUpper, Basic) { EXPECT_EQ(to_upper("select"), "SELECT"); }
+
+TEST(Trim, StripsAllAsciiWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n x y \v\f"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleFieldNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingSeparatorYieldsEmptyTail) {
+  auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> v = {"x", "y", "z"};
+  EXPECT_EQ(join(v, ","), "x,y,z");
+  EXPECT_EQ(split(join(v, ","), ','), v);
+}
+
+TEST(Join, EmptyVector) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "--"), "a--b--c");
+}
+
+TEST(ReplaceAll, EmptyFromIsIdentity) {
+  EXPECT_EQ(replace_all("abc", "", "zz"), "abc");
+}
+
+TEST(ReplaceAll, ReplacementContainsPattern) {
+  // Must not re-scan the replacement (no infinite loop).
+  EXPECT_EQ(replace_all("aa", "a", "aa"), "aaaa");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("SeLeCt", "select"));
+  EXPECT_FALSE(iequals("selec", "select"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(IFind, FindsCaseInsensitively) {
+  EXPECT_EQ(ifind("Hello World", "world"), 6u);
+  EXPECT_EQ(ifind("abc", "zzz"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(IContains, Basic) {
+  EXPECT_TRUE(icontains("UNION SELECT", "union"));
+  EXPECT_FALSE(icontains("uni on", "union"));
+}
+
+TEST(CompressWhitespace, CollapsesRuns) {
+  EXPECT_EQ(compress_whitespace("a   b\t\tc\n\nd"), "a b c d");
+  EXPECT_EQ(compress_whitespace("   leading"), "leading");
+  EXPECT_EQ(compress_whitespace("trailing   "), "trailing");
+  EXPECT_EQ(compress_whitespace(""), "");
+}
+
+TEST(EscapeForLog, HexEncodesNonPrintable) {
+  EXPECT_EQ(escape_for_log("a\x01z"), "a\\x01z");
+  EXPECT_EQ(escape_for_log("nl\n"), "nl\\n");
+  EXPECT_EQ(escape_for_log("tab\t"), "tab\\t");
+  EXPECT_EQ(escape_for_log("plain"), "plain");
+}
+
+TEST(EscapeForLog, Utf8BytesBecomeHex) {
+  EXPECT_EQ(escape_for_log("\xca\xbc"), "\\xca\\xbc");
+}
+
+TEST(AllDigits, Basic) {
+  EXPECT_TRUE(all_digits("0123456789"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+  EXPECT_FALSE(all_digits("-1"));
+}
+
+}  // namespace
+}  // namespace septic::common

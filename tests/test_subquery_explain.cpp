@@ -1,0 +1,180 @@
+// IN-subqueries (uncorrelated, materialized) and EXPLAIN access-path
+// reporting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+
+namespace septic::engine {
+namespace {
+
+using sql::Value;
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE orders (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "customer TEXT, total INT)");
+    db.execute_admin(
+        "CREATE TABLE vips (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)");
+    db.execute_admin(
+        "INSERT INTO orders (customer, total) VALUES ('ann', 10), "
+        "('bob', 20), ('cyd', 30), ('ann', 40)");
+    db.execute_admin("INSERT INTO vips (name) VALUES ('ann'), ('cyd')");
+  }
+  ResultSet run(std::string_view q) { return db.execute(session, q); }
+  Database db;
+  Session session;
+};
+
+TEST_F(SubqueryTest, InSubqueryFilters) {
+  auto rs = run(
+      "SELECT total FROM orders WHERE customer IN (SELECT name FROM vips) "
+      "ORDER BY total");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 10);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 40);
+}
+
+TEST_F(SubqueryTest, NotInSubquery) {
+  auto rs = run(
+      "SELECT customer FROM orders WHERE customer NOT IN "
+      "(SELECT name FROM vips)");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+}
+
+TEST_F(SubqueryTest, SubqueryWithItsOwnWhere) {
+  auto rs = run(
+      "SELECT COUNT(*) FROM orders WHERE customer IN "
+      "(SELECT name FROM vips WHERE id = 1)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);  // ann's two orders
+}
+
+TEST_F(SubqueryTest, EmptySubqueryMatchesNothing) {
+  auto rs = run(
+      "SELECT COUNT(*) FROM orders WHERE customer IN "
+      "(SELECT name FROM vips WHERE id = 99)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+}
+
+TEST_F(SubqueryTest, MultiColumnSubqueryRejected) {
+  EXPECT_THROW(
+      run("SELECT * FROM orders WHERE customer IN (SELECT id, name FROM "
+          "vips)"),
+      DbError);
+}
+
+TEST_F(SubqueryTest, UnknownColumnInsideSubqueryRejected) {
+  try {
+    run("SELECT * FROM orders WHERE customer IN (SELECT ghost FROM vips)");
+    FAIL();
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownColumn);
+  }
+}
+
+TEST_F(SubqueryTest, ToSqlRoundTrip) {
+  const char* q =
+      "SELECT total FROM orders WHERE customer IN (SELECT name FROM vips)";
+  auto parsed = sql::parse(q);
+  std::string printed = sql::statement_to_sql(parsed.statement);
+  auto reparsed = sql::parse(printed);
+  EXPECT_EQ(sql::statement_to_sql(reparsed.statement), printed);
+}
+
+TEST_F(SubqueryTest, SepticDetectsInjectedSubquery) {
+  auto guard = std::make_shared<core::Septic>();
+  db.set_interceptor(guard);
+  guard->set_mode(core::Mode::kTraining);
+  db.execute(session, "SELECT total FROM orders WHERE customer = 'ann'");
+  guard->set_mode(core::Mode::kPrevention);
+  // Injecting a subquery into the WHERE changes the item stack: blocked.
+  EXPECT_THROW(
+      db.execute(session,
+                 "SELECT total FROM orders WHERE customer = 'ann' OR "
+                 "customer IN (SELECT name FROM vips)"),
+      DbError);
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(SubqueryTest, PreparedParamInsideSubquery) {
+  auto rs = db.execute_prepared(
+      session,
+      "SELECT COUNT(*) FROM orders WHERE customer IN "
+      "(SELECT name FROM vips WHERE id = ?)",
+      {Value(int64_t{2})});
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);  // cyd's single order
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE ex (id INT PRIMARY KEY AUTO_INCREMENT, tag TEXT, "
+        "v INT)");
+    db.execute_admin("INSERT INTO ex (tag, v) VALUES ('a', 1), ('b', 2)");
+  }
+  std::string plan(std::string_view q) {
+    auto rs = db.execute(session, q);
+    return rs.to_text();
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(ExplainTest, ScanWithoutIndex) {
+  EXPECT_NE(plan("EXPLAIN SELECT * FROM ex WHERE tag = 'a'").find("scan"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, PrimaryKeyPath) {
+  EXPECT_NE(plan("EXPLAIN SELECT * FROM ex WHERE id = 1")
+                .find("const (primary key)"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, SecondaryIndexPathAfterCreateIndex) {
+  db.execute_admin("CREATE INDEX idx_tag ON ex (tag)");
+  std::string p = plan("EXPLAIN SELECT * FROM ex WHERE tag = 'a'");
+  EXPECT_NE(p.find("ref (secondary index)"), std::string::npos);
+  EXPECT_NE(p.find("tag"), std::string::npos);  // the key column reported
+}
+
+TEST_F(ExplainTest, IndexPathSurvivesExtraConjuncts) {
+  db.execute_admin("CREATE INDEX idx_tag ON ex (tag)");
+  EXPECT_NE(plan("EXPLAIN SELECT * FROM ex WHERE tag = 'a' AND v > 0")
+                .find("ref (secondary index)"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, OrForcesScan) {
+  db.execute_admin("CREATE INDEX idx_tag ON ex (tag)");
+  EXPECT_NE(plan("EXPLAIN SELECT * FROM ex WHERE tag = 'a' OR v = 2")
+                .find("scan"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinReportsBothTables) {
+  db.execute_admin("CREATE TABLE ex2 (id INT, ref_id INT)");
+  std::string p =
+      plan("EXPLAIN SELECT * FROM ex JOIN ex2 ON ex.id = ex2.ref_id");
+  EXPECT_NE(p.find("ex"), std::string::npos);
+  EXPECT_NE(p.find("ex2"), std::string::npos);
+  EXPECT_NE(p.find("join"), std::string::npos);
+}
+
+TEST_F(ExplainTest, TableLessSelect) {
+  EXPECT_NE(plan("EXPLAIN SELECT 1").find("const"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainValidatesTheInnerSelect) {
+  EXPECT_THROW(db.execute(session, "EXPLAIN SELECT * FROM ghost"), DbError);
+}
+
+}  // namespace
+}  // namespace septic::engine

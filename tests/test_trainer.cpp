@@ -1,0 +1,176 @@
+// The training crawler (paper §II-E "septic training module") and the
+// UPDATE/DELETE LIMIT feature, plus net-layer robustness against garbage.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic::web {
+namespace {
+
+struct TrainRig {
+  engine::Database db;
+  apps::WaspMonApp app;
+  std::unique_ptr<WebStack> stack;
+  std::shared_ptr<core::Septic> septic;
+
+  TrainRig() {
+    app.install(db);
+    septic = std::make_shared<core::Septic>();
+    db.set_interceptor(septic);
+    stack = std::make_unique<WebStack>(app, db);
+    septic->set_mode(core::Mode::kTraining);
+  }
+};
+
+TEST(Trainer, VisitsEveryFormAndWorkloadRequest) {
+  TrainRig rig;
+  TrainingReport report = train_on_application(*rig.stack);
+  EXPECT_EQ(report.forms_visited, rig.app.forms().size());
+  EXPECT_EQ(report.requests_sent,
+            rig.app.forms().size() + rig.app.workload().size());
+  EXPECT_EQ(report.requests_failed, 0u);
+  EXPECT_GT(rig.septic->store().model_count(), 0u);
+}
+
+TEST(Trainer, MultipleRoundsMultiplyRequestsNotModels) {
+  TrainRig rig;
+  TrainingReport r1 = train_on_application(*rig.stack, /*rounds=*/1);
+  size_t models = rig.septic->store().model_count();
+  TrainingReport r3 = train_on_application(*rig.stack, /*rounds=*/3);
+  EXPECT_EQ(r3.requests_sent, 3 * r1.requests_sent);
+  EXPECT_EQ(rig.septic->store().model_count(), models);
+}
+
+TEST(Trainer, TeachesTheProxyWhenInterposed) {
+  TrainRig rig;
+  rig.stack->config().proxy_enabled = true;
+  train_on_application(*rig.stack);
+  EXPECT_GT(rig.stack->proxy().fingerprint_count(), 0u);
+  rig.stack->proxy().set_mode(QueryFirewall::Mode::kProtect);
+  // The whole workload still passes under proxy protection.
+  rig.septic->set_mode(core::Mode::kPrevention);
+  for (const auto& r : rig.app.workload()) {
+    EXPECT_TRUE(rig.stack->handle(r).ok()) << r.to_string();
+  }
+}
+
+TEST(Trainer, FailedRequestsAreCounted) {
+  // An app-less stack: every request 404s, which the report must surface.
+  engine::Database db;
+  apps::WaspMonApp app;  // NOT installed: all queries fail -> 500s
+  WebStack stack(app, db);
+  TrainingReport report = train_on_application(stack);
+  EXPECT_GT(report.requests_failed, 0u);
+}
+
+}  // namespace
+}  // namespace septic::web
+
+namespace septic::engine {
+namespace {
+
+TEST(DmlLimit, UpdateLimitCapsAffectedRows) {
+  Database db;
+  Session s;
+  db.execute_admin("CREATE TABLE dl (id INT PRIMARY KEY AUTO_INCREMENT, "
+                   "v INT)");
+  db.execute_admin("INSERT INTO dl (v) VALUES (0), (0), (0), (0), (0)");
+  auto rs = db.execute(s, "UPDATE dl SET v = 1 WHERE v = 0 LIMIT 2");
+  EXPECT_EQ(rs.affected_rows, 2);
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM dl WHERE v = 1")
+                .rows[0][0]
+                .as_int(),
+            2);
+}
+
+TEST(DmlLimit, DeleteLimitCapsDeletions) {
+  Database db;
+  Session s;
+  db.execute_admin("CREATE TABLE dl (id INT PRIMARY KEY AUTO_INCREMENT, "
+                   "v INT)");
+  db.execute_admin("INSERT INTO dl (v) VALUES (0), (0), (0)");
+  auto rs = db.execute(s, "DELETE FROM dl LIMIT 2");
+  EXPECT_EQ(rs.affected_rows, 2);
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM dl").rows[0][0].as_int(),
+            1);
+}
+
+TEST(DmlLimit, RoundTripsAndStacksDiffer) {
+  auto q = sql::parse("DELETE FROM t WHERE v = 1 LIMIT 3");
+  EXPECT_EQ(sql::statement_to_sql(q.statement),
+            "DELETE FROM t WHERE (v = 1) LIMIT 3");
+  auto with_limit = sql::build_item_stack(q.statement);
+  auto without =
+      sql::build_item_stack(sql::parse("DELETE FROM t WHERE v = 1").statement);
+  EXPECT_NE(with_limit.nodes.size(), without.nodes.size());
+}
+
+}  // namespace
+}  // namespace septic::engine
+
+namespace septic::net {
+namespace {
+
+TEST(NetRobustness, GarbageBytesDropConnectionNotServer) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE nr (x INT)");
+  Server server(db, 0);
+  server.start();
+
+  // Raw socket spewing garbage (bad length, bad opcodes).
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "\xff\xff\xff\xff garbage not a frame";
+  (void)::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL);
+  char buf[64];
+  (void)::recv(fd, buf, sizeof(buf), 0);  // server closes on us
+  ::close(fd);
+
+  // The server survives and serves the next well-behaved client.
+  Client c(server.port());
+  EXPECT_NO_THROW(c.query("INSERT INTO nr VALUES (1)"));
+  server.stop();
+}
+
+TEST(NetRobustness, OversizedFrameRejected) {
+  engine::Database db;
+  Server server(db, 0);
+  server.start();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Length = 0x7fffffff: decoder must reject, server must not allocate it.
+  const unsigned char evil[] = {0xff, 0xff, 0xff, 0x7f, 0x01};
+  (void)::send(fd, evil, sizeof(evil), MSG_NOSIGNAL);
+  char buf[16];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);  // connection dropped without a reply
+  ::close(fd);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace septic::net

