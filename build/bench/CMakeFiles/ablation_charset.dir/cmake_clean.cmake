@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_charset.dir/ablation_charset.cpp.o"
+  "CMakeFiles/ablation_charset.dir/ablation_charset.cpp.o.d"
+  "ablation_charset"
+  "ablation_charset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_charset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

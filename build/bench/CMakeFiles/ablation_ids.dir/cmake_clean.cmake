@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ids.dir/ablation_ids.cpp.o"
+  "CMakeFiles/ablation_ids.dir/ablation_ids.cpp.o.d"
+  "ablation_ids"
+  "ablation_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

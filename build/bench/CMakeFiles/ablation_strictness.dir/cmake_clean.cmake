@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strictness.dir/ablation_strictness.cpp.o"
+  "CMakeFiles/ablation_strictness.dir/ablation_strictness.cpp.o.d"
+  "ablation_strictness"
+  "ablation_strictness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strictness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

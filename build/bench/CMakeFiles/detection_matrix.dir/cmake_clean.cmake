@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_matrix.dir/detection_matrix.cpp.o"
+  "CMakeFiles/detection_matrix.dir/detection_matrix.cpp.o.d"
+  "detection_matrix"
+  "detection_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

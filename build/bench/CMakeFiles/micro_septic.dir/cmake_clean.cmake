@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_septic.dir/micro_septic.cpp.o"
+  "CMakeFiles/micro_septic.dir/micro_septic.cpp.o.d"
+  "micro_septic"
+  "micro_septic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_septic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_browsers.dir/scaling_browsers.cpp.o"
+  "CMakeFiles/scaling_browsers.dir/scaling_browsers.cpp.o.d"
+  "scaling_browsers"
+  "scaling_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_modes.dir/table1_modes.cpp.o"
+  "CMakeFiles/table1_modes.dir/table1_modes.cpp.o.d"
+  "table1_modes"
+  "table1_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

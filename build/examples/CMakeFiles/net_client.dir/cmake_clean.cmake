@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_client.dir/net_client.cpp.o"
+  "CMakeFiles/net_client.dir/net_client.cpp.o.d"
+  "net_client"
+  "net_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_console.dir/septic_console.cpp.o"
+  "CMakeFiles/septic_console.dir/septic_console.cpp.o.d"
+  "septic_console"
+  "septic_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuln_scan.dir/vuln_scan.cpp.o"
+  "CMakeFiles/vuln_scan.dir/vuln_scan.cpp.o.d"
+  "vuln_scan"
+  "vuln_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuln_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

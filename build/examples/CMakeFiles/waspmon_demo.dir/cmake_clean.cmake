@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waspmon_demo.dir/waspmon_demo.cpp.o"
+  "CMakeFiles/waspmon_demo.dir/waspmon_demo.cpp.o.d"
+  "waspmon_demo"
+  "waspmon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waspmon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

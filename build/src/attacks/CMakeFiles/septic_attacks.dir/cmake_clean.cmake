@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_attacks.dir/corpus.cpp.o"
+  "CMakeFiles/septic_attacks.dir/corpus.cpp.o.d"
+  "CMakeFiles/septic_attacks.dir/scanner.cpp.o"
+  "CMakeFiles/septic_attacks.dir/scanner.cpp.o.d"
+  "libseptic_attacks.a"
+  "libseptic_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_common.dir/hash.cpp.o"
+  "CMakeFiles/septic_common.dir/hash.cpp.o.d"
+  "CMakeFiles/septic_common.dir/log.cpp.o"
+  "CMakeFiles/septic_common.dir/log.cpp.o.d"
+  "CMakeFiles/septic_common.dir/string_util.cpp.o"
+  "CMakeFiles/septic_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/septic_common.dir/unicode.cpp.o"
+  "CMakeFiles/septic_common.dir/unicode.cpp.o.d"
+  "libseptic_common.a"
+  "libseptic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

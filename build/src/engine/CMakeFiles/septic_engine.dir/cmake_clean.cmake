@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_engine.dir/database.cpp.o"
+  "CMakeFiles/septic_engine.dir/database.cpp.o.d"
+  "CMakeFiles/septic_engine.dir/eval.cpp.o"
+  "CMakeFiles/septic_engine.dir/eval.cpp.o.d"
+  "CMakeFiles/septic_engine.dir/executor.cpp.o"
+  "CMakeFiles/septic_engine.dir/executor.cpp.o.d"
+  "libseptic_engine.a"
+  "libseptic_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseptic_engine.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_net.dir/client.cpp.o"
+  "CMakeFiles/septic_net.dir/client.cpp.o.d"
+  "CMakeFiles/septic_net.dir/protocol.cpp.o"
+  "CMakeFiles/septic_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/septic_net.dir/server.cpp.o"
+  "CMakeFiles/septic_net.dir/server.cpp.o.d"
+  "libseptic_net.a"
+  "libseptic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/septic/detector.cpp" "src/septic/CMakeFiles/septic_core.dir/detector.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/detector.cpp.o.d"
+  "/root/repo/src/septic/event_log.cpp" "src/septic/CMakeFiles/septic_core.dir/event_log.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/event_log.cpp.o.d"
+  "/root/repo/src/septic/id_generator.cpp" "src/septic/CMakeFiles/septic_core.dir/id_generator.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/id_generator.cpp.o.d"
+  "/root/repo/src/septic/plugins/fileinc_plugin.cpp" "src/septic/CMakeFiles/septic_core.dir/plugins/fileinc_plugin.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/plugins/fileinc_plugin.cpp.o.d"
+  "/root/repo/src/septic/plugins/html_parser.cpp" "src/septic/CMakeFiles/septic_core.dir/plugins/html_parser.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/plugins/html_parser.cpp.o.d"
+  "/root/repo/src/septic/plugins/osci_plugin.cpp" "src/septic/CMakeFiles/septic_core.dir/plugins/osci_plugin.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/plugins/osci_plugin.cpp.o.d"
+  "/root/repo/src/septic/plugins/rce_plugin.cpp" "src/septic/CMakeFiles/septic_core.dir/plugins/rce_plugin.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/plugins/rce_plugin.cpp.o.d"
+  "/root/repo/src/septic/plugins/xss_plugin.cpp" "src/septic/CMakeFiles/septic_core.dir/plugins/xss_plugin.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/plugins/xss_plugin.cpp.o.d"
+  "/root/repo/src/septic/qm_store.cpp" "src/septic/CMakeFiles/septic_core.dir/qm_store.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/qm_store.cpp.o.d"
+  "/root/repo/src/septic/query_model.cpp" "src/septic/CMakeFiles/septic_core.dir/query_model.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/query_model.cpp.o.d"
+  "/root/repo/src/septic/review.cpp" "src/septic/CMakeFiles/septic_core.dir/review.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/review.cpp.o.d"
+  "/root/repo/src/septic/septic.cpp" "src/septic/CMakeFiles/septic_core.dir/septic.cpp.o" "gcc" "src/septic/CMakeFiles/septic_core.dir/septic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/septic_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlcore/CMakeFiles/septic_sqlcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/septic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/septic_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_core.dir/detector.cpp.o"
+  "CMakeFiles/septic_core.dir/detector.cpp.o.d"
+  "CMakeFiles/septic_core.dir/event_log.cpp.o"
+  "CMakeFiles/septic_core.dir/event_log.cpp.o.d"
+  "CMakeFiles/septic_core.dir/id_generator.cpp.o"
+  "CMakeFiles/septic_core.dir/id_generator.cpp.o.d"
+  "CMakeFiles/septic_core.dir/plugins/fileinc_plugin.cpp.o"
+  "CMakeFiles/septic_core.dir/plugins/fileinc_plugin.cpp.o.d"
+  "CMakeFiles/septic_core.dir/plugins/html_parser.cpp.o"
+  "CMakeFiles/septic_core.dir/plugins/html_parser.cpp.o.d"
+  "CMakeFiles/septic_core.dir/plugins/osci_plugin.cpp.o"
+  "CMakeFiles/septic_core.dir/plugins/osci_plugin.cpp.o.d"
+  "CMakeFiles/septic_core.dir/plugins/rce_plugin.cpp.o"
+  "CMakeFiles/septic_core.dir/plugins/rce_plugin.cpp.o.d"
+  "CMakeFiles/septic_core.dir/plugins/xss_plugin.cpp.o"
+  "CMakeFiles/septic_core.dir/plugins/xss_plugin.cpp.o.d"
+  "CMakeFiles/septic_core.dir/qm_store.cpp.o"
+  "CMakeFiles/septic_core.dir/qm_store.cpp.o.d"
+  "CMakeFiles/septic_core.dir/query_model.cpp.o"
+  "CMakeFiles/septic_core.dir/query_model.cpp.o.d"
+  "CMakeFiles/septic_core.dir/review.cpp.o"
+  "CMakeFiles/septic_core.dir/review.cpp.o.d"
+  "CMakeFiles/septic_core.dir/septic.cpp.o"
+  "CMakeFiles/septic_core.dir/septic.cpp.o.d"
+  "libseptic_core.a"
+  "libseptic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

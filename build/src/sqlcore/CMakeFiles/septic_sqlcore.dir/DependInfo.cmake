@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlcore/ast.cpp" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/ast.cpp.o" "gcc" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/ast.cpp.o.d"
+  "/root/repo/src/sqlcore/item.cpp" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/item.cpp.o" "gcc" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/item.cpp.o.d"
+  "/root/repo/src/sqlcore/lexer.cpp" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/lexer.cpp.o" "gcc" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/lexer.cpp.o.d"
+  "/root/repo/src/sqlcore/parser.cpp" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/parser.cpp.o" "gcc" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/parser.cpp.o.d"
+  "/root/repo/src/sqlcore/value.cpp" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/value.cpp.o" "gcc" "src/sqlcore/CMakeFiles/septic_sqlcore.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/septic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

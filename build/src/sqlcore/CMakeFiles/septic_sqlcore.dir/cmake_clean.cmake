@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_sqlcore.dir/ast.cpp.o"
+  "CMakeFiles/septic_sqlcore.dir/ast.cpp.o.d"
+  "CMakeFiles/septic_sqlcore.dir/item.cpp.o"
+  "CMakeFiles/septic_sqlcore.dir/item.cpp.o.d"
+  "CMakeFiles/septic_sqlcore.dir/lexer.cpp.o"
+  "CMakeFiles/septic_sqlcore.dir/lexer.cpp.o.d"
+  "CMakeFiles/septic_sqlcore.dir/parser.cpp.o"
+  "CMakeFiles/septic_sqlcore.dir/parser.cpp.o.d"
+  "CMakeFiles/septic_sqlcore.dir/value.cpp.o"
+  "CMakeFiles/septic_sqlcore.dir/value.cpp.o.d"
+  "libseptic_sqlcore.a"
+  "libseptic_sqlcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_sqlcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

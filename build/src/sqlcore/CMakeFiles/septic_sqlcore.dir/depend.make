@@ -1,0 +1,2 @@
+# Empty dependencies file for septic_sqlcore.
+# This may be replaced when dependencies are built.

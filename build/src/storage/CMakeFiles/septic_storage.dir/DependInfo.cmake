@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cpp" "src/storage/CMakeFiles/septic_storage.dir/catalog.cpp.o" "gcc" "src/storage/CMakeFiles/septic_storage.dir/catalog.cpp.o.d"
+  "/root/repo/src/storage/schema.cpp" "src/storage/CMakeFiles/septic_storage.dir/schema.cpp.o" "gcc" "src/storage/CMakeFiles/septic_storage.dir/schema.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/storage/CMakeFiles/septic_storage.dir/table.cpp.o" "gcc" "src/storage/CMakeFiles/septic_storage.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqlcore/CMakeFiles/septic_sqlcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/septic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

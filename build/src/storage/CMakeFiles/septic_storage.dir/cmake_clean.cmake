@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_storage.dir/catalog.cpp.o"
+  "CMakeFiles/septic_storage.dir/catalog.cpp.o.d"
+  "CMakeFiles/septic_storage.dir/schema.cpp.o"
+  "CMakeFiles/septic_storage.dir/schema.cpp.o.d"
+  "CMakeFiles/septic_storage.dir/table.cpp.o"
+  "CMakeFiles/septic_storage.dir/table.cpp.o.d"
+  "libseptic_storage.a"
+  "libseptic_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

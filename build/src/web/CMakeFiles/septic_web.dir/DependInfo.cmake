@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/apps/addressbook.cpp" "src/web/CMakeFiles/septic_web.dir/apps/addressbook.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/apps/addressbook.cpp.o.d"
+  "/root/repo/src/web/apps/refbase.cpp" "src/web/CMakeFiles/septic_web.dir/apps/refbase.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/apps/refbase.cpp.o.d"
+  "/root/repo/src/web/apps/tickets.cpp" "src/web/CMakeFiles/septic_web.dir/apps/tickets.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/apps/tickets.cpp.o.d"
+  "/root/repo/src/web/apps/waspmon.cpp" "src/web/CMakeFiles/septic_web.dir/apps/waspmon.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/apps/waspmon.cpp.o.d"
+  "/root/repo/src/web/apps/zerocms.cpp" "src/web/CMakeFiles/septic_web.dir/apps/zerocms.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/apps/zerocms.cpp.o.d"
+  "/root/repo/src/web/framework.cpp" "src/web/CMakeFiles/septic_web.dir/framework.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/framework.cpp.o.d"
+  "/root/repo/src/web/http.cpp" "src/web/CMakeFiles/septic_web.dir/http.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/http.cpp.o.d"
+  "/root/repo/src/web/proxy.cpp" "src/web/CMakeFiles/septic_web.dir/proxy.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/proxy.cpp.o.d"
+  "/root/repo/src/web/sanitize.cpp" "src/web/CMakeFiles/septic_web.dir/sanitize.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/sanitize.cpp.o.d"
+  "/root/repo/src/web/stack.cpp" "src/web/CMakeFiles/septic_web.dir/stack.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/stack.cpp.o.d"
+  "/root/repo/src/web/trainer.cpp" "src/web/CMakeFiles/septic_web.dir/trainer.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/trainer.cpp.o.d"
+  "/root/repo/src/web/waf/crs_rules.cpp" "src/web/CMakeFiles/septic_web.dir/waf/crs_rules.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/waf/crs_rules.cpp.o.d"
+  "/root/repo/src/web/waf/rule.cpp" "src/web/CMakeFiles/septic_web.dir/waf/rule.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/waf/rule.cpp.o.d"
+  "/root/repo/src/web/waf/transform.cpp" "src/web/CMakeFiles/septic_web.dir/waf/transform.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/waf/transform.cpp.o.d"
+  "/root/repo/src/web/waf/waf.cpp" "src/web/CMakeFiles/septic_web.dir/waf/waf.cpp.o" "gcc" "src/web/CMakeFiles/septic_web.dir/waf/waf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/septic_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/septic/CMakeFiles/septic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/septic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/septic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlcore/CMakeFiles/septic_sqlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/septic_web.dir/apps/addressbook.cpp.o"
+  "CMakeFiles/septic_web.dir/apps/addressbook.cpp.o.d"
+  "CMakeFiles/septic_web.dir/apps/refbase.cpp.o"
+  "CMakeFiles/septic_web.dir/apps/refbase.cpp.o.d"
+  "CMakeFiles/septic_web.dir/apps/tickets.cpp.o"
+  "CMakeFiles/septic_web.dir/apps/tickets.cpp.o.d"
+  "CMakeFiles/septic_web.dir/apps/waspmon.cpp.o"
+  "CMakeFiles/septic_web.dir/apps/waspmon.cpp.o.d"
+  "CMakeFiles/septic_web.dir/apps/zerocms.cpp.o"
+  "CMakeFiles/septic_web.dir/apps/zerocms.cpp.o.d"
+  "CMakeFiles/septic_web.dir/framework.cpp.o"
+  "CMakeFiles/septic_web.dir/framework.cpp.o.d"
+  "CMakeFiles/septic_web.dir/http.cpp.o"
+  "CMakeFiles/septic_web.dir/http.cpp.o.d"
+  "CMakeFiles/septic_web.dir/proxy.cpp.o"
+  "CMakeFiles/septic_web.dir/proxy.cpp.o.d"
+  "CMakeFiles/septic_web.dir/sanitize.cpp.o"
+  "CMakeFiles/septic_web.dir/sanitize.cpp.o.d"
+  "CMakeFiles/septic_web.dir/stack.cpp.o"
+  "CMakeFiles/septic_web.dir/stack.cpp.o.d"
+  "CMakeFiles/septic_web.dir/trainer.cpp.o"
+  "CMakeFiles/septic_web.dir/trainer.cpp.o.d"
+  "CMakeFiles/septic_web.dir/waf/crs_rules.cpp.o"
+  "CMakeFiles/septic_web.dir/waf/crs_rules.cpp.o.d"
+  "CMakeFiles/septic_web.dir/waf/rule.cpp.o"
+  "CMakeFiles/septic_web.dir/waf/rule.cpp.o.d"
+  "CMakeFiles/septic_web.dir/waf/transform.cpp.o"
+  "CMakeFiles/septic_web.dir/waf/transform.cpp.o.d"
+  "CMakeFiles/septic_web.dir/waf/waf.cpp.o"
+  "CMakeFiles/septic_web.dir/waf/waf.cpp.o.d"
+  "libseptic_web.a"
+  "libseptic_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/septic_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

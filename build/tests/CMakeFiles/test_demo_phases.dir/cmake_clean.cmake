@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demo_phases.dir/test_demo_phases.cpp.o"
+  "CMakeFiles/test_demo_phases.dir/test_demo_phases.cpp.o.d"
+  "test_demo_phases"
+  "test_demo_phases.pdb"
+  "test_demo_phases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demo_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

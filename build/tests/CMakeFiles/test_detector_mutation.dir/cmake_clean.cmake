@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_mutation.dir/test_detector_mutation.cpp.o"
+  "CMakeFiles/test_detector_mutation.dir/test_detector_mutation.cpp.o.d"
+  "test_detector_mutation"
+  "test_detector_mutation.pdb"
+  "test_detector_mutation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

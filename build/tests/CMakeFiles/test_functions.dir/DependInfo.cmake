@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_functions.cpp" "tests/CMakeFiles/test_functions.dir/test_functions.cpp.o" "gcc" "tests/CMakeFiles/test_functions.dir/test_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/septic/CMakeFiles/septic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/septic_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/septic_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/septic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/septic_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/septic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlcore/CMakeFiles/septic_sqlcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/septic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

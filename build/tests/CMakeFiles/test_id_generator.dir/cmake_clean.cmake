@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id_generator.dir/test_id_generator.cpp.o"
+  "CMakeFiles/test_id_generator.dir/test_id_generator.cpp.o.d"
+  "test_id_generator"
+  "test_id_generator.pdb"
+  "test_id_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item_stack.dir/test_item_stack.cpp.o"
+  "CMakeFiles/test_item_stack.dir/test_item_stack.cpp.o.d"
+  "test_item_stack"
+  "test_item_stack.pdb"
+  "test_item_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_stmts.dir/test_metadata_stmts.cpp.o"
+  "CMakeFiles/test_metadata_stmts.dir/test_metadata_stmts.cpp.o.d"
+  "test_metadata_stmts"
+  "test_metadata_stmts.pdb"
+  "test_metadata_stmts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_stmts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_prepared.dir/test_net_prepared.cpp.o"
+  "CMakeFiles/test_net_prepared.dir/test_net_prepared.cpp.o.d"
+  "test_net_prepared"
+  "test_net_prepared.pdb"
+  "test_net_prepared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_prepared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qm_store.dir/test_qm_store.cpp.o"
+  "CMakeFiles/test_qm_store.dir/test_qm_store.cpp.o.d"
+  "test_qm_store"
+  "test_qm_store.pdb"
+  "test_qm_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_model.dir/test_query_model.cpp.o"
+  "CMakeFiles/test_query_model.dir/test_query_model.cpp.o.d"
+  "test_query_model"
+  "test_query_model.pdb"
+  "test_query_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

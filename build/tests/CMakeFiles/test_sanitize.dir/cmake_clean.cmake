@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sanitize.dir/test_sanitize.cpp.o"
+  "CMakeFiles/test_sanitize.dir/test_sanitize.cpp.o.d"
+  "test_sanitize"
+  "test_sanitize.pdb"
+  "test_sanitize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sanitize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_septic.dir/test_septic.cpp.o"
+  "CMakeFiles/test_septic.dir/test_septic.cpp.o.d"
+  "test_septic"
+  "test_septic.pdb"
+  "test_septic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_septic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

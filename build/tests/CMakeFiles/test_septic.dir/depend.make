@@ -1,0 +1,2 @@
+# Empty dependencies file for test_septic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strictness.dir/test_strictness.cpp.o"
+  "CMakeFiles/test_strictness.dir/test_strictness.cpp.o.d"
+  "test_strictness"
+  "test_strictness.pdb"
+  "test_strictness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strictness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

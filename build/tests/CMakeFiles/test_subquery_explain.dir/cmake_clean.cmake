@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subquery_explain.dir/test_subquery_explain.cpp.o"
+  "CMakeFiles/test_subquery_explain.dir/test_subquery_explain.cpp.o.d"
+  "test_subquery_explain"
+  "test_subquery_explain.pdb"
+  "test_subquery_explain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subquery_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

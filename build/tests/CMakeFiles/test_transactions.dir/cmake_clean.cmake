@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transactions.dir/test_transactions.cpp.o"
+  "CMakeFiles/test_transactions.dir/test_transactions.cpp.o.d"
+  "test_transactions"
+  "test_transactions.pdb"
+  "test_transactions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unicode.dir/test_unicode.cpp.o"
+  "CMakeFiles/test_unicode.dir/test_unicode.cpp.o.d"
+  "test_unicode"
+  "test_unicode.pdb"
+  "test_unicode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unicode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waf.dir/test_waf.cpp.o"
+  "CMakeFiles/test_waf.dir/test_waf.cpp.o.d"
+  "test_waf"
+  "test_waf.pdb"
+  "test_waf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webapps.dir/test_webapps.cpp.o"
+  "CMakeFiles/test_webapps.dir/test_webapps.cpp.o.d"
+  "test_webapps"
+  "test_webapps.pdb"
+  "test_webapps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_webapps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_webapps.
+# This may be replaced when dependencies are built.
