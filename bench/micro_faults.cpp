@@ -1,0 +1,109 @@
+// Fault-tolerance bench guard: the robustness layer must be (nearly) free
+// on the hot path. Pins three costs:
+//   - an un-armed failpoint site (one relaxed atomic load — the price every
+//     instrumented hot path pays in test builds; zero when compiled out),
+//   - the fail-policy try/except boundary around Septic::on_query
+//     (non-throwing path),
+//   - crash-safe QM store persistence (v2 serialize + CRC, salvage load)
+//     vs the in-memory baseline, so the atomic-rename discipline's cost
+//     stays visible and bounded.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "engine/database.h"
+#include "septic/qm_store.h"
+#include "septic/septic.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace {
+
+using namespace septic;
+
+void BM_FailpointUnarmed(benchmark::State& state) {
+  common::failpoints::disarm_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        common::failpoints::should_fail("bench.never.armed"));
+  }
+}
+BENCHMARK(BM_FailpointUnarmed);
+
+void BM_FailpointArmedElsewhere(benchmark::State& state) {
+  // Worst case for a cold site: SOME failpoint is armed (slow path taken,
+  // map probed) but not this one.
+  common::failpoints::arm("bench.other.site");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        common::failpoints::should_fail("bench.never.armed"));
+  }
+  common::failpoints::disarm_all();
+}
+BENCHMARK(BM_FailpointArmedElsewhere);
+
+void BM_Crc32PerRecord(benchmark::State& state) {
+  std::string record(static_cast<size_t>(state.range(0)), 'q');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::crc32(record));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32PerRecord)->Arg(64)->Arg(1024);
+
+void fill_store(core::QmStore& store, int n) {
+  for (int i = 0; i < n; ++i) {
+    std::string q = "SELECT a FROM t WHERE b = " + std::to_string(i) +
+                    " AND c = 'k" + std::to_string(i) + "'";
+    store.add("id" + std::to_string(i),
+              core::make_query_model(
+                  sql::build_item_stack(sql::parse(q).statement)));
+  }
+}
+
+void BM_QmStoreSaveAtomic(benchmark::State& state) {
+  core::QmStore store;
+  fill_store(store, static_cast<int>(state.range(0)));
+  const std::string path = "/tmp/septic_bench_store.qm";
+  for (auto _ : state) {
+    store.save_to_file(path);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+BENCHMARK(BM_QmStoreSaveAtomic)->Arg(100)->Arg(1000);
+
+void BM_QmStoreSalvageLoad(benchmark::State& state) {
+  core::QmStore store;
+  fill_store(store, static_cast<int>(state.range(0)));
+  std::string data = store.serialize_v2();
+  core::QmStore target;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(target.deserialize_salvage(data));
+  }
+}
+BENCHMARK(BM_QmStoreSalvageLoad)->Arg(100)->Arg(1000);
+
+void BM_OnQueryWithFailPolicyBoundary(benchmark::State& state) {
+  // Full pipeline through the try/except fail-policy boundary, prevention
+  // mode, trained model — the common case whose latency the paper's Fig. 5
+  // protects. Compare against micro_septic's BM_Pipeline numbers.
+  engine::Database db;
+  db.execute_admin("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)");
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_log_processed_queries(false);
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute_admin("SELECT b FROM t WHERE a = 1");
+  septic->set_mode(core::Mode::kPrevention);
+  engine::Session s("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.execute(s, "SELECT b FROM t WHERE a = 7"));
+  }
+}
+BENCHMARK(BM_OnQueryWithFailPolicyBoundary);
+
+}  // namespace

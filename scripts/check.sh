@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate under sanitizers: configure + build the ASan/UBSan preset and
+# run the whole ctest suite in it. Pass `tsan` to run the ThreadSanitizer
+# preset instead (the shutdown/fd-ownership tests are the interesting ones
+# there), or `all` for both.
+#
+#   scripts/check.sh           # ASan + UBSan (default)
+#   scripts/check.sh tsan
+#   scripts/check.sh all
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_preset() {
+  local preset=$1
+  echo "== configure (${preset}) =="
+  cmake --preset "${preset}"
+  echo "== build (${preset}) =="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "== ctest (${preset}) =="
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+case "${1:-asan}" in
+  asan) run_preset asan ;;
+  tsan) run_preset tsan ;;
+  all)
+    run_preset asan
+    run_preset tsan
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "OK"

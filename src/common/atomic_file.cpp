@@ -1,0 +1,77 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace septic::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " failed for " + path + ": " +
+                           std::strerror(errno));
+}
+
+void write_all(int fd, std::string_view contents, const std::string& path) {
+  size_t done = 0;
+  while (done < contents.size()) {
+    ssize_t w = ::write(fd, contents.data() + done, contents.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp);
+  write_all(fd, contents, tmp);
+  if (::fsync(fd) < 0) {
+    ::close(fd);
+    fail("fsync", tmp);
+  }
+  if (::close(fd) < 0) fail("close", tmp);
+  if (::rename(tmp.c_str(), path.c_str()) < 0) fail("rename", tmp);
+  // Persist the rename itself: fsync the containing directory.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    // Directory fsync is best-effort: some filesystems refuse it, and the
+    // rename is already durable on the common ones that matter.
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void write_file_raw(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace septic::common

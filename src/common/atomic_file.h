@@ -1,0 +1,27 @@
+// Crash-safe file replacement: write-to-temp + fsync + atomic rename(2).
+// A reader (or a process restarted after a crash at ANY point inside
+// atomic_write_file) sees either the complete old contents or the complete
+// new contents — never a torn mixture, never a missing file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace septic::common {
+
+/// Atomically replace `path` with `contents`. The bytes are written to
+/// `path + ".tmp"`, flushed to stable storage (fsync on the file and its
+/// directory), then renamed over `path`. Throws std::runtime_error on any
+/// I/O failure; on failure `path` is untouched (a stale `.tmp` may remain
+/// and is overwritten by the next attempt).
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Plain truncate-and-write with none of the crash-safety — used by tests
+/// and failpoint bodies to simulate torn writes. Throws on I/O failure.
+void write_file_raw(const std::string& path, std::string_view contents);
+
+/// Read a whole file into a string. Throws std::runtime_error when the
+/// file cannot be opened.
+std::string read_file(const std::string& path);
+
+}  // namespace septic::common

@@ -1,0 +1,132 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace septic::common::failpoints {
+
+namespace {
+
+struct Point {
+  int64_t remaining = 0;  // <0 = unlimited, 0 = disarmed, >0 = shots left
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  // Fast path: sites are hot (detector dispatch, per-frame send/recv), so
+  // an un-armed process must not take the mutex per evaluation.
+  std::atomic<int> armed_count{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void apply_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* spec = std::getenv("SEPTIC_FAILPOINTS")) {
+      arm_from_spec(spec);
+    }
+  });
+}
+
+}  // namespace
+
+bool compiled_in() {
+#if defined(SEPTIC_DISABLE_FAILPOINTS)
+  return false;
+#else
+  return true;
+#endif
+}
+
+void arm(std::string_view name, int64_t times) {
+  if (times == 0) {
+    disarm(name);
+    return;
+  }
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  auto [it, inserted] = r.points.try_emplace(std::string(name));
+  if (inserted || it->second.remaining == 0) {
+    r.armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second.remaining = times;
+  it->second.hits = 0;
+}
+
+void disarm(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  auto it = r.points.find(std::string(name));
+  if (it == r.points.end()) return;
+  if (it->second.remaining != 0) {
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second.remaining = 0;
+}
+
+void disarm_all() {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& [name, p] : r.points) p.remaining = 0;
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool should_fail(std::string_view name) {
+  apply_env_once();
+  auto& r = registry();
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard lock(r.mu);
+  auto it = r.points.find(std::string(name));
+  if (it == r.points.end() || it->second.remaining == 0) return false;
+  ++it->second.hits;
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+uint64_t hit_count(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  auto it = r.points.find(std::string(name));
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> armed() {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : r.points) {
+    if (p.remaining != 0) out.push_back(name);
+  }
+  return out;
+}
+
+void arm_from_spec(std::string_view spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) {
+      arm(entry);
+    } else {
+      int64_t times =
+          std::strtoll(std::string(entry.substr(colon + 1)).c_str(), nullptr, 10);
+      arm(entry.substr(0, colon), times == 0 ? -1 : times);
+    }
+  }
+}
+
+}  // namespace septic::common::failpoints

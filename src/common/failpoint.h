@@ -1,0 +1,100 @@
+// Failpoint framework: named fault-injection sites compiled into debug and
+// test builds so fault-tolerance paths can be exercised deterministically —
+// partial writes, torn loads, socket drops mid-frame, detector throws.
+//
+// A failpoint is a *site* in production code:
+//
+//   void QmStore::save_to_file(...) {
+//     SEPTIC_FAILPOINT("qm_store.save.io_error");      // throws when armed
+//     ...
+//     SEPTIC_FAILPOINT_HOOK("qm_store.save.partial_write") {
+//       out.truncate_half();                           // custom fault body
+//     }
+//   }
+//
+// and tests arm it by name:
+//
+//   common::failpoints::arm("qm_store.save.io_error");       // every hit
+//   common::failpoints::arm("net.server.send.drop", 2);      // first 2 hits
+//   ...
+//   common::failpoints::disarm_all();
+//
+// Activation is also possible from the environment for whole-process runs:
+// SEPTIC_FAILPOINTS="a.b.c,d.e:3" arms `a.b.c` forever and `d.e` 3 times.
+//
+// Build discipline: sites compile to nothing when SEPTIC_DISABLE_FAILPOINTS
+// is defined (the CMake option SEPTIC_ENABLE_FAILPOINTS=OFF — release
+// deployments), so shipped binaries carry zero registry lookups. When
+// enabled, an un-armed site costs one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::common::failpoints {
+
+/// Thrown by SEPTIC_FAILPOINT sites when armed. Derives from
+/// std::runtime_error so it flows through the same recovery paths as real
+/// I/O and internal failures.
+class FailpointTriggered : public std::runtime_error {
+ public:
+  explicit FailpointTriggered(const std::string& name)
+      : std::runtime_error("failpoint triggered: " + name) {}
+};
+
+/// True when failpoint sites are compiled into this binary.
+bool compiled_in();
+
+/// Arm a failpoint: it fires on the next `times` evaluations
+/// (times < 0 = every evaluation until disarmed).
+void arm(std::string_view name, int64_t times = -1);
+
+/// Disarm one failpoint / all failpoints. Hit counters survive disarming
+/// (they are reset by arm()).
+void disarm(std::string_view name);
+void disarm_all();
+
+/// True when the named failpoint is armed and consumes one firing.
+/// Production sites call this through the macros below; tests may call it
+/// directly to script custom faults.
+bool should_fail(std::string_view name);
+
+/// How many times the named site fired since it was last armed.
+uint64_t hit_count(std::string_view name);
+
+/// Names currently armed (diagnostics).
+std::vector<std::string> armed();
+
+/// Parse an activation spec ("name[:times][,name[:times]]...") and arm
+/// every entry. The SEPTIC_FAILPOINTS environment variable is applied once,
+/// lazily, on the first should_fail() evaluation.
+void arm_from_spec(std::string_view spec);
+
+}  // namespace septic::common::failpoints
+
+#if defined(SEPTIC_DISABLE_FAILPOINTS)
+
+#define SEPTIC_FAILPOINT(name) \
+  do {                         \
+  } while (0)
+#define SEPTIC_FAILPOINT_HOOK(name) if constexpr (false)
+
+#else
+
+/// Throw FailpointTriggered when `name` is armed.
+#define SEPTIC_FAILPOINT(name)                                    \
+  do {                                                            \
+    if (::septic::common::failpoints::should_fail(name)) {        \
+      throw ::septic::common::failpoints::FailpointTriggered(name); \
+    }                                                             \
+  } while (0)
+
+/// Run the following statement/block when `name` is armed:
+///   SEPTIC_FAILPOINT_HOOK("x.y") { return false; }
+#define SEPTIC_FAILPOINT_HOOK(name) \
+  if (::septic::common::failpoints::should_fail(name))
+
+#endif  // SEPTIC_DISABLE_FAILPOINTS

@@ -27,10 +27,53 @@ uint64_t hash_combine(uint64_t state, uint64_t value) {
   return state;
 }
 
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(std::string_view bytes) { return crc32(bytes, 0); }
+
+uint32_t crc32(std::string_view bytes, uint32_t state) {
+  const auto& table = crc_table();
+  uint32_t c = state ^ 0xffffffffu;
+  for (unsigned char ch : bytes) {
+    c = table.t[(c ^ ch) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
 std::string to_hex(uint64_t v) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out(16, '0');
   for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string to_hex32(uint32_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
     out[static_cast<size_t>(i)] = kDigits[v & 0xf];
     v >>= 4;
   }

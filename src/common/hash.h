@@ -22,8 +22,20 @@ inline constexpr uint64_t kFnvInit = 0xcbf29ce484222325ull;
 /// so that concatenation ambiguities cannot collide).
 uint64_t hash_combine(uint64_t state, uint64_t value);
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over bytes — the
+/// per-record integrity check of the persistent QM store. Unlike FNV it
+/// detects all burst errors up to 32 bits, which is what torn/truncated
+/// writes produce.
+uint32_t crc32(std::string_view bytes);
+
+/// Continue a CRC-32 stream from a previous value (start from crc32("")).
+uint32_t crc32(std::string_view bytes, uint32_t state);
+
 /// Fixed-width lowercase hex rendering of a 64-bit value.
 std::string to_hex(uint64_t v);
+
+/// Fixed-width (8 digit) lowercase hex rendering of a 32-bit value.
+std::string to_hex32(uint32_t v);
 
 /// Parse a hex string produced by `to_hex`; returns false on bad input.
 bool from_hex(std::string_view s, uint64_t& out);

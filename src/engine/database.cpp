@@ -13,6 +13,30 @@ void Database::set_interceptor(std::shared_ptr<QueryInterceptor> interceptor) {
   interceptor_ = std::move(interceptor);
 }
 
+namespace {
+
+/// Last-resort boundary around the interceptor hook. SEPTIC handles its
+/// own failures (fail policy), but the engine cannot assume every
+/// installed interceptor does: an exception escaping here would otherwise
+/// unwind through the server's connection loop as an anonymous
+/// std::exception and drop the connection. Convert it into the engine's
+/// own error taxonomy instead so the client gets a proper INTERNAL error.
+InterceptDecision run_interceptor(QueryInterceptor& interceptor,
+                                  const QueryEvent& event) {
+  try {
+    return interceptor.on_query(event);
+  } catch (const DbError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw DbError(ErrorCode::kInternal,
+                  std::string("interceptor failure: ") + e.what());
+  } catch (...) {
+    throw DbError(ErrorCode::kInternal, "interceptor failure");
+  }
+}
+
+}  // namespace
+
 ResultSet Database::execute(Session& session, std::string_view raw_sql) {
   std::lock_guard lock(mu_);
 
@@ -51,7 +75,7 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
   if (interceptor_) {
     sql::ItemStack stack = sql::build_item_stack(parsed.statement);
     QueryEvent event{parsed, stack, session.id(), session.user()};
-    InterceptDecision decision = interceptor_->on_query(event);
+    InterceptDecision decision = run_interceptor(*interceptor_, event);
     if (!decision.allow) {
       ++blocked_count_;
       throw DbError(ErrorCode::kBlocked,
@@ -233,7 +257,7 @@ ResultSet Database::execute_prepared(Session& session,
   if (interceptor_) {
     sql::ItemStack stack = sql::build_item_stack(parsed.statement);
     QueryEvent event{parsed, stack, session.id(), session.user()};
-    InterceptDecision decision = interceptor_->on_query(event);
+    InterceptDecision decision = run_interceptor(*interceptor_, event);
     if (!decision.allow) {
       ++blocked_count_;
       throw DbError(ErrorCode::kBlocked,

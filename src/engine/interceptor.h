@@ -35,6 +35,10 @@ struct InterceptDecision {
 class QueryInterceptor {
  public:
   virtual ~QueryInterceptor() = default;
+  /// Should not throw: a robust interceptor makes its own allow/drop
+  /// decision on internal failure (see core::FailPolicy). If an exception
+  /// does escape, the engine reports it as ErrorCode::kInternal rather
+  /// than letting it unwind the caller's connection loop.
   virtual InterceptDecision on_query(const QueryEvent& event) = 0;
 };
 

@@ -1,26 +1,30 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace septic::net {
 
-Client::Client(uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("connect() failed");
-  }
+Client::Client(uint16_t port, ClientOptions options)
+    : port_(port), options_(options) {
+  // Cheap decorrelation between concurrently created clients so their
+  // retry backoffs don't thundering-herd in lockstep.
+  jitter_state_ = static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                  (reinterpret_cast<uintptr_t>(this) << 16);
+  connect();
 }
 
 Client::~Client() {
@@ -30,18 +34,85 @@ Client::~Client() {
   }
 }
 
+void Client::connect() {
+  SEPTIC_FAILPOINT("net.client.connect");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+
+  if (options_.connect_timeout_ms > 0) {
+    // Non-blocking connect + poll so a dead server costs a bounded wait,
+    // not the OS's multi-minute SYN retry schedule.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, options_.connect_timeout_ms);
+      if (rc == 0) {
+        close_fd();
+        throw std::runtime_error("connect() timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (rc < 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+        close_fd();
+        throw std::runtime_error("connect() failed");
+      }
+    } else if (rc < 0) {
+      close_fd();
+      throw std::runtime_error("connect() failed");
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+             0) {
+    close_fd();
+    throw std::runtime_error("connect() failed");
+  }
+
+  if (options_.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
+void Client::close_fd() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder{};  // drop any half-received frame
+}
+
+void Client::reconnect() {
+  close_fd();
+  connect();
+}
+
 Frame Client::roundtrip(const Frame& frame) {
+  if (fd_ < 0) throw std::runtime_error("not connected");
   std::string bytes = encode_frame(frame);
   size_t sent = 0;
   while (sent < bytes.size()) {
-    ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+    SEPTIC_FAILPOINT("net.client.send");
+    ssize_t w =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (w <= 0) throw std::runtime_error("send() failed");
     sent += static_cast<size_t>(w);
   }
   char buf[4096];
   for (;;) {
     if (auto reply = decoder_.next()) return *reply;
+    SEPTIC_FAILPOINT("net.client.recv");
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw std::runtime_error("recv() timed out");
+    }
     if (n <= 0) throw std::runtime_error("connection closed by server");
     decoder_.feed(std::string_view(buf, static_cast<size_t>(n)));
   }
@@ -54,6 +125,45 @@ std::string Client::query(std::string_view sql) {
   Frame reply = roundtrip(request);
   if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
   return reply.payload;
+}
+
+std::string Client::query_with_retry(std::string_view sql,
+                                     const RetryPolicy& policy) {
+  int backoff = policy.base_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    std::string last_error;
+    try {
+      if (fd_ < 0) connect();
+      return query(sql);
+    } catch (const RemoteError& e) {
+      // The server answered. A verdict — BLOCKED above all — is final;
+      // only the connection-cap BUSY reply is a transient condition.
+      if (!e.busy()) throw;
+      last_error = e.what();
+      close_fd();  // the server closes its side after a BUSY reply
+    } catch (const std::runtime_error& e) {
+      // Transport fault: dead socket, timeout, mid-frame close.
+      last_error = e.what();
+      close_fd();
+    }
+    if (attempt >= policy.max_attempts) {
+      throw std::runtime_error("query failed after " +
+                               std::to_string(attempt) +
+                               " attempts: " + last_error);
+    }
+    // Capped exponential backoff, jittered into [backoff/2, backoff] so a
+    // fleet of retrying clients spreads out instead of stampeding.
+    int cap = backoff < policy.max_backoff_ms ? backoff : policy.max_backoff_ms;
+    jitter_state_ = jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    int sleep_ms = cap <= 1 ? cap
+                            : cap / 2 + static_cast<int>((jitter_state_ >> 33) %
+                                                         (cap - cap / 2 + 1));
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    if (backoff < policy.max_backoff_ms) backoff *= 2;
+    ++retries_;
+  }
 }
 
 uint64_t Client::prepare(std::string_view template_sql) {

@@ -2,6 +2,13 @@
 // can talk to one Server; no configuration is needed to benefit from the
 // SEPTIC instance inside the server (the paper's "no client configuration"
 // and "client diversity" features).
+//
+// Fault handling: connect and per-I/O timeouts, plus query_with_retry() —
+// bounded exponential backoff with jitter and automatic reconnect on
+// transient socket failures. A server *reply* is never retried: BLOCKED is
+// a SEPTIC verdict, not a fault (retrying an attack verdict would be a
+// resubmission loop); only BUSY (connection-cap) replies are treated as
+// transient.
 #pragma once
 
 #include <cstdint>
@@ -24,20 +31,49 @@ class RemoteError : public std::runtime_error {
   bool blocked() const {
     return std::string_view(what()).rfind("BLOCKED", 0) == 0;
   }
+  /// Connection-cap rejection ("BUSY: ...") — transient by contract.
+  bool busy() const {
+    return std::string_view(what()).rfind("BUSY", 0) == 0;
+  }
+};
+
+struct ClientOptions {
+  /// connect() deadline; 0 = the OS default (minutes).
+  int connect_timeout_ms = 5000;
+  /// Per-recv/send deadline (SO_RCVTIMEO/SO_SNDTIMEO); 0 = blocking.
+  int io_timeout_ms = 0;
+};
+
+struct RetryPolicy {
+  int max_attempts = 4;       // total tries, including the first
+  int base_backoff_ms = 5;    // doubles each attempt ...
+  int max_backoff_ms = 200;   // ... capped here; actual sleep is jittered
+                              // uniformly in [backoff/2, backoff]
 };
 
 class Client {
  public:
-  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
-  explicit Client(uint16_t port);
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure
+  /// (including connect timeout).
+  explicit Client(uint16_t port, ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Run one query; returns the reply payload (row text or OK summary).
-  /// Throws RemoteError for server-side errors.
+  /// Throws RemoteError for server-side errors, std::runtime_error for
+  /// transport failures (after which the connection is dead; see
+  /// reconnect()).
   std::string query(std::string_view sql);
+
+  /// query() + fault tolerance: on a transport failure (send/recv error,
+  /// server closed mid-exchange, timeout) or a BUSY reply, reconnects and
+  /// retries with capped exponential backoff + jitter, up to
+  /// policy.max_attempts. Any other server reply — BLOCKED above all — is
+  /// surfaced immediately, never retried.
+  std::string query_with_retry(std::string_view sql,
+                               const RetryPolicy& policy = {});
 
   /// Prepare a template with '?' placeholders; returns the statement id.
   uint64_t prepare(std::string_view template_sql);
@@ -45,13 +81,28 @@ class Client {
   /// Execute a prepared statement with positionally bound parameters.
   std::string execute(uint64_t stmt_id, const std::vector<sql::Value>& params);
 
+  /// Tear down and re-establish the connection. Prepared statement ids do
+  /// NOT survive a reconnect (they are per-connection server state).
+  void reconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Transport retries performed by query_with_retry over this client's
+  /// lifetime (observability for the flapping-server tests and benches).
+  uint64_t retries() const { return retries_; }
+
   void quit();
 
  private:
+  void connect();
+  void close_fd();
   Frame roundtrip(const Frame& frame);
 
   int fd_ = -1;
+  uint16_t port_ = 0;
+  ClientOptions options_;
   FrameDecoder decoder_;
+  uint64_t retries_ = 0;
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace septic::net

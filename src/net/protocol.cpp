@@ -28,8 +28,11 @@ std::optional<Frame> FrameDecoder::next() {
     len |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[i]))
            << (i * 8);
   }
-  if (len == 0 || len > kMaxFrameSize) {
+  if (len == 0) {
     throw std::runtime_error("malformed frame: bad length");
+  }
+  if (len > max_frame_size_) {
+    throw FrameTooLarge(len, max_frame_size_);
   }
   if (buffer_.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
   uint8_t op = static_cast<uint8_t>(buffer_[4]);

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -43,20 +44,39 @@ struct Frame {
 /// Serialize a frame to wire bytes.
 std::string encode_frame(const Frame& frame);
 
+/// Thrown by FrameDecoder for frames whose declared length exceeds the
+/// decoder's limit — distinguishable from garbage framing so the server can
+/// answer with a polite ERROR before closing.
+class FrameTooLarge : public std::runtime_error {
+ public:
+  explicit FrameTooLarge(uint32_t declared, uint32_t limit)
+      : std::runtime_error("frame of " + std::to_string(declared) +
+                           " bytes exceeds limit of " + std::to_string(limit)) {
+  }
+};
+
 /// Incremental decoder: feed bytes, pull complete frames.
 class FrameDecoder {
  public:
   void feed(std::string_view bytes);
 
-  /// Pop the next complete frame, if any. Throws std::runtime_error on a
-  /// malformed frame (bad opcode, oversized length).
+  /// Pop the next complete frame, if any. Throws FrameTooLarge when the
+  /// declared length exceeds max_frame_size(), std::runtime_error on other
+  /// malformed framing (zero length, bad opcode).
   std::optional<Frame> next();
 
-  /// Frames larger than this are rejected (sanity bound).
+  /// Default sanity bound on a single frame.
   static constexpr uint32_t kMaxFrameSize = 16 * 1024 * 1024;
+
+  /// Tighten (or relax) the per-frame size guard. The limit is checked
+  /// against the *declared* length, before any payload is buffered, so an
+  /// attacker cannot make the server allocate the oversized frame.
+  void set_max_frame_size(uint32_t limit) { max_frame_size_ = limit; }
+  uint32_t max_frame_size() const { return max_frame_size_; }
 
  private:
   std::string buffer_;
+  uint32_t max_frame_size_ = kMaxFrameSize;
 };
 
 }  // namespace septic::net

@@ -3,19 +3,51 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstring>
-#include <unordered_map>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "engine/error.h"
 #include "net/protocol.h"
 
 namespace septic::net {
 
-Server::Server(engine::Database& db, uint16_t port) : db_(db) {
+namespace {
+
+/// Best-effort frame send; returns false when the peer is gone.
+bool send_frame(int fd, const Frame& frame) {
+  std::string bytes = encode_frame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void set_socket_timeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Server::Server(engine::Database& db, uint16_t port)
+    : Server(db, port, ServerOptions{}) {}
+
+Server::Server(engine::Database& db, uint16_t port, ServerOptions options)
+    : db_(db), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
   int one = 1;
@@ -51,16 +83,27 @@ void Server::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  std::vector<std::thread> workers;
+  std::vector<std::unique_ptr<Conn>> conns;
   {
-    std::lock_guard lock(workers_mu_);
-    // Wake workers blocked in recv() on still-open client connections.
-    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-    workers.swap(workers_);
+    std::lock_guard lock(conns_mu_);
+    // Wake workers blocked in recv(). Workers close their fd under this
+    // same mutex with `closed` set, so an un-closed fd here is live.
+    for (auto& c : conns_) {
+      if (!c->closed) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    conns.swap(conns_);
   }
-  for (auto& t : workers) {
-    if (t.joinable()) t.join();
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
   }
+}
+
+void Server::reap_finished_locked() {
+  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
+    if (!c->done.load()) return false;
+    if (c->thread.joinable()) c->thread.join();
+    return true;
+  });
 }
 
 void Server::accept_loop() {
@@ -70,16 +113,36 @@ void Server::accept_loop() {
       if (!running_) break;
       continue;
     }
+    if (options_.max_connections != 0 &&
+        active_.load() >= options_.max_connections) {
+      // Past the cap: a graceful verdict, not a silent RST. The client
+      // sees "BUSY: ..." and can back off and retry.
+      ++rejected_;
+      send_frame(fd, Frame{Opcode::kError,
+                           "BUSY: server connection limit reached (" +
+                               std::to_string(options_.max_connections) +
+                               " concurrent connections)"});
+      ::close(fd);
+      continue;
+    }
     ++connections_;
-    std::lock_guard lock(workers_mu_);
-    open_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    ++active_;
+    std::lock_guard lock(conns_mu_);
+    reap_finished_locked();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { serve_connection(*raw); });
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(Conn& conn) {
+  const int fd = conn.fd;
+  set_socket_timeouts(fd, options_.idle_timeout_ms);
   engine::Session session("net-client");
   FrameDecoder decoder;
+  decoder.set_max_frame_size(options_.max_frame_size);
   // Per-connection prepared statements, like MySQL's.
   std::unordered_map<uint64_t, std::string> prepared;
   uint64_t next_stmt_id = 1;
@@ -87,7 +150,8 @@ void Server::serve_connection(int fd) {
   bool open = true;
   while (open) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // peer gone, shutdown(), or idle timeout (EAGAIN)
+    SEPTIC_FAILPOINT_HOOK("net.server.recv.drop") break;
     decoder.feed(std::string_view(buf, static_cast<size_t>(n)));
     try {
       while (auto frame = decoder.next()) {
@@ -166,28 +230,41 @@ void Server::serve_connection(int fd) {
           reply.payload =
               std::string(engine::error_code_name(e.code())) + ": " + e.what();
         }
-        std::string bytes = encode_frame(reply);
-        size_t sent = 0;
-        while (sent < bytes.size()) {
-          ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
-          if (w <= 0) {
-            open = false;
-            break;
-          }
-          sent += static_cast<size_t>(w);
+        SEPTIC_FAILPOINT_HOOK("net.server.send.drop") {
+          open = false;
+          break;
+        }
+        if (!send_frame(fd, reply)) {
+          open = false;
+          break;
         }
       }
+    } catch (const FrameTooLarge& e) {
+      // Declared length over the guard: reject politely, then close — the
+      // stream is unrecoverable (we cannot resynchronize mid-frame).
+      send_frame(fd, Frame{Opcode::kError,
+                           std::string("FRAME_TOO_LARGE: ") + e.what()});
+      break;
     } catch (const std::exception& e) {
       common::log_warn(std::string("net: dropping connection: ") + e.what());
+      send_frame(fd, Frame{Opcode::kError,
+                           std::string("PROTOCOL: ") + e.what()});
       break;
     }
   }
   // A connection that dies mid-transaction must not leave the engine
   // locked against every other session.
   db_.rollback_if_owner(session.id());
-  ::close(fd);
-  std::lock_guard lock(workers_mu_);
-  std::erase(open_fds_, fd);
+  // Close under conns_mu_ with `closed` set in the same critical section:
+  // once the fd number is released to the OS it may be recycled, and
+  // stop() must never shutdown() somebody else's fd.
+  {
+    std::lock_guard lock(conns_mu_);
+    ::close(fd);
+    conn.closed = true;
+  }
+  --active_;
+  conn.done.store(true, std::memory_order_release);
 }
 
 }  // namespace septic::net

@@ -1,21 +1,43 @@
 // TCP server exposing a Database (and whatever interceptor — SEPTIC — is
 // installed in it) to remote clients. Thread-per-connection; sessions are
 // per-connection, like MySQL's.
+//
+// Hardening (an in-path defense must not be the easiest thing to knock
+// over): a max-concurrent-connections cap (excess connections get a polite
+// BUSY error frame and a close), per-connection idle timeouts
+// (SO_RCVTIMEO/SO_SNDTIMEO), and a per-frame size guard (oversized frames
+// are rejected before their payload is buffered).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/database.h"
+#include "net/protocol.h"
 
 namespace septic::net {
+
+struct ServerOptions {
+  /// Concurrent connections served; further connections are answered with
+  /// an ERROR frame ("BUSY: ...") and closed. 0 = unlimited.
+  size_t max_connections = 256;
+  /// Per-connection socket idle timeout in milliseconds (applied as both
+  /// SO_RCVTIMEO and SO_SNDTIMEO). A connection idle past it is closed.
+  /// 0 = no timeout.
+  int idle_timeout_ms = 0;
+  /// Per-frame size guard for this server's connections.
+  uint32_t max_frame_size = FrameDecoder::kMaxFrameSize;
+};
 
 class Server {
  public:
   /// Bind to 127.0.0.1:port (port 0 = ephemeral; see port()).
   Server(engine::Database& db, uint16_t port);
+  Server(engine::Database& db, uint16_t port, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -27,21 +49,44 @@ class Server {
   void stop();
 
   uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
   uint64_t connections_served() const { return connections_; }
+  /// Connections turned away by the max_connections cap.
+  uint64_t connections_rejected() const { return rejected_; }
+  /// Connections currently being served.
+  size_t active_connections() const { return active_; }
 
  private:
+  // One live connection, owned by the registry (conns_), never by the
+  // worker. The worker thread is the only closer of its fd, and it closes
+  // while holding conns_mu_ with `closed` set in the same critical
+  // section — so stop(), which shutdown()s still-open fds under the same
+  // lock, can never touch an fd number the OS has recycled. `done` marks
+  // the worker finished so the accept loop can reap its thread while the
+  // server keeps running.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    bool closed = false;  // guarded by conns_mu_
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Conn& conn);
+  void reap_finished_locked();
 
   engine::Database& db_;
+  ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::vector<int> open_fds_;  // live connection sockets (for stop())
-  std::mutex workers_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::mutex conns_mu_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<size_t> active_{0};
 };
 
 }  // namespace septic::net

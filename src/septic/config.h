@@ -20,8 +20,28 @@ inline const char* mode_name(Mode m) {
   return "?";
 }
 
+/// What happens to a query when SEPTIC *itself* fails (a detector or
+/// plugin throws, the model store misbehaves): fail-closed drops the query
+/// (protection over availability), fail-open executes it (availability
+/// over protection). Either way the failure is logged and counted — an
+/// in-path defense must never take the database down with it, and must be
+/// explicit about which way it fails.
+enum class FailPolicy { kFailClosed, kFailOpen };
+
+inline const char* fail_policy_name(FailPolicy p) {
+  switch (p) {
+    case FailPolicy::kFailClosed: return "FAIL_CLOSED";
+    case FailPolicy::kFailOpen: return "FAIL_OPEN";
+  }
+  return "?";
+}
+
 struct Config {
   Mode mode = Mode::kTraining;
+
+  /// Disposition of queries when SEPTIC hits an internal error. The
+  /// conservative default drops them (kFailClosed).
+  FailPolicy fail_policy = FailPolicy::kFailClosed;
 
   /// The Fig. 5 evaluation toggles: SQLI detection (YN/YY) and stored-
   /// injection detection (NY/YY). Both off = NN (SEPTIC infrastructure

@@ -1,5 +1,7 @@
 #include "septic/event_log.h"
 
+#include "common/failpoint.h"
+#include "common/log.h"
 #include "common/string_util.h"
 
 namespace septic::core {
@@ -15,6 +17,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kQueryDropped: return "QUERY_DROPPED";
     case EventKind::kModelApproved: return "MODEL_APPROVED";
     case EventKind::kModelRejected: return "MODEL_REJECTED";
+    case EventKind::kInternalError: return "INTERNAL_ERROR";
   }
   return "?";
 }
@@ -23,8 +26,23 @@ void EventLog::record(Event e) {
   std::lock_guard lock(mu_);
   e.seq = next_seq_++;
   if (sink_) sink_(e);
-  if (file_.is_open()) file_ << format(e) << '\n' << std::flush;
+  if (file_.is_open()) {
+    file_ << format(e) << '\n' << std::flush;
+    bool failed = !file_.good();
+    SEPTIC_FAILPOINT_HOOK("event_log.tee.write_error") failed = true;
+    if (failed) {
+      // A dead tee (disk full, volume gone) must not take the query path
+      // down with it: disable file logging, keep the in-memory register.
+      file_.close();
+      ++file_errors_;
+      common::log_warn("event log: tee write failed; file logging disabled");
+    }
+  }
   events_.push_back(std::move(e));
+  while (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
 }
 
 void EventLog::tee_to_file(const std::string& path) {
@@ -33,13 +51,14 @@ void EventLog::tee_to_file(const std::string& path) {
   if (path.empty()) return;
   file_.open(path, std::ios::app);
   if (!file_) {
+    ++file_errors_;
     throw std::runtime_error("cannot open event log file: " + path);
   }
 }
 
 std::vector<Event> EventLog::events() const {
   std::lock_guard lock(mu_);
-  return events_;
+  return {events_.begin(), events_.end()};
 }
 
 std::vector<Event> EventLog::events_of(EventKind kind) const {
@@ -68,6 +87,30 @@ size_t EventLog::size() const {
 void EventLog::clear() {
   std::lock_guard lock(mu_);
   events_.clear();
+}
+
+void EventLog::set_capacity(size_t cap) {
+  std::lock_guard lock(mu_);
+  capacity_ = cap;
+  while (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+size_t EventLog::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+uint64_t EventLog::dropped_events() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+uint64_t EventLog::file_errors() const {
+  std::lock_guard lock(mu_);
+  return file_errors_;
 }
 
 void EventLog::set_sink(std::function<void(const Event&)> sink) {

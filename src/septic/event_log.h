@@ -2,9 +2,16 @@
 // new query models, query processing, attacks detected — backing the demo's
 // "SEPTIC events" display. Structured and queryable (the detection benches
 // and tests filter it), with optional append-to-file.
+//
+// Robustness properties (week-long prevention runs must not take SEPTIC
+// down): the in-memory register is a bounded ring — past the capacity the
+// oldest events are dropped and counted, never OOM — and a failing tee file
+// (disk full, yanked volume) disables file logging and counts the error
+// instead of throwing out of record() into the query path.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <mutex>
@@ -23,6 +30,7 @@ enum class EventKind {
   kQueryDropped,      // prevention mode stopped the query
   kModelApproved,     // admin approved an incrementally learned model
   kModelRejected,     // admin rejected one; it is removed from the store
+  kInternalError,     // SEPTIC itself failed; fail policy decided the query
 };
 
 const char* event_kind_name(EventKind k);
@@ -40,9 +48,12 @@ struct Event {
 
 class EventLog {
  public:
+  /// In-memory ring capacity (events kept before the oldest are dropped).
+  static constexpr size_t kDefaultCapacity = 64 * 1024;
+
   void record(Event e);
 
-  /// Snapshot of all events (copy; the log keeps growing).
+  /// Snapshot of the retained events (copy; the log keeps growing).
   std::vector<Event> events() const;
 
   /// Events of one kind.
@@ -51,14 +62,27 @@ class EventLog {
   size_t size() const;
   void clear();
 
+  /// Resize the ring (0 = unbounded). Shrinking drops the oldest events
+  /// immediately (they count toward dropped_events).
+  void set_capacity(size_t cap);
+  size_t capacity() const;
+
+  /// Events evicted from the ring because it was full.
+  uint64_t dropped_events() const;
+  /// Tee-file write/open failures survived (file logging is disabled after
+  /// the first write failure).
+  uint64_t file_errors() const;
+
   /// Optional live sink (e.g. the demo's events display). Called with the
   /// lock held; keep callbacks fast.
   void set_sink(std::function<void(const Event&)> sink);
 
   /// Append every event (formatted, one line each) to a file as well —
-  /// the persistent "register of events" of the demo setup. Throws
-  /// std::runtime_error when the file cannot be opened; pass an empty path
-  /// to stop file logging.
+  /// the persistent "register of events" of the demo setup. Append-only:
+  /// an existing register is never truncated. Throws std::runtime_error
+  /// when the file cannot be opened; pass an empty path to stop file
+  /// logging. Later write failures do NOT throw from record(): they
+  /// disable the tee and increment file_errors().
   void tee_to_file(const std::string& path);
 
   /// Render one event as a log line.
@@ -66,7 +90,10 @@ class EventLog {
 
  private:
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::deque<Event> events_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t dropped_ = 0;
+  uint64_t file_errors_ = 0;
   std::function<void(const Event&)> sink_;
   std::ofstream file_;
   uint64_t next_seq_ = 1;

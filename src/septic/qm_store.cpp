@@ -1,11 +1,32 @@
 #include "septic/qm_store.h"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
+#include "common/hash.h"
+
 namespace septic::core {
+
+namespace {
+
+constexpr std::string_view kV2Header = "SEPTICQM 2";
+
+/// Append one skip explanation to a report (first few only; the counts
+/// stay exact either way).
+void note_skip(QmLoadReport& report, size_t line_no, const char* why) {
+  ++report.skipped;
+  if (report.skipped <= 3) {
+    if (!report.detail.empty()) report.detail += "; ";
+    report.detail += "line " + std::to_string(line_no) + ": " + why;
+  } else if (report.skipped == 4) {
+    report.detail += "; ...";
+  }
+}
+
+}  // namespace
 
 bool QmStore::add(const std::string& id, const QueryModel& qm) {
   std::lock_guard lock(mu_);
@@ -70,6 +91,24 @@ std::string QmStore::serialize() const {
   return out;
 }
 
+std::string QmStore::serialize_v2() const {
+  std::lock_guard lock(mu_);
+  std::string out{kV2Header};
+  out += '\n';
+  for (const auto& [id, vec] : models_) {
+    for (const auto& qm : vec) {
+      std::string record = id;
+      record += '\t';
+      record += qm.serialize();
+      out += common::to_hex32(common::crc32(record));
+      out += '\t';
+      out += record;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 void QmStore::deserialize(std::string_view data) {
   std::lock_guard lock(mu_);
   models_.clear();
@@ -93,19 +132,95 @@ void QmStore::deserialize(std::string_view data) {
   }
 }
 
-void QmStore::save_to_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write QM store to " + path);
-  out << serialize();
-  if (!out) throw std::runtime_error("write failed: " + path);
+QmLoadReport QmStore::deserialize_salvage(std::string_view data) {
+  QmLoadReport report;
+  report.version = 1;
+
+  size_t pos = 0;
+  size_t line_no = 0;
+
+  // Header probe: a "SEPTICQM <v>" first line selects the CRC'd format.
+  if (data.substr(0, kV2Header.size()) == kV2Header &&
+      (data.size() == kV2Header.size() || data[kV2Header.size()] == '\n')) {
+    report.version = 2;
+    pos = std::min(data.size(), kV2Header.size() + 1);
+    line_no = 1;
+  } else if (data.substr(0, 9) == "SEPTICQM ") {
+    throw std::runtime_error(
+        "QM store: unsupported format version (header: " +
+        std::string(data.substr(0, data.find('\n'))) + ")");
+  }
+
+  std::lock_guard lock(mu_);
+  models_.clear();
+
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    bool has_newline = nl != std::string_view::npos;
+    std::string_view line =
+        data.substr(pos, has_newline ? nl - pos : std::string_view::npos);
+    pos = has_newline ? nl + 1 : data.size();
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::string_view record = line;
+    if (report.version == 2) {
+      // "crc32hex<TAB>id<TAB>model"; the CRC covers everything after its tab.
+      size_t tab = line.find('\t');
+      if (tab == std::string_view::npos) {
+        note_skip(report, line_no, "missing CRC field");
+        continue;
+      }
+      uint64_t stored = 0;
+      if (tab != 8 || !common::from_hex(line.substr(0, tab), stored)) {
+        note_skip(report, line_no, "bad CRC field");
+        continue;
+      }
+      record = line.substr(tab + 1);
+      if (common::crc32(record) != static_cast<uint32_t>(stored)) {
+        note_skip(report, line_no,
+                  has_newline ? "CRC mismatch" : "CRC mismatch (torn tail)");
+        continue;
+      }
+    } else if (!has_newline) {
+      // v1 has no integrity check; an unterminated final line is the one
+      // corruption shape we can still recognize.
+      note_skip(report, line_no, "truncated final line");
+      continue;
+    }
+
+    size_t tab = record.find('\t');
+    if (tab == std::string_view::npos) {
+      note_skip(report, line_no, "missing tab");
+      continue;
+    }
+    QueryModel qm;
+    if (!QueryModel::deserialize(record.substr(tab + 1), qm)) {
+      note_skip(report, line_no, "unparseable model");
+      continue;
+    }
+    models_[std::string(record.substr(0, tab))].push_back(std::move(qm));
+    ++report.loaded;
+  }
+  return report;
 }
 
-void QmStore::load_from_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read QM store from " + path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  deserialize(buf.str());
+void QmStore::save_to_file(const std::string& path) const {
+  std::string data = serialize_v2();
+  SEPTIC_FAILPOINT("qm_store.save.io_error");
+  SEPTIC_FAILPOINT_HOOK("qm_store.save.partial_write") {
+    // Simulate the process dying half-way through writing the temp file:
+    // torn bytes land in `.tmp`, the atomic rename never happens, and the
+    // previous store file survives untouched.
+    common::write_file_raw(path + ".tmp", data.substr(0, data.size() / 2));
+    throw common::failpoints::FailpointTriggered("qm_store.save.partial_write");
+  }
+  common::atomic_write_file(path, data);
+}
+
+QmLoadReport QmStore::load_from_file(const std::string& path) {
+  SEPTIC_FAILPOINT("qm_store.load.io_error");
+  return deserialize_salvage(common::read_file(path));
 }
 
 }  // namespace septic::core

@@ -3,9 +3,20 @@
 // across call sites issuing the same command/table/field shape, and a
 // benign query matches if ANY stored model accepts it.
 //
-// Models live in memory and can be persisted to a text file (one
-// "id<TAB>serialized-model" line per model), mirroring the demo's restart
-// sequence: train, persist, restart in prevention mode, reload.
+// Models live in memory and can be persisted, mirroring the demo's restart
+// sequence: train, persist, restart in prevention mode, reload. The
+// persistent store is the crown jewels of a prevention deployment — losing
+// it silently degrades prevention into re-learning attacker-shaped models —
+// so persistence is crash-safe:
+//
+//   - save_to_file writes temp + fsync + atomic rename (common/atomic_file):
+//     a crash at any point leaves the old or the new store, never a torn one.
+//   - The on-disk format is versioned ("SEPTICQM 2" header) with a CRC-32
+//     per record line: "crc<TAB>id<TAB>model".
+//   - load_from_file is a salvage loader: it restores every CRC-valid
+//     record, skips corrupt/truncated ones, and reports exactly what
+//     happened instead of throwing the whole store away. Headerless legacy
+//     v1 files ("id<TAB>model" lines) still load.
 #pragma once
 
 #include <mutex>
@@ -16,6 +27,17 @@
 #include "septic/query_model.h"
 
 namespace septic::core {
+
+/// What a (salvage) load recovered. `clean()` means every record parsed
+/// and passed its integrity check.
+struct QmLoadReport {
+  int version = 0;      // 1 = legacy headerless, 2 = CRC-checked
+  size_t loaded = 0;    // records restored into the store
+  size_t skipped = 0;   // corrupt / CRC-failed / truncated lines skipped
+  std::string detail;   // human-readable summary of the first few skips
+
+  bool clean() const { return skipped == 0; }
+};
 
 class QmStore {
  public:
@@ -36,9 +58,25 @@ class QmStore {
   size_t model_count() const;
   void clear();
 
-  /// Persistence (throws std::runtime_error on I/O or parse failure).
+  /// Crash-safe persistence in the current (v2, CRC-checked) format.
+  /// Throws std::runtime_error on I/O failure; the previous file, if any,
+  /// survives any failure intact.
   void save_to_file(const std::string& path) const;
-  void load_from_file(const std::string& path);
+
+  /// Salvage load: replaces the in-memory store with every record that can
+  /// be recovered from the file (v2 or legacy v1), skipping corrupt lines.
+  /// Throws std::runtime_error only when the file cannot be opened at all
+  /// or carries an unknown format version.
+  QmLoadReport load_from_file(const std::string& path);
+
+  /// Current-format serialization (header + CRC-per-line).
+  std::string serialize_v2() const;
+  /// Salvage deserialize (v2 or legacy v1); replaces current contents.
+  QmLoadReport deserialize_salvage(std::string_view data);
+
+  /// Legacy v1 text form (no header, no CRC) — kept for in-memory
+  /// round-trips and old fixtures. deserialize throws std::runtime_error
+  /// on the first malformed line (strict).
   std::string serialize() const;
   void deserialize(std::string_view data);
 

@@ -1,5 +1,7 @@
 #include "septic/septic.h"
 
+#include "common/failpoint.h"
+
 namespace septic::core {
 
 Septic::Septic() : Septic(Config{}) {}
@@ -48,6 +50,11 @@ void Septic::set_strict_numeric_types(bool on) {
   config_.strict_numeric_types = on;
 }
 
+void Septic::set_fail_policy(FailPolicy policy) {
+  std::lock_guard lock(mu_);
+  config_.fail_policy = policy;
+}
+
 Config Septic::config() const {
   std::lock_guard lock(mu_);
   return config_;
@@ -57,13 +64,18 @@ void Septic::save_models(const std::string& path) const {
   store_.save_to_file(path);
 }
 
-void Septic::load_models(const std::string& path) {
-  store_.load_from_file(path);
+QmLoadReport Septic::load_models(const std::string& path) {
+  QmLoadReport report = store_.load_from_file(path);
   Event e;
   e.kind = EventKind::kModelLoaded;
   e.detail = std::to_string(store_.model_count()) + " models loaded from " +
              path;
+  if (!report.clean()) {
+    e.detail += " (salvage: " + std::to_string(report.skipped) +
+                " corrupt record(s) skipped: " + report.detail + ")";
+  }
   log_.record(std::move(e));
+  return report;
 }
 
 bool Septic::approve_model(uint64_t review_id) {
@@ -90,8 +102,13 @@ bool Septic::reject_model(uint64_t review_id) {
 }
 
 SepticStats Septic::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  SepticStats out;
+  {
+    std::lock_guard lock(mu_);
+    out = stats_;
+  }
+  out.events_dropped = log_.dropped_events();
+  return out;
 }
 
 void Septic::train_on(const engine::QueryEvent& event, const QueryId& id) {
@@ -123,9 +140,40 @@ engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
     ++stats_.queries_seen;
   }
 
-  // ID generation (always runs; part of the NN-config baseline cost).
-  QueryId id = IdGenerator::generate(event.query);
+  // The fail-policy boundary: nothing SEPTIC does internally — detector,
+  // plugins, model store, ID generation — may propagate an exception into
+  // the engine. An in-path defense that can crash the DBMS is worse than
+  // no defense; cfg.fail_policy decides what happens to the query instead.
+  try {
+    SEPTIC_FAILPOINT("septic.dispatch.throw");
+    QueryId id = IdGenerator::generate(event.query);
+    return dispatch(event, cfg, id);
+  } catch (const std::exception& ex) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.septic_internal_errors;
+    }
+    try {
+      Event e;
+      e.kind = EventKind::kInternalError;
+      e.query = event.query.text;
+      e.detail = std::string(ex.what()) +
+                 " (policy: " + fail_policy_name(cfg.fail_policy) + ")";
+      log_.record(std::move(e));
+    } catch (...) {
+      // Even a broken logger must not breach the boundary.
+    }
+    if (cfg.fail_policy == FailPolicy::kFailOpen) {
+      return engine::InterceptDecision::proceed();
+    }
+    return engine::InterceptDecision::reject(
+        "SEPTIC: internal error; query dropped (fail-closed)");
+  }
+}
 
+engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
+                                           const Config& cfg,
+                                           const QueryId& id) {
   if (cfg.mode == Mode::kTraining) {
     train_on(event, id);
     return engine::InterceptDecision::proceed();
@@ -158,6 +206,7 @@ engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
       ++stats_.sqli_detected;
     }
   } else if (cfg.detect_sqli) {
+    SEPTIC_FAILPOINT("septic.detector.throw");
     SqliVerdict verdict =
         detect_sqli(event.stack, models, cfg.strict_numeric_types);
     if (verdict.attack) {
@@ -179,6 +228,7 @@ engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
   }
 
   if (!attack && cfg.detect_stored) {
+    SEPTIC_FAILPOINT("septic.plugin.throw");
     StoredVerdict sv = detect_stored_injection(event.query.statement, plugins_);
     if (sv.attack) {
       attack = true;

@@ -43,6 +43,12 @@ struct SepticStats {
   uint64_t sqli_detected = 0;
   uint64_t stored_detected = 0;
   uint64_t dropped = 0;
+  /// Internal SEPTIC failures absorbed by the fail policy (the query was
+  /// dropped or executed per Config::fail_policy; the engine never saw the
+  /// exception).
+  uint64_t septic_internal_errors = 0;
+  /// Events evicted from the bounded event-log ring (see EventLog).
+  uint64_t events_dropped = 0;
 };
 
 class Septic final : public engine::QueryInterceptor {
@@ -58,6 +64,7 @@ class Septic final : public engine::QueryInterceptor {
   void set_incremental_learning(bool on);
   void set_log_processed_queries(bool on);
   void set_strict_numeric_types(bool on);
+  void set_fail_policy(FailPolicy policy);
   Config config() const;
 
   // --- the hook -------------------------------------------------------
@@ -66,8 +73,11 @@ class Septic final : public engine::QueryInterceptor {
   // --- model store ----------------------------------------------------
   QmStore& store() { return store_; }
   const QmStore& store() const { return store_; }
+  /// Crash-safe persist (temp + fsync + atomic rename; see QmStore).
   void save_models(const std::string& path) const;
-  void load_models(const std::string& path);
+  /// Salvage reload; what was recovered/skipped lands in the event log and
+  /// is returned for callers that want to act on a dirty load.
+  QmLoadReport load_models(const std::string& path);
 
   // --- admin review (Section II-E) -------------------------------------
   /// Models learned incrementally in normal mode await review here.
@@ -86,6 +96,12 @@ class Septic final : public engine::QueryInterceptor {
  private:
   /// Handle a query in training mode: learn, log, allow.
   void train_on(const engine::QueryEvent& event, const QueryId& id);
+
+  /// The real pipeline; on_query wraps it so that an internal exception is
+  /// absorbed by Config::fail_policy instead of propagating into the
+  /// engine.
+  engine::InterceptDecision dispatch(const engine::QueryEvent& event,
+                                     const Config& cfg, const QueryId& id);
 
   mutable std::mutex mu_;  // guards config_ and stats_
   Config config_;

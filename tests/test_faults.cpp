@@ -1,0 +1,565 @@
+// Fault-tolerance suite: failpoint-driven crash/corruption/flaky-network
+// scenarios. The lifecycle the paper's demo depends on — train → persist →
+// restart in prevention mode → reload — must survive torn writes, corrupt
+// stores, throwing detectors, and flapping sockets.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "engine/database.h"
+#include "engine/error.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+#include "sqlcore/parser.h"
+
+namespace septic {
+namespace {
+
+namespace fp = common::failpoints;
+
+core::QueryModel model_of(std::string_view q) {
+  return core::make_query_model(
+      sql::build_item_stack(sql::parse(q).statement));
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/septic_faults_") + name + "." +
+         std::to_string(::getpid());
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+// ------------------------------------------------------------ failpoints
+
+TEST_F(FaultTest, FailpointArmFireDisarm) {
+  ASSERT_TRUE(fp::compiled_in());
+  EXPECT_FALSE(fp::should_fail("ft.basic"));
+  fp::arm("ft.basic");
+  EXPECT_TRUE(fp::should_fail("ft.basic"));
+  EXPECT_TRUE(fp::should_fail("ft.basic"));  // unlimited until disarmed
+  EXPECT_EQ(fp::hit_count("ft.basic"), 2u);
+  fp::disarm("ft.basic");
+  EXPECT_FALSE(fp::should_fail("ft.basic"));
+  EXPECT_EQ(fp::hit_count("ft.basic"), 2u);  // counts survive disarm
+}
+
+TEST_F(FaultTest, FailpointBoundedShots) {
+  fp::arm("ft.twice", 2);
+  EXPECT_TRUE(fp::should_fail("ft.twice"));
+  EXPECT_TRUE(fp::should_fail("ft.twice"));
+  EXPECT_FALSE(fp::should_fail("ft.twice"));  // auto-disarmed
+  EXPECT_EQ(fp::hit_count("ft.twice"), 2u);
+}
+
+TEST_F(FaultTest, FailpointSpecParsing) {
+  fp::arm_from_spec("ft.a,ft.b:1");
+  EXPECT_EQ(fp::armed().size(), 2u);
+  EXPECT_TRUE(fp::should_fail("ft.b"));
+  EXPECT_FALSE(fp::should_fail("ft.b"));
+  EXPECT_TRUE(fp::should_fail("ft.a"));
+  EXPECT_TRUE(fp::should_fail("ft.a"));
+}
+
+TEST_F(FaultTest, FailpointMacroThrows) {
+  fp::arm("ft.macro", 1);
+  auto site = [] { SEPTIC_FAILPOINT("ft.macro"); };
+  EXPECT_THROW(site(), fp::FailpointTriggered);
+  EXPECT_NO_THROW(site());
+}
+
+// ------------------------------------------------------------------ crc32
+
+TEST_F(FaultTest, Crc32KnownVectors) {
+  EXPECT_EQ(common::crc32(""), 0u);
+  EXPECT_EQ(common::crc32("123456789"), 0xcbf43926u);
+  // Streaming matches one-shot.
+  uint32_t partial = common::crc32("12345");
+  EXPECT_EQ(common::crc32("6789", partial), 0xcbf43926u);
+  EXPECT_EQ(common::to_hex32(0xcbf43926u), "cbf43926");
+}
+
+// --------------------------------------------------- crash-safe QM store
+
+TEST_F(FaultTest, SaveIsAtomicUnderPartialWriteCrash) {
+  const std::string path = temp_path("atomic");
+  core::QmStore store;
+  store.add("id1", model_of("SELECT a FROM t WHERE b = 1"));
+  store.save_to_file(path);
+
+  // Grow the store, then crash mid-save: torn bytes land in the temp
+  // file only. The acceptance bar: the store file on disk is the OLD one
+  // or the NEW one — never a torn mixture.
+  store.add("id2", model_of("DELETE FROM t WHERE id = 2"));
+  fp::arm("qm_store.save.partial_write", 1);
+  EXPECT_THROW(store.save_to_file(path), std::runtime_error);
+
+  core::QmStore reloaded;
+  core::QmLoadReport report = reloaded.load_from_file(path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.loaded, 1u);  // the old, complete store
+  EXPECT_EQ(reloaded.model_count(), 1u);
+
+  // The next save heals: temp is rewritten whole and renamed into place.
+  store.save_to_file(path);
+  report = reloaded.load_from_file(path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(FaultTest, SaveIoErrorLeavesOldFileIntact) {
+  const std::string path = temp_path("ioerr");
+  core::QmStore store;
+  store.add("id1", model_of("SELECT a FROM t WHERE b = 1"));
+  store.save_to_file(path);
+  fp::arm("qm_store.save.io_error", 1);
+  EXPECT_THROW(store.save_to_file(path), std::runtime_error);
+  core::QmStore reloaded;
+  EXPECT_EQ(reloaded.load_from_file(path).loaded, 1u);
+}
+
+TEST_F(FaultTest, SalvageLoaderRecoversValidPrefixOfTruncatedStore) {
+  const std::string path = temp_path("torn");
+  core::QmStore store;
+  store.add("a", model_of("SELECT a FROM t WHERE b = 1"));
+  store.add("b", model_of("SELECT a FROM t WHERE b = 'x'"));
+  store.add("c", model_of("DELETE FROM t WHERE id = 1"));
+  store.save_to_file(path);
+
+  // Tear the tail off mid-record, as a crashed non-atomic writer or a bad
+  // sector would.
+  std::string data = common::read_file(path);
+  common::write_file_raw(path, data.substr(0, data.size() - 7));
+
+  core::QmStore salvaged;
+  core::QmLoadReport report = salvaged.load_from_file(path);
+  EXPECT_EQ(report.version, 2);
+  EXPECT_EQ(report.loaded, 2u);   // every CRC-valid record survives
+  EXPECT_EQ(report.skipped, 1u);  // the torn one is counted, not fatal
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.detail.find("CRC"), std::string::npos);
+  EXPECT_EQ(salvaged.model_count(), 2u);
+}
+
+TEST_F(FaultTest, SalvageLoaderSkipsCorruptMiddleRecord) {
+  const std::string path = temp_path("middle");
+  core::QmStore store;
+  store.add("a", model_of("SELECT a FROM t WHERE b = 1"));
+  store.add("b", model_of("SELECT a FROM t WHERE b = 'x'"));
+  store.add("c", model_of("DELETE FROM t WHERE id = 1"));
+  store.save_to_file(path);
+
+  // Flip one byte inside the middle record's model text.
+  std::string data = common::read_file(path);
+  size_t second_line = data.find('\n', data.find('\n') + 1) + 1;
+  size_t mid = data.find('\t', data.find('\t', second_line) + 1) + 2;
+  data[mid] = data[mid] == 'Z' ? 'Y' : 'Z';
+  common::write_file_raw(path, data);
+
+  core::QmStore salvaged;
+  core::QmLoadReport report = salvaged.load_from_file(path);
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST_F(FaultTest, LegacyV1StoreStillLoads) {
+  const std::string path = temp_path("v1");
+  core::QmStore store;
+  store.add("old-id", model_of("SELECT a FROM t WHERE b = 1"));
+  common::write_file_raw(path, store.serialize());  // headerless v1 text
+
+  core::QmStore loaded;
+  core::QmLoadReport report = loaded.load_from_file(path);
+  EXPECT_EQ(report.version, 1);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(loaded.lookup("old-id").size(), 1u);
+}
+
+TEST_F(FaultTest, UnknownFormatVersionRefusedOutright) {
+  const std::string path = temp_path("v99");
+  common::write_file_raw(path, "SEPTICQM 99\nwhatever\n");
+  core::QmStore store;
+  EXPECT_THROW(store.load_from_file(path), std::runtime_error);
+}
+
+TEST_F(FaultTest, SepticLoadModelsReportsSalvage) {
+  const std::string path = temp_path("septic_salvage");
+  auto septic = std::make_shared<core::Septic>();
+  septic->store().add("a", model_of("SELECT a FROM t WHERE b = 1"));
+  septic->store().add("b", model_of("DELETE FROM t WHERE id = 1"));
+  septic->save_models(path);
+
+  std::string data = common::read_file(path);
+  common::write_file_raw(path, data.substr(0, data.size() - 5));
+
+  auto fresh = std::make_shared<core::Septic>();
+  core::QmLoadReport report = fresh->load_models(path);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  auto events = fresh->event_log().events_of(core::EventKind::kModelLoaded);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].detail.find("salvage"), std::string::npos);
+}
+
+// ------------------------------------------------------ event-log bounds
+
+TEST_F(FaultTest, EventLogRingDropsOldestPastCapacity) {
+  core::EventLog log;
+  log.set_capacity(10);
+  for (int i = 0; i < 25; ++i) {
+    core::Event e;
+    e.kind = core::EventKind::kQueryProcessed;
+    e.query_id = "q" + std::to_string(i);
+    log.record(std::move(e));
+  }
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.dropped_events(), 15u);
+  auto events = log.events();
+  EXPECT_EQ(events.front().query_id, "q15");  // oldest survivors
+  EXPECT_EQ(events.back().query_id, "q24");
+  EXPECT_EQ(events.back().seq, 25u);  // seq keeps counting across drops
+}
+
+TEST_F(FaultTest, EventLogTeeFailureDisablesFileNotQueries) {
+  const std::string path = temp_path("tee");
+  core::EventLog log;
+  log.tee_to_file(path);
+  fp::arm("event_log.tee.write_error", 1);
+  core::Event e;
+  e.kind = core::EventKind::kQueryProcessed;
+  EXPECT_NO_THROW(log.record(std::move(e)));  // absorbed, never thrown
+  EXPECT_EQ(log.file_errors(), 1u);
+  core::Event e2;
+  e2.kind = core::EventKind::kQueryProcessed;
+  EXPECT_NO_THROW(log.record(std::move(e2)));  // tee now off, ring still on
+  EXPECT_EQ(log.size(), 2u);
+}
+
+// -------------------------------------------------- fail-policy boundary
+
+class FailPolicyTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    db.execute_admin("CREATE TABLE fp (id INT PRIMARY KEY, v TEXT)");
+    db.execute_admin("INSERT INTO fp VALUES (1, 'one')");
+    septic = std::make_shared<core::Septic>();
+    db.set_interceptor(septic);
+    septic->set_mode(core::Mode::kTraining);
+    db.execute_admin("SELECT v FROM fp WHERE id = 1");  // train the model
+    septic->set_mode(core::Mode::kPrevention);
+  }
+
+  engine::Database db;
+  std::shared_ptr<core::Septic> septic;
+};
+
+TEST_F(FailPolicyTest, DetectorThrowFailClosedDropsQuery) {
+  septic->set_fail_policy(core::FailPolicy::kFailClosed);
+  fp::arm("septic.detector.throw", 1);
+  try {
+    db.execute_admin("SELECT v FROM fp WHERE id = 2");
+    FAIL() << "fail-closed must drop the query";
+  } catch (const engine::DbError& e) {
+    EXPECT_EQ(e.code(), engine::ErrorCode::kBlocked);
+    EXPECT_NE(std::string(e.what()).find("internal error"), std::string::npos);
+  }
+  EXPECT_EQ(septic->stats().septic_internal_errors, 1u);
+  EXPECT_EQ(
+      septic->event_log().count_of(core::EventKind::kInternalError), 1u);
+  // SEPTIC keeps working: the next (benign, trained) query flows through.
+  EXPECT_NO_THROW(db.execute_admin("SELECT v FROM fp WHERE id = 1"));
+}
+
+TEST_F(FailPolicyTest, DetectorThrowFailOpenExecutesQuery) {
+  septic->set_fail_policy(core::FailPolicy::kFailOpen);
+  uint64_t executed_before = db.executed_count();
+  fp::arm("septic.detector.throw", 1);
+  EXPECT_NO_THROW(db.execute_admin("SELECT v FROM fp WHERE id = 2"));
+  EXPECT_EQ(db.executed_count(), executed_before + 1);
+  EXPECT_EQ(septic->stats().septic_internal_errors, 1u);
+  EXPECT_EQ(
+      septic->event_log().count_of(core::EventKind::kInternalError), 1u);
+}
+
+TEST_F(FailPolicyTest, PluginThrowRespectsPolicyToo) {
+  septic->set_fail_policy(core::FailPolicy::kFailClosed);
+  fp::arm("septic.plugin.throw", 1);
+  EXPECT_THROW(db.execute_admin("SELECT v FROM fp WHERE id = 1"),
+               engine::DbError);
+  EXPECT_EQ(septic->stats().septic_internal_errors, 1u);
+}
+
+TEST_F(FailPolicyTest, DispatchThrowCoversWholePipeline) {
+  septic->set_fail_policy(core::FailPolicy::kFailOpen);
+  fp::arm("septic.dispatch.throw", 1);
+  EXPECT_NO_THROW(db.execute_admin("SELECT v FROM fp WHERE id = 1"));
+  EXPECT_EQ(septic->stats().septic_internal_errors, 1u);
+}
+
+TEST_F(FailPolicyTest, ServerSurvivesDetectorThrowAcrossConnections) {
+  net::Server server(db, 0);
+  server.start();
+  septic->set_fail_policy(core::FailPolicy::kFailClosed);
+  fp::arm("septic.detector.throw", 1);
+  {
+    net::Client c(server.port());
+    try {
+      c.query("SELECT v FROM fp WHERE id = 3");
+      FAIL() << "expected BLOCKED";
+    } catch (const net::RemoteError& e) {
+      EXPECT_TRUE(e.blocked());
+    }
+  }
+  EXPECT_EQ(septic->stats().septic_internal_errors, 1u);
+  // A fresh connection is served normally afterwards.
+  net::Client c2(server.port());
+  EXPECT_NO_THROW(c2.query("SELECT v FROM fp WHERE id = 1"));
+  server.stop();
+}
+
+// A third-party interceptor (not SEPTIC) that lets an exception escape
+// on_query. The engine's last-resort boundary must convert it into
+// ErrorCode::kInternal instead of unwinding arbitrary exception types
+// through the connection loop.
+TEST_F(FaultTest, EngineWrapsForeignInterceptorExceptions) {
+  struct ThrowingGuard : engine::QueryInterceptor {
+    engine::InterceptDecision on_query(const engine::QueryEvent&) override {
+      throw std::runtime_error("guard exploded");
+    }
+  };
+  engine::Database db;
+  db.execute_admin("CREATE TABLE g (id INT PRIMARY KEY)");
+  db.set_interceptor(std::make_shared<ThrowingGuard>());
+  try {
+    db.execute_admin("SELECT id FROM g");
+    FAIL() << "expected DbError";
+  } catch (const engine::DbError& e) {
+    EXPECT_EQ(e.code(), engine::ErrorCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("guard exploded"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------ hardened network
+
+class NetFaultTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    db.execute_admin("CREATE TABLE nf (id INT PRIMARY KEY, v TEXT)");
+    db.execute_admin("INSERT INTO nf VALUES (1, 'one')");
+  }
+  engine::Database db;
+};
+
+TEST_F(NetFaultTest, ClientRetriesThroughFlappingServer) {
+  net::Server server(db, 0);
+  server.start();
+  // The server drops the first two exchanges on the floor mid-frame (a
+  // crashing proxy, a flaky NIC); the third lands.
+  fp::arm("net.server.recv.drop", 2);
+  net::Client c(server.port());
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  std::string reply = c.query_with_retry("SELECT v FROM nf WHERE id = 1",
+                                         policy);
+  EXPECT_NE(reply.find("one"), std::string::npos);
+  EXPECT_EQ(c.retries(), 2u);
+  server.stop();
+}
+
+TEST_F(NetFaultTest, RetryGivesUpAfterMaxAttempts) {
+  net::Server server(db, 0);
+  server.start();
+  fp::arm("net.server.recv.drop");  // every exchange dropped
+  net::Client c(server.port());
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  EXPECT_THROW(c.query_with_retry("SELECT v FROM nf WHERE id = 1", policy),
+               std::runtime_error);
+  EXPECT_EQ(c.retries(), 2u);  // attempts - 1
+  server.stop();
+}
+
+TEST_F(NetFaultTest, BlockedVerdictIsNeverRetried) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute_admin("SELECT v FROM nf WHERE id = 1");
+  septic->set_mode(core::Mode::kPrevention);
+  net::Server server(db, 0);
+  server.start();
+  net::Client c(server.port());
+  uint64_t seen_before = septic->stats().queries_seen;
+  try {
+    c.query_with_retry("SELECT v FROM nf WHERE id = 1 OR 1 = 1");
+    FAIL() << "expected BLOCKED";
+  } catch (const net::RemoteError& e) {
+    EXPECT_TRUE(e.blocked());
+  }
+  // Exactly one attempt reached SEPTIC: a drop is a verdict, not a fault.
+  EXPECT_EQ(septic->stats().queries_seen, seen_before + 1);
+  EXPECT_EQ(c.retries(), 0u);
+  server.stop();
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(NetFaultTest, ConnectionCapRejectsGracefullyAndRecovers) {
+  net::ServerOptions opts;
+  opts.max_connections = 2;
+  net::Server server(db, 0, opts);
+  server.start();
+  net::Client a(server.port());
+  net::Client b(server.port());
+  // Nail both connections down with a query each so they are live.
+  a.query("SELECT v FROM nf WHERE id = 1");
+  b.query("SELECT v FROM nf WHERE id = 1");
+  // Third connection: read the BUSY frame on a raw socket (the server
+  // volunteers it before closing — no request needed, so no race with the
+  // RST discarding it).
+  {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    net::FrameDecoder dec;
+    char buf[256];
+    std::optional<net::Frame> reply;
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      dec.feed(std::string_view(buf, static_cast<size_t>(n)));
+      if ((reply = dec.next())) break;
+    }
+    ::close(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->op, net::Opcode::kError);
+    net::RemoteError e(reply->payload);
+    EXPECT_TRUE(e.busy());
+    EXPECT_FALSE(e.blocked());
+  }
+  EXPECT_EQ(server.connections_rejected(), 1u);
+  // Capacity freed -> new clients are welcome again.
+  a.quit();
+  b.quit();
+  for (int i = 0; i < 200 && server.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  net::Client d(server.port());
+  EXPECT_NO_THROW(d.query("SELECT v FROM nf WHERE id = 1"));
+  server.stop();
+}
+
+TEST_F(NetFaultTest, BusyIsRetriedUntilCapacityFrees) {
+  net::ServerOptions opts;
+  opts.max_connections = 1;
+  net::Server server(db, 0, opts);
+  server.start();
+  auto holder = std::make_unique<net::Client>(server.port());
+  holder->query("SELECT v FROM nf WHERE id = 1");
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    holder.reset();  // frees the only slot
+  });
+  net::Client c(server.port());  // accepted socket, but over cap on use
+  net::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base_backoff_ms = 4;
+  policy.max_backoff_ms = 16;
+  std::string reply =
+      c.query_with_retry("SELECT v FROM nf WHERE id = 1", policy);
+  EXPECT_NE(reply.find("one"), std::string::npos);
+  releaser.join();
+  server.stop();
+}
+
+TEST_F(NetFaultTest, OversizedFrameGuardIsPerServerConfigurable) {
+  net::ServerOptions opts;
+  opts.max_frame_size = 64;
+  net::Server server(db, 0, opts);
+  server.start();
+  net::Client c(server.port());
+  std::string big_query = "SELECT v FROM nf WHERE v = '" +
+                          std::string(500, 'x') + "'";
+  try {
+    c.query(big_query);
+    FAIL() << "expected FRAME_TOO_LARGE";
+  } catch (const net::RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("FRAME_TOO_LARGE"),
+              std::string::npos);
+  }
+  // Small frames still work on a fresh connection.
+  net::Client c2(server.port());
+  EXPECT_NO_THROW(c2.query("SELECT v FROM nf WHERE id = 1"));
+  server.stop();
+}
+
+TEST_F(NetFaultTest, IdleTimeoutReapsSilentConnections) {
+  net::ServerOptions opts;
+  opts.idle_timeout_ms = 50;
+  net::Server server(db, 0, opts);
+  server.start();
+  net::Client c(server.port());
+  EXPECT_NO_THROW(c.query("SELECT v FROM nf WHERE id = 1"));
+  // Go silent past the idle deadline; the server closes us.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_THROW(c.query("SELECT v FROM nf WHERE id = 1"), std::runtime_error);
+  // The server itself is fine.
+  net::Client c2(server.port());
+  EXPECT_NO_THROW(c2.query("SELECT v FROM nf WHERE id = 1"));
+  server.stop();
+}
+
+TEST_F(NetFaultTest, ConnectFailureIsPromptAndClean) {
+  // The Client is loopback-only, so a black-hole address (where the
+  // connect_timeout_ms deadline would tick down) is out of reach; a port
+  // nobody listens on at least pins the non-blocking connect path: prompt
+  // refusal surfaced as the usual transport exception.
+  net::ClientOptions copts;
+  copts.connect_timeout_ms = 100;
+  EXPECT_THROW(net::Client(1, copts), std::runtime_error);
+}
+
+TEST_F(NetFaultTest, ServerStopWithLiveConnectionsIsClean) {
+  net::Server server(db, 0);
+  server.start();
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<net::Client>(server.port()));
+    clients.back()->query("SELECT v FROM nf WHERE id = 1");
+  }
+  // Stop with all 8 connections still open: every worker must be joined,
+  // every fd closed exactly once (TSan hunts the old double-owner race).
+  server.stop();
+  for (auto& c : clients) {
+    EXPECT_THROW(c->query("SELECT 1"), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace septic

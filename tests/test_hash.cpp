@@ -21,6 +21,31 @@ TEST(Fnv1a, Chaining) {
   EXPECT_EQ(fnv1a("ab"), fnv1a("b", fnv1a("a")));
 }
 
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  EXPECT_EQ(crc32("6789", crc32("12345")), crc32("123456789"));
+}
+
+TEST(Crc32, SingleBitFlipChangesValue) {
+  std::string a = "id\tmodel-payload";
+  std::string b = a;
+  b[5] ^= 0x01;
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, Hex32RoundTrip) {
+  EXPECT_EQ(to_hex32(0xcbf43926u), "cbf43926");
+  EXPECT_EQ(to_hex32(0u), "00000000");
+  uint64_t v = 0;
+  ASSERT_TRUE(from_hex("cbf43926", v));
+  EXPECT_EQ(v, 0xcbf43926u);
+}
+
 TEST(HashCombine, OrderMatters) {
   uint64_t a = hash_combine(hash_combine(kFnvInit, 1), 2);
   uint64_t b = hash_combine(hash_combine(kFnvInit, 2), 1);

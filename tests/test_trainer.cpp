@@ -165,9 +165,20 @@ TEST(NetRobustness, OversizedFrameRejected) {
   // Length = 0x7fffffff: decoder must reject, server must not allocate it.
   const unsigned char evil[] = {0xff, 0xff, 0xff, 0x7f, 0x01};
   (void)::send(fd, evil, sizeof(evil), MSG_NOSIGNAL);
-  char buf[16];
-  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-  EXPECT_LE(n, 0);  // connection dropped without a reply
+  // The server answers with a graceful ERROR frame, then closes.
+  FrameDecoder dec;
+  char buf[256];
+  std::optional<Frame> reply;
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    dec.feed(std::string_view(buf, static_cast<size_t>(n)));
+    if ((reply = dec.next())) break;
+  }
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->op, Opcode::kError);
+  EXPECT_NE(reply->payload.find("FRAME_TOO_LARGE"), std::string::npos);
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);  // then the close
   ::close(fd);
   server.stop();
 }
