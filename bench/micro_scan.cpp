@@ -1,0 +1,97 @@
+// septic-scan microbenchmarks: the scanner is a lint gate, so its cost per
+// handler file bounds how often it can run (every build? every commit?).
+// Pins the three stages separately — lexing, the path-sensitive dataflow,
+// and full scan including QM synthesis through the real SQL parser — plus
+// JSON rendering, on a synthetic handler that exercises every construct
+// the analyzer models (conditional build, ternary default, prepared binds,
+// second-order read-back).
+#include <benchmark/benchmark.h>
+
+#include "analysis/scanner.h"
+#include "analysis/source_lexer.h"
+
+namespace {
+
+using namespace septic;
+
+constexpr const char* kHandler = R"src(
+Response Bench::handle(const Request& request, AppContext& ctx) {
+  using php::mysql_real_escape_string;
+  using php::intval;
+  if (request.path == "/list") {
+    auto rs = ctx.sql("SELECT id, name FROM items ORDER BY name", "list");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/search") {
+    std::string q = "SELECT id, name FROM items WHERE 1=1";
+    std::string name = mysql_real_escape_string(param(request, "name"));
+    std::string year = mysql_real_escape_string(param(request, "year"));
+    if (!name.empty()) {
+      q += " AND name LIKE '%" + name + "%'";
+    }
+    if (!year.empty()) {
+      q += " AND year = " + year;
+    }
+    auto rs = ctx.sql(std::move(q), year.empty() ? "search" : "search-year");
+    return Response::make_ok(render_rows(rs));
+  }
+  if (request.path == "/add") {
+    ctx.sql_prepared("INSERT INTO items (name, note) VALUES (?, ?)",
+                     {sql::Value(param(request, "name")),
+                      sql::Value(param(request, "note"))},
+                     "add");
+    return Response::make_ok("added\n");
+  }
+  if (request.path == "/hop") {
+    auto rs = ctx.sql("SELECT note FROM items WHERE id = " +
+                          std::to_string(intval(param(request, "id"))),
+                      "hop-read");
+    std::string note = rs.rows[0][0].coerce_string();
+    auto rs2 = ctx.sql("SELECT id FROM items WHERE note = '" + note + "'",
+                       "hop-write");
+    return Response::make_ok(render_rows(rs2));
+  }
+  return Response::make_not_found();
+}
+)src";
+
+void BM_LexHandler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::lex_cpp(kHandler));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(std::string(kHandler).size()));
+}
+BENCHMARK(BM_LexHandler);
+
+void BM_AnalyzeHandler(benchmark::State& state) {
+  analysis::ScanOptions opts;
+  opts.app_name = "bench";
+  opts.file_label = "bench.cpp";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_source(kHandler, opts));
+  }
+}
+BENCHMARK(BM_AnalyzeHandler);
+
+void BM_ScanAndEmitModels(benchmark::State& state) {
+  for (auto _ : state) {
+    core::QmStore store;
+    benchmark::DoNotOptimize(
+        analysis::scan_source(kHandler, "bench", "bench.cpp", store));
+  }
+}
+BENCHMARK(BM_ScanAndEmitModels);
+
+void BM_RenderJsonReport(benchmark::State& state) {
+  core::QmStore store;
+  analysis::ScanReport report;
+  report.apps.push_back(
+      analysis::scan_source(kHandler, "bench", "bench.cpp", store));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::render_json(report));
+  }
+}
+BENCHMARK(BM_RenderJsonReport);
+
+}  // namespace

@@ -1,37 +1,157 @@
 #!/usr/bin/env bash
-# Tier-1 gate under sanitizers: configure + build the ASan/UBSan preset and
-# run the whole ctest suite in it. Pass `tsan` to run the ThreadSanitizer
-# preset instead (the shutdown/fd-ownership tests are the interesting ones
-# there), or `all` for both.
+# The repository gate, in tiers:
 #
-#   scripts/check.sh           # ASan + UBSan (default)
-#   scripts/check.sh tsan
-#   scripts/check.sh all
-set -euo pipefail
+#   build  — configure + compile the default preset with -Werror
+#   test   — full ctest suite (tier-1 gate)
+#   lint   — clang-tidy (.clang-tidy) + cppcheck over src/; each tool
+#            SKIPs with a notice when not installed (the container image
+#            may not carry them) — a skip is not a failure
+#   ubsan  — UBSan-only preset; runs the parser and detector suites, the
+#            two codepaths that chew on attacker-controlled bytes
+#   scan   — septic_scan over the sample apps: emits the JSON report and
+#            the pre-trained QM store; fails on scanner/IO errors (exit 2).
+#            Findings themselves are expected on the stock apps (they carry
+#            the corpus's deliberate weaknesses) and are gated byte-exactly
+#            by the test tier's golden files.
+#
+# Usage:
+#   scripts/check.sh                # build test lint ubsan scan
+#   scripts/check.sh build test     # just those tiers
+#   scripts/check.sh asan|tsan      # full ctest under that sanitizer
+#   scripts/check.sh all            # default tiers + asan + tsan
+#
+# Exit: non-zero iff any executed tier FAILs. A summary table is always
+# printed.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+apps=(src/web/apps/addressbook.cpp src/web/apps/tickets.cpp
+      src/web/apps/waspmon.cpp src/web/apps/refbase.cpp
+      src/web/apps/zerocms.cpp)
 
-run_preset() {
-  local preset=$1
-  echo "== configure (${preset}) =="
-  cmake --preset "${preset}"
-  echo "== build (${preset}) =="
-  cmake --build --preset "${preset}" -j "${jobs}"
-  echo "== ctest (${preset}) =="
-  ctest --preset "${preset}" -j "${jobs}"
+names=()
+results=()
+record() { names+=("$1"); results+=("$2"); }
+
+tier_build() {
+  cmake --preset default -DSEPTIC_WERROR=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON &&
+    cmake --build --preset default -j "${jobs}"
 }
 
-case "${1:-asan}" in
-  asan) run_preset asan ;;
-  tsan) run_preset tsan ;;
-  all)
-    run_preset asan
-    run_preset tsan
-    ;;
-  *)
-    echo "usage: $0 [asan|tsan|all]" >&2
-    exit 2
-    ;;
-esac
+tier_test() {
+  ctest --preset default -j "${jobs}"
+}
+
+tier_lint() {
+  local ran=0 rc=0
+  if command -v clang-tidy >/dev/null 2>&1; then
+    ran=1
+    echo "-- clang-tidy (src/analysis, config .clang-tidy)"
+    # New-subsystem scope keeps the tier fast; widen as directories are
+    # brought up to zero-warning.
+    clang-tidy -p build --quiet src/analysis/*.cpp || rc=1
+  else
+    echo "-- clang-tidy not installed; skipping"
+  fi
+  if command -v cppcheck >/dev/null 2>&1; then
+    ran=1
+    echo "-- cppcheck (src/)"
+    cppcheck --enable=warning,performance --inline-suppr \
+             --error-exitcode=1 --quiet -j "${jobs}" \
+             -I src src/ || rc=1
+  else
+    echo "-- cppcheck not installed; skipping"
+  fi
+  [ "${ran}" -eq 0 ] && return 77
+  return "${rc}"
+}
+
+tier_ubsan() {
+  cmake --preset ubsan &&
+    cmake --build --preset ubsan -j "${jobs}" \
+          --target test_parser test_detector &&
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ./build-ubsan/tests/test_parser &&
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ./build-ubsan/tests/test_detector
+}
+
+tier_scan() {
+  local bin=build/src/analysis/septic_scan
+  [ -x "${bin}" ] || { echo "septic_scan not built (run the build tier first)"; return 1; }
+  "${bin}" "${apps[@]}" \
+           --json --out build/septic-scan-report.json \
+           --qm-out build/static-models.qm
+  local rc=$?
+  # 0 = clean, 1 = findings (expected: the stock apps deliberately carry
+  # the corpus weaknesses; exact findings are golden-tested). 2 = broken.
+  if [ "${rc}" -le 1 ]; then
+    echo "-- report: build/septic-scan-report.json"
+    echo "-- pre-trained QM store: build/static-models.qm"
+    return 0
+  fi
+  return 1
+}
+
+run_tier() {
+  local name=$1
+  echo
+  echo "==== tier: ${name} ===="
+  "tier_${name}"
+  local rc=$?
+  if [ "${rc}" -eq 0 ]; then
+    record "${name}" PASS
+  elif [ "${rc}" -eq 77 ]; then
+    record "${name}" SKIP
+  else
+    record "${name}" FAIL
+  fi
+}
+
+run_preset_full() {
+  local preset=$1
+  echo
+  echo "==== tier: ${preset} (full suite) ===="
+  if cmake --preset "${preset}" &&
+     cmake --build --preset "${preset}" -j "${jobs}" &&
+     ctest --preset "${preset}" -j "${jobs}"; then
+    record "${preset}" PASS
+  else
+    record "${preset}" FAIL
+  fi
+}
+
+default_tiers=(build test lint ubsan scan)
+if [ "$#" -eq 0 ]; then
+  tiers=("${default_tiers[@]}")
+elif [ "$1" = "all" ]; then
+  tiers=("${default_tiers[@]}" asan tsan)
+else
+  tiers=("$@")
+fi
+
+for t in "${tiers[@]}"; do
+  case "${t}" in
+    build|test|lint|ubsan|scan) run_tier "${t}" ;;
+    asan|tsan) run_preset_full "${t}" ;;
+    *)
+      echo "usage: $0 [build|test|lint|ubsan|scan|asan|tsan|all ...]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "==== summary ===="
+bad=0
+for i in "${!names[@]}"; do
+  printf '  %-8s %s\n' "${names[$i]}" "${results[$i]}"
+  [ "${results[$i]}" = FAIL ] && bad=1
+done
+if [ "${bad}" -ne 0 ]; then
+  echo "FAILED"
+  exit 1
+fi
 echo "OK"

@@ -1,0 +1,846 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/source_lexer.h"
+
+namespace septic::analysis {
+
+namespace {
+
+enum class TriBool { kFalse, kTrue, kUnknown };
+
+/// Abstract value: a fragment sequence, or the opaque result set of an
+/// earlier sink (tracked so `.rows[...][...].coerce_*()` reads become
+/// stored-origin fragments of that site).
+struct AbsVal {
+  std::vector<Fragment> frags;
+  bool is_result = false;
+  std::string result_site;
+};
+
+/// One explored execution path.
+struct World {
+  std::map<std::string, AbsVal> env;
+  std::map<std::string, bool> known_empty;  // `.empty()` outcomes fixed here
+};
+
+class Analyzer {
+ public:
+  Analyzer(std::string_view source, const ScanOptions& opts, AppScan& out)
+      : toks_(lex_cpp(source)), opts_(opts), out_(out) {}
+
+  void run() {
+    bool found = false;
+    for (size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].is_ident("handle") && toks_[i + 1].is_punct("(") &&
+          i > 0 && toks_[i - 1].is_punct("::")) {
+        size_t close = match_paren(i + 1);
+        if (close == kNpos) continue;
+        if (!bind_handler_params(i + 1, close)) continue;
+        size_t body_open = close + 1;
+        if (body_open >= toks_.size() || !toks_[body_open].is_punct("{")) {
+          continue;  // declaration, not a definition
+        }
+        size_t body_close = match_brace(body_open);
+        if (body_close == kNpos) continue;
+        found = true;
+        analyze_handler(body_open + 1, body_close);
+        i = body_close;
+      }
+    }
+    if (!found) {
+      note(0, "no `::handle(const Request&, AppContext&)` definition found");
+    }
+    finish();
+  }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  // ---------------------------------------------------------- token utils
+
+  size_t match_open(size_t p, const char* open, const char* close) const {
+    if (!toks_[p].is_punct(open)) return kNpos;
+    int depth = 0;
+    for (size_t i = p; i < toks_.size(); ++i) {
+      if (toks_[i].kind != TokKind::kPunct) continue;
+      if (toks_[i].text == open) ++depth;
+      else if (toks_[i].text == close && --depth == 0) return i;
+    }
+    return kNpos;
+  }
+  size_t match_paren(size_t p) const { return match_open(p, "(", ")"); }
+  size_t match_brace(size_t p) const { return match_open(p, "{", "}"); }
+
+  /// Index just past the `;` terminating the statement starting at p.
+  size_t stmt_end(size_t p, size_t limit) const {
+    int depth = 0;
+    for (size_t i = p; i < limit; ++i) {
+      if (toks_[i].kind != TokKind::kPunct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "(" || t == "{" || t == "[") ++depth;
+      else if (t == ")" || t == "}" || t == "]") --depth;
+      else if (t == ";" && depth == 0) return i + 1;
+    }
+    return limit;
+  }
+
+  /// Split [b,e) at depth-0 occurrences of a single-char punct.
+  std::vector<std::pair<size_t, size_t>> split_depth0(size_t b, size_t e,
+                                                      const char* sep) const {
+    std::vector<std::pair<size_t, size_t>> out;
+    int depth = 0;
+    size_t start = b;
+    for (size_t i = b; i < e; ++i) {
+      if (toks_[i].kind != TokKind::kPunct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "(" || t == "{" || t == "[") ++depth;
+      else if (t == ")" || t == "}" || t == "]") --depth;
+      else if (depth == 0 && t == sep) {
+        out.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    out.emplace_back(start, e);
+    return out;
+  }
+
+  /// Depth-0 index of punct `sep` in [b,e), or kNpos.
+  size_t find_depth0(size_t b, size_t e, const char* sep) const {
+    int depth = 0;
+    for (size_t i = b; i < e; ++i) {
+      if (toks_[i].kind != TokKind::kPunct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "(" || t == "{" || t == "[") ++depth;
+      else if (t == ")" || t == "}" || t == "]") --depth;
+      else if (depth == 0 && t == sep) return i;
+    }
+    return kNpos;
+  }
+
+  // ------------------------------------------------------ handler binding
+
+  bool bind_handler_params(size_t lparen, size_t rparen) {
+    request_var_.clear();
+    ctx_var_.clear();
+    for (auto [b, e] : split_depth0(lparen + 1, rparen, ",")) {
+      bool is_request = false, is_ctx = false;
+      std::string last_ident;
+      for (size_t i = b; i < e; ++i) {
+        if (toks_[i].kind != TokKind::kIdent) continue;
+        if (toks_[i].text == "Request") is_request = true;
+        if (toks_[i].text == "AppContext") is_ctx = true;
+        last_ident = toks_[i].text;
+      }
+      if (is_request) request_var_ = last_ident;
+      if (is_ctx) ctx_var_ = last_ident;
+    }
+    return !request_var_.empty() && !ctx_var_.empty();
+  }
+
+  // ----------------------------------------------------------- execution
+
+  void analyze_handler(size_t begin, size_t end) {
+    std::vector<World> worlds(1);
+    exec_block(begin, end, worlds);
+  }
+
+  void exec_block(size_t begin, size_t end, std::vector<World>& worlds) {
+    size_t p = begin;
+    while (p < end) p = exec_statement(p, end, worlds);
+  }
+
+  size_t exec_statement(size_t p, size_t end, std::vector<World>& worlds) {
+    const Tok& t = toks_[p];
+    if (t.is_punct(";")) return p + 1;
+    if (t.is_punct("{")) {  // nested bare block
+      size_t close = match_brace(p);
+      if (close == kNpos || close > end) return end;
+      exec_block(p + 1, close, worlds);
+      return close + 1;
+    }
+    if (t.is_ident("using")) return stmt_end(p, end);
+    if (t.is_ident("return")) {
+      // A return may still issue queries in its expression (not in the
+      // stock apps, but cheap to cover): evaluate, then the path dies.
+      size_t se = stmt_end(p, end);
+      prefork(p + 1, se - 1, worlds);
+      for (World& w : worlds) eval_expr(p + 1, se - 1, w);
+      worlds.clear();
+      return se;
+    }
+    if (t.is_ident("if")) return exec_if(p, end, worlds);
+
+    // Declaration?
+    size_t name_pos = kNpos, init_pos = kNpos;
+    if (parse_decl_head(p, end, name_pos, init_pos)) {
+      size_t se = stmt_end(p, end);
+      prefork(init_pos, se - 1, worlds);
+      for (World& w : worlds) {
+        w.env[toks_[name_pos].text] = eval_expr(init_pos, se - 1, w);
+      }
+      return se;
+    }
+    // Assignment / append?
+    if (t.kind == TokKind::kIdent && p + 1 < end &&
+        (toks_[p + 1].is_punct("=") || toks_[p + 1].is_punct("+="))) {
+      bool append = toks_[p + 1].text == "+=";
+      size_t se = stmt_end(p, end);
+      prefork(p + 2, se - 1, worlds);
+      for (World& w : worlds) {
+        AbsVal v = eval_expr(p + 2, se - 1, w);
+        if (append) {
+          AbsVal& cur = w.env[t.text];
+          cur.frags.insert(cur.frags.end(), v.frags.begin(), v.frags.end());
+        } else {
+          w.env[t.text] = std::move(v);
+        }
+      }
+      return se;
+    }
+    // Plain expression statement (typically a ctx.sql call).
+    size_t se = stmt_end(p, end);
+    prefork(p, se - 1, worlds);
+    for (World& w : worlds) eval_expr(p, se - 1, w);
+    return se;
+  }
+
+  /// Recognize the declaration shapes the apps use:
+  ///   std::string x = ...;   auto x = ...;   int64_t x = ...;  etc.
+  bool parse_decl_head(size_t p, size_t end, size_t& name_pos,
+                       size_t& init_pos) const {
+    static const std::set<std::string> kScalarTypes = {
+        "auto", "int", "int64_t", "int32_t", "uint64_t",
+        "size_t", "double", "float", "bool"};
+    size_t i = p;
+    if (toks_[i].is_ident("const")) ++i;
+    if (toks_[i].is_ident("std") && i + 2 < end &&
+        toks_[i + 1].is_punct("::") && toks_[i + 2].is_ident("string")) {
+      i += 3;
+    } else if (toks_[i].kind == TokKind::kIdent &&
+               kScalarTypes.count(toks_[i].text)) {
+      i += 1;
+    } else {
+      return false;
+    }
+    while (i < end && (toks_[i].is_punct("&") || toks_[i].is_punct("*"))) ++i;
+    if (i >= end || toks_[i].kind != TokKind::kIdent) return false;
+    if (i + 1 >= end || !toks_[i + 1].is_punct("=")) return false;
+    name_pos = i;
+    init_pos = i + 2;
+    return true;
+  }
+
+  size_t exec_if(size_t p, size_t end, std::vector<World>& worlds) {
+    size_t lp = p + 1;
+    size_t rp = (lp < end) ? match_paren(lp) : kNpos;
+    if (rp == kNpos || rp > end) return end;
+    prefork(lp + 1, rp, worlds);
+
+    std::vector<World> enter, skip;
+    std::string route;
+    for (World& w : worlds) {
+      std::string r;
+      TriBool c = eval_cond(lp + 1, rp, w, &r);
+      if (!r.empty()) route = r;
+      switch (c) {
+        case TriBool::kTrue: enter.push_back(std::move(w)); break;
+        case TriBool::kFalse: skip.push_back(std::move(w)); break;
+        case TriBool::kUnknown:
+          if (enter.size() + skip.size() + 2 <= opts_.max_worlds) {
+            enter.push_back(w);
+            skip.push_back(std::move(w));
+          } else {
+            note(toks_[p].line, "path-fork cap reached; exploring the "
+                                "taken branch only");
+            enter.push_back(std::move(w));
+          }
+          break;
+      }
+    }
+
+    // Body of the taken branch.
+    size_t after = body_range_exec(rp + 1, end, enter, route);
+    // Optional else (else-if chains recurse through exec_statement).
+    if (after < end && toks_[after].is_ident("else")) {
+      after = body_range_exec(after + 1, end, skip, "");
+    }
+    worlds.clear();
+    worlds.reserve(enter.size() + skip.size());
+    for (World& w : enter) worlds.push_back(std::move(w));
+    for (World& w : skip) worlds.push_back(std::move(w));
+    if (worlds.size() > opts_.max_worlds) worlds.resize(opts_.max_worlds);
+    return after;
+  }
+
+  /// Execute a brace block or single statement starting at p with the
+  /// given world set; returns the index just past it.
+  size_t body_range_exec(size_t p, size_t end, std::vector<World>& worlds,
+                         const std::string& route) {
+    if (!route.empty()) route_stack_.push_back(route);
+    size_t after;
+    if (p < end && toks_[p].is_punct("{")) {
+      size_t close = match_brace(p);
+      if (close == kNpos || close > end) close = end;
+      exec_block(p + 1, close, worlds);
+      after = close + 1;
+    } else {
+      after = exec_statement(p, end, worlds);
+    }
+    if (!route.empty()) route_stack_.pop_back();
+    return after;
+  }
+
+  // ------------------------------------------------------- path splitting
+
+  /// Fork worlds so every `var.empty()` inside [b,e) over a tainted
+  /// tracked string variable has a determined outcome.
+  void prefork(size_t b, size_t e, std::vector<World>& worlds) {
+    std::vector<std::string> vars;
+    for (size_t i = b; i + 4 < e; ++i) {
+      if (toks_[i].kind == TokKind::kIdent && toks_[i + 1].is_punct(".") &&
+          toks_[i + 2].is_ident("empty") && toks_[i + 3].is_punct("(") &&
+          toks_[i + 4].is_punct(")") &&
+          (i == b || !toks_[i - 1].is_punct("."))) {
+        vars.push_back(toks_[i].text);
+      }
+    }
+    for (const std::string& var : vars) {
+      std::vector<World> next;
+      for (World& w : worlds) {
+        if (value_emptiness(w, var) != TriBool::kUnknown) {
+          next.push_back(std::move(w));
+          continue;
+        }
+        if (next.size() + 2 > opts_.max_worlds) {
+          w.known_empty[var] = false;  // explore the interesting arm only
+          note(toks_[b].line, "path-fork cap reached on `" + var +
+                                  ".empty()`; assuming non-empty");
+          next.push_back(std::move(w));
+          continue;
+        }
+        World empty = w;
+        empty.known_empty[var] = true;
+        empty.env[var] = AbsVal{{Fragment::literal("")}, false, ""};
+        w.known_empty[var] = false;
+        next.push_back(std::move(w));
+        next.push_back(std::move(empty));
+      }
+      worlds = std::move(next);
+    }
+  }
+
+  TriBool value_emptiness(const World& w, const std::string& var) const {
+    auto ke = w.known_empty.find(var);
+    if (ke != w.known_empty.end()) return ke->second ? TriBool::kTrue
+                                                     : TriBool::kFalse;
+    auto it = w.env.find(var);
+    if (it == w.env.end()) return TriBool::kUnknown;
+    const AbsVal& v = it->second;
+    if (v.is_result) return TriBool::kUnknown;
+    bool any_tainted = false;
+    for (const Fragment& f : v.frags) {
+      if (f.origin == Origin::kLiteral && !f.text.empty()) {
+        return TriBool::kFalse;
+      }
+      if (f.origin != Origin::kLiteral) any_tainted = true;
+    }
+    return any_tainted ? TriBool::kUnknown : TriBool::kTrue;
+  }
+
+  // ---------------------------------------------------------- conditions
+
+  TriBool eval_cond(size_t b, size_t e, World& w, std::string* route) {
+    // OR of ANDs, C++ short-circuit semantics over three-valued logic.
+    auto ors = split_depth0(b, e, "||");
+    bool any_unknown = false;
+    for (auto [ob, oe] : ors) {
+      TriBool v = eval_cond_and(ob, oe, w, route);
+      if (v == TriBool::kTrue) return TriBool::kTrue;
+      if (v == TriBool::kUnknown) any_unknown = true;
+    }
+    return any_unknown ? TriBool::kUnknown : TriBool::kFalse;
+  }
+
+  TriBool eval_cond_and(size_t b, size_t e, World& w, std::string* route) {
+    auto ands = split_depth0(b, e, "&&");
+    bool any_unknown = false;
+    for (auto [ab, ae] : ands) {
+      TriBool v = eval_cond_unit(ab, ae, w, route);
+      if (v == TriBool::kFalse) return TriBool::kFalse;
+      if (v == TriBool::kUnknown) any_unknown = true;
+    }
+    return any_unknown ? TriBool::kUnknown : TriBool::kTrue;
+  }
+
+  TriBool eval_cond_unit(size_t b, size_t e, World& w, std::string* route) {
+    while (b < e && toks_[e - 1].is_punct(";")) --e;
+    if (b >= e) return TriBool::kUnknown;
+    if (toks_[b].is_punct("!")) {
+      TriBool v = eval_cond_unit(b + 1, e, w, route);
+      if (v == TriBool::kTrue) return TriBool::kFalse;
+      if (v == TriBool::kFalse) return TriBool::kTrue;
+      return TriBool::kUnknown;
+    }
+    if (toks_[b].is_punct("(") && match_paren(b) == e - 1) {
+      return eval_cond(b + 1, e - 1, w, route);
+    }
+    size_t eq = find_depth0(b, e, "==");
+    if (eq == kNpos) eq = find_depth0(b, e, "!=");
+    if (eq != kNpos) {
+      // `request.path == "/x"` labels the route; every comparison against
+      // request state is route dispatch and stays unresolved.
+      if (route && eq + 1 < e && toks_[eq].text == "==" &&
+          toks_[eq + 1].kind == TokKind::kString && eq >= b + 3 &&
+          toks_[b].is_ident(request_var_) && toks_[b + 1].is_punct(".") &&
+          toks_[b + 2].is_ident("path")) {
+        *route = toks_[eq + 1].text;
+      }
+      return TriBool::kUnknown;
+    }
+    // `x.empty()`
+    if (e - b >= 5 && toks_[b].kind == TokKind::kIdent &&
+        toks_[b + 1].is_punct(".") && toks_[b + 2].is_ident("empty")) {
+      return value_emptiness(w, toks_[b].text);
+    }
+    return TriBool::kUnknown;
+  }
+
+  // --------------------------------------------------------- expressions
+
+  AbsVal eval_expr(size_t b, size_t e, World& w) {
+    while (b < e && toks_[b].is_punct(";")) ++b;
+    while (b < e && toks_[e - 1].is_punct(";")) --e;
+    if (b >= e) return {};
+    // Ternary at depth 0?
+    size_t q = find_depth0(b, e, "?");
+    if (q != kNpos) {
+      size_t colon = find_depth0(q + 1, e, ":");
+      if (colon != kNpos) {
+        TriBool c = eval_cond(b, q, w, nullptr);
+        if (c == TriBool::kTrue) return eval_expr(q + 1, colon, w);
+        if (c == TriBool::kFalse) return eval_expr(colon + 1, e, w);
+        // Unresolvable condition: explore the arm carrying taint (the
+        // other arm is a constant default) and note the approximation.
+        AbsVal a = eval_expr(q + 1, colon, w);
+        AbsVal bv = eval_expr(colon + 1, e, w);
+        note(toks_[b].line, "unresolved ternary condition; taking the "
+                            "tainted arm");
+        for (const Fragment& f : bv.frags) {
+          if (f.tainted()) return bv;
+        }
+        return a;
+      }
+    }
+    // Concatenation chain.
+    AbsVal out;
+    for (auto [pb, pe] : split_depth0(b, e, "+")) {
+      AbsVal part = eval_primary(pb, pe, w);
+      out.frags.insert(out.frags.end(), part.frags.begin(), part.frags.end());
+      if (part.is_result) {
+        out.is_result = true;
+        out.result_site = part.result_site;
+      }
+    }
+    return out;
+  }
+
+  AbsVal eval_primary(size_t b, size_t e, World& w) {
+    while (b < e && toks_[e - 1].is_punct(";")) --e;
+    if (b >= e) return {};
+    if (toks_[b].is_punct("(") && match_paren(b) == e - 1) {
+      return eval_expr(b + 1, e - 1, w);
+    }
+    if (toks_[b].kind == TokKind::kString) {
+      std::string text;
+      size_t i = b;
+      while (i < e && toks_[i].kind == TokKind::kString) {
+        text += toks_[i].text;
+        ++i;
+      }
+      return {{Fragment::literal(std::move(text))}, false, ""};
+    }
+    if (toks_[b].kind == TokKind::kNumber) {
+      return {{Fragment::literal(toks_[b].text)}, false, ""};
+    }
+    if (toks_[b].kind != TokKind::kIdent) {
+      note(toks_[b].line, "unparsed expression near `" + toks_[b].text + "`");
+      return {};
+    }
+    // Qualified name: a::b::c — dispatch on the last component.
+    size_t i = b;
+    std::string name = toks_[i].text;
+    while (i + 2 < e && toks_[i + 1].is_punct("::") &&
+           toks_[i + 2].kind == TokKind::kIdent) {
+      i += 2;
+      name = toks_[i].text;
+    }
+    ++i;
+    // Call?
+    if (i < e && toks_[i].is_punct("(")) {
+      size_t close = match_paren(i);
+      if (close == kNpos || close >= e) close = e - 1;
+      return eval_call(name, toks_[b].line, i + 1, close, w);
+    }
+    // Plain variable, possibly with postfix (member access / indexing).
+    if (i >= e) {
+      auto it = w.env.find(name);
+      if (it != w.env.end()) return it->second;
+      note(toks_[b].line, "unknown identifier `" + name + "` treated as "
+                          "tainted");
+      Fragment f;
+      f.origin = Origin::kParam;
+      f.source = "opaque:" + name;
+      f.line = toks_[b].line;
+      return {{std::move(f)}, false, ""};
+    }
+    return eval_postfix(name, b, i, e, w);
+  }
+
+  /// Postfix chains rooted at a variable: `rs.rows[0][0].coerce_string()`,
+  /// `rs.affected_rows`, `ctx.sql(...)`.
+  AbsVal eval_postfix(const std::string& base, size_t base_pos, size_t i,
+                      size_t e, World& w) {
+    int line = toks_[base_pos].line;
+    if (base == ctx_var_) return eval_ctx_call(i, e, w, line);
+
+    auto it = w.env.find(base);
+    if (it != w.env.end() && it->second.is_result) {
+      const std::string site = it->second.result_site;
+      // Anything read out of a result set is stored-origin data; the
+      // coercion decides whether it can still carry SQL structure.
+      bool numeric = false;
+      for (size_t j = i; j < e; ++j) {
+        if (toks_[j].kind == TokKind::kIdent &&
+            (toks_[j].text == "coerce_int" || toks_[j].text == "as_int" ||
+             toks_[j].text == "coerce_double" ||
+             toks_[j].text == "as_double" ||
+             toks_[j].text == "affected_rows")) {
+          numeric = true;
+        }
+      }
+      Fragment f;
+      f.origin = Origin::kStored;
+      f.source = "stored:" + site;
+      f.numeric = numeric;
+      f.line = line;
+      return {{std::move(f)}, false, ""};
+    }
+    // Unknown postfix over a tracked or unknown base: propagate the base
+    // value (e.g. `x.c_str()`); otherwise opaque.
+    if (it != w.env.end()) return it->second;
+    note(line, "unresolved member access on `" + base + "`");
+    return {};
+  }
+
+  AbsVal eval_ctx_call(size_t i, size_t e, World& w, int line) {
+    // i points at `.`; expect `.method(args)`.
+    if (i + 1 >= e || !toks_[i].is_punct(".")) return {};
+    const std::string method = toks_[i + 1].text;
+    size_t lp = i + 2;
+    if (lp >= e || !toks_[lp].is_punct("(")) return {};
+    size_t rp = match_paren(lp);
+    if (rp == kNpos || rp >= e + 1) rp = e - 1;
+    auto args = split_depth0(lp + 1, rp, ",");
+
+    if (method == opts_.rules.sink_method && args.size() >= 2) {
+      AbsVal query = eval_expr(args[0].first, args[0].second, w);
+      std::string site = resolve_site(args[1].first, args[1].second, w);
+      record_sink(site, line, /*prepared=*/false, query.frags);
+      return {{}, true, site};
+    }
+    if (method == opts_.rules.sink_prepared_method && args.size() >= 3) {
+      return eval_prepared_sink(args, w, line);
+    }
+    if (method == "last_insert_id") {
+      Fragment f;
+      f.origin = Origin::kTrusted;
+      f.numeric = true;
+      f.line = line;
+      return {{std::move(f)}, false, ""};
+    }
+    return {};  // session() etc.: no data flow we track
+  }
+
+  AbsVal eval_prepared_sink(
+      const std::vector<std::pair<size_t, size_t>>& args, World& w,
+      int line) {
+    AbsVal tpl = eval_expr(args[0].first, args[0].second, w);
+    std::string site =
+        resolve_site(args.back().first, args.back().second, w);
+
+    // Bound parameters: `{sql::Value(expr), ...}`.
+    std::vector<Fragment> params;
+    auto [pb, pe] = args[1];
+    if (pb < pe && toks_[pb].is_punct("{")) {
+      size_t close = match_open(pb, "{", "}");
+      if (close == kNpos || close > pe) close = pe;
+      for (auto [ib, ie] : split_depth0(pb + 1, close, ",")) {
+        // Unwrap `sql::Value( ... )`.
+        size_t vb = ib, ve = ie;
+        size_t j = vb;
+        std::string nm;
+        while (j < ve && (toks_[j].kind == TokKind::kIdent ||
+                          toks_[j].is_punct("::"))) {
+          if (toks_[j].kind == TokKind::kIdent) nm = toks_[j].text;
+          ++j;
+        }
+        if (nm == "Value" && j < ve && toks_[j].is_punct("(")) {
+          size_t c = match_paren(j);
+          if (c != kNpos && c < ve + 1) {
+            vb = j + 1;
+            ve = c;
+          }
+        }
+        AbsVal v = eval_expr(vb, ve, w);
+        Fragment f;
+        if (!v.frags.empty()) f = v.frags.front();
+        f.sanitizers.push_back(Sanitizer::kPreparedBind);
+        if (f.origin == Origin::kLiteral) {
+          // A constant bound value still occupies a placeholder slot; its
+          // runtime item type follows the Value's type.
+          f.origin = Origin::kTrusted;
+          f.numeric = !f.text.empty() &&
+                      f.text.find_first_not_of("0123456789.-") ==
+                          std::string::npos;
+        }
+        f.line = toks_[ib].line;
+        params.push_back(std::move(f));
+      }
+    }
+
+    // Interleave template text with the bound parameters at each `?`
+    // placeholder outside quoted runs.
+    std::vector<Fragment> frags;
+    std::string text;
+    for (const Fragment& t : tpl.frags) text += t.text;
+    std::string cur;
+    bool in_quote = false;
+    size_t next_param = 0;
+    for (char c : text) {
+      if (c == '\'') in_quote = !in_quote;
+      if (c == '?' && !in_quote && next_param < params.size()) {
+        frags.push_back(Fragment::literal(cur));
+        cur.clear();
+        frags.push_back(params[next_param++]);
+        continue;
+      }
+      cur += c;
+    }
+    frags.push_back(Fragment::literal(cur));
+    record_sink(site, line, /*prepared=*/true, frags);
+    return {{}, true, site};
+  }
+
+  std::string resolve_site(size_t b, size_t e, World& w) {
+    AbsVal v = eval_expr(b, e, w);
+    std::string site;
+    for (const Fragment& f : v.frags) {
+      if (f.origin != Origin::kLiteral) {
+        note(toks_[b].line, "non-literal site label; reported as <dynamic>");
+        return "<dynamic>";
+      }
+      site += f.text;
+    }
+    return site;
+  }
+
+  AbsVal eval_call(const std::string& name, int line, size_t args_b,
+                   size_t args_e, World& w) {
+    auto args = split_depth0(args_b, args_e, ",");
+
+    if (name == "move" || name == "to_string") {
+      return args.empty() ? AbsVal{}
+                          : eval_expr(args[0].first, args[0].second, w);
+    }
+    for (const std::string& src : opts_.rules.source_fns) {
+      if (name != src) continue;
+      // Shape: param(<request>, "key").
+      if (args.size() == 2 &&
+          toks_[args[1].first].kind == TokKind::kString) {
+        Fragment f;
+        f.origin = Origin::kParam;
+        f.source = toks_[args[1].first].text;
+        f.line = line;
+        return {{std::move(f)}, false, ""};
+      }
+      note(line, "source call `" + name + "` with non-literal key");
+      Fragment f;
+      f.origin = Origin::kParam;
+      f.source = "opaque:" + name;
+      f.line = line;
+      return {{std::move(f)}, false, ""};
+    }
+    for (const auto& san : opts_.rules.sanitizer_fns) {
+      if (name != san.name) continue;
+      AbsVal v = args.empty()
+                     ? AbsVal{}
+                     : eval_expr(args[0].first, args[0].second, w);
+      for (Fragment& f : v.frags) {
+        if (!f.tainted()) continue;
+        f.sanitizers.push_back(san.kind);
+        if (san.numeric_result) f.numeric = true;
+      }
+      if (san.numeric_result && v.frags.empty()) {
+        // intval() of something we lost track of: a safe number.
+        Fragment f;
+        f.origin = Origin::kTrusted;
+        f.numeric = true;
+        f.line = line;
+        v.frags.push_back(std::move(f));
+      }
+      return v;
+    }
+    // Unknown callee: evaluate arguments (they may contain sinks) and
+    // propagate their taint — assuming an unknown function neutralizes
+    // nothing is the conservative reading for a security linter.
+    AbsVal out;
+    bool any = false;
+    for (auto [ab, ae] : args) {
+      if (ab >= ae) continue;
+      AbsVal v = eval_expr(ab, ae, w);
+      out.frags.insert(out.frags.end(), v.frags.begin(), v.frags.end());
+      any = any || !v.frags.empty();
+    }
+    if (any) {
+      note(line, "unknown call `" + name + "` treated as taint-preserving");
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------- output
+
+  std::string current_route() const {
+    for (auto it = route_stack_.rbegin(); it != route_stack_.rend(); ++it) {
+      if (!it->empty()) return *it;
+    }
+    return "";
+  }
+
+  void record_sink(const std::string& site, int line, bool prepared,
+                   std::vector<Fragment> frags) {
+    SinkVariant v;
+    v.site = site;
+    v.route = current_route();
+    v.line = line;
+    v.prepared = prepared;
+    v.fragments = std::move(frags);
+
+    const std::string key = site + "\x1f" + v.template_text();
+    if (!seen_sinks_.insert(key).second) return;
+    classify(v);
+    out_.sinks.push_back(std::move(v));
+  }
+
+  /// The semantic-mismatch taxonomy, statically: each tainted fragment is
+  /// judged against the SQL context it lands in.
+  void classify(const SinkVariant& v) {
+    bool in_quote = false;
+    for (const Fragment& f : v.fragments) {
+      if (f.origin == Origin::kLiteral) {
+        for (char c : f.text) {
+          if (c == '\'') in_quote = !in_quote;
+        }
+        continue;
+      }
+      if (!f.tainted()) continue;
+      bool bound = false, escaped = false, html = false;
+      for (Sanitizer s : f.sanitizers) {
+        switch (s) {
+          case Sanitizer::kPreparedBind: bound = true; break;
+          case Sanitizer::kMysqlRealEscapeString:
+          case Sanitizer::kAddslashes: escaped = true; break;
+          case Sanitizer::kHtmlSpecialChars:
+          case Sanitizer::kHtmlEntities:
+          case Sanitizer::kStripTags: html = true; break;
+          case Sanitizer::kIntval:
+          case Sanitizer::kFloatval: break;  // tracked via f.numeric
+        }
+      }
+      if (bound || f.numeric) continue;  // cannot alter statement structure
+
+      SinkContext ctx = in_quote ? SinkContext::kQuoted : SinkContext::kRaw;
+      Finding fd;
+      fd.route = v.route;
+      fd.site = v.site;
+      fd.source = f.source;
+      fd.context = ctx;
+      fd.sanitizers = f.sanitizers;
+      fd.line = f.line ? f.line : v.line;
+
+      if (ctx == SinkContext::kRaw && escaped) {
+        fd.klass = FindingClass::kEscapeNumericMismatch;
+        fd.severity = Severity::kError;
+        fd.message = "'" + f.source + "' is string-escaped but lands in an "
+                     "unquoted numeric context; escaping cannot stop "
+                     "`0 OR 1=1`-style payloads (paper Section II-D)";
+      } else if (ctx == SinkContext::kQuoted && escaped) {
+        continue;  // the intended pairing (runtime multibyte gaps are
+                   // SEPTIC's job, not a source-level mismatch)
+      } else if (html) {
+        fd.klass = FindingClass::kHtmlSqlMismatch;
+        fd.severity = Severity::kError;
+        fd.message = "'" + f.source + "' is HTML-encoded only; HTML entity "
+                     "encoding does not neutralize SQL metacharacters in "
+                     "a " + std::string(sink_context_name(ctx)) +
+                     " SQL context";
+      } else if (f.origin == Origin::kStored) {
+        fd.klass = FindingClass::kStoredUnsanitized;
+        fd.severity = Severity::kWarning;
+        fd.message = "value read back from query site '" +
+                     f.source.substr(f.source.find(':') + 1) +
+                     "' re-enters a query without sanitization "
+                     "(second-order injection path)";
+      } else {
+        fd.klass = FindingClass::kTaintedUnsanitized;
+        fd.severity = Severity::kError;
+        fd.message = "'" + f.source + "' reaches the query without any "
+                     "sanitization";
+      }
+      findings_.insert(std::move(fd));
+    }
+  }
+
+  void note(int line, const std::string& message) {
+    if (seen_notes_.insert(message).second) {
+      out_.notes.push_back({line, message});
+    }
+  }
+
+  void finish() {
+    out_.findings.assign(findings_.begin(), findings_.end());
+  }
+
+  struct FindingLess {
+    bool operator()(const Finding& a, const Finding& b) const {
+      auto key = [](const Finding& f) {
+        return std::tie(f.line, f.site, f.source, f.klass, f.context);
+      };
+      return key(a) < key(b);
+    }
+  };
+
+  std::vector<Tok> toks_;
+  const ScanOptions& opts_;
+  AppScan& out_;
+  std::string request_var_, ctx_var_;
+  std::vector<std::string> route_stack_;
+  std::set<std::string> seen_sinks_;
+  std::set<std::string> seen_notes_;
+  std::set<Finding, FindingLess> findings_;
+};
+
+}  // namespace
+
+AppScan analyze_source(std::string_view source, const ScanOptions& opts) {
+  AppScan out;
+  out.app = opts.app_name;
+  out.file = opts.file_label;
+  Analyzer(source, opts, out).run();
+  return out;
+}
+
+}  // namespace septic::analysis

@@ -1,0 +1,38 @@
+// Static taint analysis over one application source file.
+//
+// The analyzer locates every `Response <App>::handle(const Request& r,
+// AppContext& ctx)` definition and abstractly interprets its body:
+//
+//   sources      param(request, "k")            -> tainted fragment
+//   propagators  operator+, +=, std::to_string,
+//                std::move, ternaries           -> fragment concatenation
+//   sanitizers   web/sanitize.h functions       -> recorded on the fragment
+//   sinks        ctx.sql / ctx.sql_prepared     -> SinkVariant + findings
+//
+// Path sensitivity: conditions of the form `var.empty()` over tainted
+// string variables fork the abstract state into an empty and a non-empty
+// world — that is exactly the construct the sample apps use to build
+// queries conditionally (refbase's optional `AND year = ...`, the
+// `(v.empty() ? "0" : v)` default idiom) — so each world yields a concrete
+// query template. Route conditions (`request.path == "/x"`) label findings
+// but stay unresolved: both branches are explored.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/model.h"
+
+namespace septic::analysis {
+
+struct ScanOptions {
+  ScanRules rules;
+  std::string app_name;    // external-ID application name ("tickets")
+  std::string file_label;  // shown in reports (basename of the source)
+  size_t max_worlds = 256;  // path-fork cap; exceeding it emits a note
+};
+
+/// Analyze a translation unit. Never throws; scanner limitations surface
+/// as AppScan::notes.
+AppScan analyze_source(std::string_view source, const ScanOptions& opts);
+
+}  // namespace septic::analysis

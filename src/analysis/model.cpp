@@ -1,0 +1,117 @@
+#include "analysis/model.h"
+
+namespace septic::analysis {
+
+const char* origin_name(Origin o) {
+  switch (o) {
+    case Origin::kLiteral: return "literal";
+    case Origin::kParam: return "param";
+    case Origin::kStored: return "stored";
+    case Origin::kTrusted: return "trusted";
+  }
+  return "?";
+}
+
+const char* sanitizer_name(Sanitizer s) {
+  switch (s) {
+    case Sanitizer::kMysqlRealEscapeString: return "mysql_real_escape_string";
+    case Sanitizer::kAddslashes: return "addslashes";
+    case Sanitizer::kIntval: return "intval";
+    case Sanitizer::kFloatval: return "floatval";
+    case Sanitizer::kHtmlSpecialChars: return "htmlspecialchars";
+    case Sanitizer::kHtmlEntities: return "htmlentities";
+    case Sanitizer::kStripTags: return "strip_tags";
+    case Sanitizer::kPreparedBind: return "prepared_bind";
+  }
+  return "?";
+}
+
+const char* sink_context_name(SinkContext c) {
+  switch (c) {
+    case SinkContext::kQuoted: return "quoted";
+    case SinkContext::kRaw: return "raw";
+  }
+  return "?";
+}
+
+const char* finding_class_name(FindingClass c) {
+  switch (c) {
+    case FindingClass::kTaintedUnsanitized: return "tainted-unsanitized";
+    case FindingClass::kStoredUnsanitized: return "stored-unsanitized";
+    case FindingClass::kEscapeNumericMismatch:
+      return "escape-numeric-mismatch";
+    case FindingClass::kHtmlSqlMismatch: return "html-sql-mismatch";
+    case FindingClass::kTemplateParseError: return "template-parse-error";
+  }
+  return "?";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string SinkVariant::template_text() const {
+  std::string out;
+  for (const Fragment& f : fragments) {
+    switch (f.origin) {
+      case Origin::kLiteral:
+        out += f.text;
+        break;
+      case Origin::kParam:
+        out += "{param:" + f.source + "}";
+        break;
+      case Origin::kStored:
+        out += "{" + f.source + "}";
+        break;
+      case Origin::kTrusted:
+        out += "{trusted}";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string SinkVariant::benign_text() const {
+  // Mirrors the runtime training crawler: a harmless alphanumeric token in
+  // quoted contexts, the integer 1 anywhere raw. Numeric compatibility in
+  // the detector (INT vs DECIMAL, strict_numeric_types=false) makes 1
+  // stand in for decimal form inputs too.
+  std::string out;
+  bool in_quote = false;
+  for (const Fragment& f : fragments) {
+    if (f.origin == Origin::kLiteral) {
+      for (char c : f.text) {
+        if (c == '\'') in_quote = !in_quote;
+      }
+      out += f.text;
+      continue;
+    }
+    bool bound = false;
+    for (Sanitizer s : f.sanitizers) {
+      if (s == Sanitizer::kPreparedBind) bound = true;
+    }
+    if (bound && !in_quote) {
+      // A bound parameter occupies a raw `?` slot; its runtime item type
+      // follows the bound Value's type, so a string parameter must
+      // synthesize a quoted literal.
+      out += f.numeric ? "1" : "'x'";
+      continue;
+    }
+    out += in_quote ? "x" : "1";
+  }
+  return out;
+}
+
+size_t AppScan::count(Severity s) const {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+}  // namespace septic::analysis

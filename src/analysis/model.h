@@ -1,0 +1,157 @@
+// septic-scan's dataflow IR and report model.
+//
+// A handler's query argument is abstracted as a sequence of *fragments*:
+// literal SQL text interleaved with tainted values (HTTP parameters or
+// values read back from the database), each carrying the chain of
+// sanitizers applied on the way to the sink. Findings are classified per
+// tainted fragment against its *sink context* (inside a quoted SQL string
+// vs. raw/numeric position) — the static counterpart of the paper's
+// semantic-mismatch taxonomy: a string escaper protects only quoted
+// contexts, an HTML encoder protects no SQL context at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace septic::analysis {
+
+// ----------------------------------------------------------------- values
+
+enum class Origin {
+  kLiteral,  // compile-time SQL text
+  kParam,    // HTTP parameter (framework.h request params)
+  kStored,   // read back from a prior query's result set (second order)
+  kTrusted,  // engine-generated numeric (last_insert_id etc.)
+};
+
+enum class Sanitizer {
+  kMysqlRealEscapeString,
+  kAddslashes,
+  kIntval,
+  kFloatval,
+  kHtmlSpecialChars,
+  kHtmlEntities,
+  kStripTags,
+  kPreparedBind,  // value travels as a bound parameter, not statement text
+};
+
+const char* origin_name(Origin o);
+const char* sanitizer_name(Sanitizer s);
+
+struct Fragment {
+  Origin origin = Origin::kLiteral;
+  std::string text;    // literal: SQL text; tainted: source description
+  std::string source;  // param name or "stored:<site>" for kStored
+  std::vector<Sanitizer> sanitizers;  // in application order
+  bool numeric = false;  // value is numeric-typed (intval/coerce_int/...)
+  int line = 0;          // source line of the fragment's origin
+
+  bool tainted() const {
+    return origin == Origin::kParam || origin == Origin::kStored;
+  }
+  static Fragment literal(std::string text) {
+    Fragment f;
+    f.text = std::move(text);
+    return f;
+  }
+};
+
+// ------------------------------------------------------------------ sinks
+
+/// Where a tainted fragment lands inside the statement text.
+enum class SinkContext { kQuoted, kRaw };
+
+const char* sink_context_name(SinkContext c);
+
+/// One evaluated variant of one ctx.sql / ctx.sql_prepared call site (a
+/// call site yields several variants when the handler builds the query
+/// conditionally, e.g. refbase's optional `AND year = ...`).
+struct SinkVariant {
+  std::string site;               // the handler-supplied site label
+  std::string route;              // "/search" — innermost route condition
+  int line = 0;                   // line of the ctx.sql call
+  bool prepared = false;          // went through sql_prepared
+  std::vector<Fragment> fragments;
+
+  /// Human-readable template: literal text with tainted slots rendered as
+  /// {param:name}, {stored:site}, {trusted}.
+  std::string template_text() const;
+  /// Concrete benign statement: quoted slots -> x, raw slots -> 1.
+  std::string benign_text() const;
+};
+
+// --------------------------------------------------------------- findings
+
+enum class FindingClass {
+  kTaintedUnsanitized,     // direct parameter reaches the sink unprotected
+  kStoredUnsanitized,      // second-order: DB value re-enters a query
+  kEscapeNumericMismatch,  // string escaper feeding an unquoted context
+  kHtmlSqlMismatch,        // HTML encoder is the only "protection"
+  kTemplateParseError,     // derived template is not parseable SQL
+};
+
+enum class Severity { kWarning, kError };
+
+const char* finding_class_name(FindingClass c);
+const char* severity_name(Severity s);
+
+struct Finding {
+  FindingClass klass = FindingClass::kTaintedUnsanitized;
+  Severity severity = Severity::kError;
+  std::string route;
+  std::string site;
+  std::string source;  // offending parameter / stored origin
+  SinkContext context = SinkContext::kRaw;
+  std::vector<Sanitizer> sanitizers;
+  int line = 0;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+// ------------------------------------------------------------------ rules
+
+/// The annotation tables: which function names are sources, sanitizers and
+/// sinks. Extendable so new apps can register their own helpers (see
+/// HACKING.md "Adding a sanitizer/sink annotation").
+struct ScanRules {
+  /// Functions returning a raw HTTP parameter; the scanner requires the
+  /// call shape `<name>(<request-var>, "<key>")`.
+  std::vector<std::string> source_fns = {"param"};
+  struct SanitizerFn {
+    std::string name;  // unqualified callee name
+    Sanitizer kind;
+    bool numeric_result;  // value can no longer carry SQL structure
+  };
+  std::vector<SanitizerFn> sanitizer_fns = {
+      {"mysql_real_escape_string", Sanitizer::kMysqlRealEscapeString, false},
+      {"addslashes", Sanitizer::kAddslashes, false},
+      {"intval", Sanitizer::kIntval, true},
+      {"floatval", Sanitizer::kFloatval, true},
+      {"htmlspecialchars", Sanitizer::kHtmlSpecialChars, false},
+      {"htmlentities", Sanitizer::kHtmlEntities, false},
+      {"strip_tags", Sanitizer::kStripTags, false},
+  };
+  /// Query-issuing methods on the AppContext parameter.
+  std::string sink_method = "sql";
+  std::string sink_prepared_method = "sql_prepared";
+};
+
+// ----------------------------------------------------------------- output
+
+struct HandlerNote {
+  int line = 0;
+  std::string message;  // scanner limitation hit (unknown call, path cap…)
+};
+
+struct AppScan {
+  std::string app;   // external-ID application name ("tickets")
+  std::string file;  // basename of the scanned source
+  std::vector<SinkVariant> sinks;     // source order, variants grouped
+  std::vector<Finding> findings;      // sorted, deduplicated
+  std::vector<HandlerNote> notes;
+
+  size_t count(Severity s) const;
+};
+
+}  // namespace septic::analysis

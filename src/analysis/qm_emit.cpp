@@ -1,0 +1,76 @@
+#include "analysis/qm_emit.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/unicode.h"
+#include "septic/id_generator.h"
+#include "septic/query_model.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::analysis {
+
+namespace {
+
+bool finding_order(const Finding& a, const Finding& b) {
+  return std::tie(a.line, a.site, a.source, a.klass, a.context) <
+         std::tie(b.line, b.site, b.source, b.klass, b.context);
+}
+
+}  // namespace
+
+std::vector<EmittedModel> emit_models(AppScan& scan, core::QmStore& store,
+                                      const EmitOptions& opts) {
+  std::vector<EmittedModel> out;
+  for (const SinkVariant& v : scan.sinks) {
+    std::string benign = v.benign_text();
+    std::string tagged;
+    if (opts.emit_external_ids) {
+      // Byte-for-byte the AppContext::sql / sql_prepared tagging.
+      tagged = "/* ID:";
+      tagged += scan.app;
+      tagged += ':';
+      tagged += v.site;
+      tagged += " */ ";
+      tagged += benign;
+    } else {
+      tagged = benign;
+    }
+    try {
+      // The engine facade's statement pipeline, minus execution.
+      std::string converted = common::server_charset_convert(tagged);
+      sql::ParsedQuery parsed = sql::parse(converted);
+      core::QueryId id = core::IdGenerator::generate(parsed);
+      sql::ItemStack qs = sql::build_item_stack(parsed.statement);
+      core::QueryModel qm = core::make_query_model(qs);
+
+      EmittedModel em;
+      em.site = v.site;
+      em.id = id.composed();
+      em.benign = std::move(benign);
+      em.model = qm.to_string();
+      em.fresh = store.add(em.id, qm);
+      out.push_back(std::move(em));
+    } catch (const std::exception& ex) {
+      Finding fd;
+      fd.klass = FindingClass::kTemplateParseError;
+      fd.severity = Severity::kError;
+      fd.route = v.route;
+      fd.site = v.site;
+      fd.source = "<template>";
+      fd.context = SinkContext::kRaw;
+      fd.line = v.line;
+      fd.message = "derived benign statement does not parse (" +
+                   std::string(ex.what()) + "): " + benign;
+      if (std::find(scan.findings.begin(), scan.findings.end(), fd) ==
+          scan.findings.end()) {
+        scan.findings.push_back(std::move(fd));
+      }
+    }
+  }
+  std::sort(scan.findings.begin(), scan.findings.end(), finding_order);
+  return out;
+}
+
+}  // namespace septic::analysis

@@ -1,0 +1,41 @@
+// Offline Query Model pre-training (the tentpole of septic-scan).
+//
+// For every statically discovered sink variant we synthesize a concrete
+// benign statement from its template and push it through the *exact*
+// runtime learning pipeline — external-ID tagging, server charset
+// conversion, parse, item-stack build, data blanking — producing the same
+// QueryModel the trainer would have learned from live traffic. The result
+// is a QM store SEPTIC can boot from in prevention mode with zero runtime
+// training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "septic/qm_store.h"
+
+namespace septic::analysis {
+
+/// One pre-trained model, for reporting.
+struct EmittedModel {
+  std::string site;    // handler-supplied site label
+  std::string id;      // composed QM-store key (external#internal)
+  std::string benign;  // synthesized statement (before ID tagging)
+  std::string model;   // QueryModel::to_string() rendering
+  bool fresh = false;  // true when it was not already in the store
+};
+
+struct EmitOptions {
+  /// Mirror web::StackConfig::emit_external_ids (default on, as deployed).
+  bool emit_external_ids = true;
+};
+
+/// Emit models for every sink in `scan` into `store`. Templates that fail
+/// to parse become kTemplateParseError findings appended to the scan —
+/// a handler whose query we cannot even synthesize benignly deserves a
+/// human look, and silently skipping it would leave an unprotected ID.
+std::vector<EmittedModel> emit_models(AppScan& scan, core::QmStore& store,
+                                      const EmitOptions& opts = {});
+
+}  // namespace septic::analysis

@@ -1,0 +1,161 @@
+#include "analysis/report.h"
+
+namespace septic::analysis {
+
+size_t ScanReport::errors() const {
+  size_t n = 0;
+  for (const AppEntry& a : apps) n += a.scan.count(Severity::kError);
+  return n;
+}
+
+size_t ScanReport::warnings() const {
+  size_t n = 0;
+  for (const AppEntry& a : apps) n += a.scan.count(Severity::kWarning);
+  return n;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;  // UTF-8 passes through (the QM bottom glyph)
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string sanitizer_list(const std::vector<Sanitizer>& sans) {
+  std::string out;
+  for (Sanitizer s : sans) {
+    if (!out.empty()) out += ", ";
+    out += sanitizer_name(s);
+  }
+  return out;
+}
+
+void json_finding(std::string& j, const Finding& f, const char* indent) {
+  j += indent;
+  j += "{\"class\": \"";
+  j += finding_class_name(f.klass);
+  j += "\", \"severity\": \"";
+  j += severity_name(f.severity);
+  j += "\", \"route\": \"" + json_escape(f.route);
+  j += "\", \"site\": \"" + json_escape(f.site);
+  j += "\", \"source\": \"" + json_escape(f.source);
+  j += "\", \"context\": \"";
+  j += sink_context_name(f.context);
+  j += "\", \"sanitizers\": [";
+  for (size_t i = 0; i < f.sanitizers.size(); ++i) {
+    if (i) j += ", ";
+    j += '"';
+    j += sanitizer_name(f.sanitizers[i]);
+    j += '"';
+  }
+  j += "], \"line\": " + std::to_string(f.line);
+  j += ", \"message\": \"" + json_escape(f.message) + "\"}";
+}
+
+}  // namespace
+
+std::string render_text(const ScanReport& report) {
+  std::string t;
+  for (const ScanReport::AppEntry& a : report.apps) {
+    t += "== " + a.scan.app + " (" + a.scan.file + ") ==\n";
+    t += "  sinks: " + std::to_string(a.scan.sinks.size()) +
+         " variant(s), models emitted: " + std::to_string(a.models.size()) +
+         "\n";
+    for (const SinkVariant& s : a.scan.sinks) {
+      t += "  [sink] " + s.site + " line " + std::to_string(s.line);
+      if (s.prepared) t += " (prepared)";
+      if (!s.route.empty()) t += " route " + s.route;
+      t += "\n         " + s.template_text() + "\n";
+    }
+    for (const Finding& f : a.scan.findings) {
+      t += "  [";
+      t += severity_name(f.severity);
+      t += "] ";
+      t += finding_class_name(f.klass);
+      t += " at line " + std::to_string(f.line) + " (site " + f.site + ")\n";
+      t += "          " + f.message + "\n";
+      if (!f.sanitizers.empty()) {
+        t += "          sanitizers applied: " + sanitizer_list(f.sanitizers) +
+             "\n";
+      }
+    }
+    for (const HandlerNote& n : a.scan.notes) {
+      t += "  [note] line " + std::to_string(n.line) + ": " + n.message + "\n";
+    }
+  }
+  t += "septic-scan: " + std::to_string(report.errors()) + " error(s), " +
+       std::to_string(report.warnings()) + " warning(s)\n";
+  return t;
+}
+
+std::string render_json(const ScanReport& report) {
+  std::string j = "{\n  \"tool\": \"septic-scan\",\n  \"apps\": [";
+  for (size_t ai = 0; ai < report.apps.size(); ++ai) {
+    const ScanReport::AppEntry& a = report.apps[ai];
+    j += ai ? ",\n    {" : "\n    {";
+    j += "\n      \"app\": \"" + json_escape(a.scan.app) + "\",";
+    j += "\n      \"file\": \"" + json_escape(a.scan.file) + "\",";
+    j += "\n      \"sinks\": [";
+    for (size_t i = 0; i < a.scan.sinks.size(); ++i) {
+      const SinkVariant& s = a.scan.sinks[i];
+      j += i ? ",\n        {" : "\n        {";
+      j += "\"site\": \"" + json_escape(s.site) + "\", ";
+      j += "\"route\": \"" + json_escape(s.route) + "\", ";
+      j += "\"line\": " + std::to_string(s.line) + ", ";
+      j += std::string("\"prepared\": ") + (s.prepared ? "true" : "false") +
+           ", ";
+      j += "\"template\": \"" + json_escape(s.template_text()) + "\", ";
+      j += "\"benign\": \"" + json_escape(s.benign_text()) + "\"}";
+    }
+    j += a.scan.sinks.empty() ? "]," : "\n      ],";
+    j += "\n      \"models\": [";
+    for (size_t i = 0; i < a.models.size(); ++i) {
+      const EmittedModel& m = a.models[i];
+      j += i ? ",\n        {" : "\n        {";
+      j += "\"site\": \"" + json_escape(m.site) + "\", ";
+      j += "\"id\": \"" + json_escape(m.id) + "\", ";
+      j += "\"model\": \"" + json_escape(m.model) + "\"}";
+    }
+    j += a.models.empty() ? "]," : "\n      ],";
+    j += "\n      \"findings\": [";
+    for (size_t i = 0; i < a.scan.findings.size(); ++i) {
+      j += i ? ",\n" : "\n";
+      json_finding(j, a.scan.findings[i], "        ");
+    }
+    j += a.scan.findings.empty() ? "]," : "\n      ],";
+    j += "\n      \"notes\": [";
+    for (size_t i = 0; i < a.scan.notes.size(); ++i) {
+      const HandlerNote& n = a.scan.notes[i];
+      j += i ? ",\n        {" : "\n        {";
+      j += "\"line\": " + std::to_string(n.line) + ", ";
+      j += "\"message\": \"" + json_escape(n.message) + "\"}";
+    }
+    j += a.scan.notes.empty() ? "]" : "\n      ]";
+    j += "\n    }";
+  }
+  j += report.apps.empty() ? "],\n" : "\n  ],\n";
+  j += "  \"summary\": {\"errors\": " + std::to_string(report.errors()) +
+       ", \"warnings\": " + std::to_string(report.warnings()) + "}\n}\n";
+  return j;
+}
+
+}  // namespace septic::analysis

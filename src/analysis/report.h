@@ -1,0 +1,35 @@
+// Report rendering for septic-scan: a deterministic human-readable text
+// form and a stable JSON form (fixed key order, sorted content, trailing
+// newline) suitable for golden-file testing and CI artifact diffing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "analysis/qm_emit.h"
+
+namespace septic::analysis {
+
+struct ScanReport {
+  struct AppEntry {
+    AppScan scan;
+    std::vector<EmittedModel> models;
+  };
+  std::vector<AppEntry> apps;
+
+  size_t errors() const;
+  size_t warnings() const;
+};
+
+/// Human-readable report (what the CLI prints by default).
+std::string render_text(const ScanReport& report);
+
+/// Machine-readable report. Deterministic: same scan input -> identical
+/// bytes, so golden files and CI diffs are stable.
+std::string render_json(const ScanReport& report);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace septic::analysis

@@ -1,0 +1,54 @@
+#include "analysis/scanner.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace septic::analysis {
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string file_stem(const std::string& path) {
+  std::string base = basename_of(path);
+  size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+ScanReport::AppEntry scan_source(std::string_view source,
+                                 const std::string& app_name,
+                                 const std::string& file_label,
+                                 core::QmStore& store,
+                                 const ScannerConfig& config) {
+  ScanOptions opts;
+  opts.rules = config.rules;
+  opts.app_name = app_name;
+  opts.file_label = file_label;
+  opts.max_worlds = config.max_worlds;
+
+  ScanReport::AppEntry entry;
+  entry.scan = analyze_source(source, opts);
+  EmitOptions emit;
+  emit.emit_external_ids = config.emit_external_ids;
+  entry.models = emit_models(entry.scan, store, emit);
+  return entry;
+}
+
+ScanReport::AppEntry scan_file(const std::string& path, std::string app_name,
+                               core::QmStore& store,
+                               const ScannerConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (app_name.empty()) app_name = file_stem(path);
+  return scan_source(buf.str(), app_name, basename_of(path), store, config);
+}
+
+}  // namespace septic::analysis

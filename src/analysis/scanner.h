@@ -1,0 +1,38 @@
+// Top-level septic-scan entry points: scan a handler source file, emit
+// findings and pre-trained query models. This is the API the CLI, the
+// tests, and the check.sh scan tier all share.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/dataflow.h"
+#include "analysis/report.h"
+#include "septic/qm_store.h"
+
+namespace septic::analysis {
+
+struct ScannerConfig {
+  ScanRules rules;
+  bool emit_external_ids = true;  // mirror the deployed StackConfig
+  size_t max_worlds = 256;
+};
+
+/// Scan a source buffer: taint analysis + offline QM emission into `store`.
+ScanReport::AppEntry scan_source(std::string_view source,
+                                 const std::string& app_name,
+                                 const std::string& file_label,
+                                 core::QmStore& store,
+                                 const ScannerConfig& config = {});
+
+/// Read and scan a file. An empty `app_name` defaults to the file stem
+/// ("src/web/apps/tickets.cpp" -> "tickets"), matching how the sample apps
+/// name themselves. Throws std::runtime_error when the file is unreadable.
+ScanReport::AppEntry scan_file(const std::string& path, std::string app_name,
+                               core::QmStore& store,
+                               const ScannerConfig& config = {});
+
+/// "dir/name.ext" -> "name" (the default external-ID app name).
+std::string file_stem(const std::string& path);
+
+}  // namespace septic::analysis

@@ -1,0 +1,129 @@
+// septic_scan: static taint analysis + offline QM pre-training over the
+// sample-app handler sources.
+//
+//   septic_scan [options] <handler.cpp> [more.cpp ...]
+//
+//   --json             machine-readable report (stable bytes, golden-safe)
+//   --out <path>       write the report to a file instead of stdout
+//   --qm-out <path>    save the pre-trained QM store (v2, CRC-checked);
+//                      the file is reloaded afterwards as a self-check
+//   --app <name>       external-ID app name (single input only; defaults
+//                      to the file stem)
+//   --fail-on <t>      error | warning | none — findings at or above the
+//                      threshold make the exit code 1 (default: error)
+//
+// Exit codes: 0 clean, 1 findings at/above --fail-on, 2 usage or I/O
+// failure — CI can gate on "non-zero means broken".
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/scanner.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--out <path>] [--qm-out <path>] "
+               "[--app <name>] [--fail-on error|warning|none] "
+               "<handler.cpp> [...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace septic::analysis;
+
+  bool json = false;
+  std::string out_path, qm_path, app_name, fail_on = "error";
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out") {
+      if (!next(out_path)) return usage(argv[0]);
+    } else if (arg == "--qm-out") {
+      if (!next(qm_path)) return usage(argv[0]);
+    } else if (arg == "--app") {
+      if (!next(app_name)) return usage(argv[0]);
+    } else if (arg == "--fail-on") {
+      if (!next(fail_on) ||
+          (fail_on != "error" && fail_on != "warning" && fail_on != "none")) {
+        return usage(argv[0]);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "septic_scan: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(std::move(arg));
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+  if (!app_name.empty() && inputs.size() > 1) {
+    std::fprintf(stderr, "septic_scan: --app requires a single input\n");
+    return 2;
+  }
+
+  septic::core::QmStore store;
+  ScanReport report;
+  try {
+    for (const std::string& path : inputs) {
+      report.apps.push_back(scan_file(path, app_name, store));
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "septic_scan: %s\n", ex.what());
+    return 2;
+  }
+
+  std::string rendered = json ? render_json(report) : render_text(report);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.write(rendered.data(),
+                   static_cast<std::streamsize>(rendered.size()))) {
+      std::fprintf(stderr, "septic_scan: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!qm_path.empty()) {
+    try {
+      store.save_to_file(qm_path);
+      // Self-check: a store we cannot load back cleanly is useless for the
+      // zero-training boot, so treat it as a hard failure here and now.
+      septic::core::QmStore reloaded;
+      septic::core::QmLoadReport lr = reloaded.load_from_file(qm_path);
+      if (!lr.clean() || reloaded.model_count() != store.model_count()) {
+        std::fprintf(stderr,
+                     "septic_scan: QM store round-trip failed (%zu/%zu "
+                     "models, %zu skipped)\n",
+                     reloaded.model_count(), store.model_count(), lr.skipped);
+        return 2;
+      }
+      std::fprintf(stderr, "septic_scan: wrote %zu model(s) under %zu id(s) "
+                           "to %s\n",
+                   store.model_count(), store.id_count(), qm_path.c_str());
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "septic_scan: %s\n", ex.what());
+      return 2;
+    }
+  }
+
+  size_t gating = report.errors();
+  if (fail_on == "warning") gating += report.warnings();
+  if (fail_on == "none") gating = 0;
+  return gating ? 1 : 0;
+}

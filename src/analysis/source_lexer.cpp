@@ -1,0 +1,136 @@
+#include "analysis/source_lexer.h"
+
+namespace septic::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Multi-character operators the statement grammar cares about, longest
+// first so "+=" wins over "+".
+constexpr const char* kOps[] = {
+    "::", "->", "+=", "==", "!=", "<=", ">=", "&&", "||",
+};
+
+}  // namespace
+
+std::vector<Tok> lex_cpp(std::string_view source) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  auto push = [&](TokKind k, std::string text) {
+    out.push_back({k, std::move(text), line});
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String literal (decoded).
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          char e = source[i + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case 'r': text += '\r'; break;
+            case '0': text += '\0'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            case '\'': text += '\''; break;
+            default: text += e; break;
+          }
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;  // unterminated; keep going
+        text += source[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(TokKind::kString, std::move(text));
+      continue;
+    }
+    // Char literal — lexed as a one-char string (only appears in app code
+    // as separators like ':').
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        text += source[i++];
+      }
+      if (i < n) ++i;
+      push(TokKind::kString, std::move(text));
+      continue;
+    }
+    if (digit(c)) {
+      size_t start = i;
+      while (i < n && (digit(source[i]) || source[i] == '.' ||
+                       source[i] == 'x' || source[i] == 'X' ||
+                       (source[i] >= 'a' && source[i] <= 'f') ||
+                       (source[i] >= 'A' && source[i] <= 'F'))) {
+        ++i;
+      }
+      push(TokKind::kNumber, std::string(source.substr(start, i - start)));
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      push(TokKind::kIdent, std::string(source.substr(start, i - start)));
+      continue;
+    }
+    // Multi-char operators.
+    bool matched = false;
+    for (const char* op : kOps) {
+      std::string_view sv(op);
+      if (source.substr(i, sv.size()) == sv) {
+        push(TokKind::kPunct, std::string(sv));
+        i += sv.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  out.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace septic::analysis

@@ -1,0 +1,43 @@
+// Token stream over the C++ subset the sample applications are written in
+// (web/apps/*.cpp). septic-scan does not need a real C++ front end: the
+// handlers follow one idiom — `param(request, "k")` sources, sanitizer
+// wrappers, `+` concatenation, `ctx.sql(...)` sinks — and a flat token
+// stream plus a tiny statement grammar (analysis/dataflow.cpp) covers it.
+//
+// The lexer strips // and /* */ comments (string-aware: a "/*" inside a SQL
+// string literal is literal text, not a comment), decodes the usual string
+// escapes, and records line numbers so findings can point at source lines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace septic::analysis {
+
+enum class TokKind {
+  kIdent,   // identifier or keyword
+  kString,  // string literal, text = decoded contents
+  kNumber,  // integer or floating literal
+  kPunct,   // operator / punctuation, multi-char ops kept whole
+  kEnd,     // one-past-last sentinel
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;  // 1-based source line
+
+  bool is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool is_punct(std::string_view t) const { return is(TokKind::kPunct, t); }
+  bool is_ident(std::string_view t) const { return is(TokKind::kIdent, t); }
+};
+
+/// Tokenize a whole translation unit. Never throws: unrecognized bytes are
+/// skipped (they only occur outside the constructs the scanner walks).
+std::vector<Tok> lex_cpp(std::string_view source);
+
+}  // namespace septic::analysis

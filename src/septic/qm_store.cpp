@@ -77,6 +77,15 @@ void QmStore::clear() {
   models_.clear();
 }
 
+std::vector<std::string> QmStore::ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, vec] : models_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::string QmStore::serialize() const {
   std::lock_guard lock(mu_);
   std::string out;

@@ -58,6 +58,9 @@ class QmStore {
   size_t model_count() const;
   void clear();
 
+  /// All IDs with at least one model, sorted (stable for tests/tools).
+  std::vector<std::string> ids() const;
+
   /// Crash-safe persistence in the current (v2, CRC-checked) format.
   /// Throws std::runtime_error on I/O failure; the previous file, if any,
   /// survives any failure intact.

@@ -1,0 +1,75 @@
+// septic-scan test fixture: one deliberately vulnerable handler route per
+// semantic-mismatch class, plus a safe route that must stay finding-free.
+//
+// This file is NOT compiled into any target — the scanner reads it as data
+// (tests/test_scan_golden.cpp and tests/test_septic_scan.cpp). It mirrors
+// the sample-app handler idiom exactly so the scanner exercises the same
+// paths it takes over src/web/apps.
+#include "web/framework.h"
+#include "web/sanitize.h"
+
+namespace septic::web::apps {
+
+Response VulnMix::handle(const Request& request, AppContext& ctx) {
+  using php::htmlentities;
+  using php::intval;
+  using php::mysql_real_escape_string;
+
+  // tainted-unsanitized: the raw parameter goes straight into a quoted
+  // context with nothing applied at all.
+  if (request.path == "/t1") {
+    auto rs = ctx.sql("SELECT id FROM users WHERE name = '" +
+                          param(request, "name") + "'",
+                      "t1-raw");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  // escape-numeric-mismatch: a string escaper feeding an unquoted numeric
+  // slot — quotes are escaped but `0 OR 1=1` needs none.
+  if (request.path == "/t2") {
+    std::string id = mysql_real_escape_string(param(request, "id"));
+    auto rs = ctx.sql("SELECT id FROM users WHERE id = " + id, "t2-escnum");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  // html-sql-mismatch: HTML entity encoding is the only "protection";
+  // it neutralizes <>& for the browser, not quotes for the parser.
+  if (request.path == "/t3") {
+    std::string who = htmlentities(param(request, "who"));
+    auto rs = ctx.sql("SELECT id FROM users WHERE name = '" + who + "'",
+                      "t3-html");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  // stored-unsanitized: a value read back from the database re-enters a
+  // later query verbatim (second-order injection hop).
+  if (request.path == "/t4") {
+    auto rs = ctx.sql("SELECT note FROM users WHERE id = 1", "t4-read");
+    std::string note = rs.rows[0][0].coerce_string();
+    auto hop = ctx.sql("SELECT id FROM devices WHERE name = '" + note + "'",
+                       "t4-hop");
+    return Response::make_ok(render_rows(hop));
+  }
+
+  // template-parse-error: the derived benign statement is not SQL at all,
+  // so no query model can be pre-trained for this sink.
+  if (request.path == "/t5") {
+    auto rs = ctx.sql("FROBNICATE " + param(request, "x"), "t5-bad");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  // Safe route: escaper into a quoted slot, intval into a numeric slot —
+  // the intended pairings. Must produce zero findings.
+  if (request.path == "/ok") {
+    std::string name = mysql_real_escape_string(param(request, "name"));
+    int64_t gid = intval(param(request, "gid"));
+    auto rs = ctx.sql("SELECT id FROM users WHERE name = '" + name +
+                          "' AND gid = " + std::to_string(gid),
+                      "ok-safe");
+    return Response::make_ok(render_rows(rs));
+  }
+
+  return Response::make_not_found();
+}
+
+}  // namespace septic::web::apps

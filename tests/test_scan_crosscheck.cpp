@@ -1,0 +1,179 @@
+// Analysis-vs-runtime cross-check: SEPTIC booted purely from the
+// statically pre-trained QM store (zero runtime training, incremental
+// learning OFF) must behave exactly like a dynamically trained deployment —
+// blocking the whole attack corpus while accepting every benign probe and
+// workload request. Separately, every model the runtime trainer learns must
+// already be present in the static store (containment), proving the static
+// templates and the live traffic collapse to the same query models.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/scanner.h"
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "septic/septic.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic::analysis {
+namespace {
+
+std::string app_source(const std::string& app) {
+  return std::string(SEPTIC_SOURCE_DIR) + "/src/web/apps/" + app + ".cpp";
+}
+
+std::unique_ptr<web::App> make_app(const std::string& name) {
+  if (name == "tickets") return std::make_unique<web::apps::TicketsApp>();
+  return std::make_unique<web::apps::WaspMonApp>();
+}
+
+/// A deployment whose SEPTIC never trained on live traffic: its models come
+/// solely from septic-scan, via the persisted store file (exercising the
+/// save -> load path a real restart would take).
+struct StaticBoot {
+  engine::Database db;
+  std::unique_ptr<web::App> app;
+  std::unique_ptr<web::WebStack> stack;
+  std::shared_ptr<core::Septic> septic;
+
+  explicit StaticBoot(const std::string& app_name) {
+    app = make_app(app_name);
+    app->install(db);
+    stack = std::make_unique<web::WebStack>(*app, db);
+    septic = std::make_shared<core::Septic>();
+    db.set_interceptor(septic);
+
+    core::QmStore scanned;
+    scan_file(app_source(app_name), "", scanned);
+    const std::string path = "crosscheck_" + app_name + ".qm";
+    scanned.save_to_file(path);
+    core::QmLoadReport lr = septic->load_models(path);
+    EXPECT_TRUE(lr.clean()) << lr.detail;
+    EXPECT_EQ(septic->store().model_count(), scanned.model_count());
+
+    // No fallback: an ID the scan failed to model gets DROPPED, so these
+    // tests prove static coverage, not incremental learning.
+    septic->set_incremental_learning(false);
+    septic->set_mode(core::Mode::kPrevention);
+  }
+
+  std::string run_chain(const attacks::AttackCase& attack) {
+    for (const auto& setup : attack.setup) {
+      web::Response r = stack->handle(setup);
+      if (r.blocked()) return r.blocked_by;
+    }
+    return stack->handle(attack.attack).blocked_by;
+  }
+};
+
+class StaticBootVsAttack
+    : public ::testing::TestWithParam<attacks::AttackCase> {};
+
+TEST_P(StaticBootVsAttack, BlockedWithoutAnyRuntimeTraining) {
+  const attacks::AttackCase& attack = GetParam();
+  StaticBoot d(attack.app);
+  EXPECT_EQ(d.run_chain(attack), "septic")
+      << attack.id << ": " << attack.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, StaticBootVsAttack,
+                         ::testing::ValuesIn(attacks::all_attacks()),
+                         [](const auto& info) { return info.param.id; });
+
+class StaticBootBenign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StaticBootBenign, ProbesNeverBlocked) {
+  const std::string app = GetParam();
+  StaticBoot d(app);
+  for (const auto& probe : attacks::benign_probes(app)) {
+    web::Response r = d.stack->handle(probe);
+    EXPECT_FALSE(r.blocked())
+        << app << ": " << probe.to_string() << " blocked by " << r.blocked_by;
+    EXPECT_TRUE(r.ok()) << probe.to_string() << ": " << r.body;
+  }
+  EXPECT_EQ(d.septic->stats().sqli_detected, 0u);
+}
+
+TEST_P(StaticBootBenign, WorkloadNeverBlocked) {
+  const std::string app = GetParam();
+  StaticBoot d(app);
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& r : d.app->workload()) {
+      web::Response resp = d.stack->handle(r);
+      EXPECT_FALSE(resp.blocked()) << r.to_string();
+    }
+  }
+  EXPECT_EQ(d.septic->stats().sqli_detected, 0u);
+  EXPECT_EQ(d.septic->stats().dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StaticBootBenign,
+                         ::testing::Values("tickets", "waspmon"));
+
+// --------------------------------------------------------- containment
+
+/// Model equivalence under default detector semantics: blanked INT and
+/// DECIMAL data nodes are interchangeable (strict_numeric_types=false) —
+/// the trainer sees decimal form values where the scan synthesizes `1`.
+bool models_equivalent(const core::QueryModel& a, const core::QueryModel& b) {
+  if (a.kind != b.kind || a.nodes.size() != b.nodes.size()) return false;
+  auto numeric = [](sql::ItemType t) {
+    return t == sql::ItemType::kIntItem || t == sql::ItemType::kDecimalItem;
+  };
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    if (a.nodes[i] == b.nodes[i]) continue;
+    if (numeric(a.nodes[i].type) && numeric(b.nodes[i].type) &&
+        a.nodes[i].data == b.nodes[i].data) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+class StaticContainsRuntime : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(StaticContainsRuntime, EveryRuntimeModelIsPreTrained) {
+  const std::string app_name = GetParam();
+
+  core::QmStore static_store;
+  scan_file(app_source(app_name), "", static_store);
+
+  // Dynamically train a fresh deployment the way the e2e tests do.
+  engine::Database db;
+  std::unique_ptr<web::App> app = make_app(app_name);
+  app->install(db);
+  web::WebStack stack(*app, db);
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  web::train_on_application(stack);
+
+  const core::QmStore& runtime = septic->store();
+  EXPECT_GT(runtime.model_count(), 0u);
+  for (const std::string& id : runtime.ids()) {
+    std::vector<core::QueryModel> statics = static_store.lookup(id);
+    ASSERT_FALSE(statics.empty())
+        << app_name << ": runtime-learned ID " << id
+        << " has no statically pre-trained model";
+    for (const core::QueryModel& qm : runtime.lookup(id)) {
+      bool found = false;
+      for (const core::QueryModel& sm : statics) {
+        found = found || models_equivalent(sm, qm);
+      }
+      EXPECT_TRUE(found) << app_name << ": runtime model for " << id
+                         << " not covered:\n"
+                         << qm.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StaticContainsRuntime,
+                         ::testing::Values("tickets", "waspmon"));
+
+}  // namespace
+}  // namespace septic::analysis

@@ -1,0 +1,120 @@
+// Golden-file tests: the septic-scan JSON report for every sample app (and
+// the seeded vulnerable-handler fixture) must match tests/golden/ byte for
+// byte. Regenerate intentionally with:
+//
+//   SEPTIC_REGEN_GOLDEN=1 ./test_scan_golden
+//
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/scanner.h"
+
+namespace septic::analysis {
+namespace {
+
+std::string repo_path(const std::string& rel) {
+  return std::string(SEPTIC_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "<unreadable: " + path + ">";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ScanReport::AppEntry scan_app(const std::string& rel, core::QmStore& store) {
+  return scan_file(repo_path(rel), "", store);
+}
+
+void check_golden(const std::string& rel_source,
+                  const std::string& golden_name) {
+  core::QmStore store;
+  ScanReport report;
+  report.apps.push_back(scan_app(rel_source, store));
+  std::string json = render_json(report);
+  std::string gpath = repo_path("tests/golden/" + golden_name);
+  if (std::getenv("SEPTIC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(gpath, std::ios::binary);
+    ASSERT_TRUE(out.write(json.data(),
+                          static_cast<std::streamsize>(json.size())))
+        << "cannot write " << gpath;
+    GTEST_SKIP() << "regenerated " << gpath;
+  }
+  EXPECT_EQ(json, read_file(gpath))
+      << "report drifted from " << gpath
+      << " — rerun with SEPTIC_REGEN_GOLDEN=1 and review the diff";
+}
+
+class GoldenScan : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenScan, JsonReportMatchesGolden) {
+  std::string app = GetParam();
+  check_golden("src/web/apps/" + app + ".cpp", app + ".json");
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, GoldenScan,
+                         ::testing::Values("addressbook", "tickets",
+                                           "waspmon", "refbase", "zerocms"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(GoldenScan, VulnmixFixtureMatchesGolden) {
+  check_golden("tests/data/vulnmix.cpp", "vulnmix.json");
+}
+
+// ------------------------------------------------- semantic spot checks
+// (golden bytes say "nothing changed"; these say what the bytes *mean*)
+
+size_t count_class(const AppScan& s, FindingClass k) {
+  size_t n = 0;
+  for (const Finding& f : s.findings) n += (f.klass == k) ? 1 : 0;
+  return n;
+}
+
+TEST(ScanSemantics, SeededFixtureCoversEveryMismatchClass) {
+  core::QmStore store;
+  AppScan s = scan_app("tests/data/vulnmix.cpp", store).scan;
+  EXPECT_GE(count_class(s, FindingClass::kTaintedUnsanitized), 1u);
+  EXPECT_GE(count_class(s, FindingClass::kEscapeNumericMismatch), 1u);
+  EXPECT_GE(count_class(s, FindingClass::kHtmlSqlMismatch), 1u);
+  EXPECT_GE(count_class(s, FindingClass::kStoredUnsanitized), 1u);
+  EXPECT_GE(count_class(s, FindingClass::kTemplateParseError), 1u);
+  // The deliberately safe route stays finding-free.
+  for (const Finding& f : s.findings) {
+    EXPECT_NE(f.site, "ok-safe") << f.message;
+  }
+}
+
+TEST(ScanSemantics, StockAppsHaveNoFalsePositiveClasses) {
+  // The sample apps deliberately carry escape-numeric and second-order
+  // weaknesses (that is what the attack corpus exploits), but no handler
+  // is entirely unsanitized and none uses HTML encoders on SQL — findings
+  // of those classes on stock sources would be false positives.
+  for (const char* app : {"addressbook", "tickets", "waspmon", "refbase",
+                          "zerocms"}) {
+    core::QmStore store;
+    AppScan s =
+        scan_app("src/web/apps/" + std::string(app) + ".cpp", store).scan;
+    EXPECT_EQ(count_class(s, FindingClass::kTaintedUnsanitized), 0u) << app;
+    EXPECT_EQ(count_class(s, FindingClass::kHtmlSqlMismatch), 0u) << app;
+    EXPECT_EQ(count_class(s, FindingClass::kTemplateParseError), 0u) << app;
+    EXPECT_GT(store.model_count(), 0u) << app;
+  }
+}
+
+TEST(ScanSemantics, ZerocmsIsCompletelyClean) {
+  core::QmStore store;
+  AppScan s = scan_app("src/web/apps/zerocms.cpp", store).scan;
+  EXPECT_TRUE(s.findings.empty());
+  EXPECT_EQ(s.sinks.size(), 10u);
+}
+
+}  // namespace
+}  // namespace septic::analysis

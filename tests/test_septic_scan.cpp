@@ -1,0 +1,256 @@
+// Unit tests for the septic-scan static analyzer: lexing, taint dataflow,
+// the semantic-mismatch taxonomy, path-sensitive template extraction, and
+// offline QM emission.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/scanner.h"
+#include "analysis/source_lexer.h"
+
+namespace septic::analysis {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(SourceLexer, StripsCommentsDecodesStringsTracksLines) {
+  auto toks = lex_cpp("a // gone\n/* gone\ntoo */ \"x\\n'\" 42\nb");
+  ASSERT_EQ(toks.size(), 5u);  // a, string, 42, b, end
+  EXPECT_TRUE(toks[0].is_ident("a"));
+  EXPECT_EQ(toks[1].kind, TokKind::kString);
+  EXPECT_EQ(toks[1].text, "x\n'");
+  EXPECT_EQ(toks[2].kind, TokKind::kNumber);
+  EXPECT_TRUE(toks[3].is_ident("b"));
+  EXPECT_EQ(toks[3].line, 4);
+  EXPECT_EQ(toks[4].kind, TokKind::kEnd);
+}
+
+TEST(SourceLexer, MultiCharOperatorsStayWhole) {
+  auto toks = lex_cpp("a::b->c += d == e && f");
+  std::vector<std::string> puncts;
+  for (const Tok& t : toks) {
+    if (t.kind == TokKind::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"::", "->", "+=", "==", "&&"}));
+}
+
+// --------------------------------------------------------------- dataflow
+
+std::string wrap(const std::string& body) {
+  return "Response Demo::handle(const Request& request, AppContext& ctx) "
+         "{\n" +
+         body + "\n  return Response::make_not_found();\n}\n";
+}
+
+ScanReport::AppEntry scan_body(const std::string& body,
+                               core::QmStore& store) {
+  return scan_source(wrap(body), "demo", "demo.cpp", store);
+}
+
+AppScan findings_of(const std::string& body) {
+  core::QmStore store;
+  return scan_body(body, store).scan;
+}
+
+bool has_class(const AppScan& scan, FindingClass k) {
+  return std::any_of(scan.findings.begin(), scan.findings.end(),
+                     [&](const Finding& f) { return f.klass == k; });
+}
+
+TEST(ScanDataflow, EscapedIntoQuotedContextIsClean) {
+  AppScan s = findings_of(
+      "  std::string n = mysql_real_escape_string(param(request, \"n\"));\n"
+      "  ctx.sql(\"SELECT id FROM users WHERE name = '\" + n + \"'\", "
+      "\"q\");");
+  EXPECT_TRUE(s.findings.empty()) << s.findings.size() << " finding(s)";
+  ASSERT_EQ(s.sinks.size(), 1u);
+  EXPECT_EQ(s.sinks[0].benign_text(),
+            "SELECT id FROM users WHERE name = 'x'");
+}
+
+TEST(ScanDataflow, RawParameterIsTaintedUnsanitized) {
+  AppScan s = findings_of(
+      "  ctx.sql(\"SELECT id FROM users WHERE name = '\" + "
+      "param(request, \"who\") + \"'\", \"q\");");
+  ASSERT_EQ(s.findings.size(), 1u);
+  EXPECT_EQ(s.findings[0].klass, FindingClass::kTaintedUnsanitized);
+  EXPECT_EQ(s.findings[0].severity, Severity::kError);
+  EXPECT_EQ(s.findings[0].source, "who");
+  EXPECT_EQ(s.findings[0].context, SinkContext::kQuoted);
+}
+
+TEST(ScanDataflow, EscaperIntoNumericContextIsMismatch) {
+  AppScan s = findings_of(
+      "  std::string id = mysql_real_escape_string(param(request, "
+      "\"id\"));\n"
+      "  ctx.sql(\"SELECT * FROM t WHERE id = \" + id, \"q\");");
+  ASSERT_EQ(s.findings.size(), 1u);
+  EXPECT_EQ(s.findings[0].klass, FindingClass::kEscapeNumericMismatch);
+  EXPECT_EQ(s.findings[0].context, SinkContext::kRaw);
+  ASSERT_EQ(s.findings[0].sanitizers.size(), 1u);
+  EXPECT_EQ(s.findings[0].sanitizers[0],
+            Sanitizer::kMysqlRealEscapeString);
+}
+
+TEST(ScanDataflow, HtmlEncodersAreNotSqlSanitizers) {
+  for (const char* fn : {"htmlentities", "htmlspecialchars"}) {
+    AppScan s = findings_of(
+        "  std::string v = " + std::string(fn) +
+        "(param(request, \"v\"));\n"
+        "  ctx.sql(\"SELECT id FROM t WHERE name = '\" + v + \"'\", "
+        "\"q\");");
+    ASSERT_EQ(s.findings.size(), 1u) << fn;
+    EXPECT_EQ(s.findings[0].klass, FindingClass::kHtmlSqlMismatch) << fn;
+    EXPECT_EQ(s.findings[0].severity, Severity::kError) << fn;
+  }
+}
+
+TEST(ScanDataflow, IntvalNeutralizesAndSynthesizesNumericBenign) {
+  AppScan s = findings_of(
+      "  int64_t id = intval(param(request, \"id\"));\n"
+      "  ctx.sql(\"SELECT * FROM t WHERE id = \" + std::to_string(id), "
+      "\"q\");");
+  EXPECT_TRUE(s.findings.empty());
+  ASSERT_EQ(s.sinks.size(), 1u);
+  EXPECT_EQ(s.sinks[0].benign_text(), "SELECT * FROM t WHERE id = 1");
+}
+
+TEST(ScanDataflow, PreparedBindsAreSafeAndTypeFaithful) {
+  core::QmStore store;
+  ScanReport::AppEntry e = scan_body(
+      "  ctx.sql_prepared(\"INSERT INTO users (name, note) VALUES (?, "
+      "?)\",\n"
+      "      {sql::Value(param(request, \"n\")), sql::Value(param(request, "
+      "\"note\"))},\n"
+      "      \"add\");",
+      store);
+  EXPECT_TRUE(e.scan.findings.empty());
+  ASSERT_EQ(e.scan.sinks.size(), 1u);
+  EXPECT_TRUE(e.scan.sinks[0].prepared);
+  // Bound string parameters must synthesize quoted literals so the benign
+  // statement's item types match what the runtime binds.
+  EXPECT_EQ(e.scan.sinks[0].benign_text(),
+            "INSERT INTO users (name, note) VALUES ('x', 'x')");
+  ASSERT_EQ(e.models.size(), 1u);
+  EXPECT_EQ(e.models[0].id.rfind("demo:add#", 0), 0u) << e.models[0].id;
+}
+
+TEST(ScanDataflow, StoredReadbackIsSecondOrderWarning) {
+  AppScan s = findings_of(
+      "  auto rs = ctx.sql(\"SELECT note FROM users WHERE id = 1\", "
+      "\"read\");\n"
+      "  std::string note = rs.rows[0][0].coerce_string();\n"
+      "  ctx.sql(\"SELECT id FROM t WHERE name = '\" + note + \"'\", "
+      "\"hop\");");
+  ASSERT_EQ(s.findings.size(), 1u);
+  EXPECT_EQ(s.findings[0].klass, FindingClass::kStoredUnsanitized);
+  EXPECT_EQ(s.findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(s.findings[0].source, "stored:read");
+  EXPECT_EQ(s.findings[0].site, "hop");
+}
+
+TEST(ScanDataflow, ConditionalQueryBuildYieldsBothVariants) {
+  AppScan s = findings_of(
+      "  std::string q = \"SELECT id FROM refs WHERE 1=1\";\n"
+      "  std::string year = mysql_real_escape_string(param(request, "
+      "\"year\"));\n"
+      "  if (!year.empty()) {\n"
+      "    q += \" AND year = '\" + year + \"'\";\n"
+      "  }\n"
+      "  ctx.sql(std::move(q), \"search\");");
+  ASSERT_EQ(s.sinks.size(), 2u);
+  std::vector<std::string> tpls = {s.sinks[0].template_text(),
+                                   s.sinks[1].template_text()};
+  std::sort(tpls.begin(), tpls.end());
+  EXPECT_EQ(tpls[0], "SELECT id FROM refs WHERE 1=1");
+  EXPECT_EQ(tpls[1],
+            "SELECT id FROM refs WHERE 1=1 AND year = '{param:year}'");
+  EXPECT_TRUE(s.findings.empty());
+}
+
+TEST(ScanDataflow, EmptyDefaultTernaryYieldsBothVariants) {
+  AppScan s = findings_of(
+      "  std::string v = mysql_real_escape_string(param(request, \"v\"));\n"
+      "  ctx.sql(\"SELECT * FROM t WHERE n = \" + (v.empty() ? \"0\" : v), "
+      "\"q\");");
+  ASSERT_EQ(s.sinks.size(), 2u);
+  // The non-empty world still carries the escape-numeric mismatch.
+  ASSERT_EQ(s.findings.size(), 1u);
+  EXPECT_EQ(s.findings[0].klass, FindingClass::kEscapeNumericMismatch);
+}
+
+TEST(ScanDataflow, RouteLabelsAttachToFindings) {
+  AppScan s = findings_of(
+      "  if (request.path == \"/lookup\") {\n"
+      "    ctx.sql(\"SELECT id FROM t WHERE n = '\" + param(request, "
+      "\"n\") + \"'\", \"q\");\n"
+      "  }");
+  ASSERT_EQ(s.findings.size(), 1u);
+  EXPECT_EQ(s.findings[0].route, "/lookup");
+  ASSERT_EQ(s.sinks.size(), 1u);
+  EXPECT_EQ(s.sinks[0].route, "/lookup");
+}
+
+// ---------------------------------------------------------------- QM emit
+
+TEST(QmEmit, UnparseableTemplateBecomesFinding) {
+  core::QmStore store;
+  ScanReport::AppEntry e = scan_body(
+      "  ctx.sql(\"FROBNICATE \" + param(request, \"x\"), \"bad\");", store);
+  EXPECT_TRUE(has_class(e.scan, FindingClass::kTemplateParseError));
+  EXPECT_TRUE(e.models.empty());
+  EXPECT_EQ(store.model_count(), 0u);
+}
+
+TEST(QmEmit, EmittedIdsCarryTheExternalTag) {
+  core::QmStore store;
+  ScanReport::AppEntry e = scan_body(
+      "  ctx.sql(\"SELECT id FROM users WHERE id = \" + "
+      "std::to_string(intval(param(request, \"id\"))), \"one\");",
+      store);
+  ASSERT_EQ(e.models.size(), 1u);
+  EXPECT_EQ(e.models[0].id.rfind("demo:one#", 0), 0u) << e.models[0].id;
+  EXPECT_EQ(store.model_count(), 1u);
+  // Without external IDs the key degrades to the internal ID alone,
+  // matching a StackConfig with emit_external_ids = false.
+  core::QmStore bare;
+  ScannerConfig cfg;
+  cfg.emit_external_ids = false;
+  ScanReport::AppEntry e2 = scan_source(
+      wrap("  ctx.sql(\"SELECT id FROM users WHERE id = \" + "
+           "std::to_string(intval(param(request, \"id\"))), \"one\");"),
+      "demo", "demo.cpp", bare, cfg);
+  ASSERT_EQ(e2.models.size(), 1u);
+  EXPECT_EQ(e2.models[0].id.find("demo:"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(Report, JsonEscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("\xe2\x8a\xa5"), "\xe2\x8a\xa5");  // UTF-8 intact
+}
+
+TEST(Report, FileStemStripsDirAndExtension) {
+  EXPECT_EQ(file_stem("src/web/apps/tickets.cpp"), "tickets");
+  EXPECT_EQ(file_stem("plain"), "plain");
+  EXPECT_EQ(file_stem("a/b.c.d"), "b.c");
+}
+
+TEST(Report, TextAndJsonAreDeterministic) {
+  core::QmStore s1, s2;
+  ScanReport r1, r2;
+  const char* body =
+      "  ctx.sql(\"SELECT id FROM t WHERE n = '\" + param(request, \"n\") "
+      "+ \"'\", \"q\");";
+  r1.apps.push_back(scan_body(body, s1));
+  r2.apps.push_back(scan_body(body, s2));
+  EXPECT_EQ(render_json(r1), render_json(r2));
+  EXPECT_EQ(render_text(r1), render_text(r2));
+  EXPECT_EQ(r1.errors(), 1u);
+  EXPECT_EQ(r1.warnings(), 0u);
+}
+
+}  // namespace
+}  // namespace septic::analysis
