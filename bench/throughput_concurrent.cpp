@@ -1,0 +1,232 @@
+// Experiment PR4 — multi-client throughput over the real network stack.
+//
+// A closed-loop driver: N client threads each hold one connection to a
+// real net::Server (thread-pool model) and issue a fixed number of
+// point-SELECTs back-to-back, so offered load tracks service rate and the
+// measured numbers are contention, not queueing artifacts. Three SEPTIC
+// configurations are swept at each client count:
+//   off         no interceptor installed (engine + net floor)
+//   training    SEPTIC learning every query shape (store writes)
+//   prevention  SEPTIC validating against trained models (the hot path
+//               this PR made lock-free: config snapshot, atomic stats,
+//               sharded copy-free model lookups)
+// The interesting ratio is prevention/off as clients grow: before the
+// concurrency work, every on_query serialized on one Septic mutex and
+// every connection paid a thread spawn, so prevention throughput *fell*
+// with client count; now it should track the off floor.
+//
+// Output: human-readable table on stdout, machine-readable BENCH_PR4.json
+// (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh.
+//
+// Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
+// SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16").
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::atoi(v);
+}
+
+std::vector<int> client_counts() {
+  const char* v = std::getenv("SEPTIC_BENCH_NET_CLIENTS");
+  std::string spec = v && *v ? v : "1,2,4,8,16";
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    int n = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (n > 0) out.push_back(n);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+enum class SepticMode { kOff, kTraining, kPrevention };
+
+const char* mode_name(SepticMode m) {
+  switch (m) {
+    case SepticMode::kOff:
+      return "off";
+    case SepticMode::kTraining:
+      return "training";
+    case SepticMode::kPrevention:
+      return "prevention";
+  }
+  return "?";
+}
+
+constexpr int kRows = 256;
+
+struct RunResult {
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  size_t queries = 0;
+  size_t errors = 0;
+  uint64_t overflow_workers = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+RunResult run_one(SepticMode mode, int clients, int queries_per_client) {
+  septic::engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  for (int i = 0; i < kRows; i += 32) {
+    std::string sql = "INSERT INTO bench (v) VALUES ";
+    for (int j = 0; j < 32; ++j) {
+      if (j) sql += ", ";
+      sql += "('row" + std::to_string(i + j) + "')";
+    }
+    db.execute_admin(sql);
+  }
+
+  std::shared_ptr<septic::core::Septic> septic;
+  if (mode != SepticMode::kOff) {
+    septic = std::make_shared<septic::core::Septic>();
+    septic->set_mode(septic::core::Mode::kTraining);
+    db.set_interceptor(septic);
+    if (mode == SepticMode::kPrevention) {
+      // Train the one workload shape, then flip: the measured runs must
+      // take the model-validation path, never the learning path.
+      septic::engine::Session trainer("bench-trainer");
+      db.execute(trainer, "SELECT id, v FROM bench WHERE id = 1");
+      septic->set_mode(septic::core::Mode::kPrevention);
+    }
+  }
+
+  septic::net::ServerOptions opts;
+  opts.max_connections = 0;  // the driver controls concurrency
+  auto server = std::make_unique<septic::net::Server>(db, 0, opts);
+  server->start();
+  uint16_t port = server->port();
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::vector<size_t> errors(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      septic::net::Client client(port);
+      auto& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(queries_per_client));
+      // Warm the connection + per-thread allocator off the clock.
+      for (int w = 0; w < 3; ++w) {
+        client.query("SELECT id, v FROM bench WHERE id = 1");
+      }
+      for (int i = 0; i < queries_per_client; ++i) {
+        int key = (c * 131 + i) % kRows + 1;
+        auto q0 = Clock::now();
+        try {
+          client.query("SELECT id, v FROM bench WHERE id = " +
+                       std::to_string(key));
+        } catch (const std::exception&) {
+          ++errors[static_cast<size_t>(c)];
+        }
+        lat.push_back(std::chrono::duration<double, std::micro>(
+                          Clock::now() - q0)
+                          .count());
+      }
+      client.quit();
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunResult r;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  for (size_t e : errors) r.errors += e;
+  std::sort(all.begin(), all.end());
+  r.queries = all.size();
+  r.qps = wall > 0 ? static_cast<double>(all.size()) / wall : 0;
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.overflow_workers = server->overflow_workers_spawned();
+  server->stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
+  const std::vector<int> counts = client_counts();
+  const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
+  if (!json_path || !*json_path) json_path = "BENCH_PR4.json";
+
+  std::printf("# PR4: multi-client closed-loop throughput over the net "
+              "stack\n");
+  std::printf("# queries/client=%d worker_threads=%zu hw_threads=%u\n",
+              per_client, septic::net::ServerOptions{}.worker_threads,
+              std::thread::hardware_concurrency());
+  std::printf("%-12s %8s %10s %12s %12s %8s %9s\n", "config", "clients",
+              "qps", "p50_us", "p99_us", "errors", "overflow");
+
+  const SepticMode modes[] = {SepticMode::kOff, SepticMode::kTraining,
+                              SepticMode::kPrevention};
+  std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
+  json += "  \"queries_per_client\": " + std::to_string(per_client) + ",\n";
+  json += "  \"worker_threads\": " +
+          std::to_string(septic::net::ServerOptions{}.worker_threads) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"configs\": {\n";
+  for (size_t m = 0; m < 3; ++m) {
+    json += std::string("    \"") + mode_name(modes[m]) + "\": {\n";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      int n = counts[i];
+      RunResult r = run_one(modes[m], n, per_client);
+      std::printf("%-12s %8d %10.0f %12.1f %12.1f %8zu %9llu\n",
+                  mode_name(modes[m]), n, r.qps, r.p50_us, r.p99_us,
+                  r.errors,
+                  static_cast<unsigned long long>(r.overflow_workers));
+      std::fflush(stdout);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "      \"%d\": {\"qps\": %.1f, \"p50_us\": %.1f, "
+                    "\"p99_us\": %.1f, \"queries\": %zu, \"errors\": %zu, "
+                    "\"overflow_workers\": %llu}%s\n",
+                    n, r.qps, r.p50_us, r.p99_us, r.queries, r.errors,
+                    static_cast<unsigned long long>(r.overflow_workers),
+                    i + 1 < counts.size() ? "," : "");
+      json += buf;
+    }
+    json += m + 1 < 3 ? "    },\n" : "    }\n";
+  }
+  json += "  }\n}\n";
+
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\n# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build the release-nofailpoints preset (production shape: full
+# optimization, zero failpoint probes) and run the PR4 multi-client
+# throughput bench over the real net stack, writing BENCH_PR4.json at the
+# repository root.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Scale knobs pass through to the bench:
+#   SEPTIC_BENCH_NET_QUERIES   queries per client per config (default 300)
+#   SEPTIC_BENCH_NET_CLIENTS   comma list of client counts (default 1,2,4,8,16)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake --preset release-nofailpoints
+cmake --build --preset release-nofailpoints -j "${jobs}" \
+      --target throughput_concurrent
+
+SEPTIC_BENCH_JSON="${out}" ./build-release/bench/throughput_concurrent
+echo "== ${out} =="
+cat "${out}"

@@ -13,12 +13,17 @@
 #            Findings themselves are expected on the stock apps (they carry
 #            the corpus's deliberate weaknesses) and are gated byte-exactly
 #            by the test tier's golden files.
+#   bench  — scripts/bench.sh (release build + PR4 throughput bench ->
+#            BENCH_PR4.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
+#            the default gate stays fast and benches never run on loaded
+#            CI machines by accident.
 #
 # Usage:
 #   scripts/check.sh                # build test lint ubsan scan
 #   scripts/check.sh build test     # just those tiers
 #   scripts/check.sh asan|tsan      # full ctest under that sanitizer
 #   scripts/check.sh all            # default tiers + asan + tsan
+#   SEPTIC_RUN_BENCH=1 scripts/check.sh bench
 #
 # Exit: non-zero iff any executed tier FAILs. A summary table is always
 # printed.
@@ -95,6 +100,14 @@ tier_scan() {
   return 1
 }
 
+tier_bench() {
+  if [ "${SEPTIC_RUN_BENCH:-0}" != "1" ]; then
+    echo "-- bench disabled (set SEPTIC_RUN_BENCH=1 to run); skipping"
+    return 77
+  fi
+  scripts/bench.sh
+}
+
 run_tier() {
   local name=$1
   echo
@@ -134,10 +147,10 @@ fi
 
 for t in "${tiers[@]}"; do
   case "${t}" in
-    build|test|lint|ubsan|scan) run_tier "${t}" ;;
+    build|test|lint|ubsan|scan|bench) run_tier "${t}" ;;
     asan|tsan) run_preset_full "${t}" ;;
     *)
-      echo "usage: $0 [build|test|lint|ubsan|scan|asan|tsan|all ...]" >&2
+      echo "usage: $0 [build|test|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
       exit 2
       ;;
   esac

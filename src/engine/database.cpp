@@ -38,14 +38,13 @@ InterceptDecision run_interceptor(QueryInterceptor& interceptor,
 }  // namespace
 
 ResultSet Database::execute(Session& session, std::string_view raw_sql) {
-  std::lock_guard lock(mu_);
-
-  // 1. Character-set conversion (where U+02BC becomes a plain quote).
+  // 1. Character-set conversion (where U+02BC becomes a plain quote) —
+  // pure text work, outside the engine lock.
   std::string converted = charset_conversion_
                               ? common::server_charset_convert(raw_sql)
                               : std::string(raw_sql);
 
-  // 2+3. Lex, parse.
+  // 2+3. Lex, parse — also pure; concurrent connections parse in parallel.
   sql::ParsedQuery parsed;
   try {
     parsed = sql::parse(converted);
@@ -63,29 +62,39 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
     return handle_transaction(session,
                               std::get<sql::TransactionStmt>(parsed.statement));
   }
-  if (txn_active_ && session.id() != txn_owner_) {
-    throw DbError(ErrorCode::kUnsupported,
-                  "another session's transaction is in progress");
+
+  // 4. Validation against the catalog (short lock): the interceptor must
+  // only ever see catalog-valid statements, exactly as before.
+  std::shared_ptr<QueryInterceptor> interceptor;
+  {
+    std::lock_guard lock(mu_);
+    check_txn_conflict_locked(session);
+    validate_statement(catalog_, parsed.statement);
+    interceptor = interceptor_;
   }
 
-  // 4. Validation against the catalog.
-  validate_statement(catalog_, parsed.statement);
-
-  // 5. Item stack + interceptor (SEPTIC's hook point).
-  if (interceptor_) {
+  // 5. Item stack + interceptor (SEPTIC's hook point) — outside the lock:
+  // this is the per-query detection fast path, and it scales with client
+  // count instead of queueing behind the single-writer engine.
+  if (interceptor) {
     sql::ItemStack stack = sql::build_item_stack(parsed.statement);
     QueryEvent event{parsed, stack, session.id(), session.user()};
-    InterceptDecision decision = run_interceptor(*interceptor_, event);
+    InterceptDecision decision = run_interceptor(*interceptor, event);
     if (!decision.allow) {
-      ++blocked_count_;
+      blocked_count_.fetch_add(1, std::memory_order_relaxed);
       throw DbError(ErrorCode::kBlocked,
                     decision.reason.empty() ? "query dropped by interceptor"
                                             : decision.reason);
     }
   }
 
-  // 6. Execution.
-  ++executed_count_;
+  // 6. Execution (the serialized stage). Re-check transaction ownership
+  // and re-validate: a transaction or DDL that raced the unlocked window
+  // surfaces as a normal engine error here, never as executor UB.
+  std::lock_guard lock(mu_);
+  check_txn_conflict_locked(session);
+  validate_statement(catalog_, parsed.statement);
+  executed_count_.fetch_add(1, std::memory_order_relaxed);
   return execute_statement(catalog_, session, parsed.statement);
 }
 
@@ -94,8 +103,16 @@ ResultSet Database::execute_admin(std::string_view raw_sql) {
   return execute(admin, raw_sql);
 }
 
+void Database::check_txn_conflict_locked(const Session& session) const {
+  if (txn_active_ && session.id() != txn_owner_) {
+    throw DbError(ErrorCode::kUnsupported,
+                  "another session's transaction is in progress");
+  }
+}
+
 ResultSet Database::handle_transaction(Session& session,
                                        const sql::TransactionStmt& txn) {
+  std::lock_guard lock(mu_);
   switch (txn.op) {
     case sql::TransactionStmt::Op::kBegin:
       if (txn_active_) {
@@ -216,11 +233,10 @@ size_t bind_statement(sql::Statement& stmt,
 ResultSet Database::execute_prepared(Session& session,
                                      std::string_view template_sql,
                                      const std::vector<sql::Value>& params) {
-  std::lock_guard lock(mu_);
-
   // The TEMPLATE undergoes charset conversion (it is statement text); the
   // bound parameters do not (they travel as typed data in the binary
-  // protocol and can never be re-lexed).
+  // protocol and can never be re-lexed). Conversion, parse, and binding
+  // are all pure per-query work and run outside the engine lock.
   std::string converted = charset_conversion_
                               ? common::server_charset_convert(template_sql)
                               : std::string(template_sql);
@@ -239,10 +255,6 @@ ResultSet Database::execute_prepared(Session& session,
     return handle_transaction(session,
                               std::get<sql::TransactionStmt>(parsed.statement));
   }
-  if (txn_active_ && session.id() != txn_owner_) {
-    throw DbError(ErrorCode::kUnsupported,
-                  "another session's transaction is in progress");
-  }
 
   size_t bound = bind_statement(parsed.statement, params);
   if (bound != params.size()) {
@@ -252,21 +264,30 @@ ResultSet Database::execute_prepared(Session& session,
                       std::to_string(params.size()));
   }
 
-  validate_statement(catalog_, parsed.statement);
+  std::shared_ptr<QueryInterceptor> interceptor;
+  {
+    std::lock_guard lock(mu_);
+    check_txn_conflict_locked(session);
+    validate_statement(catalog_, parsed.statement);
+    interceptor = interceptor_;
+  }
 
-  if (interceptor_) {
+  if (interceptor) {
     sql::ItemStack stack = sql::build_item_stack(parsed.statement);
     QueryEvent event{parsed, stack, session.id(), session.user()};
-    InterceptDecision decision = run_interceptor(*interceptor_, event);
+    InterceptDecision decision = run_interceptor(*interceptor, event);
     if (!decision.allow) {
-      ++blocked_count_;
+      blocked_count_.fetch_add(1, std::memory_order_relaxed);
       throw DbError(ErrorCode::kBlocked,
                     decision.reason.empty() ? "query dropped by interceptor"
                                             : decision.reason);
     }
   }
 
-  ++executed_count_;
+  std::lock_guard lock(mu_);
+  check_txn_conflict_locked(session);
+  validate_statement(catalog_, parsed.statement);
+  executed_count_.fetch_add(1, std::memory_order_relaxed);
   return execute_statement(catalog_, session, parsed.statement);
 }
 

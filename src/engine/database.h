@@ -7,10 +7,19 @@
 // server has decoded confusable Unicode, stripped comments, and resolved
 // the parse — which is what lets SEPTIC close the semantic-mismatch gap.
 //
-// Thread-safe: execute() serializes on an internal mutex (the storage
-// engine is single-writer); fine for the workloads reproduced here.
+// Thread-safe. Only the catalog-touching stages serialize on the internal
+// mutex (the storage engine is single-writer): validation, transaction
+// state, and execution. Charset conversion, lex/parse, item-stack
+// construction, and the interceptor hook all run outside the lock, so
+// SEPTIC's detection work from many connections proceeds in parallel and
+// only the final execute step queues. Validation runs twice: once before
+// the hook (the interceptor must only ever see catalog-valid statements)
+// and again under the execution lock (a concurrent DDL between the two
+// sections surfaces as a normal validation error, never as undefined
+// executor behavior).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,9 +70,13 @@ class Database {
 
   /// Number of statements that reached execution (post-hook), for tests
   /// and the detection benches.
-  uint64_t executed_count() const { return executed_count_; }
+  uint64_t executed_count() const {
+    return executed_count_.load(std::memory_order_relaxed);
+  }
   /// Number of statements dropped by the interceptor.
-  uint64_t blocked_count() const { return blocked_count_; }
+  uint64_t blocked_count() const {
+    return blocked_count_.load(std::memory_order_relaxed);
+  }
 
   /// True while a transaction is open (any session).
   bool in_transaction() const;
@@ -73,18 +86,21 @@ class Database {
   void rollback_if_owner(uint64_t session_id);
 
  private:
-  /// Handle BEGIN/COMMIT/ROLLBACK. Transactions are snapshot-based and
-  /// serialized: one open transaction at a time, statements from other
-  /// sessions are rejected until it finishes (coarse but honest
-  /// serializable semantics for a single-writer engine).
+  /// Handle BEGIN/COMMIT/ROLLBACK (takes mu_ itself). Transactions are
+  /// snapshot-based and serialized: one open transaction at a time,
+  /// statements from other sessions are rejected until it finishes (coarse
+  /// but honest serializable semantics for a single-writer engine).
   ResultSet handle_transaction(Session& session,
                                const sql::TransactionStmt& txn);
+
+  /// Throw when another session's transaction is open. Caller holds mu_.
+  void check_txn_conflict_locked(const Session& session) const;
 
   mutable std::mutex mu_;
   storage::Catalog catalog_;
   std::shared_ptr<QueryInterceptor> interceptor_;
-  uint64_t executed_count_ = 0;
-  uint64_t blocked_count_ = 0;
+  std::atomic<uint64_t> executed_count_{0};
+  std::atomic<uint64_t> blocked_count_{0};
 
   bool txn_active_ = false;
   uint64_t txn_owner_ = 0;

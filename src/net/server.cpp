@@ -6,6 +6,8 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
@@ -41,6 +43,10 @@ void set_socket_timeouts(int fd, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+/// Ceiling for the accept-failure backoff: long enough to stop the spin,
+/// short enough that a recovered fd table is noticed promptly.
+constexpr int kMaxAcceptBackoffMs = 100;
+
 }  // namespace
 
 Server::Server(engine::Database& db, uint16_t port)
@@ -74,6 +80,10 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.exchange(true)) return;
+  pool_.reserve(options_.worker_threads);
+  for (size_t i = 0; i < options_.worker_threads; ++i) {
+    pool_.emplace_back([this] { pool_worker(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -83,7 +93,17 @@ void Server::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  std::vector<std::unique_ptr<Conn>> conns;
+  // Connections still queued were never served: close them outright. Once
+  // queue_mu_ is released with running_ false, no worker can pop again.
+  {
+    std::lock_guard lock(queue_mu_);
+    for (int fd : pending_) {
+      ::close(fd);
+      --active_;
+    }
+    pending_.clear();
+  }
+  queue_cv_.notify_all();
   {
     std::lock_guard lock(conns_mu_);
     // Wake workers blocked in recv(). Workers close their fd under this
@@ -91,28 +111,83 @@ void Server::stop() {
     for (auto& c : conns_) {
       if (!c->closed) ::shutdown(c->fd, SHUT_RDWR);
     }
-    conns.swap(conns_);
   }
-  for (auto& c : conns) {
-    if (c->thread.joinable()) c->thread.join();
+  for (auto& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  std::vector<std::unique_ptr<OverflowWorker>> overflow;
+  {
+    std::lock_guard lock(overflow_mu_);
+    overflow.swap(overflow_);
+  }
+  for (auto& w : overflow) {
+    if (w->thread.joinable()) w->thread.join();
   }
 }
 
-void Server::reap_finished_locked() {
-  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
-    if (!c->done.load()) return false;
-    if (c->thread.joinable()) c->thread.join();
+void Server::reap_overflow_locked() {
+  std::erase_if(overflow_, [](const std::unique_ptr<OverflowWorker>& w) {
+    if (!w->done.load(std::memory_order_acquire)) return false;
+    if (w->thread.joinable()) w->thread.join();
     return true;
   });
 }
 
+int Server::pop_pending(bool wait) {
+  std::unique_lock lock(queue_mu_);
+  if (wait) {
+    ++idle_workers_;
+    queue_cv_.wait(lock, [this] { return !running_ || !pending_.empty(); });
+    --idle_workers_;
+  }
+  if (!running_ || pending_.empty()) return -1;
+  int fd = pending_.front();
+  pending_.pop_front();
+  return fd;
+}
+
+void Server::pool_worker() {
+  while (running_) {
+    int fd = pop_pending(/*wait=*/true);
+    if (fd < 0) continue;  // stopping; the while re-checks
+    serve_connection(fd);
+  }
+}
+
+void Server::overflow_worker(OverflowWorker* self) {
+  // Burst relief: drain whatever is queued right now, then retire.
+  for (;;) {
+    int fd = pop_pending(/*wait=*/false);
+    if (fd < 0) break;
+    serve_connection(fd);
+  }
+  self->done.store(true, std::memory_order_release);
+}
+
 void Server::accept_loop() {
+  int backoff_ms = 0;
   while (running_) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
+    SEPTIC_FAILPOINT_HOOK("net.server.accept.fail") {
+      // Simulate persistent accept() failure (EMFILE: the process is out
+      // of fds, so the pending connection cannot be taken).
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
     if (fd < 0) {
       if (!running_) break;
+      // EMFILE/ENFILE pressure persists across retries: spinning on
+      // accept() burns the CPU the live connections need to drain (which
+      // is what frees fds). Back off, capped, and count it.
+      ++accept_failures_;
+      backoff_ms = backoff_ms == 0
+                       ? 1
+                       : std::min(backoff_ms * 2, kMaxAcceptBackoffMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       continue;
     }
+    backoff_ms = 0;
     if (options_.max_connections != 0 &&
         active_.load() >= options_.max_connections) {
       // Past the cap: a graceful verdict, not a silent RST. The client
@@ -127,18 +202,57 @@ void Server::accept_loop() {
     }
     ++connections_;
     ++active_;
-    std::lock_guard lock(conns_mu_);
-    reap_finished_locked();
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    Conn* raw = conn.get();
-    conns_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] { serve_connection(*raw); });
+    bool saturated;
+    {
+      std::lock_guard lock(queue_mu_);
+      pending_.push_back(fd);
+      // idle_workers_ and pending_ are consistent under queue_mu_: each
+      // idle worker is committed to taking exactly one queued fd, so a
+      // queue longer than the idle count needs burst relief or the excess
+      // would wait behind live connections.
+      saturated = pending_.size() > idle_workers_;
+    }
+    queue_cv_.notify_one();
+    if (saturated) {
+      std::lock_guard lock(overflow_mu_);
+      reap_overflow_locked();
+      auto worker = std::make_unique<OverflowWorker>();
+      OverflowWorker* raw = worker.get();
+      overflow_.push_back(std::move(worker));
+      ++overflow_spawned_;
+      raw->thread = std::thread([this, raw] { overflow_worker(raw); });
+    }
   }
 }
 
-void Server::serve_connection(Conn& conn) {
-  const int fd = conn.fd;
+void Server::serve_connection(int fd) {
+  // Register the fd so stop() can wake a blocking recv(); the registry,
+  // not this thread, is who stop() trusts about fd liveness.
+  Conn* conn = nullptr;
+  {
+    std::lock_guard lock(conns_mu_);
+    auto owned = std::make_unique<Conn>();
+    owned->fd = fd;
+    conn = owned.get();
+    conns_.push_back(std::move(owned));
+  }
+  auto unregister = [this, conn, fd] {
+    std::lock_guard lock(conns_mu_);
+    ::close(fd);
+    conn->closed = true;
+    std::erase_if(conns_, [conn](const std::unique_ptr<Conn>& c) {
+      return c.get() == conn;
+    });
+    --active_;
+  };
+  // stop() may have run between the queue pop and the registration above;
+  // its shutdown pass could not see this fd, so bail out here instead of
+  // blocking in recv() forever.
+  if (!running_) {
+    unregister();
+    return;
+  }
+
   set_socket_timeouts(fd, options_.idle_timeout_ms);
   engine::Session session("net-client");
   FrameDecoder decoder;
@@ -198,9 +312,15 @@ void Server::serve_connection(Conn& conn) {
               size_t len = std::strtoull(
                   std::string(body.substr(pos, colon - pos)).c_str(), nullptr,
                   10);
-              if (colon + 1 + len > body.size()) {
-                throw engine::DbError(engine::ErrorCode::kSyntax,
-                                      "truncated parameter");
+              // The declared length is attacker-controlled: compare it
+              // against the bytes that remain, never via `colon + 1 + len`
+              // (a huge len wraps size_t and sails past the check).
+              size_t remaining = body.size() - colon - 1;
+              if (len > remaining) {
+                throw engine::DbError(
+                    engine::ErrorCode::kSyntax,
+                    "truncated parameter: declared " + std::to_string(len) +
+                        " byte(s), " + std::to_string(remaining) + " remain");
               }
               sql::Value v;
               if (!sql::Value::from_repr(body.substr(colon + 1, len), v)) {
@@ -258,13 +378,7 @@ void Server::serve_connection(Conn& conn) {
   // Close under conns_mu_ with `closed` set in the same critical section:
   // once the fd number is released to the OS it may be recycled, and
   // stop() must never shutdown() somebody else's fd.
-  {
-    std::lock_guard lock(conns_mu_);
-    ::close(fd);
-    conn.closed = true;
-  }
-  --active_;
-  conn.done.store(true, std::memory_order_release);
+  unregister();
 }
 
 }  // namespace septic::net

@@ -1,16 +1,31 @@
 // TCP server exposing a Database (and whatever interceptor — SEPTIC — is
-// installed in it) to remote clients. Thread-per-connection; sessions are
-// per-connection, like MySQL's.
+// installed in it) to remote clients. Sessions are per-connection, like
+// MySQL's.
+//
+// Threading model: a fixed pool of `worker_threads` pooled workers pulls
+// accepted sockets from an accept queue, so steady-state traffic creates
+// and destroys no threads at all (the old thread-per-connection model paid
+// a spawn/join per connection and was unbounded). A connection occupies
+// its worker for its whole life — blocking reads keep the per-connection
+// code straight-line — so when every pooled worker is occupied and another
+// connection arrives, a transient *overflow* worker is spawned for it and
+// exits once the queue is drained again. Total live threads are therefore
+// bounded by max_connections, and a burst beyond the pool degrades to
+// exactly the old behavior rather than to queueing latency.
 //
 // Hardening (an in-path defense must not be the easiest thing to knock
 // over): a max-concurrent-connections cap (excess connections get a polite
 // BUSY error frame and a close), per-connection idle timeouts
-// (SO_RCVTIMEO/SO_SNDTIMEO), and a per-frame size guard (oversized frames
-// are rejected before their payload is buffered).
+// (SO_RCVTIMEO/SO_SNDTIMEO), a per-frame size guard (oversized frames are
+// rejected before their payload is buffered), and capped exponential
+// backoff when accept() itself fails persistently (EMFILE/ENFILE) — the
+// accept loop must degrade to slow, not to a 100%-CPU spin.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -31,6 +46,12 @@ struct ServerOptions {
   int idle_timeout_ms = 0;
   /// Per-frame size guard for this server's connections.
   uint32_t max_frame_size = FrameDecoder::kMaxFrameSize;
+  /// Pooled worker threads serving connections from the accept queue.
+  /// Connections beyond this are served by transient overflow threads
+  /// (bounded by max_connections), so the pool size tunes thread reuse,
+  /// never availability. 0 = no pool (every connection overflows — the old
+  /// thread-per-connection behavior).
+  size_t worker_threads = 8;
 };
 
 class Server {
@@ -43,9 +64,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Start the accept loop in a background thread.
+  /// Start the accept loop and the worker pool in background threads.
   void start();
-  /// Stop accepting, close the listener, join all connection threads.
+  /// Stop accepting, close the listener, drain the queue, join all
+  /// pooled and overflow threads.
   void stop();
 
   uint16_t port() const { return port_; }
@@ -54,39 +76,68 @@ class Server {
   uint64_t connections_served() const { return connections_; }
   /// Connections turned away by the max_connections cap.
   uint64_t connections_rejected() const { return rejected_; }
-  /// Connections currently being served.
+  /// Connections currently being served or queued for a worker.
   size_t active_connections() const { return active_; }
+  /// accept() failures survived with backoff (EMFILE/ENFILE pressure).
+  uint64_t accept_failures() const { return accept_failures_; }
+  /// Transient overflow threads spawned because the pool was saturated.
+  uint64_t overflow_workers_spawned() const { return overflow_spawned_; }
 
  private:
-  // One live connection, owned by the registry (conns_), never by the
-  // worker. The worker thread is the only closer of its fd, and it closes
-  // while holding conns_mu_ with `closed` set in the same critical
-  // section — so stop(), which shutdown()s still-open fds under the same
-  // lock, can never touch an fd number the OS has recycled. `done` marks
-  // the worker finished so the accept loop can reap its thread while the
-  // server keeps running.
+  // One live connection's fd, owned by the registry (conns_), never by the
+  // serving thread. The serving thread is the only closer of its fd, and
+  // it closes while holding conns_mu_ with `closed` set in the same
+  // critical section — so stop(), which shutdown()s still-open fds under
+  // the same lock, can never touch an fd number the OS has recycled.
   struct Conn {
     int fd = -1;
-    std::thread thread;
     bool closed = false;  // guarded by conns_mu_
+  };
+
+  // A transient worker past the pool: thread-per-connection burst relief.
+  // `done` marks it finished so the accept loop can reap its thread while
+  // the server keeps running.
+  struct OverflowWorker {
+    std::thread thread;
     std::atomic<bool> done{false};
   };
 
   void accept_loop();
-  void serve_connection(Conn& conn);
-  void reap_finished_locked();
+  /// Pooled worker body: pop fds until stop.
+  void pool_worker();
+  /// Overflow worker body: drain whatever is queued right now, then exit.
+  void overflow_worker(OverflowWorker* self);
+  void serve_connection(int fd);
+  /// Pop one pending fd; blocks when `wait`. Returns -1 when stopping /
+  /// nothing queued.
+  int pop_pending(bool wait);
+  void reap_overflow_locked();
 
   engine::Database& db_;
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
+
+  // Accept queue: accepted fds waiting for a worker.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+  size_t idle_workers_ = 0;  // pooled workers blocked in pop_pending
+
+  std::vector<std::thread> pool_;
+  std::vector<std::unique_ptr<OverflowWorker>> overflow_;
+  std::mutex overflow_mu_;
+
   std::vector<std::unique_ptr<Conn>> conns_;
   std::mutex conns_mu_;
+
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> accept_failures_{0};
+  std::atomic<uint64_t> overflow_spawned_{0};
 };
 
 }  // namespace septic::net

@@ -1,6 +1,7 @@
 #include "septic/qm_store.h"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,101 +27,166 @@ void note_skip(QmLoadReport& report, size_t line_no, const char* why) {
   }
 }
 
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
+QmStore::QmStore(size_t shards)
+    : shards_(round_up_pow2(std::max<size_t>(shards, 1))),
+      shard_mask_(shards_.size() - 1) {}
+
 bool QmStore::add(const std::string& id, const QueryModel& qm) {
-  std::lock_guard lock(mu_);
-  auto& vec = models_[id];
-  if (std::find(vec.begin(), vec.end(), qm) != vec.end()) return false;
-  vec.push_back(qm);
+  Shard& s = shard_for(id);
+  std::unique_lock lock(s.mu);
+  auto it = s.models.find(id);
+  if (it == s.models.end()) {
+    auto vec = std::make_shared<std::vector<QueryModel>>();
+    vec->push_back(qm);
+    s.models.emplace(id, std::move(vec));
+    return true;
+  }
+  const std::vector<QueryModel>& cur = *it->second;
+  if (std::find(cur.begin(), cur.end(), qm) != cur.end()) return false;
+  // Copy-on-write: readers holding the old set keep a consistent view.
+  auto next = std::make_shared<std::vector<QueryModel>>(cur);
+  next->push_back(qm);
+  it->second = std::move(next);
   return true;
 }
 
+void QmStore::add_loaded(std::string id, QueryModel qm) {
+  Shard& s = shard_for(id);
+  std::unique_lock lock(s.mu);
+  auto it = s.models.find(id);
+  if (it == s.models.end()) {
+    auto vec = std::make_shared<std::vector<QueryModel>>();
+    vec->push_back(std::move(qm));
+    s.models.emplace(std::move(id), std::move(vec));
+    return;
+  }
+  auto next = std::make_shared<std::vector<QueryModel>>(*it->second);
+  next->push_back(std::move(qm));
+  it->second = std::move(next);
+}
+
 std::vector<QueryModel> QmStore::lookup(const std::string& id) const {
-  std::lock_guard lock(mu_);
-  auto it = models_.find(id);
-  if (it == models_.end()) return {};
+  ModelSet set = snapshot(id);
+  if (!set) return {};
+  return *set;
+}
+
+QmStore::ModelSet QmStore::snapshot(const std::string& id) const {
+  const Shard& s = shard_for(id);
+  std::shared_lock lock(s.mu);
+  auto it = s.models.find(id);
+  if (it == s.models.end()) return nullptr;
   return it->second;
 }
 
 bool QmStore::remove(const std::string& id, const QueryModel& qm) {
-  std::lock_guard lock(mu_);
-  auto it = models_.find(id);
-  if (it == models_.end()) return false;
-  auto& vec = it->second;
-  auto pos = std::find(vec.begin(), vec.end(), qm);
-  if (pos == vec.end()) return false;
-  vec.erase(pos);
-  if (vec.empty()) models_.erase(it);
+  Shard& s = shard_for(id);
+  std::unique_lock lock(s.mu);
+  auto it = s.models.find(id);
+  if (it == s.models.end()) return false;
+  const std::vector<QueryModel>& cur = *it->second;
+  auto pos = std::find(cur.begin(), cur.end(), qm);
+  if (pos == cur.end()) return false;
+  if (cur.size() == 1) {
+    s.models.erase(it);
+    return true;
+  }
+  auto next = std::make_shared<std::vector<QueryModel>>();
+  next->reserve(cur.size() - 1);
+  for (const auto& m : cur) {
+    if (!(m == qm)) next->push_back(m);
+  }
+  it->second = std::move(next);
   return true;
 }
 
 bool QmStore::contains(const std::string& id) const {
-  std::lock_guard lock(mu_);
-  return models_.count(id) > 0;
+  const Shard& s = shard_for(id);
+  std::shared_lock lock(s.mu);
+  return s.models.count(id) > 0;
 }
 
 size_t QmStore::id_count() const {
-  std::lock_guard lock(mu_);
-  return models_.size();
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    n += s.models.size();
+  }
+  return n;
 }
 
 size_t QmStore::model_count() const {
-  std::lock_guard lock(mu_);
   size_t n = 0;
-  for (const auto& [id, vec] : models_) n += vec.size();
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    for (const auto& [id, vec] : s.models) n += vec->size();
+  }
   return n;
 }
 
 void QmStore::clear() {
-  std::lock_guard lock(mu_);
-  models_.clear();
+  for (Shard& s : shards_) {
+    std::unique_lock lock(s.mu);
+    s.models.clear();
+  }
 }
 
 std::vector<std::string> QmStore::ids() const {
-  std::lock_guard lock(mu_);
   std::vector<std::string> out;
-  out.reserve(models_.size());
-  for (const auto& [id, vec] : models_) out.push_back(id);
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    for (const auto& [id, vec] : s.models) out.push_back(id);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::string QmStore::serialize() const {
-  std::lock_guard lock(mu_);
   std::string out;
-  for (const auto& [id, vec] : models_) {
-    for (const auto& qm : vec) {
-      out += id;
-      out += '\t';
-      out += qm.serialize();
-      out += '\n';
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    for (const auto& [id, vec] : s.models) {
+      for (const auto& qm : *vec) {
+        out += id;
+        out += '\t';
+        out += qm.serialize();
+        out += '\n';
+      }
     }
   }
   return out;
 }
 
 std::string QmStore::serialize_v2() const {
-  std::lock_guard lock(mu_);
   std::string out{kV2Header};
   out += '\n';
-  for (const auto& [id, vec] : models_) {
-    for (const auto& qm : vec) {
-      std::string record = id;
-      record += '\t';
-      record += qm.serialize();
-      out += common::to_hex32(common::crc32(record));
-      out += '\t';
-      out += record;
-      out += '\n';
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    for (const auto& [id, vec] : s.models) {
+      for (const auto& qm : *vec) {
+        std::string record = id;
+        record += '\t';
+        record += qm.serialize();
+        out += common::to_hex32(common::crc32(record));
+        out += '\t';
+        out += record;
+        out += '\n';
+      }
     }
   }
   return out;
 }
 
 void QmStore::deserialize(std::string_view data) {
-  std::lock_guard lock(mu_);
-  models_.clear();
+  clear();
   std::istringstream in{std::string(data)};
   std::string line;
   size_t line_no = 0;
@@ -137,7 +203,7 @@ void QmStore::deserialize(std::string_view data) {
       throw std::runtime_error("QM store: bad model on line " +
                                std::to_string(line_no));
     }
-    models_[line.substr(0, tab)].push_back(std::move(qm));
+    add_loaded(line.substr(0, tab), std::move(qm));
   }
 }
 
@@ -160,8 +226,7 @@ QmLoadReport QmStore::deserialize_salvage(std::string_view data) {
         std::string(data.substr(0, data.find('\n'))) + ")");
   }
 
-  std::lock_guard lock(mu_);
-  models_.clear();
+  clear();
 
   while (pos < data.size()) {
     size_t nl = data.find('\n', pos);
@@ -208,7 +273,7 @@ QmLoadReport QmStore::deserialize_salvage(std::string_view data) {
       note_skip(report, line_no, "unparseable model");
       continue;
     }
-    models_[std::string(record.substr(0, tab))].push_back(std::move(qm));
+    add_loaded(std::string(record.substr(0, tab)), std::move(qm));
     ++report.loaded;
   }
   return report;

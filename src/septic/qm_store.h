@@ -3,6 +3,24 @@
 // across call sites issuing the same command/table/field shape, and a
 // benign query matches if ANY stored model accepts it.
 //
+// Concurrency: the store sits on the per-query fast path of every
+// prevention/detection-mode query, so lookups must not serialize the whole
+// server behind one mutex (the paper's Fig. 5 "~2% overhead" claim is only
+// reachable if detection reads scale with client count). The map is split
+// into lock-striped shards, each guarded by its own std::shared_mutex:
+// readers of different IDs proceed in parallel, readers of the same shard
+// share the lock, and only writers (training / admin rejection) take a
+// shard exclusively. The model set for an ID is an immutable
+// shared_ptr<const vector> replaced copy-on-write by writers, so a reader
+// either borrows it in place under the shard lock (lookup_apply) or pins
+// it with one refcount bump (snapshot) — never by copying models.
+//
+// Cross-shard operations (counts, serialization, clear) lock shards one at
+// a time; they see a consistent per-shard state but not a global atomic
+// snapshot. That is the same guarantee the old single-mutex store gave a
+// saver racing a trainer at the whole-store level, and persistence in a
+// live deployment happens at quiesce points (mode switches) anyway.
+//
 // Models live in memory and can be persisted, mirroring the demo's restart
 // sequence: train, persist, restart in prevention mode, reload. The
 // persistent store is the crown jewels of a prevention deployment — losing
@@ -19,7 +37,8 @@
 //     v1 files ("id<TAB>model" lines) still load.
 #pragma once
 
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,12 +60,42 @@ struct QmLoadReport {
 
 class QmStore {
  public:
+  /// An ID's immutable model set, pinned against concurrent rewrites.
+  using ModelSet = std::shared_ptr<const std::vector<QueryModel>>;
+
+  /// Lock stripes. More shards = less reader/writer collision at the cost
+  /// of a few hundred bytes each; 16 comfortably covers the 1–16 client
+  /// range the throughput bench exercises (see HACKING.md for tuning).
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit QmStore(size_t shards = kDefaultShards);
+
   /// Add a model under an ID; deduplicates identical models. Returns true
   /// when the model was new.
   bool add(const std::string& id, const QueryModel& qm);
 
-  /// Models learned for an ID (empty vector when unknown).
+  /// Models learned for an ID (empty vector when unknown). Copies; prefer
+  /// snapshot()/lookup_apply() on hot paths.
   std::vector<QueryModel> lookup(const std::string& id) const;
+
+  /// Copy-free read: the ID's current model set pinned by refcount
+  /// (nullptr when unknown). The set is immutable — concurrent training
+  /// replaces the vector rather than mutating it, so the caller may read
+  /// without any lock for as long as it holds the pointer.
+  ModelSet snapshot(const std::string& id) const;
+
+  /// Copy-free read in place: invoke `fn(const std::vector<QueryModel>&)`
+  /// under the shard's shared (reader) lock. Returns false (fn not called)
+  /// when the ID is unknown. Keep fn short: it blocks writers to one shard.
+  template <typename Fn>
+  bool lookup_apply(const std::string& id, Fn&& fn) const {
+    const Shard& s = shard_for(id);
+    std::shared_lock lock(s.mu);
+    auto it = s.models.find(id);
+    if (it == s.models.end()) return false;
+    fn(*it->second);
+    return true;
+  }
 
   /// Remove one model from an ID's set (admin rejection); drops the ID
   /// entirely when its set becomes empty. Returns false when absent.
@@ -57,6 +106,8 @@ class QmStore {
   size_t id_count() const;
   size_t model_count() const;
   void clear();
+
+  size_t shard_count() const { return shards_.size(); }
 
   /// All IDs with at least one model, sorted (stable for tests/tools).
   std::vector<std::string> ids() const;
@@ -84,8 +135,23 @@ class QmStore {
   void deserialize(std::string_view data);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<QueryModel>> models_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, ModelSet> models;
+  };
+
+  Shard& shard_for(const std::string& id) {
+    return shards_[std::hash<std::string>{}(id) & shard_mask_];
+  }
+  const Shard& shard_for(const std::string& id) const {
+    return shards_[std::hash<std::string>{}(id) & shard_mask_];
+  }
+
+  /// Insert without dedup bookkeeping (bulk loads own the whole store).
+  void add_loaded(std::string id, QueryModel qm);
+
+  std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
 };
 
 }  // namespace septic::core

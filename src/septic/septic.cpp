@@ -1,5 +1,8 @@
 #include "septic/septic.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/failpoint.h"
 
 namespace septic::core {
@@ -7,58 +10,53 @@ namespace septic::core {
 Septic::Septic() : Septic(Config{}) {}
 
 Septic::Septic(Config config)
-    : config_(config), plugins_(make_default_plugins()) {}
+    : config_(std::make_shared<const Config>(config)),
+      plugins_(make_default_plugins()) {}
+
+template <typename Fn>
+void Septic::update_config(Fn&& fn) {
+  std::lock_guard lock(config_mu_);
+  Config next = *config_.load(std::memory_order_acquire);
+  fn(next);
+  config_.store(std::make_shared<const Config>(next),
+                std::memory_order_release);
+}
 
 void Septic::set_mode(Mode mode) {
-  {
-    std::lock_guard lock(mu_);
-    config_.mode = mode;
-  }
+  update_config([mode](Config& c) { c.mode = mode; });
   Event e;
   e.kind = EventKind::kModeChanged;
   e.detail = std::string("mode set to ") + mode_name(mode);
   log_.record(std::move(e));
 }
 
-Mode Septic::mode() const {
-  std::lock_guard lock(mu_);
-  return config_.mode;
-}
+Mode Septic::mode() const { return config_snapshot()->mode; }
 
 void Septic::set_sqli_detection(bool on) {
-  std::lock_guard lock(mu_);
-  config_.detect_sqli = on;
+  update_config([on](Config& c) { c.detect_sqli = on; });
 }
 
 void Septic::set_stored_detection(bool on) {
-  std::lock_guard lock(mu_);
-  config_.detect_stored = on;
+  update_config([on](Config& c) { c.detect_stored = on; });
 }
 
 void Septic::set_incremental_learning(bool on) {
-  std::lock_guard lock(mu_);
-  config_.incremental_learning = on;
+  update_config([on](Config& c) { c.incremental_learning = on; });
 }
 
 void Septic::set_log_processed_queries(bool on) {
-  std::lock_guard lock(mu_);
-  config_.log_processed_queries = on;
+  update_config([on](Config& c) { c.log_processed_queries = on; });
 }
 
 void Septic::set_strict_numeric_types(bool on) {
-  std::lock_guard lock(mu_);
-  config_.strict_numeric_types = on;
+  update_config([on](Config& c) { c.strict_numeric_types = on; });
 }
 
 void Septic::set_fail_policy(FailPolicy policy) {
-  std::lock_guard lock(mu_);
-  config_.fail_policy = policy;
+  update_config([policy](Config& c) { c.fail_policy = policy; });
 }
 
-Config Septic::config() const {
-  std::lock_guard lock(mu_);
-  return config_;
-}
+Config Septic::config() const { return *config_snapshot(); }
 
 void Septic::save_models(const std::string& path) const {
   store_.save_to_file(path);
@@ -103,26 +101,35 @@ bool Septic::reject_model(uint64_t review_id) {
 
 SepticStats Septic::stats() const {
   SepticStats out;
-  {
-    std::lock_guard lock(mu_);
-    out = stats_;
-  }
+  out.queries_seen = stats_.queries_seen.load(std::memory_order_relaxed);
+  out.models_created = stats_.models_created.load(std::memory_order_relaxed);
+  out.sqli_detected = stats_.sqli_detected.load(std::memory_order_relaxed);
+  out.stored_detected = stats_.stored_detected.load(std::memory_order_relaxed);
+  out.dropped = stats_.dropped.load(std::memory_order_relaxed);
+  out.septic_internal_errors =
+      stats_.septic_internal_errors.load(std::memory_order_relaxed);
   out.events_dropped = log_.dropped_events();
   return out;
 }
 
-void Septic::train_on(const engine::QueryEvent& event, const QueryId& id) {
+void Septic::train_on(const engine::QueryEvent& event, const QueryId& id,
+                      const Config& cfg) {
   QueryModel qm = make_query_model(event.stack);
   bool added = store_.add(id.composed(), qm);
-  if (added && mode() != Mode::kTraining) {
+  // Test hook: widen the window between the store update and the snapshot
+  // mode decision so the mode-flip regression test can race a set_mode()
+  // here deterministically.
+  SEPTIC_FAILPOINT_HOOK("septic.train_on.stall") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (added && cfg.mode != Mode::kTraining) {
     // Incremental learning: provisionally trusted, queued for the admin.
+    // The decision uses the cfg snapshot, not the live mode: the query ran
+    // under this mode, so its model is routed accordingly.
     review_.enqueue(id.composed(), qm, event.query.text);
   }
   if (added) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.models_created;
-    }
+    stats_.models_created.fetch_add(1, std::memory_order_relaxed);
     Event e;
     e.kind = EventKind::kModelCreated;
     e.query = event.query.text;
@@ -133,37 +140,30 @@ void Septic::train_on(const engine::QueryEvent& event, const QueryId& id) {
 }
 
 engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
-  Config cfg;
-  {
-    std::lock_guard lock(mu_);
-    cfg = config_;
-    ++stats_.queries_seen;
-  }
+  std::shared_ptr<const Config> cfg = config_snapshot();
+  stats_.queries_seen.fetch_add(1, std::memory_order_relaxed);
 
   // The fail-policy boundary: nothing SEPTIC does internally — detector,
   // plugins, model store, ID generation — may propagate an exception into
   // the engine. An in-path defense that can crash the DBMS is worse than
-  // no defense; cfg.fail_policy decides what happens to the query instead.
+  // no defense; cfg->fail_policy decides what happens to the query instead.
   try {
     SEPTIC_FAILPOINT("septic.dispatch.throw");
     QueryId id = IdGenerator::generate(event.query);
-    return dispatch(event, cfg, id);
+    return dispatch(event, *cfg, id);
   } catch (const std::exception& ex) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.septic_internal_errors;
-    }
+    stats_.septic_internal_errors.fetch_add(1, std::memory_order_relaxed);
     try {
       Event e;
       e.kind = EventKind::kInternalError;
       e.query = event.query.text;
       e.detail = std::string(ex.what()) +
-                 " (policy: " + fail_policy_name(cfg.fail_policy) + ")";
+                 " (policy: " + fail_policy_name(cfg->fail_policy) + ")";
       log_.record(std::move(e));
     } catch (...) {
       // Even a broken logger must not breach the boundary.
     }
-    if (cfg.fail_policy == FailPolicy::kFailOpen) {
+    if (cfg->fail_policy == FailPolicy::kFailOpen) {
       return engine::InterceptDecision::proceed();
     }
     return engine::InterceptDecision::reject(
@@ -175,7 +175,7 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
                                            const Config& cfg,
                                            const QueryId& id) {
   if (cfg.mode == Mode::kTraining) {
-    train_on(event, id);
+    train_on(event, id, cfg);
     return engine::InterceptDecision::proceed();
   }
 
@@ -183,15 +183,16 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
   bool attack = false;
   std::string attack_type;
 
-  // Model lookup always happens (again: NN baseline cost).
-  std::vector<QueryModel> models = store_.lookup(id.composed());
+  // Model lookup always happens (again: NN baseline cost). The snapshot
+  // pins the ID's immutable model set without copying a single model.
+  QmStore::ModelSet models = store_.snapshot(id.composed());
 
-  if (models.empty()) {
+  if (!models) {
     // Unknown query. Incremental learning: create + store + log, and let
     // the query run; the administrator later classifies the new model
     // (paper Section II-E). Strict deployments may disable this.
     if (cfg.incremental_learning) {
-      train_on(event, id);
+      train_on(event, id, cfg);
     } else if (cfg.detect_sqli) {
       attack = true;
       attack_type = "SQLI";
@@ -202,13 +203,12 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
       e.attack_type = "SQLI";
       e.detail = "no query model for ID (incremental learning disabled)";
       log_.record(std::move(e));
-      std::lock_guard lock(mu_);
-      ++stats_.sqli_detected;
+      stats_.sqli_detected.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (cfg.detect_sqli) {
     SEPTIC_FAILPOINT("septic.detector.throw");
     SqliVerdict verdict =
-        detect_sqli(event.stack, models, cfg.strict_numeric_types);
+        detect_sqli(event.stack, *models, cfg.strict_numeric_types);
     if (verdict.attack) {
       attack = true;
       attack_type = "SQLI";
@@ -220,10 +220,9 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
       e.attack_type = "SQLI";
       e.detail = verdict.detail;
       // Log the (first) model the query was compared against.
-      e.model = models.front().serialize();
+      e.model = models->front().serialize();
       log_.record(std::move(e));
-      std::lock_guard lock(mu_);
-      ++stats_.sqli_detected;
+      stats_.sqli_detected.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -240,8 +239,7 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
       e.attack_type = sv.plugin;
       e.detail = sv.detail;
       log_.record(std::move(e));
-      std::lock_guard lock(mu_);
-      ++stats_.stored_detected;
+      stats_.stored_detected.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -262,10 +260,7 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
     e.query_id = id.composed();
     e.attack_type = attack_type;
     log_.record(std::move(e));
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.dropped;
-    }
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
     return engine::InterceptDecision::reject(
         "SEPTIC: " + attack_type + " attack detected; query dropped");
   }

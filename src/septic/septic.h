@@ -13,6 +13,14 @@
 //                 the query DROPPED. Unknown IDs incrementally learn.
 //   DETECTION   — same detection, attacks logged but queries EXECUTE.
 //
+// Concurrency: on_query is the per-query fast path and takes no lock in
+// steady state. Configuration is an immutable snapshot published through
+// an atomic shared_ptr swap — each query reads one coherent Config for its
+// whole pipeline (a mid-query mode flip cannot mis-route it) — and the
+// counters are relaxed atomics. The model store shards its own locking
+// (qm_store.h); the event log and review queue keep their own short
+// mutexes but are off the benign-query path when per-query logging is off.
+//
 // Usage:
 //   auto septic = std::make_shared<core::Septic>();
 //   db.set_interceptor(septic);
@@ -57,6 +65,8 @@ class Septic final : public engine::QueryInterceptor {
   explicit Septic(Config config);
 
   // --- configuration -------------------------------------------------
+  // Writers serialize on a small mutex and publish a fresh immutable
+  // Config; in-flight queries keep the snapshot they started with.
   void set_mode(Mode mode);
   Mode mode() const;
   void set_sqli_detection(bool on);
@@ -94,8 +104,32 @@ class Septic final : public engine::QueryInterceptor {
   SepticStats stats() const;
 
  private:
-  /// Handle a query in training mode: learn, log, allow.
-  void train_on(const engine::QueryEvent& event, const QueryId& id);
+  /// Relaxed atomic counters behind the SepticStats snapshot. Exact totals
+  /// are still guaranteed: every increment happens-before the join points
+  /// where tests/admins read stats() (thread join, server stop).
+  struct AtomicStats {
+    std::atomic<uint64_t> queries_seen{0};
+    std::atomic<uint64_t> models_created{0};
+    std::atomic<uint64_t> sqli_detected{0};
+    std::atomic<uint64_t> stored_detected{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> septic_internal_errors{0};
+  };
+
+  /// The config snapshot each query pins at entry.
+  std::shared_ptr<const Config> config_snapshot() const {
+    return config_.load(std::memory_order_acquire);
+  }
+  /// Copy-modify-publish under config_mu_.
+  template <typename Fn>
+  void update_config(Fn&& fn);
+
+  /// Handle a query in training mode (or incremental learning): learn,
+  /// log, allow. `cfg` is the snapshot on_query pinned — the live mode is
+  /// deliberately NOT re-read here, so a concurrent mode flip cannot
+  /// mis-route the model into/out of the review queue.
+  void train_on(const engine::QueryEvent& event, const QueryId& id,
+                const Config& cfg);
 
   /// The real pipeline; on_query wraps it so that an internal exception is
   /// absorbed by Config::fail_policy instead of propagating into the
@@ -103,13 +137,13 @@ class Septic final : public engine::QueryInterceptor {
   engine::InterceptDecision dispatch(const engine::QueryEvent& event,
                                      const Config& cfg, const QueryId& id);
 
-  mutable std::mutex mu_;  // guards config_ and stats_
-  Config config_;
+  mutable std::mutex config_mu_;  // serializes config writers only
+  std::atomic<std::shared_ptr<const Config>> config_;
   QmStore store_;
   ReviewQueue review_;
   EventLog log_;
   std::vector<std::unique_ptr<StoredInjectionPlugin>> plugins_;
-  SepticStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace septic::core

@@ -6,6 +6,7 @@
 // already be present in the static store (containment), proving the static
 // templates and the live traffic collapse to the same query models.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
 
@@ -48,9 +49,12 @@ struct StaticBoot {
 
     core::QmStore scanned;
     scan_file(app_source(app_name), "", scanned);
-    const std::string path = "crosscheck_" + app_name + ".qm";
-    scanned.save_to_file(path);
-    core::QmLoadReport lr = septic->load_models(path);
+    // Per-process path: `ctest -j` runs these fixtures concurrently from a
+    // shared CWD, and two processes racing one .tmp file lose the rename.
+    path_ = "crosscheck_" + app_name + "." + std::to_string(::getpid()) +
+            ".qm";
+    scanned.save_to_file(path_);
+    core::QmLoadReport lr = septic->load_models(path_);
     EXPECT_TRUE(lr.clean()) << lr.detail;
     EXPECT_EQ(septic->store().model_count(), scanned.model_count());
 
@@ -59,6 +63,10 @@ struct StaticBoot {
     septic->set_incremental_learning(false);
     septic->set_mode(core::Mode::kPrevention);
   }
+
+  ~StaticBoot() { ::unlink(path_.c_str()); }
+
+  std::string path_;
 
   std::string run_chain(const attacks::AttackCase& attack) {
     for (const auto& setup : attack.setup) {

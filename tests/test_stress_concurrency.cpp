@@ -1,0 +1,413 @@
+// Concurrency regression suite for the lock-free SEPTIC hot path: the
+// sharded QM store, the config-snapshot/atomic-stats Septic, the
+// thread-pool server, and the accept-loop/Exec-framing hardening. The
+// stress tests reconcile counters *exactly* — under relaxed atomics and a
+// worker pool, "roughly right" totals would hide dropped or double-counted
+// queries — and the whole file is expected to run clean under the tsan
+// preset.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "septic/query_model.h"
+#include "septic/septic.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic {
+namespace {
+
+core::QueryModel model_of(const std::string& sql) {
+  sql::ParsedQuery parsed = sql::parse(sql);
+  return core::make_query_model(sql::build_item_stack(parsed.statement));
+}
+
+// ------------------------------------------------------ sharded QM store
+
+TEST(QmStoreSharding, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(core::QmStore(1).shard_count(), 1u);
+  EXPECT_EQ(core::QmStore(5).shard_count(), 8u);
+  EXPECT_EQ(core::QmStore(16).shard_count(), 16u);
+  EXPECT_EQ(core::QmStore().shard_count(), core::QmStore::kDefaultShards);
+}
+
+TEST(QmStoreSharding, SnapshotIsImmutableAcrossLaterAdds) {
+  core::QmStore store;
+  ASSERT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE a = 1")));
+  core::QmStore::ModelSet before = store.snapshot("id1");
+  ASSERT_TRUE(before);
+  EXPECT_EQ(before->size(), 1u);
+  ASSERT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE a = 'x'")));
+  // The pinned snapshot still sees exactly the set it pinned.
+  EXPECT_EQ(before->size(), 1u);
+  core::QmStore::ModelSet after = store.snapshot("id1");
+  ASSERT_TRUE(after);
+  EXPECT_EQ(after->size(), 2u);
+}
+
+TEST(QmStoreSharding, LookupApplyRunsOnlyWhenPresent) {
+  core::QmStore store;
+  store.add("known", model_of("SELECT a FROM t WHERE a = 1"));
+  size_t seen = 0;
+  EXPECT_TRUE(store.lookup_apply(
+      "known", [&](const std::vector<core::QueryModel>& models) {
+        seen = models.size();
+      }));
+  EXPECT_EQ(seen, 1u);
+  EXPECT_FALSE(store.lookup_apply(
+      "absent", [&](const std::vector<core::QueryModel>&) { ++seen; }));
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(QmStoreSharding, ConcurrentAddersAndReadersReconcile) {
+  core::QmStore store(8);
+  // Distinct model per (id, writer): literal type is part of the model, so
+  // int vs string vs float literals give distinct models per shape.
+  const std::vector<core::QueryModel> variants = {
+      model_of("SELECT a FROM t WHERE a = 1"),
+      model_of("SELECT a FROM t WHERE a = 'x'"),
+      model_of("SELECT a FROM t WHERE a = 1.5"),
+      model_of("SELECT a FROM t WHERE a = 1 AND b = 2"),
+  };
+  constexpr int kIds = 16;
+  constexpr int kWriters = 4;
+  std::atomic<uint64_t> added{0};
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Hammer snapshots while writers publish: under TSan this is the
+    // copy-on-write race detector.
+    while (!stop.load()) {
+      for (int i = 0; i < kIds; ++i) {
+        core::QmStore::ModelSet s = store.snapshot("id" + std::to_string(i));
+        if (s) {
+          volatile size_t n = s->size();
+          (void)n;
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < kIds; ++i) {
+          if (store.add("id" + std::to_string(i),
+                        variants[static_cast<size_t>(w)])) {
+            added.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  // Every (id, variant) pair was added exactly once; duplicates refused.
+  EXPECT_EQ(added.load(), static_cast<uint64_t>(kIds * kWriters));
+  EXPECT_EQ(store.id_count(), static_cast<size_t>(kIds));
+  EXPECT_EQ(store.model_count(), static_cast<size_t>(kIds * kWriters));
+}
+
+// ------------------------------------- train_on mode-flip regression (a)
+
+// The old code re-read mode() under a fresh lock *after* storing the model;
+// a set_mode(Prevention) racing that window made a kTraining-mode query
+// enqueue an admin-review entry it never should have (training-mode models
+// are trusted by definition). train_on now receives the same Config
+// snapshot the query dispatched under.
+TEST(SepticModeFlip, TrainingQueryNeverLandsInReviewQueue) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE mf (id INT PRIMARY KEY, v TEXT)");
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_mode(core::Mode::kTraining);
+  db.set_interceptor(septic);
+
+  common::failpoints::arm("septic.train_on.stall", 1);
+  std::thread trainer([&] {
+    engine::Session s("trainer");
+    db.execute(s, "SELECT v FROM mf WHERE id = 7");
+  });
+  // Flip to prevention while train_on is stalled between the store update
+  // and the (old) fresh mode read.
+  while (common::failpoints::hit_count("septic.train_on.stall") == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  septic->set_mode(core::Mode::kPrevention);
+  trainer.join();
+  common::failpoints::disarm_all();
+
+  EXPECT_EQ(septic->stats().models_created, 1u);
+  EXPECT_EQ(septic->store().model_count(), 1u);
+  // The query ran under kTraining: its model is trusted, not reviewable.
+  EXPECT_EQ(septic->review_queue().pending_count(), 0u);
+}
+
+// ------------------------------------------- accept() failure backoff (b)
+
+TEST(NetAcceptBackoff, SurvivesAcceptFailuresAndRecovers) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE ab (id INT PRIMARY KEY, v TEXT)");
+  db.execute_admin("INSERT INTO ab VALUES (1, 'x')");
+  net::Server server(db, 0);
+  server.start();
+  // The next 3 accept() returns are turned into failures (the EMFILE
+  // shape: the pending connection cannot be taken). The loop must back
+  // off instead of spinning, keep counting, and accept normally after.
+  common::failpoints::arm("net.server.accept.fail", 3);
+  net::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_ms = 2;
+  net::Client c(server.port());
+  EXPECT_NO_THROW(c.query_with_retry("SELECT v FROM ab WHERE id = 1", policy));
+  common::failpoints::disarm_all();
+  EXPECT_EQ(server.accept_failures(), 3u);
+  // Recovery: fresh connections work first try.
+  net::Client d(server.port());
+  EXPECT_NO_THROW(d.query("SELECT v FROM ab WHERE id = 1"));
+  c.quit();
+  d.quit();
+  server.stop();
+}
+
+// -------------------------------------------- Exec framing overflow (c)
+
+namespace raw {
+
+int connect_to(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+std::optional<net::Frame> read_frame(int fd, net::FrameDecoder& dec) {
+  if (auto f = dec.next()) return f;
+  char buf[512];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    dec.feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (auto f = dec.next()) return f;
+  }
+}
+
+}  // namespace raw
+
+TEST(NetExecFraming, HugeDeclaredParamLengthIsRejectedNotWrapped) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE ef (id INT PRIMARY KEY, v TEXT)");
+  db.execute_admin("INSERT INTO ef VALUES (1, 'x')");
+  net::Server server(db, 0);
+  server.start();
+
+  int fd = raw::connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  net::FrameDecoder dec;
+  ASSERT_TRUE(raw::send_all(
+      fd, net::encode_frame({net::Opcode::kPrepare,
+                        "SELECT v FROM ef WHERE id = ?"})));
+  auto prep = raw::read_frame(fd, dec);
+  ASSERT_TRUE(prep.has_value());
+  ASSERT_EQ(prep->op, net::Opcode::kOk);
+  ASSERT_EQ(prep->payload, "stmt=1");
+
+  // Declared parameter length near SIZE_MAX: `colon + 1 + len` wraps to a
+  // small number, so the old bounds check passed and the server read far
+  // past the payload. The check must compare against the bytes that
+  // actually remain.
+  std::string payload = "1";
+  payload += '\x1f';
+  payload += "18446744073709551614:I1";
+  ASSERT_TRUE(raw::send_all(fd, net::encode_frame({net::Opcode::kExec, payload})));
+  auto reply = raw::read_frame(fd, dec);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->op, net::Opcode::kError);
+  EXPECT_NE(reply->payload.find("SYNTAX"), std::string::npos)
+      << reply->payload;
+  EXPECT_NE(reply->payload.find("truncated parameter"), std::string::npos)
+      << reply->payload;
+
+  // The connection survived the rejected frame: a well-formed Exec on the
+  // same prepared statement still answers.
+  std::string good = "1";
+  good += '\x1f';
+  good += "2:I1";
+  ASSERT_TRUE(raw::send_all(fd, net::encode_frame({net::Opcode::kExec, good})));
+  auto ok = raw::read_frame(fd, dec);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->op, net::Opcode::kRows);
+  ::close(fd);
+  server.stop();
+}
+
+// ------------------------------------------------ full-stack stress (d)
+
+// N client threads drive mixed benign/attack traffic at a prevention-mode
+// server through the real net stack; every counter in the system must
+// reconcile exactly afterwards: nothing lost, nothing double-counted, no
+// attack executed, no benign query dropped.
+TEST(StressConcurrency, MixedTrafficStatsReconcileExactly) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE st (id INT PRIMARY KEY, v TEXT)");
+  std::string insert = "INSERT INTO st VALUES ";
+  for (int i = 1; i <= 64; ++i) {
+    if (i > 1) insert += ", ";
+    insert += "(" + std::to_string(i) + ", 'v" + std::to_string(i) + "')";
+  }
+  db.execute_admin(insert);
+  const uint64_t setup_executed = db.executed_count();
+
+  // Interceptor installed only after setup so the counters below start
+  // from a clean slate.
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_mode(core::Mode::kTraining);
+  db.set_interceptor(septic);
+  {
+    engine::Session s("trainer");
+    db.execute(s, "SELECT id, v FROM st WHERE id = 1");
+  }
+  septic->set_incremental_learning(false);
+  septic->set_mode(core::Mode::kPrevention);
+
+  net::ServerOptions opts;
+  opts.worker_threads = 4;  // force pool reuse AND overflow under 8 clients
+  net::Server server(db, 0, opts);
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 40;  // alternating benign / attack
+  std::atomic<uint64_t> benign_ok{0};
+  std::atomic<uint64_t> attack_blocked{0};
+  std::atomic<uint64_t> unexpected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      net::Client client(server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        int key = (c * 7 + i) % 64 + 1;
+        bool attack = (i % 2) == 1;
+        std::string sql =
+            "SELECT id, v FROM st WHERE id = " + std::to_string(key);
+        if (attack) sql += " OR '1'='1'";
+        try {
+          client.query(sql);
+          if (attack) {
+            ++unexpected;  // an attack executed
+          } else {
+            ++benign_ok;
+          }
+        } catch (const net::RemoteError& e) {
+          if (attack && e.blocked()) {
+            ++attack_blocked;
+          } else {
+            ++unexpected;  // benign dropped, or wrong error class
+          }
+        }
+      }
+      client.quit();
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  constexpr uint64_t kTotal = kClients * kPerClient;
+  constexpr uint64_t kAttacks = kTotal / 2;
+  constexpr uint64_t kBenign = kTotal - kAttacks;
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_EQ(benign_ok.load(), kBenign);
+  EXPECT_EQ(attack_blocked.load(), kAttacks);
+
+  core::SepticStats stats = septic->stats();
+  // +1 everywhere: the one training query.
+  EXPECT_EQ(stats.queries_seen, kTotal + 1);
+  EXPECT_EQ(stats.sqli_detected, kAttacks);
+  EXPECT_EQ(stats.dropped, kAttacks);
+  EXPECT_EQ(stats.models_created, 1u);
+  EXPECT_EQ(stats.septic_internal_errors, 0u);
+  EXPECT_EQ(db.executed_count(), setup_executed + 1 + kBenign);
+  EXPECT_EQ(db.blocked_count(), kAttacks);
+  EXPECT_EQ(server.connections_served(), static_cast<uint64_t>(kClients));
+}
+
+// Config writers racing the hot path: flipping detection toggles while
+// queries are in flight must never tear a Config (each query sees one
+// coherent snapshot) nor deadlock. Counts cannot be asserted exactly here
+// — which snapshot a query gets is the race — so this is the TSan canary.
+TEST(StressConcurrency, ConfigFlipsDuringTrafficAreTearFree) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE cf (id INT PRIMARY KEY, v TEXT)");
+  db.execute_admin("INSERT INTO cf VALUES (1, 'x')");
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_mode(core::Mode::kTraining);
+  db.set_interceptor(septic);
+  {
+    engine::Session s("trainer");
+    db.execute(s, "SELECT v FROM cf WHERE id = 1");
+  }
+  septic->set_mode(core::Mode::kPrevention);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool on = false;
+    while (!stop.load()) {
+      septic->set_strict_numeric_types(on);
+      septic->set_log_processed_queries(on);
+      on = !on;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  std::vector<std::thread> drivers;
+  std::atomic<uint64_t> errors{0};
+  for (int c = 0; c < 4; ++c) {
+    drivers.emplace_back([&] {
+      engine::Session s("driver");
+      for (int i = 0; i < 200; ++i) {
+        try {
+          db.execute(s, "SELECT v FROM cf WHERE id = 1");
+        } catch (const std::exception&) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  stop.store(true);
+  flipper.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(septic->stats().queries_seen, 1u + 4 * 200);
+  EXPECT_EQ(septic->stats().septic_internal_errors, 0u);
+}
+
+}  // namespace
+}  // namespace septic
