@@ -4,7 +4,10 @@
 // interceptor.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "common/unicode.h"
 #include "engine/database.h"
@@ -13,14 +16,47 @@
 #include "septic/query_model.h"
 #include "septic/septic.h"
 #include "sqlcore/item.h"
+#include "sqlcore/lexer.h"
 #include "sqlcore/parser.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "web/proxy.h"
 
+// ------------------------------------------------------------------------
+// Counting allocator: replace the global operator new/delete in this bench
+// binary only, so every stage reports an `allocs/op` counter alongside its
+// latency. Heap traffic is the quantity the string_view lexer and the
+// digest cache exist to remove; a latency-only bench can hide a regression
+// that the allocation count makes obvious.
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace septic;
+
+/// Wraps a bench loop with the allocation counter: call start() right
+/// before `for (auto _ : state)` and report(state) right after.
+struct AllocCounter {
+  uint64_t start_ = 0;
+  void start() { start_ = g_alloc_count.load(std::memory_order_relaxed); }
+  void report(benchmark::State& state) {
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                            start_),
+        benchmark::Counter::kAvgIterations);
+  }
+};
 
 const char* kQuery =
     "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
@@ -32,34 +68,57 @@ const char* kBigQuery =
 void BM_CharsetConvert(benchmark::State& state) {
   std::string payload =
       "SELECT * FROM t WHERE a = 'ID34FG\xca\xbc' AND b \xef\xbc\x9d 1";
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(common::server_charset_convert(payload));
   }
+  ac.report(state);
 }
 BENCHMARK(BM_CharsetConvert);
 
+void BM_Lex(benchmark::State& state) {
+  const char* q = state.range(0) == 0 ? kQuery : kBigQuery;
+  AllocCounter ac;
+  ac.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::lex(q));
+  }
+  ac.report(state);
+}
+BENCHMARK(BM_Lex)->Arg(0)->Arg(1);
+
 void BM_Parse(benchmark::State& state) {
   const char* q = state.range(0) == 0 ? kQuery : kBigQuery;
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sql::parse(q));
   }
+  ac.report(state);
 }
 BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
 
 void BM_BuildItemStack(benchmark::State& state) {
   sql::ParsedQuery parsed =
       sql::parse(state.range(0) == 0 ? kQuery : kBigQuery);
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sql::build_item_stack(parsed.statement));
   }
+  ac.report(state);
 }
 BENCHMARK(BM_BuildItemStack)->Arg(0)->Arg(1);
 
 void BM_DeriveQueryModel(benchmark::State& state) {
   sql::ItemStack qs = sql::build_item_stack(sql::parse(kQuery).statement);
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::make_query_model(qs));
   }
+  ac.report(state);
 }
 BENCHMARK(BM_DeriveQueryModel);
 
@@ -67,9 +126,12 @@ void BM_CompareQsQm(benchmark::State& state) {
   sql::ItemStack qs = sql::build_item_stack(
       sql::parse(state.range(0) == 0 ? kQuery : kBigQuery).statement);
   core::QueryModel qm = core::make_query_model(qs);
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::compare_qs_qm(qs, qm));
   }
+  ac.report(state);
 }
 BENCHMARK(BM_CompareQsQm)->Arg(0)->Arg(1);
 
@@ -123,28 +185,37 @@ void BM_ProxyFingerprint(benchmark::State& state) {
 }
 BENCHMARK(BM_ProxyFingerprint);
 
-// Full pipeline: vanilla engine vs engine+SEPTIC, per query.
-void BM_PipelineVanilla(benchmark::State& state) {
-  engine::Database db;
+// Full pipeline: vanilla engine vs engine+SEPTIC, per query. The Arg
+// selects the digest cache state: 0 = cold (budget 0, every iteration
+// runs the whole conversion->parse->hook pipeline), 1 = warm (default
+// budget; byte-identical repeats replay the cached parse + verdict).
+void setup_tickets(engine::Database& db) {
   db.execute_admin(
       "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID "
       "TEXT, creditCard INT, passenger TEXT, flight TEXT, seat TEXT)");
   db.execute_admin(
       "INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)");
+}
+
+void BM_PipelineVanilla(benchmark::State& state) {
+  engine::Database db;
+  setup_tickets(db);
+  if (state.range(0) == 0) db.set_digest_cache_budget(0);
   engine::Session session;
+  db.execute(session, kQuery);  // warm the cache when enabled
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.execute(session, kQuery));
   }
+  ac.report(state);
 }
-BENCHMARK(BM_PipelineVanilla);
+BENCHMARK(BM_PipelineVanilla)->Arg(0)->Arg(1);
 
 void BM_PipelineWithSeptic(benchmark::State& state) {
   engine::Database db;
-  db.execute_admin(
-      "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID "
-      "TEXT, creditCard INT, passenger TEXT, flight TEXT, seat TEXT)");
-  db.execute_admin(
-      "INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)");
+  setup_tickets(db);
+  if (state.range(0) == 0) db.set_digest_cache_budget(0);
   auto septic = std::make_shared<core::Septic>();
   septic->set_log_processed_queries(false);
   db.set_interceptor(septic);
@@ -152,11 +223,29 @@ void BM_PipelineWithSeptic(benchmark::State& state) {
   septic->set_mode(core::Mode::kTraining);
   db.execute(session, kQuery);
   septic->set_mode(core::Mode::kPrevention);
+  db.execute(session, kQuery);  // warm the cache when enabled
+  AllocCounter ac;
+  ac.start();
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.execute(session, kQuery));
   }
+  ac.report(state);
 }
-BENCHMARK(BM_PipelineWithSeptic);
+BENCHMARK(BM_PipelineWithSeptic)->Arg(0)->Arg(1);
+
+// The cache's own lookup cost (the price a warm hit pays before replay).
+void BM_DigestCacheLookup(benchmark::State& state) {
+  engine::Database db;
+  setup_tickets(db);
+  engine::Session session;
+  db.execute(session, kQuery);
+  auto cache = db.digest_cache();
+  std::string key = common::server_charset_convert(kQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->lookup(key));
+  }
+}
+BENCHMARK(BM_DigestCacheLookup);
 
 void BM_WireRoundTrip(benchmark::State& state) {
   engine::Database db;

@@ -1,4 +1,5 @@
-// Experiment PR4 — multi-client throughput over the real network stack.
+// Experiment PR5 — multi-client throughput over the real network stack,
+// now swept across the query-digest cache dimension.
 //
 // A closed-loop driver: N client threads each hold one connection to a
 // real net::Server (thread-pool model) and issue a fixed number of
@@ -7,16 +8,19 @@
 // configurations are swept at each client count:
 //   off         no interceptor installed (engine + net floor)
 //   training    SEPTIC learning every query shape (store writes)
-//   prevention  SEPTIC validating against trained models (the hot path
-//               this PR made lock-free: config snapshot, atomic stats,
-//               sharded copy-free model lookups)
-// The interesting ratio is prevention/off as clients grow: before the
-// concurrency work, every on_query serialized on one Septic mutex and
-// every connection paid a thread spawn, so prevention throughput *fell*
-// with client count; now it should track the off floor.
+//   prevention  SEPTIC validating against trained models
+// ...each in two cache states:
+//   cold        digest cache disabled (budget 0): every query runs the
+//               full conversion->lex->parse->hook pipeline (the PR4 shape)
+//   warm        default cache budget, with every workload key replayed
+//               off-clock first, so the measured runs are byte-exact hits
+// The headline ratio is warm prevention p50 / warm off p50 at one client:
+// the digest cache is meant to collapse SEPTIC's per-query overhead for
+// repeating statements to (near) zero.
 //
-// Output: human-readable table on stdout, machine-readable BENCH_PR4.json
-// (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh.
+// Output: human-readable table on stdout, machine-readable BENCH_PR5.json
+// (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh, schema
+// configs.{off|training|prevention}.{cold|warm}.{clients}.
 //
 // Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
 // SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16").
@@ -82,6 +86,8 @@ struct RunResult {
   size_t queries = 0;
   size_t errors = 0;
   uint64_t overflow_workers = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -90,8 +96,10 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
-RunResult run_one(SepticMode mode, int clients, int queries_per_client) {
+RunResult run_one(SepticMode mode, bool warm_cache, int clients,
+                  int queries_per_client) {
   septic::engine::Database db;
+  if (!warm_cache) db.set_digest_cache_budget(0);
   db.execute_admin(
       "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
   for (int i = 0; i < kRows; i += 32) {
@@ -106,6 +114,7 @@ RunResult run_one(SepticMode mode, int clients, int queries_per_client) {
   std::shared_ptr<septic::core::Septic> septic;
   if (mode != SepticMode::kOff) {
     septic = std::make_shared<septic::core::Septic>();
+    septic->set_log_processed_queries(false);  // measure the path, not the log
     septic->set_mode(septic::core::Mode::kTraining);
     db.set_interceptor(septic);
     if (mode == SepticMode::kPrevention) {
@@ -114,6 +123,20 @@ RunResult run_one(SepticMode mode, int clients, int queries_per_client) {
       septic::engine::Session trainer("bench-trainer");
       db.execute(trainer, "SELECT id, v FROM bench WHERE id = 1");
       septic->set_mode(septic::core::Mode::kPrevention);
+    }
+  }
+
+  if (warm_cache) {
+    // Replay every workload key off-clock so the measured runs are all
+    // byte-exact, generation-current hits. Two passes: in training mode
+    // the first occurrence of a shape bumps the model generation *after*
+    // its own entry was tagged, so that one entry re-caches on pass two.
+    septic::engine::Session warm("bench-warm");
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int key = 1; key <= kRows; ++key) {
+        db.execute(warm, "SELECT id, v FROM bench WHERE id = " +
+                             std::to_string(key));
+      }
     }
   }
 
@@ -167,6 +190,9 @@ RunResult run_one(SepticMode mode, int clients, int queries_per_client) {
   r.p50_us = percentile(all, 0.50);
   r.p99_us = percentile(all, 0.99);
   r.overflow_workers = server->overflow_workers_spawned();
+  septic::engine::DigestCacheStats cs = db.digest_cache_stats();
+  r.cache_hits = cs.hits;
+  r.cache_misses = cs.misses;
   server->stop();
   return r;
 }
@@ -177,15 +203,15 @@ int main() {
   const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
   const std::vector<int> counts = client_counts();
   const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
-  if (!json_path || !*json_path) json_path = "BENCH_PR4.json";
+  if (!json_path || !*json_path) json_path = "BENCH_PR5.json";
 
-  std::printf("# PR4: multi-client closed-loop throughput over the net "
-              "stack\n");
+  std::printf("# PR5: multi-client closed-loop throughput over the net "
+              "stack, cold vs warm digest cache\n");
   std::printf("# queries/client=%d worker_threads=%zu hw_threads=%u\n",
               per_client, septic::net::ServerOptions{}.worker_threads,
               std::thread::hardware_concurrency());
-  std::printf("%-12s %8s %10s %12s %12s %8s %9s\n", "config", "clients",
-              "qps", "p50_us", "p99_us", "errors", "overflow");
+  std::printf("%-12s %6s %8s %10s %12s %12s %8s %10s\n", "config", "cache",
+              "clients", "qps", "p50_us", "p99_us", "errors", "hit_rate");
 
   const SepticMode modes[] = {SepticMode::kOff, SepticMode::kTraining,
                               SepticMode::kPrevention};
@@ -198,23 +224,34 @@ int main() {
   json += "  \"configs\": {\n";
   for (size_t m = 0; m < 3; ++m) {
     json += std::string("    \"") + mode_name(modes[m]) + "\": {\n";
-    for (size_t i = 0; i < counts.size(); ++i) {
-      int n = counts[i];
-      RunResult r = run_one(modes[m], n, per_client);
-      std::printf("%-12s %8d %10.0f %12.1f %12.1f %8zu %9llu\n",
-                  mode_name(modes[m]), n, r.qps, r.p50_us, r.p99_us,
-                  r.errors,
-                  static_cast<unsigned long long>(r.overflow_workers));
-      std::fflush(stdout);
-      char buf[256];
-      std::snprintf(buf, sizeof(buf),
-                    "      \"%d\": {\"qps\": %.1f, \"p50_us\": %.1f, "
-                    "\"p99_us\": %.1f, \"queries\": %zu, \"errors\": %zu, "
-                    "\"overflow_workers\": %llu}%s\n",
-                    n, r.qps, r.p50_us, r.p99_us, r.queries, r.errors,
-                    static_cast<unsigned long long>(r.overflow_workers),
-                    i + 1 < counts.size() ? "," : "");
-      json += buf;
+    for (int warm = 0; warm < 2; ++warm) {
+      json += std::string("      \"") + (warm ? "warm" : "cold") + "\": {\n";
+      for (size_t i = 0; i < counts.size(); ++i) {
+        int n = counts[i];
+        RunResult r = run_one(modes[m], warm != 0, n, per_client);
+        double hit_rate =
+            r.cache_hits + r.cache_misses
+                ? static_cast<double>(r.cache_hits) /
+                      static_cast<double>(r.cache_hits + r.cache_misses)
+                : 0.0;
+        std::printf("%-12s %6s %8d %10.0f %12.1f %12.1f %8zu %9.1f%%\n",
+                    mode_name(modes[m]), warm ? "warm" : "cold", n, r.qps,
+                    r.p50_us, r.p99_us, r.errors, 100.0 * hit_rate);
+        std::fflush(stdout);
+        char buf[320];
+        std::snprintf(buf, sizeof(buf),
+                      "        \"%d\": {\"qps\": %.1f, \"p50_us\": %.1f, "
+                      "\"p99_us\": %.1f, \"queries\": %zu, "
+                      "\"errors\": %zu, \"overflow_workers\": %llu, "
+                      "\"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
+                      n, r.qps, r.p50_us, r.p99_us, r.queries, r.errors,
+                      static_cast<unsigned long long>(r.overflow_workers),
+                      static_cast<unsigned long long>(r.cache_hits),
+                      static_cast<unsigned long long>(r.cache_misses),
+                      i + 1 < counts.size() ? "," : "");
+        json += buf;
+      }
+      json += warm == 0 ? "      },\n" : "      }\n";
     }
     json += m + 1 < 3 ? "    },\n" : "    }\n";
   }

@@ -1,25 +1,65 @@
 #!/usr/bin/env bash
 # Build the release-nofailpoints preset (production shape: full
-# optimization, zero failpoint probes) and run the PR4 multi-client
-# throughput bench over the real net stack, writing BENCH_PR4.json at the
-# repository root.
+# optimization, zero failpoint probes) and run the PR5 multi-client
+# throughput bench (off/training/prevention x cold/warm digest cache) over
+# the real net stack, writing BENCH_PR5.json at the repository root.
+#
+# The pre-change baseline is measured for real, not copied from an old
+# JSON: the PR4-era bench is built in a detached worktree of the last
+# pre-cache commit and run with the same knobs, and its numbers are merged
+# into BENCH_PR5.json under "baseline". On the 1-core bench container the
+# meaningful deltas are p50/p99, not qps.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
 #
-# Scale knobs pass through to the bench:
+# Knobs:
 #   SEPTIC_BENCH_NET_QUERIES   queries per client per config (default 300)
 #   SEPTIC_BENCH_NET_CLIENTS   comma list of client counts (default 1,2,4,8,16)
+#   SEPTIC_BENCH_SKIP_BASELINE set to 1 to skip the worktree baseline run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 jobs=$(nproc 2>/dev/null || echo 4)
+# Last commit before the digest cache landed: the PR4 hot path.
+baseline_commit="64431c6"
+baseline_dir=".bench-baseline"
 
 cmake --preset release-nofailpoints
 cmake --build --preset release-nofailpoints -j "${jobs}" \
       --target throughput_concurrent
 
 SEPTIC_BENCH_JSON="${out}" ./build-release/bench/throughput_concurrent
+
+if [[ "${SEPTIC_BENCH_SKIP_BASELINE:-0}" != "1" ]]; then
+  if [[ ! -d "${baseline_dir}" ]]; then
+    git worktree add --detach "${baseline_dir}" "${baseline_commit}"
+  fi
+  (
+    cd "${baseline_dir}"
+    cmake --preset release-nofailpoints >/dev/null
+    cmake --build --preset release-nofailpoints -j "${jobs}" \
+          --target throughput_concurrent
+    SEPTIC_BENCH_JSON="baseline.json" ./build-release/bench/throughput_concurrent
+  )
+  python3 - "${out}" "${baseline_dir}/baseline.json" "${baseline_commit}" <<'EOF'
+import json, sys
+out_path, base_path, commit = sys.argv[1:4]
+with open(out_path) as f:
+    cur = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+cur["baseline"] = {
+    "commit": commit,
+    "note": "PR4-era bench (no digest cache); schema configs.{mode}.{clients}",
+    "configs": base.get("configs", {}),
+}
+with open(out_path, "w") as f:
+    json.dump(cur, f, indent=2)
+    f.write("\n")
+EOF
+fi
+
 echo "== ${out} =="
 cat "${out}"

@@ -93,6 +93,15 @@ bool should_fail(std::string_view name) {
   return true;
 }
 
+bool any_armed() {
+#if defined(SEPTIC_DISABLE_FAILPOINTS)
+  return false;
+#else
+  apply_env_once();
+  return registry().armed_count.load(std::memory_order_relaxed) != 0;
+#endif
+}
+
 uint64_t hit_count(std::string_view name) {
   auto& r = registry();
   std::lock_guard lock(r.mu);

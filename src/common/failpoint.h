@@ -65,6 +65,12 @@ bool should_fail(std::string_view name);
 /// How many times the named site fired since it was last armed.
 uint64_t hit_count(std::string_view name);
 
+/// True when at least one failpoint is currently armed (one relaxed atomic
+/// load; false in builds with failpoints compiled out). The engine's digest
+/// cache consults this to bypass caching entirely while fault injection is
+/// active — a cached verdict would skip the very sites a fault test arms.
+bool any_armed();
+
 /// Names currently armed (diagnostics).
 std::vector<std::string> armed();
 

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "common/failpoint.h"
 #include "common/unicode.h"
 #include "engine/error.h"
 #include "engine/executor.h"
@@ -11,6 +12,10 @@ namespace septic::engine {
 void Database::set_interceptor(std::shared_ptr<QueryInterceptor> interceptor) {
   std::lock_guard lock(mu_);
   interceptor_ = std::move(interceptor);
+  // Entries cached under the previous interceptor configuration (or under
+  // none) must never be replayed under the new one.
+  interceptor_epoch_.fetch_add(1, std::memory_order_release);
+  if (interceptor_) interceptor_->attach_digest_cache(digest_cache_);
 }
 
 namespace {
@@ -35,7 +40,77 @@ InterceptDecision run_interceptor(QueryInterceptor& interceptor,
   }
 }
 
+/// Statement kinds eligible for digest caching: the repeating DML shapes.
+/// DDL, SHOW/DESCRIBE/EXPLAIN, and transaction control are rare,
+/// schema-coupled, or facade-handled — not worth a cache slot.
+bool cacheable_kind(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kSelect:
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+std::optional<ResultSet> Database::try_replay_cached(
+    Session& session, const std::string& converted) {
+  QueryDigestCache::EntryPtr e = digest_cache_->lookup(converted);
+  if (!e) return std::nullopt;
+
+  // Generation gate 1: engine-owned tags (cheap atomics, no lock).
+  if (e->interceptor_epoch !=
+          interceptor_epoch_.load(std::memory_order_acquire) ||
+      e->ddl_version != ddl_version_.load(std::memory_order_acquire)) {
+    digest_cache_->erase(converted);
+    return std::nullopt;
+  }
+
+  // Pin the interceptor under the same transaction check the miss path's
+  // validation section performs.
+  std::shared_ptr<QueryInterceptor> interceptor;
+  {
+    std::lock_guard lock(mu_);
+    check_txn_conflict_locked(session);
+    interceptor = interceptor_;
+  }
+
+  // Generation gate 2: interceptor-owned tags. The epoch gate above makes
+  // has_verdict and interceptor presence agree except across a racing
+  // set_interceptor — treat any disagreement as a miss.
+  if (e->has_verdict != (interceptor != nullptr)) {
+    digest_cache_->erase(converted);
+    return std::nullopt;
+  }
+  if (interceptor) {
+    if (interceptor->generations() != e->generations) {
+      digest_cache_->erase(converted);
+      return std::nullopt;
+    }
+    // Replay notification — the interceptor accounts for the query as if
+    // on_query ran. The engine calls exactly one of on_query /
+    // on_query_replayed per statement, so interceptor stats reconcile
+    // exactly even under heavy hit/miss mixes.
+    QueryEvent event{*e->parsed, *e->stack, session.id(), session.user()};
+    interceptor->on_query_replayed(event, e->decision, e->payload);
+  }
+
+  // Execute (the serialized stage), sharing the cached AST: the executor
+  // takes the statement by const& and never mutates it. A DDL that raced
+  // in after the tag gate re-validates, exactly like the miss path's
+  // second validation.
+  std::lock_guard lock(mu_);
+  check_txn_conflict_locked(session);
+  if (ddl_version_.load(std::memory_order_relaxed) != e->ddl_version) {
+    validate_statement(catalog_, e->parsed->statement);
+  }
+  executed_count_.fetch_add(1, std::memory_order_relaxed);
+  return execute_statement(catalog_, session, e->parsed->statement);
+}
 
 ResultSet Database::execute(Session& session, std::string_view raw_sql) {
   // 1. Character-set conversion (where U+02BC becomes a plain quote) —
@@ -44,42 +119,64 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
                               ? common::server_charset_convert(raw_sql)
                               : std::string(raw_sql);
 
+  // 1b. Digest-cache fast path: a byte-exact, generation-current entry
+  // replays its parse + verdict and skips straight to execution. Bypassed
+  // entirely while fault injection is armed — a cached verdict would skip
+  // the very failpoint sites a fault test scripts.
+  const bool fp_active = common::failpoints::any_armed();
+  if (!fp_active) {
+    if (std::optional<ResultSet> hit = try_replay_cached(session, converted)) {
+      return std::move(*hit);
+    }
+  }
+
   // 2+3. Lex, parse — also pure; concurrent connections parse in parallel.
-  sql::ParsedQuery parsed;
+  // The ParsedQuery is heap-shared so a cacheable result can be retained
+  // without copying the AST.
+  auto parsed = std::make_shared<sql::ParsedQuery>();
   try {
-    parsed = sql::parse(converted);
+    *parsed = sql::parse(converted);
   } catch (const sql::LexError& e) {
     throw DbError(ErrorCode::kSyntax, std::string("lex error: ") + e.what());
   } catch (const sql::ParseError& e) {
     throw DbError(ErrorCode::kSyntax, std::string("parse error: ") + e.what());
   }
+  const sql::StatementKind kind = sql::statement_kind(parsed->statement);
 
   // Transaction control bypasses the interceptor: BEGIN/COMMIT/ROLLBACK
   // carry no user data and are handled by the facade, which owns the
   // snapshot.
-  if (sql::statement_kind(parsed.statement) ==
-      sql::StatementKind::kTransaction) {
+  if (kind == sql::StatementKind::kTransaction) {
     return handle_transaction(session,
-                              std::get<sql::TransactionStmt>(parsed.statement));
+                              std::get<sql::TransactionStmt>(parsed->statement));
   }
+
+  // Capture the DDL tag before validation: a schema change racing any
+  // later stage leaves the cached entry conservatively stale.
+  const uint64_t ddl_tag = ddl_version_.load(std::memory_order_acquire);
 
   // 4. Validation against the catalog (short lock): the interceptor must
   // only ever see catalog-valid statements, exactly as before.
   std::shared_ptr<QueryInterceptor> interceptor;
+  uint64_t epoch_tag = 0;
   {
     std::lock_guard lock(mu_);
     check_txn_conflict_locked(session);
-    validate_statement(catalog_, parsed.statement);
+    validate_statement(catalog_, parsed->statement);
     interceptor = interceptor_;
+    epoch_tag = interceptor_epoch_.load(std::memory_order_relaxed);
   }
 
   // 5. Item stack + interceptor (SEPTIC's hook point) — outside the lock:
   // this is the per-query detection fast path, and it scales with client
   // count instead of queueing behind the single-writer engine.
+  std::shared_ptr<sql::ItemStack> stack;
+  InterceptDecision decision = InterceptDecision::proceed();
   if (interceptor) {
-    sql::ItemStack stack = sql::build_item_stack(parsed.statement);
-    QueryEvent event{parsed, stack, session.id(), session.user()};
-    InterceptDecision decision = run_interceptor(*interceptor, event);
+    stack = std::make_shared<sql::ItemStack>(
+        sql::build_item_stack(parsed->statement));
+    QueryEvent event{*parsed, *stack, session.id(), session.user()};
+    decision = run_interceptor(*interceptor, event);
     if (!decision.allow) {
       blocked_count_.fetch_add(1, std::memory_order_relaxed);
       throw DbError(ErrorCode::kBlocked,
@@ -88,14 +185,49 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
     }
   }
 
+  // 5b. Cache the pipeline result: benign statement of a cacheable kind,
+  // with either no interceptor installed (parse-only entry) or an
+  // interceptor that marked its verdict replayable. Attack verdicts never
+  // get here (the reject threw above).
+  if (!fp_active && cacheable_kind(kind) &&
+      (!interceptor || decision.cacheable)) {
+    auto entry = std::make_shared<QueryDigestCache::Entry>();
+    entry->parsed = parsed;
+    entry->stack = stack;
+    entry->has_verdict = interceptor != nullptr;
+    entry->decision = decision;
+    entry->payload = decision.cache_payload;
+    entry->generations = decision.generations;
+    entry->interceptor_epoch = epoch_tag;
+    entry->ddl_version = ddl_tag;
+    entry->cost = estimate_entry_cost(*parsed, stack.get());
+    digest_cache_->insert(std::move(entry));
+  }
+
   // 6. Execution (the serialized stage). Re-check transaction ownership
   // and re-validate: a transaction or DDL that raced the unlocked window
   // surfaces as a normal engine error here, never as executor UB.
   std::lock_guard lock(mu_);
   check_txn_conflict_locked(session);
-  validate_statement(catalog_, parsed.statement);
+  validate_statement(catalog_, parsed->statement);
   executed_count_.fetch_add(1, std::memory_order_relaxed);
-  return execute_statement(catalog_, session, parsed.statement);
+  ResultSet rs = execute_statement(catalog_, session, parsed->statement);
+  maybe_bump_ddl_locked(kind);
+  return rs;
+}
+
+void Database::maybe_bump_ddl_locked(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kCreate:
+    case sql::StatementKind::kDrop:
+    case sql::StatementKind::kTruncate:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropIndex:
+      ddl_version_.fetch_add(1, std::memory_order_release);
+      break;
+    default:
+      break;
+  }
 }
 
 ResultSet Database::execute_admin(std::string_view raw_sql) {
@@ -137,6 +269,8 @@ ResultSet Database::handle_transaction(Session& session,
         throw DbError(ErrorCode::kUnsupported, "no transaction to roll back");
       }
       catalog_.load_snapshot(txn_snapshot_);
+      // The snapshot restore may undo DDL executed inside the transaction.
+      ddl_version_.fetch_add(1, std::memory_order_release);
       txn_active_ = false;
       txn_snapshot_.clear();
       return {};
@@ -153,6 +287,7 @@ void Database::rollback_if_owner(uint64_t session_id) {
   std::lock_guard lock(mu_);
   if (txn_active_ && txn_owner_ == session_id) {
     catalog_.load_snapshot(txn_snapshot_);
+    ddl_version_.fetch_add(1, std::memory_order_release);
     txn_active_ = false;
     txn_snapshot_.clear();
   }

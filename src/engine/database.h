@@ -17,15 +17,24 @@
 // and again under the execution lock (a concurrent DDL between the two
 // sections surfaces as a normal validation error, never as undefined
 // executor behavior).
+//
+// A query-digest cache (engine/digest_cache.h) short-circuits the
+// conversion→…→hook pipeline for byte-identical repeats of benign
+// statements: on a generation-current hit the engine replays the cached
+// parse + interceptor verdict (notifying the interceptor via
+// on_query_replayed) and goes straight to the serialized execute stage.
+// Execution itself is never cached — only the pure per-query pipeline work.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "engine/digest_cache.h"
 #include "engine/interceptor.h"
 #include "engine/result.h"
 #include "engine/session.h"
@@ -78,6 +87,28 @@ class Database {
     return blocked_count_.load(std::memory_order_relaxed);
   }
 
+  // --- query-digest cache (see engine/digest_cache.h) -----------------
+  /// Byte budget for memoized pipeline results; 0 disables the cache.
+  void set_digest_cache_budget(size_t bytes) {
+    digest_cache_->set_byte_budget(bytes);
+  }
+  DigestCacheStats digest_cache_stats() const {
+    return digest_cache_->stats();
+  }
+  /// Shared view of the cache (the interceptor gets the same one via
+  /// attach_digest_cache when installed).
+  std::shared_ptr<const QueryDigestCache> digest_cache() const {
+    return digest_cache_;
+  }
+
+  /// Monotonic catalog-schema version: bumped after every executed DDL
+  /// (CREATE/DROP/TRUNCATE/index DDL) and after transaction rollbacks
+  /// (which restore a catalog snapshot). Cached entries carry the value
+  /// current when they were validated.
+  uint64_t ddl_version() const {
+    return ddl_version_.load(std::memory_order_acquire);
+  }
+
   /// True while a transaction is open (any session).
   bool in_transaction() const;
 
@@ -96,11 +127,28 @@ class Database {
   /// Throw when another session's transaction is open. Caller holds mu_.
   void check_txn_conflict_locked(const Session& session) const;
 
+  /// Digest-cache fast path: execute `converted` from a cached entry if a
+  /// byte-exact, generation-current one exists. Returns nullopt on miss or
+  /// stale tags (the caller runs the full pipeline). Performs the same
+  /// transaction checks and interceptor accounting as the full path.
+  std::optional<ResultSet> try_replay_cached(Session& session,
+                                             const std::string& converted);
+
+  /// Bump ddl_version_ after executing a statement of a schema-changing
+  /// kind. Caller holds mu_ (DDL only happens under the execution lock).
+  void maybe_bump_ddl_locked(sql::StatementKind kind);
+
   mutable std::mutex mu_;
   storage::Catalog catalog_;
   std::shared_ptr<QueryInterceptor> interceptor_;
+  std::shared_ptr<QueryDigestCache> digest_cache_ =
+      std::make_shared<QueryDigestCache>();
   std::atomic<uint64_t> executed_count_{0};
   std::atomic<uint64_t> blocked_count_{0};
+  std::atomic<uint64_t> ddl_version_{0};
+  /// Bumped by set_interceptor: entries cached under one interceptor
+  /// (or under none) are never replayed under another.
+  std::atomic<uint64_t> interceptor_epoch_{0};
 
   bool txn_active_ = false;
   uint64_t txn_owner_ = 0;

@@ -1,0 +1,151 @@
+#include "engine/digest_cache.h"
+
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+
+namespace septic::engine {
+
+QueryDigestCache::QueryDigestCache(size_t byte_budget)
+    : shards_(kShards), byte_budget_(byte_budget) {}
+
+QueryDigestCache::Shard& QueryDigestCache::shard_for(std::string_view text) {
+  return shards_[std::hash<std::string_view>{}(text) % kShards];
+}
+const QueryDigestCache::Shard& QueryDigestCache::shard_for(
+    std::string_view text) const {
+  return shards_[std::hash<std::string_view>{}(text) % kShards];
+}
+
+QueryDigestCache::EntryPtr QueryDigestCache::lookup(
+    std::string_view text) const {
+  if (byte_budget_.load(std::memory_order_relaxed) == 0) return nullptr;
+  const Shard& s = shard_for(text);
+  std::shared_lock lock(s.mu);
+  auto it = s.index.find(text);
+  if (it == s.index.end()) {
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const EntryPtr& e = s.slots[it->second];
+  e->clock_ref.store(1, std::memory_order_relaxed);
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  return e;
+}
+
+void QueryDigestCache::insert(EntryPtr entry) {
+  size_t budget = byte_budget_.load(std::memory_order_relaxed);
+  if (budget == 0 || !entry) return;
+  size_t shard_budget = budget / kShards;
+  Shard& s = shard_for(entry->key());
+  std::unique_lock lock(s.mu);
+  if (s.index.count(entry->key())) return;  // racing miss already inserted
+  size_t slot;
+  if (!s.free_slots.empty()) {
+    slot = s.free_slots.back();
+    s.free_slots.pop_back();
+  } else {
+    slot = s.slots.size();
+    s.slots.emplace_back();
+  }
+  s.bytes += entry->cost;
+  // The index key views the entry's own text (parsed->text), which is
+  // heap-stable for the entry's lifetime in the slot.
+  s.index.emplace(entry->key(), slot);
+  s.slots[slot] = std::move(entry);
+  ++s.insertions;
+  if (s.bytes > shard_budget) evict_locked(s, shard_budget);
+}
+
+void QueryDigestCache::evict_locked(Shard& s, size_t budget) {
+  // CLOCK second-chance sweep. Bounded: each full pass either evicts
+  // something or clears every reference bit, so the second pass evicts.
+  size_t live = s.index.size();
+  while (s.bytes > budget && live > 0) {
+    if (s.clock_hand >= s.slots.size()) s.clock_hand = 0;
+    EntryPtr& victim = s.slots[s.clock_hand];
+    if (!victim) {
+      ++s.clock_hand;
+      continue;
+    }
+    if (victim->clock_ref.exchange(0, std::memory_order_relaxed) != 0) {
+      ++s.clock_hand;  // second chance
+      continue;
+    }
+    s.bytes -= victim->cost;
+    s.index.erase(victim->key());
+    victim.reset();
+    s.free_slots.push_back(s.clock_hand);
+    ++s.clock_hand;
+    ++s.evictions;
+    --live;
+  }
+}
+
+void QueryDigestCache::erase(std::string_view text) {
+  Shard& s = shard_for(text);
+  std::unique_lock lock(s.mu);
+  auto it = s.index.find(text);
+  if (it == s.index.end()) return;
+  size_t slot = it->second;
+  s.bytes -= s.slots[slot]->cost;
+  s.index.erase(it);
+  s.slots[slot].reset();
+  s.free_slots.push_back(slot);
+  ++s.invalidations;
+}
+
+void QueryDigestCache::clear() {
+  for (Shard& s : shards_) {
+    std::unique_lock lock(s.mu);
+    s.index.clear();
+    s.slots.clear();
+    s.free_slots.clear();
+    s.clock_hand = 0;
+    s.bytes = 0;
+  }
+}
+
+void QueryDigestCache::set_byte_budget(size_t bytes) {
+  byte_budget_.store(bytes, std::memory_order_relaxed);
+  if (bytes == 0) {
+    clear();
+    return;
+  }
+  size_t shard_budget = bytes / kShards;
+  for (Shard& s : shards_) {
+    std::unique_lock lock(s.mu);
+    if (s.bytes > shard_budget) evict_locked(s, shard_budget);
+  }
+}
+
+DigestCacheStats QueryDigestCache::stats() const {
+  DigestCacheStats out;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(s.mu);
+    out.hits += s.hits.load(std::memory_order_relaxed);
+    out.misses += s.misses.load(std::memory_order_relaxed);
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.invalidations += s.invalidations;
+    out.entries += s.index.size();
+    out.bytes_in_use += s.bytes;
+  }
+  return out;
+}
+
+size_t estimate_entry_cost(const sql::ParsedQuery& parsed,
+                           const sql::ItemStack* stack) {
+  size_t cost = sizeof(QueryDigestCache::Entry) + 256;  // AST/bookkeeping slack
+  cost += parsed.text.size() * 2;  // key view + ParsedQuery's own copy
+  for (const auto& c : parsed.comments) cost += sizeof(c) + c.body.size();
+  if (stack) {
+    cost += sizeof(sql::ItemStack);
+    for (const auto& node : stack->nodes) {
+      cost += sizeof(node) + node.data.size();
+    }
+  }
+  return cost;
+}
+
+}  // namespace septic::engine

@@ -1,0 +1,144 @@
+// Query-digest cache: memoized pipeline results keyed by the exact
+// post-charset-conversion statement bytes.
+//
+// Keying rule (load-bearing for security): the key is the byte string the
+// lexer would see. Identical bytes ⇒ identical lex ⇒ identical parse ⇒
+// identical item stack ⇒ identical verdict, because every stage downstream
+// of charset conversion is a pure function of those bytes (given unchanged
+// configuration, learned models, and catalog — which the generation tags
+// pin, see below). The cache therefore can never launder an attack into a
+// benign verdict: an attack variant that normalizes to different bytes is
+// a different key and takes the full pipeline, and a byte-identical replay
+// of a benign statement is, by construction, the same benign statement.
+// Nothing is ever keyed on a normalized/stripped/fingerprinted form.
+//
+// Invalidation is by generation tag, not by flush: every entry records
+//   - the interceptor installation epoch (Database::set_interceptor),
+//   - the interceptor's {config epoch, model generation} pair, and
+//   - the catalog DDL version,
+// all captured when the entry was built. A hit is replayable only while
+// every tag still matches the live counters; any mismatch erases the entry
+// and the query takes the full pipeline. Tags are captured *before* the
+// verdict's model lookup, so a mutation racing the computation always
+// lands the entry stale (conservative: spurious invalidation is safe).
+//
+// Structure: lock-striped shards (the PR 4 pattern), each a shared_mutex
+// over an open hash index plus a slot vector swept by a CLOCK second-chance
+// hand for eviction under a per-shard byte budget. Lookups take the shard
+// lock shared and touch one atomic reference bit; only insert/erase/evict
+// take it exclusively.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/interceptor.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::engine {
+
+struct DigestCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      // capacity pressure (CLOCK)
+  uint64_t invalidations = 0;  // generation-tag mismatches
+  uint64_t entries = 0;
+  uint64_t bytes_in_use = 0;
+};
+
+class QueryDigestCache {
+ public:
+  /// One memoized pipeline result. Immutable after insert (the CLOCK ref
+  /// bit is the only mutable field); shared_ptr entries stay valid for
+  /// readers even while being evicted.
+  struct Entry {
+    std::shared_ptr<const sql::ParsedQuery> parsed;  // owns the key bytes (text)
+    std::shared_ptr<const sql::ItemStack> stack;     // null for verdict-free entries
+    /// The interceptor's cacheable allow-decision; meaningful only when
+    /// has_verdict. Always an allow — blocked verdicts are never cached.
+    InterceptDecision decision;
+    std::shared_ptr<const void> payload;  // opaque interceptor replay state
+    bool has_verdict = false;  // false: parse-only entry (no interceptor installed)
+    uint64_t interceptor_epoch = 0;
+    InterceptorGenerations generations;
+    uint64_t ddl_version = 0;
+    size_t cost = 0;  // approximate bytes charged against the budget
+    mutable std::atomic<uint32_t> clock_ref{1};  // CLOCK second-chance bit
+
+    std::string_view key() const { return parsed->text; }
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  static constexpr size_t kDefaultByteBudget = 8u << 20;  // 8 MiB
+  static constexpr size_t kShards = 8;
+
+  explicit QueryDigestCache(size_t byte_budget = kDefaultByteBudget);
+
+  /// Find the entry for exactly these statement bytes; sets its reference
+  /// bit. Counts a hit or miss. Returns null (and counts nothing) when the
+  /// cache is disabled (budget 0).
+  EntryPtr lookup(std::string_view text) const;
+
+  /// Insert an entry (keyed by entry->key()), evicting CLOCK victims while
+  /// the shard exceeds its byte budget. A racing duplicate insert keeps the
+  /// incumbent. No-op when disabled.
+  void insert(EntryPtr entry);
+
+  /// Drop the entry for these bytes, counting an invalidation (the caller
+  /// observed a stale generation tag). No-op when absent.
+  void erase(std::string_view text);
+
+  /// Drop everything (tests/admin). Does not count invalidations.
+  void clear();
+
+  /// Change the byte budget; shrinking trims every shard immediately.
+  /// Setting 0 disables the cache (and clears it).
+  void set_byte_budget(size_t bytes);
+  size_t byte_budget() const {
+    return byte_budget_.load(std::memory_order_relaxed);
+  }
+
+  DigestCacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string_view, size_t> index;  // key -> slot
+    std::vector<EntryPtr> slots;  // null = free
+    std::vector<size_t> free_slots;
+    size_t clock_hand = 0;
+    size_t bytes = 0;
+    // Counted under the shared lock, hence atomic.
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& shard_for(std::string_view text);
+  const Shard& shard_for(std::string_view text) const;
+
+  /// Evict CLOCK victims until the shard fits `budget`. Caller holds the
+  /// shard lock exclusively.
+  void evict_locked(Shard& s, size_t budget);
+
+  std::vector<Shard> shards_;
+  std::atomic<size_t> byte_budget_;
+};
+
+/// Approximate retained size of a cache entry: statement text (key + the
+/// ParsedQuery copy), item-stack nodes, AST/bookkeeping slack. Deliberately
+/// generous — the budget is a memory-pressure valve, not an accounting
+/// ledger.
+size_t estimate_entry_cost(const sql::ParsedQuery& parsed,
+                           const sql::ItemStack* stack);
+
+}  // namespace septic::engine

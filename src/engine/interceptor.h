@@ -6,12 +6,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sqlcore/item.h"
 #include "sqlcore/parser.h"
 
 namespace septic::engine {
+
+class QueryDigestCache;
 
 /// Everything SEPTIC (or any other in-DBMS guard) can see about a query.
 struct QueryEvent {
@@ -21,14 +24,50 @@ struct QueryEvent {
   std::string user;
 };
 
+/// Monotonic counters an interceptor exposes so the engine's digest cache
+/// can tell whether a cached verdict is still current. Both values are
+/// captured at on_query entry, BEFORE any model lookup — a mutation racing
+/// the verdict computation therefore always makes the cached entry stale
+/// (spurious invalidation is safe; a missed one would not be).
+struct InterceptorGenerations {
+  uint64_t config_epoch = 0;      // configuration snapshot counter
+  uint64_t model_generation = 0;  // learned-model store mutation counter
+
+  bool operator==(const InterceptorGenerations& o) const {
+    return config_epoch == o.config_epoch &&
+           model_generation == o.model_generation;
+  }
+  bool operator!=(const InterceptorGenerations& o) const {
+    return !(*this == o);
+  }
+};
+
 struct InterceptDecision {
   /// When false, the server drops the query and reports ErrorCode::kBlocked.
   bool allow = true;
   std::string reason;
 
-  static InterceptDecision proceed() { return {true, {}}; }
+  // --- digest-cache opt-in (see engine/digest_cache.h) ----------------
+  /// True when this decision may be replayed for byte-identical statement
+  /// text while `generations` still match. Interceptors set it only on
+  /// benign allow-verdicts whose pipeline is deterministic in (bytes,
+  /// generations); attack verdicts are never cacheable (each occurrence
+  /// must be logged and counted individually).
+  bool cacheable = false;
+  /// Opaque interceptor state handed back on replay (e.g. the composed
+  /// query ID, so replayed queries log with the same identity). The engine
+  /// never looks inside.
+  std::shared_ptr<const void> cache_payload;
+  /// Generation tags captured at on_query entry; the engine stores them in
+  /// the cache entry and revalidates them against generations() on hit.
+  InterceptorGenerations generations;
+
+  static InterceptDecision proceed() { return {}; }
   static InterceptDecision reject(std::string why) {
-    return {false, std::move(why)};
+    InterceptDecision d;
+    d.allow = false;
+    d.reason = std::move(why);
+    return d;
   }
 };
 
@@ -40,6 +79,33 @@ class QueryInterceptor {
   /// does escape, the engine reports it as ErrorCode::kInternal rather
   /// than letting it unwind the caller's connection loop.
   virtual InterceptDecision on_query(const QueryEvent& event) = 0;
+
+  /// Current generation counters, compared against a cached entry's tags
+  /// before the engine replays its verdict. The default (all-zero, never
+  /// changing) suits interceptors that never set `cacheable`.
+  virtual InterceptorGenerations generations() const { return {}; }
+
+  /// Digest-cache hit: the engine is about to execute `event` on the
+  /// strength of a previously returned cacheable decision instead of
+  /// calling on_query. The interceptor must account for the query here
+  /// (per-query stats, processed-query logging) exactly as if on_query had
+  /// run — the engine calls exactly one of on_query / on_query_replayed
+  /// per intercepted statement.
+  virtual void on_query_replayed(const QueryEvent& event,
+                                 const InterceptDecision& decision,
+                                 const std::shared_ptr<const void>& payload) {
+    (void)event;
+    (void)decision;
+    (void)payload;
+  }
+
+  /// Called when the interceptor is installed into a Database that owns a
+  /// digest cache, so the interceptor can surface the cache's counters in
+  /// its own stats. The engine retains ownership.
+  virtual void attach_digest_cache(
+      std::shared_ptr<const QueryDigestCache> cache) {
+    (void)cache;
+  }
 };
 
 }  // namespace septic::engine

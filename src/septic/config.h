@@ -2,6 +2,7 @@
 // Table I).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace septic::core {
@@ -38,6 +39,13 @@ inline const char* fail_policy_name(FailPolicy p) {
 
 struct Config {
   Mode mode = Mode::kTraining;
+
+  /// Monotonic snapshot counter, bumped by Septic::update_config on every
+  /// published change. Living inside the snapshot (rather than in a
+  /// separate atomic) means a reader always sees a mutually consistent
+  /// {settings, epoch} pair; the digest cache tags cached verdicts with it
+  /// so any config change — mode flip, detector toggle — invalidates them.
+  uint64_t epoch = 0;
 
   /// Disposition of queries when SEPTIC hits an internal error. The
   /// conservative default drops them (kFailClosed).

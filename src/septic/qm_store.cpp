@@ -47,6 +47,7 @@ bool QmStore::add(const std::string& id, const QueryModel& qm) {
     auto vec = std::make_shared<std::vector<QueryModel>>();
     vec->push_back(qm);
     s.models.emplace(id, std::move(vec));
+    bump_generation();
     return true;
   }
   const std::vector<QueryModel>& cur = *it->second;
@@ -55,6 +56,7 @@ bool QmStore::add(const std::string& id, const QueryModel& qm) {
   auto next = std::make_shared<std::vector<QueryModel>>(cur);
   next->push_back(qm);
   it->second = std::move(next);
+  bump_generation();
   return true;
 }
 
@@ -66,11 +68,13 @@ void QmStore::add_loaded(std::string id, QueryModel qm) {
     auto vec = std::make_shared<std::vector<QueryModel>>();
     vec->push_back(std::move(qm));
     s.models.emplace(std::move(id), std::move(vec));
+    bump_generation();
     return;
   }
   auto next = std::make_shared<std::vector<QueryModel>>(*it->second);
   next->push_back(std::move(qm));
   it->second = std::move(next);
+  bump_generation();
 }
 
 std::vector<QueryModel> QmStore::lookup(const std::string& id) const {
@@ -97,6 +101,7 @@ bool QmStore::remove(const std::string& id, const QueryModel& qm) {
   if (pos == cur.end()) return false;
   if (cur.size() == 1) {
     s.models.erase(it);
+    bump_generation();
     return true;
   }
   auto next = std::make_shared<std::vector<QueryModel>>();
@@ -105,6 +110,7 @@ bool QmStore::remove(const std::string& id, const QueryModel& qm) {
     if (!(m == qm)) next->push_back(m);
   }
   it->second = std::move(next);
+  bump_generation();
   return true;
 }
 
@@ -137,6 +143,7 @@ void QmStore::clear() {
     std::unique_lock lock(s.mu);
     s.models.clear();
   }
+  bump_generation();
 }
 
 std::vector<std::string> QmStore::ids() const {

@@ -37,6 +37,7 @@
 //     v1 files ("id<TAB>model" lines) still load.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -107,6 +108,16 @@ class QmStore {
   size_t model_count() const;
   void clear();
 
+  /// Monotonic mutation counter: bumped whenever the set of stored models
+  /// actually changes (add of a new model, remove, clear, bulk load). The
+  /// engine's digest cache tags entries with this value — a cached verdict
+  /// is replayed only while the store is provably unchanged since the
+  /// verdict was computed, so a model removal (admin rejection) or new
+  /// training can never be laundered through a stale cached allow.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   size_t shard_count() const { return shards_.size(); }
 
   /// All IDs with at least one model, sorted (stable for tests/tools).
@@ -150,8 +161,13 @@ class QmStore {
   /// Insert without dedup bookkeeping (bulk loads own the whole store).
   void add_loaded(std::string id, QueryModel qm);
 
+  void bump_generation() {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
   std::vector<Shard> shards_;
   size_t shard_mask_ = 0;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace septic::core

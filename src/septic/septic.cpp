@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "engine/digest_cache.h"
 
 namespace septic::core {
 
@@ -17,7 +18,12 @@ template <typename Fn>
 void Septic::update_config(Fn&& fn) {
   std::lock_guard lock(config_mu_);
   Config next = *config_.load(std::memory_order_acquire);
+  uint64_t prev_epoch = next.epoch;
   fn(next);
+  // The epoch is owned here, not by fn: every published snapshot gets a
+  // fresh value, so cached verdicts tagged with the old epoch go stale on
+  // any config change.
+  next.epoch = prev_epoch + 1;
   config_.store(std::make_shared<const Config>(next),
                 std::memory_order_release);
 }
@@ -57,6 +63,37 @@ void Septic::set_fail_policy(FailPolicy policy) {
 }
 
 Config Septic::config() const { return *config_snapshot(); }
+
+engine::InterceptorGenerations Septic::generations() const {
+  return {config_snapshot()->epoch, store_.generation()};
+}
+
+void Septic::attach_digest_cache(
+    std::shared_ptr<const engine::QueryDigestCache> cache) {
+  digest_cache_.store(std::move(cache), std::memory_order_release);
+}
+
+void Septic::on_query_replayed(const engine::QueryEvent& event,
+                               const engine::InterceptDecision& decision,
+                               const std::shared_ptr<const void>& payload) {
+  (void)event;
+  (void)decision;
+  std::shared_ptr<const Config> cfg = config_snapshot();
+  stats_.queries_seen.fetch_add(1, std::memory_order_relaxed);
+  // Mirror the full pipeline's benign bookkeeping. The replayed verdict is
+  // current (the engine checked generations()), so the mode now equals the
+  // mode the verdict was computed under; training-mode replays have
+  // nothing further to do (the model already exists — re-adding would
+  // dedup to a no-op).
+  if (cfg->mode != Mode::kTraining && cfg->log_processed_queries) {
+    Event e;
+    e.kind = EventKind::kQueryProcessed;
+    if (const auto* vp = static_cast<const VerdictPayload*>(payload.get())) {
+      e.query_id = vp->composed_id;
+    }
+    log_.record(std::move(e));
+  }
+}
 
 void Septic::save_models(const std::string& path) const {
   store_.save_to_file(path);
@@ -109,6 +146,17 @@ SepticStats Septic::stats() const {
   out.septic_internal_errors =
       stats_.septic_internal_errors.load(std::memory_order_relaxed);
   out.events_dropped = log_.dropped_events();
+  if (std::shared_ptr<const engine::QueryDigestCache> cache =
+          digest_cache_.load(std::memory_order_acquire)) {
+    engine::DigestCacheStats cs = cache->stats();
+    out.cache_hits = cs.hits;
+    out.cache_misses = cs.misses;
+    out.cache_insertions = cs.insertions;
+    out.cache_evictions = cs.evictions;
+    out.cache_invalidations = cs.invalidations;
+    out.cache_entries = cs.entries;
+    out.cache_bytes = cs.bytes_in_use;
+  }
   return out;
 }
 
@@ -147,10 +195,17 @@ engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
   // plugins, model store, ID generation — may propagate an exception into
   // the engine. An in-path defense that can crash the DBMS is worse than
   // no defense; cfg->fail_policy decides what happens to the query instead.
+  // Generation tags for the digest cache, captured BEFORE the model
+  // lookup inside dispatch: a store mutation racing this query's verdict
+  // always makes the cached entry stale (conservative by construction).
+  const engine::InterceptorGenerations gens{cfg->epoch, store_.generation()};
+
   try {
     SEPTIC_FAILPOINT("septic.dispatch.throw");
     QueryId id = IdGenerator::generate(event.query);
-    return dispatch(event, *cfg, id);
+    engine::InterceptDecision d = dispatch(event, *cfg, id);
+    if (d.cacheable) d.generations = gens;
+    return d;
   } catch (const std::exception& ex) {
     stats_.septic_internal_errors.fetch_add(1, std::memory_order_relaxed);
     try {
@@ -174,9 +229,22 @@ engine::InterceptDecision Septic::on_query(const engine::QueryEvent& event) {
 engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
                                            const Config& cfg,
                                            const QueryId& id) {
+  // A benign allow-verdict is replayable for byte-identical statements:
+  // the whole pipeline is deterministic in (bytes, config epoch, model
+  // generation), and the engine revalidates the latter two on every hit.
+  // Attack verdicts are NEVER cacheable — each occurrence must log and
+  // count individually (and blocked queries must stay observable).
+  auto cacheable_allow = [&id] {
+    engine::InterceptDecision d;
+    d.cacheable = true;
+    d.cache_payload =
+        std::make_shared<const VerdictPayload>(VerdictPayload{id.composed()});
+    return d;
+  };
+
   if (cfg.mode == Mode::kTraining) {
     train_on(event, id, cfg);
-    return engine::InterceptDecision::proceed();
+    return cacheable_allow();
   }
 
   // ---- normal mode (prevention or detection) ----
@@ -250,7 +318,7 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
       e.query_id = id.composed();
       log_.record(std::move(e));
     }
-    return engine::InterceptDecision::proceed();
+    return cacheable_allow();
   }
 
   if (cfg.mode == Mode::kPrevention) {

@@ -57,6 +57,20 @@ struct SepticStats {
   uint64_t septic_internal_errors = 0;
   /// Events evicted from the bounded event-log ring (see EventLog).
   uint64_t events_dropped = 0;
+
+  /// Engine digest-cache counters (engine/digest_cache.h), surfaced here
+  /// once the engine attaches its cache. All zero when detached. Note
+  /// cache_hits counts replays of *any* cached pipeline result, including
+  /// parse-only entries from before this interceptor was installed being
+  /// invalidated — the interceptor-relevant subset is bounded by
+  /// queries_seen.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
 };
 
 class Septic final : public engine::QueryInterceptor {
@@ -75,10 +89,27 @@ class Septic final : public engine::QueryInterceptor {
   void set_log_processed_queries(bool on);
   void set_strict_numeric_types(bool on);
   void set_fail_policy(FailPolicy policy);
+  /// By-value copy of the whole configuration. Callers that only need a
+  /// field or two should prefer config_snapshot() — same coherence
+  /// guarantee, no copy.
   Config config() const;
+  /// The current immutable configuration snapshot (one atomic load; what
+  /// every query pins at entry). The snapshot is frozen at the read: a
+  /// concurrent set_* publishes a *new* snapshot rather than mutating this
+  /// one, so holding it across time reads stale-but-coherent values —
+  /// re-read per decision, don't cache it across queries.
+  std::shared_ptr<const Config> config_snapshot() const {
+    return config_.load(std::memory_order_acquire);
+  }
 
   // --- the hook -------------------------------------------------------
   engine::InterceptDecision on_query(const engine::QueryEvent& event) override;
+  engine::InterceptorGenerations generations() const override;
+  void on_query_replayed(const engine::QueryEvent& event,
+                         const engine::InterceptDecision& decision,
+                         const std::shared_ptr<const void>& payload) override;
+  void attach_digest_cache(
+      std::shared_ptr<const engine::QueryDigestCache> cache) override;
 
   // --- model store ----------------------------------------------------
   QmStore& store() { return store_; }
@@ -116,13 +147,16 @@ class Septic final : public engine::QueryInterceptor {
     std::atomic<uint64_t> septic_internal_errors{0};
   };
 
-  /// The config snapshot each query pins at entry.
-  std::shared_ptr<const Config> config_snapshot() const {
-    return config_.load(std::memory_order_acquire);
-  }
-  /// Copy-modify-publish under config_mu_.
+  /// Copy-modify-publish under config_mu_; bumps Config::epoch.
   template <typename Fn>
   void update_config(Fn&& fn);
+
+  /// Replay state carried in InterceptDecision::cache_payload: the cached
+  /// verdict's composed query ID, so replayed queries log under the same
+  /// identity the full pipeline would have computed.
+  struct VerdictPayload {
+    std::string composed_id;
+  };
 
   /// Handle a query in training mode (or incremental learning): learn,
   /// log, allow. `cfg` is the snapshot on_query pinned — the live mode is
@@ -139,6 +173,10 @@ class Septic final : public engine::QueryInterceptor {
 
   mutable std::mutex config_mu_;  // serializes config writers only
   std::atomic<std::shared_ptr<const Config>> config_;
+  /// The engine's digest cache, for stats() merging only (the engine owns
+  /// lookup/insert). Set once by attach_digest_cache; atomic because a
+  /// set_interceptor can race a stats() reader.
+  std::atomic<std::shared_ptr<const engine::QueryDigestCache>> digest_cache_;
   QmStore store_;
   ReviewQueue review_;
   EventLog log_;

@@ -1,0 +1,71 @@
+// Monotonic bump allocator backing decoded token storage.
+//
+// The string_view tokens produced by the lexer normally point straight into
+// the caller's SQL buffer (zero copies). The exceptions — string literals
+// with escapes, backtick identifiers with doubled backticks — need decoded
+// bytes that differ from the source. Those land here. Chunk addresses are
+// stable for the arena's lifetime (chunks are heap blocks that are never
+// reallocated, only appended), so views into the arena survive moves of the
+// Arena object itself; a std::string backing store would not give us that
+// (SSO buffers move with the object).
+//
+// Queries with no escapes never touch the arena, so the common hot path
+// performs zero heap allocations for token text.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace septic::sql {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `size` bytes; never returns nullptr.
+  char* alloc(size_t size) {
+    if (size > remaining_) grow(size);
+    char* p = cursor_;
+    cursor_ += size;
+    remaining_ -= size;
+    bytes_used_ += size;
+    return p;
+  }
+
+  /// Copy `s` into the arena and return a view of the stable copy.
+  std::string_view store(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = alloc(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Total bytes handed out (diagnostics / bench counters).
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  void grow(size_t need) {
+    size_t size = chunks_.empty() ? kFirstChunk : last_chunk_size_ * 2;
+    if (size < need) size = need;
+    chunks_.push_back(std::make_unique<char[]>(size));
+    cursor_ = chunks_.back().get();
+    remaining_ = size;
+    last_chunk_size_ = size;
+  }
+
+  static constexpr size_t kFirstChunk = 512;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t last_chunk_size_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace septic::sql

@@ -2,27 +2,81 @@
 
 #include <array>
 #include <cctype>
-#include <unordered_set>
-
-#include "common/string_util.h"
+#include <charconv>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 namespace septic::sql {
 
 namespace {
 
-const std::unordered_set<std::string>& keyword_set() {
-  static const std::unordered_set<std::string> kw = {
-      "SELECT", "FROM",   "WHERE",   "AND",    "OR",     "NOT",    "INSERT",
-      "INTO",   "VALUES", "UPDATE",  "SET",    "DELETE", "CREATE", "TABLE",
-      "DROP",   "IF",     "EXISTS",  "NULL",   "LIKE",   "IN",     "BETWEEN",
-      "IS",     "ORDER",  "BY",      "ASC",    "DESC",   "LIMIT",  "OFFSET",
-      "GROUP",  "HAVING", "JOIN",    "INNER",  "LEFT",   "ON",     "AS",
-      "UNION",  "ALL",    "DISTINCT","PRIMARY","KEY",    "DEFAULT","INT",
-      "INTEGER","BIGINT", "DOUBLE",  "FLOAT",  "TEXT",   "VARCHAR","CHAR",
-      "TRUE",   "FALSE",  "AUTO_INCREMENT", "SHOW", "TABLES", "DESCRIBE", "TRUNCATE", "INDEX",
-      "BEGIN", "START", "TRANSACTION", "COMMIT", "ROLLBACK", "EXPLAIN",
-  };
-  return kw;
+// Keyword table: canonical upper-case spellings with static storage, looked
+// up case-insensitively so the lexer never builds an uppercase std::string
+// per identifier token (the old `common::to_upper(word)` copy). kKeyword
+// tokens view these entries directly.
+constexpr std::string_view kKeywords[] = {
+    "SELECT", "FROM",   "WHERE",   "AND",    "OR",     "NOT",    "INSERT",
+    "INTO",   "VALUES", "UPDATE",  "SET",    "DELETE", "CREATE", "TABLE",
+    "DROP",   "IF",     "EXISTS",  "NULL",   "LIKE",   "IN",     "BETWEEN",
+    "IS",     "ORDER",  "BY",      "ASC",    "DESC",   "LIMIT",  "OFFSET",
+    "GROUP",  "HAVING", "JOIN",    "INNER",  "LEFT",   "ON",     "AS",
+    "UNION",  "ALL",    "DISTINCT","PRIMARY","KEY",    "DEFAULT","INT",
+    "INTEGER","BIGINT", "DOUBLE",  "FLOAT",  "TEXT",   "VARCHAR","CHAR",
+    "TRUE",   "FALSE",  "AUTO_INCREMENT", "SHOW", "TABLES", "DESCRIBE",
+    "TRUNCATE", "INDEX", "BEGIN", "START", "TRANSACTION", "COMMIT",
+    "ROLLBACK", "EXPLAIN",
+};
+
+constexpr size_t kMaxKeywordLen = 14;  // AUTO_INCREMENT
+
+char upper_ascii(char c) {
+  return c >= 'a' && c <= 'z' ? static_cast<char>(c - ('a' - 'A')) : c;
+}
+
+struct CiHash {
+  size_t operator()(std::string_view s) const {
+    // FNV-1a over upper-cased bytes.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(upper_ascii(c));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct CiEq {
+  bool operator()(std::string_view a, std::string_view b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (upper_ascii(a[i]) != upper_ascii(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+using KeywordMap =
+    std::unordered_map<std::string_view, std::string_view, CiHash, CiEq>;
+
+const KeywordMap& keyword_map() {
+  static const KeywordMap map = [] {
+    KeywordMap m;
+    m.reserve(std::size(kKeywords) * 2);
+    for (std::string_view kw : kKeywords) m.emplace(kw, kw);
+    return m;
+  }();
+  return map;
+}
+
+/// Canonical (static, upper-case) spelling if `word` is a keyword, else an
+/// empty view. Length fast-reject keeps arbitrary identifiers off the hash.
+std::string_view keyword_canonical(std::string_view word) {
+  if (word.size() > kMaxKeywordLen || word.empty()) return {};
+  const KeywordMap& m = keyword_map();
+  auto it = m.find(word);
+  return it == m.end() ? std::string_view{} : it->second;
 }
 
 bool is_ident_start(char c) {
@@ -34,19 +88,73 @@ bool is_ident_char(char c) {
          c == '$';
 }
 
+/// Decode a string-literal body (escapes and/or doubled quotes present)
+/// into the arena. `body` excludes the outer quotes. Decoded output is
+/// never longer than the input (every escape maps to <= its source bytes),
+/// so one arena block of body.size() always suffices.
+std::string_view decode_string_body(Arena& arena, std::string_view body,
+                                    char quote) {
+  char* out = arena.alloc(body.size());
+  size_t len = 0;
+  size_t i = 0;
+  const size_t n = body.size();
+  while (i < n) {
+    char d = body[i];
+    if (d == '\\' && i + 1 < n) {
+      char e = body[i + 1];
+      switch (e) {
+        case 'n': out[len++] = '\n'; break;
+        case 't': out[len++] = '\t'; break;
+        case 'r': out[len++] = '\r'; break;
+        case '0': out[len++] = '\0'; break;
+        case 'b': out[len++] = '\b'; break;
+        case 'Z': out[len++] = '\x1a'; break;
+        case '\\': out[len++] = '\\'; break;
+        case '\'': out[len++] = '\''; break;
+        case '"': out[len++] = '"'; break;
+        case '%': out[len++] = '\\'; out[len++] = '%'; break;  // kept for LIKE
+        case '_': out[len++] = '\\'; out[len++] = '_'; break;
+        default: out[len++] = e; break;  // MySQL: unknown escape = literal char
+      }
+      i += 2;
+      continue;
+    }
+    if (d == quote) {  // doubled quote (the lexer validated pairing)
+      out[len++] = quote;
+      i += 2;
+      continue;
+    }
+    out[len++] = d;
+    ++i;
+  }
+  return {out, len};
+}
+
+/// Unescape a backtick identifier body containing doubled backticks.
+std::string_view decode_backtick_body(Arena& arena, std::string_view body) {
+  char* out = arena.alloc(body.size());
+  size_t len = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    out[len++] = body[i];
+    if (body[i] == '`') ++i;  // skip the doubling
+  }
+  return {out, len};
+}
+
 }  // namespace
 
-bool is_reserved_keyword(std::string_view upper_word) {
-  return keyword_set().count(std::string(upper_word)) > 0;
+bool is_reserved_keyword(std::string_view word) {
+  return !keyword_canonical(word).empty();
 }
 
 LexResult lex(std::string_view sql) {
   LexResult out;
   size_t i = 0;
   const size_t n = sql.size();
+  out.tokens.reserve(n / 6 + 4);
   bool in_conditional_comment = false;  // inside /*! ... */
 
-  auto push = [&](Token t) { out.tokens.push_back(std::move(t)); };
+  auto push = [&](Token t) { out.tokens.push_back(t); };
 
   while (i < n) {
     char c = sql[i];
@@ -108,81 +216,75 @@ LexResult lex(std::string_view sql) {
       continue;
     }
     // String literals (' or "), with backslash escapes and doubled quotes.
+    // Scan for the closing quote first; only literals that actually contain
+    // escapes or doubled quotes pay for a decode into the arena — clean
+    // literals view the source buffer directly.
     if (c == '\'' || c == '"') {
       char quote = c;
-      std::string value;
       size_t start = i;
       ++i;
+      size_t body_start = i;
+      bool needs_decode = false;
       bool closed = false;
       while (i < n) {
         char d = sql[i];
         if (d == '\\' && i + 1 < n) {
-          char e = sql[i + 1];
-          switch (e) {
-            case 'n': value += '\n'; break;
-            case 't': value += '\t'; break;
-            case 'r': value += '\r'; break;
-            case '0': value += '\0'; break;
-            case 'b': value += '\b'; break;
-            case 'Z': value += '\x1a'; break;
-            case '\\': value += '\\'; break;
-            case '\'': value += '\''; break;
-            case '"': value += '"'; break;
-            case '%': value += "\\%"; break;   // kept escaped for LIKE
-            case '_': value += "\\_"; break;
-            default: value += e; break;  // MySQL: unknown escape = literal char
-          }
+          needs_decode = true;
           i += 2;
           continue;
         }
         if (d == quote) {
           if (i + 1 < n && sql[i + 1] == quote) {  // doubled quote
-            value += quote;
+            needs_decode = true;
             i += 2;
             continue;
           }
           closed = true;
-          ++i;
           break;
         }
-        value += d;
         ++i;
       }
       if (!closed) throw LexError("unterminated string literal", start);
+      size_t body_end = i;
+      ++i;  // past the closing quote
       Token t;
       t.type = TokenType::kString;
-      t.text = std::string(sql.substr(start, i - start));
-      t.str_value = std::move(value);
+      t.text = sql.substr(start, i - start);
+      std::string_view body = sql.substr(body_start, body_end - body_start);
+      t.str_value =
+          needs_decode ? decode_string_body(out.arena, body, quote) : body;
       t.pos = start;
-      push(std::move(t));
+      push(t);
       continue;
     }
     // Backtick-quoted identifier.
     if (c == '`') {
       size_t start = i;
       ++i;
-      std::string name;
+      size_t body_start = i;
+      bool needs_decode = false;
       bool closed = false;
       while (i < n) {
         if (sql[i] == '`') {
           if (i + 1 < n && sql[i + 1] == '`') {
-            name += '`';
+            needs_decode = true;
             i += 2;
             continue;
           }
           closed = true;
-          ++i;
           break;
         }
-        name += sql[i];
         ++i;
       }
       if (!closed) throw LexError("unterminated quoted identifier", start);
+      size_t body_end = i;
+      ++i;  // past the closing backtick
+      std::string_view body = sql.substr(body_start, body_end - body_start);
       Token t;
       t.type = TokenType::kIdentifier;
-      t.text = std::move(name);
+      t.text = needs_decode ? decode_backtick_body(out.arena, body) : body;
       t.pos = start;
-      push(std::move(t));
+      push(t);
       continue;
     }
     // Numbers (integer, decimal, 0x hex).
@@ -197,12 +299,15 @@ LexResult lex(std::string_view sql) {
         if (i == hex_start) throw LexError("malformed hex literal", start);
         Token t;
         t.type = TokenType::kInteger;
-        t.text = std::string(sql.substr(start, i - start));
-        t.int_value = static_cast<int64_t>(
-            std::strtoull(std::string(sql.substr(hex_start, i - hex_start)).c_str(),
-                          nullptr, 16));
+        t.text = sql.substr(start, i - start);
+        uint64_t hex = 0;
+        auto [p, ec] = std::from_chars(sql.data() + hex_start, sql.data() + i,
+                                       hex, 16);
+        if (ec == std::errc::result_out_of_range) hex = UINT64_MAX;
+        (void)p;
+        t.int_value = static_cast<int64_t>(hex);
         t.pos = start;
-        push(std::move(t));
+        push(t);
         continue;
       }
       bool has_dot = false;
@@ -225,47 +330,54 @@ LexResult lex(std::string_view sql) {
           break;
         }
       }
-      std::string text(sql.substr(start, i - start));
+      std::string_view text = sql.substr(start, i - start);
       Token t;
       t.text = text;
       t.pos = start;
       if (has_dot || has_exp) {
         t.type = TokenType::kDecimal;
-        t.dbl_value = std::strtod(text.c_str(), nullptr);
+        auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), t.dbl_value);
+        if (ec == std::errc::result_out_of_range) t.dbl_value = HUGE_VAL;
+        (void)p;
       } else {
         t.type = TokenType::kInteger;
-        t.int_value = static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10));
+        auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+        if (ec == std::errc::result_out_of_range) t.int_value = INT64_MAX;
+        (void)p;
       }
-      push(std::move(t));
+      push(t);
       continue;
     }
     // Identifiers / keywords.
     if (is_ident_start(c)) {
       size_t start = i;
       while (i < n && is_ident_char(sql[i])) ++i;
-      std::string word(sql.substr(start, i - start));
-      std::string upper = common::to_upper(word);
+      std::string_view word = sql.substr(start, i - start);
+      std::string_view canon = keyword_canonical(word);
       Token t;
       t.pos = start;
-      if (is_reserved_keyword(upper)) {
+      if (!canon.empty()) {
         t.type = TokenType::kKeyword;
-        t.text = std::move(upper);
+        t.text = canon;  // static canonical spelling, already upper
       } else {
         t.type = TokenType::kIdentifier;
-        t.text = std::move(word);
+        t.text = word;
       }
-      push(std::move(t));
+      push(t);
       continue;
     }
-    // Multi-char operators.
+    // Multi-char operators. The string_view parameter refers to a string
+    // literal with static storage, so the token can view it directly.
     auto try_op = [&](std::string_view op) -> bool {
       if (sql.substr(i, op.size()) == op) {
         Token t;
         t.type = TokenType::kOperator;
-        t.text = std::string(op);
+        t.text = op;
         t.pos = i;
         i += op.size();
-        push(std::move(t));
+        push(t);
         return true;
       }
       return false;
@@ -278,28 +390,28 @@ LexResult lex(std::string_view sql) {
         c == '*' || c == '/' || c == '%' || c == '!') {
       Token t;
       t.type = TokenType::kOperator;
-      t.text = std::string(1, c);
+      t.text = sql.substr(i, 1);
       t.pos = i;
       ++i;
-      push(std::move(t));
+      push(t);
       continue;
     }
     if (c == '?') {
       Token t;
       t.type = TokenType::kPlaceholder;
-      t.text = "?";
+      t.text = sql.substr(i, 1);
       t.pos = i;
       ++i;
-      push(std::move(t));
+      push(t);
       continue;
     }
     if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.') {
       Token t;
       t.type = TokenType::kPunct;
-      t.text = std::string(1, c);
+      t.text = sql.substr(i, 1);
       t.pos = i;
       ++i;
-      push(std::move(t));
+      push(t);
       continue;
     }
     throw LexError("unexpected character '" + std::string(1, c) + "'", i);
@@ -308,7 +420,7 @@ LexResult lex(std::string_view sql) {
   Token end;
   end.type = TokenType::kEnd;
   end.pos = n;
-  out.tokens.push_back(std::move(end));
+  out.tokens.push_back(end);
   return out;
 }
 

@@ -27,9 +27,14 @@ class LexError : public std::runtime_error {
 
 /// Tokenize one statement. `sql` must already have gone through
 /// common::server_charset_convert (the engine facade does this).
+///
+/// Tokens are views into `sql`, the static keyword/operator tables, or the
+/// returned LexResult's arena — `sql` and the LexResult must both outlive
+/// any use of the tokens. The common case (no escaped literals) allocates
+/// nothing per token beyond the token vector itself.
 LexResult lex(std::string_view sql);
 
-/// True if the word is a reserved keyword of our dialect.
-bool is_reserved_keyword(std::string_view upper_word);
+/// True if the word is a reserved keyword of our dialect (case-insensitive).
+bool is_reserved_keyword(std::string_view word);
 
 }  // namespace septic::sql

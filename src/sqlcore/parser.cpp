@@ -59,14 +59,16 @@ class Parser {
       tr.table = expect_identifier("table name");
       return Statement(std::move(tr));
     }
-    throw ParseError("expected a statement, got '" + t.text + "'", t.pos);
+    throw ParseError("expected a statement, got '" + std::string(t.text) + "'",
+                     t.pos);
   }
 
   void expect_end() {
     if (peek().is_punct(';')) advance();
     if (peek().type != TokenType::kEnd) {
-      throw ParseError("unexpected trailing input '" + peek().text + "'",
-                       peek().pos);
+      throw ParseError(
+          "unexpected trailing input '" + std::string(peek().text) + "'",
+          peek().pos);
     }
   }
 
@@ -88,7 +90,7 @@ class Parser {
   void expect_kw(std::string_view kw) {
     if (!accept_kw(kw)) {
       throw ParseError("expected " + std::string(kw) + ", got '" +
-                           peek().text + "'",
+                           std::string(peek().text) + "'",
                        peek().pos);
     }
   }
@@ -102,7 +104,7 @@ class Parser {
   void expect_punct(char c) {
     if (!accept_punct(c)) {
       throw ParseError(std::string("expected '") + c + "', got '" +
-                           peek().text + "'",
+                           std::string(peek().text) + "'",
                        peek().pos);
     }
   }
@@ -111,10 +113,11 @@ class Parser {
     const Token& t = peek();
     if (t.type == TokenType::kIdentifier) {
       advance();
-      return t.text;
+      return std::string(t.text);
     }
-    throw ParseError(std::string("expected ") + what + ", got '" + t.text + "'",
-                     t.pos);
+    throw ParseError(
+        std::string("expected ") + what + ", got '" + std::string(t.text) + "'",
+        t.pos);
   }
 
   // ------------------------------------------------------------- statements
@@ -337,7 +340,8 @@ class Parser {
           expect_punct(')');
         }
       } else {
-        throw ParseError("expected column type, got '" + ty.text + "'", ty.pos);
+        throw ParseError(
+            "expected column type, got '" + std::string(ty.text) + "'", ty.pos);
       }
       for (;;) {
         if (accept_kw("PRIMARY")) {
@@ -351,7 +355,7 @@ class Parser {
         } else if (accept_kw("DEFAULT")) {
           const Token& dv = peek();
           if (dv.type == TokenType::kString) {
-            col.default_value = Value(dv.str_value);
+            col.default_value = Value(std::string(dv.str_value));
           } else if (dv.type == TokenType::kInteger) {
             col.default_value = Value(dv.int_value);
           } else if (dv.type == TokenType::kDecimal) {
@@ -430,7 +434,7 @@ class Parser {
         (t.text == "=" || t.text == "<>" || t.text == "!=" || t.text == "<" ||
          t.text == "<=" || t.text == ">" || t.text == ">=" ||
          t.text == "<=>")) {
-      std::string op = t.text == "!=" ? "<>" : t.text;
+      std::string op(t.text == "!=" ? std::string_view("<>") : t.text);
       advance();
       return Expr::make_binary(std::move(op), std::move(lhs), parse_additive());
     }
@@ -487,7 +491,7 @@ class Parser {
   ExprPtr parse_additive() {
     ExprPtr lhs = parse_multiplicative();
     while (peek().is_op("+") || peek().is_op("-")) {
-      std::string op = peek().text;
+      std::string op(peek().text);
       advance();
       lhs = Expr::make_binary(std::move(op), std::move(lhs),
                               parse_multiplicative());
@@ -498,7 +502,7 @@ class Parser {
   ExprPtr parse_multiplicative() {
     ExprPtr lhs = parse_unary();
     while (peek().is_op("*") || peek().is_op("/") || peek().is_op("%")) {
-      std::string op = peek().text;
+      std::string op(peek().text);
       advance();
       lhs = Expr::make_binary(std::move(op), std::move(lhs), parse_unary());
     }
@@ -541,7 +545,8 @@ class Parser {
     switch (t.type) {
       case TokenType::kString: {
         advance();
-        return Expr::make_literal(Value(t.str_value), /*quoted=*/true);
+        return Expr::make_literal(Value(std::string(t.str_value)),
+                                  /*quoted=*/true);
       }
       case TokenType::kInteger: {
         advance();
@@ -574,11 +579,12 @@ class Parser {
           expect_punct(')');
           return Expr::make_func("IF", std::move(args));
         }
-        throw ParseError("unexpected keyword '" + t.text + "' in expression",
-                         t.pos);
+        throw ParseError(
+            "unexpected keyword '" + std::string(t.text) + "' in expression",
+            t.pos);
       }
       case TokenType::kIdentifier: {
-        std::string name = t.text;
+        std::string name(t.text);
         advance();
         if (accept_punct('(')) {
           // Function call; COUNT(*) special-cased.
@@ -612,7 +618,8 @@ class Parser {
       default:
         break;
     }
-    throw ParseError("unexpected token '" + t.text + "' in expression", t.pos);
+    throw ParseError(
+        "unexpected token '" + std::string(t.text) + "' in expression", t.pos);
   }
 
   std::vector<Token> toks_;

@@ -1,11 +1,20 @@
 // Token stream produced by the lexer. Comments are captured out-of-band
 // (SEPTIC's external identifier travels inside a /* ... */ comment that the
 // server otherwise discards).
+//
+// Tokens are views, not owners: `text` / `str_value` point into (a) the
+// caller's SQL buffer, (b) the static keyword/operator tables, or (c) the
+// LexResult's Arena (decoded escapes). A Token is therefore valid only
+// while the source buffer and its LexResult are alive — this is what lets
+// the lexer run allocation-free on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "sqlcore/arena.h"
 
 namespace septic::sql {
 
@@ -23,8 +32,8 @@ enum class TokenType {
 
 struct Token {
   TokenType type = TokenType::kEnd;
-  std::string text;       // normalized text (keywords upper, operators as-is)
-  std::string str_value;  // decoded contents for kString
+  std::string_view text;       // normalized text (keywords upper, operators as-is)
+  std::string_view str_value;  // decoded contents for kString
   int64_t int_value = 0;
   double dbl_value = 0.0;
   size_t pos = 0;  // byte offset in the (charset-converted) statement
@@ -41,6 +50,7 @@ struct Token {
 };
 
 /// A comment found while lexing, with its raw body (delimiters stripped).
+/// Owns its body: comments travel inside ParsedQuery beyond lexing.
 struct Comment {
   enum class Kind { kBlock, kDashDash, kHash } kind = Kind::kBlock;
   std::string body;
@@ -50,6 +60,7 @@ struct Comment {
 struct LexResult {
   std::vector<Token> tokens;    // always ends with kEnd
   std::vector<Comment> comments;
+  Arena arena;  // backs decoded token text; keep alive while tokens are read
 };
 
 }  // namespace septic::sql

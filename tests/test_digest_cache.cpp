@@ -1,0 +1,423 @@
+// Safety tests for the query-digest cache (engine/digest_cache.h): a warm
+// cache must be *observationally invisible* — every verdict, log line, and
+// stat a replayed query produces must match what the full pipeline would
+// have produced. The suite covers byte-exact keying, attack non-caching,
+// all three generation-invalidation axes (config epoch, model generation,
+// DDL version) plus the interceptor-install epoch, eviction, the budget-0
+// kill switch, and an 8-thread stress mix with exact stat reconciliation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attacks/corpus.h"
+#include "engine/database.h"
+#include "engine/digest_cache.h"
+#include "engine/error.h"
+#include "septic/septic.h"
+#include "web/apps/tickets.h"
+#include "web/apps/waspmon.h"
+#include "web/stack.h"
+#include "web/trainer.h"
+
+namespace septic::engine {
+namespace {
+
+class DigestCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, a TEXT, b INT)");
+    db.execute_admin("INSERT INTO t (a, b) VALUES ('x', 1), ('y', 2)");
+  }
+
+  void install_septic() {
+    septic = std::make_shared<core::Septic>();
+    db.set_interceptor(septic);
+  }
+
+  void train(std::string_view q) {
+    septic->set_mode(core::Mode::kTraining);
+    db.execute(session, q);
+  }
+
+  Database db;
+  Session session;
+  std::shared_ptr<core::Septic> septic;
+};
+
+// ------------------------------------------------------------ basic hits
+
+TEST_F(DigestCacheTest, WarmHitReplaysBenignVerdict) {
+  install_septic();
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+
+  uint64_t seen0 = septic->stats().queries_seen;
+  auto r1 = db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats mid = db.digest_cache_stats();
+  auto r2 = db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats after = db.digest_cache_stats();
+
+  EXPECT_EQ(r1.rows, r2.rows);
+  EXPECT_GE(after.hits, mid.hits + 1) << "second run should replay";
+  // The replay still counts: exactly one queries_seen tick per statement.
+  EXPECT_EQ(septic->stats().queries_seen, seen0 + 2);
+  // Replayed queries log under the same identity as the full pipeline.
+  EXPECT_EQ(septic->event_log().count_of(core::EventKind::kQueryProcessed),
+            2u);
+}
+
+TEST_F(DigestCacheTest, ParseOnlyReplayWithoutInterceptor) {
+  // No interceptor: the cache memoizes just the parse.
+  auto r1 = db.execute(session, "SELECT a FROM t WHERE b = 2");
+  auto r2 = db.execute(session, "SELECT a FROM t WHERE b = 2");
+  EXPECT_EQ(r1.rows, r2.rows);
+  EXPECT_GE(db.digest_cache_stats().hits, 1u);
+}
+
+TEST_F(DigestCacheTest, ResultsAreNotCached) {
+  // Only the pipeline (parse + verdict) is memoized — execution always
+  // runs against live data.
+  db.execute(session, "SELECT a FROM t WHERE b = 99");  // warm (0 rows)
+  auto cold = db.execute(session, "SELECT a FROM t WHERE b = 99");
+  EXPECT_EQ(cold.rows.size(), 0u);
+  db.execute(session, "INSERT INTO t (a, b) VALUES ('z', 99)");
+  auto warm = db.execute(session, "SELECT a FROM t WHERE b = 99");
+  EXPECT_EQ(warm.rows.size(), 1u) << "replay must see the new row";
+}
+
+// ------------------------------------------------- byte-exact keying
+
+TEST_F(DigestCacheTest, CommentVariantIsADistinctEntry) {
+  install_septic();
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats s0 = db.digest_cache_stats();
+  // Same statement + trailing comment: different bytes, different entry —
+  // never a hit on the bare form's entry.
+  db.execute(session, "SELECT a FROM t WHERE b = 1 -- audit");
+  DigestCacheStats s1 = db.digest_cache_stats();
+  EXPECT_EQ(s1.hits, s0.hits);
+  EXPECT_GE(s1.misses, s0.misses + 1);
+  EXPECT_GE(s1.insertions, s0.insertions + 1);
+}
+
+TEST_F(DigestCacheTest, KeyIsPostConversionBytes) {
+  // U+02BC converts to an ASCII quote before the cache key is formed, so
+  // the raw and pre-converted spellings are the *same* statement — same
+  // bytes, same parse, same verdict — and legitimately share one entry.
+  std::string ascii = "SELECT a FROM t WHERE a = 'x'";
+  std::string confusable = std::string("SELECT a FROM t WHERE a = ") +
+                           attacks::kModifierApostrophe + "x" +
+                           attacks::kModifierApostrophe;
+  db.execute(session, ascii);
+  DigestCacheStats s0 = db.digest_cache_stats();
+  db.execute(session, confusable);
+  DigestCacheStats s1 = db.digest_cache_stats();
+  EXPECT_GE(s1.hits, s0.hits + 1) << "post-conversion bytes match";
+  EXPECT_EQ(s1.entries, s0.entries) << "one entry, not two";
+}
+
+TEST_F(DigestCacheTest, ConfusableAttackMissesWarmBenignEntry) {
+  install_septic();
+  train("SELECT a FROM t WHERE a = 'v'");
+  septic->set_mode(core::Mode::kPrevention);
+  // Warm the benign shape.
+  db.execute(session, "SELECT a FROM t WHERE a = 'v'");
+  db.execute(session, "SELECT a FROM t WHERE a = 'v'");
+  EXPECT_GE(db.digest_cache_stats().hits, 1u);
+
+  // The U+02BC smuggled-quote attack differs in post-conversion bytes from
+  // every cached benign entry, so it can never ride a warm entry past the
+  // detector: full pipeline, detected, dropped.
+  std::string attack = std::string("SELECT a FROM t WHERE a = 'v") +
+                       attacks::kModifierApostrophe + " OR 1 = 1 -- '";
+  uint64_t dropped0 = septic->stats().dropped;
+  EXPECT_THROW(db.execute(session, attack), DbError);
+  EXPECT_THROW(db.execute(session, attack), DbError);
+  EXPECT_EQ(septic->stats().dropped, dropped0 + 2)
+      << "every attempt runs the detector; attack verdicts are never cached";
+}
+
+// ----------------------------------------------------- attacks uncached
+
+TEST_F(DigestCacheTest, AttacksAreNeverCached) {
+  install_septic();
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+
+  DigestCacheStats s0 = db.digest_cache_stats();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1"),
+                 DbError);
+  }
+  DigestCacheStats s1 = db.digest_cache_stats();
+  EXPECT_EQ(s1.insertions, s0.insertions) << "attacks must not be inserted";
+  EXPECT_EQ(s1.hits, s0.hits);
+  // Per-event logging is preserved: three attempts, three detections.
+  EXPECT_EQ(septic->stats().sqli_detected, 3u);
+  EXPECT_EQ(septic->event_log().count_of(core::EventKind::kSqliDetected), 3u);
+}
+
+TEST_F(DigestCacheTest, DetectionModeAttackLogsEveryAttempt) {
+  install_septic();
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kDetection);
+  // Detection mode executes the attack, but the verdict is still an
+  // attack verdict — uncacheable, re-detected and re-logged every time.
+  db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1 OR 1 = 1");
+  EXPECT_EQ(septic->stats().sqli_detected, 2u);
+}
+
+// ------------------------------------------- generation invalidation
+
+TEST_F(DigestCacheTest, ConfigChangeInvalidatesCachedVerdicts) {
+  install_septic();
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats warm = db.digest_cache_stats();
+  EXPECT_GE(warm.hits, 1u);
+
+  septic->set_stored_detection(false);  // bumps Config::epoch
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats after = db.digest_cache_stats();
+  EXPECT_GE(after.invalidations, warm.invalidations + 1)
+      << "stale epoch tag must evict, not replay";
+}
+
+TEST_F(DigestCacheTest, ModelRemovalFlipsCachedBenignToBlocked) {
+  // The headline staleness hazard: a verdict cached while the model
+  // existed must not outlive the model.
+  install_septic();
+  septic->set_incremental_learning(false);
+  train("SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  EXPECT_GE(db.digest_cache_stats().hits, 1u);
+
+  septic->store().clear();  // admin wipes the model set (generation bump)
+  // With the model gone and incremental learning off, prevention treats
+  // the unknown ID as an attack — a stale replay would have allowed it.
+  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1"), DbError);
+}
+
+TEST_F(DigestCacheTest, ModelAddRefreshesGeneration) {
+  install_septic();
+  septic->set_mode(core::Mode::kTraining);
+  // First occurrence: learned (generation bump) and cached with the
+  // pre-bump tag; second: self-invalidates and re-caches current; third:
+  // replays.
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats s0 = db.digest_cache_stats();
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats s1 = db.digest_cache_stats();
+  EXPECT_GE(s1.hits, s0.hits + 1);
+  EXPECT_EQ(septic->store().model_count(), 1u);
+}
+
+TEST_F(DigestCacheTest, DdlInvalidatesCachedEntries) {
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");  // warm hit
+  DigestCacheStats warm = db.digest_cache_stats();
+  uint64_t ddl0 = db.ddl_version();
+
+  db.execute_admin("CREATE TABLE u (id INT PRIMARY KEY)");
+  EXPECT_EQ(db.ddl_version(), ddl0 + 1);
+
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats after = db.digest_cache_stats();
+  EXPECT_GE(after.invalidations, warm.invalidations + 1)
+      << "schema change must force re-validation through the full path";
+  // Dropping the table the cached entry reads makes a stale replay
+  // actively wrong: the full path re-validates and errors cleanly.
+  db.execute(session, "SELECT a FROM t WHERE b = 1");  // re-warm
+  db.execute_admin("DROP TABLE t");
+  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1"), DbError);
+}
+
+TEST_F(DigestCacheTest, RollbackBumpsDdlVersion) {
+  uint64_t ddl0 = db.ddl_version();
+  db.execute(session, "BEGIN");
+  db.execute(session, "INSERT INTO t (a, b) VALUES ('txn', 7)");
+  db.execute(session, "ROLLBACK");
+  EXPECT_GT(db.ddl_version(), ddl0)
+      << "snapshot restore may undo DDL; cached entries must not survive it";
+}
+
+TEST_F(DigestCacheTest, InterceptorInstallInvalidatesParseOnlyEntries) {
+  // Warm a parse-only entry with no interceptor installed...
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  EXPECT_GE(db.digest_cache_stats().hits, 1u);
+
+  // ...then install SEPTIC. The pre-install entry must not replay — the
+  // interceptor has never seen this query.
+  install_septic();
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  EXPECT_EQ(septic->stats().queries_seen, 1u);
+  EXPECT_EQ(septic->store().model_count(), 1u)
+      << "the query must reach on_query, not replay a verdict-free entry";
+}
+
+// ------------------------------------------------ eviction and budget
+
+TEST_F(DigestCacheTest, EvictsUnderByteBudget) {
+  db.set_digest_cache_budget(16 << 10);  // 16 KiB: a handful of entries
+  for (int i = 0; i < 400; ++i) {
+    db.execute(session,
+               "SELECT a FROM t WHERE b = " + std::to_string(i + 1000));
+  }
+  DigestCacheStats s = db.digest_cache_stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LT(s.entries, 400u);
+  EXPECT_LE(s.bytes_in_use, size_t{16 << 10});
+}
+
+TEST_F(DigestCacheTest, BudgetZeroDisablesCache) {
+  db.set_digest_cache_budget(0);
+  DigestCacheStats s0 = db.digest_cache_stats();
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  DigestCacheStats s = db.digest_cache_stats();
+  EXPECT_EQ(s.hits, s0.hits);
+  EXPECT_EQ(s.misses, s0.misses) << "disabled cache does not count lookups";
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST_F(DigestCacheTest, PreparedStatementsBypassTheCache) {
+  DigestCacheStats s0 = db.digest_cache_stats();
+  std::vector<sql::Value> params{sql::Value(int64_t{1})};
+  db.execute_prepared(session, "SELECT a FROM t WHERE b = ?", params);
+  db.execute_prepared(session, "SELECT a FROM t WHERE b = ?", params);
+  DigestCacheStats s1 = db.digest_cache_stats();
+  EXPECT_EQ(s1.insertions, s0.insertions);
+  EXPECT_EQ(s1.hits, s0.hits);
+}
+
+TEST_F(DigestCacheTest, ReplayRespectsTransactionConflicts) {
+  db.execute(session, "SELECT a FROM t WHERE b = 1");
+  db.execute(session, "SELECT a FROM t WHERE b = 1");  // warm
+  Session other("other");
+  db.execute(other, "BEGIN");
+  // The warm path performs the same conflict check as the full path.
+  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1"), DbError);
+  db.execute(other, "ROLLBACK");
+}
+
+// ------------------------------------------- corpus vs warm cache
+
+// Every corpus attack is blocked on a warm cache, twice in a row, and the
+// benign workload that warmed the cache still passes afterwards.
+TEST(DigestCacheCorpus, AttacksBlockedAndBenignAcceptedWarm) {
+  for (const attacks::AttackCase& attack : attacks::all_attacks()) {
+    Database db;
+    std::unique_ptr<web::App> app;
+    if (attack.app == "tickets") {
+      app = std::make_unique<web::apps::TicketsApp>();
+    } else {
+      app = std::make_unique<web::apps::WaspMonApp>();
+    }
+    app->install(db);
+    web::WebStack stack(*app, db);
+    auto septic = std::make_shared<core::Septic>();
+    db.set_interceptor(septic);
+    septic->set_mode(core::Mode::kTraining);
+    web::train_on_application(stack);
+    septic->set_mode(core::Mode::kPrevention);
+    // Warm: replay the benign training workload against the live cache.
+    web::train_on_application(stack);
+    EXPECT_GT(db.digest_cache_stats().hits, 0u) << attack.id;
+
+    auto run_chain = [&]() -> std::string {
+      for (const auto& setup : attack.setup) {
+        web::Response r = stack.handle(setup);
+        if (r.blocked()) return r.blocked_by;
+      }
+      return stack.handle(attack.attack).blocked_by;
+    };
+    EXPECT_EQ(run_chain(), "septic") << attack.id << " (cold): " << attack.name;
+    EXPECT_EQ(run_chain(), "septic") << attack.id << " (warm): " << attack.name;
+  }
+}
+
+// --------------------------------------------------------------- stress
+
+// 8 threads mix warm hits, cold inserts, evictions (tiny budget),
+// config-epoch invalidations, DDL invalidations, and blocked attacks.
+// Afterwards queries_seen reconciles exactly: the engine called exactly
+// one of on_query / on_query_replayed per intercepted statement.
+TEST(DigestCacheStress, EightClientsReconcileExactly) {
+  Database db;
+  db.execute_admin(
+      "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, a TEXT, b INT)");
+  db.execute_admin("INSERT INTO t (a, b) VALUES ('x', 1)");
+  db.set_digest_cache_budget(64 << 10);  // small enough to force evictions
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_log_processed_queries(false);
+  septic->set_mode(core::Mode::kTraining);
+  Session admin("admin");
+  db.execute(admin, "SELECT a FROM t WHERE b = 1");
+  septic->set_mode(core::Mode::kPrevention);
+
+  constexpr int kIters = 300;
+  constexpr int kThreads = 8;
+  std::atomic<uint64_t> intercepted{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Session s("client" + std::to_string(tid));
+      for (int i = 0; i < kIters; ++i) {
+        if (tid == 6) {  // attacker: always blocked, never cached
+          try {
+            db.execute(s, "SELECT a FROM t WHERE b = 1 OR 1 = 1");
+            ADD_FAILURE() << "attack executed";
+          } catch (const DbError&) {
+          }
+          intercepted.fetch_add(1, std::memory_order_relaxed);
+        } else if (tid == 7) {  // churn: config flips + DDL invalidations
+          if (i % 3 == 0) {
+            septic->set_stored_detection(i % 6 == 0);
+          }
+          std::string tbl = "ddl_t";
+          db.execute(s, i % 2 == 0
+                            ? "CREATE TABLE " + tbl + " (id INT PRIMARY KEY)"
+                            : "DROP TABLE " + tbl);
+          intercepted.fetch_add(1, std::memory_order_relaxed);
+        } else {  // benign mix: a shared hot key + per-thread cold keys
+          std::string q =
+              (i % 4 != 0)
+                  ? "SELECT a FROM t WHERE b = 1"
+                  : "SELECT a FROM t WHERE b = " +
+                        std::to_string(tid * 10000 + i);
+          db.execute(s, q);
+          intercepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  core::SepticStats stats = septic->stats();
+  // +1 for the training query before the threads started.
+  EXPECT_EQ(stats.queries_seen, intercepted.load() + 1);
+  EXPECT_EQ(stats.sqli_detected, uint64_t{kIters});
+  EXPECT_EQ(stats.dropped, uint64_t{kIters});
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -24,17 +24,22 @@ TEST(Harness, VanillaDeploymentHasNoSeptic) {
 TEST(Harness, ConfigTogglesMatchRequested) {
   Deployment yn = make_deployment("tickets", SepticConfig::kYN);
   ASSERT_NE(yn.septic, nullptr);
-  EXPECT_TRUE(yn.septic->config().detect_sqli);
-  EXPECT_FALSE(yn.septic->config().detect_stored);
+  // config_snapshot(): one coherent snapshot per deployment instead of a
+  // full Config copy per field read.
+  auto yn_cfg = yn.septic->config_snapshot();
+  EXPECT_TRUE(yn_cfg->detect_sqli);
+  EXPECT_FALSE(yn_cfg->detect_stored);
   EXPECT_EQ(yn.septic->mode(), core::Mode::kPrevention);
 
   Deployment ny = make_deployment("tickets", SepticConfig::kNY);
-  EXPECT_FALSE(ny.septic->config().detect_sqli);
-  EXPECT_TRUE(ny.septic->config().detect_stored);
+  auto ny_cfg = ny.septic->config_snapshot();
+  EXPECT_FALSE(ny_cfg->detect_sqli);
+  EXPECT_TRUE(ny_cfg->detect_stored);
 
   Deployment nn = make_deployment("tickets", SepticConfig::kNN);
-  EXPECT_FALSE(nn.septic->config().detect_sqli);
-  EXPECT_FALSE(nn.septic->config().detect_stored);
+  auto nn_cfg = nn.septic->config_snapshot();
+  EXPECT_FALSE(nn_cfg->detect_sqli);
+  EXPECT_FALSE(nn_cfg->detect_stored);
 }
 
 TEST(Harness, DeploymentIsTrainedBeforePrevention) {

@@ -5,9 +5,15 @@
 namespace septic::sql {
 namespace {
 
-std::vector<Token> tokens_of(std::string_view sql) {
-  return lex(sql).tokens;
-}
+// Tokens are views into the source buffer and the LexResult's arena, so the
+// helper must hand back the whole LexResult, not just the token vector.
+struct Toks {
+  LexResult r;
+  const Token& operator[](size_t i) const { return r.tokens[i]; }
+  size_t size() const { return r.tokens.size(); }
+};
+
+Toks tokens_of(std::string_view sql) { return Toks{lex(sql)}; }
 
 TEST(Lexer, KeywordsUppercasedIdentifiersPreserved) {
   auto toks = tokens_of("select Name from Users");
