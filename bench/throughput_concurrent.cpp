@@ -1,26 +1,34 @@
-// Experiment PR5 — multi-client throughput over the real network stack,
-// now swept across the query-digest cache dimension.
+// Experiment PR6 — multi-client throughput over the real network stack,
+// now swept across the workload-mix dimension.
 //
 // A closed-loop driver: N client threads each hold one connection to a
 // real net::Server (thread-pool model) and issue a fixed number of
-// point-SELECTs back-to-back, so offered load tracks service rate and the
+// statements back-to-back, so offered load tracks service rate and the
 // measured numbers are contention, not queueing artifacts. Three SEPTIC
 // configurations are swept at each client count:
 //   off         no interceptor installed (engine + net floor)
 //   training    SEPTIC learning every query shape (store writes)
 //   prevention  SEPTIC validating against trained models
-// ...each in two cache states:
-//   cold        digest cache disabled (budget 0): every query runs the
-//               full conversion->lex->parse->hook pipeline (the PR4 shape)
-//   warm        default cache budget, with every workload key replayed
-//               off-clock first, so the measured runs are byte-exact hits
-// The headline ratio is warm prevention p50 / warm off p50 at one client:
-// the digest cache is meant to collapse SEPTIC's per-query overhead for
-// repeating statements to (near) zero.
+// ...each under two workloads:
+//   point       100% point SELECTs — the PR5 shape, kept for continuity
+//   readheavy   90% point SELECTs / 10% single-row UPDATEs — the MVCC
+//               target workload: before PR6 every statement serialized on
+//               one engine lock, so a 10% write admixture convoyed every
+//               reader behind it; under MVCC snapshot reads never take
+//               the commit lock, so read tail latency should hold as
+//               clients (and the writers hiding among them) scale.
+// The digest cache runs warm (default budget, SELECT keys replayed
+// off-clock) in every cell: the cold/warm axis was PR5's experiment and
+// its conclusions stand; PR6 measures lock structure, not parse cost.
 //
-// Output: human-readable table on stdout, machine-readable BENCH_PR5.json
+// Read and write latencies are recorded separately — the headline is
+// readheavy read-p99 at 8..16 clients vs the pre-MVCC baseline, which
+// scripts/bench.sh measures for real by building this same file in a
+// detached worktree of the last pre-MVCC commit.
+//
+// Output: human-readable table on stdout, machine-readable BENCH_PR6.json
 // (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh, schema
-// configs.{off|training|prevention}.{cold|warm}.{clients}.
+// configs.{off|training|prevention}.{point|readheavy}.{clients}.
 //
 // Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
 // SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16").
@@ -77,13 +85,26 @@ const char* mode_name(SepticMode m) {
   return "?";
 }
 
+enum class Workload { kPoint, kReadHeavy };
+
+const char* workload_name(Workload w) {
+  return w == Workload::kPoint ? "point" : "readheavy";
+}
+
 constexpr int kRows = 256;
+// In readheavy, every kWritePeriod-th statement is an UPDATE: a 10% write
+// admixture, enough to keep a writer in flight at 8+ clients without
+// turning the run into a write bench.
+constexpr int kWritePeriod = 10;
 
 struct RunResult {
   double qps = 0;
-  double p50_us = 0;
-  double p99_us = 0;
-  size_t queries = 0;
+  double rp50_us = 0;
+  double rp99_us = 0;
+  double wp50_us = 0;
+  double wp99_us = 0;
+  size_t reads = 0;
+  size_t writes = 0;
   size_t errors = 0;
   uint64_t overflow_workers = 0;
   uint64_t cache_hits = 0;
@@ -96,10 +117,9 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
-RunResult run_one(SepticMode mode, bool warm_cache, int clients,
+RunResult run_one(SepticMode mode, Workload workload, int clients,
                   int queries_per_client) {
   septic::engine::Database db;
-  if (!warm_cache) db.set_digest_cache_budget(0);
   db.execute_admin(
       "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
   for (int i = 0; i < kRows; i += 32) {
@@ -118,19 +138,22 @@ RunResult run_one(SepticMode mode, bool warm_cache, int clients,
     septic->set_mode(septic::core::Mode::kTraining);
     db.set_interceptor(septic);
     if (mode == SepticMode::kPrevention) {
-      // Train the one workload shape, then flip: the measured runs must
+      // Train both workload shapes, then flip: the measured runs must
       // take the model-validation path, never the learning path.
       septic::engine::Session trainer("bench-trainer");
       db.execute(trainer, "SELECT id, v FROM bench WHERE id = 1");
+      db.execute(trainer, "UPDATE bench SET v = 'warm' WHERE id = 1");
       septic->set_mode(septic::core::Mode::kPrevention);
     }
   }
 
-  if (warm_cache) {
-    // Replay every workload key off-clock so the measured runs are all
-    // byte-exact, generation-current hits. Two passes: in training mode
-    // the first occurrence of a shape bumps the model generation *after*
-    // its own entry was tagged, so that one entry re-caches on pass two.
+  // Replay every SELECT key off-clock so the measured reads are all
+  // byte-exact, generation-current hits. Two passes: in training mode
+  // the first occurrence of a shape bumps the model generation *after*
+  // its own entry was tagged, so that one entry re-caches on pass two.
+  // UPDATE values vary per statement, so their entries cannot be warmed;
+  // that miss stream is part of the readheavy workload by design.
+  {
     septic::engine::Session warm("bench-warm");
     for (int pass = 0; pass < 2; ++pass) {
       for (int key = 1; key <= kRows; ++key) {
@@ -146,8 +169,8 @@ RunResult run_one(SepticMode mode, bool warm_cache, int clients,
   server->start();
   uint16_t port = server->port();
 
-  std::vector<std::vector<double>> latencies(
-      static_cast<size_t>(clients));
+  std::vector<std::vector<double>> read_lat(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> write_lat(static_cast<size_t>(clients));
   std::vector<size_t> errors(static_cast<size_t>(clients), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
@@ -155,24 +178,32 @@ RunResult run_one(SepticMode mode, bool warm_cache, int clients,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       septic::net::Client client(port);
-      auto& lat = latencies[static_cast<size_t>(c)];
-      lat.reserve(static_cast<size_t>(queries_per_client));
+      auto& rlat = read_lat[static_cast<size_t>(c)];
+      auto& wlat = write_lat[static_cast<size_t>(c)];
+      rlat.reserve(static_cast<size_t>(queries_per_client));
       // Warm the connection + per-thread allocator off the clock.
       for (int w = 0; w < 3; ++w) {
         client.query("SELECT id, v FROM bench WHERE id = 1");
       }
       for (int i = 0; i < queries_per_client; ++i) {
         int key = (c * 131 + i) % kRows + 1;
+        const bool is_write = workload == Workload::kReadHeavy &&
+                              i % kWritePeriod == kWritePeriod - 1;
+        std::string sql =
+            is_write ? "UPDATE bench SET v = 'u" + std::to_string(i) +
+                           "' WHERE id = " + std::to_string(key)
+                     : "SELECT id, v FROM bench WHERE id = " +
+                           std::to_string(key);
         auto q0 = Clock::now();
         try {
-          client.query("SELECT id, v FROM bench WHERE id = " +
-                       std::to_string(key));
+          client.query(sql);
         } catch (const std::exception&) {
           ++errors[static_cast<size_t>(c)];
         }
-        lat.push_back(std::chrono::duration<double, std::micro>(
-                          Clock::now() - q0)
-                          .count());
+        (is_write ? wlat : rlat)
+            .push_back(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                                 q0)
+                           .count());
       }
       client.quit();
     });
@@ -181,14 +212,20 @@ RunResult run_one(SepticMode mode, bool warm_cache, int clients,
   double wall = std::chrono::duration<double>(Clock::now() - t0).count();
 
   RunResult r;
-  std::vector<double> all;
-  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::vector<double> reads, writes;
+  for (auto& v : read_lat) reads.insert(reads.end(), v.begin(), v.end());
+  for (auto& v : write_lat) writes.insert(writes.end(), v.begin(), v.end());
   for (size_t e : errors) r.errors += e;
-  std::sort(all.begin(), all.end());
-  r.queries = all.size();
-  r.qps = wall > 0 ? static_cast<double>(all.size()) / wall : 0;
-  r.p50_us = percentile(all, 0.50);
-  r.p99_us = percentile(all, 0.99);
+  std::sort(reads.begin(), reads.end());
+  std::sort(writes.begin(), writes.end());
+  r.reads = reads.size();
+  r.writes = writes.size();
+  size_t total = reads.size() + writes.size();
+  r.qps = wall > 0 ? static_cast<double>(total) / wall : 0;
+  r.rp50_us = percentile(reads, 0.50);
+  r.rp99_us = percentile(reads, 0.99);
+  r.wp50_us = percentile(writes, 0.50);
+  r.wp99_us = percentile(writes, 0.99);
   r.overflow_workers = server->overflow_workers_spawned();
   septic::engine::DigestCacheStats cs = db.digest_cache_stats();
   r.cache_hits = cs.hits;
@@ -203,18 +240,20 @@ int main() {
   const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
   const std::vector<int> counts = client_counts();
   const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
-  if (!json_path || !*json_path) json_path = "BENCH_PR5.json";
+  if (!json_path || !*json_path) json_path = "BENCH_PR6.json";
 
-  std::printf("# PR5: multi-client closed-loop throughput over the net "
-              "stack, cold vs warm digest cache\n");
+  std::printf("# PR6: multi-client closed-loop throughput over the net "
+              "stack, point vs read-heavy (90/10) workloads\n");
   std::printf("# queries/client=%d worker_threads=%zu hw_threads=%u\n",
               per_client, septic::net::ServerOptions{}.worker_threads,
               std::thread::hardware_concurrency());
-  std::printf("%-12s %6s %8s %10s %12s %12s %8s %10s\n", "config", "cache",
-              "clients", "qps", "p50_us", "p99_us", "errors", "hit_rate");
+  std::printf("%-12s %-10s %8s %10s %10s %10s %10s %10s %8s %9s\n", "config",
+              "workload", "clients", "qps", "rp50_us", "rp99_us", "wp50_us",
+              "wp99_us", "errors", "hit_rate");
 
   const SepticMode modes[] = {SepticMode::kOff, SepticMode::kTraining,
                               SepticMode::kPrevention};
+  const Workload workloads[] = {Workload::kPoint, Workload::kReadHeavy};
   std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
   json += "  \"queries_per_client\": " + std::to_string(per_client) + ",\n";
   json += "  \"worker_threads\": " +
@@ -224,34 +263,38 @@ int main() {
   json += "  \"configs\": {\n";
   for (size_t m = 0; m < 3; ++m) {
     json += std::string("    \"") + mode_name(modes[m]) + "\": {\n";
-    for (int warm = 0; warm < 2; ++warm) {
-      json += std::string("      \"") + (warm ? "warm" : "cold") + "\": {\n";
+    for (size_t w = 0; w < 2; ++w) {
+      json += std::string("      \"") + workload_name(workloads[w]) + "\": {\n";
       for (size_t i = 0; i < counts.size(); ++i) {
         int n = counts[i];
-        RunResult r = run_one(modes[m], warm != 0, n, per_client);
+        RunResult r = run_one(modes[m], workloads[w], n, per_client);
         double hit_rate =
             r.cache_hits + r.cache_misses
                 ? static_cast<double>(r.cache_hits) /
                       static_cast<double>(r.cache_hits + r.cache_misses)
                 : 0.0;
-        std::printf("%-12s %6s %8d %10.0f %12.1f %12.1f %8zu %9.1f%%\n",
-                    mode_name(modes[m]), warm ? "warm" : "cold", n, r.qps,
-                    r.p50_us, r.p99_us, r.errors, 100.0 * hit_rate);
+        std::printf("%-12s %-10s %8d %10.0f %10.1f %10.1f %10.1f %10.1f %8zu "
+                    "%8.1f%%\n",
+                    mode_name(modes[m]), workload_name(workloads[w]), n, r.qps,
+                    r.rp50_us, r.rp99_us, r.wp50_us, r.wp99_us, r.errors,
+                    100.0 * hit_rate);
         std::fflush(stdout);
-        char buf[320];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
-                      "        \"%d\": {\"qps\": %.1f, \"p50_us\": %.1f, "
-                      "\"p99_us\": %.1f, \"queries\": %zu, "
+                      "        \"%d\": {\"qps\": %.1f, \"rp50_us\": %.1f, "
+                      "\"rp99_us\": %.1f, \"wp50_us\": %.1f, "
+                      "\"wp99_us\": %.1f, \"reads\": %zu, \"writes\": %zu, "
                       "\"errors\": %zu, \"overflow_workers\": %llu, "
                       "\"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
-                      n, r.qps, r.p50_us, r.p99_us, r.queries, r.errors,
+                      n, r.qps, r.rp50_us, r.rp99_us, r.wp50_us, r.wp99_us,
+                      r.reads, r.writes, r.errors,
                       static_cast<unsigned long long>(r.overflow_workers),
                       static_cast<unsigned long long>(r.cache_hits),
                       static_cast<unsigned long long>(r.cache_misses),
                       i + 1 < counts.size() ? "," : "");
         json += buf;
       }
-      json += warm == 0 ? "      },\n" : "      }\n";
+      json += w == 0 ? "      },\n" : "      }\n";
     }
     json += m + 1 < 3 ? "    },\n" : "    }\n";
   }

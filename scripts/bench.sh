@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Build the release-nofailpoints preset (production shape: full
-# optimization, zero failpoint probes) and run the PR5 multi-client
-# throughput bench (off/training/prevention x cold/warm digest cache) over
-# the real net stack, writing BENCH_PR5.json at the repository root.
+# optimization, zero failpoint probes) and run the PR6 multi-client
+# throughput bench (off/training/prevention x point/readheavy workloads)
+# over the real net stack, writing BENCH_PR6.json at the repository root.
 #
 # The pre-change baseline is measured for real, not copied from an old
-# JSON: the PR4-era bench is built in a detached worktree of the last
-# pre-cache commit and run with the same knobs, and its numbers are merged
-# into BENCH_PR5.json under "baseline". On the 1-core bench container the
-# meaningful deltas are p50/p99, not qps.
+# JSON: the current bench source is dropped into a detached worktree of
+# the last pre-MVCC commit (so both sides run the byte-identical
+# workload), built there against the old serialized engine, and its
+# numbers are merged into BENCH_PR6.json under "baseline". On the 1-core
+# bench container the meaningful deltas are p50/p99, not qps.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -20,10 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 jobs=$(nproc 2>/dev/null || echo 4)
-# Last commit before the digest cache landed: the PR4 hot path.
-baseline_commit="64431c6"
+# Last commit before the MVCC transaction subsystem: every statement still
+# serialized through the single engine execute stage.
+baseline_commit="dda82f5"
 baseline_dir=".bench-baseline"
 
 cmake --preset release-nofailpoints
@@ -36,6 +38,9 @@ if [[ "${SEPTIC_BENCH_SKIP_BASELINE:-0}" != "1" ]]; then
   if [[ ! -d "${baseline_dir}" ]]; then
     git worktree add --detach "${baseline_dir}" "${baseline_commit}"
   fi
+  # Same workload on both sides: the PR6 bench source replaces the
+  # worktree's own (it compiles against the pre-MVCC engine API).
+  cp bench/throughput_concurrent.cpp "${baseline_dir}/bench/"
   (
     cd "${baseline_dir}"
     cmake --preset release-nofailpoints >/dev/null
@@ -52,7 +57,7 @@ with open(base_path) as f:
     base = json.load(f)
 cur["baseline"] = {
     "commit": commit,
-    "note": "PR4-era bench (no digest cache); schema configs.{mode}.{clients}",
+    "note": "pre-MVCC engine (serialized execute stage), identical workload",
     "configs": base.get("configs", {}),
 }
 with open(out_path, "w") as f:

@@ -13,8 +13,14 @@
 #            Findings themselves are expected on the stock apps (they carry
 #            the corpus's deliberate weaknesses) and are gated byte-exactly
 #            by the test tier's golden files.
-#   bench  — scripts/bench.sh (release build + PR4 throughput bench ->
-#            BENCH_PR4.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
+#   txn    — the MVCC transaction suite: the behavior-bar tests
+#            (test_txn_mvcc), the transaction semantics tests
+#            (test_transactions), and the concurrency stress suite
+#            (test_stress_concurrency), run directly from the default
+#            build. A focused re-run for engine/txn work; the test tier
+#            already includes all three via ctest.
+#   bench  — scripts/bench.sh (release build + PR6 throughput bench ->
+#            BENCH_PR6.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
 #            the default gate stays fast and benches never run on loaded
 #            CI machines by accident.
 #
@@ -100,6 +106,17 @@ tier_scan() {
   return 1
 }
 
+tier_txn() {
+  local bins=(build/tests/test_txn_mvcc build/tests/test_transactions
+              build/tests/test_stress_concurrency)
+  local rc=0
+  for bin in "${bins[@]}"; do
+    [ -x "${bin}" ] || { echo "${bin} not built (run the build tier first)"; return 1; }
+    "${bin}" || rc=1
+  done
+  return "${rc}"
+}
+
 tier_bench() {
   if [ "${SEPTIC_RUN_BENCH:-0}" != "1" ]; then
     echo "-- bench disabled (set SEPTIC_RUN_BENCH=1 to run); skipping"
@@ -136,7 +153,7 @@ run_preset_full() {
   fi
 }
 
-default_tiers=(build test lint ubsan scan)
+default_tiers=(build test txn lint ubsan scan)
 if [ "$#" -eq 0 ]; then
   tiers=("${default_tiers[@]}")
 elif [ "$1" = "all" ]; then
@@ -147,10 +164,10 @@ fi
 
 for t in "${tiers[@]}"; do
   case "${t}" in
-    build|test|lint|ubsan|scan|bench) run_tier "${t}" ;;
+    build|test|txn|lint|ubsan|scan|bench) run_tier "${t}" ;;
     asan|tsan) run_preset_full "${t}" ;;
     *)
-      echo "usage: $0 [build|test|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
+      echo "usage: $0 [build|test|txn|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
       exit 2
       ;;
   esac

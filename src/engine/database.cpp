@@ -10,12 +10,14 @@
 namespace septic::engine {
 
 void Database::set_interceptor(std::shared_ptr<QueryInterceptor> interceptor) {
-  std::lock_guard lock(mu_);
-  interceptor_ = std::move(interceptor);
-  // Entries cached under the previous interceptor configuration (or under
-  // none) must never be replayed under the new one.
-  interceptor_epoch_.fetch_add(1, std::memory_order_release);
-  if (interceptor_) interceptor_->attach_digest_cache(digest_cache_);
+  {
+    std::lock_guard lock(interceptor_mu_);
+    interceptor_ = std::move(interceptor);
+    // Entries cached under the previous interceptor configuration (or under
+    // none) must never be replayed under the new one.
+    interceptor_epoch_.fetch_add(1, std::memory_order_release);
+    if (interceptor_) interceptor_->attach_digest_cache(digest_cache_);
+  }
 }
 
 namespace {
@@ -55,7 +57,64 @@ bool cacheable_kind(sql::StatementKind kind) {
   }
 }
 
+/// Statements that mutate the catalog's structure — executed under the
+/// exclusive DDL lock, on the legacy (unlocked) table plane.
+bool ddl_kind(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kCreate:
+    case sql::StatementKind::kDrop:
+    case sql::StatementKind::kTruncate:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropIndex:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Statements that mutate row data (autocommit writers serialize on the
+/// commit mutex; inside a transaction they buffer into the write set).
+bool write_kind(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Releases the commit clock on every exit path of an autocommit write.
+/// Publishing even after a mid-statement constraint error is deliberate:
+/// an autocommit statement that failed halfway keeps its partial effects
+/// (matching the engine's pre-MVCC behavior), so the versions it already
+/// wrote at `ts` must become visible — leaving the clock behind would
+/// instead leak them into the NEXT writer's commit.
+class PublishOnExit {
+ public:
+  PublishOnExit(txn::TxnManager& mgr, uint64_t ts) : mgr_(mgr), ts_(ts) {}
+  ~PublishOnExit() { mgr_.publish(ts_); }
+
+ private:
+  txn::TxnManager& mgr_;
+  uint64_t ts_;
+};
+
 }  // namespace
+
+std::shared_ptr<txn::Transaction> Database::current_txn(
+    Session& session) const {
+  const std::shared_ptr<txn::Transaction>& t = session.txn();
+  if (!t) return nullptr;
+  if (!t->active()) {
+    // Finished elsewhere (disconnect cleanup raced us, or abort-on-block):
+    // drop the stale cache entry.
+    session.set_txn(nullptr);
+    return nullptr;
+  }
+  return t;
+}
 
 std::optional<ResultSet> Database::try_replay_cached(
     Session& session, const std::string& converted) {
@@ -70,14 +129,7 @@ std::optional<ResultSet> Database::try_replay_cached(
     return std::nullopt;
   }
 
-  // Pin the interceptor under the same transaction check the miss path's
-  // validation section performs.
-  std::shared_ptr<QueryInterceptor> interceptor;
-  {
-    std::lock_guard lock(mu_);
-    check_txn_conflict_locked(session);
-    interceptor = interceptor_;
-  }
+  std::shared_ptr<QueryInterceptor> interceptor = pinned_interceptor();
 
   // Generation gate 2: interceptor-owned tags. The epoch gate above makes
   // has_verdict and interceptor presence agree except across a racing
@@ -86,6 +138,7 @@ std::optional<ResultSet> Database::try_replay_cached(
     digest_cache_->erase(converted);
     return std::nullopt;
   }
+  const bool in_txn = current_txn(session) != nullptr;
   if (interceptor) {
     if (interceptor->generations() != e->generations) {
       digest_cache_->erase(converted);
@@ -95,26 +148,86 @@ std::optional<ResultSet> Database::try_replay_cached(
     // on_query ran. The engine calls exactly one of on_query /
     // on_query_replayed per statement, so interceptor stats reconcile
     // exactly even under heavy hit/miss mixes.
-    QueryEvent event{*e->parsed, *e->stack, session.id(), session.user()};
+    QueryEvent event{*e->parsed, *e->stack, session.id(), session.user(),
+                     in_txn};
     interceptor->on_query_replayed(event, e->decision, e->payload);
   }
 
-  // Execute (the serialized stage), sharing the cached AST: the executor
-  // takes the statement by const& and never mutates it. A DDL that raced
-  // in after the tag gate re-validates, exactly like the miss path's
-  // second validation.
-  std::lock_guard lock(mu_);
-  check_txn_conflict_locked(session);
-  if (ddl_version_.load(std::memory_order_relaxed) != e->ddl_version) {
-    validate_statement(catalog_, e->parsed->statement);
+  // Execute, sharing the cached AST: the executor takes the statement by
+  // const& and never mutates it. dispatch_execute re-validates when a DDL
+  // raced in after the tag gate, exactly like the miss path.
+  return dispatch_execute(session, e->parsed->statement,
+                          sql::statement_kind(e->parsed->statement),
+                          e->ddl_version);
+}
+
+ResultSet Database::dispatch_execute(Session& session,
+                                     const sql::Statement& stmt,
+                                     sql::StatementKind kind,
+                                     uint64_t ddl_tag) {
+  std::shared_ptr<txn::Transaction> t = current_txn(session);
+
+  if (t && t->read_only && (write_kind(kind) || ddl_kind(kind))) {
+    throw DbError(ErrorCode::kTxnState,
+                  "cannot execute a write statement in a READ ONLY "
+                  "transaction");
+  }
+
+  if (ddl_kind(kind)) {
+    if (t) return execute_ddl_in_txn(session, *t, stmt, kind);
+    // Autocommit DDL: exclusive lock, legacy table plane, version bump.
+    std::unique_lock ddl(ddl_mu_);
+    validate_statement(catalog_, stmt);
+    executed_count_.fetch_add(1, std::memory_order_relaxed);
+    ResultSet rs = execute_statement(catalog_, session, stmt);
+    ddl_version_.fetch_add(1, std::memory_order_release);
+    return rs;
+  }
+
+  std::shared_lock ddl(ddl_mu_);
+  // A DDL that raced the unlocked pipeline window surfaces as a normal
+  // validation error here, never as executor UB.
+  if (ddl_version_.load(std::memory_order_acquire) != ddl_tag) {
+    validate_statement(catalog_, stmt);
   }
   executed_count_.fetch_add(1, std::memory_order_relaxed);
-  return execute_statement(catalog_, session, e->parsed->statement);
+
+  if (t) {
+    // Transactional: snapshot reads through the write set, writes buffer.
+    ExecContext ctx{catalog_, session, t->snapshot_ts, t.get(), 0, true};
+    return execute_statement(ctx, stmt);
+  }
+
+  if (write_kind(kind)) {
+    // Autocommit write: serialize on the commit mutex, read at the current
+    // visible timestamp, stamp in-place writes one tick later, publish on
+    // the way out. Readers never take this mutex.
+    ResultSet rs;
+    {
+      std::lock_guard commit(txn_mgr_.commit_mu());
+      const uint64_t snapshot = txn_mgr_.visible_ts();
+      ExecContext ctx{catalog_, session, snapshot, nullptr, snapshot + 1,
+                      true};
+      PublishOnExit publish(txn_mgr_, snapshot + 1);
+      rs = execute_statement(ctx, stmt);
+    }
+    // Reclaim the versions this write superseded once nothing can read
+    // them. Needs the DDL lock exclusive (see maybe_vacuum), so drop our
+    // shared hold first; the try-lock inside skips under reader traffic.
+    ddl.unlock();
+    maybe_vacuum();
+    return rs;
+  }
+
+  // Autocommit read (SELECT / SHOW / DESCRIBE / EXPLAIN): pin the visible
+  // timestamp and go — no commit mutex, no table exclusion.
+  ExecContext ctx{catalog_, session, txn_mgr_.visible_ts(), nullptr, 0, true};
+  return execute_statement(ctx, stmt);
 }
 
 ResultSet Database::execute(Session& session, std::string_view raw_sql) {
   // 1. Character-set conversion (where U+02BC becomes a plain quote) —
-  // pure text work, outside the engine lock.
+  // pure text work, outside every lock.
   std::string converted = charset_conversion_
                               ? common::server_charset_convert(raw_sql)
                               : std::string(raw_sql);
@@ -145,7 +258,7 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
 
   // Transaction control bypasses the interceptor: BEGIN/COMMIT/ROLLBACK
   // carry no user data and are handled by the facade, which owns the
-  // snapshot.
+  // transaction lifecycle.
   if (kind == sql::StatementKind::kTransaction) {
     return handle_transaction(session,
                               std::get<sql::TransactionStmt>(parsed->statement));
@@ -155,33 +268,42 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
   // later stage leaves the cached entry conservatively stale.
   const uint64_t ddl_tag = ddl_version_.load(std::memory_order_acquire);
 
-  // 4. Validation against the catalog (short lock): the interceptor must
-  // only ever see catalog-valid statements, exactly as before.
+  // 4. Validation against the catalog (shared lock, held briefly): the
+  // interceptor must only ever see catalog-valid statements.
   std::shared_ptr<QueryInterceptor> interceptor;
   uint64_t epoch_tag = 0;
   {
-    std::lock_guard lock(mu_);
-    check_txn_conflict_locked(session);
+    std::shared_lock ddl(ddl_mu_);
     validate_statement(catalog_, parsed->statement);
-    interceptor = interceptor_;
+    interceptor = pinned_interceptor();
     epoch_tag = interceptor_epoch_.load(std::memory_order_relaxed);
   }
 
-  // 5. Item stack + interceptor (SEPTIC's hook point) — outside the lock:
-  // this is the per-query detection fast path, and it scales with client
-  // count instead of queueing behind the single-writer engine.
+  // 5. Item stack + interceptor (SEPTIC's hook point) — outside every
+  // lock: this is the per-query detection fast path, and it scales with
+  // client count instead of queueing behind the engine.
+  std::shared_ptr<txn::Transaction> txn = current_txn(session);
   std::shared_ptr<sql::ItemStack> stack;
   InterceptDecision decision = InterceptDecision::proceed();
   if (interceptor) {
     stack = std::make_shared<sql::ItemStack>(
         sql::build_item_stack(parsed->statement));
-    QueryEvent event{*parsed, *stack, session.id(), session.user()};
+    QueryEvent event{*parsed, *stack, session.id(), session.user(),
+                     txn != nullptr};
     decision = run_interceptor(*interceptor, event);
     if (!decision.allow) {
       blocked_count_.fetch_add(1, std::memory_order_relaxed);
-      throw DbError(ErrorCode::kBlocked,
-                    decision.reason.empty() ? "query dropped by interceptor"
-                                            : decision.reason);
+      std::string reason = decision.reason.empty()
+                               ? "query dropped by interceptor"
+                               : decision.reason;
+      if (txn && decision.abort_txn) {
+        // Poisoned-transaction containment: the policy says a blocked
+        // statement inside a transaction aborts the whole transaction.
+        rollback_txn(txn, /*aborted_on_block=*/true);
+        session.set_txn(nullptr);
+        reason += " (transaction rolled back)";
+      }
+      throw DbError(ErrorCode::kBlocked, std::move(reason));
     }
   }
 
@@ -204,30 +326,9 @@ ResultSet Database::execute(Session& session, std::string_view raw_sql) {
     digest_cache_->insert(std::move(entry));
   }
 
-  // 6. Execution (the serialized stage). Re-check transaction ownership
-  // and re-validate: a transaction or DDL that raced the unlocked window
-  // surfaces as a normal engine error here, never as executor UB.
-  std::lock_guard lock(mu_);
-  check_txn_conflict_locked(session);
-  validate_statement(catalog_, parsed->statement);
-  executed_count_.fetch_add(1, std::memory_order_relaxed);
-  ResultSet rs = execute_statement(catalog_, session, parsed->statement);
-  maybe_bump_ddl_locked(kind);
-  return rs;
-}
-
-void Database::maybe_bump_ddl_locked(sql::StatementKind kind) {
-  switch (kind) {
-    case sql::StatementKind::kCreate:
-    case sql::StatementKind::kDrop:
-    case sql::StatementKind::kTruncate:
-    case sql::StatementKind::kCreateIndex:
-    case sql::StatementKind::kDropIndex:
-      ddl_version_.fetch_add(1, std::memory_order_release);
-      break;
-    default:
-      break;
-  }
+  // 6. Execution under the context the session's transaction state calls
+  // for (see dispatch_execute).
+  return dispatch_execute(session, parsed->statement, kind, ddl_tag);
 }
 
 ResultSet Database::execute_admin(std::string_view raw_sql) {
@@ -235,61 +336,270 @@ ResultSet Database::execute_admin(std::string_view raw_sql) {
   return execute(admin, raw_sql);
 }
 
-void Database::check_txn_conflict_locked(const Session& session) const {
-  if (txn_active_ && session.id() != txn_owner_) {
-    throw DbError(ErrorCode::kUnsupported,
-                  "another session's transaction is in progress");
+ResultSet Database::execute_ddl_in_txn(Session& session, txn::Transaction& t,
+                                       const sql::Statement& stmt,
+                                       sql::StatementKind kind) {
+  std::unique_lock ddl(ddl_mu_);
+  validate_statement(catalog_, stmt);
+
+  // Record the inverse operation BEFORE executing, while the pre-statement
+  // state is still observable. DDL applies to the shared catalog
+  // immediately (other sessions see it — MySQL-style non-transactional
+  // DDL), but ROLLBACK replays these undos to restore the pre-transaction
+  // catalog.
+  std::optional<txn::DdlUndo> undo;
+  switch (kind) {
+    case sql::StatementKind::kCreate: {
+      const auto& ct = std::get<sql::CreateTableStmt>(stmt);
+      if (catalog_.find(ct.table) == nullptr) {
+        undo = txn::DdlUndo{txn::DdlUndo::Kind::kDropTable, ct.table, "", "",
+                            ""};
+      }
+      break;  // IF NOT EXISTS on an existing table: no-op, nothing to undo
+    }
+    case sql::StatementKind::kDrop: {
+      const auto& d = std::get<sql::DropTableStmt>(stmt);
+      if (catalog_.find(d.table) != nullptr) {
+        undo = txn::DdlUndo{txn::DdlUndo::Kind::kRestoreTable, d.table, "", "",
+                            catalog_.save_table_snapshot(d.table)};
+      }
+      break;
+    }
+    case sql::StatementKind::kTruncate: {
+      const auto& tr = std::get<sql::TruncateStmt>(stmt);
+      undo = txn::DdlUndo{txn::DdlUndo::Kind::kRestoreTable, tr.table, "", "",
+                          catalog_.save_table_snapshot(tr.table)};
+      break;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& ci = std::get<sql::CreateIndexStmt>(stmt);
+      undo = txn::DdlUndo{txn::DdlUndo::Kind::kDropIndex, ci.table,
+                          ci.index_name, "", ""};
+      break;
+    }
+    case sql::StatementKind::kDropIndex: {
+      const auto& di = std::get<sql::DropIndexStmt>(stmt);
+      for (const auto& [name, column] :
+           catalog_.require(di.table).index_defs()) {
+        if (name == di.index_name) {
+          undo = txn::DdlUndo{txn::DdlUndo::Kind::kCreateIndex, di.table, name,
+                              column, ""};
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      break;
   }
+
+  executed_count_.fetch_add(1, std::memory_order_relaxed);
+  ResultSet rs = execute_statement(catalog_, session, stmt);
+  if (undo) t.ddl_undo.push_back(std::move(*undo));
+  ddl_version_.fetch_add(1, std::memory_order_release);
+  return rs;
 }
 
 ResultSet Database::handle_transaction(Session& session,
-                                       const sql::TransactionStmt& txn) {
-  std::lock_guard lock(mu_);
-  switch (txn.op) {
+                                       const sql::TransactionStmt& stmt) {
+  switch (stmt.op) {
     case sql::TransactionStmt::Op::kBegin:
-      if (txn_active_) {
-        throw DbError(ErrorCode::kUnsupported,
-                      txn_owner_ == session.id()
-                          ? "nested transactions are not supported"
-                          : "another session's transaction is in progress");
+    case sql::TransactionStmt::Op::kBeginReadOnly: {
+      if (current_txn(session)) {
+        throw DbError(ErrorCode::kTxnState,
+                      "nested transactions are not supported");
       }
-      txn_snapshot_ = catalog_.save_snapshot();
-      txn_active_ = true;
-      txn_owner_ = session.id();
+      const bool read_only =
+          stmt.op == sql::TransactionStmt::Op::kBeginReadOnly;
+      session.set_txn(txn_mgr_.begin(session.id(), read_only));
       return {};
-    case sql::TransactionStmt::Op::kCommit:
-      if (!txn_active_ || txn_owner_ != session.id()) {
-        throw DbError(ErrorCode::kUnsupported, "no transaction to commit");
+    }
+    case sql::TransactionStmt::Op::kCommit: {
+      std::shared_ptr<txn::Transaction> t = current_txn(session);
+      if (!t) {
+        throw DbError(ErrorCode::kTxnState, "no transaction to commit");
       }
-      txn_active_ = false;
-      txn_snapshot_.clear();
+      commit_txn(session, t);
       return {};
-    case sql::TransactionStmt::Op::kRollback:
-      if (!txn_active_ || txn_owner_ != session.id()) {
-        throw DbError(ErrorCode::kUnsupported, "no transaction to roll back");
+    }
+    case sql::TransactionStmt::Op::kRollback: {
+      std::shared_ptr<txn::Transaction> t = current_txn(session);
+      if (!t) {
+        throw DbError(ErrorCode::kTxnState, "no transaction to roll back");
       }
-      catalog_.load_snapshot(txn_snapshot_);
-      // The snapshot restore may undo DDL executed inside the transaction.
-      ddl_version_.fetch_add(1, std::memory_order_release);
-      txn_active_ = false;
-      txn_snapshot_.clear();
+      rollback_txn(t);
+      session.set_txn(nullptr);
       return {};
+    }
   }
   throw DbError(ErrorCode::kInternal, "unreachable transaction op");
 }
 
-bool Database::in_transaction() const {
-  std::lock_guard lock(mu_);
-  return txn_active_;
+void Database::commit_txn(Session& session,
+                          const std::shared_ptr<txn::Transaction>& t) {
+  {
+    std::shared_lock ddl(ddl_mu_);
+    std::lock_guard commit(txn_mgr_.commit_mu());
+
+    // First-committer-wins: any base row this transaction rewrote that was
+    // itself rewritten (or deleted) after our snapshot aborts the commit.
+    for (const auto& [key, w] : t->writes) {
+      storage::Table* table = catalog_.find(key);
+      if (table == nullptr) {
+        if (w.empty()) continue;
+        txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/true);
+        session.set_txn(nullptr);
+        throw DbError(ErrorCode::kConflict,
+                      "table '" + key +
+                          "' was dropped by a concurrent statement; "
+                          "transaction rolled back");
+      }
+      auto conflicts_on = [&](size_t slot) {
+        return !table->slot_live(slot) ||
+               table->slot_begin_ts(slot) > t->snapshot_ts;
+      };
+      bool conflict = false;
+      for (const auto& [slot, row] : w.updates) {
+        if (conflicts_on(slot)) conflict = true;
+      }
+      for (size_t slot : w.deletes) {
+        if (conflicts_on(slot)) conflict = true;
+      }
+      if (conflict) {
+        txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/true);
+        session.set_txn(nullptr);
+        throw DbError(ErrorCode::kConflict,
+                      "write-write conflict: a row written by this "
+                      "transaction was modified after its snapshot; "
+                      "transaction rolled back");
+      }
+    }
+
+    // Apply everything at one fresh timestamp; publish only after the last
+    // write so readers observe the commit all-or-nothing. If a constraint
+    // trips mid-apply (e.g. a duplicate key inserted since our snapshot),
+    // unwind the already-applied writes — the burned timestamp must leave
+    // no versions behind, or the next publish would make them visible.
+    const uint64_t commit_ts = txn_mgr_.visible_ts() + 1;
+    struct Applied {
+      storage::Table* table;
+      enum class Op { kInsert, kUpdate, kErase } op;
+      size_t slot;
+    };
+    std::vector<Applied> applied;
+    try {
+      for (auto& [key, w] : t->writes) {
+        storage::Table* table = catalog_.find(key);
+        if (table == nullptr) continue;  // dropped, nothing buffered
+        for (size_t slot : w.deletes) {
+          table->erase_versioned(slot, commit_ts);
+          applied.push_back({table, Applied::Op::kErase, slot});
+        }
+        for (auto& [slot, row] : w.updates) {
+          std::vector<std::pair<size_t, sql::Value>> changes;
+          changes.reserve(row.size());
+          for (size_t i = 0; i < row.size(); ++i) changes.emplace_back(i, row[i]);
+          table->update_versioned(slot, changes, commit_ts);
+          applied.push_back({table, Applied::Op::kUpdate, slot});
+        }
+        for (auto& opt : w.inserts) {
+          if (!opt) continue;
+          auto res = table->insert_versioned(storage::Row(*opt), commit_ts);
+          applied.push_back({table, Applied::Op::kInsert, res.slot});
+        }
+      }
+    } catch (const storage::StorageError& e) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        switch (it->op) {
+          case Applied::Op::kInsert: it->table->undo_insert(it->slot); break;
+          case Applied::Op::kUpdate: it->table->undo_update(it->slot); break;
+          case Applied::Op::kErase: it->table->undo_erase(it->slot); break;
+        }
+      }
+      txn_mgr_.finish(t, txn::TxnState::kRolledBack);
+      session.set_txn(nullptr);
+      throw DbError(ErrorCode::kConstraint,
+                    std::string(e.what()) + "; transaction rolled back");
+    }
+
+    txn_mgr_.publish(commit_ts);
+    txn_mgr_.finish(t, txn::TxnState::kCommitted);
+    session.set_txn(nullptr);
+  }
+  maybe_vacuum();
+}
+
+void Database::rollback_txn(const std::shared_ptr<txn::Transaction>& t,
+                            bool aborted_on_block) {
+  if (!t->ddl_undo.empty()) {
+    // Replay the undo log in reverse under the exclusive DDL lock, then
+    // bump ddl_version_ exactly once: stale digest-cache entries validated
+    // against the mid-transaction catalog must not replay against the
+    // restored one.
+    std::unique_lock ddl(ddl_mu_);
+    for (auto it = t->ddl_undo.rbegin(); it != t->ddl_undo.rend(); ++it) {
+      try {
+        switch (it->kind) {
+          case txn::DdlUndo::Kind::kDropTable:
+            catalog_.drop_table(it->table, /*if_exists=*/true);
+            break;
+          case txn::DdlUndo::Kind::kRestoreTable:
+            catalog_.restore_table_snapshot(it->snapshot);
+            break;
+          case txn::DdlUndo::Kind::kDropIndex:
+            catalog_.require(it->table).drop_index(it->index);
+            break;
+          case txn::DdlUndo::Kind::kCreateIndex:
+            catalog_.require(it->table).create_index(it->index, it->column);
+            break;
+        }
+      } catch (const std::exception&) {
+        // A concurrent DDL removed the object this undo targets; the
+        // remaining undos still restore what they can.
+      }
+    }
+    ddl_version_.fetch_add(1, std::memory_order_release);
+  }
+  // A DML-only rollback touches nothing shared: buffered writes die with
+  // the write set, and no version bump means cached digest entries stay
+  // replayable.
+  txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/false,
+                  aborted_on_block);
+  maybe_vacuum();
 }
 
 void Database::rollback_if_owner(uint64_t session_id) {
-  std::lock_guard lock(mu_);
-  if (txn_active_ && txn_owner_ == session_id) {
-    catalog_.load_snapshot(txn_snapshot_);
-    ddl_version_.fetch_add(1, std::memory_order_release);
-    txn_active_ = false;
-    txn_snapshot_.clear();
+  std::shared_ptr<txn::Transaction> t = txn_mgr_.find(session_id);
+  if (t && t->active()) rollback_txn(t);
+}
+
+void Database::maybe_vacuum() {
+  // Old versions are only unreachable once no in-flight statement can hold
+  // a snapshot older than the horizon. Statements hold ddl_mu_ shared for
+  // their whole validate->execute span, so holding it EXCLUSIVE proves the
+  // only live snapshots are those of open transactions — which the horizon
+  // accounts for. try_lock keeps this strictly opportunistic: contention
+  // means someone is working, so skip and let a later commit reclaim.
+  bool any = false;
+  {
+    std::shared_lock ddl(ddl_mu_);
+    for (const auto& name : catalog_.table_names()) {
+      storage::Table* table = catalog_.find(name);
+      if (table != nullptr && table->has_old_versions()) {
+        any = true;
+        break;
+      }
+    }
+  }
+  if (!any) return;
+  std::unique_lock ddl(ddl_mu_, std::try_to_lock);
+  if (!ddl.owns_lock()) return;
+  const uint64_t horizon = txn_mgr_.oldest_snapshot();
+  for (const auto& name : catalog_.table_names()) {
+    storage::Table* table = catalog_.find(name);
+    if (table != nullptr && table->has_old_versions()) {
+      table->vacuum(horizon);
+    }
   }
 }
 
@@ -371,7 +681,7 @@ ResultSet Database::execute_prepared(Session& session,
   // The TEMPLATE undergoes charset conversion (it is statement text); the
   // bound parameters do not (they travel as typed data in the binary
   // protocol and can never be re-lexed). Conversion, parse, and binding
-  // are all pure per-query work and run outside the engine lock.
+  // are all pure per-query work and run outside every lock.
   std::string converted = charset_conversion_
                               ? common::server_charset_convert(template_sql)
                               : std::string(template_sql);
@@ -399,31 +709,36 @@ ResultSet Database::execute_prepared(Session& session,
                       std::to_string(params.size()));
   }
 
+  const uint64_t ddl_tag = ddl_version_.load(std::memory_order_acquire);
   std::shared_ptr<QueryInterceptor> interceptor;
   {
-    std::lock_guard lock(mu_);
-    check_txn_conflict_locked(session);
+    std::shared_lock ddl(ddl_mu_);
     validate_statement(catalog_, parsed.statement);
-    interceptor = interceptor_;
+    interceptor = pinned_interceptor();
   }
 
+  std::shared_ptr<txn::Transaction> txn = current_txn(session);
   if (interceptor) {
     sql::ItemStack stack = sql::build_item_stack(parsed.statement);
-    QueryEvent event{parsed, stack, session.id(), session.user()};
+    QueryEvent event{parsed, stack, session.id(), session.user(),
+                     txn != nullptr};
     InterceptDecision decision = run_interceptor(*interceptor, event);
     if (!decision.allow) {
       blocked_count_.fetch_add(1, std::memory_order_relaxed);
-      throw DbError(ErrorCode::kBlocked,
-                    decision.reason.empty() ? "query dropped by interceptor"
-                                            : decision.reason);
+      std::string reason = decision.reason.empty()
+                               ? "query dropped by interceptor"
+                               : decision.reason;
+      if (txn && decision.abort_txn) {
+        rollback_txn(txn, /*aborted_on_block=*/true);
+        session.set_txn(nullptr);
+        reason += " (transaction rolled back)";
+      }
+      throw DbError(ErrorCode::kBlocked, std::move(reason));
     }
   }
 
-  std::lock_guard lock(mu_);
-  check_txn_conflict_locked(session);
-  validate_statement(catalog_, parsed.statement);
-  executed_count_.fetch_add(1, std::memory_order_relaxed);
-  return execute_statement(catalog_, session, parsed.statement);
+  return dispatch_execute(session, parsed.statement,
+                          sql::statement_kind(parsed.statement), ddl_tag);
 }
 
 }  // namespace septic::engine

@@ -7,29 +7,47 @@
 // server has decoded confusable Unicode, stripped comments, and resolved
 // the parse — which is what lets SEPTIC close the semantic-mismatch gap.
 //
-// Thread-safe. Only the catalog-touching stages serialize on the internal
-// mutex (the storage engine is single-writer): validation, transaction
-// state, and execution. Charset conversion, lex/parse, item-stack
-// construction, and the interceptor hook all run outside the lock, so
-// SEPTIC's detection work from many connections proceeds in parallel and
-// only the final execute step queues. Validation runs twice: once before
-// the hook (the interceptor must only ever see catalog-valid statements)
-// and again under the execution lock (a concurrent DDL between the two
-// sections surfaces as a normal validation error, never as undefined
-// executor behavior).
+// Thread-safe, with no global execute lock. Concurrency is layered:
+//
+//   - ddl_mu_ (shared_mutex): every statement holds it SHARED across
+//     validate -> execute, so table references stay valid; only DDL
+//     (CREATE/DROP/TRUNCATE/index DDL, and transaction rollback of DDL)
+//     takes it EXCLUSIVE. Readers never queue behind each other.
+//   - TxnManager::commit_mu: serializes writers (COMMITs and autocommit
+//     writes) against each other. Readers never take it: they pin a
+//     snapshot timestamp and read versioned rows, so a SELECT proceeds
+//     while a writer is mid-statement and simply doesn't see it until the
+//     writer publishes its commit timestamp.
+//   - per-Table shared_mutex: the versioned row accessors self-lock, so a
+//     statement holds at most one table lock at a time (joins scan tables
+//     strictly sequentially).
+//
+// Transactions (engine/txn/txn.h) are snapshot-isolated: BEGIN pins a
+// snapshot, statements buffer writes in a per-transaction write set
+// (read-through for read-own-writes), COMMIT runs first-committer-wins
+// conflict detection and applies the set atomically. Any number of
+// sessions hold open transactions concurrently.
+//
+// Charset conversion, lex/parse, item-stack construction, and the
+// interceptor hook all run outside every lock, so SEPTIC's detection work
+// from many connections proceeds in parallel. Validation runs twice: once
+// before the hook (the interceptor must only ever see catalog-valid
+// statements) and again before execution when a DDL raced the unlocked
+// window (surfacing as a normal validation error, never as executor UB).
 //
 // A query-digest cache (engine/digest_cache.h) short-circuits the
 // conversion→…→hook pipeline for byte-identical repeats of benign
 // statements: on a generation-current hit the engine replays the cached
 // parse + interceptor verdict (notifying the interceptor via
-// on_query_replayed) and goes straight to the serialized execute stage.
-// Execution itself is never cached — only the pure per-query pipeline work.
+// on_query_replayed) and goes straight to execution. Execution itself is
+// never cached — only the pure per-query pipeline work.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +56,7 @@
 #include "engine/interceptor.h"
 #include "engine/result.h"
 #include "engine/session.h"
+#include "engine/txn/txn.h"
 #include "storage/catalog.h"
 
 namespace septic::engine {
@@ -48,7 +67,10 @@ class Database {
 
   /// Install (or clear, with nullptr) the pre-execution hook.
   void set_interceptor(std::shared_ptr<QueryInterceptor> interceptor);
-  QueryInterceptor* interceptor() const { return interceptor_.get(); }
+  QueryInterceptor* interceptor() const {
+    std::lock_guard lock(interceptor_mu_);
+    return interceptor_.get();
+  }
 
   /// Server-side character-set conversion of incoming statement text
   /// (confusable quotes collapsing to ASCII). ON models the
@@ -102,47 +124,90 @@ class Database {
   }
 
   /// Monotonic catalog-schema version: bumped after every executed DDL
-  /// (CREATE/DROP/TRUNCATE/index DDL) and after transaction rollbacks
-  /// (which restore a catalog snapshot). Cached entries carry the value
-  /// current when they were validated.
+  /// (CREATE/DROP/TRUNCATE/index DDL) and, exactly once, by the rollback
+  /// of a transaction that executed DDL (the undo replay restores the
+  /// pre-transaction catalog). A rollback of a DML-only transaction bumps
+  /// nothing: buffered writes never touched shared state, so cached
+  /// digest entries stay valid. Cached entries carry the value current
+  /// when they were validated.
   uint64_t ddl_version() const {
     return ddl_version_.load(std::memory_order_acquire);
   }
 
-  /// True while a transaction is open (any session).
-  bool in_transaction() const;
+  /// True while any session holds an open transaction.
+  bool in_transaction() const { return txn_mgr_.active_count() > 0; }
 
   /// Roll back the open transaction if `session_id` owns one — the server
   /// calls this when a connection dies mid-transaction.
   void rollback_if_owner(uint64_t session_id);
 
+  /// Transaction counters (begun / committed / rolled back / conflicts /
+  /// aborted-on-block), for tests and monitoring.
+  txn::TxnStats txn_stats() const { return txn_mgr_.stats(); }
+
  private:
-  /// Handle BEGIN/COMMIT/ROLLBACK (takes mu_ itself). Transactions are
-  /// snapshot-based and serialized: one open transaction at a time,
-  /// statements from other sessions are rejected until it finishes (coarse
-  /// but honest serializable semantics for a single-writer engine).
+  /// Handle BEGIN / START TRANSACTION [READ ONLY] / COMMIT / ROLLBACK.
+  /// Nested BEGIN and orphan COMMIT/ROLLBACK throw ErrorCode::kTxnState.
   ResultSet handle_transaction(Session& session,
                                const sql::TransactionStmt& txn);
 
-  /// Throw when another session's transaction is open. Caller holds mu_.
-  void check_txn_conflict_locked(const Session& session) const;
+  /// The session's open transaction, or nullptr. Drops the session's
+  /// cached pointer when the transaction was finished elsewhere
+  /// (disconnect cleanup, abort-on-block) — the atomic state check is what
+  /// makes the cached pointer safe.
+  std::shared_ptr<txn::Transaction> current_txn(Session& session) const;
+
+  std::shared_ptr<QueryInterceptor> pinned_interceptor() const {
+    std::lock_guard lock(interceptor_mu_);
+    return interceptor_;
+  }
+
+  /// Post-hook execution: picks the execution context (transactional /
+  /// autocommit read / autocommit write / DDL) and runs the statement
+  /// under the right locks. `ddl_tag` is the ddl_version_ observed by the
+  /// caller's validation; execution re-validates when it changed.
+  ResultSet dispatch_execute(Session& session, const sql::Statement& stmt,
+                             sql::StatementKind kind, uint64_t ddl_tag);
+
+  /// DDL executed inside an open transaction: applies immediately to the
+  /// shared catalog under the exclusive DDL lock, records the inverse
+  /// operation in the transaction's undo log, bumps ddl_version_.
+  ResultSet execute_ddl_in_txn(Session& session, txn::Transaction& t,
+                               const sql::Statement& stmt,
+                               sql::StatementKind kind);
+
+  /// COMMIT protocol: conflict check, apply at a fresh commit timestamp,
+  /// publish. Throws kConflict (transaction rolled back) on a
+  /// first-committer-wins conflict.
+  void commit_txn(Session& session, const std::shared_ptr<txn::Transaction>& t);
+
+  /// ROLLBACK: discard the write set; when the transaction executed DDL,
+  /// replay the undo log in reverse under the exclusive DDL lock and bump
+  /// ddl_version_ exactly once.
+  void rollback_txn(const std::shared_ptr<txn::Transaction>& t,
+                    bool aborted_on_block = false);
+
+  /// Opportunistic old-version reclamation: when the exclusive DDL lock is
+  /// free (no statement in flight), drop versions no snapshot can reach.
+  void maybe_vacuum();
 
   /// Digest-cache fast path: execute `converted` from a cached entry if a
   /// byte-exact, generation-current one exists. Returns nullopt on miss or
   /// stale tags (the caller runs the full pipeline). Performs the same
-  /// transaction checks and interceptor accounting as the full path.
+  /// interceptor accounting and context selection as the full path.
   std::optional<ResultSet> try_replay_cached(Session& session,
                                              const std::string& converted);
 
-  /// Bump ddl_version_ after executing a statement of a schema-changing
-  /// kind. Caller holds mu_ (DDL only happens under the execution lock).
-  void maybe_bump_ddl_locked(sql::StatementKind kind);
-
-  mutable std::mutex mu_;
+  /// Guards catalog structure: statements hold it shared across
+  /// validate -> execute; DDL holds it exclusive.
+  mutable std::shared_mutex ddl_mu_;
+  /// Guards only the interceptor pointer (pin = pointer copy).
+  mutable std::mutex interceptor_mu_;
   storage::Catalog catalog_;
   std::shared_ptr<QueryInterceptor> interceptor_;
   std::shared_ptr<QueryDigestCache> digest_cache_ =
       std::make_shared<QueryDigestCache>();
+  mutable txn::TxnManager txn_mgr_;
   std::atomic<uint64_t> executed_count_{0};
   std::atomic<uint64_t> blocked_count_{0};
   std::atomic<uint64_t> ddl_version_{0};
@@ -150,9 +215,6 @@ class Database {
   /// (or under none) are never replayed under another.
   std::atomic<uint64_t> interceptor_epoch_{0};
 
-  bool txn_active_ = false;
-  uint64_t txn_owner_ = 0;
-  std::string txn_snapshot_;  // catalog state at BEGIN
   bool charset_conversion_ = true;
 };
 

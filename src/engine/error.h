@@ -15,6 +15,9 @@ enum class ErrorCode {
   kConstraint,     // PK duplicate, NOT NULL, column count mismatch
   kUnsupported,    // recognized but unimplemented construct
   kBlocked,        // dropped by a QueryInterceptor (SEPTIC prevention mode)
+  kTxnState,       // invalid transaction control (nested BEGIN, orphan
+                   // COMMIT/ROLLBACK, write in a read-only transaction)
+  kConflict,       // first-committer-wins write-write conflict on COMMIT
   kInternal,
 };
 
@@ -36,6 +39,8 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::kConstraint: return "CONSTRAINT";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
     case ErrorCode::kBlocked: return "BLOCKED";
+    case ErrorCode::kTxnState: return "TXN_STATE";
+    case ErrorCode::kConflict: return "CONFLICT";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "?";

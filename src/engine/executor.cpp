@@ -182,8 +182,126 @@ std::string select_item_name(const sql::SelectItem& it) {
   return it.expr->to_sql();
 }
 
-ResultSet execute_select(storage::Catalog& catalog, Session& session,
-                         const sql::SelectStmt& sel);
+ResultSet execute_select(ExecContext& ctx, const sql::SelectStmt& sel);
+
+// ------------------------------------------------------- versioned access
+
+std::string table_key(const Table& t) {
+  return common::to_lower(t.schema().name());
+}
+
+/// One table as this statement sees it: the base table resolved at
+/// ctx.snapshot_ts with the transaction's write set (if any) read through
+/// — deletes hidden, updates substituted, buffered inserts appended under
+/// synthetic slots >= txn::kTxnSlotBase.
+class TableView {
+ public:
+  TableView(const ExecContext& ctx, const Table& t)
+      : ctx_(ctx),
+        t_(t),
+        w_(ctx.txn != nullptr ? ctx.txn->find_writes(table_key(t)) : nullptr) {}
+
+  const txn::TableWrites* overlay() const { return w_; }
+
+  void scan(const std::function<bool(size_t, const Row&)>& fn) const {
+    if (!ctx_.versioned) {
+      t_.scan(fn);
+      return;
+    }
+    bool stopped = false;
+    t_.scan_snapshot(ctx_.snapshot_ts, [&](size_t slot, const Row& r) {
+      if (w_ != nullptr) {
+        if (w_->deletes.count(slot) != 0) return true;
+        if (auto it = w_->updates.find(slot); it != w_->updates.end()) {
+          if (!fn(slot, it->second)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        }
+      }
+      if (!fn(slot, r)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+    if (stopped || w_ == nullptr) return;
+    for (size_t i = 0; i < w_->inserts.size(); ++i) {
+      if (!w_->inserts[i]) continue;
+      if (!fn(txn::kTxnSlotBase + i, *w_->inserts[i])) return;
+    }
+  }
+
+  /// Index-assisted equality candidates, or nullopt when only a full scan
+  /// answers correctly (write-set overlay present, or the table carries
+  /// old versions the indexes don't cover). Extra candidates are fine —
+  /// the caller re-evaluates WHERE on each.
+  std::optional<std::vector<std::pair<size_t, Row>>> index_candidates(
+      std::string_view column, const sql::Value& key) const {
+    if (w_ != nullptr && !w_->empty()) return std::nullopt;
+    return t_.index_eq_snapshot(column, key, ctx_.snapshot_ts);
+  }
+
+  /// The image of a slot as the statement sees it (overlay-aware).
+  std::optional<Row> fetch(size_t slot) const {
+    if (w_ != nullptr) {
+      if (slot >= txn::kTxnSlotBase) {
+        size_t i = slot - txn::kTxnSlotBase;
+        if (i < w_->inserts.size() && w_->inserts[i]) return *w_->inserts[i];
+        return std::nullopt;
+      }
+      if (w_->deletes.count(slot) != 0) return std::nullopt;
+      if (auto it = w_->updates.find(slot); it != w_->updates.end()) {
+        return it->second;
+      }
+    }
+    return t_.fetch_snapshot(slot, ctx_.snapshot_ts);
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const Table& t_;
+  const txn::TableWrites* w_;
+};
+
+/// True when some row visible to the view (excluding `exclude_slot`) has
+/// this primary-key value. `pk_repr` is the coerced value's repr — the
+/// same identity insert() uses.
+bool view_pk_exists(const TableView& view, size_t pk_col,
+                    const std::string& pk_repr, size_t exclude_slot) {
+  bool found = false;
+  view.scan([&](size_t slot, const Row& r) {
+    if (slot != exclude_slot && r[pk_col].repr() == pk_repr) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+/// Coercion + NOT NULL enforcement for a buffered (transactional) row
+/// image — the checks Table::insert/update would run at apply time,
+/// surfaced at statement time so the session gets the error where MySQL
+/// would raise it.
+void finalize_txn_image(const Table& t, Row& row) {
+  const storage::TableSchema& schema = t.schema();
+  if (row.size() != schema.column_count()) {
+    throw DbError(ErrorCode::kConstraint,
+                  "column count mismatch for table '" + schema.name() + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    row[i] = schema.coerce_to_column(i, row[i]);
+  }
+  for (size_t i = 0; i < schema.column_count(); ++i) {
+    if (schema.column(i).not_null && row[i].is_null()) {
+      throw DbError(ErrorCode::kConstraint, "column '" +
+                                                schema.column(i).name +
+                                                "' cannot be NULL");
+    }
+  }
+}
 
 /// Access-path selection: for a single-table SELECT whose WHERE is (or
 /// conjunctively contains at top level) `col = literal` with an index on
@@ -214,9 +332,10 @@ const sql::Expr* find_indexable_equality(const sql::Expr& e,
 }
 
 /// Produce the cross/joined row set of FROM + JOINs with ON filtering.
-std::vector<Row> materialize_joined_rows(storage::Catalog& catalog,
+std::vector<Row> materialize_joined_rows(ExecContext& ctx,
                                          const sql::SelectStmt& sel,
                                          const NameScope& scope) {
+  storage::Catalog& catalog = ctx.catalog;
   std::vector<Row> rows;
   if (sel.from.empty()) {
     rows.emplace_back();  // one empty row for table-less SELECT
@@ -231,23 +350,38 @@ std::vector<Row> materialize_joined_rows(storage::Catalog& catalog,
       const sql::Expr* lit = eq->children[1].get();
       if (col->kind != sql::ExprKind::kColumn) std::swap(col, lit);
       int col_idx = t.schema().column_index(col->column);
-      std::vector<size_t> slots;
-      if (t.schema().primary_key_index() == col_idx) {
-        int64_t slot = t.find_by_pk(lit->literal);
-        if (slot >= 0) slots.push_back(static_cast<size_t>(slot));
-      } else {
-        slots = t.index_lookup(col->column, lit->literal);
+      if (!ctx.versioned) {
+        std::vector<size_t> slots;
+        if (t.schema().primary_key_index() == col_idx) {
+          int64_t slot = t.find_by_pk(lit->literal);
+          if (slot >= 0) slots.push_back(static_cast<size_t>(slot));
+        } else {
+          slots = t.index_lookup(col->column, lit->literal);
+        }
+        rows.reserve(slots.size());
+        for (size_t slot : slots) {
+          Row r = t.row(slot);
+          r.resize(scope.width());
+          rows.push_back(std::move(r));
+        }
+        return rows;
       }
-      rows.reserve(slots.size());
-      for (size_t slot : slots) {
-        Row r = t.row(slot);
-        r.resize(scope.width());
-        rows.push_back(std::move(r));
+      TableView view(ctx, t);
+      if (auto candidates =
+              view.index_candidates(col->column, lit->literal)) {
+        rows.reserve(candidates->size());
+        for (auto& [slot, r] : *candidates) {
+          r.resize(scope.width());
+          rows.push_back(std::move(r));
+        }
+        return rows;
       }
-      return rows;
+      // No index answer (overlay or history present): fall through to scan.
     }
   }
-  // Seed with first table.
+  // Seed with first table. Tables are scanned strictly one at a time
+  // (each scan's prefixes are fully materialized before the next table is
+  // touched), so at most one table lock is ever held — no ordering issues.
   std::vector<const Table*> tables;
   for (const auto& ref : sel.from) tables.push_back(&catalog.require(ref.name));
   for (const auto& j : sel.joins) tables.push_back(&catalog.require(j.table.name));
@@ -256,14 +390,14 @@ std::vector<Row> materialize_joined_rows(storage::Catalog& catalog,
   size_t n_from = sel.from.size();
   for (size_t ti = 0; ti < tables.size(); ++ti) {
     std::vector<Row> next;
-    const Table* t = tables[ti];
+    TableView view(ctx, *tables[ti]);
     bool is_left_join =
         ti >= n_from && sel.joins[ti - n_from].kind == sql::Join::Kind::kLeft;
     const sql::Expr* on =
         ti >= n_from ? sel.joins[ti - n_from].on.get() : nullptr;
     for (const auto& prefix : rows) {
       bool matched = false;
-      t->scan([&](size_t, const Row& r) {
+      view.scan([&](size_t, const Row& r) {
         Row combined = prefix;
         combined.insert(combined.end(), r.begin(), r.end());
         if (on != nullptr) {
@@ -280,7 +414,7 @@ std::vector<Row> materialize_joined_rows(storage::Catalog& catalog,
       });
       if (is_left_join && !matched) {
         Row combined = prefix;
-        combined.resize(combined.size() + t->schema().column_count());
+        combined.resize(combined.size() + tables[ti]->schema().column_count());
         next.push_back(std::move(combined));
       }
     }
@@ -481,10 +615,9 @@ bool contains_subquery(const sql::Expr& e) {
 /// Replace every uncorrelated IN-subquery by the literal list of its first
 /// column's values (executed once, up front — MySQL's materialization
 /// strategy for uncorrelated subqueries).
-void materialize_subqueries(sql::Expr& e, storage::Catalog& catalog,
-                            Session& session) {
+void materialize_subqueries(sql::Expr& e, ExecContext& ctx) {
   if (e.subquery) {
-    ResultSet sub = execute_select(catalog, session, *e.subquery);
+    ResultSet sub = execute_select(ctx, *e.subquery);
     if (sub.columns.size() != 1) {
       throw DbError(ErrorCode::kSyntax,
                     "IN subquery must return exactly one column");
@@ -494,13 +627,12 @@ void materialize_subqueries(sql::Expr& e, storage::Catalog& catalog,
     }
     e.subquery.reset();
   }
-  for (auto& c : e.children) materialize_subqueries(*c, catalog, session);
+  for (auto& c : e.children) materialize_subqueries(*c, ctx);
 }
 
-ResultSet execute_select(storage::Catalog& catalog, Session& session,
-                         const sql::SelectStmt& sel) {
-  NameScope scope = build_select_scope(catalog, sel);
-  std::vector<Row> rows = materialize_joined_rows(catalog, sel, scope);
+ResultSet execute_select(ExecContext& ctx, const sql::SelectStmt& sel) {
+  NameScope scope = build_select_scope(ctx.catalog, sel);
+  std::vector<Row> rows = materialize_joined_rows(ctx, sel, scope);
 
   // WHERE filter (IN-subqueries materialized into a private copy first).
   if (sel.where) {
@@ -508,7 +640,7 @@ ResultSet execute_select(storage::Catalog& catalog, Session& session,
     sql::ExprPtr materialized;
     if (contains_subquery(*sel.where)) {
       materialized = sel.where->clone();
-      materialize_subqueries(*materialized, catalog, session);
+      materialize_subqueries(*materialized, ctx);
       where = materialized.get();
     }
     std::vector<Row> kept;
@@ -548,7 +680,7 @@ ResultSet execute_select(storage::Catalog& catalog, Session& session,
 
   // UNION arms.
   for (const auto& u : sel.unions) {
-    ResultSet arm = execute_select(catalog, session, *u.select);
+    ResultSet arm = execute_select(ctx, *u.select);
     if (arm.columns.size() != out.columns.size()) {
       throw DbError(ErrorCode::kSyntax,
                     "UNION arms have different column counts");
@@ -573,10 +705,46 @@ ResultSet execute_select(storage::Catalog& catalog, Session& session,
 
 // ------------------------------------------------------------- DML / DDL
 
-ResultSet execute_insert(storage::Catalog& catalog, Session& session,
-                         const sql::InsertStmt& ins) {
-  Table& table = catalog.require(ins.table);
+/// Buffer one insert row into the transaction's write set: coercion,
+/// auto-increment reservation (ids burn on rollback, like MySQL), NOT NULL
+/// and duplicate-PK checks against the statement's view. The duplicate
+/// check re-runs against the latest state at COMMIT apply.
+void buffer_txn_insert(ExecContext& ctx, Table& table, Row row) {
   const storage::TableSchema& schema = table.schema();
+  finalize_txn_image(table, row);
+  int pk = schema.primary_key_index();
+  sql::Value pk_value;
+  if (pk >= 0) {
+    auto pi = static_cast<size_t>(pk);
+    if (row[pi].is_null() && schema.column(pi).auto_increment) {
+      row[pi] = schema.coerce_to_column(
+          pi, sql::Value(table.reserve_auto_increment()));
+    }
+    if (row[pi].is_null()) {
+      throw DbError(ErrorCode::kConstraint, "primary key cannot be NULL");
+    }
+    TableView view(ctx, table);
+    if (view_pk_exists(view, pi, row[pi].repr(), txn::kTxnSlotBase - 1)) {
+      throw DbError(ErrorCode::kConstraint,
+                    "duplicate primary key " + row[pi].to_display() +
+                        " in table '" + schema.name() + "'");
+    }
+    pk_value = row[pi];
+    if (schema.column(pi).type == storage::ColumnType::kInt) {
+      // Keep the shared counter ahead of explicit keys, as insert() does.
+      table.maybe_advance_auto_increment(row[pi].coerce_int());
+    }
+  }
+  ctx.txn->writes_for(table_key(table)).inserts.push_back(std::move(row));
+  if (!pk_value.is_null() && pk_value.type() == ValueType::kInt) {
+    ctx.session.set_last_insert_id(pk_value.as_int());
+  }
+}
+
+ResultSet execute_insert(ExecContext& ctx, const sql::InsertStmt& ins) {
+  Table& table = ctx.catalog.require(ins.table);
+  const storage::TableSchema& schema = table.schema();
+  Session& session = ctx.session;
 
   // Map the written columns to schema positions.
   std::vector<size_t> positions;
@@ -610,14 +778,20 @@ ResultSet execute_insert(storage::Catalog& catalog, Session& session,
         row[i] = *schema.column(i).default_value;
       }
     }
-    try {
-      auto res = table.insert(std::move(row));
-      if (!res.pk_value.is_null() &&
-          res.pk_value.type() == ValueType::kInt) {
-        session.set_last_insert_id(res.pk_value.as_int());
+    if (ctx.txn != nullptr) {
+      buffer_txn_insert(ctx, table, std::move(row));
+    } else {
+      try {
+        auto res = ctx.versioned
+                       ? table.insert_versioned(std::move(row), ctx.write_ts)
+                       : table.insert(std::move(row));
+        if (!res.pk_value.is_null() &&
+            res.pk_value.type() == ValueType::kInt) {
+          session.set_last_insert_id(res.pk_value.as_int());
+        }
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kConstraint, e.what());
       }
-    } catch (const storage::StorageError& e) {
-      throw DbError(ErrorCode::kConstraint, e.what());
     }
     ++out.affected_rows;
   }
@@ -625,9 +799,8 @@ ResultSet execute_insert(storage::Catalog& catalog, Session& session,
   return out;
 }
 
-ResultSet execute_update(storage::Catalog& catalog, Session&,
-                         const sql::UpdateStmt& up) {
-  Table& table = catalog.require(up.table);
+ResultSet execute_update(ExecContext& ctx, const sql::UpdateStmt& up) {
+  Table& table = ctx.catalog.require(up.table);
   NameScope scope;
   scope.add(up.table, &table.schema(), 0);
 
@@ -641,41 +814,69 @@ ResultSet execute_update(storage::Catalog& catalog, Session&,
     targets.emplace_back(static_cast<size_t>(idx), a.value.get());
   }
 
-  std::vector<size_t> slots;
-  table.scan([&](size_t slot, const Row& row) {
+  TableView view(ctx, table);
+  // Collect targets first (with their images: the view's rows are copies
+  // valid only during the scan callback), then mutate.
+  std::vector<std::pair<size_t, Row>> matched;
+  view.scan([&](size_t slot, const Row& row) {
     if (up.where) {
       Value v = eval_expr(*up.where, &scope, &row);
       if (v.is_null() || !v.truthy()) return true;
     }
-    slots.push_back(slot);
-    return !(up.limit && slots.size() >= static_cast<size_t>(*up.limit));
+    matched.emplace_back(slot, row);
+    return !(up.limit && matched.size() >= static_cast<size_t>(*up.limit));
   });
 
   ResultSet out;
-  for (size_t slot : slots) {
-    const Row& row = table.row(slot);
+  int pk = table.schema().primary_key_index();
+  for (auto& [slot, image] : matched) {
     std::vector<std::pair<size_t, Value>> changes;
     for (const auto& [col, expr] : targets) {
-      changes.emplace_back(col, eval_expr(*expr, &scope, &row));
+      changes.emplace_back(col, eval_expr(*expr, &scope, &image));
     }
-    try {
-      table.update(slot, changes);
-    } catch (const storage::StorageError& e) {
-      throw DbError(ErrorCode::kConstraint, e.what());
+    if (ctx.txn != nullptr) {
+      Row candidate = image;
+      for (auto& [col, v] : changes) candidate[col] = std::move(v);
+      finalize_txn_image(table, candidate);
+      if (pk >= 0) {
+        auto pi = static_cast<size_t>(pk);
+        if (candidate[pi].repr() != image[pi].repr() &&
+            view_pk_exists(view, pi, candidate[pi].repr(), slot)) {
+          throw DbError(ErrorCode::kConstraint,
+                        "duplicate primary key on update in '" +
+                            table.schema().name() + "'");
+        }
+      }
+      txn::TableWrites& w = ctx.txn->writes_for(table_key(table));
+      if (slot >= txn::kTxnSlotBase) {
+        w.inserts[slot - txn::kTxnSlotBase] = std::move(candidate);
+      } else {
+        w.updates[slot] = std::move(candidate);
+      }
+    } else {
+      try {
+        if (ctx.versioned) {
+          table.update_versioned(slot, changes, ctx.write_ts);
+        } else {
+          table.update(slot, changes);
+        }
+      } catch (const storage::StorageError& e) {
+        throw DbError(ErrorCode::kConstraint, e.what());
+      }
     }
     ++out.affected_rows;
   }
   return out;
 }
 
-ResultSet execute_delete(storage::Catalog& catalog, Session&,
-                         const sql::DeleteStmt& del) {
-  Table& table = catalog.require(del.table);
+ResultSet execute_delete(ExecContext& ctx, const sql::DeleteStmt& del) {
+  Table& table = ctx.catalog.require(del.table);
   NameScope scope;
   scope.add(del.table, &table.schema(), 0);
 
+  TableView view(ctx, table);
   std::vector<size_t> slots;
-  table.scan([&](size_t slot, const Row& row) {
+  view.scan([&](size_t slot, const Row& row) {
     if (del.where) {
       Value v = eval_expr(*del.where, &scope, &row);
       if (v.is_null() || !v.truthy()) return true;
@@ -685,7 +886,19 @@ ResultSet execute_delete(storage::Catalog& catalog, Session&,
   });
   ResultSet out;
   for (size_t slot : slots) {
-    table.erase(slot);
+    if (ctx.txn != nullptr) {
+      txn::TableWrites& w = ctx.txn->writes_for(table_key(table));
+      if (slot >= txn::kTxnSlotBase) {
+        w.inserts[slot - txn::kTxnSlotBase] = std::nullopt;
+      } else {
+        w.updates.erase(slot);
+        w.deletes.insert(slot);
+      }
+    } else if (ctx.versioned) {
+      table.erase_versioned(slot, ctx.write_ts);
+    } else {
+      table.erase(slot);
+    }
     ++out.affected_rows;
   }
   return out;
@@ -796,17 +1009,17 @@ void validate_statement(const storage::Catalog& catalog,
   }
 }
 
-ResultSet execute_statement(storage::Catalog& catalog, Session& session,
-                            const sql::Statement& stmt) {
+ResultSet execute_statement(ExecContext& ctx, const sql::Statement& stmt) {
+  storage::Catalog& catalog = ctx.catalog;
   switch (sql::statement_kind(stmt)) {
     case sql::StatementKind::kSelect:
-      return execute_select(catalog, session, *std::get<sql::SelectPtr>(stmt));
+      return execute_select(ctx, *std::get<sql::SelectPtr>(stmt));
     case sql::StatementKind::kInsert:
-      return execute_insert(catalog, session, std::get<sql::InsertStmt>(stmt));
+      return execute_insert(ctx, std::get<sql::InsertStmt>(stmt));
     case sql::StatementKind::kUpdate:
-      return execute_update(catalog, session, std::get<sql::UpdateStmt>(stmt));
+      return execute_update(ctx, std::get<sql::UpdateStmt>(stmt));
     case sql::StatementKind::kDelete:
-      return execute_delete(catalog, session, std::get<sql::DeleteStmt>(stmt));
+      return execute_delete(ctx, std::get<sql::DeleteStmt>(stmt));
     case sql::StatementKind::kCreate: {
       const auto& ct = std::get<sql::CreateTableStmt>(stmt);
       try {
@@ -927,6 +1140,12 @@ ResultSet execute_statement(storage::Catalog& catalog, Session& session,
     }
   }
   throw DbError(ErrorCode::kInternal, "unreachable statement kind");
+}
+
+ResultSet execute_statement(storage::Catalog& catalog, Session& session,
+                            const sql::Statement& stmt) {
+  ExecContext ctx{catalog, session, txn::kTsMax, nullptr, 0, false};
+  return execute_statement(ctx, stmt);
 }
 
 }  // namespace septic::engine

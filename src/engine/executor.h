@@ -2,17 +2,54 @@
 // SELECT (joins, aggregates, GROUP BY/HAVING, ORDER BY, LIMIT, UNION),
 // INSERT (multi-row, column lists, defaults, auto-increment), UPDATE,
 // DELETE, CREATE TABLE and DROP TABLE.
+//
+// Execution runs against an ExecContext that decides how table data is
+// read and written:
+//   - legacy (versioned == false): the seed's direct, unlocked table
+//     access. Reads see every live row, writes mutate in place. Used by
+//     the engine's DDL path (under the exclusive DDL lock) and by direct
+//     embedders/tests that serialize externally.
+//   - autocommit (versioned, write_ts > 0): reads resolve against
+//     snapshot_ts, writes land in place tagged write_ts. The Database
+//     facade serializes writers on the commit mutex and publishes
+//     write_ts afterwards.
+//   - transactional (versioned, txn != nullptr): reads resolve against the
+//     transaction's snapshot and read through its write set
+//     (read-own-writes); writes only buffer into the write set. Nothing
+//     shared is touched until COMMIT applies the set.
 #pragma once
 
 #include "engine/result.h"
 #include "engine/session.h"
+#include "engine/txn/txn.h"
 #include "sqlcore/ast.h"
 #include "storage/catalog.h"
 
 namespace septic::engine {
 
-/// Execute a validated statement. Throws DbError on failure. `session`
-/// receives last_insert_id updates.
+struct ExecContext {
+  storage::Catalog& catalog;
+  Session& session;
+  /// Visibility horizon for versioned reads. txn::kTsMax in legacy mode:
+  /// every live row is visible, the pre-MVCC behavior.
+  uint64_t snapshot_ts = txn::kTsMax;
+  /// Open transaction whose write set overlays reads and absorbs writes;
+  /// nullptr when autocommitting.
+  txn::Transaction* txn = nullptr;
+  /// Commit timestamp stamped onto in-place autocommit writes (0 inside
+  /// transactions and in legacy mode).
+  uint64_t write_ts = 0;
+  /// Selects the versioned (self-locking) table accessors over the legacy
+  /// unlocked ones.
+  bool versioned = false;
+};
+
+/// Execute a validated statement in the given context. Throws DbError.
+/// `ctx.session` receives last_insert_id updates.
+ResultSet execute_statement(ExecContext& ctx, const sql::Statement& stmt);
+
+/// Legacy entry point: unversioned, unlocked table access exactly as
+/// before the MVCC layer existed. Callers serialize externally.
 ResultSet execute_statement(storage::Catalog& catalog, Session& session,
                             const sql::Statement& stmt);
 

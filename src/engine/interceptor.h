@@ -22,6 +22,10 @@ struct QueryEvent {
   const sql::ItemStack& stack;     // MySQL-style item stack
   uint64_t session_id = 0;
   std::string user;
+  /// True when the statement runs inside an open multi-statement
+  /// transaction — the scenario class where a blocked statement may, by
+  /// policy, abort the whole transaction (InterceptDecision::abort_txn).
+  bool in_transaction = false;
 };
 
 /// Monotonic counters an interceptor exposes so the engine's digest cache
@@ -46,6 +50,11 @@ struct InterceptDecision {
   /// When false, the server drops the query and reports ErrorCode::kBlocked.
   bool allow = true;
   std::string reason;
+  /// Only meaningful with allow == false: when true and the blocked
+  /// statement ran inside an open transaction, the engine rolls the whole
+  /// transaction back (poisoned-transaction containment) instead of
+  /// leaving it open for the session to continue.
+  bool abort_txn = false;
 
   // --- digest-cache opt-in (see engine/digest_cache.h) ----------------
   /// True when this decision may be replayed for byte-identical statement

@@ -4,9 +4,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace septic::engine {
+
+namespace txn {
+struct Transaction;
+}
 
 class Session {
  public:
@@ -19,6 +24,15 @@ class Session {
   int64_t last_insert_id() const { return last_insert_id_; }
   void set_last_insert_id(int64_t v) { last_insert_id_ = v; }
 
+  /// The session's open transaction, cached here so the hot path never
+  /// touches the TxnManager's registry lock. The Database facade owns the
+  /// lifecycle; it re-checks Transaction::state on every statement, so a
+  /// transaction finished elsewhere (disconnect cleanup, abort-on-block)
+  /// is noticed and dropped on the next use. Sessions are not shared
+  /// between threads, so no synchronization here.
+  const std::shared_ptr<txn::Transaction>& txn() const { return txn_; }
+  void set_txn(std::shared_ptr<txn::Transaction> t) { txn_ = std::move(t); }
+
  private:
   static std::atomic<uint64_t>& next_id() {
     static std::atomic<uint64_t> counter{1};
@@ -28,6 +42,7 @@ class Session {
   uint64_t id_;
   std::string user_ = "app";
   int64_t last_insert_id_ = 0;
+  std::shared_ptr<txn::Transaction> txn_;
 };
 
 }  // namespace septic::engine

@@ -1,0 +1,219 @@
+// The MVCC transaction layer: snapshot-isolated transactions over the
+// versioned row store in storage/table.h.
+//
+// Model
+//   - A global commit clock (TxnManager::visible_ts) advances by one per
+//     committed write. Every row version carries a begin timestamp; a
+//     superseded version keeps the commit timestamp that replaced it as its
+//     end timestamp. A reader at snapshot S sees the version with
+//     begin <= S < end.
+//   - BEGIN pins snapshot_ts = visible_ts. Statements inside the
+//     transaction buffer their writes in a per-table WriteSet (read through
+//     by the executor for read-own-writes) and never touch shared state.
+//   - COMMIT serializes on TxnManager::commit_mu, runs first-committer-wins
+//     conflict detection (any base row we updated/deleted that was
+//     re-written after our snapshot aborts the transaction), applies the
+//     write set at a fresh commit timestamp, and only then publishes the
+//     clock — readers observe the commit all-or-nothing.
+//   - Bare statements autocommit: reads run at visible_ts with no lock at
+//     all; writes serialize on commit_mu (like the seed engine's execute
+//     lock, but writers no longer block readers).
+//   - DDL inside a transaction applies immediately to the shared catalog
+//     (bumping ddl_version_) and records an inverse operation; ROLLBACK
+//     replays the undo log in reverse and bumps ddl_version_ exactly once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace septic::engine::txn {
+
+/// "Forever": the end timestamp of a live version, and the snapshot that
+/// sees everything (legacy single-threaded executor paths).
+inline constexpr uint64_t kTsMax = ~uint64_t{0};
+
+/// Buffered inserts are addressed by synthetic slots >= this base so the
+/// executor's slot-keyed UPDATE/DELETE machinery works unchanged on rows
+/// that exist only in the write set.
+inline constexpr size_t kTxnSlotBase = size_t{1} << 62;
+
+/// Per-table buffered effects of an open transaction.
+struct TableWrites {
+  /// Rows inserted by this transaction, in insert order. A slot deleted
+  /// again by the same transaction becomes nullopt (slots must stay stable
+  /// because they back the synthetic slot ids).
+  std::vector<std::optional<storage::Row>> inserts;
+  /// Base-table slot -> full replacement image.
+  std::map<size_t, storage::Row> updates;
+  /// Base-table slots deleted.
+  std::set<size_t> deletes;
+
+  bool empty() const {
+    if (!updates.empty() || !deletes.empty()) return false;
+    for (const auto& r : inserts) {
+      if (r) return false;
+    }
+    return true;
+  }
+};
+
+/// Inverse of one DDL statement executed inside a transaction.
+struct DdlUndo {
+  enum class Kind {
+    kDropTable,     // undoes CREATE TABLE
+    kRestoreTable,  // undoes DROP TABLE / TRUNCATE (from a serialized copy)
+    kDropIndex,     // undoes CREATE INDEX
+    kCreateIndex,   // undoes DROP INDEX
+  };
+  Kind kind;
+  std::string table;
+  std::string index;
+  std::string column;    // for kCreateIndex
+  std::string snapshot;  // for kRestoreTable: one-table catalog block
+};
+
+enum class TxnState { kActive, kCommitted, kRolledBack };
+
+struct Transaction {
+  uint64_t id = 0;
+  uint64_t session_id = 0;
+  uint64_t snapshot_ts = 0;
+  bool read_only = false;
+  /// Atomic so a session can cheaply notice that its cached transaction
+  /// was finished elsewhere (e.g. rollback_if_owner on disconnect).
+  std::atomic<TxnState> state{TxnState::kActive};
+  /// Key: lower-cased table name (the catalog's key).
+  std::map<std::string, TableWrites> writes;
+  std::vector<DdlUndo> ddl_undo;
+
+  bool active() const {
+    return state.load(std::memory_order_acquire) == TxnState::kActive;
+  }
+  TableWrites* find_writes(const std::string& table_key) {
+    auto it = writes.find(table_key);
+    return it == writes.end() ? nullptr : &it->second;
+  }
+  const TableWrites* find_writes(const std::string& table_key) const {
+    auto it = writes.find(table_key);
+    return it == writes.end() ? nullptr : &it->second;
+  }
+  TableWrites& writes_for(const std::string& table_key) {
+    return writes[table_key];
+  }
+};
+
+struct TxnStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t rolled_back = 0;      // includes conflicts and aborts-on-block
+  uint64_t conflicts = 0;        // commits aborted by first-committer-wins
+  uint64_t aborted_on_block = 0; // rollbacks forced by the abort-txn policy
+};
+
+/// Issues transaction ids and commit timestamps, tracks open transactions
+/// (for disconnect cleanup and the vacuum horizon), and owns the commit
+/// serialization point. The Database facade drives the actual commit
+/// protocol; this class only hands out the pieces.
+class TxnManager {
+ public:
+  std::shared_ptr<Transaction> begin(uint64_t session_id, bool read_only) {
+    auto t = std::make_shared<Transaction>();
+    t->read_only = read_only;
+    t->session_id = session_id;
+    t->snapshot_ts = visible_ts();
+    std::lock_guard lock(mu_);
+    t->id = next_id_++;
+    active_[session_id] = t;
+    begun_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  std::shared_ptr<Transaction> find(uint64_t session_id) const {
+    std::lock_guard lock(mu_);
+    auto it = active_.find(session_id);
+    return it == active_.end() ? nullptr : it->second;
+  }
+
+  /// Remove from the active set, publish the final state, count.
+  void finish(const std::shared_ptr<Transaction>& t, TxnState final_state,
+              bool conflict = false, bool aborted_on_block = false) {
+    {
+      std::lock_guard lock(mu_);
+      auto it = active_.find(t->session_id);
+      if (it != active_.end() && it->second == t) active_.erase(it);
+    }
+    t->state.store(final_state, std::memory_order_release);
+    if (final_state == TxnState::kCommitted) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rolled_back_.fetch_add(1, std::memory_order_relaxed);
+      if (conflict) conflicts_.fetch_add(1, std::memory_order_relaxed);
+      if (aborted_on_block) {
+        aborted_on_block_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// The newest committed timestamp: what a fresh snapshot sees.
+  uint64_t visible_ts() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+  /// Publish a completed commit. Caller holds commit_mu and has finished
+  /// applying every write tagged `ts` — publishing is what makes them
+  /// visible, atomically, to new snapshots.
+  void publish(uint64_t ts) { clock_.store(ts, std::memory_order_release); }
+
+  /// Serializes commits (and autocommit writes) against each other.
+  std::mutex& commit_mu() { return commit_mu_; }
+
+  size_t active_count() const {
+    std::lock_guard lock(mu_);
+    return active_.size();
+  }
+
+  /// The oldest snapshot any open transaction can still read — versions
+  /// whose end timestamp is <= this horizon are unreachable and can be
+  /// vacuumed. Equals visible_ts when no transaction is open.
+  uint64_t oldest_snapshot() const {
+    uint64_t horizon = visible_ts();
+    std::lock_guard lock(mu_);
+    for (const auto& [sid, t] : active_) {
+      horizon = std::min(horizon, t->snapshot_ts);
+    }
+    return horizon;
+  }
+
+  TxnStats stats() const {
+    TxnStats s;
+    s.begun = begun_.load(std::memory_order_relaxed);
+    s.committed = committed_.load(std::memory_order_relaxed);
+    s.rolled_back = rolled_back_.load(std::memory_order_relaxed);
+    s.conflicts = conflicts_.load(std::memory_order_relaxed);
+    s.aborted_on_block = aborted_on_block_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> clock_{0};
+  std::mutex commit_mu_;
+  mutable std::mutex mu_;  // guards active_ / next_id_
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Transaction>> active_;
+  std::atomic<uint64_t> begun_{0};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> rolled_back_{0};
+  std::atomic<uint64_t> conflicts_{0};
+  std::atomic<uint64_t> aborted_on_block_{0};
+};
+
+}  // namespace septic::engine::txn

@@ -69,6 +69,13 @@ struct Config {
   /// measures what it costs in false positives on benign numeric inputs.
   bool strict_numeric_types = false;
 
+  /// Poisoned-transaction containment: when a statement is blocked inside
+  /// an open multi-statement transaction, ask the engine to roll the whole
+  /// transaction back (InterceptDecision::abort_txn). Off by default — the
+  /// historical behavior drops only the offending statement and leaves the
+  /// transaction open.
+  bool abort_txn_on_block = false;
+
   /// Record a QUERY_PROCESSED event for every benign query. The paper's
   /// logger registers only attacks and new models; per-query events are an
   /// observability extra that the demos/tests enjoy and the performance

@@ -62,6 +62,10 @@ void Septic::set_fail_policy(FailPolicy policy) {
   update_config([policy](Config& c) { c.fail_policy = policy; });
 }
 
+void Septic::set_abort_txn_on_block(bool on) {
+  update_config([on](Config& c) { c.abort_txn_on_block = on; });
+}
+
 Config Septic::config() const { return *config_snapshot(); }
 
 engine::InterceptorGenerations Septic::generations() const {
@@ -143,6 +147,8 @@ SepticStats Septic::stats() const {
   out.sqli_detected = stats_.sqli_detected.load(std::memory_order_relaxed);
   out.stored_detected = stats_.stored_detected.load(std::memory_order_relaxed);
   out.dropped = stats_.dropped.load(std::memory_order_relaxed);
+  out.txn_blocked_stmts =
+      stats_.txn_blocked_stmts.load(std::memory_order_relaxed);
   out.septic_internal_errors =
       stats_.septic_internal_errors.load(std::memory_order_relaxed);
   out.events_dropped = log_.dropped_events();
@@ -329,8 +335,15 @@ engine::InterceptDecision Septic::dispatch(const engine::QueryEvent& event,
     e.attack_type = attack_type;
     log_.record(std::move(e));
     stats_.dropped.fetch_add(1, std::memory_order_relaxed);
-    return engine::InterceptDecision::reject(
+    if (event.in_transaction) {
+      stats_.txn_blocked_stmts.fetch_add(1, std::memory_order_relaxed);
+    }
+    engine::InterceptDecision d = engine::InterceptDecision::reject(
         "SEPTIC: " + attack_type + " attack detected; query dropped");
+    // Containment policy: a blocked statement inside an open transaction
+    // optionally takes the whole transaction down with it.
+    d.abort_txn = cfg.abort_txn_on_block;
+    return d;
   }
   // Detection mode: attack logged above, query executes.
   return engine::InterceptDecision::proceed();

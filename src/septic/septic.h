@@ -51,6 +51,10 @@ struct SepticStats {
   uint64_t sqli_detected = 0;
   uint64_t stored_detected = 0;
   uint64_t dropped = 0;
+  /// Blocked statements that ran inside an open multi-statement
+  /// transaction (a subset of `dropped`). When Config::abort_txn_on_block
+  /// is set, each of these also rolled the enclosing transaction back.
+  uint64_t txn_blocked_stmts = 0;
   /// Internal SEPTIC failures absorbed by the fail policy (the query was
   /// dropped or executed per Config::fail_policy; the engine never saw the
   /// exception).
@@ -89,6 +93,10 @@ class Septic final : public engine::QueryInterceptor {
   void set_log_processed_queries(bool on);
   void set_strict_numeric_types(bool on);
   void set_fail_policy(FailPolicy policy);
+  /// When on, a statement blocked inside an open transaction aborts the
+  /// whole transaction (the engine rolls it back) instead of leaving it
+  /// open for the session to continue around the dropped statement.
+  void set_abort_txn_on_block(bool on);
   /// By-value copy of the whole configuration. Callers that only need a
   /// field or two should prefer config_snapshot() — same coherence
   /// guarantee, no copy.
@@ -144,6 +152,7 @@ class Septic final : public engine::QueryInterceptor {
     std::atomic<uint64_t> sqli_detected{0};
     std::atomic<uint64_t> stored_detected{0};
     std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> txn_blocked_stmts{0};
     std::atomic<uint64_t> septic_internal_errors{0};
   };
 

@@ -224,10 +224,11 @@ struct ExplainStmt {
 };
 
 struct TransactionStmt {
-  enum class Op { kBegin, kCommit, kRollback } op = Op::kBegin;
+  enum class Op { kBegin, kBeginReadOnly, kCommit, kRollback } op = Op::kBegin;
   std::string to_sql() const {
     switch (op) {
       case Op::kBegin: return "BEGIN";
+      case Op::kBeginReadOnly: return "START TRANSACTION READ ONLY";
       case Op::kCommit: return "COMMIT";
       case Op::kRollback: return "ROLLBACK";
     }

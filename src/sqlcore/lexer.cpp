@@ -26,7 +26,7 @@ constexpr std::string_view kKeywords[] = {
     "INTEGER","BIGINT", "DOUBLE",  "FLOAT",  "TEXT",   "VARCHAR","CHAR",
     "TRUE",   "FALSE",  "AUTO_INCREMENT", "SHOW", "TABLES", "DESCRIBE",
     "TRUNCATE", "INDEX", "BEGIN", "START", "TRANSACTION", "COMMIT",
-    "ROLLBACK", "EXPLAIN",
+    "ROLLBACK", "EXPLAIN", "READ", "ONLY",
 };
 
 constexpr size_t kMaxKeywordLen = 14;  // AUTO_INCREMENT

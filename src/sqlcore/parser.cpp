@@ -42,6 +42,11 @@ class Parser {
       bool is_start = t.is_keyword("START");
       advance();
       if (is_start) expect_kw("TRANSACTION");
+      // MySQL's START TRANSACTION READ ONLY access-mode clause.
+      if (accept_kw("READ")) {
+        expect_kw("ONLY");
+        return Statement(TransactionStmt{TransactionStmt::Op::kBeginReadOnly});
+      }
       return Statement(TransactionStmt{TransactionStmt::Op::kBegin});
     }
     if (t.is_keyword("COMMIT")) {

@@ -58,10 +58,11 @@ std::vector<std::string> Catalog::table_names() const {
   return out;
 }
 
-std::string Catalog::save_snapshot() const {
-  std::string out;
-  for (const auto& [key, table] : tables_) {
-    const TableSchema& s = table->schema();
+namespace {
+
+void append_table_block(std::string& out, const Table& table) {
+  {
+    const TableSchema& s = table.schema();
     out += "T " + s.name() + "\n";
     for (const auto& c : s.columns()) {
       out += "C " + c.name + " " + column_type_name(c.type) + " ";
@@ -74,8 +75,8 @@ std::string Catalog::save_snapshot() const {
       if (c.default_value) out += " D " + c.default_value->repr();
       out += "\n";
     }
-    out += "A " + std::to_string(table->next_auto_increment()) + "\n";
-    table->scan([&](size_t, const Row& row) {
+    out += "A " + std::to_string(table.next_auto_increment()) + "\n";
+    table.scan([&](size_t, const Row& row) {
       out += "R ";
       for (size_t i = 0; i < row.size(); ++i) {
         if (i) out += '|';
@@ -84,12 +85,41 @@ std::string Catalog::save_snapshot() const {
       out += "\n";
       return true;
     });
-    for (const auto& [idx_name, idx_col] : table->index_defs()) {
+    for (const auto& [idx_name, idx_col] : table.index_defs()) {
       out += "I " + idx_name + " " + idx_col + "\n";
     }
     out += ".\n";
   }
+}
+
+}  // namespace
+
+std::string Catalog::save_snapshot() const {
+  std::string out;
+  for (const auto& [key, table] : tables_) {
+    append_table_block(out, *table);
+  }
   return out;
+}
+
+std::string Catalog::save_table_snapshot(std::string_view name) const {
+  auto it = tables_.find(key_of(name));
+  if (it == tables_.end()) {
+    throw StorageError("unknown table '" + std::string(name) + "'");
+  }
+  std::string out;
+  append_table_block(out, *it->second);
+  return out;
+}
+
+void Catalog::restore_table_snapshot(std::string_view data) {
+  // Rebuild in a scratch catalog (reusing the full loader), then adopt the
+  // rebuilt table(s) over any same-named current ones.
+  Catalog scratch;
+  scratch.load_snapshot(data);
+  for (auto& [key, table] : scratch.tables_) {
+    tables_[key] = std::move(table);
+  }
 }
 
 namespace {

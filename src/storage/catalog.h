@@ -46,6 +46,14 @@ class Catalog {
   /// input. Replaces current contents.
   void load_snapshot(std::string_view data);
 
+  /// Serialize one table to its snapshot block (same format). Throws when
+  /// the table doesn't exist. Backs transactional DDL undo (DROP/TRUNCATE
+  /// inside a transaction keeps a copy for ROLLBACK).
+  std::string save_table_snapshot(std::string_view name) const;
+  /// Restore (replace or re-create) the table serialized in `data`,
+  /// leaving every other table untouched.
+  void restore_table_snapshot(std::string_view data);
+
   /// File convenience wrappers (throw StorageError on I/O failure).
   void save_to_file(const std::string& path) const;
   void load_from_file(const std::string& path);

@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "common/string_util.h"
 
@@ -19,7 +20,7 @@ void Table::check_not_null(const Row& row) const {
   }
 }
 
-Table::InsertResult Table::insert(Row row) {
+Table::InsertResult Table::insert_locked(Row row, uint64_t begin_ts) {
   if (row.size() != schema_.column_count()) {
     throw StorageError("column count mismatch for table '" + schema_.name() +
                        "'");
@@ -53,8 +54,18 @@ Table::InsertResult Table::insert(Row row) {
   index_insert(slot, row);
   rows_.push_back(std::move(row));
   live_.push_back(true);
-  ++live_count_;
+  begin_ts_.push_back(begin_ts);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   return {slot, pk_value};
+}
+
+Table::InsertResult Table::insert(Row row) {
+  return insert_locked(std::move(row), 0);
+}
+
+Table::InsertResult Table::insert_versioned(Row row, uint64_t begin_ts) {
+  std::unique_lock lock(mu_);
+  return insert_locked(std::move(row), begin_ts);
 }
 
 void Table::scan(const std::function<bool(size_t, const Row&)>& fn) const {
@@ -69,8 +80,9 @@ const Row& Table::row(size_t slot) const {
   return rows_[slot];
 }
 
-void Table::update(size_t slot,
-                   const std::vector<std::pair<size_t, sql::Value>>& changes) {
+void Table::update_locked(
+    size_t slot, const std::vector<std::pair<size_t, sql::Value>>& changes,
+    bool record_old, uint64_t ts) {
   assert(slot < rows_.size() && live_[slot]);
   Row candidate = rows_[slot];
   int pk = schema_.primary_key_index();
@@ -94,7 +106,25 @@ void Table::update(size_t slot,
   }
   index_erase(slot, rows_[slot]);
   index_insert(slot, candidate);
+  if (record_old) {
+    old_versions_[slot].push_back({std::move(rows_[slot]), begin_ts_[slot], ts});
+    old_version_count_.fetch_add(1, std::memory_order_release);
+    if (ts > max_old_end_ts_) max_old_end_ts_ = ts;
+    begin_ts_[slot] = ts;
+  }
   rows_[slot] = std::move(candidate);
+}
+
+void Table::update(size_t slot,
+                   const std::vector<std::pair<size_t, sql::Value>>& changes) {
+  update_locked(slot, changes, /*record_old=*/false, 0);
+}
+
+void Table::update_versioned(
+    size_t slot, const std::vector<std::pair<size_t, sql::Value>>& changes,
+    uint64_t ts) {
+  std::unique_lock lock(mu_);
+  update_locked(slot, changes, /*record_old=*/true, ts);
 }
 
 void Table::erase(size_t slot) {
@@ -104,7 +134,188 @@ void Table::erase(size_t slot) {
   index_erase(slot, rows_[slot]);
   live_[slot] = false;
   rows_[slot].clear();
-  --live_count_;
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Table::erase_versioned(size_t slot, uint64_t ts) {
+  std::unique_lock lock(mu_);
+  assert(slot < rows_.size() && live_[slot]);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
+  index_erase(slot, rows_[slot]);
+  old_versions_[slot].push_back({std::move(rows_[slot]), begin_ts_[slot], ts});
+  old_version_count_.fetch_add(1, std::memory_order_release);
+  if (ts > max_old_end_ts_) max_old_end_ts_ = ts;
+  live_[slot] = false;
+  rows_[slot].clear();
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+const Row* Table::visible_locked(size_t slot, uint64_t snapshot_ts) const {
+  if (live_[slot] && begin_ts_[slot] <= snapshot_ts) return &rows_[slot];
+  auto it = old_versions_.find(slot);
+  if (it == old_versions_.end()) return nullptr;
+  // Newest old image first: the chain is append-ordered by commit.
+  for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+    if (v->begin_ts <= snapshot_ts && snapshot_ts < v->end_ts) return &v->row;
+  }
+  return nullptr;
+}
+
+void Table::scan_snapshot(
+    uint64_t snapshot_ts,
+    const std::function<bool(size_t, const Row&)>& fn) const {
+  std::shared_lock lock(mu_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (const Row* r = visible_locked(i, snapshot_ts)) {
+      if (!fn(i, *r)) return;
+    }
+  }
+}
+
+std::optional<Row> Table::fetch_snapshot(size_t slot,
+                                         uint64_t snapshot_ts) const {
+  std::shared_lock lock(mu_);
+  if (slot >= rows_.size()) return std::nullopt;
+  if (const Row* r = visible_locked(slot, snapshot_ts)) return *r;
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::pair<size_t, Row>>> Table::index_eq_snapshot(
+    std::string_view column, const sql::Value& key,
+    uint64_t snapshot_ts) const {
+  std::shared_lock lock(mu_);
+  // Indexes cover current images only, so they are incomplete exactly for
+  // snapshots that can still see a superseded image. Every old version has
+  // end_ts <= max_old_end_ts_ and is invisible to any snapshot >= its end,
+  // so at or past the mark current images are the complete visible set and
+  // the index is authoritative. Fresh autocommit snapshots always pass
+  // (their snapshot is the published clock, which no recorded end_ts can
+  // exceed); older transaction snapshots decline and the caller scans.
+  if (snapshot_ts < max_old_end_ts_) {
+    return std::nullopt;
+  }
+  std::vector<std::pair<size_t, Row>> out;
+  int col = schema_.column_index(column);
+  if (col < 0) return out;
+  auto pi = static_cast<size_t>(col);
+  sql::Value probe = schema_.coerce_to_column(pi, key);
+  auto emit = [&](size_t slot) {
+    if (slot < rows_.size() && live_[slot] && begin_ts_[slot] <= snapshot_ts) {
+      out.emplace_back(slot, rows_[slot]);
+    }
+  };
+  if (schema_.primary_key_index() == col) {
+    auto it = pk_index_.find(pk_key(probe));
+    if (it != pk_index_.end()) emit(it->second);
+    return out;
+  }
+  for (const auto& idx : indexes_) {
+    if (idx.column != pi) continue;
+    std::string k = schema_.column(pi).type == ColumnType::kText &&
+                            !probe.is_null()
+                        ? sql::Value(common::to_lower(probe.coerce_string()))
+                              .repr()
+                        : probe.repr();
+    auto [begin, end] = idx.map.equal_range(k);
+    for (auto it = begin; it != end; ++it) emit(it->second);
+    return out;
+  }
+  return out;
+}
+
+bool Table::slot_live(size_t slot) const {
+  std::shared_lock lock(mu_);
+  return slot < rows_.size() && live_[slot];
+}
+
+uint64_t Table::slot_begin_ts(size_t slot) const {
+  std::shared_lock lock(mu_);
+  assert(slot < rows_.size() && live_[slot]);
+  return begin_ts_[slot];
+}
+
+int64_t Table::reserve_auto_increment() {
+  std::unique_lock lock(mu_);
+  return auto_inc_++;
+}
+
+void Table::maybe_advance_auto_increment(int64_t v) {
+  std::unique_lock lock(mu_);
+  if (v >= auto_inc_) auto_inc_ = v + 1;
+}
+
+size_t Table::vacuum(uint64_t horizon) {
+  std::unique_lock lock(mu_);
+  size_t freed = 0;
+  for (auto it = old_versions_.begin(); it != old_versions_.end();) {
+    auto& chain = it->second;
+    size_t kept = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].end_ts <= horizon) {
+        ++freed;
+      } else {
+        if (kept != i) chain[kept] = std::move(chain[i]);
+        ++kept;
+      }
+    }
+    chain.resize(kept);
+    it = chain.empty() ? old_versions_.erase(it) : std::next(it);
+  }
+  if (freed != 0) old_version_count_.fetch_sub(freed, std::memory_order_release);
+  return freed;
+}
+
+void Table::undo_insert(size_t slot) {
+  std::unique_lock lock(mu_);
+  assert(slot < rows_.size() && live_[slot]);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
+  index_erase(slot, rows_[slot]);
+  live_[slot] = false;
+  rows_[slot].clear();
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Table::undo_update(size_t slot) {
+  std::unique_lock lock(mu_);
+  assert(slot < rows_.size() && live_[slot]);
+  auto it = old_versions_.find(slot);
+  assert(it != old_versions_.end() && !it->second.empty());
+  OldVersion prev = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) old_versions_.erase(it);
+  old_version_count_.fetch_sub(1, std::memory_order_release);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    auto pi = static_cast<size_t>(pk);
+    pk_index_.erase(pk_key(rows_[slot][pi]));
+    pk_index_[pk_key(prev.row[pi])] = slot;
+  }
+  index_erase(slot, rows_[slot]);
+  index_insert(slot, prev.row);
+  rows_[slot] = std::move(prev.row);
+  begin_ts_[slot] = prev.begin_ts;
+}
+
+void Table::undo_erase(size_t slot) {
+  std::unique_lock lock(mu_);
+  assert(slot < rows_.size() && !live_[slot]);
+  auto it = old_versions_.find(slot);
+  assert(it != old_versions_.end() && !it->second.empty());
+  OldVersion prev = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) old_versions_.erase(it);
+  old_version_count_.fetch_sub(1, std::memory_order_release);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    pk_index_[pk_key(prev.row[static_cast<size_t>(pk)])] = slot;
+  }
+  index_insert(slot, prev.row);
+  rows_[slot] = std::move(prev.row);
+  begin_ts_[slot] = prev.begin_ts;
+  live_[slot] = true;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {

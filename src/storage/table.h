@@ -1,9 +1,32 @@
 // Heap table with an optional hash index on the primary key and
 // auto-increment support. Rows are dense vectors of sql::Value.
+//
+// Two access planes share the storage:
+//
+//   - The legacy plane (insert/scan/update/erase, no timestamps) behaves
+//     exactly as before versioning existed: rows are born at timestamp 0
+//     and erased rows leave no trace. It performs no locking; callers must
+//     externally serialize (single-threaded setup code, snapshot load, and
+//     the engine's DDL path, which holds the catalog's exclusive lock).
+//
+//   - The versioned plane (*_versioned / *_snapshot, explicit timestamps)
+//     backs the MVCC engine. Each slot's current row carries a begin
+//     timestamp; superseded or deleted images move into a per-slot chain of
+//     old versions with [begin, end) validity. A reader at snapshot S sees
+//     the image with begin <= S < end. These methods self-lock on an
+//     internal shared_mutex, so any number of snapshot readers proceed in
+//     parallel and writers exclude only the table they touch.
+//
+// The two planes may not run concurrently with each other — the engine
+// guarantees that by running all legacy-plane mutations under its
+// exclusive DDL lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,7 +49,9 @@ class Table {
   explicit Table(TableSchema schema);
 
   const TableSchema& schema() const { return schema_; }
-  size_t row_count() const { return live_count_; }
+  size_t row_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
 
   /// Insert a full row (already column-ordered, unvalidated values are
   /// coerced to column types). Fills auto-increment when the PK value is
@@ -55,6 +80,77 @@ class Table {
 
   /// Fast lookup by primary key; returns -1 when absent / no PK.
   int64_t find_by_pk(const sql::Value& key) const;
+
+  // ---- versioned plane (MVCC; self-locking) -----------------------------
+
+  /// Insert born at `begin_ts` (constraint checks as insert()).
+  InsertResult insert_versioned(Row row, uint64_t begin_ts);
+
+  /// Replace a live row at `ts`; the previous image joins the old-version
+  /// chain with validity [old begin, ts).
+  void update_versioned(size_t slot,
+                        const std::vector<std::pair<size_t, sql::Value>>&
+                            changes,
+                        uint64_t ts);
+
+  /// Delete a live row at `ts`; the final image joins the old-version
+  /// chain so older snapshots keep reading it.
+  void erase_versioned(size_t slot, uint64_t ts);
+
+  /// Visit every row visible at snapshot `snapshot_ts`. Rows are handed to
+  /// fn under the table's shared lock — copy what must outlive the call.
+  void scan_snapshot(
+      uint64_t snapshot_ts,
+      const std::function<bool(size_t, const Row&)>& fn) const;
+
+  /// The image of `slot` visible at `snapshot_ts`, if any (copy).
+  std::optional<Row> fetch_snapshot(size_t slot, uint64_t snapshot_ts) const;
+
+  /// Index-assisted equality lookup at a snapshot: (slot, row) pairs whose
+  /// column equals `key`. Indexes cover only current images, so the lookup
+  /// is answered iff `snapshot_ts` is at or past the newest old-version
+  /// end timestamp ever recorded — past it, every superseded image is
+  /// invisible (visibility needs snapshot < end) and current images are
+  /// the complete visible set. Fresh autocommit snapshots always qualify;
+  /// a transaction reading an older snapshot gets nullopt and must fall
+  /// back to scan_snapshot (the mark is checked under the lock, which is
+  /// what makes the answer complete when granted). `column` must be the
+  /// PK or an indexed column.
+  std::optional<std::vector<std::pair<size_t, Row>>> index_eq_snapshot(
+      std::string_view column, const sql::Value& key,
+      uint64_t snapshot_ts) const;
+
+  /// True when any slot has old versions (racy hint; index_eq_snapshot
+  /// re-checks under the lock).
+  bool has_old_versions() const {
+    return old_version_count_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Conflict-detection reads for the commit protocol (caller holds the
+  /// engine's commit mutex, so current images are stable).
+  bool slot_live(size_t slot) const;
+  /// Begin timestamp of the slot's current image (slot must be live).
+  uint64_t slot_begin_ts(size_t slot) const;
+
+  /// Burn-on-use auto-increment reservation for buffered transaction
+  /// inserts (ids are not returned on rollback, like MySQL).
+  int64_t reserve_auto_increment();
+
+  /// Keep the counter ahead of an explicitly supplied integer key, as
+  /// insert() does internally; used when a transaction buffers a row with
+  /// an explicit PK instead of inserting it right away.
+  void maybe_advance_auto_increment(int64_t v);
+
+  /// Drop old versions no snapshot can reach (end_ts <= horizon). Returns
+  /// how many versions were freed.
+  size_t vacuum(uint64_t horizon);
+
+  // Commit-failure repair: each undoes the most recent versioned mutation
+  // of `slot` (exact inverse, including index maintenance). Only the
+  // commit protocol calls these, while holding the commit mutex.
+  void undo_insert(size_t slot);
+  void undo_update(size_t slot);
+  void undo_erase(size_t slot);
 
   // ---- secondary indexes ------------------------------------------------
 
@@ -89,18 +185,44 @@ class Table {
     std::unordered_multimap<std::string, size_t> map;  // value repr -> slot
   };
 
+  /// A superseded or deleted row image, visible to snapshots in
+  /// [begin_ts, end_ts).
+  struct OldVersion {
+    Row row;
+    uint64_t begin_ts = 0;
+    uint64_t end_ts = 0;
+  };
+
   std::string pk_key(const sql::Value& v) const;
   void check_not_null(const Row& row) const;
   void index_insert(size_t slot, const Row& row);
   void index_erase(size_t slot, const Row& row);
+  InsertResult insert_locked(Row row, uint64_t begin_ts);
+  void update_locked(size_t slot,
+                     const std::vector<std::pair<size_t, sql::Value>>& changes,
+                     bool record_old, uint64_t ts);
+  /// Image of `slot` visible at snapshot, or nullptr. Caller holds mu_.
+  const Row* visible_locked(size_t slot, uint64_t snapshot_ts) const;
 
   TableSchema schema_;
   std::vector<Row> rows_;
   std::vector<bool> live_;
-  size_t live_count_ = 0;
+  std::vector<uint64_t> begin_ts_;  // parallel to rows_; current image birth
+  std::atomic<size_t> live_count_{0};
   std::unordered_map<std::string, size_t> pk_index_;
   std::vector<SecondaryIndex> indexes_;
+  /// slot -> old images, oldest first (append order = commit order).
+  std::unordered_map<size_t, std::vector<OldVersion>> old_versions_;
+  std::atomic<size_t> old_version_count_{0};
+  /// High-water mark of old-version end timestamps (monotone; vacuum never
+  /// lowers it — stale-high is merely conservative). Snapshots at or past
+  /// it see no old version, so indexes answer for them even with history
+  /// present. Guarded by mu_.
+  uint64_t max_old_end_ts_ = 0;
   int64_t auto_inc_ = 1;
+  /// Guards rows_/live_/begin_ts_/indexes' maps/old_versions_/auto_inc_ on
+  /// the versioned plane. The legacy plane bypasses it (see file comment).
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace septic::storage

@@ -246,13 +246,23 @@ TEST_F(DigestCacheTest, DdlInvalidatesCachedEntries) {
   EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1"), DbError);
 }
 
-TEST_F(DigestCacheTest, RollbackBumpsDdlVersion) {
+TEST_F(DigestCacheTest, RollbackBumpsDdlVersionOnlyForDdl) {
+  // DML-only rollback: buffered writes die with the write set and the
+  // schema never changed — no bump, cached entries stay replayable.
   uint64_t ddl0 = db.ddl_version();
   db.execute(session, "BEGIN");
   db.execute(session, "INSERT INTO t (a, b) VALUES ('txn', 7)");
   db.execute(session, "ROLLBACK");
-  EXPECT_GT(db.ddl_version(), ddl0)
-      << "snapshot restore may undo DDL; cached entries must not survive it";
+  EXPECT_EQ(db.ddl_version(), ddl0);
+  // DDL-containing rollback: the undo replay restores the pre-txn catalog
+  // and bumps exactly once more — entries validated against the mid-txn
+  // catalog must not survive it.
+  db.execute(session, "BEGIN");
+  db.execute(session, "CREATE TABLE roll_u (id INT PRIMARY KEY)");
+  uint64_t mid = db.ddl_version();
+  EXPECT_EQ(mid, ddl0 + 1);
+  db.execute(session, "ROLLBACK");
+  EXPECT_EQ(db.ddl_version(), mid + 1);
 }
 
 TEST_F(DigestCacheTest, InterceptorInstallInvalidatesParseOnlyEntries) {
@@ -306,13 +316,22 @@ TEST_F(DigestCacheTest, PreparedStatementsBypassTheCache) {
   EXPECT_EQ(s1.hits, s0.hits);
 }
 
-TEST_F(DigestCacheTest, ReplayRespectsTransactionConflicts) {
+TEST_F(DigestCacheTest, ReplayRoutesThroughTransactionContext) {
   db.execute(session, "SELECT a FROM t WHERE b = 1");
   db.execute(session, "SELECT a FROM t WHERE b = 1");  // warm
   Session other("other");
   db.execute(other, "BEGIN");
-  // The warm path performs the same conflict check as the full path.
-  EXPECT_THROW(db.execute(session, "SELECT a FROM t WHERE b = 1"), DbError);
+  db.execute(other, "UPDATE t SET a = 'txn' WHERE b = 1");
+  // Only parse + verdict are memoized, never data: a replayed hit in
+  // another session proceeds (MVCC — no global transaction lock) and
+  // reads its own snapshot, not the open transaction's buffered write...
+  ResultSet rs = db.execute(session, "SELECT a FROM t WHERE b = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "x");
+  // ...while the owner's replayed hit reads through its own write set.
+  ResultSet own = db.execute(other, "SELECT a FROM t WHERE b = 1");
+  ASSERT_EQ(own.rows.size(), 1u);
+  EXPECT_EQ(own.rows[0][0].as_string(), "txn");
   db.execute(other, "ROLLBACK");
 }
 

@@ -126,6 +126,33 @@ TEST(Table, ScanEarlyStop) {
   EXPECT_EQ(seen, 2u);
 }
 
+TEST(TableMvcc, IndexAnswersFreshSnapshotsDespiteHistory) {
+  Table t(make_users_schema());
+  t.insert_versioned(
+      {Value(int64_t{1}), Value(std::string("a")), Value(int64_t{30})}, 1);
+  // Supersede the row at ts 2: history now exists.
+  t.update_versioned(0, {{2, Value(int64_t{31})}}, 2);
+  ASSERT_TRUE(t.has_old_versions());
+  // A snapshot at or past the newest end timestamp sees no old version,
+  // so the index over current images must answer (the perf-critical path:
+  // autocommit point SELECTs after any write).
+  auto fresh = t.index_eq_snapshot("id", Value(int64_t{1}), 2);
+  ASSERT_TRUE(fresh.has_value());
+  ASSERT_EQ(fresh->size(), 1u);
+  EXPECT_EQ((*fresh)[0].second[2].as_int(), 31);
+  // An older snapshot could still see the superseded image; the index is
+  // incomplete for it, so the lookup declines and the caller scans.
+  EXPECT_FALSE(t.index_eq_snapshot("id", Value(int64_t{1}), 1).has_value());
+  std::optional<Row> old_img = t.fetch_snapshot(0, 1);
+  ASSERT_TRUE(old_img.has_value());
+  EXPECT_EQ((*old_img)[2].as_int(), 30);
+  // Vacuuming the history never un-declines past snapshots (the mark is
+  // monotone), but fresh snapshots keep the index.
+  EXPECT_EQ(t.vacuum(2), 1u);
+  EXPECT_FALSE(t.has_old_versions());
+  EXPECT_TRUE(t.index_eq_snapshot("id", Value(int64_t{1}), 2).has_value());
+}
+
 TEST(Catalog, CreateFindDrop) {
   Catalog c;
   c.create_table(make_users_schema());

@@ -21,6 +21,7 @@
 
 #include "common/failpoint.h"
 #include "engine/database.h"
+#include "engine/error.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -358,6 +359,120 @@ TEST(StressConcurrency, MixedTrafficStatsReconcileExactly) {
   EXPECT_EQ(db.executed_count(), setup_executed + 1 + kBenign);
   EXPECT_EQ(db.blocked_count(), kAttacks);
   EXPECT_EQ(server.connections_served(), static_cast<uint64_t>(kClients));
+}
+
+// ---------------------------------------- transactional stress (MVCC) (e)
+
+// 8 threads drive mixed benign/attack multi-statement transactions against
+// the embedded engine, each thread owning a disjoint row so commits never
+// conflict — which makes every counter in the system exactly computable:
+// SEPTIC's per-query stats, the engine's executed/blocked counters, and the
+// transaction counters all reconcile to closed-form totals. Runs clean
+// under the tsan preset: this is the MVCC snapshot/commit/write-set race
+// detector.
+TEST(StressConcurrency, TransactionalMixedTrafficReconcilesExactly) {
+  engine::Database db;
+  db.execute_admin("CREATE TABLE tx (id INT PRIMARY KEY, v TEXT)");
+  {
+    std::string insert = "INSERT INTO tx VALUES ";
+    for (int i = 1; i <= 8; ++i) {
+      if (i > 1) insert += ", ";
+      insert += "(" + std::to_string(i) + ", 'seed')";
+    }
+    db.execute_admin(insert);
+  }
+  const uint64_t setup_executed = db.executed_count();
+
+  auto septic = std::make_shared<core::Septic>();
+  septic->set_mode(core::Mode::kTraining);
+  db.set_interceptor(septic);
+  {
+    // One model per benign shape (literal values don't change the model).
+    engine::Session s("trainer");
+    db.execute(s, "SELECT v FROM tx WHERE id = 1");
+    db.execute(s, "UPDATE tx SET v = 'seed' WHERE id = 1");
+  }
+  septic->set_incremental_learning(false);
+  septic->set_mode(core::Mode::kPrevention);
+  const uint64_t kTrained = 2;
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;  // even: rounds alternate COMMIT / ROLLBACK
+  std::atomic<uint64_t> unexpected{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&, c] {
+      engine::Session s("stress" + std::to_string(c));
+      const std::string key = std::to_string(c + 1);
+      for (int i = 0; i < kRounds; ++i) {
+        try {
+          db.execute(s, "BEGIN");
+          // Benign read of this thread's own row. Only this thread writes
+          // it, so the value is deterministic: the last COMMITted round's
+          // update (rounds 0,2,4 commit), or the seed before any commit.
+          auto rs = db.execute(s, "SELECT v FROM tx WHERE id = " + key);
+          std::string expected =
+              i == 0 ? "seed" : "r" + std::to_string((i - 1) / 2 * 2);
+          if (rs.rows.size() != 1 || rs.rows[0][0].as_string() != expected) {
+            ++unexpected;
+          }
+          // An attack inside the transaction: dropped, transaction stays
+          // open (default containment policy).
+          try {
+            db.execute(s, "SELECT v FROM tx WHERE id = " + key +
+                              " OR '1'='1'");
+            ++unexpected;  // the attack executed
+          } catch (const engine::DbError& e) {
+            if (e.code() != engine::ErrorCode::kBlocked) ++unexpected;
+          }
+          db.execute(s, "UPDATE tx SET v = 'r" + std::to_string(i) +
+                            "' WHERE id = " + key);
+          db.execute(s, (i % 2) == 0 ? "COMMIT" : "ROLLBACK");
+        } catch (const std::exception&) {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(unexpected.load(), 0u);
+  constexpr uint64_t kTxns = kThreads * kRounds;
+
+  core::SepticStats stats = septic->stats();
+  EXPECT_EQ(stats.queries_seen, kTrained + kTxns * 3);
+  EXPECT_EQ(stats.sqli_detected, kTxns);
+  EXPECT_EQ(stats.dropped, kTxns);
+  EXPECT_EQ(stats.txn_blocked_stmts, kTxns);
+  EXPECT_EQ(stats.models_created, kTrained);
+  EXPECT_EQ(stats.septic_internal_errors, 0u);
+  EXPECT_EQ(db.blocked_count(), kTxns);
+  // Executed: the benign SELECT and UPDATE per round (BEGIN/COMMIT/ROLLBACK
+  // are facade-handled, blocked attacks never execute).
+  EXPECT_EQ(db.executed_count(), setup_executed + kTrained + kTxns * 2);
+
+  engine::txn::TxnStats ts = db.txn_stats();
+  EXPECT_EQ(ts.begun, kTxns);
+  EXPECT_EQ(ts.committed, kTxns / 2);
+  EXPECT_EQ(ts.rolled_back, kTxns / 2);
+  EXPECT_EQ(ts.conflicts, 0u);        // disjoint rows: by construction
+  EXPECT_EQ(ts.aborted_on_block, 0u); // default policy keeps txns open
+  EXPECT_EQ(ts.begun, ts.committed + ts.rolled_back);
+  EXPECT_FALSE(db.in_transaction());
+
+  // Data verification last, with the interceptor detached: the COUNT shape
+  // was never trained and every counter above is already pinned. Each
+  // thread's last committed round is 4, so all rows end at 'r4'.
+  db.set_interceptor(nullptr);
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM tx").rows[0][0].as_int(),
+            8);
+  for (int i = 1; i <= kThreads; ++i) {
+    EXPECT_EQ(db.execute_admin("SELECT v FROM tx WHERE id = " +
+                               std::to_string(i))
+                  .rows[0][0]
+                  .as_string(),
+              "r4");
+  }
 }
 
 // Config writers racing the hot path: flipping detection toggles while

@@ -1,6 +1,6 @@
-// Snapshot-based transactions: BEGIN/COMMIT/ROLLBACK semantics, the
-// single-open-transaction policy, disconnect cleanup, and interaction with
-// indexes and SEPTIC.
+// MVCC transactions: BEGIN/COMMIT/ROLLBACK semantics, concurrent sessions
+// proceeding alongside an open transaction, disconnect cleanup, and
+// interaction with indexes and SEPTIC.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -56,16 +56,17 @@ TEST_F(TxnTest, RollbackRestoresEverything) {
             2);
 }
 
-TEST_F(TxnTest, RollbackRestoresAutoIncrement) {
+TEST_F(TxnTest, RollbackBurnsAutoIncrementIds) {
   db.execute(session, "BEGIN");
   db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 1)");
   db.execute(session, "ROLLBACK");
   db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('d', 1)");
-  // The id handed out after rollback continues from the snapshot state.
+  // The rolled-back insert reserved id 3 and never returned it (MySQL
+  // semantics: auto-increment ids burn on rollback).
   EXPECT_EQ(db.execute_admin("SELECT id FROM acct WHERE owner = 'd'")
                 .rows[0][0]
                 .as_int(),
-            3);
+            4);
 }
 
 TEST_F(TxnTest, RollbackRestoresDdl) {
@@ -92,22 +93,45 @@ TEST_F(TxnTest, RollbackPreservesIndexes) {
 
 TEST_F(TxnTest, NestedBeginRejected) {
   db.execute(session, "BEGIN");
-  EXPECT_THROW(db.execute(session, "BEGIN"), DbError);
+  try {
+    db.execute(session, "BEGIN");
+    FAIL() << "nested BEGIN must throw";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTxnState);
+  }
   db.execute(session, "ROLLBACK");
 }
 
 TEST_F(TxnTest, CommitWithoutBeginRejected) {
-  EXPECT_THROW(db.execute(session, "COMMIT"), DbError);
-  EXPECT_THROW(db.execute(session, "ROLLBACK"), DbError);
+  try {
+    db.execute(session, "COMMIT");
+    FAIL() << "orphan COMMIT must throw";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTxnState);
+  }
+  try {
+    db.execute(session, "ROLLBACK");
+    FAIL() << "orphan ROLLBACK must throw";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTxnState);
+  }
 }
 
-TEST_F(TxnTest, OtherSessionsBlockedWhileTransactionOpen) {
+TEST_F(TxnTest, OtherSessionsProceedWhileTransactionOpen) {
   db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
   Session other("other");
-  EXPECT_THROW(db.execute(other, "SELECT COUNT(*) FROM acct"), DbError);
-  EXPECT_THROW(db.execute(other, "BEGIN"), DbError);
+  // Snapshot isolation: the other session reads the committed state and
+  // may even open its own transaction concurrently.
+  auto rs = db.execute(other, "SELECT balance FROM acct WHERE owner = 'a'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 100);
+  EXPECT_NO_THROW(db.execute(other, "BEGIN"));
+  EXPECT_NO_THROW(db.execute(other, "COMMIT"));
   db.execute(session, "COMMIT");
-  EXPECT_NO_THROW(db.execute(other, "SELECT COUNT(*) FROM acct"));
+  EXPECT_EQ(db.execute(other, "SELECT balance FROM acct WHERE owner = 'a'")
+                .rows[0][0]
+                .as_int(),
+            0);
 }
 
 TEST_F(TxnTest, OwnerSessionContinuesInsideTransaction) {

@@ -1,0 +1,363 @@
+// Behavior bar for the MVCC transaction subsystem: snapshot isolation,
+// read-own-writes, first-committer-wins conflicts, read-only transactions,
+// DDL-vs-DML rollback interaction with the digest cache, the
+// abort-transaction-on-block policy, and transaction-control errors over
+// the wire protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "septic/septic.h"
+
+namespace septic::engine {
+namespace {
+
+class MvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE acct (id INT PRIMARY KEY AUTO_INCREMENT, owner TEXT, "
+        "balance INT)");
+    db.execute_admin(
+        "INSERT INTO acct (owner, balance) VALUES ('a', 100), ('b', 200)");
+  }
+  int64_t balance(Session& s, const char* who) {
+    return db
+        .execute(s, std::string("SELECT balance FROM acct WHERE owner = '") +
+                        who + "'")
+        .rows[0][0]
+        .as_int();
+  }
+  int64_t count(Session& s) {
+    return db.execute(s, "SELECT COUNT(*) FROM acct").rows[0][0].as_int();
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(MvccTest, SingleStatementAutocommitIsImmediatelyVisible) {
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 7)");
+  Session other("other");
+  EXPECT_EQ(balance(other, "c"), 7);
+  db.execute(session, "UPDATE acct SET balance = 8 WHERE owner = 'c'");
+  EXPECT_EQ(balance(other, "c"), 8);
+  db.execute(session, "DELETE FROM acct WHERE owner = 'c'");
+  EXPECT_EQ(count(other), 2);
+}
+
+TEST_F(MvccTest, MultiStatementRollbackDiscardsEverything) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 5)");
+  db.execute(session, "DELETE FROM acct WHERE owner = 'b'");
+  db.execute(session, "ROLLBACK");
+  EXPECT_EQ(balance(session, "a"), 100);
+  EXPECT_EQ(balance(session, "b"), 200);
+  EXPECT_EQ(count(session), 2);
+  txn::TxnStats ts = db.txn_stats();
+  EXPECT_EQ(ts.begun, 1u);
+  EXPECT_EQ(ts.rolled_back, 1u);
+  EXPECT_EQ(ts.committed, 0u);
+}
+
+TEST_F(MvccTest, ReadOwnWrites) {
+  db.execute(session, "BEGIN");
+  db.execute(session, "INSERT INTO acct (owner, balance) VALUES ('c', 5)");
+  // The inserting transaction sees its buffered row...
+  EXPECT_EQ(balance(session, "c"), 5);
+  EXPECT_EQ(count(session), 3);
+  // ...including through updates and deletes of buffered and base rows.
+  db.execute(session, "UPDATE acct SET balance = 6 WHERE owner = 'c'");
+  EXPECT_EQ(balance(session, "c"), 6);
+  db.execute(session, "UPDATE acct SET balance = balance + 1 WHERE owner = 'a'");
+  EXPECT_EQ(balance(session, "a"), 101);
+  db.execute(session, "DELETE FROM acct WHERE owner = 'b'");
+  EXPECT_EQ(count(session), 2);
+  // Another session sees none of it until COMMIT.
+  Session other("other");
+  EXPECT_EQ(count(other), 2);
+  EXPECT_EQ(balance(other, "a"), 100);
+  EXPECT_EQ(balance(other, "b"), 200);
+  db.execute(session, "COMMIT");
+  EXPECT_EQ(count(other), 2);  // +c, -b
+  EXPECT_EQ(balance(other, "c"), 6);
+  EXPECT_EQ(balance(other, "a"), 101);
+}
+
+TEST_F(MvccTest, WriteWriteConflictAbortsSecondCommitter) {
+  Session first("first"), second("second");
+  db.execute(first, "BEGIN");
+  db.execute(second, "BEGIN");
+  db.execute(first, "UPDATE acct SET balance = 111 WHERE owner = 'a'");
+  db.execute(second, "UPDATE acct SET balance = 222 WHERE owner = 'a'");
+  db.execute(first, "COMMIT");
+  try {
+    db.execute(second, "COMMIT");
+    FAIL() << "second committer must conflict";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConflict);
+  }
+  EXPECT_EQ(balance(first, "a"), 111);  // first committer won
+  txn::TxnStats ts = db.txn_stats();
+  EXPECT_EQ(ts.conflicts, 1u);
+  EXPECT_EQ(ts.committed, 1u);
+  EXPECT_EQ(ts.rolled_back, 1u);
+  // The conflicted transaction is gone: a fresh BEGIN works.
+  EXPECT_NO_THROW(db.execute(second, "BEGIN"));
+  EXPECT_NO_THROW(db.execute(second, "COMMIT"));
+}
+
+TEST_F(MvccTest, DeleteConflictsWithConcurrentUpdate) {
+  Session first("first"), second("second");
+  db.execute(first, "BEGIN");
+  db.execute(second, "BEGIN");
+  db.execute(first, "UPDATE acct SET balance = 1 WHERE owner = 'b'");
+  db.execute(second, "DELETE FROM acct WHERE owner = 'b'");
+  db.execute(first, "COMMIT");
+  EXPECT_THROW(db.execute(second, "COMMIT"), DbError);
+  EXPECT_EQ(db.txn_stats().conflicts, 1u);
+  EXPECT_EQ(balance(first, "b"), 1);
+}
+
+TEST_F(MvccTest, DisjointWritesDoNotConflict) {
+  Session first("first"), second("second");
+  db.execute(first, "BEGIN");
+  db.execute(second, "BEGIN");
+  db.execute(first, "UPDATE acct SET balance = 1 WHERE owner = 'a'");
+  db.execute(second, "UPDATE acct SET balance = 2 WHERE owner = 'b'");
+  EXPECT_NO_THROW(db.execute(first, "COMMIT"));
+  EXPECT_NO_THROW(db.execute(second, "COMMIT"));
+  EXPECT_EQ(db.txn_stats().conflicts, 0u);
+  EXPECT_EQ(balance(first, "a"), 1);
+  EXPECT_EQ(balance(first, "b"), 2);
+}
+
+TEST_F(MvccTest, SnapshotReadIsRepeatableUnderConcurrentWriter) {
+  Session reader("reader"), writer("writer");
+  db.execute(reader, "BEGIN");
+  EXPECT_EQ(balance(reader, "a"), 100);
+  // A concurrent autocommit write lands and is visible to new snapshots...
+  db.execute(writer, "UPDATE acct SET balance = 999 WHERE owner = 'a'");
+  Session fresh("fresh");
+  EXPECT_EQ(balance(fresh, "a"), 999);
+  // ...but the open transaction keeps reading its pinned snapshot.
+  EXPECT_EQ(balance(reader, "a"), 100);
+  db.execute(reader, "COMMIT");
+  EXPECT_EQ(balance(reader, "a"), 999);
+}
+
+TEST_F(MvccTest, SnapshotScanNeverSeesHalfACommit) {
+  // A reader's full-table scan must observe a multi-row transaction
+  // all-or-nothing, even while a writer thread keeps committing.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Session ws("writer");
+    for (int i = 0; i < 50 && !stop.load(); ++i) {
+      db.execute(ws, "BEGIN");
+      db.execute(ws, "UPDATE acct SET balance = balance - 10 WHERE owner = 'a'");
+      db.execute(ws, "UPDATE acct SET balance = balance + 10 WHERE owner = 'b'");
+      db.execute(ws, "COMMIT");
+    }
+  });
+  Session rs("reader");
+  for (int i = 0; i < 200; ++i) {
+    // Transfer invariant: the sum is constant under every snapshot.
+    auto sum = db.execute(rs, "SELECT SUM(balance) FROM acct");
+    ASSERT_EQ(sum.rows[0][0].as_int(), 300);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(MvccTest, ReadOnlyTransactionRejectsWrites) {
+  db.execute(session, "START TRANSACTION READ ONLY");
+  EXPECT_EQ(count(session), 2);
+  try {
+    db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+    FAIL() << "write in READ ONLY transaction must throw";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTxnState);
+  }
+  EXPECT_THROW(db.execute(session, "CREATE TABLE scratch (x INT)"), DbError);
+  // The transaction itself survives the rejected statement.
+  EXPECT_NO_THROW(db.execute(session, "COMMIT"));
+  EXPECT_EQ(balance(session, "a"), 100);
+}
+
+TEST_F(MvccTest, DdlRollbackBumpsVersionExactlyOnceAndKillsCachedVerdicts) {
+  const char* q = "SELECT balance FROM acct WHERE owner = 'a'";
+  db.execute(session, q);
+  db.execute(session, q);  // second run replays from the digest cache
+  DigestCacheStats before = db.digest_cache_stats();
+  EXPECT_GE(before.hits, 1u);
+
+  const uint64_t v0 = db.ddl_version();
+  db.execute(session, "BEGIN");
+  db.execute(session, "CREATE TABLE scratch (x INT)");
+  const uint64_t v_mid = db.ddl_version();
+  EXPECT_EQ(v_mid, v0 + 1);  // DDL applies (and bumps) immediately
+  db.execute(session, "ROLLBACK");
+  // The undo replay restores the catalog and bumps exactly once more.
+  EXPECT_EQ(db.ddl_version(), v_mid + 1);
+  EXPECT_EQ(db.catalog().find("scratch"), nullptr);
+
+  // Regression: the pre-rollback cache entry must not replay against the
+  // restored catalog — the next run re-enters the full pipeline. "hits"
+  // counts lookups that merely *found* an entry; the proof the stale
+  // verdict did not survive is the generation gate discarding it
+  // (invalidation) and the full pipeline re-inserting under the
+  // post-rollback ddl_version.
+  db.execute(session, q);
+  DigestCacheStats after = db.digest_cache_stats();
+  EXPECT_EQ(after.invalidations, before.invalidations + 1);
+  EXPECT_EQ(after.insertions, before.insertions + 1);
+}
+
+TEST_F(MvccTest, DmlOnlyRollbackPreservesCachedVerdicts) {
+  const char* q = "SELECT balance FROM acct WHERE owner = 'a'";
+  db.execute(session, q);
+  db.execute(session, q);
+  DigestCacheStats before = db.digest_cache_stats();
+  EXPECT_GE(before.hits, 1u);
+  const uint64_t v0 = db.ddl_version();
+
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+  db.execute(session, "ROLLBACK");
+
+  // Nothing shared changed: no version bump, and the cached pipeline
+  // result replays (a hit, not an invalidation).
+  EXPECT_EQ(db.ddl_version(), v0);
+  db.execute(session, q);
+  EXPECT_EQ(db.digest_cache_stats().hits, before.hits + 1);
+  EXPECT_EQ(balance(session, "a"), 100);
+}
+
+TEST_F(MvccTest, AbortTxnOnBlockPolicyRollsBackPoisonedTransaction) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, "SELECT balance FROM acct WHERE owner = 'a'");
+  septic->set_mode(core::Mode::kPrevention);
+  septic->set_abort_txn_on_block(true);
+
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 0 WHERE owner = 'a'");
+  try {
+    db.execute(session,
+               "SELECT balance FROM acct WHERE owner = 'a' OR 1 = 1");
+    FAIL() << "attack must be blocked";
+  } catch (const DbError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBlocked);
+    EXPECT_NE(std::string(e.what()).find("transaction rolled back"),
+              std::string::npos);
+  }
+  // The whole transaction died with the blocked statement.
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(balance(session, "a"), 100);
+  txn::TxnStats ts = db.txn_stats();
+  EXPECT_EQ(ts.aborted_on_block, 1u);
+  EXPECT_EQ(ts.rolled_back, 1u);
+  EXPECT_EQ(septic->stats().txn_blocked_stmts, 1u);
+  // An orphan COMMIT after the forced rollback is a state error.
+  EXPECT_THROW(db.execute(session, "COMMIT"), DbError);
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(MvccTest, DefaultPolicyKeepsTransactionOpenOnBlock) {
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(session, "SELECT balance FROM acct WHERE owner = 'a'");
+  septic->set_mode(core::Mode::kPrevention);
+
+  db.execute(session, "BEGIN");
+  db.execute(session, "UPDATE acct SET balance = 7 WHERE owner = 'a'");
+  EXPECT_THROW(db.execute(session, "SELECT balance FROM acct WHERE owner = "
+                                   "'a' OR 1 = 1"),
+               DbError);
+  // Historical behavior: only the statement dropped; the work survives.
+  EXPECT_TRUE(db.in_transaction());
+  EXPECT_EQ(septic->stats().txn_blocked_stmts, 1u);
+  EXPECT_EQ(db.txn_stats().aborted_on_block, 0u);
+  db.execute(session, "COMMIT");
+  EXPECT_EQ(balance(session, "a"), 7);
+  db.set_interceptor(nullptr);
+}
+
+TEST_F(MvccTest, TxnStatsReconcile) {
+  Session a("a"), b("b");
+  db.execute(a, "BEGIN");
+  db.execute(a, "COMMIT");
+  db.execute(a, "BEGIN");
+  db.execute(a, "ROLLBACK");
+  db.execute(a, "BEGIN");
+  db.execute(b, "BEGIN");
+  db.execute(a, "UPDATE acct SET balance = 1 WHERE owner = 'a'");
+  db.execute(b, "UPDATE acct SET balance = 2 WHERE owner = 'a'");
+  db.execute(a, "COMMIT");
+  EXPECT_THROW(db.execute(b, "COMMIT"), DbError);
+  txn::TxnStats ts = db.txn_stats();
+  EXPECT_EQ(ts.begun, 4u);
+  EXPECT_EQ(ts.committed, 2u);
+  EXPECT_EQ(ts.rolled_back, 2u);
+  EXPECT_EQ(ts.conflicts, 1u);
+  EXPECT_EQ(ts.aborted_on_block, 0u);
+  EXPECT_EQ(ts.begun, ts.committed + ts.rolled_back);
+  EXPECT_FALSE(db.in_transaction());
+}
+
+TEST(MvccNet, TransactionStateErrorsOverTcp) {
+  Database db;
+  db.execute_admin("CREATE TABLE t (x INT)");
+  net::Server server(db, 0);
+  server.start();
+  {
+    net::Client c(server.port());
+    // Orphan COMMIT/ROLLBACK carry the TXN_STATE code over the wire.
+    try {
+      c.query("COMMIT");
+      FAIL() << "orphan COMMIT must fail remotely";
+    } catch (const net::RemoteError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("TXN_STATE", 0), 0u) << e.what();
+    }
+    c.query("BEGIN");
+    try {
+      c.query("BEGIN");
+      FAIL() << "nested BEGIN must fail remotely";
+    } catch (const net::RemoteError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("TXN_STATE", 0), 0u) << e.what();
+    }
+    // The open transaction still works after the rejected control stmt.
+    c.query("INSERT INTO t VALUES (1)");
+    c.query("COMMIT");
+  }
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM t").rows[0][0].as_int(), 1);
+  // Write-write conflict surfaces with its own wire code.
+  {
+    net::Client c1(server.port());
+    net::Client c2(server.port());
+    c1.query("BEGIN");
+    c2.query("BEGIN");
+    c1.query("UPDATE t SET x = 10");
+    c2.query("UPDATE t SET x = 20");
+    c1.query("COMMIT");
+    try {
+      c2.query("COMMIT");
+      FAIL() << "conflicting COMMIT must fail remotely";
+    } catch (const net::RemoteError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("CONFLICT", 0), 0u) << e.what();
+    }
+  }
+  EXPECT_EQ(db.execute_admin("SELECT x FROM t").rows[0][0].as_int(), 10);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace septic::engine
