@@ -1,5 +1,5 @@
-// Experiment PR6 — multi-client throughput over the real network stack,
-// now swept across the workload-mix dimension.
+// Experiment PR6/PR7 — multi-client throughput over the real network
+// stack: the PR6 workload-mix sweep, plus the PR7 durability sweep.
 //
 // A closed-loop driver: N client threads each hold one connection to a
 // real net::Server (thread-pool model) and issue a fixed number of
@@ -26,12 +26,27 @@
 // scripts/bench.sh measures for real by building this same file in a
 // detached worktree of the last pre-MVCC commit.
 //
-// Output: human-readable table on stdout, machine-readable BENCH_PR6.json
+// PR7 adds a durability sweep (compiled only when the WAL subsystem is
+// present, so the pre-WAL baseline worktree builds this same file): a
+// 100% single-row INSERT workload — every statement is one autocommit
+// COMMIT — swept across durability modes at each client count:
+//   off      volatile engine, no WAL (the pre-PR7 write path)
+//   relaxed  WAL appended per commit, fsync deferred to checkpoint/close
+//   full     COMMIT acks only after its group-commit fsync
+// The headline is commits-per-fsync under full durability: one client
+// pays one fsync per COMMIT; concurrent committers pile onto the leader's
+// fsync, so the ratio should rise with client count — that batching is
+// what keeps full-durability p99 in the same decade as relaxed.
+//
+// Output: human-readable table on stdout, machine-readable BENCH_PR7.json
 // (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh, schema
-// configs.{off|training|prevention}.{point|readheavy}.{clients}.
+// configs.{off|training|prevention}.{point|readheavy}.{clients} plus
+// durability.{off|relaxed|full}.{clients}.
 //
 // Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
-// SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16").
+// SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16"),
+// SEPTIC_BENCH_DUR_QUERIES (inserts per client in the durability sweep,
+// default 200).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -45,6 +60,17 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "septic/septic.h"
+
+// The durability sweep needs the WAL subsystem; the pre-PR7 baseline
+// worktree compiles this same file without it (scripts/bench.sh drops the
+// bench source into a checkout of the pre-change commit).
+#if __has_include("storage/wal/durable.h")
+#define SEPTIC_BENCH_HAS_DURABILITY 1
+#include <filesystem>
+#include <unistd.h>
+
+#include "storage/wal/durable.h"
+#endif
 
 namespace {
 
@@ -234,15 +260,110 @@ RunResult run_one(SepticMode mode, Workload workload, int clients,
   return r;
 }
 
+#if defined(SEPTIC_BENCH_HAS_DURABILITY)
+
+struct DurResult {
+  double qps = 0;
+  double wp50_us = 0;
+  double wp99_us = 0;
+  size_t writes = 0;
+  size_t errors = 0;
+  uint64_t commits = 0;  // WAL records appended during the measured window
+  uint64_t fsyncs = 0;   // fsync(2) calls during the measured window
+  double commits_per_fsync = 0;
+};
+
+// 100% autocommit INSERTs over the net stack: every statement is one
+// commit record + (under full durability) one group-commit ack.
+DurResult run_durability(septic::storage::wal::DurabilityMode mode,
+                         bool durable, int clients, int per_client) {
+  static int dir_counter = 0;
+  std::string dir = "/tmp/septic_bench_dur_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(dir_counter++);
+  std::filesystem::remove_all(dir);
+
+  std::unique_ptr<septic::engine::Database> db;
+  if (durable) {
+    septic::storage::wal::DurableStorage::Options opts;
+    opts.dir = dir;
+    opts.mode = mode;
+    db = std::make_unique<septic::engine::Database>(std::move(opts));
+  } else {
+    db = std::make_unique<septic::engine::Database>();
+  }
+  db->execute_admin(
+      "CREATE TABLE dur (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+
+  septic::net::ServerOptions sopts;
+  sopts.max_connections = 0;
+  auto server = std::make_unique<septic::net::Server>(*db, 0, sopts);
+  server->start();
+  uint16_t port = server->port();
+
+  septic::storage::wal::DurabilityStats before = db->durability_stats();
+  std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+  std::vector<size_t> errors(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      septic::net::Client client(port);
+      auto& l = lat[static_cast<size_t>(c)];
+      l.reserve(static_cast<size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        std::string sql = "INSERT INTO dur (v) VALUES ('c" +
+                          std::to_string(c) + "i" + std::to_string(i) + "')";
+        auto q0 = Clock::now();
+        try {
+          client.query(sql);
+        } catch (const std::exception&) {
+          ++errors[static_cast<size_t>(c)];
+        }
+        l.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                .count());
+      }
+      client.quit();
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  septic::storage::wal::DurabilityStats after = db->durability_stats();
+
+  DurResult r;
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t e : errors) r.errors += e;
+  r.writes = all.size();
+  r.qps = wall > 0 ? static_cast<double>(all.size()) / wall : 0;
+  r.wp50_us = percentile(all, 0.50);
+  r.wp99_us = percentile(all, 0.99);
+  r.commits = after.wal.appends - before.wal.appends;
+  r.fsyncs = after.wal.fsyncs - before.wal.fsyncs;
+  r.commits_per_fsync =
+      r.fsyncs > 0
+          ? static_cast<double>(after.wal.sync_calls - before.wal.sync_calls) /
+                static_cast<double>(r.fsyncs)
+          : 0.0;
+  server->stop();
+  db.reset();
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+#endif  // SEPTIC_BENCH_HAS_DURABILITY
+
 }  // namespace
 
 int main() {
   const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
   const std::vector<int> counts = client_counts();
   const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
-  if (!json_path || !*json_path) json_path = "BENCH_PR6.json";
+  if (!json_path || !*json_path) json_path = "BENCH_PR7.json";
 
-  std::printf("# PR6: multi-client closed-loop throughput over the net "
+  std::printf("# PR6/PR7: multi-client closed-loop throughput over the net "
               "stack, point vs read-heavy (90/10) workloads\n");
   std::printf("# queries/client=%d worker_threads=%zu hw_threads=%u\n",
               per_client, septic::net::ServerOptions{}.worker_threads,
@@ -298,7 +419,57 @@ int main() {
     }
     json += m + 1 < 3 ? "    },\n" : "    }\n";
   }
-  json += "  }\n}\n";
+  json += "  }";
+
+#if defined(SEPTIC_BENCH_HAS_DURABILITY)
+  const int dur_per_client = env_int("SEPTIC_BENCH_DUR_QUERIES", 200);
+  std::printf("\n# PR7: durability sweep, 100%% autocommit INSERTs "
+              "(inserts/client=%d)\n",
+              dur_per_client);
+  std::printf("%-12s %8s %10s %10s %10s %8s %9s %8s %13s\n", "durability",
+              "clients", "qps", "wp50_us", "wp99_us", "errors", "commits",
+              "fsyncs", "commits/fsync");
+  struct DurMode {
+    const char* name;
+    septic::storage::wal::DurabilityMode mode;
+    bool durable;
+  };
+  const DurMode dur_modes[] = {
+      {"off", septic::storage::wal::DurabilityMode::kOff, false},
+      {"relaxed", septic::storage::wal::DurabilityMode::kRelaxed, true},
+      {"full", septic::storage::wal::DurabilityMode::kFull, true},
+  };
+  json += ",\n  \"durability\": {\n";
+  for (size_t m = 0; m < 3; ++m) {
+    json += std::string("    \"") + dur_modes[m].name + "\": {\n";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      int n = counts[i];
+      DurResult r = run_durability(dur_modes[m].mode, dur_modes[m].durable, n,
+                                   dur_per_client);
+      std::printf("%-12s %8d %10.0f %10.1f %10.1f %8zu %9llu %8llu %13.2f\n",
+                  dur_modes[m].name, n, r.qps, r.wp50_us, r.wp99_us, r.errors,
+                  static_cast<unsigned long long>(r.commits),
+                  static_cast<unsigned long long>(r.fsyncs),
+                  r.commits_per_fsync);
+      std::fflush(stdout);
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "      \"%d\": {\"qps\": %.1f, \"wp50_us\": %.1f, "
+                    "\"wp99_us\": %.1f, \"writes\": %zu, \"errors\": %zu, "
+                    "\"commits\": %llu, \"fsyncs\": %llu, "
+                    "\"commits_per_fsync\": %.2f}%s\n",
+                    n, r.qps, r.wp50_us, r.wp99_us, r.writes, r.errors,
+                    static_cast<unsigned long long>(r.commits),
+                    static_cast<unsigned long long>(r.fsyncs),
+                    r.commits_per_fsync, i + 1 < counts.size() ? "," : "");
+      json += buf;
+    }
+    json += m + 1 < 3 ? "    },\n" : "    }\n";
+  }
+  json += "  }";
+#endif  // SEPTIC_BENCH_HAS_DURABILITY
+
+  json += "\n}\n";
 
   if (FILE* f = std::fopen(json_path, "w")) {
     std::fputs(json.c_str(), f);

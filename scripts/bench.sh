@@ -1,31 +1,35 @@
 #!/usr/bin/env bash
 # Build the release-nofailpoints preset (production shape: full
-# optimization, zero failpoint probes) and run the PR6 multi-client
-# throughput bench (off/training/prevention x point/readheavy workloads)
-# over the real net stack, writing BENCH_PR6.json at the repository root.
+# optimization, zero failpoint probes) and run the PR7 multi-client
+# throughput bench over the real net stack, writing BENCH_PR7.json at the
+# repository root: the PR6 workload-mix sweep (off/training/prevention x
+# point/readheavy) plus the PR7 durability sweep (off/relaxed/full x
+# client count, 100% autocommit INSERTs, commits-per-fsync reported).
 #
 # The pre-change baseline is measured for real, not copied from an old
 # JSON: the current bench source is dropped into a detached worktree of
-# the last pre-MVCC commit (so both sides run the byte-identical
-# workload), built there against the old serialized engine, and its
-# numbers are merged into BENCH_PR6.json under "baseline". On the 1-core
-# bench container the meaningful deltas are p50/p99, not qps.
+# the last pre-WAL commit (so both sides run the byte-identical
+# workload), built there against the volatile-only engine, and its
+# numbers are merged into BENCH_PR7.json under "baseline" (the durability
+# sweep compiles itself out there — no WAL subsystem to measure). On the
+# 1-core bench container the meaningful deltas are p50/p99, not qps.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
 #
 # Knobs:
 #   SEPTIC_BENCH_NET_QUERIES   queries per client per config (default 300)
+#   SEPTIC_BENCH_DUR_QUERIES   inserts per client, durability sweep (default 200)
 #   SEPTIC_BENCH_NET_CLIENTS   comma list of client counts (default 1,2,4,8,16)
 #   SEPTIC_BENCH_SKIP_BASELINE set to 1 to skip the worktree baseline run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 jobs=$(nproc 2>/dev/null || echo 4)
-# Last commit before the MVCC transaction subsystem: every statement still
-# serialized through the single engine execute stage.
-baseline_commit="dda82f5"
+# Last commit before the WAL durability subsystem: the engine still
+# volatile-only (PR6 head, MVCC already in).
+baseline_commit="3a271cd"
 baseline_dir=".bench-baseline"
 
 cmake --preset release-nofailpoints
@@ -38,8 +42,9 @@ if [[ "${SEPTIC_BENCH_SKIP_BASELINE:-0}" != "1" ]]; then
   if [[ ! -d "${baseline_dir}" ]]; then
     git worktree add --detach "${baseline_dir}" "${baseline_commit}"
   fi
-  # Same workload on both sides: the PR6 bench source replaces the
-  # worktree's own (it compiles against the pre-MVCC engine API).
+  # Same workload on both sides: the PR7 bench source replaces the
+  # worktree's own (the durability sweep is gated on __has_include of the
+  # WAL header, so it compiles against the pre-WAL engine API).
   cp bench/throughput_concurrent.cpp "${baseline_dir}/bench/"
   (
     cd "${baseline_dir}"
@@ -57,7 +62,7 @@ with open(base_path) as f:
     base = json.load(f)
 cur["baseline"] = {
     "commit": commit,
-    "note": "pre-MVCC engine (serialized execute stage), identical workload",
+    "note": "pre-WAL engine (volatile only), identical workload",
     "configs": base.get("configs", {}),
 }
 with open(out_path, "w") as f:

@@ -19,13 +19,20 @@
 #            (test_stress_concurrency), run directly from the default
 #            build. A focused re-run for engine/txn work; the test tier
 #            already includes all three via ctest.
-#   bench  — scripts/bench.sh (release build + PR6 throughput bench ->
-#            BENCH_PR6.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
+#   recovery — the durability gate: the WAL/checkpoint unit + persistence
+#            suite (test_durable_storage) and the kill-at-every-crashpoint
+#            matrix (test_recovery_crash) from the default build, then the
+#            crash matrix once more under ASan (builds the asan preset
+#            target on demand) so recovery's salvage paths run leak- and
+#            overflow-checked. A focused re-run for storage/wal work; the
+#            test tier already includes both suites via ctest.
+#   bench  — scripts/bench.sh (release build + throughput/durability bench
+#            -> BENCH_PR7.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
 #            the default gate stays fast and benches never run on loaded
 #            CI machines by accident.
 #
 # Usage:
-#   scripts/check.sh                # build test lint ubsan scan
+#   scripts/check.sh                # build test txn recovery lint ubsan scan
 #   scripts/check.sh build test     # just those tiers
 #   scripts/check.sh asan|tsan      # full ctest under that sanitizer
 #   scripts/check.sh all            # default tiers + asan + tsan
@@ -117,6 +124,23 @@ tier_txn() {
   return "${rc}"
 }
 
+tier_recovery() {
+  local bins=(build/tests/test_durable_storage build/tests/test_recovery_crash)
+  local rc=0
+  for bin in "${bins[@]}"; do
+    [ -x "${bin}" ] || { echo "${bin} not built (run the build tier first)"; return 1; }
+    "${bin}" || rc=1
+  done
+  [ "${rc}" -ne 0 ] && return 1
+  # One ASan pass of the crash matrix: the child processes inherit the
+  # instrumentation, so recovery's salvage paths (torn tails, corrupt
+  # checkpoints) run with overflow and use-after-free checking.
+  echo "-- crash matrix under ASan"
+  cmake --preset asan >/dev/null &&
+    cmake --build --preset asan -j "${jobs}" --target test_recovery_crash &&
+    ASAN_OPTIONS=halt_on_error=1 ./build-asan/tests/test_recovery_crash
+}
+
 tier_bench() {
   if [ "${SEPTIC_RUN_BENCH:-0}" != "1" ]; then
     echo "-- bench disabled (set SEPTIC_RUN_BENCH=1 to run); skipping"
@@ -153,7 +177,7 @@ run_preset_full() {
   fi
 }
 
-default_tiers=(build test txn lint ubsan scan)
+default_tiers=(build test txn recovery lint ubsan scan)
 if [ "$#" -eq 0 ]; then
   tiers=("${default_tiers[@]}")
 elif [ "$1" = "all" ]; then
@@ -164,10 +188,10 @@ fi
 
 for t in "${tiers[@]}"; do
   case "${t}" in
-    build|test|txn|lint|ubsan|scan|bench) run_tier "${t}" ;;
+    build|test|txn|recovery|lint|ubsan|scan|bench) run_tier "${t}" ;;
     asan|tsan) run_preset_full "${t}" ;;
     *)
-      echo "usage: $0 [build|test|txn|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
+      echo "usage: $0 [build|test|txn|recovery|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
       exit 2
       ;;
   esac

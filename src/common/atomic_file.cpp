@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -44,8 +46,13 @@ void atomic_write_file(const std::string& path, std::string_view contents) {
     fail("fsync", tmp);
   }
   if (::close(fd) < 0) fail("close", tmp);
+  SEPTIC_FAILPOINT("atomic_file.rename");
   if (::rename(tmp.c_str(), path.c_str()) < 0) fail("rename", tmp);
-  // Persist the rename itself: fsync the containing directory.
+  // Persist the rename itself: fsync the containing directory. A crash
+  // between the rename and the directory fsync may surface either the old
+  // or the new file after reboot — both are complete, consistent images,
+  // which is the whole point of the tmp+rename dance.
+  SEPTIC_FAILPOINT("atomic_file.dir_fsync");
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";

@@ -9,6 +9,26 @@
 
 namespace septic::engine {
 
+namespace wal = storage::wal;
+
+Database::Database(storage::wal::DurableStorage::Options opts) {
+  try {
+    durable_ = std::make_unique<wal::DurableStorage>(std::move(opts));
+    // Recover into a scratch catalog and adopt it only on success; a
+    // throw destroys this half-constructed object, so the caller can
+    // never observe (or execute against) a partially replayed catalog.
+    storage::Catalog recovered;
+    recovery_report_ = durable_->recover_into(recovered);
+    catalog_ = std::move(recovered);
+    ddl_version_.store(recovery_report_.ddl_version,
+                       std::memory_order_release);
+  } catch (const wal::WalError& e) {
+    durable_.reset();
+    throw DbError(ErrorCode::kRecovery,
+                  std::string("recovery failed: ") + e.what());
+  }
+}
+
 void Database::set_interceptor(std::shared_ptr<QueryInterceptor> interceptor) {
   {
     std::lock_guard lock(interceptor_mu_);
@@ -101,6 +121,93 @@ class PublishOnExit {
   uint64_t ts_;
 };
 
+/// Whether the table a DDL statement targets exists — sampled BEFORE
+/// execution so make_ddl_redo can tell a real CREATE/DROP from an
+/// IF [NOT] EXISTS no-op (which must log nothing).
+bool ddl_target_existed(const storage::Catalog& catalog,
+                        const sql::Statement& stmt, sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kCreate:
+      return catalog.find(std::get<sql::CreateTableStmt>(stmt).table) !=
+             nullptr;
+    case sql::StatementKind::kDrop:
+      return catalog.find(std::get<sql::DropTableStmt>(stmt).table) != nullptr;
+    default:
+      return true;
+  }
+}
+
+/// The WAL's forward image of one just-executed DDL statement (called
+/// AFTER execution: CREATE TABLE serializes the freshly created — empty —
+/// table so replay rebuilds the exact schema). nullopt for no-ops.
+std::optional<wal::DdlRedo> make_ddl_redo(const storage::Catalog& catalog,
+                                          const sql::Statement& stmt,
+                                          sql::StatementKind kind,
+                                          bool existed_before) {
+  wal::DdlRedo redo;
+  switch (kind) {
+    case sql::StatementKind::kCreate: {
+      const auto& ct = std::get<sql::CreateTableStmt>(stmt);
+      if (existed_before) return std::nullopt;  // IF NOT EXISTS no-op
+      redo.kind = wal::DdlRedo::Kind::kCreateTable;
+      redo.table = ct.table;
+      redo.schema_block = catalog.save_table_snapshot(ct.table);
+      return redo;
+    }
+    case sql::StatementKind::kDrop: {
+      const auto& d = std::get<sql::DropTableStmt>(stmt);
+      if (!existed_before) return std::nullopt;  // IF EXISTS no-op
+      redo.kind = wal::DdlRedo::Kind::kDropTable;
+      redo.table = d.table;
+      return redo;
+    }
+    case sql::StatementKind::kTruncate:
+      redo.kind = wal::DdlRedo::Kind::kTruncate;
+      redo.table = std::get<sql::TruncateStmt>(stmt).table;
+      return redo;
+    case sql::StatementKind::kCreateIndex: {
+      const auto& ci = std::get<sql::CreateIndexStmt>(stmt);
+      redo.kind = wal::DdlRedo::Kind::kCreateIndex;
+      redo.table = ci.table;
+      redo.index = ci.index_name;
+      redo.column = ci.column;
+      return redo;
+    }
+    case sql::StatementKind::kDropIndex: {
+      const auto& di = std::get<sql::DropIndexStmt>(stmt);
+      redo.kind = wal::DdlRedo::Kind::kDropIndex;
+      redo.table = di.table;
+      redo.index = di.index_name;
+      return redo;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+wal::DdlUndoRedo to_wal_undo(const txn::DdlUndo& u) {
+  wal::DdlUndoRedo out;
+  switch (u.kind) {
+    case txn::DdlUndo::Kind::kDropTable:
+      out.kind = wal::DdlUndoRedo::Kind::kDropTable;
+      break;
+    case txn::DdlUndo::Kind::kRestoreTable:
+      out.kind = wal::DdlUndoRedo::Kind::kRestoreTable;
+      break;
+    case txn::DdlUndo::Kind::kDropIndex:
+      out.kind = wal::DdlUndoRedo::Kind::kDropIndex;
+      break;
+    case txn::DdlUndo::Kind::kCreateIndex:
+      out.kind = wal::DdlUndoRedo::Kind::kCreateIndex;
+      break;
+  }
+  out.table = u.table;
+  out.index = u.index;
+  out.column = u.column;
+  out.snapshot = u.snapshot;
+  return out;
+}
+
 }  // namespace
 
 std::shared_ptr<txn::Transaction> Database::current_txn(
@@ -176,11 +283,23 @@ ResultSet Database::dispatch_execute(Session& session,
   if (ddl_kind(kind)) {
     if (t) return execute_ddl_in_txn(session, *t, stmt, kind);
     // Autocommit DDL: exclusive lock, legacy table plane, version bump.
-    std::unique_lock ddl(ddl_mu_);
-    validate_statement(catalog_, stmt);
-    executed_count_.fetch_add(1, std::memory_order_relaxed);
-    ResultSet rs = execute_statement(catalog_, session, stmt);
-    ddl_version_.fetch_add(1, std::memory_order_release);
+    ResultSet rs;
+    uint64_t lsn = 0;
+    {
+      std::unique_lock ddl(ddl_mu_);
+      validate_statement(catalog_, stmt);
+      executed_count_.fetch_add(1, std::memory_order_relaxed);
+      const bool existed = ddl_target_existed(catalog_, stmt, kind);
+      rs = execute_statement(catalog_, session, stmt);
+      ddl_version_.fetch_add(1, std::memory_order_release);
+      if (durable_) {
+        if (auto redo = make_ddl_redo(catalog_, stmt, kind, existed)) {
+          lsn = durable_->log_ddl(0, std::move(*redo), {});
+        }
+      }
+    }
+    if (durable_) durable_->ack_sync(lsn);
+    maybe_checkpoint();
     return rs;
   }
 
@@ -201,21 +320,41 @@ ResultSet Database::dispatch_execute(Session& session,
   if (write_kind(kind)) {
     // Autocommit write: serialize on the commit mutex, read at the current
     // visible timestamp, stamp in-place writes one tick later, publish on
-    // the way out. Readers never take this mutex.
+    // the way out. Readers never take this mutex. The redo journal is
+    // logged INSIDE the mutex (log order = apply order); the fsync ack
+    // waits until every lock is dropped so concurrent committers can pile
+    // into one group-commit batch.
     ResultSet rs;
+    uint64_t lsn = 0;
     {
       std::lock_guard commit(txn_mgr_.commit_mu());
       const uint64_t snapshot = txn_mgr_.visible_ts();
-      ExecContext ctx{catalog_, session, snapshot, nullptr, snapshot + 1,
-                      true};
+      wal::StatementJournal journal;
+      ExecContext ctx{catalog_,     session, snapshot,
+                      nullptr,      snapshot + 1, true,
+                      durable_ ? &journal : nullptr};
       PublishOnExit publish(txn_mgr_, snapshot + 1);
-      rs = execute_statement(ctx, stmt);
+      try {
+        rs = execute_statement(ctx, stmt);
+      } catch (...) {
+        // A failed autocommit statement keeps (and publishes) its partial
+        // effects, so the partial journal must hit the log too — replay
+        // has to converge on the surviving state. The client gets an
+        // error, not an ack, so the record just rides the next fsync.
+        if (durable_ && !journal.empty()) {
+          durable_->log_commit(0, std::move(journal));
+        }
+        throw;
+      }
+      if (durable_) lsn = durable_->log_commit(0, std::move(journal));
     }
     // Reclaim the versions this write superseded once nothing can read
     // them. Needs the DDL lock exclusive (see maybe_vacuum), so drop our
     // shared hold first; the try-lock inside skips under reader traffic.
     ddl.unlock();
+    if (durable_) durable_->ack_sync(lsn);
     maybe_vacuum();
+    maybe_checkpoint();
     return rs;
   }
 
@@ -394,9 +533,21 @@ ResultSet Database::execute_ddl_in_txn(Session& session, txn::Transaction& t,
   }
 
   executed_count_.fetch_add(1, std::memory_order_relaxed);
+  const bool existed = ddl_target_existed(catalog_, stmt, kind);
   ResultSet rs = execute_statement(catalog_, session, stmt);
+  const bool had_undo = undo.has_value();
   if (undo) t.ddl_undo.push_back(std::move(*undo));
   ddl_version_.fetch_add(1, std::memory_order_release);
+  if (durable_) {
+    // The kDdl record carries this statement's undo so recovery can honor
+    // it if the crash beats the transaction's end record. No fsync ack:
+    // durability is promised at COMMIT, not per in-transaction statement.
+    if (auto redo = make_ddl_redo(catalog_, stmt, kind, existed)) {
+      std::vector<wal::DdlUndoRedo> wundo;
+      if (had_undo) wundo.push_back(to_wal_undo(t.ddl_undo.back()));
+      durable_->log_ddl(t.id, std::move(*redo), std::move(wundo));
+    }
+  }
   return rs;
 }
 
@@ -437,9 +588,19 @@ ResultSet Database::handle_transaction(Session& session,
 
 void Database::commit_txn(Session& session,
                           const std::shared_ptr<txn::Transaction>& t) {
+  uint64_t lsn = 0;
   {
     std::shared_lock ddl(ddl_mu_);
     std::lock_guard commit(txn_mgr_.commit_mu());
+
+    // A transaction that dies here kept its DDL (MySQL-style
+    // non-transactional DDL: conflict/constraint abort does not undo it),
+    // so the log needs the end marker that tells recovery the same.
+    auto log_aborted_end = [&] {
+      if (durable_ && !t->ddl_undo.empty()) {
+        durable_->log_end_keep_ddl(t->id);
+      }
+    };
 
     // First-committer-wins: any base row this transaction rewrote that was
     // itself rewritten (or deleted) after our snapshot aborts the commit.
@@ -447,6 +608,7 @@ void Database::commit_txn(Session& session,
       storage::Table* table = catalog_.find(key);
       if (table == nullptr) {
         if (w.empty()) continue;
+        log_aborted_end();
         txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/true);
         session.set_txn(nullptr);
         throw DbError(ErrorCode::kConflict,
@@ -466,6 +628,7 @@ void Database::commit_txn(Session& session,
         if (conflicts_on(slot)) conflict = true;
       }
       if (conflict) {
+        log_aborted_end();
         txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/true);
         session.set_txn(nullptr);
         throw DbError(ErrorCode::kConflict,
@@ -487,6 +650,8 @@ void Database::commit_txn(Session& session,
       size_t slot;
     };
     std::vector<Applied> applied;
+    wal::StatementJournal journal;
+    const bool jlog = durable_ != nullptr;
     try {
       for (auto& [key, w] : t->writes) {
         storage::Table* table = catalog_.find(key);
@@ -494,6 +659,7 @@ void Database::commit_txn(Session& session,
         for (size_t slot : w.deletes) {
           table->erase_versioned(slot, commit_ts);
           applied.push_back({table, Applied::Op::kErase, slot});
+          if (jlog) journal.push_back(wal::RedoOp::erase(key, slot));
         }
         for (auto& [slot, row] : w.updates) {
           std::vector<std::pair<size_t, sql::Value>> changes;
@@ -501,11 +667,27 @@ void Database::commit_txn(Session& session,
           for (size_t i = 0; i < row.size(); ++i) changes.emplace_back(i, row[i]);
           table->update_versioned(slot, changes, commit_ts);
           applied.push_back({table, Applied::Op::kUpdate, slot});
+          if (jlog) {
+            journal.push_back(
+                wal::RedoOp::update(key, slot, std::move(changes)));
+          }
         }
         for (auto& opt : w.inserts) {
           if (!opt) continue;
           auto res = table->insert_versioned(storage::Row(*opt), commit_ts);
           applied.push_back({table, Applied::Op::kInsert, res.slot});
+          if (jlog) {
+            // Log where the row actually landed, with the auto-increment
+            // PK the apply resolved (replay can't re-derive reservations
+            // burned by rolled-back transactions).
+            storage::Row image = *opt;
+            int pk = table->schema().primary_key_index();
+            if (pk >= 0 && !res.pk_value.is_null()) {
+              image[static_cast<size_t>(pk)] = res.pk_value;
+            }
+            journal.push_back(
+                wal::RedoOp::insert(key, res.slot, std::move(image)));
+          }
         }
       }
     } catch (const storage::StorageError& e) {
@@ -516,17 +698,29 @@ void Database::commit_txn(Session& session,
           case Applied::Op::kErase: it->table->undo_erase(it->slot); break;
         }
       }
+      log_aborted_end();  // writes unwound; DDL (if any) stays
       txn_mgr_.finish(t, txn::TxnState::kRolledBack);
       session.set_txn(nullptr);
       throw DbError(ErrorCode::kConstraint,
                     std::string(e.what()) + "; transaction rolled back");
     }
 
+    // Log before publish: the record precedes visibility, and the ack
+    // below happens strictly after. An empty journal still logs when the
+    // transaction ran DDL — the kCommit record is its end marker.
+    if (durable_ && (!journal.empty() || !t->ddl_undo.empty())) {
+      lsn = durable_->log_commit(t->id, std::move(journal));
+    }
     txn_mgr_.publish(commit_ts);
     txn_mgr_.finish(t, txn::TxnState::kCommitted);
     session.set_txn(nullptr);
   }
+  // Under full durability COMMIT acks only after its record is fsynced;
+  // waiting outside every lock lets concurrent committers share one
+  // group-commit fsync.
+  if (durable_) durable_->ack_sync(lsn);
   maybe_vacuum();
+  maybe_checkpoint();
 }
 
 void Database::rollback_txn(const std::shared_ptr<txn::Transaction>& t,
@@ -559,6 +753,19 @@ void Database::rollback_txn(const std::shared_ptr<txn::Transaction>& t,
       }
     }
     ddl_version_.fetch_add(1, std::memory_order_release);
+    if (durable_) {
+      // The record carries the undos just applied (in recorded order;
+      // recovery replays them reversed, exactly like the loop above), so
+      // replay never depends on kDdl records a checkpoint may have
+      // retired. Logged under the same exclusive lock that ordered the
+      // undo against other DDL.
+      std::vector<wal::DdlUndoRedo> wundo;
+      wundo.reserve(t->ddl_undo.size());
+      for (const txn::DdlUndo& u : t->ddl_undo) {
+        wundo.push_back(to_wal_undo(u));
+      }
+      durable_->log_rollback(t->id, std::move(wundo));
+    }
   }
   // A DML-only rollback touches nothing shared: buffered writes die with
   // the write set, and no version bump means cached digest entries stay
@@ -566,6 +773,9 @@ void Database::rollback_txn(const std::shared_ptr<txn::Transaction>& t,
   txn_mgr_.finish(t, txn::TxnState::kRolledBack, /*conflict=*/false,
                   aborted_on_block);
   maybe_vacuum();
+  // The end of a transaction may unblock a checkpoint that was deferred
+  // while its DDL undo was pending.
+  maybe_checkpoint();
 }
 
 void Database::rollback_if_owner(uint64_t session_id) {
@@ -600,6 +810,42 @@ void Database::maybe_vacuum() {
     if (table != nullptr && table->has_old_versions()) {
       table->vacuum(horizon);
     }
+  }
+}
+
+void Database::maybe_checkpoint() {
+  if (!durable_ || !durable_->wants_checkpoint()) return;
+  // Exclusive DDL lock = writers excluded (the checkpoint() precondition);
+  // try_lock keeps this opportunistic, like maybe_vacuum.
+  std::unique_lock ddl(ddl_mu_, std::try_to_lock);
+  if (!ddl.owns_lock()) return;
+  // Rotating the WAL retires kDdl records; defer while any open
+  // transaction still needs its undo honored on crash.
+  if (txn_mgr_.any_active_ddl()) return;
+  try {
+    durable_->checkpoint(catalog_,
+                         ddl_version_.load(std::memory_order_acquire));
+  } catch (const wal::WalError&) {
+    // Disk trouble mid-checkpoint leaves the old checkpoint + un-rotated
+    // log in place — recovery-correct, just not compacted. A later write
+    // retries; the statement that happened to trigger us must not fail.
+  }
+}
+
+void Database::checkpoint_now() {
+  if (!durable_) return;
+  std::unique_lock ddl(ddl_mu_);
+  if (txn_mgr_.any_active_ddl()) {
+    throw DbError(ErrorCode::kTxnState,
+                  "cannot checkpoint while an open transaction holds DDL "
+                  "undo");
+  }
+  try {
+    durable_->checkpoint(catalog_,
+                         ddl_version_.load(std::memory_order_acquire));
+  } catch (const wal::WalError& e) {
+    throw DbError(ErrorCode::kInternal,
+                  std::string("checkpoint failed: ") + e.what());
   }
 }
 

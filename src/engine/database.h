@@ -58,12 +58,22 @@
 #include "engine/session.h"
 #include "engine/txn/txn.h"
 #include "storage/catalog.h"
+#include "storage/wal/durable.h"
 
 namespace septic::engine {
 
 class Database {
  public:
+  /// Volatile engine: no data directory, no WAL — exactly the pre-PR 7
+  /// behavior. Every durability hook below is a no-op.
   Database() = default;
+
+  /// Durable engine: runs crash recovery against `opts.dir` before going
+  /// live (checkpoint load + WAL replay; committed transactions redo,
+  /// in-flight DDL undoes, torn tail truncates). All-or-nothing: throws
+  /// DbError(kRecovery) on corruption or I/O failure and leaves no
+  /// half-open state — a Database object only ever exists fully booted.
+  explicit Database(storage::wal::DurableStorage::Options opts);
 
   /// Install (or clear, with nullptr) the pre-execution hook.
   void set_interceptor(std::shared_ptr<QueryInterceptor> interceptor);
@@ -145,6 +155,41 @@ class Database {
   /// aborted-on-block), for tests and monitoring.
   txn::TxnStats txn_stats() const { return txn_mgr_.stats(); }
 
+  // --- durability (see storage/wal/durable.h) -------------------------
+  /// True when this engine was booted with a data directory.
+  bool durable() const { return durable_ != nullptr; }
+
+  /// Runtime durability switch (bench sweeps): full = COMMIT acks after
+  /// its group-commit fsync; relaxed = log without fsync; off = stop
+  /// logging. No-op on a volatile engine.
+  void set_durability_mode(storage::wal::DurabilityMode m) {
+    if (durable_) durable_->set_mode(m);
+  }
+  storage::wal::DurabilityMode durability_mode() const {
+    return durable_ ? durable_->mode() : storage::wal::DurabilityMode::kOff;
+  }
+
+  /// WAL / page-cache / checkpoint counters (zeroed on a volatile engine).
+  storage::wal::DurabilityStats durability_stats() const {
+    return durable_ ? durable_->stats() : storage::wal::DurabilityStats{};
+  }
+
+  /// What boot-time recovery did (records replayed, transactions
+  /// discarded, torn bytes dropped). Empty on a volatile engine.
+  const storage::wal::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
+  /// Force a checkpoint now (tests, controlled shutdown). Throws
+  /// kTxnState while an open transaction holds DDL undo — rotating the
+  /// WAL would retire the records recovery needs to honor that undo.
+  void checkpoint_now();
+
+  /// Fsync outstanding WAL records (shutdown barrier in relaxed mode).
+  void sync_durable() {
+    if (durable_) durable_->sync();
+  }
+
  private:
   /// Handle BEGIN / START TRANSACTION [READ ONLY] / COMMIT / ROLLBACK.
   /// Nested BEGIN and orphan COMMIT/ROLLBACK throw ErrorCode::kTxnState.
@@ -191,6 +236,11 @@ class Database {
   /// free (no statement in flight), drop versions no snapshot can reach.
   void maybe_vacuum();
 
+  /// Opportunistic checkpoint once the WAL outgrows its threshold: needs
+  /// the exclusive DDL lock (try_lock — contention means skip) and defers
+  /// while any open transaction holds DDL undo.
+  void maybe_checkpoint();
+
   /// Digest-cache fast path: execute `converted` from a cached entry if a
   /// byte-exact, generation-current one exists. Returns nullopt on miss or
   /// stale tags (the caller runs the full pipeline). Performs the same
@@ -208,6 +258,11 @@ class Database {
   std::shared_ptr<QueryDigestCache> digest_cache_ =
       std::make_shared<QueryDigestCache>();
   mutable txn::TxnManager txn_mgr_;
+  /// Durability plane; nullptr on a volatile engine. log_* calls ride the
+  /// same locks that order the mutations they describe; ack_sync runs
+  /// outside them (see storage/wal/durable.h for the protocol).
+  std::unique_ptr<storage::wal::DurableStorage> durable_;
+  storage::wal::RecoveryReport recovery_report_;
   std::atomic<uint64_t> executed_count_{0};
   std::atomic<uint64_t> blocked_count_{0};
   std::atomic<uint64_t> ddl_version_{0};

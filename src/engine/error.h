@@ -18,6 +18,8 @@ enum class ErrorCode {
   kTxnState,       // invalid transaction control (nested BEGIN, orphan
                    // COMMIT/ROLLBACK, write in a read-only transaction)
   kConflict,       // first-committer-wins write-write conflict on COMMIT
+  kRecovery,       // boot-time recovery failed (corrupt WAL/checkpoint);
+                   // the engine refuses to half-open
   kInternal,
 };
 
@@ -41,6 +43,7 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::kBlocked: return "BLOCKED";
     case ErrorCode::kTxnState: return "TXN_STATE";
     case ErrorCode::kConflict: return "CONFLICT";
+    case ErrorCode::kRecovery: return "RECOVERY";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "?";

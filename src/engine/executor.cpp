@@ -782,9 +782,22 @@ ResultSet execute_insert(ExecContext& ctx, const sql::InsertStmt& ins) {
       buffer_txn_insert(ctx, table, std::move(row));
     } else {
       try {
+        Row logged;
+        if (ctx.journal != nullptr) logged = row;  // image before the move
         auto res = ctx.versioned
                        ? table.insert_versioned(std::move(row), ctx.write_ts)
                        : table.insert(std::move(row));
+        if (ctx.journal != nullptr) {
+          // Replay can't reproduce auto-increment reservations burned by
+          // rolled-back transactions, so the logged image carries the
+          // resolved PK instead of the NULL placeholder.
+          int pk = schema.primary_key_index();
+          if (pk >= 0 && !res.pk_value.is_null()) {
+            logged[static_cast<size_t>(pk)] = res.pk_value;
+          }
+          ctx.journal->push_back(storage::wal::RedoOp::insert(
+              table_key(table), res.slot, std::move(logged)));
+        }
         if (!res.pk_value.is_null() &&
             res.pk_value.type() == ValueType::kInt) {
           session.set_last_insert_id(res.pk_value.as_int());
@@ -860,6 +873,10 @@ ResultSet execute_update(ExecContext& ctx, const sql::UpdateStmt& up) {
         } else {
           table.update(slot, changes);
         }
+        if (ctx.journal != nullptr) {
+          ctx.journal->push_back(
+              storage::wal::RedoOp::update(table_key(table), slot, changes));
+        }
       } catch (const storage::StorageError& e) {
         throw DbError(ErrorCode::kConstraint, e.what());
       }
@@ -896,6 +913,10 @@ ResultSet execute_delete(ExecContext& ctx, const sql::DeleteStmt& del) {
       }
     } else if (ctx.versioned) {
       table.erase_versioned(slot, ctx.write_ts);
+      if (ctx.journal != nullptr) {
+        ctx.journal->push_back(
+            storage::wal::RedoOp::erase(table_key(table), slot));
+      }
     } else {
       table.erase(slot);
     }

@@ -24,6 +24,7 @@
 #include "engine/txn/txn.h"
 #include "sqlcore/ast.h"
 #include "storage/catalog.h"
+#include "storage/wal/redo.h"
 
 namespace septic::engine {
 
@@ -42,6 +43,11 @@ struct ExecContext {
   /// Selects the versioned (self-locking) table accessors over the legacy
   /// unlocked ones.
   bool versioned = false;
+  /// When set, in-place writes (autocommit path) append redo ops here so
+  /// the caller can WAL-log the statement. Insert images carry the
+  /// resolved auto-increment PK; everything else is pre-coercion (row
+  /// coercion is deterministic, so replay converges).
+  storage::wal::StatementJournal* journal = nullptr;
 };
 
 /// Execute a validated statement in the given context. Throws DbError.

@@ -181,6 +181,18 @@ class TxnManager {
     return active_.size();
   }
 
+  /// True if any open transaction holds pending DDL undo. The caller must
+  /// hold the exclusive DDL lock (ddl_undo is only mutated under it), so
+  /// the answer can't change underneath a checkpoint decision — rotating
+  /// the WAL would retire the kDdl records whose undo recovery still needs.
+  bool any_active_ddl() const {
+    std::lock_guard lock(mu_);
+    for (const auto& [sid, t] : active_) {
+      if (!t->ddl_undo.empty()) return true;
+    }
+    return false;
+  }
+
   /// The oldest snapshot any open transaction can still read — versions
   /// whose end timestamp is <= this horizon are unreachable and can be
   /// vacuumed. Equals visible_ts when no transaction is open.

@@ -318,6 +318,43 @@ void Table::undo_erase(size_t slot) {
   live_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Table::pad_slots(size_t slot_count) {
+  while (rows_.size() < slot_count) {
+    rows_.emplace_back();
+    live_.push_back(false);
+    begin_ts_.push_back(0);
+  }
+}
+
+void Table::load_row_at_slot(size_t slot, Row row) {
+  if (slot < rows_.size()) {
+    throw StorageError("checkpoint: slots out of order in table '" +
+                       schema_.name() + "'");
+  }
+  if (row.size() != schema_.column_count()) {
+    throw StorageError("checkpoint: column count mismatch for table '" +
+                       schema_.name() + "'");
+  }
+  pad_slots(slot);
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    auto pi = static_cast<size_t>(pk);
+    if (row[pi].is_null()) {
+      throw StorageError("checkpoint: NULL primary key in table '" +
+                         schema_.name() + "'");
+    }
+    if (!pk_index_.emplace(pk_key(row[pi]), slot).second) {
+      throw StorageError("checkpoint: duplicate primary key in table '" +
+                         schema_.name() + "'");
+    }
+  }
+  index_insert(slot, row);
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  begin_ts_.push_back(0);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace {
 /// Index keys must agree with eval's comparison semantics: TEXT compares
 /// ASCII-case-insensitively, so text keys are folded before hashing.

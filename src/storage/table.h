@@ -81,6 +81,23 @@ class Table {
   /// Fast lookup by primary key; returns -1 when absent / no PK.
   int64_t find_by_pk(const sql::Value& key) const;
 
+  // ---- slot-preserving load (checkpoint/recovery; legacy plane) ---------
+
+  /// Total slots ever allocated (live + holes). Checkpoints record this so
+  /// replayed inserts land on the same slot numbers the log remembers.
+  size_t slot_count() const { return rows_.size(); }
+
+  /// Place an exact row image (post-coercion, as checkpointed) at `slot`,
+  /// padding dead slots in between. Slots must arrive in increasing order.
+  /// Maintains the PK index (a duplicate means checkpoint corruption →
+  /// StorageError); does not touch the auto-increment counter — the
+  /// loader restores the exact saved value afterward.
+  void load_row_at_slot(size_t slot, Row row);
+
+  /// Extend the slot space with trailing holes up to `slot_count` (erased
+  /// tail rows whose numbering must survive a checkpoint round-trip).
+  void pad_slots(size_t slot_count);
+
   // ---- versioned plane (MVCC; self-locking) -----------------------------
 
   /// Insert born at `begin_ts` (constraint checks as insert()).

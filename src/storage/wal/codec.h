@@ -1,0 +1,84 @@
+// Token codec shared by the WAL record format and the paged-checkpoint
+// content format: space-separated tokens, unsigned decimals, strings as
+// "<len>:<bytes>" (length-prefixed so bytes may contain anything — the
+// same trick as Value::repr and the snapshot row lines).
+//
+// Internal to src/storage/wal; decoding never throws, it flips the
+// cursor's `ok` flag so callers can treat any malformed input as
+// corruption with one check.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace septic::storage::wal::codec {
+
+inline void put_u64(std::string& out, uint64_t v) {
+  out += std::to_string(v);
+  out += ' ';
+}
+
+inline void put_str(std::string& out, std::string_view s) {
+  out += std::to_string(s.size());
+  out += ':';
+  out.append(s.data(), s.size());
+  out += ' ';
+}
+
+struct Cursor {
+  std::string_view s;
+  size_t i = 0;
+  bool ok = true;
+
+  bool fail() {
+    ok = false;
+    return false;
+  }
+  bool eat_space() {
+    if (!ok || i >= s.size() || s[i] != ' ') return fail();
+    ++i;
+    return true;
+  }
+  bool done() const { return ok && i == s.size(); }
+
+  uint64_t u64() {
+    if (!ok) return 0;
+    uint64_t v = 0;
+    auto [p, ec] = std::from_chars(s.data() + i, s.data() + s.size(), v);
+    if (ec != std::errc() || p == s.data() + i) {
+      fail();
+      return 0;
+    }
+    i = static_cast<size_t>(p - s.data());
+    eat_space();
+    return v;
+  }
+
+  std::string_view str() {
+    if (!ok) return {};
+    uint64_t len = 0;
+    auto [p, ec] = std::from_chars(s.data() + i, s.data() + s.size(), len);
+    if (ec != std::errc() || p == s.data() + i) {
+      fail();
+      return {};
+    }
+    i = static_cast<size_t>(p - s.data());
+    if (i >= s.size() || s[i] != ':') {
+      fail();
+      return {};
+    }
+    ++i;
+    if (len > s.size() - i) {
+      fail();
+      return {};
+    }
+    std::string_view out = s.substr(i, len);
+    i += len;
+    eat_space();
+    return out;
+  }
+};
+
+}  // namespace septic::storage::wal::codec

@@ -1,0 +1,615 @@
+#include "storage/wal/durable.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "storage/wal/codec.h"
+
+namespace septic::storage::wal {
+
+namespace {
+
+using codec::Cursor;
+using codec::put_str;
+using codec::put_u64;
+
+constexpr uint64_t kCheckpointVersion = 1;
+
+constexpr uint64_t kFlagPk = 1;
+constexpr uint64_t kFlagNotNull = 2;
+constexpr uint64_t kFlagAutoInc = 4;
+constexpr uint64_t kFlagDefault = 8;
+
+void write_all_fd(int fd, const char* data, size_t n, const std::string& what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw WalError("checkpoint: write failed (" + what +
+                     "): " + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;  // best effort, like atomic_file
+  (void)::fsync(dfd);
+  ::close(dfd);
+}
+
+/// One table serialized to checkpoint-content tokens, slots preserved.
+std::string encode_table_block(const Table& table) {
+  std::string out;
+  const TableSchema& s = table.schema();
+  put_str(out, s.name());
+  put_u64(out, s.column_count());
+  for (const ColumnDef& c : s.columns()) {
+    put_str(out, c.name);
+    put_u64(out, static_cast<uint64_t>(c.type));
+    uint64_t flags = 0;
+    if (c.primary_key) flags |= kFlagPk;
+    if (c.not_null) flags |= kFlagNotNull;
+    if (c.auto_increment) flags |= kFlagAutoInc;
+    if (c.default_value) flags |= kFlagDefault;
+    put_u64(out, flags);
+    if (c.default_value) put_str(out, c.default_value->repr());
+  }
+  put_u64(out, static_cast<uint64_t>(table.next_auto_increment()));
+  put_u64(out, table.slot_count());
+  put_u64(out, table.row_count());
+  table.scan([&](size_t slot, const Row& row) {
+    put_u64(out, slot);
+    put_u64(out, row.size());
+    for (const sql::Value& v : row) put_str(out, v.repr());
+    return true;
+  });
+  auto indexes = table.index_defs();
+  put_u64(out, indexes.size());
+  for (const auto& [idx_name, idx_col] : indexes) {
+    put_str(out, idx_name);
+    put_str(out, idx_col);
+  }
+  return out;
+}
+
+void decode_table_block(Cursor& c, Catalog& catalog) {
+  std::string name{c.str()};
+  uint64_t ncols = c.u64();
+  if (!c.ok || ncols == 0 || ncols > c.s.size()) {
+    throw WalError("checkpoint: malformed table block");
+  }
+  std::vector<ColumnDef> cols;
+  cols.reserve(ncols);
+  for (uint64_t i = 0; i < ncols; ++i) {
+    ColumnDef def;
+    def.name = std::string(c.str());
+    uint64_t type = c.u64();
+    uint64_t flags = c.u64();
+    if (!c.ok || type > 2) throw WalError("checkpoint: bad column");
+    def.type = static_cast<ColumnType>(type);
+    def.primary_key = (flags & kFlagPk) != 0;
+    def.not_null = (flags & kFlagNotNull) != 0;
+    def.auto_increment = (flags & kFlagAutoInc) != 0;
+    if ((flags & kFlagDefault) != 0) {
+      sql::Value v;
+      if (!sql::Value::from_repr(c.str(), v) || !c.ok) {
+        throw WalError("checkpoint: bad default repr");
+      }
+      def.default_value = v;
+    }
+    cols.push_back(std::move(def));
+  }
+  uint64_t auto_inc = c.u64();
+  uint64_t slot_count = c.u64();
+  uint64_t nlive = c.u64();
+  if (!c.ok || nlive > slot_count) {
+    throw WalError("checkpoint: malformed table block");
+  }
+  Table& t = catalog.create_table(TableSchema(name, std::move(cols)));
+  for (uint64_t i = 0; i < nlive; ++i) {
+    uint64_t slot = c.u64();
+    uint64_t nvals = c.u64();
+    if (!c.ok || nvals > c.s.size()) throw WalError("checkpoint: bad row");
+    Row row;
+    row.reserve(nvals);
+    for (uint64_t j = 0; j < nvals; ++j) {
+      sql::Value v;
+      if (!sql::Value::from_repr(c.str(), v) || !c.ok) {
+        throw WalError("checkpoint: bad value repr");
+      }
+      row.push_back(std::move(v));
+    }
+    t.load_row_at_slot(slot, std::move(row));
+  }
+  t.pad_slots(slot_count);
+  t.set_auto_increment(static_cast<int64_t>(auto_inc));
+  uint64_t nindexes = c.u64();
+  if (!c.ok || nindexes > c.s.size()) {
+    throw WalError("checkpoint: malformed table block");
+  }
+  for (uint64_t i = 0; i < nindexes; ++i) {
+    std::string idx_name{c.str()};
+    std::string idx_col{c.str()};
+    if (!c.ok) throw WalError("checkpoint: bad index def");
+    t.create_index(idx_name, idx_col);
+  }
+}
+
+}  // namespace
+
+const char* durability_mode_name(DurabilityMode m) {
+  switch (m) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kRelaxed:
+      return "relaxed";
+    case DurabilityMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+DurableStorage::DurableStorage(Options opts)
+    : opts_(std::move(opts)),
+      mode_(opts_.mode),
+      page_cache_(opts_.page_cache_pages) {
+  if (opts_.dir.empty()) throw WalError("durable storage needs a directory");
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  if (ec) {
+    throw WalError("cannot create data directory " + opts_.dir + ": " +
+                   ec.message());
+  }
+}
+
+DurableStorage::~DurableStorage() {
+  // Best-effort shutdown barrier; an unclean exit is what recovery is for.
+  try {
+    if (wal_ != nullptr && mode_ != DurabilityMode::kOff) wal_->sync_all();
+  } catch (...) {
+  }
+}
+
+std::string DurableStorage::wal_path() const { return opts_.dir + "/wal.log"; }
+
+std::string DurableStorage::checkpoint_path() const {
+  return opts_.dir + "/tables.pg";
+}
+
+// ---- catalog codec --------------------------------------------------------
+
+std::string DurableStorage::encode_catalog(const Catalog& catalog) {
+  std::string out;
+  put_u64(out, kCheckpointVersion);
+  auto names = catalog.table_names();
+  put_u64(out, names.size());
+  for (const std::string& name : names) {
+    out += encode_table_block(*catalog.find(name));
+  }
+  return out;
+}
+
+void DurableStorage::decode_catalog(std::string_view content,
+                                    Catalog& catalog) {
+  catalog.load_snapshot("");  // reset to empty
+  Cursor c{content};
+  uint64_t version = c.u64();
+  uint64_t ntables = c.u64();
+  if (!c.ok || version != kCheckpointVersion || ntables > content.size()) {
+    throw WalError("checkpoint: bad content header");
+  }
+  try {
+    for (uint64_t i = 0; i < ntables; ++i) decode_table_block(c, catalog);
+  } catch (const StorageError& e) {
+    throw WalError(std::string("checkpoint: ") + e.what());
+  }
+  if (!c.done()) throw WalError("checkpoint: trailing bytes in content");
+}
+
+// ---- replay ---------------------------------------------------------------
+
+void DurableStorage::apply_redo(Catalog& catalog, const RedoOp& op) {
+  Table* t = catalog.find(op.table);
+  if (t == nullptr) {
+    throw WalError("recovery: redo references missing table '" + op.table +
+                   "'");
+  }
+  switch (op.kind) {
+    case RedoOp::Kind::kInsert: {
+      Table::InsertResult res = t->insert(op.row);
+      if (res.slot != op.slot) {
+        // The log remembers where this row landed; divergence means the
+        // checkpoint/log pair is inconsistent, not a state we can guess
+        // our way out of.
+        throw WalError("recovery: insert slot divergence in '" + op.table +
+                       "' (logged " + std::to_string(op.slot) + ", replayed " +
+                       std::to_string(res.slot) + ")");
+      }
+      break;
+    }
+    case RedoOp::Kind::kUpdate:
+      if (op.slot >= t->slot_count() || !t->slot_live(op.slot)) {
+        throw WalError("recovery: update of dead slot in '" + op.table + "'");
+      }
+      t->update(op.slot, op.changes);
+      break;
+    case RedoOp::Kind::kDelete:
+      if (op.slot >= t->slot_count() || !t->slot_live(op.slot)) {
+        throw WalError("recovery: delete of dead slot in '" + op.table + "'");
+      }
+      t->erase(op.slot);
+      break;
+  }
+}
+
+void DurableStorage::apply_ddl(Catalog& catalog, const DdlRedo& op) {
+  switch (op.kind) {
+    case DdlRedo::Kind::kCreateTable:
+      catalog.restore_table_snapshot(op.schema_block);
+      break;
+    case DdlRedo::Kind::kDropTable:
+      catalog.drop_table(op.table);
+      break;
+    case DdlRedo::Kind::kTruncate: {
+      // Mirror the runtime exactly: erase every live slot (numbering keeps
+      // growing) and reset the auto-increment counter.
+      Table& t = catalog.require(op.table);
+      std::vector<size_t> slots;
+      t.scan([&](size_t slot, const Row&) {
+        slots.push_back(slot);
+        return true;
+      });
+      for (size_t slot : slots) t.erase(slot);
+      t.set_auto_increment(1);
+      break;
+    }
+    case DdlRedo::Kind::kCreateIndex:
+      catalog.require(op.table).create_index(op.index, op.column);
+      break;
+    case DdlRedo::Kind::kDropIndex:
+      catalog.require(op.table).drop_index(op.index);
+      break;
+  }
+}
+
+void DurableStorage::apply_ddl_undo(Catalog& catalog, const DdlUndoRedo& op) {
+  switch (op.kind) {
+    case DdlUndoRedo::Kind::kDropTable:
+      catalog.drop_table(op.table);
+      break;
+    case DdlUndoRedo::Kind::kRestoreTable:
+      catalog.restore_table_snapshot(op.snapshot);
+      break;
+    case DdlUndoRedo::Kind::kDropIndex:
+      catalog.require(op.table).drop_index(op.index);
+      break;
+    case DdlUndoRedo::Kind::kCreateIndex:
+      catalog.require(op.table).create_index(op.index, op.column);
+      break;
+  }
+}
+
+RecoveryReport DurableStorage::recover_into(Catalog& catalog) {
+  if (recovered_) throw WalError("recover_into called twice");
+  RecoveryReport rep;
+  catalog.load_snapshot("");  // start from empty
+
+  // A tmp left behind by a crashed checkpoint was never renamed into
+  // place; it is dead weight (the next checkpoint rewrites it anyway).
+  ::unlink((checkpoint_path() + ".tmp").c_str());
+
+  uint64_t ddl_version = 0;
+  if (std::filesystem::exists(checkpoint_path())) {
+    PagedFile pf(checkpoint_path(), &page_cache_);
+    decode_catalog(pf.read_all(), catalog);
+    rep.checkpoint_loaded = true;
+    rep.checkpoint_lsn = pf.meta().checkpoint_lsn;
+    ddl_version = pf.meta().ddl_version;
+  }
+  last_checkpoint_lsn_.store(rep.checkpoint_lsn, std::memory_order_relaxed);
+
+  WalScan scan = scan_wal(wal_path());
+  rep.wal_torn_bytes = scan.torn_bytes;
+  if (scan.header_ok && scan.start_lsn > rep.checkpoint_lsn + 1) {
+    throw WalError("recovery: LSN gap between checkpoint (" +
+                   std::to_string(rep.checkpoint_lsn) + ") and log start (" +
+                   std::to_string(scan.start_lsn) + ")");
+  }
+
+  // kDdl records of transactions that have not ended yet: if the log ends
+  // before their end record, the crash interrupted the transaction and
+  // its DDL must be undone (newest first, like nested rollback).
+  struct PendingUndo {
+    uint64_t txn_id;
+    DdlUndoRedo undo;
+  };
+  std::vector<PendingUndo> pending;
+
+  try {
+    for (const WalRecord& rec : scan.records) {
+      ++rep.records_scanned;
+      if (rec.lsn <= rep.checkpoint_lsn) {
+        ++rep.records_skipped;
+        continue;
+      }
+      crashpoint("recovery.crash_mid_replay");
+      auto drop_pending = [&](uint64_t txn_id) {
+        pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                     [&](const PendingUndo& p) {
+                                       return p.txn_id == txn_id;
+                                     }),
+                      pending.end());
+      };
+      switch (rec.type) {
+        case RecordType::kCommit:
+          for (const RedoOp& op : rec.ops) {
+            apply_redo(catalog, op);
+            ++rep.rows_recovered;
+          }
+          if (rec.txn_id != 0) drop_pending(rec.txn_id);
+          ++rep.commits_replayed;
+          break;
+        case RecordType::kDdl:
+          for (const DdlRedo& d : rec.ddl) {
+            apply_ddl(catalog, d);
+            ++ddl_version;
+          }
+          for (const DdlUndoRedo& u : rec.ddl_undo) {
+            pending.push_back({rec.txn_id, u});
+          }
+          ++rep.ddl_replayed;
+          break;
+        case RecordType::kRollback:
+          // The record carries the undos the runtime applied; replay them
+          // in the same (reverse-of-recorded) order.
+          for (auto it = rec.ddl_undo.rbegin(); it != rec.ddl_undo.rend();
+               ++it) {
+            apply_ddl_undo(catalog, *it);
+          }
+          if (!rec.ddl_undo.empty()) ++ddl_version;
+          drop_pending(rec.txn_id);
+          ++rep.rollbacks_replayed;
+          break;
+        case RecordType::kEndKeepDdl:
+          drop_pending(rec.txn_id);
+          ++rep.end_keep_ddl_replayed;
+          break;
+      }
+    }
+
+    // Transactions the crash caught mid-flight: their buffered row writes
+    // were never logged (nothing to discard), but their DDL applied
+    // immediately — honor the undo, newest first.
+    std::unordered_set<uint64_t> discarded;
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      apply_ddl_undo(catalog, it->undo);
+      if (discarded.insert(it->txn_id).second) ++ddl_version;
+    }
+    rep.txns_discarded = discarded.size();
+  } catch (const StorageError& e) {
+    throw WalError(std::string("recovery: replay failed: ") + e.what());
+  }
+
+  rep.ddl_version = ddl_version;
+
+  uint64_t next_lsn;
+  size_t resume_at;
+  if (scan.header_ok) {
+    next_lsn = scan.start_lsn + scan.records.size();
+    resume_at = scan.valid_bytes;
+  } else {
+    // Missing, headerless, or torn-at-birth log (crash mid-rotation):
+    // everything durable lives in the checkpoint; start a fresh log.
+    next_lsn = rep.checkpoint_lsn + 1;
+    resume_at = 0;
+  }
+  crashpoint("recovery.crash_before_wal_open");
+  wal_ = std::make_unique<WalWriter>(wal_path(), next_lsn, resume_at);
+  if (rep.wal_torn_bytes > 0) {
+    // The truncation that dropped the torn tail must be durable before
+    // new records land where the tail used to be.
+    wal_->sync_all();
+  }
+  recovered_ = true;
+  return rep;
+}
+
+// ---- logging --------------------------------------------------------------
+
+void DurableStorage::mark_dirty(const std::string& table_key) {
+  std::lock_guard lk(dirty_mu_);
+  dirty_.insert(common::to_lower(table_key));
+}
+
+uint64_t DurableStorage::append_record(WalRecord rec) {
+  return wal_->append(std::move(rec));
+}
+
+uint64_t DurableStorage::log_commit(uint64_t txn_id, StatementJournal ops) {
+  // An autocommit statement that touched no rows needs no record. A
+  // transactional COMMIT logs even with an empty journal: the kCommit
+  // record is the end marker that stops recovery from undoing the
+  // transaction's DDL.
+  if (wal_ == nullptr || mode_ == DurabilityMode::kOff ||
+      (ops.empty() && txn_id == 0)) {
+    return 0;
+  }
+  for (const RedoOp& op : ops) mark_dirty(op.table);
+  WalRecord rec;
+  rec.type = RecordType::kCommit;
+  rec.txn_id = txn_id;
+  rec.ops = std::move(ops);
+  return append_record(std::move(rec));
+}
+
+uint64_t DurableStorage::log_ddl(uint64_t txn_id, DdlRedo op,
+                                 std::vector<DdlUndoRedo> undo) {
+  if (wal_ == nullptr || mode_ == DurabilityMode::kOff) return 0;
+  mark_dirty(op.table);
+  for (const DdlUndoRedo& u : undo) mark_dirty(u.table);
+  WalRecord rec;
+  rec.type = RecordType::kDdl;
+  rec.txn_id = txn_id;
+  rec.ddl.push_back(std::move(op));
+  rec.ddl_undo = std::move(undo);
+  uint64_t lsn = append_record(std::move(rec));
+  crashpoint("wal.ddl.crash_after");
+  return lsn;
+}
+
+uint64_t DurableStorage::log_rollback(uint64_t txn_id,
+                                      std::vector<DdlUndoRedo> undo) {
+  if (wal_ == nullptr || mode_ == DurabilityMode::kOff) return 0;
+  for (const DdlUndoRedo& u : undo) mark_dirty(u.table);
+  WalRecord rec;
+  rec.type = RecordType::kRollback;
+  rec.txn_id = txn_id;
+  rec.ddl_undo = std::move(undo);
+  return append_record(std::move(rec));
+}
+
+uint64_t DurableStorage::log_end_keep_ddl(uint64_t txn_id) {
+  if (wal_ == nullptr || mode_ == DurabilityMode::kOff) return 0;
+  WalRecord rec;
+  rec.type = RecordType::kEndKeepDdl;
+  rec.txn_id = txn_id;
+  return append_record(std::move(rec));
+}
+
+void DurableStorage::ack_sync(uint64_t lsn) {
+  if (lsn == 0 || wal_ == nullptr || mode_ != DurabilityMode::kFull) return;
+  wal_->sync_to(lsn);
+}
+
+void DurableStorage::sync() {
+  if (wal_ != nullptr) wal_->sync_all();
+}
+
+bool DurableStorage::wants_checkpoint() const {
+  return wal_ != nullptr && mode_ != DurabilityMode::kOff &&
+         wal_->bytes() >= opts_.checkpoint_wal_bytes;
+}
+
+// ---- checkpoint -----------------------------------------------------------
+
+void DurableStorage::checkpoint(const Catalog& catalog,
+                                uint64_t ddl_version) {
+  if (wal_ == nullptr) throw WalError("checkpoint before recovery");
+  // Writers are excluded, so every appended record's effects are in
+  // `catalog` — the watermark is simply the last assigned LSN.
+  uint64_t cp_lsn = wal_->last_lsn();
+  crashpoint("checkpoint.crash_begin");
+
+  std::string content;
+  {
+    std::lock_guard lk(dirty_mu_);
+    put_u64(content, kCheckpointVersion);
+    auto names = catalog.table_names();
+    put_u64(content, names.size());
+    std::unordered_set<std::string> present;
+    for (const std::string& name : names) {
+      std::string key = common::to_lower(name);
+      present.insert(key);
+      auto cached = block_cache_.find(key);
+      if (cached != block_cache_.end() && dirty_.count(key) == 0) {
+        // Clean since the last checkpoint: reuse its serialized block
+        // instead of re-walking the rows.
+        content += cached->second;
+        tables_reused_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::string block = encode_table_block(*catalog.find(name));
+        content += block;
+        block_cache_[key] = std::move(block);
+        tables_serialized_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (auto it = block_cache_.begin(); it != block_cache_.end();) {
+      it = present.count(it->first) == 0 ? block_cache_.erase(it)
+                                         : std::next(it);
+    }
+    // The freshly (re)cached blocks reflect the current, writer-free
+    // state, so they are valid even if the write below fails.
+    dirty_.clear();
+  }
+
+  std::string image = encode_paged(content, cp_lsn, ddl_version);
+  std::string tmp = checkpoint_path() + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    throw WalError("checkpoint: cannot open " + tmp + ": " +
+                   std::strerror(errno));
+  }
+  try {
+    SEPTIC_FAILPOINT_HOOK("checkpoint.crash_torn_pages") {
+      // Half the pages reach the tmp file, then the plug is pulled. The
+      // rename never happens, so recovery must still see the OLD
+      // checkpoint and the un-rotated log.
+      write_all_fd(fd, image.data(), image.size() / 2, "torn pages");
+      std::_Exit(42);
+    }
+    write_all_fd(fd, image.data(), image.size(), "pages");
+    crashpoint("checkpoint.crash_before_fsync");
+    if (::fsync(fd) != 0) {
+      throw WalError("checkpoint: fsync failed: " +
+                     std::string(std::strerror(errno)));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  crashpoint("checkpoint.crash_before_rename");
+  if (::rename(tmp.c_str(), checkpoint_path().c_str()) != 0) {
+    throw WalError("checkpoint: rename failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  crashpoint("checkpoint.crash_after_rename");
+  fsync_dir(opts_.dir);
+
+  {
+    // Old page numbers are meaningless against the new file (dirty_mu_
+    // also guards the cache against a concurrent stats() reader).
+    std::lock_guard lk(dirty_mu_);
+    page_cache_.clear();
+  }
+
+  // Retire the folded-in records. Crashing inside rotate() is covered:
+  // replay skips everything at or below the watermark just renamed in.
+  wal_->rotate();
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_lsn_.store(cp_lsn, std::memory_order_relaxed);
+  crashpoint("checkpoint.crash_end");
+}
+
+DurabilityStats DurableStorage::stats() const {
+  DurabilityStats s;
+  s.mode = mode_;
+  if (wal_ != nullptr) s.wal = wal_->stats();
+  {
+    std::lock_guard lk(dirty_mu_);
+    s.page_cache = page_cache_.stats();
+  }
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.checkpoint_tables_serialized =
+      tables_serialized_.load(std::memory_order_relaxed);
+  s.checkpoint_tables_reused = tables_reused_.load(std::memory_order_relaxed);
+  s.last_checkpoint_lsn = last_checkpoint_lsn_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace septic::storage::wal

@@ -1,0 +1,203 @@
+// DurableStorage: ties the WAL, the paged checkpoint file, and recovery
+// together into the engine-facing durability surface.
+//
+// Files in the data directory:
+//   wal.log      write-ahead log (see wal.h)
+//   tables.pg    paged catalog checkpoint (see pager.h)
+//   tables.pg.tmp  checkpoint in flight; ignored (and replaced) on boot
+//
+// Protocol (the engine enforces the locking):
+//   - Writers append a record (log_commit/log_ddl/...) while holding the
+//     same locks that order the data-structure mutation (the MVCC commit
+//     mutex for DML, the exclusive DDL lock for DDL), so log order equals
+//     apply order. They then call ack_sync(lsn) OUTSIDE those locks:
+//     under full durability that joins the group commit; under relaxed it
+//     returns immediately (the log is still written, just not fsynced).
+//   - checkpoint() runs with writers excluded (exclusive DDL lock):
+//     serialize the catalog (reusing cached blocks for tables no record
+//     touched since the last checkpoint), write tmp + fsync + rename +
+//     dir-fsync, then rotate the WAL. Crash anywhere in between recovers
+//     from either the old or the new checkpoint, never a mix.
+//   - recover_into() runs once at boot before the engine goes live: load
+//     the checkpoint, replay WAL records past its watermark, honor the
+//     DDL undo of transactions that never finished, truncate the torn
+//     tail, and open the WAL for appending. The caller adopts the filled
+//     catalog only when recovery returns (all-or-nothing boot).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/wal/pager.h"
+#include "storage/wal/wal.h"
+
+namespace septic::storage::wal {
+
+enum class DurabilityMode : uint8_t {
+  /// No data directory: tables are volatile, every log_* call is a no-op.
+  kOff = 0,
+  /// Log writes reach the kernel per commit but fsync only at checkpoint,
+  /// rotation, and shutdown. A crash may lose the last few commits; it
+  /// never corrupts (innodb_flush_log_at_trx_commit=0 territory).
+  kRelaxed = 1,
+  /// COMMIT acks only after its record is fsynced (group commit batches
+  /// the fsyncs across concurrent committers).
+  kFull = 2,
+};
+
+const char* durability_mode_name(DurabilityMode m);
+
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_lsn = 0;
+  /// ddl_version to boot the engine with (checkpoint value + replayed
+  /// schema changes), so digest-cache generation tags restart coherent.
+  uint64_t ddl_version = 0;
+  size_t records_scanned = 0;
+  size_t records_skipped = 0;  // lsn <= checkpoint watermark
+  size_t commits_replayed = 0;
+  size_t ddl_replayed = 0;
+  size_t rollbacks_replayed = 0;
+  size_t end_keep_ddl_replayed = 0;
+  /// Transactions whose DDL was on the log but which never reached an end
+  /// record — their DDL undo was applied (crash mid-transaction).
+  size_t txns_discarded = 0;
+  size_t wal_torn_bytes = 0;
+  size_t rows_recovered = 0;
+};
+
+struct DurabilityStats {
+  DurabilityMode mode = DurabilityMode::kOff;
+  WalWriterStats wal;
+  PageCacheStats page_cache;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_tables_serialized = 0;
+  /// Tables whose serialized block was reused because nothing dirtied
+  /// them since the previous checkpoint.
+  uint64_t checkpoint_tables_reused = 0;
+  uint64_t last_checkpoint_lsn = 0;
+};
+
+class DurableStorage {
+ public:
+  struct Options {
+    std::string dir;
+    DurabilityMode mode = DurabilityMode::kFull;
+    /// checkpoint() is requested once the WAL grows past this many bytes.
+    uint64_t checkpoint_wal_bytes = 4u << 20;
+    size_t page_cache_pages = 64;
+  };
+
+  /// Creates the directory if needed; does NOT touch the files yet —
+  /// recover_into() does all the I/O, so a failed boot leaves no
+  /// half-open handles. Throws WalError if the directory can't be made.
+  explicit DurableStorage(Options opts);
+  ~DurableStorage();
+
+  DurableStorage(const DurableStorage&) = delete;
+  DurableStorage& operator=(const DurableStorage&) = delete;
+
+  /// Boot-time recovery: fill `catalog` (replacing its contents) from the
+  /// checkpoint + WAL, truncate any torn tail, open the WAL for append.
+  /// Must be called exactly once, before any log_* call. Throws WalError
+  /// on unrecoverable corruption or I/O failure, in which case nothing is
+  /// half-applied to the caller's world: the catalog passed in is a
+  /// scratch the caller only adopts on success.
+  RecoveryReport recover_into(Catalog& catalog);
+
+  DurabilityMode mode() const { return mode_; }
+  /// Runtime switch (bench sweeps). Going relaxed->full does not
+  /// retroactively sync old records; the next ack does.
+  void set_mode(DurabilityMode m) { mode_ = m; }
+
+  /// Append one committed unit of row changes. txn_id 0 = autocommit.
+  /// Returns the record's LSN (pass to ack_sync). Caller holds the lock
+  /// that ordered the mutations.
+  uint64_t log_commit(uint64_t txn_id, StatementJournal ops);
+
+  /// Append one executed DDL statement (undo non-empty iff inside a
+  /// transaction). Caller holds the exclusive DDL lock.
+  uint64_t log_ddl(uint64_t txn_id, DdlRedo op,
+                   std::vector<DdlUndoRedo> undo);
+
+  /// Append the end marker of a DDL-bearing transaction that rolled back.
+  /// `undo` is the list the runtime just applied (in recorded order; the
+  /// record carries it so replay never depends on a kDdl record that a
+  /// checkpoint rotation may have retired)...
+  uint64_t log_rollback(uint64_t txn_id, std::vector<DdlUndoRedo> undo);
+  /// ...or ended without committing but keeps its DDL (conflict /
+  /// commit-time constraint failure).
+  uint64_t log_end_keep_ddl(uint64_t txn_id);
+
+  /// Durability barrier for an appended record, honoring the mode. Call
+  /// OUTSIDE the ordering locks; under full durability this blocks until
+  /// the group-commit leader fsyncs past `lsn`.
+  void ack_sync(uint64_t lsn);
+
+  /// True once the WAL has outgrown the checkpoint threshold.
+  bool wants_checkpoint() const;
+
+  /// Write a new checkpoint of `catalog` and rotate the WAL. Caller
+  /// excludes all writers (exclusive DDL lock) AND guarantees no open
+  /// transaction holds pending DDL undo — rotation retires that
+  /// transaction's kDdl records, so a later crash could no longer honor
+  /// its undo (the engine defers checkpoints until the txn ends).
+  /// Safe to crash anywhere.
+  void checkpoint(const Catalog& catalog, uint64_t ddl_version);
+
+  /// Fsync outstanding log records (shutdown, relaxed-mode barrier).
+  void sync();
+
+  DurabilityStats stats() const;
+
+  const std::string& dir() const { return opts_.dir; }
+  std::string wal_path() const;
+  std::string checkpoint_path() const;
+
+  // ---- checkpoint content codec (exposed for wal_inspect + tests) -------
+
+  /// Serialize the catalog to checkpoint content, preserving slot
+  /// numbering (unlike Catalog::save_snapshot, which compacts).
+  static std::string encode_catalog(const Catalog& catalog);
+  /// Rebuild `catalog` (replacing contents) from checkpoint content.
+  /// Throws WalError on malformed input.
+  static void decode_catalog(std::string_view content, Catalog& catalog);
+
+  /// Apply one redo op to a catalog (slot-verified). Used by recovery and
+  /// exposed for tests. Throws WalError on divergence.
+  static void apply_redo(Catalog& catalog, const RedoOp& op);
+  /// Apply one forward DDL op / one DDL undo op.
+  static void apply_ddl(Catalog& catalog, const DdlRedo& op);
+  static void apply_ddl_undo(Catalog& catalog, const DdlUndoRedo& op);
+
+ private:
+  uint64_t append_record(WalRecord rec);
+  void mark_dirty(const std::string& table_key);
+
+  Options opts_;
+  std::atomic<DurabilityMode> mode_;
+  bool recovered_ = false;
+  std::unique_ptr<WalWriter> wal_;
+  PageCache page_cache_;
+
+  /// Serialized table blocks from the last checkpoint, reused for tables
+  /// no WAL record touched since. Guarded by dirty_mu_ (writers mark
+  /// dirty concurrently; checkpoint runs with writers excluded but takes
+  /// the mutex anyway — it is uncontended then).
+  mutable std::mutex dirty_mu_;
+  std::unordered_map<std::string, std::string> block_cache_;
+  std::unordered_set<std::string> dirty_;
+
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> tables_serialized_{0};
+  std::atomic<uint64_t> tables_reused_{0};
+  std::atomic<uint64_t> last_checkpoint_lsn_{0};
+};
+
+}  // namespace septic::storage::wal

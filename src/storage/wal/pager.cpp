@@ -1,0 +1,232 @@
+#include "storage/wal/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "common/hash.h"
+#include "storage/wal/wal.h"
+
+namespace septic::storage::wal {
+
+namespace {
+
+constexpr std::string_view kPgMagic = "SEPTICPG 1 ";
+
+uint32_t get_u32le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+void put_u32le(char* p, uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::string header_fields(const CheckpointMeta& m) {
+  std::string s;
+  s += std::to_string(m.page_count);
+  s += ' ';
+  s += std::to_string(m.content_len);
+  s += ' ';
+  s += std::to_string(m.checkpoint_lsn);
+  s += ' ';
+  s += std::to_string(m.ddl_version);
+  return s;
+}
+
+bool parse_u64(std::string_view tok, uint64_t& out) {
+  auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc() && p == tok.data() + tok.size();
+}
+
+}  // namespace
+
+// ---- PageCache ------------------------------------------------------------
+
+PageCache::PageCache(size_t capacity_pages)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+const std::string* PageCache::get(uint64_t page_no) {
+  auto it = map_.find(page_no);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void PageCache::put(uint64_t page_no, std::string payload) {
+  auto it = map_.find(page_no);
+  if (it != map_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(page_no, std::move(payload));
+  map_[page_no] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+PageCacheStats PageCache::stats() const {
+  PageCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.pages = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+// ---- encode ---------------------------------------------------------------
+
+std::string encode_paged(std::string_view content, uint64_t checkpoint_lsn,
+                         uint64_t ddl_version) {
+  CheckpointMeta m;
+  m.page_count = (content.size() + kPagePayload - 1) / kPagePayload;
+  m.content_len = content.size();
+  m.checkpoint_lsn = checkpoint_lsn;
+  m.ddl_version = ddl_version;
+
+  std::string out;
+  out.reserve((1 + m.page_count) * kPageSize);
+
+  std::string fields = header_fields(m);
+  std::string header{kPgMagic};
+  header += fields;
+  header += ' ';
+  header += common::to_hex32(common::crc32(fields));
+  header += '\n';
+  header.resize(kPageSize, '\0');
+  out += header;
+
+  for (uint64_t p = 0; p < m.page_count; ++p) {
+    std::string_view chunk = content.substr(
+        p * kPagePayload, std::min(kPagePayload,
+                                   content.size() - p * kPagePayload));
+    char crc[4];
+    put_u32le(crc, common::crc32(chunk));
+    out.append(crc, 4);
+    out.append(chunk.data(), chunk.size());
+    out.append(kPagePayload - chunk.size(), '\0');
+  }
+  return out;
+}
+
+// ---- PagedFile ------------------------------------------------------------
+
+PagedFile::PagedFile(std::string path, PageCache* cache)
+    : path_(std::move(path)), cache_(cache) {
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw WalError("pager: cannot open " + path_ + ": " +
+                   std::strerror(errno));
+  }
+  char page[kPageSize];
+  ssize_t n = ::pread(fd_, page, kPageSize, 0);
+  if (n < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw WalError("pager: read failed: " + std::string(std::strerror(errno)));
+  }
+  std::string_view hdr{page, static_cast<size_t>(n)};
+  size_t nl = hdr.find('\n');
+  if (static_cast<size_t>(n) < kPageSize || nl == std::string_view::npos ||
+      hdr.compare(0, kPgMagic.size(), kPgMagic) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw WalError("pager: " + path_ + ": bad header page");
+  }
+  std::string_view line = hdr.substr(kPgMagic.size(), nl - kPgMagic.size());
+  // "<page_count> <content_len> <checkpoint_lsn> <ddl_version> <crc_hex>"
+  uint64_t vals[4];
+  size_t pos = 0;
+  for (auto& val : vals) {
+    size_t sp = line.find(' ', pos);
+    if (sp == std::string_view::npos || !parse_u64(line.substr(pos, sp - pos), val)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw WalError("pager: " + path_ + ": malformed header");
+    }
+    pos = sp + 1;
+  }
+  std::string_view crc_hex = line.substr(pos);
+  meta_.page_count = vals[0];
+  meta_.content_len = vals[1];
+  meta_.checkpoint_lsn = vals[2];
+  meta_.ddl_version = vals[3];
+  std::string want_crc = common::to_hex32(common::crc32(header_fields(meta_)));
+  if (crc_hex != want_crc) {
+    ::close(fd_);
+    fd_ = -1;
+    throw WalError("pager: " + path_ + ": header CRC mismatch");
+  }
+  if (meta_.content_len >
+      meta_.page_count * static_cast<uint64_t>(kPagePayload)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw WalError("pager: " + path_ + ": content length exceeds pages");
+  }
+}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string PagedFile::read_page(uint64_t page_no) {
+  if (page_no < 1 || page_no > meta_.page_count) {
+    throw WalError("pager: " + path_ + ": page " + std::to_string(page_no) +
+                   " out of range");
+  }
+  if (cache_ != nullptr) {
+    if (const std::string* hit = cache_->get(page_no)) return *hit;
+  }
+  char page[kPageSize];
+  ssize_t n = ::pread(fd_, page, kPageSize,
+                      static_cast<off_t>(page_no * kPageSize));
+  if (n < 0) {
+    throw WalError("pager: read failed: " + std::string(std::strerror(errno)));
+  }
+  size_t used = (page_no < meta_.page_count)
+                    ? kPagePayload
+                    : meta_.content_len - (meta_.page_count - 1) * kPagePayload;
+  if (static_cast<size_t>(n) < 4 + used) {
+    throw WalError("pager: " + path_ + ": page " + std::to_string(page_no) +
+                   " truncated");
+  }
+  uint32_t crc = get_u32le(page);
+  std::string payload{page + 4, used};
+  if (common::crc32(payload) != crc) {
+    throw WalError("pager: " + path_ + ": page " + std::to_string(page_no) +
+                   " CRC mismatch");
+  }
+  if (cache_ != nullptr) cache_->put(page_no, payload);
+  return payload;
+}
+
+std::string PagedFile::read_all() {
+  std::string out;
+  out.reserve(meta_.content_len);
+  for (uint64_t p = 1; p <= meta_.page_count; ++p) out += read_page(p);
+  return out;
+}
+
+}  // namespace septic::storage::wal

@@ -1,0 +1,108 @@
+// Paged checkpoint-file format and the page cache that fronts it.
+//
+// A checkpoint (`tables.pg`) is the serialized catalog cut into fixed
+// 4096-byte pages:
+//
+//   page 0           "SEPTICPG 1 <page_count> <content_len> <checkpoint_lsn>
+//                     <ddl_version> <crc_hex>\n" + zero padding
+//   pages 1..N       [u32 crc][payload <= 4092 bytes], zero padded
+//
+// The header CRC covers the five numeric fields; each content page carries
+// a CRC over its used payload, so a torn checkpoint write is detected at
+// the page where the tear happened instead of poisoning the whole load.
+// checkpoint_lsn is the replay watermark: every WAL record with
+// lsn <= checkpoint_lsn is already folded into this file, so recovery
+// skips it (the crash window between checkpoint rename and WAL rotation
+// would otherwise double-apply the log).
+//
+// Reads go through a small LRU PageCache so repeated loads (boot retries,
+// wal_inspect, per-table re-reads) touch the disk once per page. The
+// cache is per-file and invalidated wholesale when a new checkpoint is
+// renamed into place — page numbers are not stable across rewrites.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace septic::storage::wal {
+
+inline constexpr size_t kPageSize = 4096;
+/// Bytes of content a non-header page carries (rest is its CRC).
+inline constexpr size_t kPagePayload = kPageSize - 4;
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t pages = 0;
+  size_t capacity = 0;
+};
+
+/// LRU cache of verified page payloads, keyed by page number. Not
+/// thread-safe: the owner (DurableStorage) serializes checkpoint I/O.
+class PageCache {
+ public:
+  explicit PageCache(size_t capacity_pages);
+
+  /// Cached payload of `page_no`, or nullptr (counts a hit/miss).
+  const std::string* get(uint64_t page_no);
+  void put(uint64_t page_no, std::string payload);
+  void clear();
+  PageCacheStats stats() const;
+
+ private:
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<uint64_t, std::string>> lru_;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, std::string>>::
+                                   iterator>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+struct CheckpointMeta {
+  uint64_t page_count = 0;    // content pages, excluding the header page
+  uint64_t content_len = 0;   // exact byte length of the catalog text
+  uint64_t checkpoint_lsn = 0;  // replay watermark (0 = nothing logged yet)
+  uint64_t ddl_version = 0;
+};
+
+/// Cut `content` into pages and return the complete file image
+/// (header page + CRC'd content pages).
+std::string encode_paged(std::string_view content, uint64_t checkpoint_lsn,
+                         uint64_t ddl_version);
+
+/// Read-side view of a paged file. Construction parses and verifies the
+/// header page; page payloads are verified lazily on read. Throws
+/// WalError on I/O failure or corruption.
+class PagedFile {
+ public:
+  /// `cache` may be nullptr (uncached reads, e.g. wal_inspect one-shots).
+  PagedFile(std::string path, PageCache* cache);
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  const CheckpointMeta& meta() const { return meta_; }
+
+  /// Verified payload of content page `page_no` (1-based), trimmed to the
+  /// bytes actually used by the content.
+  std::string read_page(uint64_t page_no);
+
+  /// The whole catalog text, page by page through the cache.
+  std::string read_all();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  PageCache* cache_;
+  CheckpointMeta meta_;
+};
+
+}  // namespace septic::storage::wal

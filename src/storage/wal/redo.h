@@ -1,0 +1,75 @@
+// Redo operations: the physical row-level vocabulary shared by the
+// write-ahead log, the executor's journal capture, and recovery replay.
+//
+// An op addresses rows by (catalog key, slot). Slots are stable for the
+// life of a table and are assigned strictly by append order (Table never
+// reuses a hole), so a log of ops replayed in append order against the
+// checkpoint state it was generated from reproduces the exact same slot
+// assignment — recovery asserts this per insert and treats any mismatch
+// as corruption rather than guessing.
+//
+// Insert images are logged pre-coercion — replay pushes them through the
+// same Table::insert() coercion the original execution used, so the two
+// paths cannot diverge — with one exception: the primary-key column
+// carries the RESOLVED value (auto-increment filled in), because replay
+// cannot reproduce reservations burned by rolled-back transactions.
+// Update ops log the evaluated (column, value) change list, not the full
+// row, matching Table::update()'s contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sqlcore/value.h"
+
+namespace septic::storage::wal {
+
+struct RedoOp {
+  enum class Kind : uint8_t { kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kInsert;
+  /// Catalog key (lower-cased table name).
+  std::string table;
+  /// Insert: the slot the row landed in (verified on replay).
+  /// Update/delete: the slot addressed.
+  size_t slot = 0;
+  /// Insert only: full row image (pre-coercion).
+  std::vector<sql::Value> row;
+  /// Update only: evaluated per-column changes.
+  std::vector<std::pair<size_t, sql::Value>> changes;
+
+  static RedoOp insert(std::string table_key, size_t slot,
+                       std::vector<sql::Value> row) {
+    RedoOp op;
+    op.kind = Kind::kInsert;
+    op.table = std::move(table_key);
+    op.slot = slot;
+    op.row = std::move(row);
+    return op;
+  }
+  static RedoOp update(std::string table_key, size_t slot,
+                       std::vector<std::pair<size_t, sql::Value>> changes) {
+    RedoOp op;
+    op.kind = Kind::kUpdate;
+    op.table = std::move(table_key);
+    op.slot = slot;
+    op.changes = std::move(changes);
+    return op;
+  }
+  static RedoOp erase(std::string table_key, size_t slot) {
+    RedoOp op;
+    op.kind = Kind::kDelete;
+    op.table = std::move(table_key);
+    op.slot = slot;
+    return op;
+  }
+};
+
+/// The redo ops one statement (or one transaction commit) applied, in
+/// apply order. The executor fills one per autocommit write statement;
+/// the commit protocol builds one from the write set.
+using StatementJournal = std::vector<RedoOp>;
+
+}  // namespace septic::storage::wal

@@ -1,0 +1,481 @@
+#include "storage/wal/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "storage/wal/codec.h"
+
+namespace septic::storage::wal {
+
+namespace {
+
+using codec::Cursor;
+using codec::put_str;
+using codec::put_u64;
+
+constexpr std::string_view kMagic = "SEPTICWAL 1 ";
+// Frames larger than this are treated as tail corruption, not allocations.
+constexpr uint32_t kMaxFrameLen = 1u << 30;
+
+bool decode_value(Cursor& c, sql::Value& out) {
+  std::string_view repr = c.str();
+  if (!c.ok) return false;
+  return sql::Value::from_repr(repr, out);
+}
+
+// ---- little-endian frame ints --------------------------------------------
+
+void put_u32le(std::string& out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+uint32_t get_u32le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+void write_all(int fd, const char* data, size_t n, const std::string& what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw WalError("wal: write failed (" + what +
+                     "): " + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+void crashpoint(const char* name) {
+  (void)name;
+  SEPTIC_FAILPOINT_HOOK(name) {
+    // Simulated kill -9: no unwinding, no atexit, no stream flush. Exit
+    // code 42 tells the crash-matrix parent the child died at the armed
+    // site rather than of natural causes.
+    std::_Exit(42);
+  }
+}
+
+const char* record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kCommit:
+      return "COMMIT";
+    case RecordType::kDdl:
+      return "DDL";
+    case RecordType::kRollback:
+      return "ROLLBACK";
+    case RecordType::kEndKeepDdl:
+      return "END_KEEP_DDL";
+  }
+  return "?";
+}
+
+std::string encode_record(const WalRecord& r) {
+  std::string out;
+  put_u64(out, r.lsn);
+  put_u64(out, static_cast<uint64_t>(r.type));
+  put_u64(out, r.txn_id);
+  put_u64(out, r.ops.size());
+  put_u64(out, r.ddl.size());
+  put_u64(out, r.ddl_undo.size());
+  for (const RedoOp& op : r.ops) {
+    put_u64(out, static_cast<uint64_t>(op.kind));
+    put_str(out, op.table);
+    put_u64(out, op.slot);
+    switch (op.kind) {
+      case RedoOp::Kind::kInsert:
+        put_u64(out, op.row.size());
+        for (const sql::Value& v : op.row) put_str(out, v.repr());
+        break;
+      case RedoOp::Kind::kUpdate:
+        put_u64(out, op.changes.size());
+        for (const auto& [col, v] : op.changes) {
+          put_u64(out, col);
+          put_str(out, v.repr());
+        }
+        break;
+      case RedoOp::Kind::kDelete:
+        break;
+    }
+  }
+  for (const DdlRedo& d : r.ddl) {
+    put_u64(out, static_cast<uint64_t>(d.kind));
+    put_str(out, d.table);
+    put_str(out, d.index);
+    put_str(out, d.column);
+    put_str(out, d.schema_block);
+  }
+  for (const DdlUndoRedo& u : r.ddl_undo) {
+    put_u64(out, static_cast<uint64_t>(u.kind));
+    put_str(out, u.table);
+    put_str(out, u.index);
+    put_str(out, u.column);
+    put_str(out, u.snapshot);
+  }
+  return out;
+}
+
+bool decode_record(std::string_view payload, WalRecord& out) {
+  Cursor c{payload};
+  out = WalRecord{};
+  out.lsn = c.u64();
+  uint64_t type = c.u64();
+  out.txn_id = c.u64();
+  uint64_t nops = c.u64();
+  uint64_t nddl = c.u64();
+  uint64_t nundo = c.u64();
+  if (!c.ok) return false;
+  if (type < 1 || type > 4) return false;
+  out.type = static_cast<RecordType>(type);
+  // Counts are bounded by the payload size (every op costs bytes), so a
+  // corrupt count cannot drive a huge reserve.
+  if (nops > payload.size() || nddl > payload.size() ||
+      nundo > payload.size()) {
+    return false;
+  }
+  out.ops.reserve(nops);
+  for (uint64_t k = 0; k < nops; ++k) {
+    RedoOp op;
+    uint64_t kind = c.u64();
+    if (!c.ok || kind > 2) return false;
+    op.kind = static_cast<RedoOp::Kind>(kind);
+    op.table = std::string(c.str());
+    op.slot = c.u64();
+    switch (op.kind) {
+      case RedoOp::Kind::kInsert: {
+        uint64_t n = c.u64();
+        if (!c.ok || n > payload.size()) return false;
+        op.row.reserve(n);
+        for (uint64_t j = 0; j < n; ++j) {
+          sql::Value v;
+          if (!decode_value(c, v)) return false;
+          op.row.push_back(std::move(v));
+        }
+        break;
+      }
+      case RedoOp::Kind::kUpdate: {
+        uint64_t n = c.u64();
+        if (!c.ok || n > payload.size()) return false;
+        op.changes.reserve(n);
+        for (uint64_t j = 0; j < n; ++j) {
+          uint64_t col = c.u64();
+          sql::Value v;
+          if (!decode_value(c, v)) return false;
+          op.changes.emplace_back(static_cast<size_t>(col), std::move(v));
+        }
+        break;
+      }
+      case RedoOp::Kind::kDelete:
+        break;
+    }
+    if (!c.ok) return false;
+    out.ops.push_back(std::move(op));
+  }
+  for (uint64_t k = 0; k < nddl; ++k) {
+    DdlRedo d;
+    uint64_t kind = c.u64();
+    if (!c.ok || kind > 4) return false;
+    d.kind = static_cast<DdlRedo::Kind>(kind);
+    d.table = std::string(c.str());
+    d.index = std::string(c.str());
+    d.column = std::string(c.str());
+    d.schema_block = std::string(c.str());
+    if (!c.ok) return false;
+    out.ddl.push_back(std::move(d));
+  }
+  for (uint64_t k = 0; k < nundo; ++k) {
+    DdlUndoRedo u;
+    uint64_t kind = c.u64();
+    if (!c.ok || kind > 3) return false;
+    u.kind = static_cast<DdlUndoRedo::Kind>(kind);
+    u.table = std::string(c.str());
+    u.index = std::string(c.str());
+    u.column = std::string(c.str());
+    u.snapshot = std::string(c.str());
+    if (!c.ok) return false;
+    out.ddl_undo.push_back(std::move(u));
+  }
+  return c.ok && c.i == payload.size();
+}
+
+WalScan scan_wal(const std::string& path) {
+  WalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;
+  scan.file_found = true;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw WalError("wal: cannot read " + path);
+  std::string data = buf.str();
+
+  // Header: "SEPTICWAL 1 <start_lsn>\n".
+  size_t nl = data.find('\n');
+  if (nl == std::string::npos || data.compare(0, kMagic.size(), kMagic) != 0) {
+    scan.torn_bytes = data.size();
+    return scan;
+  }
+  {
+    std::string_view lsn_s{data.data() + kMagic.size(), nl - kMagic.size()};
+    uint64_t v = 0;
+    auto [p, ec] = std::from_chars(lsn_s.data(), lsn_s.data() + lsn_s.size(), v);
+    if (ec != std::errc() || p != lsn_s.data() + lsn_s.size() || v == 0) {
+      scan.torn_bytes = data.size();
+      return scan;
+    }
+    scan.start_lsn = v;
+  }
+  scan.header_ok = true;
+  size_t off = nl + 1;
+  scan.valid_bytes = off;
+
+  uint64_t expect_lsn = scan.start_lsn;
+  while (off + 8 <= data.size()) {
+    uint32_t len = get_u32le(data.data() + off);
+    uint32_t crc = get_u32le(data.data() + off + 4);
+    if (len == 0 || len > kMaxFrameLen || off + 8 + len > data.size()) break;
+    std::string_view payload{data.data() + off + 8, len};
+    if (common::crc32(payload) != crc) break;
+    WalRecord rec;
+    if (!decode_record(payload, rec)) break;
+    if (rec.lsn != expect_lsn) break;
+    scan.records.push_back(std::move(rec));
+    ++expect_lsn;
+    off += 8 + len;
+    scan.valid_bytes = off;
+  }
+  scan.torn_bytes = data.size() - scan.valid_bytes;
+  return scan;
+}
+
+// ---- WalWriter ------------------------------------------------------------
+
+WalWriter::WalWriter(std::string path, uint64_t next_lsn, size_t resume_at)
+    : path_(std::move(path)), next_lsn_(next_lsn) {
+  if (next_lsn_ == 0) throw WalError("wal: lsn 0 is reserved");
+  appended_lsn_ = next_lsn_ - 1;
+  durable_lsn_ = next_lsn_ - 1;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw WalError("wal: cannot open " + path_ + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw WalError("wal: fstat failed: " + std::string(std::strerror(errno)));
+  }
+  auto size = static_cast<size_t>(st.st_size);
+  if (resume_at > size) resume_at = size;
+  if (resume_at > 0) {
+    // Resume after salvage: drop the torn tail, keep the valid prefix.
+    if (::ftruncate(fd_, static_cast<off_t>(resume_at)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw WalError("wal: truncate failed: " +
+                     std::string(std::strerror(errno)));
+    }
+    if (resume_at != size) {
+      if (::fsync(fd_) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw WalError("wal: fsync failed: " +
+                       std::string(std::strerror(errno)));
+      }
+    }
+    ::lseek(fd_, 0, SEEK_END);
+    bytes_ = resume_at;
+  } else {
+    // Fresh (or unreadable) log: start over with a clean header.
+    if (::ftruncate(fd_, 0) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw WalError("wal: truncate failed: " +
+                     std::string(std::strerror(errno)));
+    }
+    ::lseek(fd_, 0, SEEK_SET);
+    std::string header{kMagic};
+    header += std::to_string(next_lsn_);
+    header += '\n';
+    try {
+      write_all(fd_, header.data(), header.size(), "header");
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+    if (::fsync(fd_) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw WalError("wal: fsync failed: " +
+                     std::string(std::strerror(errno)));
+    }
+    bytes_ = header.size();
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t WalWriter::append(WalRecord r) {
+  std::lock_guard lk(append_mu_);
+  r.lsn = next_lsn_;
+  std::string payload = encode_record(r);
+  write_frame(payload);
+  appended_lsn_ = next_lsn_;
+  ++next_lsn_;
+  bytes_ += 8 + payload.size();
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_appended_.fetch_add(8 + payload.size(), std::memory_order_relaxed);
+  return appended_lsn_;
+}
+
+void WalWriter::write_frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32le(frame, static_cast<uint32_t>(payload.size()));
+  put_u32le(frame, common::crc32(payload));
+  frame.append(payload.data(), payload.size());
+  crashpoint("wal.append.crash_before");
+  SEPTIC_FAILPOINT_HOOK("wal.append.crash_torn") {
+    // Torn write: half the frame reaches the file, then the plug is
+    // pulled. Recovery must CRC-reject the tail.
+    write_all(fd_, frame.data(), frame.size() / 2, "torn frame");
+    std::_Exit(42);
+  }
+  write_all(fd_, frame.data(), frame.size(), "frame");
+  crashpoint("wal.append.crash_after");
+}
+
+void WalWriter::sync_to(uint64_t lsn) {
+  sync_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lk(sync_mu_);
+  bool led = false;
+  while (durable_lsn_ < lsn) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      led = true;
+      lk.unlock();
+      // Snapshot the append high-water mark before fsyncing: every frame
+      // up to it is fully in the kernel, so one fsync covers them all.
+      // Taken after dropping sync_mu_ — append_mu_ is never acquired
+      // under sync_mu_ (rotate() nests the other way round).
+      uint64_t target;
+      {
+        std::lock_guard alk(append_mu_);
+        target = appended_lsn_;
+      }
+      crashpoint("wal.sync.crash_before");
+      if (::fsync(fd_) != 0) {
+        lk.lock();
+        leader_active_ = false;
+        sync_cv_.notify_all();
+        throw WalError("wal: fsync failed: " +
+                       std::string(std::strerror(errno)));
+      }
+      crashpoint("wal.sync.crash_after");
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+      durable_lsn_ = std::max(durable_lsn_, target);
+      leader_active_ = false;
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lk);
+    }
+  }
+  if (!led) batched_syncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WalWriter::sync_all() {
+  uint64_t target;
+  {
+    std::lock_guard lk(append_mu_);
+    target = appended_lsn_;
+  }
+  {
+    std::lock_guard slk(sync_mu_);
+    if (durable_lsn_ >= target) {
+      // Nothing pending, but the caller wants the file itself durable
+      // (header writes, truncations) — fsync without the group machinery.
+      if (::fsync(fd_) != 0) {
+        throw WalError("wal: fsync failed: " +
+                       std::string(std::strerror(errno)));
+      }
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  sync_to(target);
+}
+
+void WalWriter::rotate() {
+  std::lock_guard alk(append_mu_);
+  std::lock_guard slk(sync_mu_);
+  crashpoint("wal.rotate.crash_before");
+  if (::ftruncate(fd_, 0) != 0) {
+    throw WalError("wal: rotate truncate failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  ::lseek(fd_, 0, SEEK_SET);
+  // Crash window: the old log is gone and the new header is not yet
+  // written. Recovery treats a headerless log as empty, which is correct
+  // because rotate() only runs after the checkpoint is durable.
+  crashpoint("wal.rotate.crash_mid");
+  std::string header{kMagic};
+  header += std::to_string(next_lsn_);
+  header += '\n';
+  write_all(fd_, header.data(), header.size(), "rotate header");
+  if (::fsync(fd_) != 0) {
+    throw WalError("wal: fsync failed: " + std::string(std::strerror(errno)));
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  bytes_ = header.size();
+  durable_lsn_ = next_lsn_ - 1;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  crashpoint("wal.rotate.crash_after");
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard lk(append_mu_);
+  return next_lsn_;
+}
+
+uint64_t WalWriter::bytes() const {
+  std::lock_guard lk(append_mu_);
+  return bytes_;
+}
+
+WalWriterStats WalWriter::stats() const {
+  WalWriterStats s;
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.bytes_appended = bytes_appended_.load(std::memory_order_relaxed);
+  s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.sync_calls = sync_calls_.load(std::memory_order_relaxed);
+  s.batched_syncs = batched_syncs_.load(std::memory_order_relaxed);
+  s.rotations = rotations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace septic::storage::wal

@@ -1,0 +1,214 @@
+// Write-ahead log: the durability backbone of the engine.
+//
+// File layout (wal.log in the data directory):
+//
+//   SEPTICWAL 1 <start_lsn>\n          text header
+//   [u32 len][u32 crc][payload] ...    binary-framed records, back to back
+//
+// len is the payload byte count, crc is CRC-32 over the payload (the same
+// per-record discipline as the v2 QM store). The payload itself is text:
+// a "<lsn> <type> <txn_id>" head line followed by the record body, so
+// `wal_inspect` can dump a log with no schema knowledge beyond this file.
+//
+// A crash can tear the tail: the salvage scanner (scan_wal) accepts the
+// longest prefix of CRC-valid records and reports the torn byte count;
+// recovery truncates the file back to the valid prefix before appending.
+// LSNs are assigned by the writer, increase by one per record, and stay
+// monotonic across checkpoint rotations (the header's start_lsn carries
+// the sequence over), so "record already covered by the checkpoint" is a
+// plain LSN comparison.
+//
+// Group commit: append() and sync_to() are separate so the engine can
+// append under its commit-ordering lock and fsync outside it. sync_to
+// elects the first waiter as leader; the leader fsyncs once for every
+// record appended up to that moment and wakes all waiters whose LSN the
+// batch covered. Under N concurrent committers one fsync therefore acks
+// up to N commits (the commits-per-fsync factor the PR7 bench measures).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/wal/redo.h"
+
+namespace septic::storage::wal {
+
+/// Thrown for unrecoverable log/checkpoint problems (recovery wraps it in
+/// the engine's RECOVERY error).
+class WalError : public std::runtime_error {
+ public:
+  explicit WalError(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+/// Crash site: kill the process dead (no unwinding, no flushing) when the
+/// named failpoint is armed. This is how the crash-matrix test simulates
+/// kill -9 at a precise instruction boundary; compiled-out failpoint
+/// builds make it a no-op.
+void crashpoint(const char* name);
+
+enum class RecordType : uint8_t {
+  /// A committed unit of row changes: one autocommit statement's journal,
+  /// or one transaction's applied write set. txn_id 0 = autocommit. Also
+  /// the end marker of a transaction that executed DDL.
+  kCommit = 1,
+  /// One executed DDL statement (applies immediately, like MySQL).
+  /// Carries the forward op and, for DDL inside a transaction, the
+  /// inverse op recovery must honor if the transaction never commits.
+  kDdl = 2,
+  /// ROLLBACK of a transaction that executed DDL: its recorded undos were
+  /// applied at runtime; recovery re-applies them in reverse.
+  kRollback = 3,
+  /// A transaction that executed DDL ended without committing its writes
+  /// and WITHOUT undoing its DDL (first-committer-wins conflict or a
+  /// commit-time constraint failure: MySQL-style non-transactional DDL
+  /// survives those). Recovery keeps the DDL and discards the writes.
+  kEndKeepDdl = 4,
+};
+
+const char* record_type_name(RecordType t);
+
+/// One DDL forward operation, replayable against a catalog.
+struct DdlRedo {
+  enum class Kind : uint8_t {
+    kCreateTable,   // schema_block holds a rowless table block
+    kDropTable,
+    kTruncate,
+    kCreateIndex,
+    kDropIndex,
+  };
+  Kind kind = Kind::kCreateTable;
+  std::string table;         // display name as executed
+  std::string index;         // index DDL
+  std::string column;        // kCreateIndex
+  std::string schema_block;  // kCreateTable
+};
+
+/// One DDL inverse operation (mirrors engine::txn::DdlUndo, serialized so
+/// recovery can honor the undo without the engine layer).
+struct DdlUndoRedo {
+  enum class Kind : uint8_t {
+    kDropTable,
+    kRestoreTable,
+    kDropIndex,
+    kCreateIndex,
+  };
+  Kind kind = Kind::kDropTable;
+  std::string table;
+  std::string index;
+  std::string column;
+  std::string snapshot;  // kRestoreTable: serialized one-table block
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kCommit;
+  uint64_t txn_id = 0;
+  StatementJournal ops;              // kCommit
+  std::vector<DdlRedo> ddl;          // kDdl (one op)
+  std::vector<DdlUndoRedo> ddl_undo; // kDdl (empty for autocommit DDL)
+};
+
+/// Payload text for a record (no framing, no lsn assignment).
+std::string encode_record(const WalRecord& r);
+/// Parse a payload; returns false on malformed input (corruption).
+bool decode_record(std::string_view payload, WalRecord& out);
+
+/// Result of a salvage scan over a log file.
+struct WalScan {
+  bool file_found = false;
+  bool header_ok = false;
+  uint64_t start_lsn = 1;
+  std::vector<WalRecord> records;
+  /// Byte offset just past the last valid record — the truncation point.
+  size_t valid_bytes = 0;
+  /// Bytes past valid_bytes that failed framing/CRC/decode (torn tail).
+  size_t torn_bytes = 0;
+};
+
+/// Read and verify a log. Never throws for tail corruption (that is what
+/// the scan reports); throws WalError only when the file exists but cannot
+/// be read at all.
+WalScan scan_wal(const std::string& path);
+
+struct WalWriterStats {
+  uint64_t appends = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t fsyncs = 0;
+  /// sync_to() calls that returned (each is one durably acked commit).
+  uint64_t sync_calls = 0;
+  /// sync_to() calls satisfied by another caller's fsync (the group-commit
+  /// win: sync_calls - leader fsync count it took to serve them).
+  uint64_t batched_syncs = 0;
+  uint64_t rotations = 0;
+};
+
+class WalWriter {
+ public:
+  /// Open `path` for appending. `next_lsn` is the LSN the next record gets;
+  /// `resume_at` truncates the file to that many bytes first (salvage
+  /// discipline: drop a torn tail before appending over it). When the file
+  /// does not exist it is created with a "SEPTICWAL 1 <next_lsn>" header.
+  WalWriter(std::string path, uint64_t next_lsn, size_t resume_at);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frame and write one record; assigns and returns its LSN. The bytes
+  /// reach the kernel before append returns (write(2)), not the platter —
+  /// call sync_to / sync_all for that. Thread-safe; callers that need
+  /// record order to match data-structure mutation order must hold their
+  /// own ordering lock across mutation + append (the engine's commit/DDL
+  /// tiers already do).
+  uint64_t append(WalRecord r);
+
+  /// Group commit: block until every record up to `lsn` is fsynced. The
+  /// first waiter becomes leader and fsyncs for everyone queued behind it.
+  void sync_to(uint64_t lsn);
+
+  /// Fsync everything appended so far (checkpoint barriers, shutdown).
+  void sync_all();
+
+  /// Start a fresh log after a checkpoint: truncate to a new header whose
+  /// start_lsn continues the sequence, fsync. Callers must exclude
+  /// concurrent appends (the engine holds the DDL lock exclusively).
+  void rotate();
+
+  uint64_t next_lsn() const;
+  uint64_t last_lsn() const { return next_lsn() - 1; }
+  /// Current file size — the engine's checkpoint trigger.
+  uint64_t bytes() const;
+
+  WalWriterStats stats() const;
+
+ private:
+  void write_frame(std::string_view payload);
+
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex append_mu_;  // fd offset + lsn assignment
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_lsn_ = 0;
+  uint64_t bytes_ = 0;
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool leader_active_ = false;
+  uint64_t durable_lsn_ = 0;
+
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> sync_calls_{0};
+  std::atomic<uint64_t> batched_syncs_{0};
+  std::atomic<uint64_t> rotations_{0};
+};
+
+}  // namespace septic::storage::wal

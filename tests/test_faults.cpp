@@ -126,6 +126,37 @@ TEST_F(FaultTest, SaveIsAtomicUnderPartialWriteCrash) {
   EXPECT_FALSE(file_exists(path + ".tmp"));
 }
 
+TEST_F(FaultTest, AtomicWriteCrashBeforeRenameKeepsOldFileComplete) {
+  const std::string path = temp_path("ren");
+  common::atomic_write_file(path, "v1");
+  // Crash after the tmp is written+fsynced but before the rename: the
+  // visible file must still be the complete old image.
+  fp::arm("atomic_file.rename", 1);
+  EXPECT_THROW(common::atomic_write_file(path, "v2"),
+               fp::FailpointTriggered);
+  EXPECT_EQ(common::read_file(path), "v1");
+  // The orphaned tmp is harmless and rewritten whole by the next save.
+  common::atomic_write_file(path, "v3");
+  EXPECT_EQ(common::read_file(path), "v3");
+  ::unlink((path + ".tmp").c_str());
+  ::unlink(path.c_str());
+}
+
+TEST_F(FaultTest, AtomicWriteCrashBeforeDirFsyncHasNewFileInPlace) {
+  const std::string path = temp_path("dirsync");
+  common::atomic_write_file(path, "v1");
+  // Crash between the rename and the directory fsync: the rename already
+  // happened, so this process (and any reboot that retained it) sees the
+  // complete NEW image; a reboot that lost the un-fsynced rename would
+  // see the complete OLD one. Either way no torn state, no stray tmp.
+  fp::arm("atomic_file.dir_fsync", 1);
+  EXPECT_THROW(common::atomic_write_file(path, "v2"),
+               fp::FailpointTriggered);
+  EXPECT_EQ(common::read_file(path), "v2");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  ::unlink(path.c_str());
+}
+
 TEST_F(FaultTest, SaveIoErrorLeavesOldFileIntact) {
   const std::string path = temp_path("ioerr");
   core::QmStore store;

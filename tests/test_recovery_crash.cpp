@@ -1,0 +1,326 @@
+// Crash-recovery matrix (PR 7): fork a child, run a scripted write
+// workload with exactly ONE crashpoint armed, let the child die with
+// std::_Exit(42) at the armed site (simulated kill -9: no unwinding, no
+// flushing), then recover the data directory in the parent and check the
+// durability invariants:
+//
+//   1. every COMMIT the child acked before dying is present after
+//      recovery (the ack was written to a side file only after execute()
+//      returned, i.e. after the group-commit fsync under full mode);
+//   2. recovery itself never fails — every crashpoint leaves a state the
+//      boot path handles (torn tails truncate, tmp checkpoints are
+//      ignored, headerless logs read as empty);
+//   3. the recovered engine is fully writable;
+//   4. the engine's ddl_version agrees with the recovery report
+//      (digest-cache generation tags restart coherent);
+//   5. recovery is idempotent — a second reopen sees the identical state.
+//
+// Extra rows beyond the acked set are allowed: a crash after the fsync
+// but before the ack reached the side file loses the ack, not the commit.
+//
+// The child is a real separate process, so the crash also exercises the
+// no-destructors path: nothing is flushed, nothing is closed cleanly.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/database.h"
+#include "engine/error.h"
+#include "storage/wal/durable.h"
+
+namespace septic {
+namespace {
+
+namespace fp = common::failpoints;
+namespace wal = storage::wal;
+using engine::Database;
+using engine::Session;
+
+// Child exit codes. 42 comes from wal::crashpoint (the armed site); the
+// others mark child-side protocol failures so the parent can tell "died
+// at the crashpoint" from "died of something else".
+constexpr int kExitCrash = 42;
+constexpr int kExitNeverFired = 3;  // workload finished, site never hit
+constexpr int kExitChildError = 4;  // unexpected exception in the child
+
+std::string fresh_dir(const char* tag) {
+  static std::atomic<int> counter{0};
+  std::string dir = "/tmp/septic_crash_" + std::string(tag) + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove(dir + ".acks");
+  return dir;
+}
+
+wal::DurableStorage::Options dir_opts(const std::string& dir) {
+  wal::DurableStorage::Options o;
+  o.dir = dir;
+  o.mode = wal::DurabilityMode::kFull;
+  return o;
+}
+
+// Durably record one acked commit: the id only reaches this file after
+// Database::execute returned, i.e. after the WAL fsync acked it.
+void write_ack(const std::string& acks_path, int id) {
+  int fd = ::open(acks_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) std::_Exit(kExitChildError);
+  std::string line = std::to_string(id) + "\n";
+  if (::write(fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    std::_Exit(kExitChildError);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::vector<int> read_acks(const std::string& acks_path) {
+  std::vector<int> ids;
+  std::ifstream in(acks_path);
+  int id;
+  while (in >> id) ids.push_back(id);
+  return ids;
+}
+
+// The child's scripted workload: unarmored setup, then arm the one site
+// and keep issuing work that passes through every crashpoint family —
+// inserts (append + group-commit sync), autocommit DDL, and forced
+// checkpoints (checkpoint file dance + WAL rotation) — until the armed
+// site kills the process.
+[[noreturn]] void run_workload_child(const std::string& dir,
+                                     const std::string& acks_path,
+                                     const std::string& site) {
+  try {
+    Database db(dir_opts(dir));
+    db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)");
+    for (int id = 1; id <= 5; ++id) {
+      db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                       ", 'v')");
+      write_ack(acks_path, id);
+    }
+
+    fp::arm(site, 1);
+
+    for (int i = 0; i < 60; ++i) {
+      int id = 100 + i;
+      db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                       ", 'v')");
+      write_ack(acks_path, id);
+      if (i % 5 == 4) {
+        db.execute_admin("CREATE TABLE side" + std::to_string(i) +
+                         " (id INT PRIMARY KEY)");
+      }
+      if (i % 7 == 6) {
+        db.checkpoint_now();
+      }
+    }
+    std::_Exit(kExitNeverFired);
+  } catch (...) {
+    std::_Exit(kExitChildError);
+  }
+}
+
+// Fork, run `child` in the forked process, assert it exited with
+// kExitCrash. Returns only in the parent.
+template <typename Fn>
+void run_child_expect_crash(Fn child) {
+  ::pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    child();  // [[noreturn]]
+    std::_Exit(kExitChildError);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child killed by signal "
+                                 << (WIFSIGNALED(status) ? WTERMSIG(status)
+                                                         : 0);
+  ASSERT_EQ(WEXITSTATUS(status), kExitCrash)
+      << "child exited " << WEXITSTATUS(status)
+      << " (3 = armed site never fired, 4 = child-side exception)";
+}
+
+// Parent-side invariant check after the child crashed.
+void verify_recovered(const std::string& dir, const std::string& acks_path) {
+  std::vector<int> acked = read_acks(acks_path);
+  ASSERT_FALSE(acked.empty()) << "child died before any ack";
+  int64_t count_after_insert = 0;
+  {
+    Database db(dir_opts(dir));  // recovery must succeed — invariant 2
+    // Invariant 4: generation tags agree.
+    EXPECT_EQ(db.ddl_version(), db.recovery_report().ddl_version);
+    // Invariant 1: every acked commit survived.
+    for (int id : acked) {
+      auto rs = db.execute_admin("SELECT v FROM kv WHERE id = " +
+                                 std::to_string(id));
+      ASSERT_EQ(rs.rows.size(), 1u) << "acked id " << id << " lost";
+      EXPECT_EQ(rs.rows[0][0].as_string(), "v");
+    }
+    // Invariant 3: the engine is writable after recovery.
+    db.execute_admin("INSERT INTO kv VALUES (99999, 'post-recovery')");
+    count_after_insert = db.execute_admin("SELECT COUNT(*) FROM kv")
+                             .rows[0][0]
+                             .as_int();
+    EXPECT_GE(count_after_insert, static_cast<int64_t>(acked.size()) + 1);
+  }
+  // Invariant 5: recovery is idempotent — reopen sees the same state,
+  // including the parent's own post-recovery write.
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            count_after_insert);
+  EXPECT_EQ(db.execute_admin("SELECT v FROM kv WHERE id = 99999")
+                .rows.size(),
+            1u);
+}
+
+class RecoveryCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fp::compiled_in()) {
+      GTEST_SKIP() << "failpoints compiled out of this build";
+    }
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    for (const auto& d : dirs_) {
+      std::filesystem::remove_all(d);
+      std::filesystem::remove(d + ".acks");
+    }
+  }
+  std::string make_dir(const char* tag) {
+    dirs_.push_back(fresh_dir(tag));
+    return dirs_.back();
+  }
+  std::vector<std::string> dirs_;
+};
+
+// ---- the matrix: kill at every site the write path can reach -----------
+
+TEST_F(RecoveryCrashTest, KillAtEveryWritePathCrashpointRecovers) {
+  const char* kSites[] = {
+      "wal.append.crash_before",
+      "wal.append.crash_torn",
+      "wal.append.crash_after",
+      "wal.sync.crash_before",
+      "wal.sync.crash_after",
+      "wal.ddl.crash_after",
+      "wal.rotate.crash_before",
+      "wal.rotate.crash_mid",
+      "wal.rotate.crash_after",
+      "checkpoint.crash_begin",
+      "checkpoint.crash_torn_pages",
+      "checkpoint.crash_before_fsync",
+      "checkpoint.crash_before_rename",
+      "checkpoint.crash_after_rename",
+      "checkpoint.crash_end",
+  };
+  for (const char* site : kSites) {
+    SCOPED_TRACE(site);
+    std::string dir = make_dir("matrix");
+    std::string acks = dir + ".acks";
+    run_child_expect_crash(
+        [&] { run_workload_child(dir, acks, site); });
+    if (HasFatalFailure()) return;
+    verify_recovered(dir, acks);
+  }
+}
+
+// ---- crash during recovery itself ---------------------------------------
+
+TEST_F(RecoveryCrashTest, KillMidReplayThenRecoverCleanly) {
+  std::string dir = make_dir("midreplay");
+  run_child_expect_crash([&] {
+    try {
+      {
+        Database db(dir_opts(dir));
+        db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)");
+        for (int id = 1; id <= 5; ++id) {
+          db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                           ", 'v')");
+        }
+      }
+      // Second boot replays 6 records; die on the first.
+      fp::arm("recovery.crash_mid_replay", 1);
+      Database again(dir_opts(dir));
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  // Recovery read, never wrote: the aborted attempt must not have
+  // perturbed anything.
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            5);
+  db.execute_admin("INSERT INTO kv VALUES (6, 'v')");
+}
+
+TEST_F(RecoveryCrashTest, KillBeforeWalReopenThenRecoverCleanly) {
+  std::string dir = make_dir("beforeopen");
+  run_child_expect_crash([&] {
+    try {
+      {
+        Database db(dir_opts(dir));
+        db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY)");
+        db.execute_admin("INSERT INTO kv VALUES (1)");
+      }
+      fp::arm("recovery.crash_before_wal_open", 1);
+      Database again(dir_opts(dir));
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            1);
+}
+
+// ---- crash mid-transaction: no partial effects, DDL undone --------------
+
+TEST_F(RecoveryCrashTest, CrashDuringCommitDiscardsTxnAndUndoesItsDdl) {
+  std::string dir = make_dir("txncommit");
+  run_child_expect_crash([&] {
+    try {
+      Database db(dir_opts(dir));
+      Session s("crash");
+      db.execute_admin("CREATE TABLE keep (id INT PRIMARY KEY)");
+      for (int id = 1; id <= 3; ++id) {
+        db.execute_admin("INSERT INTO keep VALUES (" + std::to_string(id) +
+                         ")");
+      }
+      db.execute(s, "BEGIN");
+      db.execute(s, "INSERT INTO keep VALUES (100)");
+      db.execute(s, "CREATE TABLE temp_t (id INT PRIMARY KEY)");
+      // Die inside COMMIT, before its kCommit record hits the file: the
+      // transaction must vanish wholesale — buffered row AND its DDL.
+      fp::arm("wal.append.crash_before", 1);
+      db.execute(s, "COMMIT");
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.recovery_report().txns_discarded, 1u);
+  EXPECT_EQ(db.catalog().find("temp_t"), nullptr);
+  auto rs = db.execute_admin("SELECT id FROM keep ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);  // 1..3; the buffered 100 is gone
+  EXPECT_EQ(rs.rows[2][0].as_int(), 3);
+}
+
+}  // namespace
+}  // namespace septic
