@@ -280,6 +280,22 @@ ResultSet Database::dispatch_execute(Session& session,
                   "transaction");
   }
 
+  if (durable_ && (write_kind(kind) || ddl_kind(kind)) &&
+      durable_->wal_poisoned()) {
+    // An earlier append failed mid-frame and the writer refuses to log
+    // anything new (a later record would replay against a recovered
+    // state missing the unlogged mutation). Try the healing checkpoint
+    // now — it folds the full in-memory state into a durable image and
+    // rotates — and only proceed if it worked; executing first and
+    // failing at the log would grow the memory/log divergence.
+    maybe_checkpoint();
+    if (durable_->wal_poisoned()) {
+      throw DbError(ErrorCode::kInternal,
+                    "WAL writer poisoned by an earlier append failure and "
+                    "the healing checkpoint did not run; writes refused");
+    }
+  }
+
   if (ddl_kind(kind)) {
     if (t) return execute_ddl_in_txn(session, *t, stmt, kind);
     // Autocommit DDL: exclusive lock, legacy table plane, version bump.
@@ -342,7 +358,15 @@ ResultSet Database::dispatch_execute(Session& session,
         // has to converge on the surviving state. The client gets an
         // error, not an ack, so the record just rides the next fsync.
         if (durable_ && !journal.empty()) {
-          durable_->log_commit(0, std::move(journal));
+          try {
+            durable_->log_commit(0, std::move(journal));
+          } catch (const wal::WalError&) {
+            // Could not log the partial effects: log_commit already
+            // marked the tables dirty and the writer is now poisoned, so
+            // the healing checkpoint folds the effects in before any
+            // later record could depend on them. Surface the original
+            // statement error, not the WAL one.
+          }
         }
         throw;
       }
@@ -588,6 +612,19 @@ ResultSet Database::handle_transaction(Session& session,
 
 void Database::commit_txn(Session& session,
                           const std::shared_ptr<txn::Transaction>& t) {
+  if (durable_ && durable_->wal_poisoned()) {
+    // Heal before applying anything: the kCommit record could not be
+    // logged, and discovering that mid-protocol means unwinding an
+    // already-applied write set. The transaction stays open so the
+    // client can retry or roll back.
+    maybe_checkpoint();
+    if (durable_->wal_poisoned()) {
+      throw DbError(ErrorCode::kInternal,
+                    "WAL writer poisoned by an earlier append failure and "
+                    "the healing checkpoint did not run; commit refused "
+                    "(transaction still open)");
+    }
+  }
   uint64_t lsn = 0;
   {
     std::shared_lock ddl(ddl_mu_);
@@ -650,6 +687,15 @@ void Database::commit_txn(Session& session,
       size_t slot;
     };
     std::vector<Applied> applied;
+    auto unwind_applied = [&applied] {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        switch (it->op) {
+          case Applied::Op::kInsert: it->table->undo_insert(it->slot); break;
+          case Applied::Op::kUpdate: it->table->undo_update(it->slot); break;
+          case Applied::Op::kErase: it->table->undo_erase(it->slot); break;
+        }
+      }
+    };
     wal::StatementJournal journal;
     const bool jlog = durable_ != nullptr;
     try {
@@ -691,13 +737,7 @@ void Database::commit_txn(Session& session,
         }
       }
     } catch (const storage::StorageError& e) {
-      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-        switch (it->op) {
-          case Applied::Op::kInsert: it->table->undo_insert(it->slot); break;
-          case Applied::Op::kUpdate: it->table->undo_update(it->slot); break;
-          case Applied::Op::kErase: it->table->undo_erase(it->slot); break;
-        }
-      }
+      unwind_applied();
       log_aborted_end();  // writes unwound; DDL (if any) stays
       txn_mgr_.finish(t, txn::TxnState::kRolledBack);
       session.set_txn(nullptr);
@@ -709,7 +749,22 @@ void Database::commit_txn(Session& session,
     // below happens strictly after. An empty journal still logs when the
     // transaction ran DDL — the kCommit record is its end marker.
     if (durable_ && (!journal.empty() || !t->ddl_undo.empty())) {
-      lsn = durable_->log_commit(t->id, std::move(journal));
+      try {
+        lsn = durable_->log_commit(t->id, std::move(journal));
+      } catch (const wal::WalError& e) {
+        // The commit record never reached the log, so the commit must not
+        // happen: unwind the applied versions before anything publishes
+        // them (the burned timestamp must leave no versions behind). No
+        // log_aborted_end here — the writer just poisoned itself, so that
+        // append would throw too; the healing checkpoint will capture the
+        // surviving in-memory state (including this txn's DDL) instead.
+        unwind_applied();
+        txn_mgr_.finish(t, txn::TxnState::kRolledBack);
+        session.set_txn(nullptr);
+        throw DbError(ErrorCode::kInternal,
+                      std::string("commit could not be logged: ") + e.what() +
+                          "; transaction rolled back");
+      }
     }
     txn_mgr_.publish(commit_ts);
     txn_mgr_.finish(t, txn::TxnState::kCommitted);
@@ -810,6 +865,40 @@ void Database::maybe_vacuum() {
     if (table != nullptr && table->has_old_versions()) {
       table->vacuum(horizon);
     }
+  }
+}
+
+void Database::set_durability_mode(wal::DurabilityMode m) {
+  if (!durable_) return;
+  const wal::DurabilityMode prev = durable_->mode();
+  if (prev != wal::DurabilityMode::kOff || m == wal::DurabilityMode::kOff) {
+    durable_->set_mode(m);
+    return;
+  }
+  // Leaving kOff: mutations made while logging was off never reached the
+  // WAL, so records appended from now on would replay against a
+  // checkpoint state missing those writes. Fold the current state into a
+  // checkpoint FIRST — under the exclusive DDL lock so no record can
+  // slip in between — then start logging.
+  std::unique_lock ddl(ddl_mu_);
+  if (txn_mgr_.any_active_ddl()) {
+    throw DbError(ErrorCode::kTxnState,
+                  "cannot enable durability while an open transaction holds "
+                  "DDL undo");
+  }
+  // set_mode first: leaving kOff invalidates the checkpoint block cache
+  // (off-mode mutations never marked tables dirty). The exclusive lock
+  // keeps any record from landing before the checkpoint below.
+  durable_->set_mode(m);
+  try {
+    durable_->checkpoint(catalog_,
+                         ddl_version_.load(std::memory_order_acquire));
+  } catch (const wal::WalError& e) {
+    durable_->set_mode(wal::DurabilityMode::kOff);  // transition aborted
+    throw DbError(ErrorCode::kInternal,
+                  std::string("cannot enable durability: checkpoint "
+                              "failed: ") +
+                      e.what());
   }
 }
 

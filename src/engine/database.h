@@ -161,10 +161,13 @@ class Database {
 
   /// Runtime durability switch (bench sweeps): full = COMMIT acks after
   /// its group-commit fsync; relaxed = log without fsync; off = stop
-  /// logging. No-op on a volatile engine.
-  void set_durability_mode(storage::wal::DurabilityMode m) {
-    if (durable_) durable_->set_mode(m);
-  }
+  /// logging. No-op on a volatile engine. Leaving `off` checkpoints the
+  /// current state first (mutations made while off were never logged;
+  /// replaying newer records against a checkpoint missing them would
+  /// diverge), so it throws kTxnState while an open transaction holds
+  /// DDL undo and kInternal if that checkpoint fails — in both cases the
+  /// mode stays off.
+  void set_durability_mode(storage::wal::DurabilityMode m);
   storage::wal::DurabilityMode durability_mode() const {
     return durable_ ? durable_->mode() : storage::wal::DurabilityMode::kOff;
   }

@@ -44,10 +44,27 @@ void write_all_fd(int fd, const char* data, size_t n, const std::string& what) {
   }
 }
 
-void fsync_dir(const std::string& dir) {
+/// Checkpoint-path directory fsync — mandatory, unlike atomic_file's
+/// best-effort variant. The caller rotates (wipes) the WAL right after:
+/// if the rename were not durably in the directory, a power loss could
+/// surface the OLD checkpoint next to an already-emptied log, losing
+/// everything since the previous checkpoint. Throwing instead leaves the
+/// old checkpoint + un-rotated log, which recovery handles.
+void fsync_dir_or_throw(const std::string& dir) {
+  SEPTIC_FAILPOINT_HOOK("checkpoint.dir_fsync_fail") {
+    throw WalError("checkpoint: directory fsync failed: injected I/O error");
+  }
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd < 0) return;  // best effort, like atomic_file
-  (void)::fsync(dfd);
+  if (dfd < 0) {
+    throw WalError("checkpoint: cannot open directory " + dir + ": " +
+                   std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    int saved = errno;
+    ::close(dfd);
+    throw WalError("checkpoint: directory fsync failed: " +
+                   std::string(std::strerror(saved)));
+  }
   ::close(dfd);
 }
 
@@ -182,6 +199,17 @@ DurableStorage::~DurableStorage() {
     if (wal_ != nullptr && mode_ != DurabilityMode::kOff) wal_->sync_all();
   } catch (...) {
   }
+}
+
+void DurableStorage::set_mode(DurabilityMode m) {
+  if (mode_ == DurabilityMode::kOff && m != DurabilityMode::kOff) {
+    // Mutations made while off never passed through mark_dirty, so any
+    // cached table block may be stale — the transition checkpoint (the
+    // set_mode contract) must re-serialize everything.
+    std::lock_guard lk(dirty_mu_);
+    block_cache_.clear();
+  }
+  mode_ = m;
 }
 
 std::string DurableStorage::wal_path() const { return opts_.dir + "/wal.log"; }
@@ -408,12 +436,21 @@ RecoveryReport DurableStorage::recover_into(Catalog& catalog) {
 
   uint64_t next_lsn;
   size_t resume_at;
-  if (scan.header_ok) {
-    next_lsn = scan.start_lsn + scan.records.size();
+  const uint64_t salvaged_next = scan.start_lsn + scan.records.size();
+  if (scan.header_ok && salvaged_next > rep.checkpoint_lsn) {
+    next_lsn = salvaged_next;
     resume_at = scan.valid_bytes;
   } else {
-    // Missing, headerless, or torn-at-birth log (crash mid-rotation):
-    // everything durable lives in the checkpoint; start a fresh log.
+    // Missing, headerless, or torn-at-birth log (crash mid-rotation) —
+    // OR a salvaged tail that ends at or below the checkpoint watermark.
+    // The latter happens because the watermark can cover appended-but-
+    // unfsynced records (ack_sync runs outside the locks checkpoint
+    // takes), so a power loss can tear frames the checkpoint already
+    // folded in. Resuming at the salvaged LSN would then REUSE LSNs the
+    // checkpoint claims as folded, and the next recovery would silently
+    // skip freshly fsync-acked commits as "already covered". Everything
+    // durable lives in the checkpoint; start a fresh log just past it so
+    // the file has no internal LSN gap either.
     next_lsn = rep.checkpoint_lsn + 1;
     resume_at = 0;
   }
@@ -500,8 +537,15 @@ void DurableStorage::sync() {
 }
 
 bool DurableStorage::wants_checkpoint() const {
+  // A poisoned writer (failed append) needs a checkpoint regardless of
+  // log size: only folding the full in-memory state into a durable image
+  // and rotating makes appending safe again.
   return wal_ != nullptr && mode_ != DurabilityMode::kOff &&
-         wal_->bytes() >= opts_.checkpoint_wal_bytes;
+         (wal_->poisoned() || wal_->bytes() >= opts_.checkpoint_wal_bytes);
+}
+
+bool DurableStorage::wal_poisoned() const {
+  return wal_ != nullptr && wal_->poisoned();
 }
 
 // ---- checkpoint -----------------------------------------------------------
@@ -579,7 +623,7 @@ void DurableStorage::checkpoint(const Catalog& catalog,
                    std::string(std::strerror(errno)));
   }
   crashpoint("checkpoint.crash_after_rename");
-  fsync_dir(opts_.dir);
+  fsync_dir_or_throw(opts_.dir);
 
   {
     // Old page numbers are meaningless against the new file (dirty_mu_

@@ -113,8 +113,16 @@ class DurableStorage {
 
   DurabilityMode mode() const { return mode_; }
   /// Runtime switch (bench sweeps). Going relaxed->full does not
-  /// retroactively sync old records; the next ack does.
-  void set_mode(DurabilityMode m) { mode_ = m; }
+  /// retroactively sync old records; the next ack does. LEAVING kOff
+  /// requires a checkpoint BEFORE the next logged record: mutations made
+  /// while off were never logged, so replaying newer records against a
+  /// checkpoint state missing them diverges (insert slot mismatch fails
+  /// the next boot at best, updates land on wrong rows at worst). The
+  /// engine's Database::set_durability_mode enforces this; direct callers
+  /// must do the same. Leaving kOff here invalidates the checkpoint block
+  /// cache: off-mode mutations never passed through mark_dirty, so the
+  /// transition checkpoint must re-serialize every table.
+  void set_mode(DurabilityMode m);
 
   /// Append one committed unit of row changes. txn_id 0 = autocommit.
   /// Returns the record's LSN (pass to ack_sync). Caller holds the lock
@@ -140,8 +148,14 @@ class DurableStorage {
   /// the group-commit leader fsyncs past `lsn`.
   void ack_sync(uint64_t lsn);
 
-  /// True once the WAL has outgrown the checkpoint threshold.
+  /// True once the WAL has outgrown the checkpoint threshold — or its
+  /// writer was poisoned by a failed append (see wal_poisoned), in which
+  /// case only a checkpoint restores the durability plane.
   bool wants_checkpoint() const;
+
+  /// True while the WAL writer refuses appends after a mid-frame write
+  /// failure. checkpoint() heals it (rotate clears the poison).
+  bool wal_poisoned() const;
 
   /// Write a new checkpoint of `catalog` and rotate the WAL. Caller
   /// excludes all writers (exclusive DDL lock) AND guarantees no open

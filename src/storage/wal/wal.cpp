@@ -341,9 +341,31 @@ WalWriter::~WalWriter() {
 
 uint64_t WalWriter::append(WalRecord r) {
   std::lock_guard lk(append_mu_);
+  if (poisoned_) {
+    throw WalError(
+        "wal: writer poisoned by an earlier append failure (checkpoint to "
+        "heal)");
+  }
   r.lsn = next_lsn_;
   std::string payload = encode_record(r);
-  write_frame(payload);
+  try {
+    write_frame(payload);
+  } catch (...) {
+    // The failed write may have left a partial frame at the advanced fd
+    // offset. Appending past it would bury garbage that the next salvage
+    // scan stops at, discarding every later record — fsync-acked commits
+    // included — as torn. Rewind to the last well-formed boundary, and
+    // refuse further appends either way: the mutation this record
+    // described already applied in memory, so any later record would
+    // replay against a recovered state missing it. rotate() (the
+    // checkpoint path, which folds the full in-memory state into a
+    // durable image) clears the poison.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) == 0) {
+      ::lseek(fd_, 0, SEEK_END);
+    }
+    poisoned_ = true;
+    throw;
+  }
   appended_lsn_ = next_lsn_;
   ++next_lsn_;
   bytes_ += 8 + payload.size();
@@ -364,6 +386,13 @@ void WalWriter::write_frame(std::string_view payload) {
     // pulled. Recovery must CRC-reject the tail.
     write_all(fd_, frame.data(), frame.size() / 2, "torn frame");
     std::_Exit(42);
+  }
+  SEPTIC_FAILPOINT_HOOK("wal.append.io_error") {
+    // I/O error mid-frame with the process still alive (ENOSPC, EIO):
+    // half the frame lands, then the write fails. append() must rewind
+    // the partial frame and poison the writer.
+    write_all(fd_, frame.data(), frame.size() / 2, "partial frame");
+    throw WalError("wal: write failed (frame): injected I/O error");
   }
   write_all(fd_, frame.data(), frame.size(), "frame");
   crashpoint("wal.append.crash_after");
@@ -453,6 +482,10 @@ void WalWriter::rotate() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   bytes_ = header.size();
   durable_lsn_ = next_lsn_ - 1;
+  // A fresh log whose checkpoint captured the full in-memory state heals
+  // a writer poisoned by an earlier append failure: nothing on the new
+  // log can depend on the record that never made it.
+  poisoned_ = false;
   rotations_.fetch_add(1, std::memory_order_relaxed);
   crashpoint("wal.rotate.crash_after");
 }
@@ -465,6 +498,11 @@ uint64_t WalWriter::next_lsn() const {
 uint64_t WalWriter::bytes() const {
   std::lock_guard lk(append_mu_);
   return bytes_;
+}
+
+bool WalWriter::poisoned() const {
+  std::lock_guard lk(append_mu_);
+  return poisoned_;
 }
 
 WalWriterStats WalWriter::stats() const {

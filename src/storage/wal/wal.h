@@ -166,7 +166,17 @@ class WalWriter {
   /// record order to match data-structure mutation order must hold their
   /// own ordering lock across mutation + append (the engine's commit/DDL
   /// tiers already do).
+  ///
+  /// A write(2) failure mid-frame POISONS the writer: the partial frame
+  /// is rewound (best effort) and every later append throws until
+  /// rotate() starts a fresh log. The mutation the failed record
+  /// described already applied in memory, so a later record would replay
+  /// against a recovered state missing it — only a checkpoint (which
+  /// captures the full in-memory state) makes appending safe again.
   uint64_t append(WalRecord r);
+
+  /// True after an append failed; cleared by rotate().
+  bool poisoned() const;
 
   /// Group commit: block until every record up to `lsn` is fsynced. The
   /// first waiter becomes leader and fsyncs for everyone queued behind it.
@@ -197,6 +207,8 @@ class WalWriter {
   uint64_t next_lsn_ = 1;
   uint64_t appended_lsn_ = 0;
   uint64_t bytes_ = 0;
+  /// Set when an append failed mid-frame; appends refuse until rotate().
+  bool poisoned_ = false;
 
   std::mutex sync_mu_;
   std::condition_variable sync_cv_;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "engine/database.h"
 #include "engine/error.h"
 #include "storage/catalog.h"
@@ -30,6 +31,7 @@
 namespace septic {
 namespace {
 
+namespace fp = common::failpoints;
 namespace wal = storage::wal;
 using engine::Database;
 using engine::DbError;
@@ -570,6 +572,180 @@ TEST_F(DurableDirTest, VolatileDatabaseHasNoDurabilityFootprint) {
   EXPECT_EQ(st.wal.appends, 0u);
   db.checkpoint_now();  // no-op, no throw
   db.sync_durable();    // no-op, no throw
+}
+
+// ------------------------------------- durability-plane fault regressions
+
+// A checkpoint's watermark can cover appended-but-unfsynced records
+// (ack_sync runs outside the locks checkpoint takes), so a power loss can
+// tear frames the checkpoint already folded in. Recovery must then resume
+// LSNs ABOVE the watermark — resuming at the salvaged LSN would reuse
+// LSNs the checkpoint claims as folded, and the next recovery would
+// silently skip freshly fsync-acked commits.
+TEST_F(DurableDirTest, RecoveryNeverResumesLsnsBelowCheckpointWatermark) {
+  std::string dir = make_dir("lsnclamp");
+  std::filesystem::create_directories(dir);
+  // Model the survivor state directly: checkpoint at watermark 10, log
+  // salvageable only through LSN 5 (6..10 lost with the torn tail).
+  storage::Catalog cat;
+  cat.create_table(storage::TableSchema(
+      "kv", {storage::ColumnDef{"id", storage::ColumnType::kInt, true, true,
+                                false, std::nullopt}}));
+  common::write_file_raw(
+      dir + "/tables.pg",
+      wal::encode_paged(wal::DurableStorage::encode_catalog(cat), 10, 0));
+  {
+    wal::WalWriter w(dir + "/wal.log", 1, 0);
+    for (int i = 0; i < 5; ++i) {
+      wal::WalRecord rec;
+      rec.type = wal::RecordType::kCommit;
+      rec.ops.push_back(wal::RedoOp::erase("kv", 0));
+      w.append(std::move(rec));
+    }
+    w.sync_all();
+  }
+  {
+    wal::DurableStorage ds(dir_opts(dir));
+    storage::Catalog booted;
+    wal::RecoveryReport rep = ds.recover_into(booted);
+    EXPECT_EQ(rep.checkpoint_lsn, 10u);
+    EXPECT_EQ(rep.records_scanned, 5u);
+    EXPECT_EQ(rep.records_skipped, 5u);
+    auto res = booted.find("kv")->insert({sql::Value(int64_t{1})});
+    uint64_t lsn = ds.log_commit(
+        0, {wal::RedoOp::insert("kv", res.slot, {sql::Value(int64_t{1})})});
+    EXPECT_EQ(lsn, 11u);  // above the watermark, never 6
+    ds.ack_sync(lsn);
+  }
+  // The acked commit replays on the next boot instead of being skipped as
+  // "already covered by the checkpoint".
+  wal::DurableStorage ds(dir_opts(dir));
+  storage::Catalog booted;
+  wal::RecoveryReport rep = ds.recover_into(booted);
+  EXPECT_EQ(rep.commits_replayed, 1u);
+  EXPECT_EQ(rep.records_skipped, 0u);
+  EXPECT_EQ(booted.find("kv")->row_count(), 1u);
+}
+
+TEST_F(DurableDirTest, FailedAppendRewindsPartialFrameAndPoisonsUntilRotate) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  std::string dir = make_dir("poison");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/wal.log";
+  wal::WalWriter w(path, 1, 0);
+  auto make_rec = [] {
+    wal::WalRecord r;
+    r.type = wal::RecordType::kCommit;
+    r.ops.push_back(wal::RedoOp::erase("t", 0));
+    return r;
+  };
+  EXPECT_EQ(w.append(make_rec()), 1u);
+  w.sync_all();
+
+  // I/O error after half the frame reached the file: the bytes must be
+  // rewound, not left as garbage for later appends to bury (salvage would
+  // stop there and discard every later record as torn).
+  fp::arm("wal.append.io_error", 1);
+  EXPECT_THROW(w.append(make_rec()), wal::WalError);
+  fp::disarm_all();
+  wal::WalScan scan = wal::scan_wal(path);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.torn_bytes, 0u);  // partial frame rewound
+
+  // Poisoned: the mutation the failed record described applied in memory
+  // but is not on the log, so nothing newer may be logged either.
+  EXPECT_TRUE(w.poisoned());
+  EXPECT_THROW(w.append(make_rec()), wal::WalError);
+
+  // rotate() — the checkpoint path — heals; the failed append burned no
+  // LSN.
+  w.rotate();
+  EXPECT_FALSE(w.poisoned());
+  EXPECT_EQ(w.append(make_rec()), 2u);
+  w.sync_all();
+  scan = wal::scan_wal(path);
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_EQ(scan.start_lsn, 2u);
+  ASSERT_EQ(scan.records.size(), 1u);
+}
+
+TEST_F(DurableDirTest, EngineHealsPoisonedWalWithCheckpointAndLosesNothing) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  std::string dir = make_dir("heal");
+  {
+    Database db(dir_opts(dir));
+    db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY)");
+    db.execute_admin("INSERT INTO kv VALUES (1)");
+    // The insert applies in memory (failed autocommit keeps its effects)
+    // but its record dies mid-frame; the writer poisons itself.
+    fp::arm("wal.append.io_error", 1);
+    EXPECT_THROW(db.execute_admin("INSERT INTO kv VALUES (2)"),
+                 wal::WalError);
+    fp::disarm_all();
+    EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+              2);
+    // The next write statement finds the poisoned writer, runs the
+    // healing checkpoint (folding rows 1 AND 2 into a durable image),
+    // and then proceeds normally.
+    db.execute_admin("INSERT INTO kv VALUES (3)");
+    EXPECT_GE(db.durability_stats().checkpoints, 1u);
+  }
+  Database db(dir_opts(dir));
+  auto rs = db.execute_admin("SELECT id FROM kv ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 2);  // the unlogged row survived
+}
+
+TEST_F(DurableDirTest, DirFsyncFailureAbortsCheckpointBeforeRotate) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  std::string dir = make_dir("dirfsync");
+  {
+    Database db(dir_opts(dir));
+    db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY)");
+    db.execute_admin("INSERT INTO kv VALUES (1)");
+    fp::arm("checkpoint.dir_fsync_fail", 1);
+    EXPECT_THROW(db.checkpoint_now(), DbError);
+    fp::disarm_all();
+    // The WAL must NOT have rotated: had it, a power loss that surfaced
+    // the un-fsynced directory (old checkpoint) next to the emptied log
+    // would lose everything since the previous checkpoint.
+    wal::DurabilityStats st = db.durability_stats();
+    EXPECT_EQ(st.wal.rotations, 0u);
+    EXPECT_EQ(st.checkpoints, 0u);
+    // The engine keeps running and a later checkpoint succeeds.
+    db.execute_admin("INSERT INTO kv VALUES (2)");
+    db.checkpoint_now();
+    EXPECT_EQ(db.durability_stats().checkpoints, 1u);
+  }
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            2);
+}
+
+TEST_F(DurableDirTest, LeavingDurabilityOffCheckpointsBeforeLogging) {
+  std::string dir = make_dir("offon");
+  {
+    Database db(dir_opts(dir));
+    db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY)");
+    db.execute_admin("INSERT INTO kv VALUES (1)");
+    // Populate the checkpoint block cache BEFORE the off-window: row 2
+    // below never passes through mark_dirty, so the transition checkpoint
+    // must invalidate (not reuse) kv's cached block.
+    db.checkpoint_now();
+    db.set_durability_mode(wal::DurabilityMode::kOff);
+    // Never logged: only a checkpoint can make this row durable.
+    db.execute_admin("INSERT INTO kv VALUES (2)");
+    db.set_durability_mode(wal::DurabilityMode::kFull);
+    EXPECT_GE(db.durability_stats().checkpoints, 2u);
+    db.execute_admin("INSERT INTO kv VALUES (3)");
+  }
+  // Without the transition checkpoint, row 3's record (logged at slot 2)
+  // would replay against a state missing row 2 — slot divergence fails
+  // the boot, or worse, an acked commit lands on the wrong row.
+  Database db(dir_opts(dir));
+  auto rs = db.execute_admin("SELECT id FROM kv ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 2);
 }
 
 // ------------------------------------------------ group-commit stress (8t)
