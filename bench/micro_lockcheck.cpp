@@ -1,0 +1,114 @@
+// lockcheck microbenchmarks: the analyzer is a check.sh gate, so its cost
+// over the whole tree bounds how often it runs (every commit, ideally).
+// Pins the three stages separately — extraction (declaration + body pass)
+// over the repository's own sources, the interprocedural checker fixpoint,
+// and the end-to-end scan including spec parse and JSON rendering — and
+// reports files/sec so the gate's budget is visible in absolute terms.
+//
+// Needs SEPTIC_SOURCE_DIR (set by the bench CMakeLists) to find the tree;
+// the corpus is whatever src/ holds at build time, so numbers drift as the
+// repository grows — compare runs against the same checkout.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lockcheck/lock_check.h"
+#include "analysis/lockcheck/lock_extract.h"
+#include "analysis/lockcheck/lock_spec.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace septic::analysis::lockcheck;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The repository's own sources, loaded once: path → contents. Lexing is
+/// part of what we measure, so contents stay raw text here.
+const std::vector<std::pair<std::string, std::string>>& corpus() {
+  static const auto files = [] {
+    std::vector<std::pair<std::string, std::string>> out;
+    const std::string root = std::string(SEPTIC_SOURCE_DIR) + "/src";
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() != ".cpp" && p.extension() != ".h") continue;
+      out.emplace_back(p.generic_string(), read_file(p.generic_string()));
+    }
+    return out;
+  }();
+  return files;
+}
+
+LockSpec repo_spec() {
+  LockSpec spec;
+  std::string err;
+  spec.parse(read_file(std::string(SEPTIC_SOURCE_DIR) + "/locks.spec"), &err);
+  return spec;
+}
+
+/// Extraction only: lex + declaration pass + body pass over every source
+/// file. This dominates end-to-end time, so files/sec here is effectively
+/// the gate's throughput.
+void BM_ExtractRepo(benchmark::State& state) {
+  const auto& files = corpus();
+  size_t functions = 0;
+  for (auto _ : state) {
+    Extractor ex;
+    for (const auto& [path, text] : files) ex.add_file(path, text);
+    CodeModel model = ex.build();
+    functions = model.functions.size();
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["files/s"] = benchmark::Counter(
+      static_cast<double>(files.size()), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["functions"] = static_cast<double>(functions);
+}
+BENCHMARK(BM_ExtractRepo)->Unit(benchmark::kMillisecond);
+
+/// Checker fixpoint only, on a pre-built model: summary propagation over
+/// the call graph plus every per-function walk against the spec.
+void BM_CheckRepoModel(benchmark::State& state) {
+  Extractor ex;
+  for (const auto& [path, text] : corpus()) ex.add_file(path, text);
+  const CodeModel model = ex.build();
+  const LockSpec spec = repo_spec();
+  for (auto _ : state) {
+    LockReport report = check_model(model, spec, "locks.spec");
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["functions/s"] = benchmark::Counter(
+      static_cast<double>(model.functions.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CheckRepoModel)->Unit(benchmark::kMillisecond);
+
+/// What `scripts/check.sh lockcheck` actually pays per run: spec parse,
+/// extraction, checking, and the JSON render.
+void BM_EndToEndScan(benchmark::State& state) {
+  const auto& files = corpus();
+  for (auto _ : state) {
+    LockSpec spec = repo_spec();
+    Extractor ex;
+    for (const auto& [path, text] : files) ex.add_file(path, text);
+    LockReport report = check_model(ex.build(), spec, "locks.spec");
+    std::string json = render_lock_json(report);
+    benchmark::DoNotOptimize(json);
+  }
+  state.counters["files/s"] = benchmark::Counter(
+      static_cast<double>(files.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_EndToEndScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace

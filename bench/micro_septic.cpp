@@ -153,10 +153,30 @@ void BM_StoreLookup(benchmark::State& state) {
   }
   store.add("target", qm);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.lookup("target"));
+    benchmark::DoNotOptimize(store.snapshot("target"));
   }
 }
 BENCHMARK(BM_StoreLookup);
+
+// The in-place read the detector hot path uses (no refcount bump, no
+// copy); compare against BM_StoreLookup's snapshot pin.
+void BM_StoreLookupApply(benchmark::State& state) {
+  core::QmStore store;
+  sql::ItemStack qs = sql::build_item_stack(sql::parse(kQuery).statement);
+  core::QueryModel qm = core::make_query_model(qs);
+  for (int i = 0; i < 200; ++i) {
+    store.add("id" + std::to_string(i), qm);
+  }
+  store.add("target", qm);
+  for (auto _ : state) {
+    size_t n = 0;
+    store.lookup_apply("target", [&](const std::vector<core::QueryModel>& ms) {
+      n = ms.size();
+    });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_StoreLookupApply);
 
 void BM_PluginQuickFilter(benchmark::State& state) {
   auto plugins = core::make_default_plugins();

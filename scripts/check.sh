@@ -6,6 +6,12 @@
 #   lint   — clang-tidy (.clang-tidy) + cppcheck over src/; each tool
 #            SKIPs with a notice when not installed (the container image
 #            may not carry them) — a skip is not a failure
+#   lockcheck — the concurrency gate: the lockcheck analyzer self-scans
+#            src/ against locks.spec (exit 1 on ANY finding, warnings
+#            included), then, when a clang++ is available, rebuilds with
+#            SEPTIC_WTHREAD_SAFETY=ON so Clang's -Wthread-safety proves
+#            the GUARDED_BY/REQUIRES annotations (SKIPs under gcc-only
+#            toolchains; the analyzer half always runs)
 #   ubsan  — UBSan-only preset; runs the parser and detector suites, the
 #            two codepaths that chew on attacker-controlled bytes
 #   scan   — septic_scan over the sample apps: emits the JSON report and
@@ -32,7 +38,7 @@
 #            CI machines by accident.
 #
 # Usage:
-#   scripts/check.sh                # build test txn recovery lint ubsan scan
+#   scripts/check.sh                # build test txn recovery lint lockcheck ubsan scan
 #   scripts/check.sh build test     # just those tiers
 #   scripts/check.sh asan|tsan      # full ctest under that sanitizer
 #   scripts/check.sh all            # default tiers + asan + tsan
@@ -66,10 +72,11 @@ tier_lint() {
   local ran=0 rc=0
   if command -v clang-tidy >/dev/null 2>&1; then
     ran=1
-    echo "-- clang-tidy (src/analysis, config .clang-tidy)"
-    # New-subsystem scope keeps the tier fast; widen as directories are
-    # brought up to zero-warning.
-    clang-tidy -p build --quiet src/analysis/*.cpp || rc=1
+    echo "-- clang-tidy (src/, config .clang-tidy)"
+    # Whole-tree scope: every directory is at zero-warning now that the
+    # lockcheck subsystem landed (PR 8 widened this from src/analysis).
+    mapfile -t tidy_srcs < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${tidy_srcs[@]}" || rc=1
   else
     echo "-- clang-tidy not installed; skipping"
   fi
@@ -84,6 +91,24 @@ tier_lint() {
   fi
   [ "${ran}" -eq 0 ] && return 77
   return "${rc}"
+}
+
+tier_lockcheck() {
+  local bin=build/src/analysis/lockcheck
+  [ -x "${bin}" ] || { echo "lockcheck not built (run the build tier first)"; return 1; }
+  echo "-- lockcheck self-scan (src/ against locks.spec)"
+  # Warnings gate too: an unknown mutex or a missing crashpoint is a spec
+  # drift, and the spec is the contract.
+  "${bin}" --spec locks.spec --fail-on warning src || return 1
+  echo "-- self-scan clean"
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "-- clang -Wthread-safety build (SEPTIC_WTHREAD_SAFETY=ON)"
+    cmake -B build-wthread -S .           -DCMAKE_CXX_COMPILER=clang++           -DSEPTIC_WTHREAD_SAFETY=ON           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+      cmake --build build-wthread -j "${jobs}" --target septic_storage             septic_engine septic_net septic_core septic_common || return 1
+  else
+    echo "-- clang++ not installed; skipping -Wthread-safety half"
+  fi
+  return 0
 }
 
 tier_ubsan() {
@@ -177,7 +202,7 @@ run_preset_full() {
   fi
 }
 
-default_tiers=(build test txn recovery lint ubsan scan)
+default_tiers=(build test txn recovery lint lockcheck ubsan scan)
 if [ "$#" -eq 0 ]; then
   tiers=("${default_tiers[@]}")
 elif [ "$1" = "all" ]; then
@@ -188,10 +213,10 @@ fi
 
 for t in "${tiers[@]}"; do
   case "${t}" in
-    build|test|txn|recovery|lint|ubsan|scan|bench) run_tier "${t}" ;;
+    build|test|txn|recovery|lint|lockcheck|ubsan|scan|bench) run_tier "${t}" ;;
     asan|tsan) run_preset_full "${t}" ;;
     *)
-      echo "usage: $0 [build|test|txn|recovery|lint|ubsan|scan|bench|asan|tsan|all ...]" >&2
+      echo "usage: $0 [build|test|txn|recovery|lint|lockcheck|ubsan|scan|bench|asan|tsan|all ...]" >&2
       exit 2
       ;;
   esac

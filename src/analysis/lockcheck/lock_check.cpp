@@ -1,0 +1,270 @@
+#include "analysis/lockcheck/lock_check.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/report.h"  // json_escape
+
+namespace septic::analysis::lockcheck {
+
+namespace {
+
+constexpr const char* kInversion = "lock-order-inversion";
+constexpr const char* kBlocking = "blocking-call-under-lock";
+constexpr const char* kRmw = "atomic-plain-rmw";
+constexpr const char* kUnknownLock = "unknown-lock";
+constexpr const char* kMissingFailpoint = "missing-failpoint-guard";
+
+/// Transitive facts per function, computed by fixpoint over the call graph.
+struct Summary {
+  /// Locks the function may blocking-acquire, directly or through any
+  /// callee. Try-lock acquisitions are excluded: they cannot deadlock.
+  /// Value = the immediate callee the lock was first reached through
+  /// ("" for a direct acquisition) — the witness for messages.
+  std::map<LockId, std::string> acq;
+  /// Spec-blocking functions reachable from here (including itself).
+  /// Value = witness callee as above.
+  std::map<std::string, std::string> blockers;
+};
+
+struct Checker {
+  const CodeModel& model;
+  const LockSpec& spec;
+  LockReport report;
+  std::set<std::string> dedupe;
+
+  /// CallEvent candidates resolved to an extracted function, or "".
+  std::string resolve_callee(const CallEvent& ev) const {
+    for (const std::string& cand : ev.callees) {
+      if (model.functions.count(cand) != 0) return cand;
+    }
+    return "";
+  }
+
+  std::map<std::string, Summary> summarize() const {
+    std::map<std::string, Summary> sums;
+    for (const auto& [name, fn] : model.functions) {
+      Summary& s = sums[name];
+      for (const AcquireEvent& a : fn.acquires) {
+        if (a.resolved && !a.try_lock) s.acq.emplace(a.lock, "");
+      }
+      if (spec.is_blocking(name)) s.blockers.emplace(name, "");
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, fn] : model.functions) {
+        Summary& s = sums[name];
+        for (const CallEvent& ev : fn.calls) {
+          std::string callee = resolve_callee(ev);
+          if (callee.empty() || callee == name) continue;
+          const Summary& cs = sums[callee];
+          for (const auto& [lock, via] : cs.acq) {
+            (void)via;
+            if (s.acq.emplace(lock, callee).second) changed = true;
+          }
+          for (const auto& [b, via] : cs.blockers) {
+            (void)via;
+            if (s.blockers.emplace(b, callee).second) changed = true;
+          }
+        }
+      }
+    }
+    return sums;
+  }
+
+  void add(const std::string& klass, const std::string& severity,
+           const FunctionModel& fn, int line, const std::string& message) {
+    std::string key = klass + "|" + fn.file + "|" + std::to_string(line) +
+                      "|" + fn.qualified + "|" + message;
+    if (!dedupe.insert(key).second) return;
+    LockFinding f;
+    f.klass = klass;
+    f.severity = severity;
+    f.file = fn.file;
+    f.line = line;
+    f.function = fn.qualified;
+    f.message = message;
+    report.findings.push_back(std::move(f));
+  }
+
+  std::string order_message(const LockId& held, const LockId& acquired) const {
+    if (held == acquired) {
+      return "re-acquires " + acquired + " which is already held";
+    }
+    if (spec.is_leaf(held)) {
+      return "acquires " + acquired + " while holding " + held +
+             ", but " + held + " is a leaf lock (innermost: nothing may be "
+             "acquired under it)";
+    }
+    return "acquires " + acquired + " while holding " + held +
+           ", against the locks.spec order";
+  }
+
+  void check_acquires(const FunctionModel& fn) {
+    std::set<std::string> unknown_seen;
+    for (const AcquireEvent& a : fn.acquires) {
+      if (!a.resolved) {
+        if (unknown_seen.insert(a.lock).second) {
+          add(kUnknownLock, "warning", fn, a.line,
+              "cannot resolve lock expression '" + a.lock +
+                  "' to a known mutex member");
+        }
+        continue;
+      }
+      if (!spec.knows(a.lock)) {
+        if (unknown_seen.insert(a.lock).second) {
+          add(kUnknownLock, "warning", fn, a.line,
+              "acquires " + a.lock + " which is not declared in locks.spec");
+        }
+        continue;
+      }
+      if (a.try_lock) continue;  // cannot block -> cannot invert
+      for (const LockId& held : a.held) {
+        if (!spec.knows(held)) continue;
+        if (!spec.order_ok(held, a.lock)) {
+          add(kInversion, "error", fn, a.line, order_message(held, a.lock));
+        }
+      }
+    }
+  }
+
+  void check_calls(const FunctionModel& fn,
+                   const std::map<std::string, Summary>& sums) {
+    for (const CallEvent& ev : fn.calls) {
+      if (ev.held.empty()) continue;
+      std::string callee = resolve_callee(ev);
+      if (callee.empty() || callee == fn.qualified) continue;
+      const Summary& cs = sums.at(callee);
+      for (const auto& [lock, via] : cs.acq) {
+        if (!spec.knows(lock)) continue;
+        for (const LockId& held : ev.held) {
+          if (!spec.knows(held)) continue;
+          if (held == lock) continue;  // helper re-locks: flagged at its site
+          if (!spec.order_ok(held, lock)) {
+            std::string path = callee + (via.empty() ? "" : " -> " + via);
+            add(kInversion, "error", fn, ev.line,
+                "call to " + path + " " + order_message(held, lock));
+          }
+        }
+      }
+      for (const NoBlockRule& rule : spec.noblock_rules()) {
+        auto bit = cs.blockers.find(rule.fn);
+        if (bit == cs.blockers.end()) continue;
+        for (const LockId& banned : rule.locks) {
+          if (std::find(ev.held.begin(), ev.held.end(), banned) ==
+              ev.held.end()) {
+            continue;
+          }
+          if (callee == rule.fn) {
+            add(kBlocking, "error", fn, ev.line,
+                "calls blocking " + rule.fn + " while holding " + banned);
+          } else {
+            std::string path =
+                callee + (bit->second.empty() ? "" : " -> " + bit->second);
+            add(kBlocking, "error", fn, ev.line,
+                "reaches blocking " + rule.fn + " (via " + path +
+                    ") while holding " + banned);
+          }
+        }
+      }
+    }
+  }
+
+  void check_rmws(const FunctionModel& fn) {
+    for (const RmwEvent& r : fn.rmws) {
+      add(kRmw, "error", fn, r.line,
+          "plain read-modify-write of atomic member " + r.member +
+              " loses updates under contention (use fetch_add or a CAS loop)");
+    }
+  }
+
+  void check_crashcover() {
+    for (const std::string& name : spec.crashcover()) {
+      auto it = model.functions.find(name);
+      // Functions absent from the scanned file set are not reported: the
+      // fixture tests run partial file sets against the full repo spec.
+      if (it == model.functions.end()) continue;
+      if (it->second.has_failpoint) continue;
+      add(kMissingFailpoint, "warning", it->second, it->second.line,
+          name + " is listed in locks.spec crashcover but contains no "
+                 "crashpoint()/SEPTIC_FAILPOINT site");
+    }
+  }
+};
+
+}  // namespace
+
+size_t LockReport::errors() const {
+  size_t n = 0;
+  for (const LockFinding& f : findings) n += f.severity == "error" ? 1 : 0;
+  return n;
+}
+
+size_t LockReport::warnings() const {
+  size_t n = 0;
+  for (const LockFinding& f : findings) n += f.severity == "warning" ? 1 : 0;
+  return n;
+}
+
+LockReport check_model(const CodeModel& model, const LockSpec& spec,
+                       const std::string& spec_path) {
+  Checker c{model, spec, {}, {}};
+  c.report.spec_path = spec_path;
+  c.report.files_scanned = model.files_scanned;
+  c.report.functions = model.functions.size();
+  std::map<std::string, Summary> sums = c.summarize();
+  for (const auto& [name, fn] : model.functions) {
+    (void)name;
+    c.check_acquires(fn);
+    c.check_calls(fn, sums);
+    c.check_rmws(fn);
+  }
+  c.check_crashcover();
+  std::sort(c.report.findings.begin(), c.report.findings.end(),
+            [](const LockFinding& a, const LockFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.klass != b.klass) return a.klass < b.klass;
+              return a.message < b.message;
+            });
+  return c.report;
+}
+
+std::string render_lock_text(const LockReport& report) {
+  std::string t;
+  for (const LockFinding& f : report.findings) {
+    t += f.file + ":" + std::to_string(f.line) + ": [" + f.severity + "] " +
+         f.klass + " in " + f.function + "\n    " + f.message + "\n";
+  }
+  t += "lockcheck: " + std::to_string(report.files_scanned) + " file(s), " +
+       std::to_string(report.functions) + " function(s), " +
+       std::to_string(report.errors()) + " error(s), " +
+       std::to_string(report.warnings()) + " warning(s)\n";
+  return t;
+}
+
+std::string render_lock_json(const LockReport& report) {
+  std::string j = "{\n  \"tool\": \"lockcheck\",\n  \"spec\": \"" +
+                  json_escape(report.spec_path) + "\",\n";
+  j += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+  j += "  \"functions\": " + std::to_string(report.functions) + ",\n";
+  j += "  \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const LockFinding& f = report.findings[i];
+    j += i ? ",\n    {" : "\n    {";
+    j += "\"class\": \"" + json_escape(f.klass) + "\", ";
+    j += "\"severity\": \"" + f.severity + "\", ";
+    j += "\"file\": \"" + json_escape(f.file) + "\", ";
+    j += "\"line\": " + std::to_string(f.line) + ", ";
+    j += "\"function\": \"" + json_escape(f.function) + "\", ";
+    j += "\"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  j += report.findings.empty() ? "],\n" : "\n  ],\n";
+  j += "  \"summary\": {\"errors\": " + std::to_string(report.errors()) +
+       ", \"warnings\": " + std::to_string(report.warnings()) + "}\n}\n";
+  return j;
+}
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,52 @@
+// The interprocedural checker: propagate held-lock sets over the call
+// graph and validate every acquisition / blocking call / atomic RMW
+// against locks.spec. Produces findings in the septic-scan shape
+// (class/severity/file/line/message) with a deterministic JSON form for
+// golden tests and the CI gate.
+//
+// Finding taxonomy (see DESIGN.md for the bug class each maps to):
+//   lock-order-inversion     error    (held, acquired) pair against the spec
+//   blocking-call-under-lock error    noblock rule violated via any chain
+//   atomic-plain-rmw         error    lost-update RMW on a std::atomic
+//   unknown-lock             warning  mutex not declared in locks.spec
+//   missing-failpoint-guard  warning  crashcover function without crashpoint
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/lockcheck/lock_model.h"
+#include "analysis/lockcheck/lock_spec.h"
+
+namespace septic::analysis::lockcheck {
+
+struct LockFinding {
+  std::string klass;     // taxonomy entry above
+  std::string severity;  // "error" | "warning"
+  std::string file;
+  int line = 0;
+  std::string function;  // qualified enclosing function
+  std::string message;
+};
+
+struct LockReport {
+  std::string spec_path;
+  size_t files_scanned = 0;
+  size_t functions = 0;
+  std::vector<LockFinding> findings;  // sorted (file, line, class, message)
+
+  size_t errors() const;
+  size_t warnings() const;
+};
+
+/// Run every check. `spec_path` is only echoed into the report.
+LockReport check_model(const CodeModel& model, const LockSpec& spec,
+                       const std::string& spec_path);
+
+/// Human-readable report (CLI default).
+std::string render_lock_text(const LockReport& report);
+
+/// Deterministic JSON: same model + spec -> identical bytes.
+std::string render_lock_json(const LockReport& report);
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,1072 @@
+#include "analysis/lockcheck/lock_extract.h"
+
+#include <algorithm>
+#include <set>
+
+namespace septic::analysis::lockcheck {
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "while",    "for",        "switch",   "return",
+      "sizeof",   "catch",    "throw",      "new",      "delete",
+      "else",     "do",       "case",       "default",  "break",
+      "continue", "goto",     "using",      "namespace","template",
+      "typename", "struct",   "class",      "enum",     "union",
+      "operator", "true",     "false",      "nullptr",  "this",
+      "static_cast",          "dynamic_cast",
+      "reinterpret_cast",     "const_cast", "static_assert",
+      "alignof",  "decltype", "noexcept",   "co_await", "co_return",
+  };
+  return kw;
+}
+
+bool is_guard_class(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "shared_lock" ||
+         s == "scoped_lock";
+}
+
+bool is_mutex_type_ident(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "shared_timed_mutex";
+}
+
+bool is_failpoint_ident(const std::string& s) {
+  return s == "crashpoint" || s == "SEPTIC_FAILPOINT" ||
+         s == "SEPTIC_FAILPOINT_HOOK";
+}
+
+const Tok& at(const std::vector<Tok>& t, size_t i) {
+  static const Tok kEnd{TokKind::kEnd, "", 0};
+  return i < t.size() ? t[i] : kEnd;
+}
+
+/// t[i] is `open`; returns the index just past the matching `close`.
+size_t skip_balanced(const std::vector<Tok>& t, size_t i,
+                     const char* open, const char* close) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].is_punct(open)) {
+      ++depth;
+    } else if (t[i].is_punct(close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+/// t[i] is `<` that may open a template argument list; returns the index
+/// past the matching `>`. Template argument lists never contain `;` `{`
+/// `}` — hitting one means the `<` was a comparison after all, and the
+/// caller must not skip anything: return i + 1.
+size_t skip_angles(const std::vector<Tok>& t, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].is_punct("<")) {
+      ++depth;
+    } else if (t[j].is_punct(">")) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].is_punct(";") || t[j].is_punct("{") ||
+               t[j].is_punct("}")) {
+      return i + 1;
+    }
+  }
+  return i + 1;
+}
+
+std::string join_tokens(const std::vector<Tok>& t, size_t b, size_t e) {
+  std::string out;
+  for (size_t k = b; k < e && k < t.size(); ++k) {
+    if (!out.empty()) out += ' ';
+    out += t[k].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- declaration pass -----------------------------------------------------
+
+namespace {
+
+struct DeclParser {
+  const std::vector<Tok>& t;
+  const std::string& file;
+  CodeModel& model;
+  std::vector<Extractor::PendingBody>* pending;
+
+  void parse_scope(size_t b, size_t e, const std::string& cls) {
+    size_t i = b;
+    while (i < e) {
+      const Tok& tok = at(t, i);
+      if (tok.kind == TokKind::kEnd) return;
+      if (tok.is_ident("namespace")) {
+        size_t j = i + 1;
+        while (j < e && !at(t, j).is_punct("{") && !at(t, j).is_punct(";")) {
+          ++j;
+        }
+        if (at(t, j).is_punct("{")) {
+          size_t end = skip_balanced(t, j, "{", "}");
+          parse_scope(j + 1, end - 1, cls);
+          i = end;
+        } else {
+          i = j + 1;
+        }
+        continue;
+      }
+      if (tok.is_ident("template")) {
+        i = at(t, i + 1).is_punct("<") ? skip_angles(t, i + 1) : i + 1;
+        continue;
+      }
+      if (tok.is_ident("enum")) {
+        i = skip_to_semi(i, e);
+        continue;
+      }
+      if (tok.is_ident("using") || tok.is_ident("typedef") ||
+          tok.is_ident("friend") || tok.is_ident("static_assert") ||
+          tok.is_ident("extern")) {
+        i = skip_to_semi(i, e);
+        continue;
+      }
+      if ((tok.is_ident("public") || tok.is_ident("private") ||
+           tok.is_ident("protected")) &&
+          at(t, i + 1).is_punct(":")) {
+        i += 2;
+        continue;
+      }
+      if (tok.is_ident("class") || tok.is_ident("struct") ||
+          tok.is_ident("union")) {
+        i = parse_class(i, e, cls);
+        continue;
+      }
+      size_t ni = parse_declaration(i, e, cls);
+      i = ni > i ? ni : i + 1;  // always make forward progress
+    }
+  }
+
+  size_t skip_to_semi(size_t i, size_t e) {
+    int pd = 0;
+    for (; i < e; ++i) {
+      if (at(t, i).is_punct("(") || at(t, i).is_punct("{")) ++pd;
+      if (at(t, i).is_punct(")") || at(t, i).is_punct("}")) --pd;
+      if (pd <= 0 && at(t, i).is_punct(";")) return i + 1;
+    }
+    return e;
+  }
+
+  size_t parse_class(size_t i, size_t e, const std::string& outer) {
+    size_t j = i + 1;
+    std::string name;
+    if (at(t, j).kind == TokKind::kIdent) {
+      name = at(t, j).text;
+      ++j;
+    }
+    // Forward declaration?
+    while (j < e && !at(t, j).is_punct("{") && !at(t, j).is_punct(";") &&
+           !at(t, j).is_punct("(")) {
+      ++j;
+    }
+    if (!at(t, j).is_punct("{")) {
+      // `;` (fwd decl) — or `(` meaning this was a variable/function whose
+      // type happened to start with an elaborated specifier; bail to the
+      // generic path either way.
+      return at(t, j).is_punct(";") ? j + 1 : parse_declaration(i + 1, e,
+                                                               outer);
+    }
+    size_t end = skip_balanced(t, j, "{", "}");
+    if (!name.empty()) {
+      std::string qual = outer.empty() ? name : outer + "::" + name;
+      model.classes[qual].name = qual;
+      parse_scope(j + 1, end - 1, qual);
+    }
+    // Past the closing `}` and the declaration's `;` (plus any declarator
+    // idents between, for `struct X { ... } x_;` — none in this codebase).
+    size_t k = end;
+    while (k < e && !at(t, k).is_punct(";")) ++k;
+    return k + 1;
+  }
+
+  /// Generic declaration at namespace/class scope: member variable, method
+  /// declaration, or function definition (whose body is queued).
+  size_t parse_declaration(size_t i, size_t e, const std::string& cls) {
+    size_t j = i;
+    size_t fname = 0;      // index of the candidate function-name ident
+    bool have_params = false;
+    size_t params_end = 0;
+    while (j < e) {
+      const Tok& tok = at(t, j);
+      if (tok.is_punct("(")) {
+        // Annotation macros (SEPTIC_GUARDED_BY/SEPTIC_REQUIRES...) are not
+        // parameter lists: they must neither name the function nor turn an
+        // annotated member into a method-looking declaration.
+        if (j > i && at(t, j - 1).kind == TokKind::kIdent &&
+            at(t, j - 1).text.rfind("SEPTIC_", 0) != 0) {
+          fname = j - 1;
+          have_params = true;
+          j = skip_balanced(t, j, "(", ")");
+          params_end = j;
+          continue;
+        }
+        j = skip_balanced(t, j, "(", ")");
+        continue;
+      }
+      if (tok.is_punct("<") && j > i && at(t, j - 1).kind == TokKind::kIdent) {
+        j = skip_angles(t, j);
+        continue;
+      }
+      if (tok.is_punct(":") && have_params && j == params_end) {
+        // Constructor initializer list: `ident ( ... )` or `ident { ... }`
+        // groups separated by commas, then the body brace.
+        ++j;
+        while (j < e) {
+          while (j < e && at(t, j).kind == TokKind::kIdent) ++j;
+          if (at(t, j).is_punct("<")) j = skip_angles(t, j);
+          if (at(t, j).is_punct("(")) {
+            j = skip_balanced(t, j, "(", ")");
+          } else if (at(t, j).is_punct("{")) {
+            j = skip_balanced(t, j, "{", "}");
+          } else {
+            break;
+          }
+          if (at(t, j).is_punct(",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        params_end = j;  // the next `{` is the body
+        continue;
+      }
+      if (tok.is_punct("{")) {
+        if (have_params) {
+          size_t end = skip_balanced(t, j, "{", "}");
+          queue_function(i, fname, j, end, cls);
+          return end;
+        }
+        // Brace initializer of a member (`appends_{0};`) — skip it and
+        // keep scanning for the `;`.
+        j = skip_balanced(t, j, "{", "}");
+        continue;
+      }
+      if (tok.is_punct(";")) {
+        if (!cls.empty() && !have_params) parse_member(i, j, cls);
+        return j + 1;
+      }
+      if (tok.is_punct("}") || tok.kind == TokKind::kEnd) return j;
+      ++j;
+    }
+    return j;
+  }
+
+  void queue_function(size_t decl_begin, size_t fname, size_t body_open,
+                      size_t body_end, const std::string& cls) {
+    if (fname == 0 || at(t, fname).kind != TokKind::kIdent) return;
+    std::string name = at(t, fname).text;
+    std::string owner = cls;
+    size_t ret_end = fname;  // return type tokens end here (exclusive)
+    size_t k = fname;
+    if (k > decl_begin && at(t, k - 1).is_punct("~")) {
+      name = "~" + name;
+      --k;
+    }
+    // Qualified out-of-line definition: `Ret Class::name(...)`.
+    std::vector<std::string> quals;
+    while (k >= decl_begin + 2 && at(t, k - 1).is_punct("::") &&
+           at(t, k - 2).kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), at(t, k - 2).text);
+      k -= 2;
+    }
+    ret_end = k;
+    if (!quals.empty()) {
+      // The last qualifier that names a known class wins; leading ones are
+      // namespaces (`storage::wal::WalWriter::append`). Nested classes
+      // resolve as Outer::Inner.
+      owner.clear();
+      for (size_t q = 0; q < quals.size(); ++q) {
+        std::string joined = quals[q];
+        for (size_t r = q + 1; r < quals.size(); ++r) {
+          joined += "::" + quals[r];
+        }
+        if (model.classes.count(joined) != 0) {
+          owner = joined;
+          break;
+        }
+      }
+      if (owner.empty()) owner = quals.back();
+    }
+    std::vector<std::string> ret_idents;
+    for (size_t r = decl_begin; r < ret_end; ++r) {
+      if (at(t, r).kind == TokKind::kIdent) ret_idents.push_back(at(t, r).text);
+    }
+    if (!owner.empty()) {
+      model.classes[owner].method_return_types[name] = ret_idents;
+    } else {
+      model.free_return_types[name] = ret_idents;
+    }
+    Extractor::PendingBody body;
+    // Parameter list: per comma segment, the last angle-depth-0 ident
+    // before any default (`=`) is the name; the idents before it are the
+    // type (lock expressions like `t.mu_` resolve through these).
+    if (at(t, fname + 1).is_punct("(")) {
+      size_t pclose = skip_balanced(t, fname + 1, "(", ")") - 1;
+      size_t seg_b = fname + 2;
+      int depth = 0;
+      for (size_t p = fname + 2; p <= pclose && p < t.size(); ++p) {
+        if (at(t, p).is_punct("(")) ++depth;
+        if (at(t, p).is_punct(")") && p != pclose) --depth;
+        if (p != pclose && !(depth == 0 && at(t, p).is_punct(","))) continue;
+        int angle = 0;
+        size_t name_idx = 0;
+        for (size_t q = seg_b; q < p; ++q) {
+          const Tok& tok = at(t, q);
+          if (tok.is_punct("<") && q > seg_b &&
+              at(t, q - 1).kind == TokKind::kIdent) {
+            ++angle;
+            continue;
+          }
+          if (tok.is_punct(">") && angle > 0) {
+            --angle;
+            continue;
+          }
+          if (angle > 0) continue;
+          if (tok.is_punct("=")) break;
+          if (tok.kind == TokKind::kIdent && !tok.is_ident("const")) {
+            name_idx = q;
+          }
+        }
+        if (name_idx > seg_b) {
+          std::vector<std::string> type_idents;
+          for (size_t q = seg_b; q < name_idx; ++q) {
+            if (at(t, q).kind == TokKind::kIdent && !at(t, q).is_ident("const")) {
+              type_idents.push_back(at(t, q).text);
+            }
+          }
+          if (!type_idents.empty()) {
+            body.params[at(t, name_idx).text] = std::move(type_idents);
+          }
+        }
+        seg_b = p + 1;
+      }
+    }
+    body.qualified = owner.empty() ? name : owner + "::" + name;
+    body.cls = owner;
+    body.file = file;
+    body.line = at(t, fname).line;
+    body.toks.assign(t.begin() + static_cast<long>(body_open),
+                     t.begin() + static_cast<long>(body_end));
+    pending->push_back(std::move(body));
+  }
+
+  void parse_member(size_t b, size_t semi, const std::string& cls) {
+    // Walk back from `;` to the member name, skipping trailing annotation
+    // macros (`SEPTIC_GUARDED_BY(mu_)`) and initializers.
+    size_t k = semi;
+    auto prev_is = [&](size_t idx, const char* p) {
+      return idx > b && at(t, idx - 1).is_punct(p);
+    };
+    for (;;) {
+      if (prev_is(k, ")")) {
+        // Balanced-skip backwards over (...) to the ident before it.
+        int depth = 0;
+        size_t j = k - 1;
+        for (; j > b; --j) {
+          if (at(t, j).is_punct(")")) ++depth;
+          if (at(t, j).is_punct("(") && --depth == 0) break;
+        }
+        if (j > b && at(t, j - 1).kind == TokKind::kIdent &&
+            at(t, j - 1).text.rfind("SEPTIC_", 0) == 0) {
+          k = j - 1;
+          continue;
+        }
+        return;  // parenthesized declarator / method-ish: not a member
+      }
+      break;
+    }
+    // `= init` and `{init}` initializers: the name sits before them.
+    int angle = 0;
+    size_t name_idx = 0;
+    for (size_t j = b; j < k; ++j) {
+      const Tok& tok = at(t, j);
+      if (tok.is_punct("<") && j > b && at(t, j - 1).kind == TokKind::kIdent) {
+        ++angle;
+        continue;
+      }
+      if (tok.is_punct(">") && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (angle > 0) continue;
+      if (tok.is_punct("=") || tok.is_punct("{")) break;
+      if (tok.kind == TokKind::kIdent && !tok.is_ident("const") &&
+          !tok.is_ident("mutable") && !tok.is_ident("static") &&
+          !tok.is_ident("constexpr") && !tok.is_ident("inline") &&
+          !tok.is_ident("volatile")) {
+        name_idx = j;
+      }
+    }
+    if (name_idx == 0) return;
+    std::string name = at(t, name_idx).text;
+    ClassModel& cm = model.classes[cls];
+    cm.name = cls;
+    bool is_mutex = false;
+    bool is_atomic = false;
+    std::vector<std::string> type_idents;
+    int ta = 0;
+    for (size_t j = b; j < name_idx; ++j) {
+      const Tok& tok = at(t, j);
+      if (tok.is_punct("<") && j > b && at(t, j - 1).kind == TokKind::kIdent) {
+        ++ta;
+      } else if (tok.is_punct(">") && ta > 0) {
+        --ta;
+      }
+      if (tok.kind != TokKind::kIdent) continue;
+      if (ta == 0 && is_mutex_type_ident(tok.text)) is_mutex = true;
+      if (ta == 0 && tok.is_ident("atomic")) is_atomic = true;
+      type_idents.push_back(tok.text);
+    }
+    if (is_mutex) {
+      cm.mutex_members.insert(name);
+    } else if (is_atomic) {
+      cm.atomic_members.insert(name);
+    } else if (!type_idents.empty()) {
+      cm.member_types[name] = std::move(type_idents);
+    }
+  }
+};
+
+}  // namespace
+
+void Extractor::add_file(const std::string& path, const std::string& source) {
+  std::string stripped = strip_preprocessor(source);
+  std::vector<Tok> toks = lex_cpp(stripped);
+  ++model_.files_scanned;
+  DeclParser parser{toks, path, model_, &pending_};
+  parser.parse_scope(0, toks.size(), "");
+}
+
+// ---- body pass ------------------------------------------------------------
+
+namespace {
+
+struct BodyWalker {
+  const Extractor::PendingBody& body;
+  CodeModel& model;
+  FunctionModel& fn;
+
+  struct Guard {
+    std::string lock;  // resolved LockId or raw text
+    bool resolved = false;
+    bool held = false;
+    bool try_lock = false;
+    bool shared = false;
+  };
+  struct Scope {
+    std::vector<std::string> guard_names;
+    std::vector<std::string> local_names;
+  };
+  std::vector<Scope> scopes = {};
+  std::map<std::string, Guard> guards = {};
+  // name -> type ids
+  std::map<std::string, std::vector<std::string>> locals = {};
+  std::vector<std::string> held = {};  // resolved locks, acquisition order
+
+  const std::vector<Tok>& t() const { return body.toks; }
+
+  std::vector<LockId> snapshot() const { return held; }
+
+  void hold(const std::string& lock) { held.push_back(lock); }
+  void release(const std::string& lock) {
+    auto it = std::find(held.rbegin(), held.rend(), lock);
+    if (it != held.rend()) held.erase(std::next(it).base());
+  }
+
+  /// Last ident of `idents` that names a known class ("Ctx::T" nested
+  /// first, then "T"); empty when none do.
+  std::string resolve_type(const std::string& ctx,
+                           const std::vector<std::string>& idents) const {
+    for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+      if (*it == "auto" || *it == "const" || *it == "std") continue;
+      if (!ctx.empty() && model.classes.count(ctx + "::" + *it) != 0) {
+        return ctx + "::" + *it;
+      }
+      if (model.classes.count(*it) != 0) return *it;
+    }
+    return "";
+  }
+
+  /// Class of a chain head identifier: local var, member of the enclosing
+  /// class, `this`, or a class name (static call). Empty = unresolved.
+  std::string head_class(const std::string& name) const {
+    auto lit = locals.find(name);
+    if (lit != locals.end()) return resolve_type(body.cls, lit->second);
+    if (name == "this") return body.cls;
+    if (!body.cls.empty()) {
+      auto cit = model.classes.find(body.cls);
+      if (cit != model.classes.end()) {
+        auto mit = cit->second.member_types.find(name);
+        if (mit != cit->second.member_types.end()) {
+          return resolve_type(body.cls, mit->second);
+        }
+      }
+    }
+    if (model.classes.count(name) != 0) return name;
+    if (!body.cls.empty() &&
+        model.classes.count(body.cls + "::" + name) != 0) {
+      return body.cls + "::" + name;
+    }
+    return "";
+  }
+
+  std::string member_class(const std::string& cls,
+                           const std::string& member) const {
+    auto cit = model.classes.find(cls);
+    if (cit == model.classes.end()) return "";
+    auto mit = cit->second.member_types.find(member);
+    if (mit == cit->second.member_types.end()) return "";
+    return resolve_type(cls, mit->second);
+  }
+
+  /// Resolve a lock expression (the guard's first constructor argument) to
+  /// a LockId. Handles `mu_`, `obj.mu`, `chain->obj.mu`, and accessor
+  /// calls `owner.accessor()` whose body is `return mutex_member;`.
+  bool resolve_lock_expr(size_t b, size_t e, std::string* out) const {
+    std::vector<std::string> names;
+    bool call = false;
+    for (size_t i = b; i < e; ++i) {
+      const Tok& tok = at(t(), i);
+      if (tok.kind == TokKind::kIdent) {
+        names.push_back(tok.text);
+      } else if (tok.is_punct(".") || tok.is_punct("->") ||
+                 tok.is_punct("*") || tok.is_punct("&")) {
+        continue;
+      } else if (tok.is_punct("(") && i + 1 < e && at(t(), i + 1).is_punct(")")) {
+        call = true;
+        ++i;
+      } else {
+        return false;  // arithmetic / indexing — not a lock expression
+      }
+    }
+    if (names.empty()) return false;
+    if (names.size() == 1) {
+      if (call) return false;
+      if (body.cls.empty()) return false;
+      auto cit = model.classes.find(body.cls);
+      if (cit != model.classes.end() &&
+          cit->second.mutex_members.count(names[0]) != 0) {
+        *out = body.cls + "::" + names[0];
+        return true;
+      }
+      return false;
+    }
+    std::string cls = head_class(names[0]);
+    if (cls.empty()) return false;
+    for (size_t k = 1; k + 1 < names.size(); ++k) {
+      cls = member_class(cls, names[k]);
+      if (cls.empty()) return false;
+    }
+    auto cit = model.classes.find(cls);
+    if (cit == model.classes.end()) return false;
+    const std::string& last = names.back();
+    if (call) {
+      auto ait = cit->second.mutex_accessors.find(last);
+      if (ait == cit->second.mutex_accessors.end()) return false;
+      *out = cls + "::" + ait->second;
+      return true;
+    }
+    if (cit->second.mutex_members.count(last) != 0) {
+      *out = cls + "::" + last;
+      return true;
+    }
+    return false;
+  }
+
+  void acquire(const std::string& lock, bool resolved, bool try_lock,
+               bool shared, int line) {
+    AcquireEvent ev;
+    ev.lock = lock;
+    ev.resolved = resolved;
+    ev.try_lock = try_lock;
+    ev.shared = shared;
+    ev.held = snapshot();
+    ev.line = line;
+    fn.acquires.push_back(std::move(ev));
+    if (resolved) hold(lock);
+  }
+
+  // ---- the walk -----------------------------------------------------------
+
+  void walk() {
+    scopes.push_back({});
+    for (const auto& [name, type_idents] : body.params) {
+      locals[name] = type_idents;
+      scopes.back().local_names.push_back(name);
+    }
+    size_t stmt_start = 1;
+    size_t i = 1;  // past the opening `{`
+    size_t end = t().size() > 1 ? t().size() - 1 : 0;  // before closing `}`
+    while (i < end) {
+      const Tok& tok = at(t(), i);
+      if (tok.is_punct("{")) {
+        scopes.push_back({});
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (tok.is_punct("}")) {
+        pop_scope();
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (tok.is_punct(";")) {
+        check_atomic_rmw(stmt_start, i);
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent && is_failpoint_ident(tok.text)) {
+        fn.has_failpoint = true;
+      }
+      // `std::thread(<lambda>)`: the argument runs on a NEW thread with an
+      // empty lock context, so the inline-lambda approximation (sound for
+      // synchronous callbacks) would be wrong here. Skip the whole
+      // argument list; the member functions the lambda calls are analyzed
+      // in their own right.
+      if (tok.is_ident("std") && at(t(), i + 1).is_punct("::") &&
+          (at(t(), i + 2).is_ident("thread") ||
+           at(t(), i + 2).is_ident("jthread")) &&
+          at(t(), i + 3).is_punct("(")) {
+        i = skip_balanced(t(), i + 3, "(", ")");
+        continue;
+      }
+      // Guard declaration: std::lock_guard [<...>] name(expr, ...);
+      if (tok.is_ident("std") && at(t(), i + 1).is_punct("::") &&
+          at(t(), i + 2).kind == TokKind::kIdent &&
+          is_guard_class(at(t(), i + 2).text)) {
+        size_t consumed = parse_guard_decl(i);
+        if (consumed != 0) {
+          i = consumed;
+          continue;
+        }
+      }
+      // Local declarations that later lock expressions resolve through.
+      if (is_stmt_start(i, stmt_start)) try_local_decl(i);
+      // guard.unlock() / guard.lock() / mutex.lock() / mutex.unlock().
+      if (tok.kind == TokKind::kIdent &&
+          (tok.text == "lock" || tok.text == "unlock") &&
+          at(t(), i + 1).is_punct("(") && i > 0 &&
+          (at(t(), i - 1).is_punct(".") || at(t(), i - 1).is_punct("->"))) {
+        size_t consumed = parse_lock_call(i);
+        if (consumed != 0) {
+          i = consumed;
+          continue;
+        }
+      }
+      // Plain call sites.
+      if (tok.kind == TokKind::kIdent && at(t(), i + 1).is_punct("(") &&
+          keywords().count(tok.text) == 0 && !is_guard_class(tok.text)) {
+        record_call(i);
+      }
+      ++i;
+    }
+    while (!scopes.empty()) pop_scope();
+  }
+
+  bool is_stmt_start(size_t i, size_t stmt_start) const {
+    if (i == stmt_start) return true;
+    // for-init declarations: `for (Type x = ...;`.
+    return i >= 2 && at(t(), i - 1).is_punct("(") &&
+           at(t(), i - 2).is_ident("for");
+  }
+
+  void pop_scope() {
+    if (scopes.empty()) return;
+    for (const std::string& g : scopes.back().guard_names) {
+      auto it = guards.find(g);
+      if (it != guards.end()) {
+        if (it->second.held && it->second.resolved) release(it->second.lock);
+        guards.erase(it);
+      }
+    }
+    for (const std::string& l : scopes.back().local_names) locals.erase(l);
+    scopes.pop_back();
+  }
+
+  /// Returns the index just past the declaration, or 0 if not one.
+  size_t parse_guard_decl(size_t i) {
+    const std::string& guard_cls = at(t(), i + 2).text;
+    size_t j = i + 3;
+    if (at(t(), j).is_punct("<")) j = skip_angles(t(), j);
+    if (at(t(), j).kind != TokKind::kIdent) return 0;
+    std::string var = at(t(), j).text;
+    ++j;
+    if (!at(t(), j).is_punct("(")) return 0;
+    size_t close = skip_balanced(t(), j, "(", ")");
+    // Split the argument list at top-level commas.
+    std::vector<std::pair<size_t, size_t>> args;
+    size_t arg_b = j + 1;
+    int depth = 0;
+    for (size_t k = j + 1; k + 1 < close; ++k) {
+      if (at(t(), k).is_punct("(")) ++depth;
+      if (at(t(), k).is_punct(")")) --depth;
+      if (depth == 0 && at(t(), k).is_punct(",")) {
+        args.push_back({arg_b, k});
+        arg_b = k + 1;
+      }
+    }
+    if (arg_b < close - 1) args.push_back({arg_b, close - 1});
+    if (args.empty()) return 0;
+    int line = at(t(), i).line;
+    bool shared = guard_cls == "shared_lock";
+    if (guard_cls == "scoped_lock") {
+      // std::scoped_lock acquires its operands deadlock-free (std::lock),
+      // so they order against the outer held set but not each other.
+      std::vector<LockId> outer = snapshot();
+      std::vector<std::string> acquired;
+      for (auto [ab, ae] : args) {
+        std::string lock;
+        bool ok = resolve_lock_expr(ab, ae, &lock);
+        AcquireEvent ev;
+        ev.lock = ok ? lock : join_tokens(t(), ab, ae);
+        ev.resolved = ok;
+        ev.shared = false;
+        ev.held = outer;
+        ev.line = line;
+        fn.acquires.push_back(std::move(ev));
+        if (ok) acquired.push_back(lock);
+      }
+      for (const std::string& l : acquired) hold(l);
+      Guard g;
+      g.lock = acquired.empty() ? "" : acquired[0];
+      g.resolved = false;  // released via scope pop below
+      guards[var] = g;
+      // Scope pop must release every acquired lock: record extra guards.
+      for (size_t k = 0; k < acquired.size(); ++k) {
+        std::string pseudo = var + "#" + std::to_string(k);
+        Guard pg;
+        pg.lock = acquired[k];
+        pg.resolved = true;
+        pg.held = true;
+        guards[pseudo] = pg;
+        scopes.back().guard_names.push_back(pseudo);
+      }
+      scopes.back().guard_names.push_back(var);
+      return close;
+    }
+    bool try_lock = false;
+    bool defer = false;
+    for (size_t a = 1; a < args.size(); ++a) {
+      std::string text = join_tokens(t(), args[a].first, args[a].second);
+      if (text.find("try_to_lock") != std::string::npos) try_lock = true;
+      if (text.find("defer_lock") != std::string::npos) defer = true;
+    }
+    std::string lock;
+    bool ok = resolve_lock_expr(args[0].first, args[0].second, &lock);
+    Guard g;
+    g.lock = ok ? lock : join_tokens(t(), args[0].first, args[0].second);
+    g.resolved = ok;
+    g.try_lock = try_lock;
+    g.shared = shared;
+    if (!defer) {
+      acquire(g.lock, ok, try_lock, shared, line);
+      g.held = true;
+    }
+    guards[var] = g;
+    scopes.back().guard_names.push_back(var);
+    return close;
+  }
+
+  /// `recv.lock()` / `recv.unlock()`: guard variable or direct mutex.
+  /// i points at the `lock`/`unlock` ident. Returns past the call, or 0.
+  size_t parse_lock_call(size_t i) {
+    bool is_lock = at(t(), i).text == "lock";
+    size_t close = skip_balanced(t(), i + 1, "(", ")");
+    // Single-ident receiver: `lk.unlock()` or `mu_.lock()`.
+    if (i >= 2 && at(t(), i - 2).kind == TokKind::kIdent &&
+        (i < 3 || !at(t(), i - 3).is_punct(".")) &&
+        (i < 3 || !at(t(), i - 3).is_punct("->"))) {
+      const std::string& recv = at(t(), i - 2).text;
+      auto git = guards.find(recv);
+      if (git != guards.end()) {
+        Guard& g = git->second;
+        if (is_lock && !g.held) {
+          acquire(g.lock, g.resolved, /*try_lock=*/false, g.shared,
+                  at(t(), i).line);
+          g.held = true;
+        } else if (!is_lock && g.held) {
+          if (g.resolved) release(g.lock);
+          g.held = false;
+        }
+        return close;
+      }
+      std::string lock;
+      if (resolve_lock_expr(i - 2, i - 1, &lock)) {
+        if (is_lock) {
+          acquire(lock, true, false, false, at(t(), i).line);
+        } else {
+          release(lock);
+        }
+        return close;
+      }
+    }
+    return 0;  // fall through: recorded as an ordinary (unresolvable) call
+  }
+
+  void try_local_decl(size_t i) {
+    // `auto&? name = call(...)` — type from the callee's return type.
+    if (at(t(), i).is_ident("auto") || at(t(), i).is_ident("const")) {
+      size_t j = i;
+      if (at(t(), j).is_ident("const")) ++j;
+      if (!at(t(), j).is_ident("auto")) {
+        try_typed_local(i);
+        return;
+      }
+      ++j;
+      while (at(t(), j).is_punct("&") || at(t(), j).is_punct("*")) ++j;
+      if (at(t(), j).kind != TokKind::kIdent) return;
+      // Range-for: `for (auto& s : shards_)` — the element type is the
+      // container member's type idents (resolve_type picks the last ident
+      // naming a class, i.e. the element class of std::vector<Shard>).
+      if (at(t(), j + 1).is_punct(":")) {
+        std::string name = at(t(), j).text;
+        size_t k = j + 2;
+        if (at(t(), k).kind == TokKind::kIdent && !body.cls.empty()) {
+          auto cit = model.classes.find(body.cls);
+          if (cit != model.classes.end()) {
+            auto mit = cit->second.member_types.find(at(t(), k).text);
+            if (mit != cit->second.member_types.end()) {
+              locals[name] = mit->second;
+              scopes.back().local_names.push_back(name);
+            }
+          }
+        }
+        return;
+      }
+      if (!at(t(), j + 1).is_punct("=")) return;
+      std::string name = at(t(), j).text;
+      // Initializer: [recv . / ->]* fn ( — find the ident before the `(`.
+      size_t k = j + 2;
+      std::vector<std::string> chain;
+      while (at(t(), k).kind == TokKind::kIdent) {
+        chain.push_back(at(t(), k).text);
+        ++k;
+        if (at(t(), k).is_punct(".") || at(t(), k).is_punct("->") ||
+            at(t(), k).is_punct("::")) {
+          ++k;
+          continue;
+        }
+        break;
+      }
+      if (chain.empty() || !at(t(), k).is_punct("(")) return;
+      std::vector<std::string> ret;
+      if (chain.size() == 1) {
+        auto fit = model.free_return_types.find(chain[0]);
+        if (fit != model.free_return_types.end()) {
+          ret = fit->second;
+        } else if (!body.cls.empty()) {
+          auto cit = model.classes.find(body.cls);
+          if (cit != model.classes.end()) {
+            auto mit = cit->second.method_return_types.find(chain[0]);
+            if (mit != cit->second.method_return_types.end()) ret = mit->second;
+          }
+        }
+      } else {
+        std::string cls = head_class(chain[0]);
+        for (size_t c = 1; !cls.empty() && c + 1 < chain.size(); ++c) {
+          cls = member_class(cls, chain[c]);
+        }
+        if (!cls.empty()) {
+          auto cit = model.classes.find(cls);
+          if (cit != model.classes.end()) {
+            auto mit = cit->second.method_return_types.find(chain.back());
+            if (mit != cit->second.method_return_types.end()) ret = mit->second;
+          }
+        }
+      }
+      if (!ret.empty()) {
+        locals[name] = ret;
+        scopes.back().local_names.push_back(name);
+      }
+      return;
+    }
+    try_typed_local(i);
+  }
+
+  /// `ClassName&? name ( | = | { | ;` with a known class type.
+  void try_typed_local(size_t i) {
+    size_t j = i;
+    if (at(t(), j).is_ident("const")) ++j;
+    std::vector<std::string> type_idents;
+    while (at(t(), j).kind == TokKind::kIdent &&
+           keywords().count(at(t(), j).text) == 0) {
+      type_idents.push_back(at(t(), j).text);
+      ++j;
+      if (at(t(), j).is_punct("::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (type_idents.empty()) return;
+    if (at(t(), j).is_punct("<")) j = skip_angles(t(), j);
+    while (at(t(), j).is_punct("&") || at(t(), j).is_punct("*")) ++j;
+    if (at(t(), j).kind != TokKind::kIdent) return;
+    std::string name = at(t(), j).text;
+    ++j;
+    // `:` covers typed range-for locals (`for (const Shard& s : shards_)`).
+    if (!at(t(), j).is_punct("=") && !at(t(), j).is_punct("(") &&
+        !at(t(), j).is_punct("{") && !at(t(), j).is_punct(";") &&
+        !at(t(), j).is_punct(":")) {
+      return;
+    }
+    if (resolve_type(body.cls, type_idents).empty()) return;
+    locals[name] = type_idents;
+    scopes.back().local_names.push_back(name);
+  }
+
+  void record_call(size_t i) {
+    const std::string& name = at(t(), i).text;
+    if (name.rfind("SEPTIC_", 0) == 0) return;
+    CallEvent ev;
+    ev.line = at(t(), i).line;
+    ev.held = snapshot();
+    if (ev.held.empty()) {
+      // Calls made with nothing held cannot create ordering pairs here;
+      // the callee's own behavior is checked when the callee is analyzed.
+      // Recording them anyway keeps the call graph complete for the
+      // blocking-set propagation, so fall through.
+    }
+    // Receiver chain (walk back over `a.b->c.`).
+    std::vector<std::string> chain;
+    size_t j = i;
+    bool static_call = false;
+    while (j >= 2 && (at(t(), j - 1).is_punct(".") ||
+                      at(t(), j - 1).is_punct("->") ||
+                      at(t(), j - 1).is_punct("::"))) {
+      if (at(t(), j - 1).is_punct("::")) static_call = true;
+      if (at(t(), j - 2).kind != TokKind::kIdent) return;  // `)(`, `](` ...
+      chain.insert(chain.begin(), at(t(), j - 2).text);
+      j -= 2;
+    }
+    if (!chain.empty() && chain[0] == "std") return;
+    if (chain.empty()) {
+      // Constructor-style local `PagedFile pf(...)` — `pf` is no call.
+      if (j >= 1 && at(t(), j - 1).kind == TokKind::kIdent) return;
+      if (!body.cls.empty()) ev.callees.push_back(body.cls + "::" + name);
+      ev.callees.push_back(name);
+    } else if (static_call) {
+      // `A::B::name(...)`: try class-qualified suffixes, then the bare
+      // name (namespace-qualified free function).
+      for (size_t c = 0; c < chain.size(); ++c) {
+        std::string joined = chain[c];
+        for (size_t r = c + 1; r < chain.size(); ++r) joined += "::" + chain[r];
+        ev.callees.push_back(joined + "::" + name);
+      }
+      ev.callees.push_back(name);
+    } else {
+      std::string cls = head_class(chain[0]);
+      for (size_t c = 1; !cls.empty() && c < chain.size(); ++c) {
+        cls = member_class(cls, chain[c]);
+      }
+      if (cls.empty()) return;
+      ev.callees.push_back(cls + "::" + name);
+    }
+    fn.calls.push_back(std::move(ev));
+  }
+
+  void check_atomic_rmw(size_t b, size_t e) {
+    if (body.cls.empty()) return;
+    auto cit = model.classes.find(body.cls);
+    if (cit == model.classes.end() || cit->second.atomic_members.empty()) {
+      return;
+    }
+    for (const std::string& m : cit->second.atomic_members) {
+      bool load = false, store = false;
+      size_t first = 0;
+      bool seen = false;
+      size_t assign = 0;
+      int depth = 0;
+      for (size_t j = b; j < e; ++j) {
+        if (at(t(), j).is_punct("(")) ++depth;
+        if (at(t(), j).is_punct(")")) --depth;
+        if (at(t(), j).kind == TokKind::kIdent && at(t(), j).text == m) {
+          // Member access `x.m` on another object is a different field.
+          if (j > b && (at(t(), j - 1).is_punct(".") ||
+                        at(t(), j - 1).is_punct("->"))) {
+            continue;
+          }
+          if (!seen) {
+            first = j;
+            seen = true;
+          }
+          if (at(t(), j + 1).is_punct(".") &&
+              at(t(), j + 2).kind == TokKind::kIdent) {
+            if (at(t(), j + 2).text == "load") load = true;
+            if (at(t(), j + 2).text == "store") store = true;
+          }
+          if (assign != 0 && j > assign) {
+            // `m = ... m ...` — plain RMW through the implicit conversions.
+            fn.rmws.push_back({m, at(t(), j).line});
+            return;
+          }
+        }
+        if (depth == 0 && at(t(), j).is_punct("=") && seen && assign == 0 &&
+            j == first + 1) {
+          assign = j;
+        }
+      }
+      if (load && store) {
+        fn.rmws.push_back({m, at(t(), first).line});
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void Extractor::analyze_body(const PendingBody& body) {
+  FunctionModel& fn = model_.functions[body.qualified];
+  if (fn.qualified.empty()) {
+    fn.qualified = body.qualified;
+    fn.cls = body.cls;
+    fn.file = body.file;
+    fn.line = body.line;
+  }
+  BodyWalker walker{body, model_, fn};
+  walker.walk();
+}
+
+CodeModel Extractor::build() {
+  // Accessor detection needs every class parsed first: a body of exactly
+  // `{ return member_; }` where member_ is a mutex member registers the
+  // method as a mutex accessor (resolves `txn_mgr_.commit_mu()`).
+  for (const PendingBody& b : pending_) {
+    if (b.cls.empty() || b.toks.size() != 5) continue;
+    if (!b.toks[1].is_ident("return") || b.toks[2].kind != TokKind::kIdent ||
+        !b.toks[3].is_punct(";")) {
+      continue;
+    }
+    ClassModel& cm = model_.classes[b.cls];
+    if (cm.mutex_members.count(b.toks[2].text) != 0) {
+      size_t pos = b.qualified.rfind("::");
+      std::string method = pos == std::string::npos
+                               ? b.qualified
+                               : b.qualified.substr(pos + 2);
+      cm.mutex_accessors[method] = b.toks[2].text;
+    }
+  }
+  for (const PendingBody& b : pending_) analyze_body(b);
+  pending_.clear();
+  return std::move(model_);
+}
+
+CodeModel extract_model(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  Extractor ex;
+  for (const auto& [path, contents] : files) ex.add_file(path, contents);
+  return ex.build();
+}
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,71 @@
+// Extraction: C++ sources -> CodeModel.
+//
+// Two passes over the token streams (built with the septic-scan lexer,
+// preprocessor lines stripped):
+//
+//   1. Declaration pass — every file is walked for namespaces, classes
+//      (one nesting level deep, `Outer::Inner`), their mutex / atomic /
+//      typed members, mutex accessor methods, method return types, and
+//      function bodies (kept as token slices). Bodies cannot be analyzed
+//      yet: a lock like `s.mu` needs the Shard declaration, which may live
+//      in a file parsed later.
+//   2. Body pass — with the full class table available, each body is
+//      walked with a scope stack that tracks RAII guard variables
+//      (lock_guard/unique_lock/shared_lock/scoped_lock), try-locks,
+//      mid-scope .unlock()/.lock(), direct mutex .lock() calls, and local
+//      variable types (declared or inferred from a call's return type).
+//      Every acquisition and call is recorded with the exact set of locks
+//      held at that token.
+//
+// Deliberate approximations (see DESIGN.md "What lockcheck does not see"):
+// lambda bodies are analyzed inline under the locks held at the lambda's
+// definition site, constructor/destructor side effects of locals are not
+// modeled, and calls whose receiver type cannot be resolved are dropped.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lockcheck/lock_model.h"
+#include "analysis/source_lexer.h"
+
+namespace septic::analysis::lockcheck {
+
+class Extractor {
+ public:
+  /// Declaration pass for one file's contents.
+  void add_file(const std::string& path, const std::string& source);
+
+  /// Body pass over everything added so far; returns the filled model.
+  /// May be called once per Extractor.
+  CodeModel build();
+
+  /// A function body captured by the declaration pass, waiting for the
+  /// body pass (public: the body walker lives in the .cpp's anonymous
+  /// namespace).
+  struct PendingBody {
+    std::string qualified;
+    std::string cls;
+    std::string file;
+    int line = 0;
+    /// Token slice of the body, including the braces.
+    std::vector<Tok> toks;
+    /// Parameter name -> identifier tokens of its declared type, so lock
+    /// expressions through parameters (`t.mu_`) resolve.
+    std::map<std::string, std::vector<std::string>> params;
+  };
+
+ private:
+  CodeModel model_;
+  std::vector<PendingBody> pending_;
+
+  void analyze_body(const PendingBody& body);
+};
+
+/// Convenience: run both passes over (path, contents) pairs.
+CodeModel extract_model(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,91 @@
+// Data model shared by the lockcheck passes.
+//
+// lockcheck is the concurrency sibling of septic-scan: where scan walks the
+// sample applications for taint flows, lockcheck walks the engine's OWN
+// sources and extracts, per function, which mutexes it acquires, in what
+// order, and what it calls while holding them. The checker then propagates
+// held-lock sets over the call graph and validates every (held, acquired)
+// pair against the declared hierarchy in locks.spec.
+//
+// Lock identity is `Class::member` (`WalWriter::append_mu_`,
+// `QmStore::Shard::mu` for nested types). Namespaces are deliberately not
+// part of the identity: the spec stays readable and the repo has no
+// class-name collisions among lock owners.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace septic::analysis::lockcheck {
+
+/// A mutex the model knows about, e.g. "WalWriter::append_mu_".
+using LockId = std::string;
+
+/// One lock acquisition site inside a function body.
+struct AcquireEvent {
+  LockId lock;            // resolved id, or raw source text if !resolved
+  bool resolved = false;  // expression mapped to a known mutex member
+  bool try_lock = false;  // std::try_to_lock — cannot block, cannot deadlock
+  bool shared = false;    // shared_lock (ordering rules treat it the same)
+  std::vector<LockId> held;  // resolved locks held at this point, acq order
+  int line = 0;
+};
+
+/// One call site with the lock context it runs under.
+struct CallEvent {
+  /// Candidate callee keys, most specific first ("Class::method", then the
+  /// bare name for free functions). The checker uses the first that names
+  /// an extracted function; unresolved calls are dropped (documented
+  /// soundness gap — see DESIGN.md).
+  std::vector<std::string> callees;
+  std::vector<LockId> held;
+  int line = 0;
+};
+
+/// A non-atomic read-modify-write of a std::atomic member
+/// (`x_.store(x_.load() + 1)` or `x_ = x_ + 1`) — a lost-update bug the
+/// type system cannot catch.
+struct RmwEvent {
+  std::string member;
+  int line = 0;
+};
+
+struct FunctionModel {
+  std::string qualified;  // "Class::method", or bare name for free functions
+  std::string cls;        // enclosing class ("" for free functions)
+  std::string file;
+  int line = 0;  // line of the definition's opening
+  /// Body contains a crashpoint()/SEPTIC_FAILPOINT* site (the crash-matrix
+  /// coverage `crashcover` spec entries assert on).
+  bool has_failpoint = false;
+  std::vector<AcquireEvent> acquires;
+  std::vector<CallEvent> calls;
+  std::vector<RmwEvent> rmws;
+};
+
+struct ClassModel {
+  std::string name;  // "WalWriter" or "QmStore::Shard"
+  std::set<std::string> mutex_members;
+  std::set<std::string> atomic_members;
+  /// member name -> identifier tokens of its declared type (resolved to a
+  /// class lazily, once every file is parsed).
+  std::map<std::string, std::vector<std::string>> member_types;
+  /// accessor method -> mutex member it returns (body is `return member;`),
+  /// so `std::lock_guard l(txn_mgr_.commit_mu())` resolves to the member.
+  std::map<std::string, std::string> mutex_accessors;
+  /// method -> identifier tokens of its return type (resolves `auto& s =
+  /// shard_for(id)` locals).
+  std::map<std::string, std::vector<std::string>> method_return_types;
+};
+
+struct CodeModel {
+  std::map<std::string, ClassModel> classes;
+  std::map<std::string, FunctionModel> functions;  // by qualified name
+  /// Return-type tokens of free functions (`auto& r = registry()`).
+  std::map<std::string, std::vector<std::string>> free_return_types;
+  size_t files_scanned = 0;
+};
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,93 @@
+#include "analysis/lockcheck/lock_spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace septic::analysis::lockcheck {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+bool LockSpec::parse(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "locks.spec:" + std::to_string(lineno) + ": " + msg;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> words = split_ws(line);
+    if (words.empty()) continue;
+    const std::string& kw = words[0];
+    if (kw == "level") {
+      if (words.size() != 2) return fail("level needs exactly one lock");
+      levels_.push_back(words[1]);
+    } else if (kw == "leaf") {
+      if (words.size() != 2) return fail("leaf needs exactly one lock");
+      leaves_.insert(words[1]);
+    } else if (kw == "order") {
+      if (words.size() != 3) return fail("order needs <held> <acquired>");
+      extra_order_.insert({words[1], words[2]});
+    } else if (kw == "blocking") {
+      if (words.size() != 2) return fail("blocking needs one function");
+      blocking_.insert(words[1]);
+    } else if (kw == "noblock") {
+      if (words.size() < 3) return fail("noblock needs <fn> <lock>...");
+      NoBlockRule rule;
+      rule.fn = words[1];
+      rule.locks.assign(words.begin() + 2, words.end());
+      noblock_.push_back(std::move(rule));
+    } else if (kw == "crashcover") {
+      if (words.size() != 2) return fail("crashcover needs one function");
+      crashcover_.push_back(words[1]);
+    } else {
+      return fail("unknown directive '" + kw + "'");
+    }
+  }
+  return true;
+}
+
+bool LockSpec::knows(const LockId& lock) const {
+  return rank(lock) != npos || leaves_.count(lock) != 0;
+}
+
+bool LockSpec::is_leaf(const LockId& lock) const {
+  return leaves_.count(lock) != 0;
+}
+
+size_t LockSpec::rank(const LockId& lock) const {
+  auto it = std::find(levels_.begin(), levels_.end(), lock);
+  return it == levels_.end() ? npos
+                             : static_cast<size_t>(it - levels_.begin());
+}
+
+bool LockSpec::order_ok(const LockId& held, const LockId& acquired) const {
+  if (held == acquired) return false;  // self-deadlock / same-rank instance
+  if (extra_order_.count({held, acquired}) != 0) return true;
+  if (is_leaf(held)) return false;  // leaves are innermost: acquire nothing
+  size_t rh = rank(held);
+  if (is_leaf(acquired)) return rh != npos;
+  size_t ra = rank(acquired);
+  return rh != npos && ra != npos && rh < ra;
+}
+
+bool LockSpec::is_blocking(const std::string& fn) const {
+  return blocking_.count(fn) != 0;
+}
+
+}  // namespace septic::analysis::lockcheck

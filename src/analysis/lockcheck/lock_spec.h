@@ -1,0 +1,69 @@
+// Machine-readable lock-hierarchy spec (locks.spec at the repo root).
+//
+// The spec is the single source of truth HACKING.md's prose now points at.
+// Grammar (one directive per line, `#` comments):
+//
+//   level <lock>            next rank in the global acquisition chain;
+//                           declaration order IS the order (outermost first)
+//   leaf <lock>             innermost lock: may be taken under anything,
+//                           nothing may be acquired while holding it
+//   order <held> <acquired> explicit extra edge two locks are allowed in
+//                           (escape hatch for leaf-under-leaf pairs)
+//   blocking <fn>           qualified function that can block the caller
+//                           (group-commit waits, fsync barriers)
+//   noblock <fn> <lock>...  the named blocking function must never run —
+//                           directly or through any call chain — while one
+//                           of the listed locks is held
+//   crashcover <fn>         function must contain a crashpoint() /
+//                           SEPTIC_FAILPOINT site (crash-matrix coverage)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lockcheck/lock_model.h"
+
+namespace septic::analysis::lockcheck {
+
+struct NoBlockRule {
+  std::string fn;
+  std::vector<LockId> locks;
+};
+
+class LockSpec {
+ public:
+  /// Parse spec text. Returns false and fills `error` on a malformed line
+  /// (unknown directive, missing operand).
+  bool parse(const std::string& text, std::string* error);
+
+  bool knows(const LockId& lock) const;
+  bool is_leaf(const LockId& lock) const;
+  /// Rank in the `level` chain; leaves and unknown locks have no rank.
+  /// Returns npos when the lock is not a chain level.
+  size_t rank(const LockId& lock) const;
+
+  /// May `acquired` be blocking-acquired while `held` is held?
+  /// Both must be known; unknown locks are reported separately.
+  bool order_ok(const LockId& held, const LockId& acquired) const;
+
+  bool is_blocking(const std::string& fn) const;
+  const std::vector<NoBlockRule>& noblock_rules() const { return noblock_; }
+  const std::vector<std::string>& crashcover() const { return crashcover_; }
+  const std::vector<LockId>& levels() const { return levels_; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  std::vector<LockId> levels_;  // rank = index
+  std::set<LockId> leaves_;
+  std::set<std::pair<LockId, LockId>> extra_order_;
+  std::set<std::string> blocking_;
+  std::vector<NoBlockRule> noblock_;
+  std::vector<std::string> crashcover_;
+};
+
+}  // namespace septic::analysis::lockcheck

@@ -1,0 +1,167 @@
+// lockcheck: interprocedural lock-hierarchy & concurrency-invariant
+// analysis over the engine's own sources.
+//
+//   lockcheck [options] <file-or-dir> [...]
+//
+//   --spec <path>      lock hierarchy spec (default: locks.spec)
+//   --json             machine-readable report (stable bytes, golden-safe)
+//   --out <path>       write the report to a file instead of stdout
+//   --fail-on <t>      error | warning | none | <finding-class> — findings
+//                      at/above the threshold (or of the named class) make
+//                      the exit code 1 (default: error)
+//
+// Directory inputs are walked recursively for *.cpp / *.h. Exit codes:
+// 0 clean, 1 gating findings, 2 usage / I/O / spec-parse failure.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lockcheck/lock_check.h"
+#include "analysis/lockcheck/lock_extract.h"
+#include "analysis/lockcheck/lock_spec.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--spec <path>] [--json] [--out <path>] "
+               "[--fail-on error|warning|none|<finding-class>] "
+               "<file-or-dir> [...]\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool is_source_file(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".h";
+}
+
+bool known_class(const std::string& s) {
+  return s == "lock-order-inversion" || s == "blocking-call-under-lock" ||
+         s == "atomic-plain-rmw" || s == "unknown-lock" ||
+         s == "missing-failpoint-guard";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace septic::analysis::lockcheck;
+
+  bool json = false;
+  std::string out_path, spec_path = "locks.spec", fail_on = "error";
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out") {
+      if (!next(out_path)) return usage(argv[0]);
+    } else if (arg == "--spec") {
+      if (!next(spec_path)) return usage(argv[0]);
+    } else if (arg == "--fail-on") {
+      if (!next(fail_on) ||
+          (fail_on != "error" && fail_on != "warning" && fail_on != "none" &&
+           !known_class(fail_on))) {
+        return usage(argv[0]);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lockcheck: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(std::move(arg));
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::string spec_text;
+  if (!read_file(spec_path, &spec_text)) {
+    std::fprintf(stderr, "lockcheck: cannot read spec %s\n",
+                 spec_path.c_str());
+    return 2;
+  }
+  LockSpec spec;
+  std::string err;
+  if (!spec.parse(spec_text, &err)) {
+    std::fprintf(stderr, "lockcheck: %s\n", err.c_str());
+    return 2;
+  }
+
+  // Expand directories, then sort: the scan must be order-independent of
+  // the filesystem for golden-stable output.
+  std::vector<std::string> files;
+  try {
+    for (const std::string& input : inputs) {
+      if (fs::is_directory(input)) {
+        for (const auto& entry : fs::recursive_directory_iterator(input)) {
+          if (entry.is_regular_file() && is_source_file(entry.path())) {
+            files.push_back(entry.path().generic_string());
+          }
+        }
+      } else {
+        files.push_back(input);
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "lockcheck: %s\n", ex.what());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  Extractor ex;
+  for (const std::string& path : files) {
+    std::string contents;
+    if (!read_file(path, &contents)) {
+      std::fprintf(stderr, "lockcheck: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    ex.add_file(path, contents);
+  }
+  CodeModel model = ex.build();
+  LockReport report = check_model(model, spec, spec_path);
+
+  std::string rendered =
+      json ? render_lock_json(report) : render_lock_text(report);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.write(rendered.data(),
+                   static_cast<std::streamsize>(rendered.size()))) {
+      std::fprintf(stderr, "lockcheck: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  size_t gating = 0;
+  if (fail_on == "error") {
+    gating = report.errors();
+  } else if (fail_on == "warning") {
+    gating = report.errors() + report.warnings();
+  } else if (fail_on != "none") {
+    for (const LockFinding& f : report.findings) {
+      gating += f.klass == fail_on ? 1 : 0;
+    }
+  }
+  return gating ? 1 : 0;
+}

@@ -53,6 +53,25 @@ std::vector<Tok> lex_cpp(std::string_view source) {
       i = (i + 1 < n) ? i + 2 : n;
       continue;
     }
+    // Raw string literal R"delim(...)delim" — kept undecoded (the WAF rule
+    // tables use these for regex bodies; their contents are opaque here).
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
+        (i == 0 || !ident_char(source[i - 1]))) {
+      size_t j = i + 2;
+      while (j < n && source[j] != '(') ++j;
+      std::string close = ")" + std::string(source.substr(i + 2, j - i - 2)) +
+                          "\"";
+      size_t end = source.find(close, j);
+      size_t stop = end == std::string_view::npos ? n : end;
+      std::string text(source.substr(j + 1 <= stop ? j + 1 : stop,
+                                     stop - std::min(j + 1, stop)));
+      push(TokKind::kString, std::move(text));
+      for (size_t k = i; k < std::min(stop + close.size(), n); ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      i = end == std::string_view::npos ? n : end + close.size();
+      continue;
+    }
     // String literal (decoded).
     if (c == '"') {
       std::string text;
@@ -105,6 +124,13 @@ std::vector<Tok> lex_cpp(std::string_view source) {
                        (source[i] >= 'A' && source[i] <= 'F'))) {
         ++i;
       }
+      // Integer suffixes stay part of the literal: `1u << 30` must not
+      // produce an ident token the declaration parsers could mistake for a
+      // template name.
+      while (i < n && (source[i] == 'u' || source[i] == 'U' ||
+                       source[i] == 'l' || source[i] == 'L')) {
+        ++i;
+      }
       push(TokKind::kNumber, std::string(source.substr(start, i - start)));
       continue;
     }
@@ -130,6 +156,33 @@ std::vector<Tok> lex_cpp(std::string_view source) {
     ++i;
   }
   out.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+std::string strip_preprocessor(std::string_view source) {
+  std::string out(source);
+  size_t i = 0;
+  const size_t n = out.size();
+  while (i < n) {
+    size_t start = i;
+    while (i < n && (out[i] == ' ' || out[i] == '\t')) ++i;
+    bool directive = i < n && out[i] == '#';
+    size_t eol = out.find('\n', i);
+    if (eol == std::string::npos) eol = n;
+    if (directive) {
+      // Blank the directive and every backslash-continued line after it,
+      // keeping the newlines so later tokens stay on their lines.
+      for (;;) {
+        bool continued = eol > start && out[eol - 1] == '\\';
+        for (size_t k = start; k < eol; ++k) out[k] = ' ';
+        if (!continued || eol >= n) break;
+        start = eol + 1;
+        eol = out.find('\n', start);
+        if (eol == std::string::npos) eol = n;
+      }
+    }
+    i = eol < n ? eol + 1 : n;
+  }
   return out;
 }
 

@@ -40,4 +40,11 @@ struct Tok {
 /// skipped (they only occur outside the constructs the scanner walks).
 std::vector<Tok> lex_cpp(std::string_view source);
 
+/// Blank out preprocessor logical lines (`#include`, `#define` + backslash
+/// continuations, ...) while preserving byte offsets of every other line,
+/// so token line numbers survive. lockcheck runs this before lex_cpp: a
+/// multi-line macro definition would otherwise unbalance the brace
+/// tracking its parser relies on.
+std::string strip_preprocessor(std::string_view source);
+
 }  // namespace septic::analysis

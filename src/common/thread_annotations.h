@@ -1,0 +1,50 @@
+// Clang Thread Safety Analysis annotations, as no-ops everywhere else.
+//
+// Two enforcement planes cover SEPTIC's locking discipline:
+//   - lockcheck (src/analysis/lockcheck/) parses the sources themselves and
+//     checks the interprocedural hierarchy in locks.spec — it runs on any
+//     toolchain, gcc included, and gates scripts/check.sh.
+//   - these annotations let Clang's -Wthread-safety prove the intra-TU
+//     guarded-by / requires relationships at compile time; the check.sh
+//     `wthread` tier builds with SEPTIC_WTHREAD_SAFETY=ON under clang++
+//     and SKIPs when only gcc is available.
+//
+// libstdc++'s std::mutex is not annotated as a `capability`, so the tier
+// compiles with -Wno-thread-safety-attributes and leans on GUARDED_BY /
+// REQUIRES, which work with unannotated mutex types.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SEPTIC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SEPTIC_THREAD_ANNOTATION(x)
+#endif
+
+/// Member may only be read or written while `x` is held.
+#define SEPTIC_GUARDED_BY(x) SEPTIC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer) is guarded by `x`.
+#define SEPTIC_PT_GUARDED_BY(x) SEPTIC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function must be called with `...` held exclusively (the `_locked`
+/// helper idiom).
+#define SEPTIC_REQUIRES(...) \
+  SEPTIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with `...` held at least shared.
+#define SEPTIC_REQUIRES_SHARED(...) \
+  SEPTIC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with `...` held (self-deadlock guard).
+#define SEPTIC_EXCLUDES(...) \
+  SEPTIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares the acquisition order between two mutex members: this mutex
+/// must be taken after `...`. Mirrors the `level` chain in locks.spec.
+#define SEPTIC_ACQUIRE_AFTER(...) \
+  SEPTIC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for functions the analysis cannot follow (thread entry
+/// points, test-only backdoors).
+#define SEPTIC_NO_THREAD_SAFETY_ANALYSIS \
+  SEPTIC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -52,6 +52,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/digest_cache.h"
 #include "engine/interceptor.h"
 #include "engine/result.h"
@@ -257,7 +258,8 @@ class Database {
   /// Guards only the interceptor pointer (pin = pointer copy).
   mutable std::mutex interceptor_mu_;
   storage::Catalog catalog_;
-  std::shared_ptr<QueryInterceptor> interceptor_;
+  std::shared_ptr<QueryInterceptor> interceptor_
+      SEPTIC_GUARDED_BY(interceptor_mu_);
   std::shared_ptr<QueryDigestCache> digest_cache_ =
       std::make_shared<QueryDigestCache>();
   mutable txn::TxnManager txn_mgr_;

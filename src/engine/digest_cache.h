@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/interceptor.h"
 #include "sqlcore/item.h"
 #include "sqlcore/parser.h"
@@ -110,11 +111,12 @@ class QueryDigestCache {
  private:
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<std::string_view, size_t> index;  // key -> slot
-    std::vector<EntryPtr> slots;  // null = free
-    std::vector<size_t> free_slots;
-    size_t clock_hand = 0;
-    size_t bytes = 0;
+    // key -> slot
+    std::unordered_map<std::string_view, size_t> index SEPTIC_GUARDED_BY(mu);
+    std::vector<EntryPtr> slots SEPTIC_GUARDED_BY(mu);  // null = free
+    std::vector<size_t> free_slots SEPTIC_GUARDED_BY(mu);
+    size_t clock_hand SEPTIC_GUARDED_BY(mu) = 0;
+    size_t bytes SEPTIC_GUARDED_BY(mu) = 0;
     // Counted under the shared lock, hence atomic.
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/table.h"
 
 namespace septic::engine::txn {
@@ -219,8 +220,9 @@ class TxnManager {
   std::atomic<uint64_t> clock_{0};
   std::mutex commit_mu_;
   mutable std::mutex mu_;  // guards active_ / next_id_
-  uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, std::shared_ptr<Transaction>> active_;
+  uint64_t next_id_ SEPTIC_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Transaction>> active_
+      SEPTIC_GUARDED_BY(mu_);
   std::atomic<uint64_t> begun_{0};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> rolled_back_{0};

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "net/protocol.h"
 
@@ -111,7 +112,7 @@ class Server {
   /// Pop one pending fd; blocks when `wait`. Returns -1 when stopping /
   /// nothing queued.
   int pop_pending(bool wait);
-  void reap_overflow_locked();
+  void reap_overflow_locked() SEPTIC_REQUIRES(overflow_mu_);
 
   engine::Database& db_;
   ServerOptions options_;
@@ -122,15 +123,17 @@ class Server {
   // Accept queue: accepted fds waiting for a worker.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
-  size_t idle_workers_ = 0;  // pooled workers blocked in pop_pending
+  std::deque<int> pending_ SEPTIC_GUARDED_BY(queue_mu_);
+  // pooled workers blocked in pop_pending
+  size_t idle_workers_ SEPTIC_GUARDED_BY(queue_mu_) = 0;
 
   std::vector<std::thread> pool_;
-  std::vector<std::unique_ptr<OverflowWorker>> overflow_;
   std::mutex overflow_mu_;
+  std::vector<std::unique_ptr<OverflowWorker>> overflow_
+      SEPTIC_GUARDED_BY(overflow_mu_);
 
-  std::vector<std::unique_ptr<Conn>> conns_;
   std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ SEPTIC_GUARDED_BY(conns_mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace septic::core {
 
 enum class EventKind {
@@ -90,13 +92,13 @@ class EventLog {
 
  private:
   mutable std::mutex mu_;
-  std::deque<Event> events_;
-  size_t capacity_ = kDefaultCapacity;
-  uint64_t dropped_ = 0;
-  uint64_t file_errors_ = 0;
-  std::function<void(const Event&)> sink_;
-  std::ofstream file_;
-  uint64_t next_seq_ = 1;
+  std::deque<Event> events_ SEPTIC_GUARDED_BY(mu_);
+  size_t capacity_ SEPTIC_GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t dropped_ SEPTIC_GUARDED_BY(mu_) = 0;
+  uint64_t file_errors_ SEPTIC_GUARDED_BY(mu_) = 0;
+  std::function<void(const Event&)> sink_ SEPTIC_GUARDED_BY(mu_);
+  std::ofstream file_ SEPTIC_GUARDED_BY(mu_);
+  uint64_t next_seq_ SEPTIC_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace septic::core

@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "septic/query_model.h"
 
 namespace septic::core {
@@ -75,8 +76,10 @@ class QmStore {
   /// when the model was new.
   bool add(const std::string& id, const QueryModel& qm);
 
-  /// Models learned for an ID (empty vector when unknown). Copies; prefer
-  /// snapshot()/lookup_apply() on hot paths.
+  /// Models learned for an ID (empty vector when unknown). Copies the
+  /// whole set under the shard lock — every caller has been migrated to
+  /// the copy-free reads below, and new code must use them too.
+  [[deprecated("copies the model set; use lookup_apply() or snapshot()")]]
   std::vector<QueryModel> lookup(const std::string& id) const;
 
   /// Copy-free read: the ID's current model set pinned by refcount
@@ -148,7 +151,7 @@ class QmStore {
  private:
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<std::string, ModelSet> models;
+    std::unordered_map<std::string, ModelSet> models SEPTIC_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const std::string& id) {

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sqlcore/value.h"
 #include "storage/schema.h"
 
@@ -235,7 +236,7 @@ class Table {
   /// lowers it — stale-high is merely conservative). Snapshots at or past
   /// it see no old version, so indexes answer for them even with history
   /// present. Guarded by mu_.
-  uint64_t max_old_end_ts_ = 0;
+  uint64_t max_old_end_ts_ SEPTIC_GUARDED_BY(mu_) = 0;
   int64_t auto_inc_ = 1;
   /// Guards rows_/live_/begin_ts_/indexes' maps/old_versions_/auto_inc_ on
   /// the versioned plane. The legacy plane bypasses it (see file comment).

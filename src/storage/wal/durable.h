@@ -33,6 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/catalog.h"
 #include "storage/wal/pager.h"
 #include "storage/wal/wal.h"
@@ -205,8 +206,9 @@ class DurableStorage {
   /// dirty concurrently; checkpoint runs with writers excluded but takes
   /// the mutex anyway — it is uncontended then).
   mutable std::mutex dirty_mu_;
-  std::unordered_map<std::string, std::string> block_cache_;
-  std::unordered_set<std::string> dirty_;
+  std::unordered_map<std::string, std::string> block_cache_
+      SEPTIC_GUARDED_BY(dirty_mu_);
+  std::unordered_set<std::string> dirty_ SEPTIC_GUARDED_BY(dirty_mu_);
 
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> tables_serialized_{0};

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/wal/redo.h"
 
 namespace septic::storage::wal {
@@ -198,22 +199,22 @@ class WalWriter {
   WalWriterStats stats() const;
 
  private:
-  void write_frame(std::string_view payload);
+  void write_frame(std::string_view payload) SEPTIC_REQUIRES(append_mu_);
 
   std::string path_;
   int fd_ = -1;
 
   mutable std::mutex append_mu_;  // fd offset + lsn assignment
-  uint64_t next_lsn_ = 1;
-  uint64_t appended_lsn_ = 0;
-  uint64_t bytes_ = 0;
+  uint64_t next_lsn_ SEPTIC_GUARDED_BY(append_mu_) = 1;
+  uint64_t appended_lsn_ SEPTIC_GUARDED_BY(append_mu_) = 0;
+  uint64_t bytes_ SEPTIC_GUARDED_BY(append_mu_) = 0;
   /// Set when an append failed mid-frame; appends refuse until rotate().
-  bool poisoned_ = false;
+  bool poisoned_ SEPTIC_GUARDED_BY(append_mu_) = false;
 
-  std::mutex sync_mu_;
+  std::mutex sync_mu_ SEPTIC_ACQUIRE_AFTER(append_mu_);
   std::condition_variable sync_cv_;
-  bool leader_active_ = false;
-  uint64_t durable_lsn_ = 0;
+  bool leader_active_ SEPTIC_GUARDED_BY(sync_mu_) = false;
+  uint64_t durable_lsn_ SEPTIC_GUARDED_BY(sync_mu_) = 0;
 
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> bytes_appended_{0};

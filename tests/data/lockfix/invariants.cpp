@@ -1,0 +1,70 @@
+// One seeded violation per invariant class beyond lock ordering, plus the
+// clean idioms (try-lock, scoped unlock) the analyzer must NOT flag.
+//
+// NOT compiled into the build — input data for lockcheck only.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace septic::engine {
+
+struct Table {
+  mutable std::shared_mutex mu_;
+  int rows = 0;
+};
+
+class DurableStorage {
+ public:
+  // Stand-in for the group-commit wait (locks.spec: blocking).
+  void ack_sync(uint64_t lsn) { last_acked_ = lsn; }
+
+ private:
+  uint64_t last_acked_ = 0;
+};
+
+class Database {
+ public:
+  // BUG: an fsync barrier reached while the engine lock is held turns a
+  // disk stall into a global stall (noblock rule).
+  void flush_all() {
+    std::shared_lock ddl(ddl_mu_);
+    storage_.ack_sync(1);
+  }
+
+  // BUG: scratch_mu_ is not declared in locks.spec (unknown-lock).
+  void stats() {
+    std::lock_guard lock(scratch_mu_);
+    ++stat_reads_;
+  }
+
+  // BUG: load-modify-store on an atomic loses updates under contention.
+  void bump() { hits_.store(hits_.load() + 1); }
+
+  // Clean: the engine lock is only tried, and the row lock follows the
+  // declared ddl -> table order.
+  void vacuum(Table& t) {
+    std::unique_lock ddl(ddl_mu_, std::try_to_lock);
+    if (!ddl.owns_lock()) return;
+    std::unique_lock rows(t.mu_);
+    t.rows = 0;
+  }
+
+  // Clean: the row lock is released before the engine lock is taken.
+  void reload(Table& t) {
+    std::unique_lock rows(t.mu_);
+    int snapshot = t.rows;
+    rows.unlock();
+    std::shared_lock ddl(ddl_mu_);
+    stat_reads_ = snapshot;
+  }
+
+ private:
+  mutable std::shared_mutex ddl_mu_;
+  std::mutex scratch_mu_;
+  std::atomic<uint64_t> hits_{0};
+  int stat_reads_ = 0;
+  DurableStorage storage_;
+};
+
+}  // namespace septic::engine

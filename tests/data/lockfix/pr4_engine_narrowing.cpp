@@ -1,0 +1,54 @@
+// Distilled from the pre-PR 4 autocommit path: the executor still held a
+// table's row lock when it entered the commit critical section, while
+// TxnManager::commit takes table locks UNDER commit_mu_ when applying a
+// write set. The engine-lock narrowing in PR 4 made the executor drop the
+// row lock first; this fixture preserves the inverted shape for the
+// golden test.
+//
+// NOT compiled into the build — input data for lockcheck only.
+#include <mutex>
+#include <shared_mutex>
+
+namespace septic::engine {
+
+struct Table {
+  mutable std::shared_mutex mu_;
+  int rows = 0;
+};
+
+class TxnManager {
+ public:
+  std::mutex& commit_mu() { return commit_mu_; }
+
+ private:
+  std::mutex commit_mu_;
+};
+
+class Database {
+ public:
+  // BUG (pre-fix PR 4): the row lock is still held when the commit lock
+  // is taken — ABBA against commit applying a write set.
+  void apply_autocommit(Table& t) {
+    std::unique_lock row(t.mu_);
+    t.rows += 1;
+    std::lock_guard commit(txn_mgr_.commit_mu());
+    publish_locked(t);
+  }
+
+  // Fixed shape for contrast: row lock released before the commit lock.
+  void apply_autocommit_narrowed(Table& t) {
+    {
+      std::unique_lock row(t.mu_);
+      t.rows += 1;
+    }
+    std::lock_guard commit(txn_mgr_.commit_mu());
+    publish_locked(t);
+  }
+
+ private:
+  void publish_locked(Table& t) { t.rows += 1; }
+
+  TxnManager txn_mgr_;
+};
+
+}  // namespace septic::engine

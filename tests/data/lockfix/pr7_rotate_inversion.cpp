@@ -1,0 +1,48 @@
+// Distilled from the PR 7 WAL as first committed: rotate() grabbed the
+// sync leader lock before the append lock, while every appender holds
+// append_mu_ and then queues on sync_mu_ for group commit — a textbook
+// ABBA pair that TSan caught in the crash-recovery matrix. The fix
+// (fc41276) releases sync_mu_ before touching the append plane; this
+// fixture preserves the pre-fix shape so lockcheck's golden test proves
+// the analyzer would have flagged it.
+//
+// NOT compiled into the build — input data for lockcheck only.
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace septic::storage::wal {
+
+void crashpoint(const char* site);
+
+class WalWriter {
+ public:
+  void append(const std::string& rec) {
+    std::lock_guard lock(append_mu_);
+    bytes_ += rec.size();
+  }
+
+  void sync_to(uint64_t target) {
+    std::unique_lock lead(sync_mu_);
+    if (durable_lsn_ >= target) return;
+    lead.unlock();  // leader hands the barrier back before appending
+    std::lock_guard lock(append_mu_);
+    crashpoint("wal.sync.before_fsync");
+    durable_lsn_ = target;
+  }
+
+  void rotate() {
+    // BUG (pre-fix PR 7): leader lock first, append lock second.
+    std::lock_guard lead(sync_mu_);
+    std::lock_guard lock(append_mu_);
+    bytes_ = 0;
+  }
+
+ private:
+  std::mutex append_mu_;
+  std::mutex sync_mu_;
+  uint64_t bytes_ = 0;
+  uint64_t durable_lsn_ = 0;
+};
+
+}  // namespace septic::storage::wal

@@ -223,7 +223,9 @@ TEST_F(FaultTest, LegacyV1StoreStillLoads) {
   EXPECT_EQ(report.version, 1);
   EXPECT_EQ(report.loaded, 1u);
   EXPECT_TRUE(report.clean());
-  EXPECT_EQ(loaded.lookup("old-id").size(), 1u);
+  core::QmStore::ModelSet set = loaded.snapshot("old-id");
+  ASSERT_TRUE(set);
+  EXPECT_EQ(set->size(), 1u);
 }
 
 TEST_F(FaultTest, UnknownFormatVersionRefusedOutright) {

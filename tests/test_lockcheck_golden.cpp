@@ -1,0 +1,130 @@
+// Golden-file tests for lockcheck: the JSON report over the seeded
+// lock-bug fixtures (tests/data/lockfix/) must match tests/golden/ byte
+// for byte, and a full self-scan of src/ must stay clean — the analyzer
+// gates its own repository. Regenerate goldens intentionally with:
+//
+//   SEPTIC_REGEN_GOLDEN=1 ./test_lockcheck_golden
+//
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lockcheck/lock_check.h"
+#include "analysis/lockcheck/lock_extract.h"
+#include "analysis/lockcheck/lock_spec.h"
+
+namespace septic::analysis::lockcheck {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string repo_path(const std::string& rel) {
+  return std::string(SEPTIC_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "<unreadable: " + path + ">";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+LockSpec repo_spec() {
+  LockSpec spec;
+  std::string err;
+  EXPECT_TRUE(spec.parse(read_file(repo_path("locks.spec")), &err)) << err;
+  return spec;
+}
+
+/// Model over fixtures, added under their BASENAME so the golden bytes are
+/// independent of the checkout location (same discipline as the scan
+/// goldens).
+LockReport fixture_report(const std::vector<std::string>& names) {
+  Extractor ex;
+  for (const std::string& name : names) {
+    ex.add_file(name, read_file(repo_path("tests/data/lockfix/" + name)));
+  }
+  LockSpec spec = repo_spec();
+  return check_model(ex.build(), spec, "locks.spec");
+}
+
+void check_golden(const std::string& fixture, const std::string& golden) {
+  std::string json = render_lock_json(fixture_report({fixture}));
+  std::string gpath = repo_path("tests/golden/" + golden);
+  if (std::getenv("SEPTIC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(gpath, std::ios::binary);
+    ASSERT_TRUE(out.write(json.data(),
+                          static_cast<std::streamsize>(json.size())))
+        << "cannot write " << gpath;
+    GTEST_SKIP() << "regenerated " << gpath;
+  }
+  EXPECT_EQ(json, read_file(gpath))
+      << "report drifted from " << gpath
+      << " — rerun with SEPTIC_REGEN_GOLDEN=1 and review the diff";
+}
+
+// The PR 7 rotate() bug: sync_mu_ taken before append_mu_ (ABBA against
+// the appenders queueing on group commit). The golden pins both the
+// inversion error and the missing-crashpoint warning.
+TEST(LockcheckGolden, Pr7RotateInversion) {
+  check_golden("pr7_rotate_inversion.cpp", "lockfix_pr7_rotate.json");
+}
+
+// The pre-PR 4 autocommit path: row lock still held when the commit lock
+// is taken, inverted against commit applying write sets under commit_mu_.
+TEST(LockcheckGolden, Pr4EngineNarrowing) {
+  check_golden("pr4_engine_narrowing.cpp", "lockfix_pr4_narrowing.json");
+}
+
+// One seeded violation per remaining invariant class, plus clean try-lock
+// and scoped-unlock shapes that must NOT be flagged.
+TEST(LockcheckGolden, InvariantSeeds) {
+  check_golden("invariants.cpp", "lockfix_invariants.json");
+}
+
+// Both historical inversions must be present when the fixtures are scanned
+// together (cross-file model building does not dilute either).
+TEST(LockcheckGolden, CombinedFixturesKeepBothInversions) {
+  LockReport r = fixture_report(
+      {"pr4_engine_narrowing.cpp", "pr7_rotate_inversion.cpp"});
+  size_t inversions = 0;
+  for (const LockFinding& f : r.findings) {
+    inversions += f.klass == "lock-order-inversion" ? 1 : 0;
+  }
+  EXPECT_EQ(inversions, 2u);
+}
+
+// The repository gate: a full self-scan of src/ must be clean. Any new
+// inversion, unknown mutex, blocking call under an engine lock, plain
+// atomic RMW, or missing crashpoint fails this test (and the check.sh
+// `lockcheck` tier).
+TEST(LockcheckGolden, SelfScanOfSrcIsClean) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(repo_path("src"))) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".cpp" && p.extension() != ".h") continue;
+    files.push_back(p.generic_string());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 100u) << "source tree went missing?";
+  Extractor ex;
+  for (const std::string& f : files) ex.add_file(f, read_file(f));
+  LockSpec spec = repo_spec();
+  LockReport report = check_model(ex.build(), spec, "locks.spec");
+  EXPECT_EQ(report.errors(), 0u) << render_lock_text(report);
+  EXPECT_EQ(report.warnings(), 0u) << render_lock_text(report);
+  EXPECT_GT(report.functions, 500u) << "extraction collapsed";
+}
+
+}  // namespace
+}  // namespace septic::analysis::lockcheck

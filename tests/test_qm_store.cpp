@@ -11,30 +11,50 @@ QueryModel model_of(std::string_view q) {
   return make_query_model(sql::build_item_stack(sql::parse(q).statement));
 }
 
-TEST(QmStore, AddAndLookup) {
+TEST(QmStore, AddAndSnapshot) {
   QmStore store;
   EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
-  auto models = store.lookup("id1");
-  ASSERT_EQ(models.size(), 1u);
+  QmStore::ModelSet models = store.snapshot("id1");
+  ASSERT_TRUE(models);
+  ASSERT_EQ(models->size(), 1u);
   EXPECT_TRUE(store.contains("id1"));
   EXPECT_FALSE(store.contains("id2"));
-  EXPECT_TRUE(store.lookup("id2").empty());
+  EXPECT_EQ(store.snapshot("id2"), nullptr);
 }
 
 TEST(QmStore, DeduplicatesIdenticalModels) {
   QmStore store;
   EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
   EXPECT_FALSE(store.add("id1", model_of("SELECT a FROM t WHERE b = 999")));
-  EXPECT_EQ(store.lookup("id1").size(), 1u);
+  size_t seen = 0;
+  EXPECT_TRUE(store.lookup_apply(
+      "id1", [&](const std::vector<QueryModel>& ms) { seen = ms.size(); }));
+  EXPECT_EQ(seen, 1u);
 }
 
 TEST(QmStore, MultipleModelsPerIdOnCollision) {
   QmStore store;
   EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 1")));
   EXPECT_TRUE(store.add("id1", model_of("SELECT a FROM t WHERE b = 'str'")));
-  EXPECT_EQ(store.lookup("id1").size(), 2u);
+  size_t seen = 0;
+  EXPECT_TRUE(store.lookup_apply(
+      "id1", [&](const std::vector<QueryModel>& ms) { seen = ms.size(); }));
+  EXPECT_EQ(seen, 2u);
   EXPECT_EQ(store.id_count(), 1u);
   EXPECT_EQ(store.model_count(), 2u);
+}
+
+// The deprecated copying read must keep working until it is deleted
+// outright — external callers may still be on it. Only this test may call
+// it; everything else goes through snapshot()/lookup_apply().
+TEST(QmStore, DeprecatedCopyingLookupStillWorks) {
+  QmStore store;
+  store.add("id1", model_of("SELECT a FROM t WHERE b = 1"));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(store.lookup("id1").size(), 1u);
+  EXPECT_TRUE(store.lookup("missing").empty());
+#pragma GCC diagnostic pop
 }
 
 TEST(QmStore, Clear) {
@@ -54,7 +74,9 @@ TEST(QmStore, SerializeRoundTrip) {
   restored.deserialize(store.serialize());
   EXPECT_EQ(restored.id_count(), 2u);
   EXPECT_EQ(restored.model_count(), 3u);
-  EXPECT_EQ(restored.lookup("tickets:lookup#abc").size(), 2u);
+  QmStore::ModelSet roundtripped = restored.snapshot("tickets:lookup#abc");
+  ASSERT_TRUE(roundtripped);
+  EXPECT_EQ(roundtripped->size(), 2u);
 }
 
 TEST(QmStore, FileRoundTrip) {

@@ -164,19 +164,21 @@ TEST_P(StaticContainsRuntime, EveryRuntimeModelIsPreTrained) {
   const core::QmStore& runtime = septic->store();
   EXPECT_GT(runtime.model_count(), 0u);
   for (const std::string& id : runtime.ids()) {
-    std::vector<core::QueryModel> statics = static_store.lookup(id);
-    ASSERT_FALSE(statics.empty())
+    core::QmStore::ModelSet statics = static_store.snapshot(id);
+    ASSERT_TRUE(statics && !statics->empty())
         << app_name << ": runtime-learned ID " << id
         << " has no statically pre-trained model";
-    for (const core::QueryModel& qm : runtime.lookup(id)) {
-      bool found = false;
-      for (const core::QueryModel& sm : statics) {
-        found = found || models_equivalent(sm, qm);
+    runtime.lookup_apply(id, [&](const std::vector<core::QueryModel>& qms) {
+      for (const core::QueryModel& qm : qms) {
+        bool found = false;
+        for (const core::QueryModel& sm : *statics) {
+          found = found || models_equivalent(sm, qm);
+        }
+        EXPECT_TRUE(found) << app_name << ": runtime model for " << id
+                           << " not covered:\n"
+                           << qm.to_string();
       }
-      EXPECT_TRUE(found) << app_name << ": runtime model for " << id
-                         << " not covered:\n"
-                         << qm.to_string();
-    }
+    });
   }
 }
 
