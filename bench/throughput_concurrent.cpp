@@ -1,5 +1,28 @@
-// Experiment PR6/PR7 — multi-client throughput over the real network
-// stack: the PR6 workload-mix sweep, plus the PR7 durability sweep.
+// Experiment PR6/PR7/PR9 — multi-client throughput over the real network
+// stack: the PR6 workload-mix sweep, the PR7 durability sweep, and the
+// PR9 front-end sweeps (prepared statements, pipelining, idle
+// connections).
+//
+// PR9 rebuilt the server as an epoll readiness loop (connections are
+// state objects, not threads) and made prepared statements real
+// server-side handles whose SEPTIC verdict happens once, at PREPARE.
+// Three sweeps measure that:
+//   prepared  EXEC latency vs warm-QUERY (digest-cache hit) latency at
+//             each client count, SEPTIC off vs prevention. Each client
+//             interleaves the two ops on one connection (exec, then the
+//             byte-identical literal as a QUERY), so both are measured
+//             under identical warmth and load — separate phases gave the
+//             second phase an already-hot server. On the old server EXEC
+//             re-ran the whole verdict pipeline per call; on the new one
+//             it replays the PREPARE-time verdict, so EXEC p50 should
+//             sit at or below the warm QUERY hit.
+//   pipeline  one client posting batches of B queries per round-trip
+//             (B = 1 is the old synchronous cadence). New-API only.
+//   idle      N open-but-silent connections plus one active client:
+//             process thread count and VmRSS while holding them, and the
+//             active client's latency through the crowd. The old server
+//             pinned a thread per connection; the new one holds them on
+//             one epoll set.
 //
 // A closed-loop driver: N client threads each hold one connection to a
 // real net::Server (thread-pool model) and issue a fixed number of
@@ -38,19 +61,31 @@
 // fsync, so the ratio should rise with client count — that batching is
 // what keeps full-durability p99 in the same decade as relaxed.
 //
-// Output: human-readable table on stdout, machine-readable BENCH_PR7.json
+// Output: human-readable table on stdout, machine-readable BENCH_PR9.json
 // (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh, schema
 // configs.{off|training|prevention}.{point|readheavy}.{clients} plus
-// durability.{off|relaxed|full}.{clients}.
+// durability.{off|relaxed|full}.{clients}, prepared.{off|prevention}
+// .{clients}, pipeline.{batch}, and idle.
 //
 // Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
 // SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16"),
 // SEPTIC_BENCH_DUR_QUERIES (inserts per client in the durability sweep,
-// default 200).
+// default 200), SEPTIC_BENCH_PREP_QUERIES (EXECs and warm QUERYs per
+// client in the prepared sweep, default 300), SEPTIC_BENCH_PIPE_QUERIES
+// (queries per batch size in the pipeline sweep, default 512),
+// SEPTIC_BENCH_IDLE_CONNS (idle connections, default 1000, clamped to
+// the fd rlimit).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -60,6 +95,15 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "septic/septic.h"
+#include "sqlcore/value.h"
+
+// The pipelined client API and the PREPARE-time-verdict engine surface
+// arrived together; the pre-change baseline worktree compiles this same
+// file against the old API with the pipeline sweep (and the re-verdict
+// counter) compiled out.
+#if __has_include("engine/prepared.h")
+#define SEPTIC_BENCH_HAS_PREPARED 1
+#endif
 
 // The durability sweep needs the WAL subsystem; the pre-PR7 baseline
 // worktree compiles this same file without it (scripts/bench.sh drops the
@@ -67,7 +111,6 @@
 #if __has_include("storage/wal/durable.h")
 #define SEPTIC_BENCH_HAS_DURABILITY 1
 #include <filesystem>
-#include <unistd.h>
 
 #include "storage/wal/durable.h"
 #endif
@@ -132,7 +175,6 @@ struct RunResult {
   size_t reads = 0;
   size_t writes = 0;
   size_t errors = 0;
-  uint64_t overflow_workers = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 };
@@ -252,7 +294,6 @@ RunResult run_one(SepticMode mode, Workload workload, int clients,
   r.rp99_us = percentile(reads, 0.99);
   r.wp50_us = percentile(writes, 0.50);
   r.wp99_us = percentile(writes, 0.99);
-  r.overflow_workers = server->overflow_workers_spawned();
   septic::engine::DigestCacheStats cs = db.digest_cache_stats();
   r.cache_hits = cs.hits;
   r.cache_misses = cs.misses;
@@ -355,13 +396,381 @@ DurResult run_durability(septic::storage::wal::DurabilityMode mode,
 
 #endif  // SEPTIC_BENCH_HAS_DURABILITY
 
+// ---------------------------------------------------------------------------
+// PR9: prepared-statement sweep. Each client prepares
+// "SELECT id, v FROM bench WHERE id = ?" on its own connection, then
+// interleaves timed pairs: one EXEC with a cycling key, then the
+// byte-identical literal SELECT as a plain QUERY against the warm digest
+// cache. Interleaving on one connection measures both ops under identical
+// server warmth and concurrent load — running them as separate phases
+// handed whichever phase ran second an already-hot server and skewed the
+// comparison by several microseconds. Under prevention the old engine
+// re-ran the full parse+verdict pipeline per EXEC while the warm QUERY
+// rode the digest cache; the new engine verdicts once at PREPARE, so EXEC
+// p50 should sit at or below the warm-QUERY hit.
+//
+// Throughput attribution under interleaving: the client is closed-loop
+// serial, so the wall time spent in an op class is the sum of its
+// latencies; exec_qps = execs / (exec-attributed wall per client),
+// aggregated across clients.
+// ---------------------------------------------------------------------------
+
+struct PrepResult {
+  double exec_qps = 0;
+  double query_qps = 0;
+  double ep50_us = 0;  // EXEC latencies
+  double ep99_us = 0;
+  double qp50_us = 0;  // byte-identical warm QUERY latencies
+  double qp99_us = 0;
+  size_t execs = 0;
+  size_t queries = 0;
+  size_t errors = 0;
+  uint64_t reverdicts = 0;  // EXEC-path structural re-verdicts (new engine)
+};
+
+PrepResult run_prepared(bool prevention, int clients, int per_client) {
+  septic::engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  for (int i = 0; i < kRows; i += 32) {
+    std::string sql = "INSERT INTO bench (v) VALUES ";
+    for (int j = 0; j < 32; ++j) {
+      if (j) sql += ", ";
+      sql += "('row" + std::to_string(i + j) + "')";
+    }
+    db.execute_admin(sql);
+  }
+
+  std::shared_ptr<septic::core::Septic> septic;
+  if (prevention) {
+    septic = std::make_shared<septic::core::Septic>();
+    septic->set_log_processed_queries(false);
+    septic->set_mode(septic::core::Mode::kTraining);
+    db.set_interceptor(septic);
+    // One literal execution trains the query model; the template's '?'
+    // wildcard validates against the same model at PREPARE time.
+    septic::engine::Session trainer("bench-trainer");
+    db.execute(trainer, "SELECT id, v FROM bench WHERE id = 1");
+    septic->set_mode(septic::core::Mode::kPrevention);
+  }
+
+  // Warm the digest cache for the QUERY phase (same two-pass scheme as
+  // run_one); the EXEC phase never touches the digest cache.
+  {
+    septic::engine::Session warm("bench-warm");
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int key = 1; key <= kRows; ++key) {
+        db.execute(warm, "SELECT id, v FROM bench WHERE id = " +
+                             std::to_string(key));
+      }
+    }
+  }
+
+  septic::net::ServerOptions opts;
+  opts.max_connections = 0;
+  auto server = std::make_unique<septic::net::Server>(db, 0, opts);
+  server->start();
+  uint16_t port = server->port();
+
+  PrepResult r;
+  std::vector<std::vector<double>> elat(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> qlat(static_cast<size_t>(clients));
+  std::vector<size_t> errors(static_cast<size_t>(clients), 0);
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        septic::net::Client client(port);
+        auto& el = elat[static_cast<size_t>(c)];
+        auto& ql = qlat[static_cast<size_t>(c)];
+        el.reserve(static_cast<size_t>(per_client));
+        ql.reserve(static_cast<size_t>(per_client));
+        uint64_t id = client.prepare("SELECT id, v FROM bench WHERE id = ?");
+        // Off-clock warm of BOTH ops on this connection: the mode-flip
+        // re-verdict, the server's accept/dispatch path, and the
+        // allocator all settle before the clock starts.
+        for (int w = 0; w < 32; ++w) {
+          int key = w % kRows + 1;
+          client.execute(id, {septic::sql::Value(static_cast<int64_t>(key))});
+          client.query("SELECT id, v FROM bench WHERE id = " +
+                       std::to_string(key));
+        }
+        for (int i = 0; i < per_client; ++i) {
+          int64_t key = (c * 131 + i) % kRows + 1;
+          auto q0 = Clock::now();
+          try {
+            client.execute(id, {septic::sql::Value(key)});
+          } catch (const std::exception&) {
+            ++errors[static_cast<size_t>(c)];
+          }
+          el.push_back(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                                 q0)
+                           .count());
+          std::string sql =
+              "SELECT id, v FROM bench WHERE id = " + std::to_string(key);
+          q0 = Clock::now();
+          try {
+            client.query(sql);
+          } catch (const std::exception&) {
+            ++errors[static_cast<size_t>(c)];
+          }
+          ql.push_back(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                                 q0)
+                           .count());
+        }
+        client.quit();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // The client loop is serial, so per-op wall time is the sum of that
+  // op's latencies; aggregate qps = ops / (attributed wall / clients).
+  auto reduce = [&](std::vector<std::vector<double>>& per_client_lat,
+                    double& qps, double& p50, double& p99) -> size_t {
+    std::vector<double> all;
+    double total_us = 0;
+    for (auto& v : per_client_lat) {
+      for (double us : v) total_us += us;
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    std::sort(all.begin(), all.end());
+    p50 = percentile(all, 0.50);
+    p99 = percentile(all, 0.99);
+    double attributed_s = total_us / 1e6 / std::max(1, clients);
+    qps = attributed_s > 0 ? static_cast<double>(all.size()) / attributed_s : 0;
+    return all.size();
+  };
+  r.execs = reduce(elat, r.exec_qps, r.ep50_us, r.ep99_us);
+  r.queries = reduce(qlat, r.query_qps, r.qp50_us, r.qp99_us);
+
+  for (size_t e : errors) r.errors += e;
+#if defined(SEPTIC_BENCH_HAS_PREPARED)
+  r.reverdicts = db.prepared_reverdicts();
+#endif
+  server->stop();
+  return r;
+}
+
+#if defined(SEPTIC_BENCH_HAS_PREPARED)
+
+// ---------------------------------------------------------------------------
+// PR9: pipelining sweep. One client posts batches of B warm SELECTs per
+// round-trip and then collects the B replies; B = 1 is the old synchronous
+// cadence. No interceptor — this measures the transport, and the old
+// blocking client cannot pipeline at all (its B=1 numbers are the QUERY
+// column of the prepared sweep).
+// ---------------------------------------------------------------------------
+
+struct PipeResult {
+  double qps = 0;
+  double bp50_us = 0;  // per-batch round-trip latency
+  double bp99_us = 0;
+  size_t replies = 0;
+  size_t errors = 0;
+};
+
+PipeResult run_pipeline(int batch, int total_queries) {
+  septic::engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  for (int i = 0; i < kRows; i += 32) {
+    std::string sql = "INSERT INTO bench (v) VALUES ";
+    for (int j = 0; j < 32; ++j) {
+      if (j) sql += ", ";
+      sql += "('row" + std::to_string(i + j) + "')";
+    }
+    db.execute_admin(sql);
+  }
+  {
+    septic::engine::Session warm("bench-warm");
+    for (int key = 1; key <= kRows; ++key) {
+      db.execute(warm,
+                 "SELECT id, v FROM bench WHERE id = " + std::to_string(key));
+    }
+  }
+
+  septic::net::ServerOptions opts;
+  opts.max_connections = 0;
+  auto server = std::make_unique<septic::net::Server>(db, 0, opts);
+  server->start();
+
+  PipeResult r;
+  septic::net::Client client(server->port());
+  for (int w = 0; w < 3; ++w) {
+    client.query("SELECT id, v FROM bench WHERE id = 1");
+  }
+  const int batches = total_queries / batch;
+  std::vector<double> blat;
+  blat.reserve(static_cast<size_t>(batches));
+  int key = 0;
+  auto t0 = Clock::now();
+  for (int b = 0; b < batches; ++b) {
+    auto q0 = Clock::now();
+    for (int i = 0; i < batch; ++i) {
+      key = key % kRows + 1;
+      client.post_query("SELECT id, v FROM bench WHERE id = " +
+                        std::to_string(key));
+    }
+    for (int i = 0; i < batch; ++i) {
+      try {
+        client.read_reply();
+        ++r.replies;
+      } catch (const std::exception&) {
+        ++r.errors;
+      }
+    }
+    blat.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - q0).count());
+  }
+  double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  client.quit();
+  std::sort(blat.begin(), blat.end());
+  r.qps = wall > 0 ? static_cast<double>(r.replies) / wall : 0;
+  r.bp50_us = percentile(blat, 0.50);
+  r.bp99_us = percentile(blat, 0.99);
+  server->stop();
+  return r;
+}
+
+#endif  // SEPTIC_BENCH_HAS_PREPARED
+
+// ---------------------------------------------------------------------------
+// PR9: idle-connection sweep. Open N connections that never speak, then
+// measure what holding them costs the server process (thread count and
+// VmRSS from /proc/self/status — the server runs in-process, so both
+// reflect it) and what one active client's latency looks like through the
+// crowd. The old server pinned a thread per connection; the new one holds
+// them as epoll registrations.
+// ---------------------------------------------------------------------------
+
+struct IdleResult {
+  int requested = 0;
+  int opened = 0;
+  long threads_before = 0;
+  long threads_after = 0;
+  long rss_kb_before = 0;
+  long rss_kb_after = 0;
+  double open_ms = 0;   // wall time to open + register all idle conns
+  double ap50_us = 0;   // active client's latency with the crowd held
+  double ap99_us = 0;
+  size_t errors = 0;
+};
+
+long proc_status_field(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return -1;
+  char line[256];
+  long value = -1;
+  size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      value = std::atol(line + key_len + 1);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+IdleResult run_idle(int requested, int active_queries) {
+  IdleResult r;
+  r.requested = requested;
+
+  // Each idle connection costs two fds in this process (client + server
+  // side); leave headroom for the suite's own files and sockets.
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY) {
+    long ceiling = (static_cast<long>(rl.rlim_cur) - 64) / 2;
+    if (ceiling < 0) ceiling = 0;
+    if (requested > ceiling) requested = static_cast<int>(ceiling);
+  }
+
+  septic::engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE bench (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  db.execute_admin("INSERT INTO bench (v) VALUES ('row')");
+  {
+    septic::engine::Session warm("bench-warm");
+    db.execute(warm, "SELECT id, v FROM bench WHERE id = 1");
+    db.execute(warm, "SELECT id, v FROM bench WHERE id = 1");
+  }
+
+  septic::net::ServerOptions opts;
+  opts.max_connections = 0;
+  auto server = std::make_unique<septic::net::Server>(db, 0, opts);
+  server->start();
+  uint16_t port = server->port();
+
+  r.threads_before = proc_status_field("Threads");
+  r.rss_kb_before = proc_status_field("VmRSS");
+
+  std::vector<int> idle_fds;
+  idle_fds.reserve(static_cast<size_t>(requested));
+  auto t0 = Clock::now();
+  for (int i = 0; i < requested; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      break;
+    }
+    idle_fds.push_back(fd);
+  }
+  // Wait until the server has registered (and, on the old model, spawned a
+  // thread for) every idle connection before sampling.
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (server->active_connections() >= idle_fds.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  r.open_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.opened = static_cast<int>(idle_fds.size());
+  r.threads_after = proc_status_field("Threads");
+  r.rss_kb_after = proc_status_field("VmRSS");
+
+  // One active client works through the crowd.
+  {
+    septic::net::Client client(port);
+    std::vector<double> lat;
+    lat.reserve(static_cast<size_t>(active_queries));
+    for (int w = 0; w < 3; ++w) {
+      client.query("SELECT id, v FROM bench WHERE id = 1");
+    }
+    for (int i = 0; i < active_queries; ++i) {
+      auto q0 = Clock::now();
+      try {
+        client.query("SELECT id, v FROM bench WHERE id = 1");
+      } catch (const std::exception&) {
+        ++r.errors;
+      }
+      lat.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - q0).count());
+    }
+    client.quit();
+    std::sort(lat.begin(), lat.end());
+    r.ap50_us = percentile(lat, 0.50);
+    r.ap99_us = percentile(lat, 0.99);
+  }
+
+  for (int fd : idle_fds) ::close(fd);
+  server->stop();
+  return r;
+}
+
 }  // namespace
 
 int main() {
   const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
   const std::vector<int> counts = client_counts();
   const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
-  if (!json_path || !*json_path) json_path = "BENCH_PR7.json";
+  if (!json_path || !*json_path) json_path = "BENCH_PR9.json";
 
   std::printf("# PR6/PR7: multi-client closed-loop throughput over the net "
               "stack, point vs read-heavy (90/10) workloads\n");
@@ -405,11 +814,10 @@ int main() {
                       "        \"%d\": {\"qps\": %.1f, \"rp50_us\": %.1f, "
                       "\"rp99_us\": %.1f, \"wp50_us\": %.1f, "
                       "\"wp99_us\": %.1f, \"reads\": %zu, \"writes\": %zu, "
-                      "\"errors\": %zu, \"overflow_workers\": %llu, "
+                      "\"errors\": %zu, "
                       "\"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
                       n, r.qps, r.rp50_us, r.rp99_us, r.wp50_us, r.wp99_us,
                       r.reads, r.writes, r.errors,
-                      static_cast<unsigned long long>(r.overflow_workers),
                       static_cast<unsigned long long>(r.cache_hits),
                       static_cast<unsigned long long>(r.cache_misses),
                       i + 1 < counts.size() ? "," : "");
@@ -468,6 +876,95 @@ int main() {
   }
   json += "  }";
 #endif  // SEPTIC_BENCH_HAS_DURABILITY
+
+  // --- PR9: prepared-statement sweep (runs on both API generations) ------
+  const int prep_per_client = env_int("SEPTIC_BENCH_PREP_QUERIES", 300);
+  std::printf("\n# PR9: prepared EXEC vs byte-identical warm QUERY "
+              "(execs/client=%d)\n",
+              prep_per_client);
+  std::printf("%-12s %8s %10s %10s %10s %10s %10s %8s %10s\n", "config",
+              "clients", "exec_qps", "ep50_us", "ep99_us", "qp50_us",
+              "qp99_us", "errors", "reverdicts");
+  const bool prep_modes[] = {false, true};
+  json += ",\n  \"prepared\": {\n";
+  for (size_t m = 0; m < 2; ++m) {
+    const char* name = prep_modes[m] ? "prevention" : "off";
+    json += std::string("    \"") + name + "\": {\n";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      int n = counts[i];
+      PrepResult r = run_prepared(prep_modes[m], n, prep_per_client);
+      std::printf("%-12s %8d %10.0f %10.1f %10.1f %10.1f %10.1f %8zu %10llu\n",
+                  name, n, r.exec_qps, r.ep50_us, r.ep99_us, r.qp50_us,
+                  r.qp99_us, r.errors,
+                  static_cast<unsigned long long>(r.reverdicts));
+      std::fflush(stdout);
+      char buf[384];
+      std::snprintf(buf, sizeof(buf),
+                    "      \"%d\": {\"exec_qps\": %.1f, \"query_qps\": %.1f, "
+                    "\"ep50_us\": %.1f, \"ep99_us\": %.1f, "
+                    "\"qp50_us\": %.1f, \"qp99_us\": %.1f, "
+                    "\"execs\": %zu, \"queries\": %zu, \"errors\": %zu, "
+                    "\"reverdicts\": %llu}%s\n",
+                    n, r.exec_qps, r.query_qps, r.ep50_us, r.ep99_us,
+                    r.qp50_us, r.qp99_us, r.execs, r.queries, r.errors,
+                    static_cast<unsigned long long>(r.reverdicts),
+                    i + 1 < counts.size() ? "," : "");
+      json += buf;
+    }
+    json += m == 0 ? "    },\n" : "    }\n";
+  }
+  json += "  }";
+
+#if defined(SEPTIC_BENCH_HAS_PREPARED)
+  // --- PR9: pipelining sweep (new client API only) -----------------------
+  const int pipe_total = env_int("SEPTIC_BENCH_PIPE_QUERIES", 512);
+  std::printf("\n# PR9: pipelined batches, one client, warm SELECTs "
+              "(queries/batch-size=%d)\n",
+              pipe_total);
+  std::printf("%8s %10s %10s %10s %8s\n", "batch", "qps", "bp50_us", "bp99_us",
+              "errors");
+  const int batch_sizes[] = {1, 8, 32, 128};
+  json += ",\n  \"pipeline\": {\n";
+  for (size_t i = 0; i < 4; ++i) {
+    PipeResult r = run_pipeline(batch_sizes[i], pipe_total);
+    std::printf("%8d %10.0f %10.1f %10.1f %8zu\n", batch_sizes[i], r.qps,
+                r.bp50_us, r.bp99_us, r.errors);
+    std::fflush(stdout);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%d\": {\"qps\": %.1f, \"bp50_us\": %.1f, "
+                  "\"bp99_us\": %.1f, \"replies\": %zu, \"errors\": %zu}%s\n",
+                  batch_sizes[i], r.qps, r.bp50_us, r.bp99_us, r.replies,
+                  r.errors, i + 1 < 4 ? "," : "");
+    json += buf;
+  }
+  json += "  }";
+#endif  // SEPTIC_BENCH_HAS_PREPARED
+
+  // --- PR9: idle-connection sweep ----------------------------------------
+  {
+    const int idle_conns = env_int("SEPTIC_BENCH_IDLE_CONNS", 1000);
+    IdleResult r = run_idle(idle_conns, 200);
+    std::printf("\n# PR9: idle-connection hold (requested=%d)\n", r.requested);
+    std::printf("%8s %8s %10s %10s %10s %10s %10s %10s %10s\n", "opened",
+                "thr_b4", "thr_after", "rss_b4_kb", "rss_kb", "open_ms",
+                "ap50_us", "ap99_us", "errors");
+    std::printf("%8d %8ld %10ld %10ld %10ld %10.1f %10.1f %10.1f %10zu\n",
+                r.opened, r.threads_before, r.threads_after, r.rss_kb_before,
+                r.rss_kb_after, r.open_ms, r.ap50_us, r.ap99_us, r.errors);
+    std::fflush(stdout);
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"idle\": {\"requested\": %d, \"opened\": %d, "
+                  "\"threads_before\": %ld, \"threads_after\": %ld, "
+                  "\"rss_kb_before\": %ld, \"rss_kb_after\": %ld, "
+                  "\"open_ms\": %.1f, \"ap50_us\": %.1f, \"ap99_us\": %.1f, "
+                  "\"errors\": %zu}",
+                  r.requested, r.opened, r.threads_before, r.threads_after,
+                  r.rss_kb_before, r.rss_kb_after, r.open_ms, r.ap50_us,
+                  r.ap99_us, r.errors);
+    json += buf;
+  }
 
   json += "\n}\n";
 

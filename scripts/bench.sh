@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Build the release-nofailpoints preset (production shape: full
-# optimization, zero failpoint probes) and run the PR7 multi-client
-# throughput bench over the real net stack, writing BENCH_PR7.json at the
+# optimization, zero failpoint probes) and run the multi-client
+# throughput bench over the real net stack, writing BENCH_PR9.json at the
 # repository root: the PR6 workload-mix sweep (off/training/prevention x
-# point/readheavy) plus the PR7 durability sweep (off/relaxed/full x
-# client count, 100% autocommit INSERTs, commits-per-fsync reported).
+# point/readheavy), the PR7 durability sweep (off/relaxed/full x client
+# count), and the PR9 front-end sweeps — prepared EXEC vs warm QUERY,
+# pipelined batches, and the idle-connection hold.
 #
 # The pre-change baseline is measured for real, not copied from an old
 # JSON: the current bench source is dropped into a detached worktree of
-# the last pre-WAL commit (so both sides run the byte-identical
-# workload), built there against the volatile-only engine, and its
-# numbers are merged into BENCH_PR7.json under "baseline" (the durability
-# sweep compiles itself out there — no WAL subsystem to measure). On the
-# 1-core bench container the meaningful deltas are p50/p99, not qps.
+# the last pre-epoll commit (so both sides run the byte-identical
+# workload), built there against the thread-per-connection server and the
+# per-EXEC-verdict prepared path, and its numbers are merged into
+# BENCH_PR9.json under "baseline" (the pipeline sweep compiles itself out
+# there — the old client cannot pipeline). On the 1-core bench container
+# the meaningful deltas are p50/p99 and the idle thread/RSS columns, not
+# qps.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -20,16 +23,19 @@
 # Knobs:
 #   SEPTIC_BENCH_NET_QUERIES   queries per client per config (default 300)
 #   SEPTIC_BENCH_DUR_QUERIES   inserts per client, durability sweep (default 200)
+#   SEPTIC_BENCH_PREP_QUERIES  execs per client, prepared sweep (default 300)
+#   SEPTIC_BENCH_PIPE_QUERIES  queries per batch size, pipeline sweep (default 512)
+#   SEPTIC_BENCH_IDLE_CONNS    idle connections to hold (default 1000)
 #   SEPTIC_BENCH_NET_CLIENTS   comma list of client counts (default 1,2,4,8,16)
 #   SEPTIC_BENCH_SKIP_BASELINE set to 1 to skip the worktree baseline run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR9.json}"
 jobs=$(nproc 2>/dev/null || echo 4)
-# Last commit before the WAL durability subsystem: the engine still
-# volatile-only (PR6 head, MVCC already in).
-baseline_commit="3a271cd"
+# Last commit before the epoll front end: thread-per-connection server,
+# prepared statements re-verdicted on every EXEC.
+baseline_commit="463d8f1"
 baseline_dir=".bench-baseline"
 
 cmake --preset release-nofailpoints
@@ -41,10 +47,15 @@ SEPTIC_BENCH_JSON="${out}" ./build-release/bench/throughput_concurrent
 if [[ "${SEPTIC_BENCH_SKIP_BASELINE:-0}" != "1" ]]; then
   if [[ ! -d "${baseline_dir}" ]]; then
     git worktree add --detach "${baseline_dir}" "${baseline_commit}"
+  else
+    # The directory may be a stale worktree left by an earlier PR's bench
+    # (pinned to that PR's baseline commit) — re-pin it, don't trust it.
+    git -C "${baseline_dir}" checkout --force --detach "${baseline_commit}"
   fi
-  # Same workload on both sides: the PR7 bench source replaces the
-  # worktree's own (the durability sweep is gated on __has_include of the
-  # WAL header, so it compiles against the pre-WAL engine API).
+  # Same workload on both sides: the PR9 bench source replaces the
+  # worktree's own (the pipeline sweep and the re-verdict counter are
+  # gated on __has_include of engine/prepared.h, so the file compiles
+  # against the pre-epoll API).
   cp bench/throughput_concurrent.cpp "${baseline_dir}/bench/"
   (
     cd "${baseline_dir}"
@@ -62,8 +73,12 @@ with open(base_path) as f:
     base = json.load(f)
 cur["baseline"] = {
     "commit": commit,
-    "note": "pre-WAL engine (volatile only), identical workload",
+    "note": "pre-epoll server (thread per connection), prepared EXEC "
+            "re-verdicted per call, identical workload",
     "configs": base.get("configs", {}),
+    "durability": base.get("durability", {}),
+    "prepared": base.get("prepared", {}),
+    "idle": base.get("idle", {}),
 }
 with open(out_path, "w") as f:
     json.dump(cur, f, indent=2)

@@ -32,13 +32,19 @@
 #            target on demand) so recovery's salvage paths run leak- and
 #            overflow-checked. A focused re-run for storage/wal work; the
 #            test tier already includes both suites via ctest.
-#   bench  — scripts/bench.sh (release build + throughput/durability bench
-#            -> BENCH_PR7.json). Opt-in: SKIPs unless SEPTIC_RUN_BENCH=1, so
-#            the default gate stays fast and benches never run on loaded
-#            CI machines by accident.
+#   net    — the front-end gate: the network suites most exposed to the
+#            epoll loop's cross-thread handoffs (test_net_pipeline,
+#            test_net_prepared, test_net) rebuilt and run under TSan, so
+#            the loop/worker claim protocol is proven race-free, not just
+#            exercised. A focused re-run for src/net work; the test tier
+#            already includes all three (uninstrumented) via ctest.
+#   bench  — scripts/bench.sh (release build + throughput/durability/
+#            front-end bench -> BENCH_PR9.json). Opt-in: SKIPs unless
+#            SEPTIC_RUN_BENCH=1, so the default gate stays fast and
+#            benches never run on loaded CI machines by accident.
 #
 # Usage:
-#   scripts/check.sh                # build test txn recovery lint lockcheck ubsan scan
+#   scripts/check.sh                # build test txn recovery net lint lockcheck ubsan scan
 #   scripts/check.sh build test     # just those tiers
 #   scripts/check.sh asan|tsan      # full ctest under that sanitizer
 #   scripts/check.sh all            # default tiers + asan + tsan
@@ -166,6 +172,22 @@ tier_recovery() {
     ASAN_OPTIONS=halt_on_error=1 ./build-asan/tests/test_recovery_crash
 }
 
+tier_net() {
+  # TSan, not the default build: the interesting failures here are ordering
+  # bugs in the loop/worker claim handoff, and those only become hard
+  # evidence under the race detector.
+  echo "-- front-end suites under TSan"
+  cmake --preset tsan >/dev/null &&
+    cmake --build --preset tsan -j "${jobs}" \
+          --target test_net test_net_prepared test_net_pipeline || return 1
+  local rc=0
+  for bin in build-tsan/tests/test_net build-tsan/tests/test_net_prepared \
+             build-tsan/tests/test_net_pipeline; do
+    TSAN_OPTIONS=halt_on_error=1 "${bin}" || rc=1
+  done
+  return "${rc}"
+}
+
 tier_bench() {
   if [ "${SEPTIC_RUN_BENCH:-0}" != "1" ]; then
     echo "-- bench disabled (set SEPTIC_RUN_BENCH=1 to run); skipping"
@@ -202,7 +224,7 @@ run_preset_full() {
   fi
 }
 
-default_tiers=(build test txn recovery lint lockcheck ubsan scan)
+default_tiers=(build test txn recovery net lint lockcheck ubsan scan)
 if [ "$#" -eq 0 ]; then
   tiers=("${default_tiers[@]}")
 elif [ "$1" = "all" ]; then
@@ -213,10 +235,10 @@ fi
 
 for t in "${tiers[@]}"; do
   case "${t}" in
-    build|test|txn|recovery|lint|lockcheck|ubsan|scan|bench) run_tier "${t}" ;;
+    build|test|txn|recovery|net|lint|lockcheck|ubsan|scan|bench) run_tier "${t}" ;;
     asan|tsan) run_preset_full "${t}" ;;
     *)
-      echo "usage: $0 [build|test|txn|recovery|lint|lockcheck|ubsan|scan|bench|asan|tsan|all ...]" >&2
+      echo "usage: $0 [build|test|txn|recovery|net|lint|lockcheck|ubsan|scan|bench|asan|tsan|all ...]" >&2
       exit 2
       ;;
   esac

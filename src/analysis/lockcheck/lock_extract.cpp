@@ -909,7 +909,19 @@ struct BodyWalker {
       break;
     }
     if (type_idents.empty()) return;
-    if (at(t(), j).is_punct("<")) j = skip_angles(t(), j);
+    // Keep template-argument idents, same as parameter types do: a
+    // `std::shared_ptr<Connection>& conn` local must resolve `conn->mu_`
+    // through Connection, not fail on shared_ptr.
+    if (at(t(), j).is_punct("<")) {
+      size_t close = skip_angles(t(), j);
+      for (size_t q = j + 1; q + 1 < close; ++q) {
+        if (at(t(), q).kind == TokKind::kIdent &&
+            keywords().count(at(t(), q).text) == 0) {
+          type_idents.push_back(at(t(), q).text);
+        }
+      }
+      j = close;
+    }
     while (at(t(), j).is_punct("&") || at(t(), j).is_punct("*")) ++j;
     if (at(t(), j).kind != TokKind::kIdent) return;
     std::string name = at(t(), j).text;

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <algorithm>
+
 #include "common/failpoint.h"
 #include "common/unicode.h"
 #include "engine/error.h"
@@ -52,6 +54,25 @@ InterceptDecision run_interceptor(QueryInterceptor& interceptor,
                                   const QueryEvent& event) {
   try {
     return interceptor.on_query(event);
+  } catch (const DbError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw DbError(ErrorCode::kInternal,
+                  std::string("interceptor failure: ") + e.what());
+  } catch (...) {
+    throw DbError(ErrorCode::kInternal, "interceptor failure");
+  }
+}
+
+/// Same boundary around the prepared-EXEC hook (replay accounting plus the
+/// data-plane scan of bound values).
+InterceptDecision run_interceptor_prepared(QueryInterceptor& interceptor,
+                                           const QueryEvent& event,
+                                           const InterceptDecision& decision,
+                                           const std::vector<sql::Value>& params) {
+  try {
+    return interceptor.on_prepared_exec(event, decision,
+                                        decision.cache_payload, params);
   } catch (const DbError&) {
     throw;
   } catch (const std::exception& e) {
@@ -977,6 +998,84 @@ void bind_select(sql::SelectStmt& sel, const std::vector<sql::Value>& params,
   for (auto& u : sel.unions) bind_select(*u.select, params, bound);
 }
 
+// --- placeholder collection (PreparedStatement compile step) -----------
+// Mirrors the bind_* traversal, but collects pointers to the placeholder
+// expressions instead of rewriting them, so a handle can bind/revert the
+// same template any number of times without re-walking the AST.
+
+void collect_select(sql::SelectStmt& sel, std::vector<sql::Expr*>& out);
+
+void collect_expr(sql::Expr& e, std::vector<sql::Expr*>& out) {
+  if (e.subquery) collect_select(*e.subquery, out);
+  if (e.kind == sql::ExprKind::kPlaceholder) {
+    out.push_back(&e);
+    return;
+  }
+  for (auto& c : e.children) collect_expr(*c, out);
+}
+
+void collect_select(sql::SelectStmt& sel, std::vector<sql::Expr*>& out) {
+  for (auto& it : sel.items) {
+    if (it.expr) collect_expr(*it.expr, out);
+  }
+  for (auto& j : sel.joins) {
+    if (j.on) collect_expr(*j.on, out);
+  }
+  if (sel.where) collect_expr(*sel.where, out);
+  for (auto& g : sel.group_by) collect_expr(*g, out);
+  if (sel.having) collect_expr(*sel.having, out);
+  for (auto& o : sel.order_by) collect_expr(*o.expr, out);
+  for (auto& u : sel.unions) collect_select(*u.select, out);
+}
+
+void collect_placeholders(sql::Statement& stmt, std::vector<sql::Expr*>& out) {
+  switch (sql::statement_kind(stmt)) {
+    case sql::StatementKind::kSelect:
+      collect_select(*std::get<sql::SelectPtr>(stmt), out);
+      break;
+    case sql::StatementKind::kInsert:
+      for (auto& row : std::get<sql::InsertStmt>(stmt).rows) {
+        for (auto& v : row) collect_expr(*v, out);
+      }
+      break;
+    case sql::StatementKind::kUpdate: {
+      auto& up = std::get<sql::UpdateStmt>(stmt);
+      for (auto& a : up.assignments) collect_expr(*a.value, out);
+      if (up.where) collect_expr(*up.where, out);
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      auto& del = std::get<sql::DeleteStmt>(stmt);
+      if (del.where) collect_expr(*del.where, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Restores placeholders on every exit path of a handle execution
+/// (including executor throws), so the template inside a PreparedStatement
+/// stays reusable no matter how this EXEC ends.
+class BindReverter {
+ public:
+  explicit BindReverter(const std::vector<sql::Expr*>& placeholders)
+      : placeholders_(placeholders) {}
+  ~BindReverter() {
+    for (size_t i = 0; i < bound_; ++i) {
+      sql::Expr* e = placeholders_[i];
+      e->kind = sql::ExprKind::kPlaceholder;
+      e->literal = sql::Value();
+      e->literal_was_quoted = false;
+    }
+  }
+  void bound_one() { ++bound_; }
+
+ private:
+  const std::vector<sql::Expr*>& placeholders_;
+  size_t bound_ = 0;
+};
+
 /// Substitute every placeholder with its bound parameter; returns how many
 /// placeholders were bound.
 size_t bind_statement(sql::Statement& stmt,
@@ -1074,6 +1173,171 @@ ResultSet Database::execute_prepared(Session& session,
 
   return dispatch_execute(session, parsed.statement,
                           sql::statement_kind(parsed.statement), ddl_tag);
+}
+
+PreparedStatementPtr Database::prepare(Session& session,
+                                       std::string_view template_sql) {
+  auto ps = PreparedStatementPtr(new PreparedStatement());
+
+  // The template is statement text: it undergoes the same charset
+  // conversion as a direct query, so the interceptor verdicts exactly what
+  // will execute.
+  std::string converted = charset_conversion_
+                              ? common::server_charset_convert(template_sql)
+                              : std::string(template_sql);
+  ps->parsed_ = std::make_shared<sql::ParsedQuery>();
+  try {
+    *ps->parsed_ = sql::parse(converted);
+  } catch (const sql::LexError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("lex error: ") + e.what());
+  } catch (const sql::ParseError& e) {
+    throw DbError(ErrorCode::kSyntax, std::string("parse error: ") + e.what());
+  }
+  ps->kind_ = sql::statement_kind(ps->parsed_->statement);
+
+  // Transaction control carries no user data and bypasses the interceptor
+  // (same rule as execute()); the handle just replays handle_transaction.
+  if (ps->kind_ == sql::StatementKind::kTransaction) {
+    prepared_count_.fetch_add(1, std::memory_order_relaxed);
+    return ps;
+  }
+
+  collect_placeholders(ps->parsed_->statement, ps->placeholders_);
+  std::sort(ps->placeholders_.begin(), ps->placeholders_.end(),
+            [](const sql::Expr* a, const sql::Expr* b) {
+              return a->placeholder_index < b->placeholder_index;
+            });
+  for (size_t i = 0; i < ps->placeholders_.size(); ++i) {
+    if (ps->placeholders_[i]->placeholder_index != static_cast<int>(i)) {
+      throw DbError(ErrorCode::kSyntax,
+                    "malformed placeholder numbering in template");
+    }
+  }
+
+  const uint64_t ddl_tag = ddl_version_.load(std::memory_order_acquire);
+  std::shared_ptr<QueryInterceptor> interceptor;
+  uint64_t epoch_tag = 0;
+  {
+    std::shared_lock ddl(ddl_mu_);
+    validate_statement(catalog_, ps->parsed_->statement);
+    interceptor = pinned_interceptor();
+    epoch_tag = interceptor_epoch_.load(std::memory_order_relaxed);
+  }
+  ps->ddl_version_ = ddl_tag;
+  ps->interceptor_epoch_ = epoch_tag;
+
+  if (interceptor) {
+    // The PREPARE-time verdict: on_query over the template, placeholders
+    // surfacing as PARAM_ITEM wildcard data nodes. A blocked template is
+    // refused here, before any handle (or statement id) exists — the
+    // attack never gains an EXEC surface.
+    ps->stack_ = std::make_shared<const sql::ItemStack>(
+        sql::build_item_stack(ps->parsed_->statement));
+    std::shared_ptr<txn::Transaction> txn = current_txn(session);
+    QueryEvent event{*ps->parsed_, *ps->stack_, session.id(), session.user(),
+                     txn != nullptr};
+    InterceptDecision decision = run_interceptor(*interceptor, event);
+    if (!decision.allow) {
+      blocked_count_.fetch_add(1, std::memory_order_relaxed);
+      std::string reason = decision.reason.empty()
+                               ? "query dropped by interceptor"
+                               : decision.reason;
+      if (txn && decision.abort_txn) {
+        rollback_txn(txn, /*aborted_on_block=*/true);
+        session.set_txn(nullptr);
+        reason += " (transaction rolled back)";
+      }
+      throw DbError(ErrorCode::kBlocked, std::move(reason));
+    }
+    ps->decision_ = std::move(decision);
+    ps->has_verdict_ = true;
+  }
+  prepared_count_.fetch_add(1, std::memory_order_relaxed);
+  return ps;
+}
+
+ResultSet Database::execute_prepared(Session& session, PreparedStatement& ps,
+                                     const std::vector<sql::Value>& params) {
+  if (ps.kind_ == sql::StatementKind::kTransaction) {
+    return handle_transaction(
+        session, std::get<sql::TransactionStmt>(ps.parsed_->statement));
+  }
+  if (params.size() != ps.placeholders_.size()) {
+    throw DbError(ErrorCode::kSyntax,
+                  "parameter count mismatch: statement has " +
+                      std::to_string(ps.placeholders_.size()) +
+                      " placeholder(s), got " + std::to_string(params.size()));
+  }
+
+  // Currency gates — three atomic loads in steady state. A moved catalog
+  // re-validates the template; a swapped interceptor or stale interceptor
+  // generations re-run on_query once and re-cache in the handle.
+  const uint64_t ddl_tag = ddl_version_.load(std::memory_order_acquire);
+  if (ddl_tag != ps.ddl_version_) {
+    std::shared_lock ddl(ddl_mu_);
+    validate_statement(catalog_, ps.parsed_->statement);
+    ps.ddl_version_ = ddl_tag;
+  }
+  const uint64_t epoch_tag = interceptor_epoch_.load(std::memory_order_acquire);
+  std::shared_ptr<QueryInterceptor> interceptor = pinned_interceptor();
+
+  std::shared_ptr<txn::Transaction> txn = current_txn(session);
+  auto reject = [&](InterceptDecision d) {
+    blocked_count_.fetch_add(1, std::memory_order_relaxed);
+    std::string reason =
+        d.reason.empty() ? "query dropped by interceptor" : d.reason;
+    if (txn && d.abort_txn) {
+      rollback_txn(txn, /*aborted_on_block=*/true);
+      session.set_txn(nullptr);
+      reason += " (transaction rolled back)";
+    }
+    throw DbError(ErrorCode::kBlocked, std::move(reason));
+  };
+
+  if (interceptor) {
+    if (!ps.stack_) {
+      // An interceptor was installed after PREPARE ran without one.
+      ps.stack_ = std::make_shared<const sql::ItemStack>(
+          sql::build_item_stack(ps.parsed_->statement));
+    }
+    QueryEvent event{*ps.parsed_, *ps.stack_, session.id(), session.user(),
+                     txn != nullptr};
+    const bool verdict_current =
+        ps.has_verdict_ && epoch_tag == ps.interceptor_epoch_ &&
+        ps.decision_.cacheable &&
+        interceptor->generations() == ps.decision_.generations;
+    if (!verdict_current) {
+      // The re-verdict counts as its own interception (like PREPARE's):
+      // the interceptor accounts for it in on_query, and the refreshed
+      // decision is re-cached in the handle. A blocked verdict is never
+      // cacheable, so every blocked EXEC re-verdicts — each attack
+      // occurrence is logged and counted individually.
+      prepared_reverdicts_.fetch_add(1, std::memory_order_relaxed);
+      InterceptDecision fresh = run_interceptor(*interceptor, event);
+      ps.interceptor_epoch_ = epoch_tag;
+      ps.decision_ = std::move(fresh);
+      ps.has_verdict_ = true;
+      if (!ps.decision_.allow) reject(ps.decision_);
+    }
+    // The per-EXEC hook: replay accounting plus the data-plane scan of the
+    // bound values. No query-model work, no digest cache.
+    InterceptDecision dp =
+        run_interceptor_prepared(*interceptor, event, ps.decision_, params);
+    if (!dp.allow) reject(std::move(dp));
+  }
+
+  // Bind-execute-revert: the executor reads the statement by const&, so
+  // rewriting placeholders to literals in place is safe, and the reverter
+  // restores the template on every exit path.
+  BindReverter revert(ps.placeholders_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    sql::Expr* e = ps.placeholders_[i];
+    e->kind = sql::ExprKind::kLiteral;
+    e->literal = params[i];
+    e->literal_was_quoted = params[i].type() == sql::ValueType::kString;
+    revert.bound_one();
+  }
+  return dispatch_execute(session, ps.parsed_->statement, ps.kind_, ddl_tag);
 }
 
 }  // namespace septic::engine

@@ -55,6 +55,7 @@
 #include "common/thread_annotations.h"
 #include "engine/digest_cache.h"
 #include "engine/interceptor.h"
+#include "engine/prepared.h"
 #include "engine/result.h"
 #include "engine/session.h"
 #include "engine/txn/txn.h"
@@ -104,6 +105,25 @@ class Database {
   ResultSet execute_prepared(Session& session, std::string_view template_sql,
                              const std::vector<sql::Value>& params);
 
+  // --- server-side prepared statements (engine/prepared.h) -------------
+  /// Compile a template once: convert -> parse -> validate -> interceptor
+  /// verdict over the TEMPLATE, with placeholders as PARAM_ITEM wildcard
+  /// data nodes. A blocked template throws kBlocked and no handle is
+  /// created — the attack never gets a statement id. Handles belong to one
+  /// session's serialized request stream (not thread-safe).
+  PreparedStatementPtr prepare(Session& session, std::string_view template_sql);
+
+  /// Execute a compiled handle with `params` bound positionally. Steady
+  /// state re-runs NO structural verdict and never touches the digest
+  /// cache: cheap atomic generation gates, then on_prepared_exec (replay
+  /// accounting + data-plane scan of the bound values), bind, execute,
+  /// revert. A stale tag (set_interceptor, DDL, interceptor config/model
+  /// mutation) re-runs on_query once against the template and re-caches in
+  /// the handle. Throws DbError (kSyntax on parameter-count mismatch,
+  /// kBlocked when the interceptor rejects — the handle stays valid).
+  ResultSet execute_prepared(Session& session, PreparedStatement& stmt,
+                             const std::vector<sql::Value>& params);
+
   /// Convenience for setup code: execute with a throwaway admin session.
   ResultSet execute_admin(std::string_view raw_sql);
 
@@ -118,6 +138,16 @@ class Database {
   /// Number of statements dropped by the interceptor.
   uint64_t blocked_count() const {
     return blocked_count_.load(std::memory_order_relaxed);
+  }
+  /// Templates compiled through prepare().
+  uint64_t prepared_count() const {
+    return prepared_count_.load(std::memory_order_relaxed);
+  }
+  /// Handle EXECs that re-ran the full on_query verdict because a
+  /// generation tag went stale. Zero in steady state — the measurable form
+  /// of "EXEC performs no per-call verdict".
+  uint64_t prepared_reverdicts() const {
+    return prepared_reverdicts_.load(std::memory_order_relaxed);
   }
 
   // --- query-digest cache (see engine/digest_cache.h) -----------------
@@ -270,6 +300,8 @@ class Database {
   storage::wal::RecoveryReport recovery_report_;
   std::atomic<uint64_t> executed_count_{0};
   std::atomic<uint64_t> blocked_count_{0};
+  std::atomic<uint64_t> prepared_count_{0};
+  std::atomic<uint64_t> prepared_reverdicts_{0};
   std::atomic<uint64_t> ddl_version_{0};
   /// Bumped by set_interceptor: entries cached under one interceptor
   /// (or under none) are never replayed under another.

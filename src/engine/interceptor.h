@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sqlcore/item.h"
 #include "sqlcore/parser.h"
+#include "sqlcore/value.h"
 
 namespace septic::engine {
 
@@ -106,6 +108,29 @@ class QueryInterceptor {
     (void)event;
     (void)decision;
     (void)payload;
+  }
+
+  /// Prepared-statement EXEC whose PREPARE-time verdict is still
+  /// generation-current: the engine is about to bind `params` into the
+  /// template and execute, on the strength of `decision` (returned by
+  /// on_query over the TEMPLATE — placeholders as wildcard data nodes).
+  /// The structural verdict is NOT recomputed; implementations must
+  /// account for the query exactly as on_query_replayed would, and may run
+  /// their data-plane detectors (stored-injection plugins) over the bound
+  /// parameter values — the one attack surface a template verdict cannot
+  /// cover, because it lives in the data, not the query structure.
+  /// Returning reject drops this execution only; the statement handle
+  /// stays valid. Accounting contract: every EXEC gets exactly one
+  /// on_prepared_exec; an EXEC whose cached verdict went stale gets one
+  /// on_query first (the re-verdict, its own interception) — QUERYs still
+  /// get exactly one of on_query / on_query_replayed.
+  virtual InterceptDecision on_prepared_exec(
+      const QueryEvent& event, const InterceptDecision& decision,
+      const std::shared_ptr<const void>& payload,
+      const std::vector<sql::Value>& params) {
+    (void)params;
+    on_query_replayed(event, decision, payload);
+    return InterceptDecision::proceed();
   }
 
   /// Called when the interceptor is installed into a Database that owns a

@@ -1,0 +1,91 @@
+// Server-side prepared statements: the paper's hook is post-parse, so a
+// prepared statement's SEPTIC verdict is fully computable at PREPARE time —
+// the template's item stack (placeholders as PARAM_ITEM wildcard data
+// nodes) is exactly what the interceptor would see on every execution,
+// because bound parameters are data and can never alter the structure.
+//
+// A PreparedStatement therefore carries the whole compiled pipeline:
+//
+//   PREPARE:  charset-convert -> parse -> validate -> item stack ->
+//             interceptor verdict (blocked templates throw; no handle)
+//   EXEC:     generation check (cheap atomics) -> bind -> execute -> revert
+//
+// In steady state EXEC re-runs NO verdict and touches NO digest cache: the
+// cached decision is replayed while its generation tags (interceptor
+// config epoch + model-store generation, engine interceptor epoch + DDL
+// version) are current, with the interceptor notified through
+// on_prepared_exec so per-query accounting stays exact and its data-plane
+// detectors (stored-injection plugins) still see every bound value. A
+// stale tag re-runs on_query once against the template and re-caches.
+//
+// Binding is bind-execute-revert: placeholder expressions are rewritten to
+// literals in place, the executor (which takes the statement by const& and
+// never mutates it) runs, and the placeholders are restored on every exit
+// path — the template inside the handle is reusable forever.
+//
+// NOT thread-safe: a handle belongs to one session (one connection's
+// serialized request stream), like MySQL's per-connection statement ids.
+// Handles may outlive nothing — they hold shared ownership of their parse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/interceptor.h"
+#include "sqlcore/ast.h"
+#include "sqlcore/item.h"
+#include "sqlcore/parser.h"
+
+namespace septic::engine {
+
+class Database;
+
+class PreparedStatement {
+ public:
+  /// Post-conversion template text (what was parsed and verdicted).
+  const std::string& text() const { return parsed_->text; }
+  /// Number of '?' placeholders; EXEC must bind exactly this many values.
+  size_t param_count() const { return placeholders_.size(); }
+  sql::StatementKind kind() const { return kind_; }
+
+  /// Approximate retained bytes (template text + stack), for registry
+  /// accounting in servers that cap per-connection statement memory.
+  size_t retained_bytes() const {
+    size_t n = sizeof(*this) + parsed_->text.size();
+    if (stack_) {
+      for (const auto& node : stack_->nodes) n += sizeof(node) + node.data.size();
+    }
+    return n;
+  }
+
+ private:
+  friend class Database;
+  PreparedStatement() = default;
+
+  std::shared_ptr<sql::ParsedQuery> parsed_;
+  /// Template item stack (placeholders as PARAM_ITEM); built when an
+  /// interceptor first needs it, immutable afterwards.
+  std::shared_ptr<const sql::ItemStack> stack_;
+  /// Placeholder expressions inside parsed_->statement, ordered by
+  /// placeholder_index. Raw pointers are safe: the handle owns the AST and
+  /// binding never reallocates nodes.
+  std::vector<sql::Expr*> placeholders_;
+  sql::StatementKind kind_ = sql::StatementKind::kSelect;
+
+  // --- the PREPARE-time verdict and its currency tags ------------------
+  /// True when an interceptor saw the template (decision_ is meaningful).
+  bool has_verdict_ = false;
+  InterceptDecision decision_;
+  /// Database::interceptor_epoch_ at verdict time: a set_interceptor()
+  /// invalidates every outstanding verdict.
+  uint64_t interceptor_epoch_ = 0;
+  /// Database::ddl_version_ the template was last validated under; EXEC
+  /// re-validates (and refreshes) when the catalog moved.
+  uint64_t ddl_version_ = 0;
+};
+
+using PreparedStatementPtr = std::shared_ptr<PreparedStatement>;
+
+}  // namespace septic::engine

@@ -87,6 +87,7 @@ void Client::close_fd() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   decoder_ = FrameDecoder{};  // drop any half-received frame
+  pending_ = 0;               // owed replies died with the connection
 }
 
 void Client::reconnect() {
@@ -94,7 +95,7 @@ void Client::reconnect() {
   connect();
 }
 
-Frame Client::roundtrip(const Frame& frame) {
+void Client::send_frame(const Frame& frame) {
   if (fd_ < 0) throw std::runtime_error("not connected");
   std::string bytes = encode_frame(frame);
   size_t sent = 0;
@@ -102,20 +103,31 @@ Frame Client::roundtrip(const Frame& frame) {
     SEPTIC_FAILPOINT("net.client.send");
     ssize_t w =
         ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;  // a signal is not a dead peer
     if (w <= 0) throw std::runtime_error("send() failed");
     sent += static_cast<size_t>(w);
   }
+}
+
+Frame Client::recv_frame() {
+  if (fd_ < 0) throw std::runtime_error("not connected");
   char buf[4096];
   for (;;) {
     if (auto reply = decoder_.next()) return *reply;
     SEPTIC_FAILPOINT("net.client.recv");
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       throw std::runtime_error("recv() timed out");
     }
     if (n <= 0) throw std::runtime_error("connection closed by server");
     decoder_.feed(std::string_view(buf, static_cast<size_t>(n)));
   }
+}
+
+Frame Client::roundtrip(const Frame& frame) {
+  send_frame(frame);
+  return recv_frame();
 }
 
 std::string Client::query(std::string_view sql) {
@@ -180,8 +192,9 @@ uint64_t Client::prepare(std::string_view template_sql) {
   return std::strtoull(reply.payload.c_str() + eq + 1, nullptr, 10);
 }
 
-std::string Client::execute(uint64_t stmt_id,
-                            const std::vector<sql::Value>& params) {
+namespace {
+
+Frame make_exec_frame(uint64_t stmt_id, const std::vector<sql::Value>& params) {
   Frame request;
   request.op = Opcode::kExec;
   request.payload = std::to_string(stmt_id);
@@ -192,7 +205,44 @@ std::string Client::execute(uint64_t stmt_id,
     request.payload += ':';
     request.payload += repr;
   }
+  return request;
+}
+
+}  // namespace
+
+std::string Client::execute(uint64_t stmt_id,
+                            const std::vector<sql::Value>& params) {
+  Frame reply = roundtrip(make_exec_frame(stmt_id, params));
+  if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
+  return reply.payload;
+}
+
+void Client::close_stmt(uint64_t stmt_id) {
+  Frame request;
+  request.op = Opcode::kStmtClose;
+  request.payload = std::to_string(stmt_id);
   Frame reply = roundtrip(request);
+  if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
+}
+
+void Client::post_query(std::string_view sql) {
+  Frame request;
+  request.op = Opcode::kQuery;
+  request.payload = std::string(sql);
+  send_frame(request);
+  ++pending_;
+}
+
+void Client::post_execute(uint64_t stmt_id,
+                          const std::vector<sql::Value>& params) {
+  send_frame(make_exec_frame(stmt_id, params));
+  ++pending_;
+}
+
+std::string Client::read_reply() {
+  if (pending_ == 0) throw std::runtime_error("no pipelined reply pending");
+  Frame reply = recv_frame();
+  --pending_;
   if (reply.op == Opcode::kError) throw RemoteError(reply.payload);
   return reply.payload;
 }

@@ -76,10 +76,34 @@ class Client {
                                const RetryPolicy& policy = {});
 
   /// Prepare a template with '?' placeholders; returns the statement id.
+  /// A template SEPTIC blocks is refused here — the server never issues an
+  /// id for it (the RemoteError's blocked() is true).
   uint64_t prepare(std::string_view template_sql);
 
   /// Execute a prepared statement with positionally bound parameters.
   std::string execute(uint64_t stmt_id, const std::vector<sql::Value>& params);
+
+  /// Deallocate a prepared statement on the server (frees its registry
+  /// slot before the cap forces an eviction).
+  void close_stmt(uint64_t stmt_id);
+
+  // --- pipelining ------------------------------------------------------
+  // post_*() sends a request without waiting; read_reply() collects the
+  // replies strictly in post order (the server guarantees reply order
+  // matches request order per connection). Mixing post_*() with the
+  // synchronous calls above is allowed only when pending() == 0.
+
+  /// Send a QUERY frame; the reply is owed (pending() goes up by one).
+  void post_query(std::string_view sql);
+  /// Send an EXEC frame for a prepared statement; the reply is owed.
+  void post_execute(uint64_t stmt_id, const std::vector<sql::Value>& params);
+  /// Collect the oldest owed reply. Returns the payload (row text or OK
+  /// summary); throws RemoteError for server-side errors — the reply is
+  /// consumed either way, so pipelined errors don't desynchronize the
+  /// stream. Throws std::runtime_error when nothing is pending.
+  std::string read_reply();
+  /// Replies owed by the server (posts minus reads). Reset on reconnect.
+  size_t pending() const { return pending_; }
 
   /// Tear down and re-establish the connection. Prepared statement ids do
   /// NOT survive a reconnect (they are per-connection server state).
@@ -95,12 +119,15 @@ class Client {
  private:
   void connect();
   void close_fd();
+  void send_frame(const Frame& frame);
+  Frame recv_frame();
   Frame roundtrip(const Frame& frame);
 
   int fd_ = -1;
   uint16_t port_ = 0;
   ClientOptions options_;
   FrameDecoder decoder_;
+  size_t pending_ = 0;
   uint64_t retries_ = 0;
   uint64_t jitter_state_ = 0;
 };

@@ -18,14 +18,27 @@ std::string encode_frame(const Frame& frame) {
 }
 
 void FrameDecoder::feed(std::string_view bytes) {
+  // Compact before growing: drop the consumed prefix when it dominates the
+  // buffer (so memory stays proportional to undecoded bytes) or when the
+  // buffer is fully drained (free O(1) reset). The 4 KiB floor keeps tiny
+  // interleaved feed/next cycles from memmoving on every frame.
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096 && pos_ >= buffer_.size() - pos_) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
   buffer_.append(bytes.data(), bytes.size());
 }
 
 std::optional<Frame> FrameDecoder::next() {
-  if (buffer_.size() < 4) return std::nullopt;
+  const size_t avail = buffer_.size() - pos_;
+  if (avail < 4) return std::nullopt;
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
-    len |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[i]))
+    len |= static_cast<uint32_t>(
+               static_cast<unsigned char>(buffer_[pos_ + static_cast<size_t>(i)]))
            << (i * 8);
   }
   if (len == 0) {
@@ -34,13 +47,17 @@ std::optional<Frame> FrameDecoder::next() {
   if (len > max_frame_size_) {
     throw FrameTooLarge(len, max_frame_size_);
   }
-  if (buffer_.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
-  uint8_t op = static_cast<uint8_t>(buffer_[4]);
-  if (op < 1 || op > 7) throw std::runtime_error("malformed frame: bad opcode");
+  if (avail < 4 + static_cast<size_t>(len)) return std::nullopt;
+  uint8_t op = static_cast<uint8_t>(buffer_[pos_ + 4]);
+  if (op < 1 || op > 8) throw std::runtime_error("malformed frame: bad opcode");
   Frame frame;
   frame.op = static_cast<Opcode>(op);
-  frame.payload = buffer_.substr(5, len - 1);
-  buffer_.erase(0, 4 + len);
+  frame.payload = buffer_.substr(pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<size_t>(len);
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
   return frame;
 }
 

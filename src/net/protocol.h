@@ -16,6 +16,9 @@
 //                  reply OK carries "stmt=<id>"
 //   EXEC     c->s  payload = "<id>" + (0x1F + Value::repr())* — execute a
 //                  prepared statement with positionally bound parameters
+//   STMT_CLOSE c->s payload = "<id>" — deallocate a prepared statement;
+//                  reply OK carries "closed=<id>". Closing bounds the
+//                  per-connection registry without waiting for eviction.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,7 @@ enum class Opcode : uint8_t {
   kQuit = 5,
   kPrepare = 6,
   kExec = 7,
+  kStmtClose = 8,
 };
 
 struct Frame {
@@ -75,7 +79,13 @@ class FrameDecoder {
   uint32_t max_frame_size() const { return max_frame_size_; }
 
  private:
+  /// Bytes not yet decoded start at buffer_[pos_]. Consuming a frame only
+  /// advances pos_; the prefix is erased in one amortized move once it
+  /// outgrows both the live remainder and a fixed floor. The old
+  /// erase-per-frame scheme was quadratic in burst size for pipelined
+  /// clients (every popped frame slid the whole remaining burst down).
   std::string buffer_;
+  size_t pos_ = 0;
   uint32_t max_frame_size_ = kMaxFrameSize;
 };
 

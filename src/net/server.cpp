@@ -1,16 +1,18 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
+#include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/failpoint.h"
 #include "common/log.h"
@@ -21,33 +23,54 @@ namespace septic::net {
 
 namespace {
 
-/// Best-effort frame send; returns false when the peer is gone.
-bool send_frame(int fd, const Frame& frame) {
+/// Best-effort whole-frame send on a (possibly nonblocking) socket,
+/// used only off the hot path: the BUSY verdict at accept time. EINTR is
+/// a retry, not a dead peer.
+bool send_frame_now(int fd, const Frame& frame) {
   std::string bytes = encode_frame(frame);
   size_t sent = 0;
   while (sent < bytes.size()) {
     ssize_t w =
         ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
     if (w <= 0) return false;
     sent += static_cast<size_t>(w);
   }
   return true;
 }
 
-void set_socket_timeouts(int fd, int timeout_ms) {
-  if (timeout_ms <= 0) return;
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+/// Strict unsigned parse: the WHOLE of `s` must be digits that fit — no
+/// sign, no trailing garbage, no overflow. strtoull's "parse a prefix,
+/// ignore the rest" contract let "1x" execute statement 1 and let
+/// overflowed lengths alias small ones.
+bool parse_u64(std::string_view s, uint64_t& out) {
+  if (s.empty()) return false;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
 }
 
 /// Ceiling for the accept-failure backoff: long enough to stop the spin,
 /// short enough that a recovered fd table is noticed promptly.
 constexpr int kMaxAcceptBackoffMs = 100;
 
+/// Floor for the loop's wait when a periodic duty (idle sweep, accept
+/// retry) is pending — bounds sweep latency without busy-waiting.
+constexpr int kMinTickMs = 5;
+
+void make_nonblocking_checked(int fd) {
+  // accept4/eventfd set O_NONBLOCK at creation; this exists for the
+  // listen socket only.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
+
+Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
 
 Server::Server(engine::Database& db, uint16_t port)
     : Server(db, port, ServerOptions{}) {}
@@ -70,315 +93,626 @@ Server::Server(engine::Database& db, uint16_t port, ServerOptions options)
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     ::close(listen_fd_);
     throw std::runtime_error("listen() failed");
   }
+  make_nonblocking_checked(listen_fd_);
 }
 
 Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.exchange(true)) return;
-  pool_.reserve(options_.worker_threads);
-  for (size_t i = 0; i < options_.worker_threads; ++i) {
-    pool_.emplace_back([this] { pool_worker(); });
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    running_ = false;
+    throw std::runtime_error("epoll_create1() failed");
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    running_ = false;
+    throw std::runtime_error("eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  listen_armed_ = true;
+
+  size_t n_workers = std::max<size_t>(1, options_.worker_threads);
+  workers_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_body(); });
+  }
+  loop_thread_ = std::thread([this] { loop_body(); });
 }
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  // Connections still queued were never served: close them outright. Once
-  // queue_mu_ is released with running_ false, no worker can pop again.
+  // Wake the loop; it observes running_ == false and exits.
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Wake the workers; they drain any still-claimed connections and exit.
   {
     std::lock_guard lock(queue_mu_);
-    for (int fd : pending_) {
-      ::close(fd);
-      --active_;
-    }
-    pending_.clear();
   }
   queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Single-threaded from here. Tear down whatever connections remain —
+  // a connection that dies mid-transaction must not leave the engine
+  // locked against every other session.
+  for (auto& [fd, conn] : conns_) {
+    db_.rollback_if_owner(conn->session.id());
+    --active_;
+  }
+  conns_.clear();  // destructors close the fds
   {
-    std::lock_guard lock(conns_mu_);
-    // Wake workers blocked in recv(). Workers close their fd under this
-    // same mutex with `closed` set, so an un-closed fd here is live.
-    for (auto& c : conns_) {
-      if (!c->closed) ::shutdown(c->fd, SHUT_RDWR);
+    std::lock_guard lock(notify_mu_);
+    notify_.clear();
+  }
+  {
+    std::lock_guard lock(queue_mu_);
+    work_.clear();
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  wake_fd_ = -1;
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------- loop --
+
+int Server::epoll_timeout_ms() const {
+  // Sleep forever unless a periodic duty is pending: idle sweeps tick at
+  // half the deadline; an accept backoff wakes us when the retry is due.
+  int timeout = -1;
+  if (options_.idle_timeout_ms > 0) {
+    timeout = std::max(kMinTickMs, options_.idle_timeout_ms / 2);
+  }
+  if (!listen_armed_ && running_) {
+    auto now = std::chrono::steady_clock::now();
+    auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     accept_retry_at_ - now)
+                     .count();
+    int ms = std::max<int>(kMinTickMs, static_cast<int>(until));
+    timeout = timeout < 0 ? ms : std::min(timeout, ms);
+  }
+  return timeout;
+}
+
+void Server::loop_body() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, epoll_timeout_ms());
+    if (!running_) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      common::log_warn(std::string("net: epoll_wait failed: ") +
+                       std::strerror(errno));
+      break;
     }
-  }
-  for (auto& t : pool_) {
-    if (t.joinable()) t.join();
-  }
-  pool_.clear();
-  std::vector<std::unique_ptr<OverflowWorker>> overflow;
-  {
-    std::lock_guard lock(overflow_mu_);
-    overflow.swap(overflow_);
-  }
-  for (auto& w : overflow) {
-    if (w->thread.joinable()) w->thread.join();
-  }
-}
-
-void Server::reap_overflow_locked() {
-  std::erase_if(overflow_, [](const std::unique_ptr<OverflowWorker>& w) {
-    if (!w->done.load(std::memory_order_acquire)) return false;
-    if (w->thread.joinable()) w->thread.join();
-    return true;
-  });
-}
-
-int Server::pop_pending(bool wait) {
-  std::unique_lock lock(queue_mu_);
-  if (wait) {
-    ++idle_workers_;
-    queue_cv_.wait(lock, [this] { return !running_ || !pending_.empty(); });
-    --idle_workers_;
-  }
-  if (!running_ || pending_.empty()) return -1;
-  int fd = pending_.front();
-  pending_.pop_front();
-  return fd;
-}
-
-void Server::pool_worker() {
-  while (running_) {
-    int fd = pop_pending(/*wait=*/true);
-    if (fd < 0) continue;  // stopping; the while re-checks
-    serve_connection(fd);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        handle_notifies();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // torn down earlier this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        handle_readable(conn);
+      }
+      if (!conn->finalized && (events[i].events & EPOLLOUT)) {
+        handle_writable(conn);
+      }
+    }
+    // Re-arm accept once its backoff deadline passes.
+    if (!listen_armed_ &&
+        std::chrono::steady_clock::now() >= accept_retry_at_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+      listen_armed_ = true;
+    }
+    if (options_.idle_timeout_ms > 0) sweep_idle();
   }
 }
 
-void Server::overflow_worker(OverflowWorker* self) {
-  // Burst relief: drain whatever is queued right now, then retire.
+void Server::handle_accept() {
   for (;;) {
-    int fd = pop_pending(/*wait=*/false);
-    if (fd < 0) break;
-    serve_connection(fd);
-  }
-  self->done.store(true, std::memory_order_release);
-}
-
-void Server::accept_loop() {
-  int backoff_ms = 0;
-  while (running_) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    SEPTIC_FAILPOINT_HOOK("net.server.accept.fail") {
-      // Simulate persistent accept() failure (EMFILE: the process is out
-      // of fds, so the pending connection cannot be taken).
-      if (fd >= 0) ::close(fd);
-      fd = -1;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+         errno == ECONNABORTED)) {
+      return;  // drained the backlog (or a connection died in it)
+    }
+    if (fd >= 0) {
+      SEPTIC_FAILPOINT_HOOK("net.server.accept.fail") {
+        // Simulate persistent accept() failure (EMFILE: the process is out
+        // of fds, so the pending connection cannot be taken).
+        ::close(fd);
+        fd = -1;
+      }
     }
     if (fd < 0) {
-      if (!running_) break;
-      // EMFILE/ENFILE pressure persists across retries: spinning on
-      // accept() burns the CPU the live connections need to drain (which
-      // is what frees fds). Back off, capped, and count it.
+      // EMFILE/ENFILE pressure persists across retries: spinning on accept
+      // burns the CPU the live connections need to drain (which is what
+      // frees fds). Deregister the listener, capped backoff, count it.
       ++accept_failures_;
-      backoff_ms = backoff_ms == 0
-                       ? 1
-                       : std::min(backoff_ms * 2, kMaxAcceptBackoffMs);
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      continue;
+      accept_backoff_ms_ = accept_backoff_ms_ == 0
+                               ? 1
+                               : std::min(accept_backoff_ms_ * 2,
+                                          kMaxAcceptBackoffMs);
+      accept_retry_at_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(accept_backoff_ms_);
+      if (listen_armed_) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listen_armed_ = false;
+      }
+      return;
     }
-    backoff_ms = 0;
+    accept_backoff_ms_ = 0;
     if (options_.max_connections != 0 &&
         active_.load() >= options_.max_connections) {
       // Past the cap: a graceful verdict, not a silent RST. The client
       // sees "BUSY: ..." and can back off and retry.
       ++rejected_;
-      send_frame(fd, Frame{Opcode::kError,
-                           "BUSY: server connection limit reached (" +
-                               std::to_string(options_.max_connections) +
-                               " concurrent connections)"});
+      send_frame_now(fd, Frame{Opcode::kError,
+                               "BUSY: server connection limit reached (" +
+                                   std::to_string(options_.max_connections) +
+                                   " concurrent connections)"});
       ::close(fd);
       continue;
     }
     ++connections_;
     ++active_;
-    bool saturated;
-    {
-      std::lock_guard lock(queue_mu_);
-      pending_.push_back(fd);
-      // idle_workers_ and pending_ are consistent under queue_mu_: each
-      // idle worker is committed to taking exactly one queued fd, so a
-      // queue longer than the idle count needs burst relief or the excess
-      // would wait behind live connections.
-      saturated = pending_.size() > idle_workers_;
-    }
-    queue_cv_.notify_one();
-    if (saturated) {
-      std::lock_guard lock(overflow_mu_);
-      reap_overflow_locked();
-      auto worker = std::make_unique<OverflowWorker>();
-      OverflowWorker* raw = worker.get();
-      overflow_.push_back(std::move(worker));
-      ++overflow_spawned_;
-      raw->thread = std::thread([this, raw] { overflow_worker(raw); });
-    }
+    auto conn = std::make_shared<Connection>(fd);
+    conn->decoder.set_max_frame_size(options_.max_frame_size);
+    conn->last_activity = std::chrono::steady_clock::now();
+    conns_.emplace(fd, conn);
+    arm(conn, EPOLLIN);
   }
 }
 
-void Server::serve_connection(int fd) {
-  // Register the fd so stop() can wake a blocking recv(); the registry,
-  // not this thread, is who stop() trusts about fd liveness.
-  Conn* conn = nullptr;
-  {
-    std::lock_guard lock(conns_mu_);
-    auto owned = std::make_unique<Conn>();
-    owned->fd = fd;
-    conn = owned.get();
-    conns_.push_back(std::move(owned));
+void Server::arm(const std::shared_ptr<Connection>& conn, uint32_t events) {
+  if (conn->epoll_events == events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn->fd;
+  int op = conn->epoll_events == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+  if (events == 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  } else {
+    ::epoll_ctl(epoll_fd_, op, conn->fd, &ev);
   }
-  auto unregister = [this, conn, fd] {
-    std::lock_guard lock(conns_mu_);
-    ::close(fd);
-    conn->closed = true;
-    std::erase_if(conns_, [conn](const std::unique_ptr<Conn>& c) {
-      return c.get() == conn;
-    });
-    --active_;
-  };
-  // stop() may have run between the queue pop and the registration above;
-  // its shutdown pass could not see this fd, so bail out here instead of
-  // blocking in recv() forever.
-  if (!running_) {
-    unregister();
-    return;
-  }
+  conn->epoll_events = events;
+}
 
-  set_socket_timeouts(fd, options_.idle_timeout_ms);
-  engine::Session session("net-client");
-  FrameDecoder decoder;
-  decoder.set_max_frame_size(options_.max_frame_size);
-  // Per-connection prepared statements, like MySQL's.
-  std::unordered_map<uint64_t, std::string> prepared;
-  uint64_t next_stmt_id = 1;
-  char buf[4096];
-  bool open = true;
-  while (open) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // peer gone, shutdown(), or idle timeout (EAGAIN)
-    SEPTIC_FAILPOINT_HOOK("net.server.recv.drop") break;
-    decoder.feed(std::string_view(buf, static_cast<size_t>(n)));
+void Server::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[16384];
+  std::vector<Frame> frames;
+  bool peer_gone = false;
+  bool drop_now = false;       // fault injection: vanish without a reply
+  std::string fatal_reply;     // protocol error: reply once, then close
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n <= 0) {
+      peer_gone = true;
+      break;
+    }
+    SEPTIC_FAILPOINT_HOOK("net.server.recv.drop") { drop_now = true; }
+    if (drop_now) break;
+    conn->last_activity = std::chrono::steady_clock::now();
     try {
-      while (auto frame = decoder.next()) {
-        if (frame->op == Opcode::kQuit) {
-          open = false;
-          break;
-        }
-        if (frame->op != Opcode::kQuery && frame->op != Opcode::kPrepare &&
-            frame->op != Opcode::kExec) {
-          continue;
-        }
-        Frame reply;
-        try {
-          engine::ResultSet rs;
-          bool has_result = true;
-          if (frame->op == Opcode::kPrepare) {
-            uint64_t id = next_stmt_id++;
-            prepared[id] = frame->payload;
-            reply.op = Opcode::kOk;
-            reply.payload = "stmt=" + std::to_string(id);
-            has_result = false;
-          } else if (frame->op == Opcode::kExec) {
-            // payload: "<id>" + (0x1F + repr)*
-            std::string_view body = frame->payload;
-            size_t sep = body.find('\x1f');
-            std::string_view id_s =
-                sep == std::string_view::npos ? body : body.substr(0, sep);
-            uint64_t id = std::strtoull(std::string(id_s).c_str(), nullptr, 10);
-            auto it = prepared.find(id);
-            if (it == prepared.end()) {
-              throw engine::DbError(engine::ErrorCode::kSyntax,
-                                    "unknown prepared statement id");
-            }
-            // Parameters are length-prefixed ("<len>:<repr-bytes>") so
-            // arbitrary bytes inside string values cannot break framing.
-            std::vector<sql::Value> params;
-            size_t pos = sep == std::string_view::npos ? body.size() : sep + 1;
-            while (pos < body.size()) {
-              size_t colon = body.find(':', pos);
-              if (colon == std::string_view::npos) {
-                throw engine::DbError(engine::ErrorCode::kSyntax,
-                                      "malformed parameter framing");
-              }
-              size_t len = std::strtoull(
-                  std::string(body.substr(pos, colon - pos)).c_str(), nullptr,
-                  10);
-              // The declared length is attacker-controlled: compare it
-              // against the bytes that remain, never via `colon + 1 + len`
-              // (a huge len wraps size_t and sails past the check).
-              size_t remaining = body.size() - colon - 1;
-              if (len > remaining) {
-                throw engine::DbError(
-                    engine::ErrorCode::kSyntax,
-                    "truncated parameter: declared " + std::to_string(len) +
-                        " byte(s), " + std::to_string(remaining) + " remain");
-              }
-              sql::Value v;
-              if (!sql::Value::from_repr(body.substr(colon + 1, len), v)) {
-                throw engine::DbError(engine::ErrorCode::kSyntax,
-                                      "malformed parameter encoding");
-              }
-              params.push_back(std::move(v));
-              pos = colon + 1 + len;
-            }
-            rs = db_.execute_prepared(session, it->second, params);
-          } else {
-            rs = db_.execute(session, frame->payload);
-          }
-          if (has_result) {
-            if (rs.has_rows()) {
-              reply.op = Opcode::kRows;
-              reply.payload = rs.to_text();
-            } else {
-              reply.op = Opcode::kOk;
-              reply.payload = "affected=" + std::to_string(rs.affected_rows) +
-                              " last_insert_id=" +
-                              std::to_string(rs.last_insert_id);
-            }
-          }
-        } catch (const engine::DbError& e) {
-          reply.op = Opcode::kError;
-          reply.payload =
-              std::string(engine::error_code_name(e.code())) + ": " + e.what();
-        }
-        SEPTIC_FAILPOINT_HOOK("net.server.send.drop") {
-          open = false;
-          break;
-        }
-        if (!send_frame(fd, reply)) {
-          open = false;
-          break;
-        }
+      conn->decoder.feed(std::string_view(buf, static_cast<size_t>(n)));
+      while (auto frame = conn->decoder.next()) {
+        frames.push_back(std::move(*frame));
       }
     } catch (const FrameTooLarge& e) {
       // Declared length over the guard: reject politely, then close — the
       // stream is unrecoverable (we cannot resynchronize mid-frame).
-      send_frame(fd, Frame{Opcode::kError,
-                           std::string("FRAME_TOO_LARGE: ") + e.what()});
+      fatal_reply = encode_frame(
+          Frame{Opcode::kError, std::string("FRAME_TOO_LARGE: ") + e.what()});
       break;
     } catch (const std::exception& e) {
       common::log_warn(std::string("net: dropping connection: ") + e.what());
-      send_frame(fd, Frame{Opcode::kError,
-                           std::string("PROTOCOL: ") + e.what()});
+      fatal_reply = encode_frame(
+          Frame{Opcode::kError, std::string("PROTOCOL: ") + e.what()});
       break;
     }
   }
-  // A connection that dies mid-transaction must not leave the engine
-  // locked against every other session.
-  db_.rollback_if_owner(session.id());
-  // Close under conns_mu_ with `closed` set in the same critical section:
-  // once the fd number is released to the OS it may be recycled, and
-  // stop() must never shutdown() somebody else's fd.
-  unregister();
+
+  bool should_enqueue = false;
+  {
+    std::lock_guard lock(conn->mu_);
+    if (drop_now) conn->dead = true;
+    if (!conn->dead && !conn->closing && !frames.empty()) {
+      for (auto& f : frames) conn->requests.push_back(std::move(f));
+      if (!conn->claimed) {
+        conn->claimed = true;
+        should_enqueue = true;
+      }
+    }
+    if (!fatal_reply.empty()) {
+      conn->out += fatal_reply;
+      conn->closing = true;
+    }
+    if (peer_gone) conn->peer_closed = true;
+  }
+  if (should_enqueue) {
+    {
+      std::lock_guard lock(queue_mu_);
+      work_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+  reconcile(conn);
+}
+
+void Server::handle_writable(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard lock(conn->mu_);
+    if (!conn->dead && !conn->out.empty() && !flush_some(*conn)) {
+      conn->dead = true;
+    }
+  }
+  reconcile(conn);
+}
+
+void Server::handle_notifies() {
+  std::vector<std::shared_ptr<Connection>> batch;
+  {
+    std::lock_guard lock(notify_mu_);
+    batch.swap(notify_);
+  }
+  for (auto& conn : batch) {
+    if (!conn->finalized) reconcile(conn);
+  }
+}
+
+void Server::reconcile(const std::shared_ptr<Connection>& conn) {
+  if (conn->finalized) return;
+  bool teardown;
+  bool want_out;
+  bool want_in;
+  {
+    std::lock_guard lock(conn->mu_);
+    if (conn->dead) {
+      teardown = true;
+      want_out = false;
+      want_in = false;
+    } else {
+      const bool drained = conn->out.empty();
+      const bool no_more_requests =
+          !conn->claimed && conn->requests.empty();
+      teardown = drained && no_more_requests &&
+                 (conn->closing || conn->peer_closed);
+      want_out = !drained;
+      // Stop reading once the connection is winding down (a closed peer's
+      // fd is permanently readable — re-arming EPOLLIN would spin).
+      want_in = !conn->closing && !conn->peer_closed;
+    }
+  }
+  if (teardown) {
+    finalize(conn);
+    return;
+  }
+  arm(conn, (want_in ? EPOLLIN : 0u) | (want_out ? EPOLLOUT : 0u));
+}
+
+bool Server::finalize(const std::shared_ptr<Connection>& conn) {
+  if (conn->finalized) return true;
+  {
+    // The claim check is the teardown barrier: a worker that still owns
+    // the connection will notify us again when it unclaims.
+    std::lock_guard lock(conn->mu_);
+    if (conn->claimed) return false;
+  }
+  if (conn->epoll_events != 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conn->epoll_events = 0;
+  }
+  db_.rollback_if_owner(conn->session.id());
+  conn->finalized = true;
+  conns_.erase(conn->fd);  // the Connection destructor closes the fd
+  --active_;
+  return true;
+}
+
+void Server::sweep_idle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> expired;
+  for (auto& entry : conns_) {
+    const std::shared_ptr<Connection>& conn = entry.second;
+    bool busy;
+    {
+      std::lock_guard lock(conn->mu_);
+      busy = conn->claimed || !conn->requests.empty() || !conn->out.empty();
+    }
+    if (busy) {
+      // Active on the engine plane counts as activity: the idle clock
+      // restarts when the work finishes, not during it.
+      conn->last_activity = now;
+      continue;
+    }
+    if (now - conn->last_activity >= deadline) expired.push_back(conn);
+  }
+  for (auto& conn : expired) finalize(conn);
+}
+
+// -------------------------------------------------------------- workers --
+
+void Server::worker_body() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !running_.load(std::memory_order_acquire) || !work_.empty();
+      });
+      if (work_.empty()) {
+        if (!running_) return;
+        continue;
+      }
+      conn = std::move(work_.front());
+      work_.pop_front();
+    }
+    serve(conn);
+  }
+}
+
+void Server::serve(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::deque<Frame> batch;
+    {
+      std::lock_guard lock(conn->mu_);
+      if (conn->dead || conn->closing) conn->requests.clear();
+      if (conn->requests.empty()) {
+        // Unclaim under the same lock the loop appends under: a frame
+        // arriving now either saw claimed (we loop again? no — we are
+        // leaving) or arrives after this store and re-claims. No frame is
+        // ever stranded on an unclaimed connection.
+        conn->claimed = false;
+        break;
+      }
+      batch.swap(conn->requests);
+    }
+
+    std::string replies;
+    bool quit = false;
+    bool drop = false;
+    for (Frame& frame : batch) {
+      Frame reply = handle_frame(*conn, frame, quit);
+      if (quit) break;  // QUIT answers nothing and discards the rest
+      SEPTIC_FAILPOINT_HOOK("net.server.send.drop") { drop = true; }
+      if (drop) break;
+      replies += encode_frame(reply);
+    }
+
+    {
+      std::lock_guard lock(conn->mu_);
+      if (drop) {
+        conn->dead = true;
+      } else {
+        conn->out += replies;
+        if (quit) conn->closing = true;
+        // Opportunistic flush from the worker: in the common request →
+        // reply cadence the kernel buffer has room and the loop never has
+        // to arm EPOLLOUT at all.
+        if (!conn->dead && !conn->out.empty() && !flush_some(*conn)) {
+          conn->dead = true;
+        }
+      }
+    }
+  }
+
+  // Hand the connection's fate back to the loop when it needs attention:
+  // flush residue, or teardown once out drains.
+  bool needs_loop;
+  {
+    std::lock_guard lock(conn->mu_);
+    needs_loop = conn->dead || conn->closing || conn->peer_closed ||
+                 !conn->out.empty();
+  }
+  if (needs_loop) notify_loop(conn);
+}
+
+bool Server::flush_some(Connection& conn) {
+  size_t sent = 0;
+  while (sent < conn.out.size()) {
+    ssize_t w = ::send(conn.fd, conn.out.data() + sent,
+                       conn.out.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;  // a signal is not a dead peer
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (w <= 0) {
+      conn.out.clear();
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  conn.out.erase(0, sent);
+  return true;
+}
+
+void Server::notify_loop(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard lock(notify_mu_);
+    notify_.push_back(conn);
+  }
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------- the protocol --
+
+Frame Server::handle_frame(Connection& conn, const Frame& frame, bool& quit) {
+  if (frame.op == Opcode::kQuit) {
+    quit = true;
+    return {};
+  }
+  Frame reply;
+  try {
+    switch (frame.op) {
+      case Opcode::kQuery: {
+        engine::ResultSet rs = db_.execute(conn.session, frame.payload);
+        if (rs.has_rows()) {
+          reply.op = Opcode::kRows;
+          reply.payload = rs.to_text();
+        } else {
+          reply.op = Opcode::kOk;
+          reply.payload = "affected=" + std::to_string(rs.affected_rows) +
+                          " last_insert_id=" +
+                          std::to_string(rs.last_insert_id);
+        }
+        break;
+      }
+      case Opcode::kPrepare: {
+        // The verdict happens inside prepare(): a blocked template throws
+        // here and the reply below is "BLOCKED: ..." — no id is ever
+        // issued for it, so there is nothing to EXEC later.
+        engine::PreparedStatementPtr ps =
+            db_.prepare(conn.session, frame.payload);
+        const size_t cap = std::max<size_t>(1, options_.max_prepared_per_connection);
+        while (conn.prepared.size() >= cap) {
+          // Registry cap: evict the least-recently-executed handle. An
+          // unbounded registry let one connection grow server memory
+          // without limit; clients that care close explicitly.
+          uint64_t victim = conn.lru.back();
+          conn.lru.pop_back();
+          conn.prepared.erase(victim);
+        }
+        uint64_t id = conn.next_stmt_id++;
+        conn.lru.push_front(id);
+        conn.prepared.emplace(
+            id, Connection::PreparedEntry{std::move(ps), conn.lru.begin()});
+        reply.op = Opcode::kOk;
+        reply.payload = "stmt=" + std::to_string(id);
+        break;
+      }
+      case Opcode::kExec: {
+        // payload: "<id>" + (0x1F + "<len>:<repr>")*
+        std::string_view body = frame.payload;
+        size_t sep = body.find('\x1f');
+        std::string_view id_s =
+            sep == std::string_view::npos ? body : body.substr(0, sep);
+        uint64_t id = 0;
+        if (!parse_u64(id_s, id)) {
+          throw engine::DbError(engine::ErrorCode::kSyntax,
+                                "malformed statement id");
+        }
+        auto it = conn.prepared.find(id);
+        if (it == conn.prepared.end()) {
+          throw engine::DbError(engine::ErrorCode::kSyntax,
+                                "unknown prepared statement id");
+        }
+        // Parameters are length-prefixed ("<len>:<repr-bytes>") so
+        // arbitrary bytes inside string values cannot break framing.
+        std::vector<sql::Value> params;
+        size_t pos = sep == std::string_view::npos ? body.size() : sep + 1;
+        while (pos < body.size()) {
+          size_t colon = body.find(':', pos);
+          if (colon == std::string_view::npos) {
+            throw engine::DbError(engine::ErrorCode::kSyntax,
+                                  "malformed parameter framing");
+          }
+          uint64_t len = 0;
+          if (!parse_u64(body.substr(pos, colon - pos), len)) {
+            throw engine::DbError(engine::ErrorCode::kSyntax,
+                                  "malformed parameter framing");
+          }
+          // The declared length is attacker-controlled: compare it
+          // against the bytes that remain, never via `colon + 1 + len`
+          // (a huge len wraps size_t and sails past the check).
+          size_t remaining = body.size() - colon - 1;
+          if (len > remaining) {
+            throw engine::DbError(
+                engine::ErrorCode::kSyntax,
+                "truncated parameter: declared " + std::to_string(len) +
+                    " byte(s), " + std::to_string(remaining) + " remain");
+          }
+          sql::Value v;
+          if (!sql::Value::from_repr(
+                  body.substr(colon + 1, static_cast<size_t>(len)), v)) {
+            throw engine::DbError(engine::ErrorCode::kSyntax,
+                                  "malformed parameter encoding");
+          }
+          params.push_back(std::move(v));
+          pos = colon + 1 + static_cast<size_t>(len);
+        }
+        // Touch the LRU: this handle just proved itself live.
+        conn.lru.splice(conn.lru.begin(), conn.lru, it->second.lru_pos);
+        engine::ResultSet rs =
+            db_.execute_prepared(conn.session, *it->second.stmt, params);
+        if (rs.has_rows()) {
+          reply.op = Opcode::kRows;
+          reply.payload = rs.to_text();
+        } else {
+          reply.op = Opcode::kOk;
+          reply.payload = "affected=" + std::to_string(rs.affected_rows) +
+                          " last_insert_id=" +
+                          std::to_string(rs.last_insert_id);
+        }
+        break;
+      }
+      case Opcode::kStmtClose: {
+        uint64_t id = 0;
+        if (!parse_u64(frame.payload, id)) {
+          throw engine::DbError(engine::ErrorCode::kSyntax,
+                                "malformed statement id");
+        }
+        auto it = conn.prepared.find(id);
+        if (it == conn.prepared.end()) {
+          throw engine::DbError(engine::ErrorCode::kSyntax,
+                                "unknown prepared statement id");
+        }
+        conn.lru.erase(it->second.lru_pos);
+        conn.prepared.erase(it);
+        reply.op = Opcode::kOk;
+        reply.payload = "closed=" + std::to_string(id);
+        break;
+      }
+      default:
+        // A server-to-client opcode arriving as a request. The frame was
+        // well-formed, so the stream is still in sync: answer it (every
+        // request gets exactly one reply — the old server's silent skip
+        // desynchronized pipelined clients) and keep the connection.
+        reply.op = Opcode::kError;
+        reply.payload =
+            "PROTOCOL: unexpected opcode " +
+            std::to_string(static_cast<unsigned>(frame.op)) +
+            " in request";
+        break;
+    }
+  } catch (const engine::DbError& e) {
+    reply.op = Opcode::kError;
+    reply.payload =
+        std::string(engine::error_code_name(e.code())) + ": " + e.what();
+  }
+  return reply;
 }
 
 }  // namespace septic::net

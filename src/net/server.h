@@ -2,37 +2,62 @@
 // installed in it) to remote clients. Sessions are per-connection, like
 // MySQL's.
 //
-// Threading model: a fixed pool of `worker_threads` pooled workers pulls
-// accepted sockets from an accept queue, so steady-state traffic creates
-// and destroys no threads at all (the old thread-per-connection model paid
-// a spawn/join per connection and was unbounded). A connection occupies
-// its worker for its whole life — blocking reads keep the per-connection
-// code straight-line — so when every pooled worker is occupied and another
-// connection arrives, a transient *overflow* worker is spawned for it and
-// exits once the queue is drained again. Total live threads are therefore
-// bounded by max_connections, and a burst beyond the pool degrades to
-// exactly the old behavior rather than to queueing latency.
+// Threading model: one epoll readiness loop owns every socket; a fixed
+// pool of workers owns every engine call. Connections are state objects,
+// not threads — the loop does nonblocking reads, feeds each connection's
+// frame decoder, and hands a connection to the pool only when it has
+// complete request frames. A claimed connection is serviced by exactly one
+// worker at a time (its Session, transaction state, and prepared-statement
+// registry are single-threaded by construction), and replies go out in
+// request order, so clients may pipeline any number of frames per
+// round-trip. Idle connections cost a registry entry and an epoll
+// registration — no thread, no stack — so the server holds thousands of
+// them where the old thread-pinned model held worker_threads.
 //
-// Hardening (an in-path defense must not be the easiest thing to knock
-// over): a max-concurrent-connections cap (excess connections get a polite
-// BUSY error frame and a close), per-connection idle timeouts
-// (SO_RCVTIMEO/SO_SNDTIMEO), a per-frame size guard (oversized frames are
-// rejected before their payload is buffered), and capped exponential
-// backoff when accept() itself fails persistently (EMFILE/ENFILE) — the
-// accept loop must degrade to slow, not to a 100%-CPU spin.
+// Claim protocol (the only cross-thread handshake, all leaf locks):
+//   - loop: append decoded frames to conn->requests under conn->mu_; if
+//     the connection is unclaimed, set claimed and enqueue it (queue_mu_).
+//   - worker: drain requests batch-by-batch under conn->mu_; when a drain
+//     finds the queue empty, unclaim UNDER THE SAME LOCK — the loop's
+//     append either sees claimed (worker will re-check) or claims anew, so
+//     no frame is ever stranded.
+//   - worker flushes replies opportunistically (nonblocking send under
+//     conn->mu_); leftover bytes are the loop's job via EPOLLOUT, requested
+//     through the eventfd notify queue (notify_mu_).
+//   - teardown is loop-only: finalize() first observes claimed == false
+//     under conn->mu_, so it never races a worker.
+//
+// Prepared statements are real server-side handles (engine/prepared.h):
+// PREPARE compiles and verdicts the template once — a blocked template is
+// refused before any id exists — and EXEC binds and runs with no
+// re-verdict. The per-connection registry is bounded: explicit STMT_CLOSE
+// deallocates, and past max_prepared_per_connection the least-recently
+// EXECed handle is evicted (the old unbounded map let one client OOM the
+// server).
+//
+// Hardening: a max-concurrent-connections cap (excess connections get a
+// polite BUSY error frame and a close), idle sweeps driven by the epoll
+// timeout, a per-frame size guard (oversized frames are rejected before
+// their payload is buffered), and capped exponential backoff when accept()
+// fails persistently (EMFILE/ENFILE) — the loop must degrade to slow, not
+// to a 100%-CPU spin.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_annotations.h"
 #include "engine/database.h"
+#include "engine/session.h"
 #include "net/protocol.h"
 
 namespace septic::net {
@@ -41,18 +66,68 @@ struct ServerOptions {
   /// Concurrent connections served; further connections are answered with
   /// an ERROR frame ("BUSY: ...") and closed. 0 = unlimited.
   size_t max_connections = 256;
-  /// Per-connection socket idle timeout in milliseconds (applied as both
-  /// SO_RCVTIMEO and SO_SNDTIMEO). A connection idle past it is closed.
-  /// 0 = no timeout.
+  /// Idle deadline in milliseconds: a connection with no traffic, no
+  /// pending work, and no unclaimed replies for this long is closed by the
+  /// loop's sweep. 0 = no timeout.
   int idle_timeout_ms = 0;
   /// Per-frame size guard for this server's connections.
   uint32_t max_frame_size = FrameDecoder::kMaxFrameSize;
-  /// Pooled worker threads serving connections from the accept queue.
-  /// Connections beyond this are served by transient overflow threads
-  /// (bounded by max_connections), so the pool size tunes thread reuse,
-  /// never availability. 0 = no pool (every connection overflows — the old
-  /// thread-per-connection behavior).
+  /// Pooled worker threads running engine calls for claimed connections.
+  /// Connections no longer pin a thread, so this sizes CPU parallelism,
+  /// not capacity; values < 1 are treated as 1.
   size_t worker_threads = 8;
+  /// Cap on live prepared statements per connection. Past it, the
+  /// least-recently-executed handle is evicted to make room (clients that
+  /// care use STMT_CLOSE). Minimum 1.
+  size_t max_prepared_per_connection = 64;
+};
+
+/// One live connection's whole state. Socket-plane fields (decoder, idle
+/// clock, epoll bookkeeping) belong to the loop thread; engine-plane
+/// fields (session, prepared registry) belong to whichever worker holds
+/// the claim — the claim handoff through mu_ orders them. Only the fields
+/// annotated with mu_ are ever touched from both sides.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in), session("net-client") {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd = -1;
+
+  // --- loop-thread-only ------------------------------------------------
+  FrameDecoder decoder;
+  std::chrono::steady_clock::time_point last_activity{};
+  uint32_t epoll_events = 0;  // currently armed event mask
+  bool finalized = false;     // torn down; late notifies must skip it
+
+  // --- worker-only while claimed (handoff ordered by mu_) --------------
+  engine::Session session;
+  /// Prepared registry: id -> handle, with an LRU list for cap eviction
+  /// (lru is most-recent-first; each entry holds its list position).
+  struct PreparedEntry {
+    engine::PreparedStatementPtr stmt;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<uint64_t, PreparedEntry> prepared;
+  std::list<uint64_t> lru;
+  uint64_t next_stmt_id = 1;
+
+  // --- shared (leaf lock; never held while taking another) -------------
+  std::mutex mu_;
+  /// Complete request frames awaiting a worker, in arrival order.
+  std::deque<Frame> requests SEPTIC_GUARDED_BY(mu_);
+  /// Encoded reply bytes not yet accepted by the kernel.
+  std::string out SEPTIC_GUARDED_BY(mu_);
+  /// True while a worker owns this connection's engine plane.
+  bool claimed SEPTIC_GUARDED_BY(mu_) = false;
+  /// Peer EOF / read error seen by the loop: no further requests.
+  bool peer_closed SEPTIC_GUARDED_BY(mu_) = false;
+  /// Orderly shutdown requested (QUIT, protocol error): flush out, close.
+  bool closing SEPTIC_GUARDED_BY(mu_) = false;
+  /// Hard teardown (send failure, fault injection): close without flush.
+  bool dead SEPTIC_GUARDED_BY(mu_) = false;
 };
 
 class Server {
@@ -65,10 +140,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Start the accept loop and the worker pool in background threads.
+  /// Start the epoll loop and the worker pool in background threads.
   void start();
-  /// Stop accepting, close the listener, drain the queue, join all
-  /// pooled and overflow threads.
+  /// Stop accepting, wake and join the loop, drain and join the workers,
+  /// tear down every remaining connection (open transactions roll back).
   void stop();
 
   uint16_t port() const { return port_; }
@@ -77,70 +152,73 @@ class Server {
   uint64_t connections_served() const { return connections_; }
   /// Connections turned away by the max_connections cap.
   uint64_t connections_rejected() const { return rejected_; }
-  /// Connections currently being served or queued for a worker.
+  /// Connections currently registered with the loop (idle ones included).
   size_t active_connections() const { return active_; }
   /// accept() failures survived with backoff (EMFILE/ENFILE pressure).
   uint64_t accept_failures() const { return accept_failures_; }
-  /// Transient overflow threads spawned because the pool was saturated.
-  uint64_t overflow_workers_spawned() const { return overflow_spawned_; }
 
  private:
-  // One live connection's fd, owned by the registry (conns_), never by the
-  // serving thread. The serving thread is the only closer of its fd, and
-  // it closes while holding conns_mu_ with `closed` set in the same
-  // critical section — so stop(), which shutdown()s still-open fds under
-  // the same lock, can never touch an fd number the OS has recycled.
-  struct Conn {
-    int fd = -1;
-    bool closed = false;  // guarded by conns_mu_
-  };
+  void loop_body();
+  void worker_body();
 
-  // A transient worker past the pool: thread-per-connection burst relief.
-  // `done` marks it finished so the accept loop can reap its thread while
-  // the server keeps running.
-  struct OverflowWorker {
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
+  // --- loop-side handlers (loop thread only) ---------------------------
+  void handle_accept();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_writable(const std::shared_ptr<Connection>& conn);
+  void handle_notifies();
+  void sweep_idle();
+  /// Re-examine a connection after worker activity or a read: arm/disarm
+  /// EPOLLOUT, tear down when it is dead or drained-and-closing.
+  void reconcile(const std::shared_ptr<Connection>& conn);
+  void arm(const std::shared_ptr<Connection>& conn, uint32_t events);
+  /// Tear down now. Returns false (and does nothing) while a worker still
+  /// holds the claim — the worker's completion notify retries it.
+  bool finalize(const std::shared_ptr<Connection>& conn);
+  int epoll_timeout_ms() const;
 
-  void accept_loop();
-  /// Pooled worker body: pop fds until stop.
-  void pool_worker();
-  /// Overflow worker body: drain whatever is queued right now, then exit.
-  void overflow_worker(OverflowWorker* self);
-  void serve_connection(int fd);
-  /// Pop one pending fd; blocks when `wait`. Returns -1 when stopping /
-  /// nothing queued.
-  int pop_pending(bool wait);
-  void reap_overflow_locked() SEPTIC_REQUIRES(overflow_mu_);
+  // --- worker-side -----------------------------------------------------
+  /// Service one claimed connection until its request queue drains.
+  void serve(const std::shared_ptr<Connection>& conn);
+  Frame handle_frame(Connection& conn, const Frame& frame, bool& quit);
+  /// Nonblocking flush of conn->out. Returns false on a fatal send error
+  /// (the caller marks the connection dead).
+  bool flush_some(Connection& conn) SEPTIC_REQUIRES(conn.mu_);
+  /// Ask the loop to reconcile `conn` (arm EPOLLOUT / tear down).
+  void notify_loop(const std::shared_ptr<Connection>& conn);
 
   engine::Database& db_;
   ServerOptions options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers/stop() wake the epoll loop
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
 
-  // Accept queue: accepted fds waiting for a worker.
+  /// Loop-thread-only connection registry, keyed by fd.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  /// Accept-failure backoff (loop-thread-only): while now < deadline the
+  /// listen fd is deregistered from epoll.
+  int accept_backoff_ms_ = 0;
+  std::chrono::steady_clock::time_point accept_retry_at_{};
+  bool listen_armed_ = false;
+
+  // Work queue: claimed connections awaiting a worker.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_ SEPTIC_GUARDED_BY(queue_mu_);
-  // pooled workers blocked in pop_pending
-  size_t idle_workers_ SEPTIC_GUARDED_BY(queue_mu_) = 0;
+  std::deque<std::shared_ptr<Connection>> work_ SEPTIC_GUARDED_BY(queue_mu_);
 
-  std::vector<std::thread> pool_;
-  std::mutex overflow_mu_;
-  std::vector<std::unique_ptr<OverflowWorker>> overflow_
-      SEPTIC_GUARDED_BY(overflow_mu_);
-
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_ SEPTIC_GUARDED_BY(conns_mu_);
+  // Notify queue: connections whose post-worker state the loop must look
+  // at (flush residue, teardown). Paired with a wake_fd_ write.
+  std::mutex notify_mu_;
+  std::vector<std::shared_ptr<Connection>> notify_ SEPTIC_GUARDED_BY(notify_mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<size_t> active_{0};
   std::atomic<uint64_t> accept_failures_{0};
-  std::atomic<uint64_t> overflow_spawned_{0};
 };
 
 }  // namespace septic::net

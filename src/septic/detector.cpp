@@ -23,6 +23,17 @@ SqliVerdict compare_qs_qm(const sql::ItemStack& qs, const QueryModel& qm,
   auto numeric_data = [](sql::ItemType t) {
     return t == sql::ItemType::kIntItem || t == sql::ItemType::kDecimalItem;
   };
+  // PARAM_ITEM — an unbound '?' in a prepared-statement template — is a
+  // wildcard data node on EITHER side: in the QS it stands for whatever
+  // value the client will bind (data by construction, so any data type in
+  // the model matches); in the QM it means the model was trained from a
+  // template, which must keep matching queries whose literal landed as
+  // STRING/INT/DECIMAL/NULL. It never matches an element node: a '?' can
+  // never stand for structure.
+  auto param_wildcard = [](sql::ItemType qs_t, sql::ItemType qm_t) {
+    return (qs_t == sql::ItemType::kParamItem && sql::is_data_item(qm_t)) ||
+           (qm_t == sql::ItemType::kParamItem && sql::is_data_item(qs_t));
+  };
   for (size_t i = 0; i < qs.nodes.size(); ++i) {
     const sql::ItemNode& a = qs.nodes[i];
     const sql::ItemNode& b = qm.nodes[i];
@@ -31,6 +42,8 @@ SqliVerdict compare_qs_qm(const sql::ItemStack& qs, const QueryModel& qm,
       match = sql::is_data_item(a.type) ? true : a.data == b.data;
     } else if (!strict_numeric_types && numeric_data(a.type) &&
                numeric_data(b.type)) {
+      match = true;
+    } else if (param_wildcard(a.type, b.type)) {
       match = true;
     } else {
       match = false;
@@ -67,15 +80,13 @@ SqliVerdict detect_sqli(const sql::ItemStack& qs,
   return closest;
 }
 
-StoredVerdict detect_stored_injection(
-    const sql::Statement& stmt,
+namespace {
+
+/// The shared value scan: plugin battery over string values, two-step
+/// (quick_check filter, then deep_check validation).
+StoredVerdict scan_values(
+    const std::vector<sql::Value>& values,
     const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins) {
-  sql::StatementKind kind = sql::statement_kind(stmt);
-  if (kind != sql::StatementKind::kInsert &&
-      kind != sql::StatementKind::kUpdate) {
-    return {};
-  }
-  std::vector<sql::Value> values = sql::extract_data_values(stmt);
   for (const auto& value : values) {
     if (value.type() != sql::ValueType::kString) continue;
     const std::string& s = value.as_string();
@@ -94,6 +105,29 @@ StoredVerdict detect_stored_injection(
     }
   }
   return {};
+}
+
+}  // namespace
+
+StoredVerdict detect_stored_injection(
+    const sql::Statement& stmt,
+    const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins) {
+  sql::StatementKind kind = sql::statement_kind(stmt);
+  if (kind != sql::StatementKind::kInsert &&
+      kind != sql::StatementKind::kUpdate) {
+    return {};
+  }
+  return scan_values(sql::extract_data_values(stmt), plugins);
+}
+
+StoredVerdict detect_stored_params(
+    sql::StatementKind kind, const std::vector<sql::Value>& params,
+    const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins) {
+  if (kind != sql::StatementKind::kInsert &&
+      kind != sql::StatementKind::kUpdate) {
+    return {};
+  }
+  return scan_values(params, plugins);
 }
 
 }  // namespace septic::core

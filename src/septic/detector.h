@@ -69,4 +69,14 @@ StoredVerdict detect_stored_injection(
     const sql::Statement& stmt,
     const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins);
 
+/// The prepared-statement counterpart: run the plugin battery over the
+/// parameter values bound at EXEC time. The structural (QM) verdict of a
+/// prepared statement is computed once from its template, but stored
+/// injection is a property of the DATA, so every bind gets this — cheap,
+/// quick_check-gated — value scan. `kind` is the template's statement
+/// kind; like detect_stored_injection, only INSERT/UPDATE are inspected.
+StoredVerdict detect_stored_params(
+    sql::StatementKind kind, const std::vector<sql::Value>& params,
+    const std::vector<std::unique_ptr<StoredInjectionPlugin>>& plugins);
+
 }  // namespace septic::core

@@ -84,7 +84,7 @@ bool QueryModel::deserialize(std::string_view line, QueryModel& out) {
     if (!common::all_digits(type_s)) return false;
     int type_val = std::stoi(std::string(type_s));
     if (type_val < 0 ||
-        type_val > static_cast<int>(sql::ItemType::kNullItem)) {
+        type_val > static_cast<int>(sql::ItemType::kParamItem)) {
       return false;
     }
     std::string data;

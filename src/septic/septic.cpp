@@ -99,6 +99,85 @@ void Septic::on_query_replayed(const engine::QueryEvent& event,
   }
 }
 
+engine::InterceptDecision Septic::on_prepared_exec(
+    const engine::QueryEvent& event,
+    const engine::InterceptDecision& decision,
+    const std::shared_ptr<const void>& payload,
+    const std::vector<sql::Value>& params) {
+  // Per-query accounting, exactly like a digest-cache replay: the
+  // structural verdict was computed at PREPARE and the engine checked it
+  // is generation-current, so no model lookup or QS/QM comparison runs.
+  on_query_replayed(event, decision, payload);
+
+  std::shared_ptr<const Config> cfg = config_snapshot();
+  // Training mode executes everything; and with stored detection off the
+  // bound values are plain data by configuration.
+  if (cfg->mode == Mode::kTraining || !cfg->detect_stored) {
+    return engine::InterceptDecision::proceed();
+  }
+
+  std::string query_id;
+  if (const auto* vp = static_cast<const VerdictPayload*>(payload.get())) {
+    query_id = vp->composed_id;
+  }
+
+  // Same fail-policy boundary as on_query: a plugin crash must not take
+  // the engine down, and must not silently wave the values through under
+  // fail-closed.
+  try {
+    SEPTIC_FAILPOINT("septic.plugin.throw");
+    StoredVerdict sv =
+        detect_stored_params(sql::statement_kind(event.query.statement),
+                             params, plugins_);
+    if (!sv.attack) return engine::InterceptDecision::proceed();
+
+    Event e;
+    e.kind = EventKind::kStoredDetected;
+    e.query = event.query.text;
+    e.query_id = query_id;
+    e.attack_type = sv.plugin;
+    e.detail = sv.detail + " (bound parameter)";
+    log_.record(std::move(e));
+    stats_.stored_detected.fetch_add(1, std::memory_order_relaxed);
+
+    if (cfg->mode != Mode::kPrevention) {
+      // Detection mode: attack logged above, the execution proceeds.
+      return engine::InterceptDecision::proceed();
+    }
+    Event d;
+    d.kind = EventKind::kQueryDropped;
+    d.query = event.query.text;
+    d.query_id = query_id;
+    d.attack_type = sv.plugin;
+    log_.record(std::move(d));
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (event.in_transaction) {
+      stats_.txn_blocked_stmts.fetch_add(1, std::memory_order_relaxed);
+    }
+    engine::InterceptDecision out = engine::InterceptDecision::reject(
+        "SEPTIC: " + sv.plugin + " attack detected in bound parameter; "
+        "execution dropped");
+    out.abort_txn = cfg->abort_txn_on_block;
+    return out;
+  } catch (const std::exception& ex) {
+    stats_.septic_internal_errors.fetch_add(1, std::memory_order_relaxed);
+    try {
+      Event e;
+      e.kind = EventKind::kInternalError;
+      e.query = event.query.text;
+      e.detail = std::string(ex.what()) +
+                 " (policy: " + fail_policy_name(cfg->fail_policy) + ")";
+      log_.record(std::move(e));
+    } catch (...) {
+    }
+    if (cfg->fail_policy == FailPolicy::kFailOpen) {
+      return engine::InterceptDecision::proceed();
+    }
+    return engine::InterceptDecision::reject(
+        "SEPTIC: internal error; execution dropped (fail-closed)");
+  }
+}
+
 void Septic::save_models(const std::string& path) const {
   store_.save_to_file(path);
 }

@@ -116,6 +116,16 @@ class Septic final : public engine::QueryInterceptor {
   void on_query_replayed(const engine::QueryEvent& event,
                          const engine::InterceptDecision& decision,
                          const std::shared_ptr<const void>& payload) override;
+  /// Prepared EXEC with a current PREPARE-time verdict: accounts for the
+  /// query like a replay, then runs ONLY the stored-injection plugins over
+  /// the bound parameter values (the data-plane half of detection — the
+  /// structural SQLI verdict was settled once, at PREPARE, against the
+  /// template). Zero query-model work per call.
+  engine::InterceptDecision on_prepared_exec(
+      const engine::QueryEvent& event,
+      const engine::InterceptDecision& decision,
+      const std::shared_ptr<const void>& payload,
+      const std::vector<sql::Value>& params) override;
   void attach_digest_cache(
       std::shared_ptr<const engine::QueryDigestCache> cache) override;
 

@@ -10,6 +10,7 @@ bool is_data_item(ItemType t) {
     case ItemType::kIntItem:
     case ItemType::kDecimalItem:
     case ItemType::kNullItem:
+    case ItemType::kParamItem:
       return true;
     default:
       return false;
@@ -38,6 +39,7 @@ const char* item_type_name(ItemType t) {
     case ItemType::kIntItem: return "INT_ITEM";
     case ItemType::kDecimalItem: return "DECIMAL_ITEM";
     case ItemType::kNullItem: return "NULL_ITEM";
+    case ItemType::kParamItem: return "PARAM_ITEM";
   }
   return "?";
 }
@@ -115,8 +117,9 @@ class StackBuilder {
         return;
       }
       case ExprKind::kPlaceholder: {
-        // Unbound parameter of a prepared-statement template.
-        push(ItemType::kNullItem, "?");
+        // Unbound parameter of a prepared-statement template: a wildcard
+        // data node (any value may be bound at EXEC time).
+        push(ItemType::kParamItem, "?");
         return;
       }
     }

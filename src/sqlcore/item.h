@@ -53,6 +53,12 @@ enum class ItemType : uint8_t {
   kIntItem,       // INT_ITEM
   kDecimalItem,   // DECIMAL_ITEM
   kNullItem,      // NULL_ITEM
+  // An unbound prepared-statement parameter ('?'). A data node that stands
+  // for *whatever value gets bound at EXEC time*, so the detector treats it
+  // as a wildcard across data types: a template stack matches models
+  // trained from literal-carrying text queries and vice versa. Appended at
+  // the end of the enum so serialized query models stay compatible.
+  kParamItem,     // PARAM_ITEM
 };
 
 /// True for <DATA_TYPE, DATA> nodes whose DATA is replaced by ⊥ in a QM.
