@@ -61,11 +61,26 @@
 // fsync, so the ratio should rise with client count — that batching is
 // what keeps full-durability p99 in the same decade as relaxed.
 //
-// Output: human-readable table on stdout, machine-readable BENCH_PR9.json
+// Output: human-readable table on stdout, machine-readable BENCH_PR10.json
 // (path overridable via SEPTIC_BENCH_JSON) for scripts/bench.sh, schema
 // configs.{off|training|prevention}.{point|readheavy}.{clients} plus
 // durability.{off|relaxed|full}.{clients}, prepared.{off|prevention}
 // .{clients}, pipeline.{batch}, and idle.
+//
+// PR10 adds a scan-heavy sweep for the ordered-index planner: a 100k-row
+// table with an index on a non-PK column, clients holding PINNED
+// snapshots (BEGIN + one read, then an admin UPDATE chains an old version
+// so every client snapshot predates history) issuing three query classes:
+//   point       WHERE k = <key>        (256 cycled keys)
+//   range       WHERE k BETWEEN lo AND lo+99   (~0.1% selectivity)
+//   orderlimit  ORDER BY k LIMIT 10
+// On the pre-change engine the pinned snapshot makes index_eq_snapshot
+// decline (current-images-only indexes) and ranges/order were never
+// indexable at all, so all three classes scan 100k rows; the ordered
+// covering index answers every class at any snapshot. The digest cache is
+// warmed for every byte string the clients send, so SEPTIC prevention
+// pays only its replay accounting — the off-vs-prevention delta isolates
+// the detection overhead on top of the new access paths.
 //
 // Scale knobs: SEPTIC_BENCH_NET_QUERIES (per client, default 300),
 // SEPTIC_BENCH_NET_CLIENTS (comma list, default "1,2,4,8,16"),
@@ -74,7 +89,10 @@
 // client in the prepared sweep, default 300), SEPTIC_BENCH_PIPE_QUERIES
 // (queries per batch size in the pipeline sweep, default 512),
 // SEPTIC_BENCH_IDLE_CONNS (idle connections, default 1000, clamped to
-// the fd rlimit).
+// the fd rlimit), SEPTIC_BENCH_SCAN_ROWS (scan-heavy table size, default
+// 100000), SEPTIC_BENCH_SCAN_CYCLES (point+range+orderlimit cycles per
+// client, default 50), SEPTIC_BENCH_SCAN_CLIENTS (comma list, default
+// "1,4").
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/resource.h>
@@ -82,6 +100,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -125,9 +144,9 @@ int env_int(const char* name, int fallback) {
   return std::atoi(v);
 }
 
-std::vector<int> client_counts() {
-  const char* v = std::getenv("SEPTIC_BENCH_NET_CLIENTS");
-  std::string spec = v && *v ? v : "1,2,4,8,16";
+std::vector<int> parse_counts(const char* env, const char* fallback) {
+  const char* v = std::getenv(env);
+  std::string spec = v && *v ? v : fallback;
   std::vector<int> out;
   size_t pos = 0;
   while (pos < spec.size()) {
@@ -138,6 +157,10 @@ std::vector<int> client_counts() {
     pos = comma + 1;
   }
   return out;
+}
+
+std::vector<int> client_counts() {
+  return parse_counts("SEPTIC_BENCH_NET_CLIENTS", "1,2,4,8,16");
 }
 
 enum class SepticMode { kOff, kTraining, kPrevention };
@@ -297,6 +320,182 @@ RunResult run_one(SepticMode mode, Workload workload, int clients,
   septic::engine::DigestCacheStats cs = db.digest_cache_stats();
   r.cache_hits = cs.hits;
   r.cache_misses = cs.misses;
+  server->stop();
+  return r;
+}
+
+// --- PR10: scan-heavy sweep ----------------------------------------------
+//
+// Every client runs inside one explicit transaction whose snapshot is
+// pinned BEFORE an admin UPDATE chains an old version onto the table.
+// That makes the whole measured window read "in the past": an engine
+// whose secondary indexes only cover current row images must decline the
+// index and scan, while the ordered covering index answers every class
+// at any snapshot.
+
+constexpr int kScanPointKeys = 256;  // distinct warmed point-probe keys
+constexpr int kScanRangeLos = 64;    // distinct warmed range lower bounds
+constexpr int kScanRangeWidth = 99;  // BETWEEN lo AND lo+99: 0.1% of 100k
+
+struct ScanResult {
+  double qps = 0;
+  double pp50_us = 0, pp99_us = 0;  // point: WHERE k = <key>
+  double gp50_us = 0, gp99_us = 0;  // range: WHERE k BETWEEN lo AND lo+width
+  double op50_us = 0, op99_us = 0;  // orderlimit: ORDER BY k LIMIT 10
+  size_t queries = 0;
+  size_t errors = 0;
+};
+
+ScanResult run_scanheavy(bool prevention, int clients, int rows, int cycles) {
+  septic::engine::Database db;
+  db.execute_admin(
+      "CREATE TABLE big (id INT PRIMARY KEY AUTO_INCREMENT, k INT, pad "
+      "TEXT)");
+  for (int i = 0; i < rows; i += 256) {
+    std::string sql = "INSERT INTO big (k, pad) VALUES ";
+    int n = std::min(256, rows - i);
+    for (int j = 0; j < n; ++j) {
+      if (j) sql += ", ";
+      sql += "(" + std::to_string(i + j) + ", 'p')";
+    }
+    db.execute_admin(sql);
+  }
+  db.execute_admin("CREATE INDEX idx_k ON big (k)");
+
+  // The statements the clients will send, byte-exact, so the digest cache
+  // can be warmed for every one of them.
+  const std::string pin_sql = "SELECT COUNT(*) FROM big WHERE id = 1";
+  const std::string order_sql = "SELECT id, k FROM big ORDER BY k LIMIT 10";
+  std::vector<std::string> point_sqls, range_sqls;
+  point_sqls.reserve(kScanPointKeys);
+  const int point_stride = std::max(1, rows / kScanPointKeys);
+  for (int j = 0; j < kScanPointKeys; ++j) {
+    point_sqls.push_back("SELECT id, pad FROM big WHERE k = " +
+                         std::to_string((j * point_stride) % rows));
+  }
+  range_sqls.reserve(kScanRangeLos);
+  const int lo_stride =
+      std::max(1, (rows - kScanRangeWidth - 1) / kScanRangeLos);
+  for (int j = 0; j < kScanRangeLos; ++j) {
+    int lo = j * lo_stride;
+    range_sqls.push_back("SELECT COUNT(*) FROM big WHERE k BETWEEN " +
+                         std::to_string(lo) + " AND " +
+                         std::to_string(lo + kScanRangeWidth));
+  }
+
+  std::shared_ptr<septic::core::Septic> septic;
+  if (prevention) {
+    septic = std::make_shared<septic::core::Septic>();
+    septic->set_log_processed_queries(false);
+    septic->set_mode(septic::core::Mode::kTraining);
+    db.set_interceptor(septic);
+    // Teach every statement shape the run will see — including the admin
+    // UPDATE and the transaction bracket — so the prevention-mode run
+    // never takes the incremental-learning path (a model-store mutation
+    // would invalidate every warmed digest entry mid-run).
+    septic::engine::Session trainer("bench-trainer");
+    db.execute(trainer, point_sqls[0]);
+    db.execute(trainer, range_sqls[0]);
+    db.execute(trainer, order_sql);
+    db.execute(trainer, pin_sql);
+    db.execute(trainer, "UPDATE big SET pad = 'warm' WHERE id = 1");
+    db.execute(trainer, "BEGIN");
+    db.execute(trainer, "COMMIT");
+    septic->set_mode(septic::core::Mode::kPrevention);
+  }
+
+  // Warm the digest cache for every measured byte string (two passes, as
+  // in run_one). Replay works inside transactions too — the entry caches
+  // parse + verdict, execution still runs under the session snapshot.
+  {
+    septic::engine::Session warm("bench-warm");
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::string& q : point_sqls) db.execute(warm, q);
+      for (const std::string& q : range_sqls) db.execute(warm, q);
+      db.execute(warm, order_sql);
+      db.execute(warm, pin_sql);
+    }
+  }
+
+  septic::net::ServerOptions opts;
+  opts.max_connections = 0;
+  auto server = std::make_unique<septic::net::Server>(db, 0, opts);
+  server->start();
+  uint16_t port = server->port();
+
+  std::atomic<int> pinned{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> point_lat(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> range_lat(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> order_lat(static_cast<size_t>(clients));
+  std::vector<size_t> errors(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      septic::net::Client client(port);
+      auto& plat = point_lat[static_cast<size_t>(c)];
+      auto& glat = range_lat[static_cast<size_t>(c)];
+      auto& olat = order_lat[static_cast<size_t>(c)];
+      plat.reserve(static_cast<size_t>(cycles));
+      glat.reserve(static_cast<size_t>(cycles));
+      olat.reserve(static_cast<size_t>(cycles));
+      client.query("BEGIN");
+      client.query(pin_sql);  // pin the snapshot before the admin UPDATE
+      pinned.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      auto timed = [&](const std::string& sql, std::vector<double>& lat) {
+        auto q0 = Clock::now();
+        try {
+          client.query(sql);
+        } catch (const std::exception&) {
+          ++errors[static_cast<size_t>(c)];
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                .count());
+      };
+      for (int i = 0; i < cycles; ++i) {
+        timed(point_sqls[static_cast<size_t>((c * 131 + i) % kScanPointKeys)],
+              plat);
+        timed(range_sqls[static_cast<size_t>((c * 37 + i) % kScanRangeLos)],
+              glat);
+        timed(order_sql, olat);
+      }
+      client.query("COMMIT");
+      client.quit();
+    });
+  }
+  while (pinned.load(std::memory_order_acquire) < clients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Chain an old version: every client snapshot now predates table
+  // history, which is exactly the case the covering index fixes.
+  db.execute_admin("UPDATE big SET pad = 'dirty' WHERE id = 1");
+  auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ScanResult r;
+  std::vector<double> points, ranges, orders;
+  for (auto& v : point_lat) points.insert(points.end(), v.begin(), v.end());
+  for (auto& v : range_lat) ranges.insert(ranges.end(), v.begin(), v.end());
+  for (auto& v : order_lat) orders.insert(orders.end(), v.begin(), v.end());
+  for (size_t e : errors) r.errors += e;
+  std::sort(points.begin(), points.end());
+  std::sort(ranges.begin(), ranges.end());
+  std::sort(orders.begin(), orders.end());
+  r.queries = points.size() + ranges.size() + orders.size();
+  r.qps = wall > 0 ? static_cast<double>(r.queries) / wall : 0;
+  r.pp50_us = percentile(points, 0.50);
+  r.pp99_us = percentile(points, 0.99);
+  r.gp50_us = percentile(ranges, 0.50);
+  r.gp99_us = percentile(ranges, 0.99);
+  r.op50_us = percentile(orders, 0.50);
+  r.op99_us = percentile(orders, 0.99);
   server->stop();
   return r;
 }
@@ -770,7 +969,7 @@ int main() {
   const int per_client = env_int("SEPTIC_BENCH_NET_QUERIES", 300);
   const std::vector<int> counts = client_counts();
   const char* json_path = std::getenv("SEPTIC_BENCH_JSON");
-  if (!json_path || !*json_path) json_path = "BENCH_PR9.json";
+  if (!json_path || !*json_path) json_path = "BENCH_PR10.json";
 
   std::printf("# PR6/PR7: multi-client closed-loop throughput over the net "
               "stack, point vs read-heavy (90/10) workloads\n");
@@ -909,6 +1108,48 @@ int main() {
                     r.qp50_us, r.qp99_us, r.execs, r.queries, r.errors,
                     static_cast<unsigned long long>(r.reverdicts),
                     i + 1 < counts.size() ? "," : "");
+      json += buf;
+    }
+    json += m == 0 ? "    },\n" : "    }\n";
+  }
+  json += "  }";
+
+  // --- PR10: scan-heavy sweep (runs on both engine generations) ---------
+  const int scan_rows = env_int("SEPTIC_BENCH_SCAN_ROWS", 100000);
+  const int scan_cycles = env_int("SEPTIC_BENCH_SCAN_CYCLES", 50);
+  std::vector<int> scan_counts = parse_counts("SEPTIC_BENCH_SCAN_CLIENTS",
+                                              "1,4");
+  std::printf("\n# PR10: scan-heavy, pinned-snapshot point/range/order-limit "
+              "(rows=%d, cycles/client=%d)\n",
+              scan_rows, scan_cycles);
+  std::printf("%-12s %8s %10s %10s %10s %10s %10s %10s %10s %8s\n", "config",
+              "clients", "qps", "pp50_us", "pp99_us", "gp50_us", "gp99_us",
+              "op50_us", "op99_us", "errors");
+  const bool scan_modes[] = {false, true};
+  json += ",\n  \"scanheavy\": {\n";
+  json += "    \"rows\": " + std::to_string(scan_rows) + ",\n";
+  json += "    \"cycles_per_client\": " + std::to_string(scan_cycles) + ",\n";
+  for (size_t m = 0; m < 2; ++m) {
+    const char* name = scan_modes[m] ? "prevention" : "off";
+    json += std::string("    \"") + name + "\": {\n";
+    for (size_t i = 0; i < scan_counts.size(); ++i) {
+      int n = scan_counts[i];
+      ScanResult r = run_scanheavy(scan_modes[m], n, scan_rows, scan_cycles);
+      std::printf(
+          "%-12s %8d %10.0f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %8zu\n",
+          name, n, r.qps, r.pp50_us, r.pp99_us, r.gp50_us, r.gp99_us,
+          r.op50_us, r.op99_us, r.errors);
+      std::fflush(stdout);
+      char buf[384];
+      std::snprintf(buf, sizeof(buf),
+                    "      \"%d\": {\"qps\": %.1f, "
+                    "\"pp50_us\": %.1f, \"pp99_us\": %.1f, "
+                    "\"gp50_us\": %.1f, \"gp99_us\": %.1f, "
+                    "\"op50_us\": %.1f, \"op99_us\": %.1f, "
+                    "\"queries\": %zu, \"errors\": %zu}%s\n",
+                    n, r.qps, r.pp50_us, r.pp99_us, r.gp50_us, r.gp99_us,
+                    r.op50_us, r.op99_us, r.queries, r.errors,
+                    i + 1 < scan_counts.size() ? "," : "");
       json += buf;
     }
     json += m == 0 ? "    },\n" : "    }\n";

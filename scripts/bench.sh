@@ -1,21 +1,21 @@
 #!/usr/bin/env bash
 # Build the release-nofailpoints preset (production shape: full
 # optimization, zero failpoint probes) and run the multi-client
-# throughput bench over the real net stack, writing BENCH_PR9.json at the
-# repository root: the PR6 workload-mix sweep (off/training/prevention x
-# point/readheavy), the PR7 durability sweep (off/relaxed/full x client
-# count), and the PR9 front-end sweeps — prepared EXEC vs warm QUERY,
-# pipelined batches, and the idle-connection hold.
+# throughput bench over the real net stack, writing BENCH_PR10.json at
+# the repository root: the PR6 workload-mix sweep (off/training/prevention
+# x point/readheavy), the PR7 durability sweep (off/relaxed/full x client
+# count), the PR9 front-end sweeps — prepared EXEC vs warm QUERY,
+# pipelined batches, and the idle-connection hold — and the PR10
+# scan-heavy sweep (pinned-snapshot point/range/order-limit over a 100k
+# row indexed table, off vs prevention).
 #
 # The pre-change baseline is measured for real, not copied from an old
 # JSON: the current bench source is dropped into a detached worktree of
-# the last pre-epoll commit (so both sides run the byte-identical
-# workload), built there against the thread-per-connection server and the
-# per-EXEC-verdict prepared path, and its numbers are merged into
-# BENCH_PR9.json under "baseline" (the pipeline sweep compiles itself out
-# there — the old client cannot pipeline). On the 1-core bench container
-# the meaningful deltas are p50/p99 and the idle thread/RSS columns, not
-# qps.
+# the last pre-planner commit (so both sides run the byte-identical
+# workload), built there against the hash equality-only secondary indexes
+# with no planner and no ordered access paths, and its numbers are merged
+# into BENCH_PR10.json under "baseline". On the 1-core bench container
+# the meaningful deltas are p50/p99, not qps.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -27,15 +27,18 @@
 #   SEPTIC_BENCH_PIPE_QUERIES  queries per batch size, pipeline sweep (default 512)
 #   SEPTIC_BENCH_IDLE_CONNS    idle connections to hold (default 1000)
 #   SEPTIC_BENCH_NET_CLIENTS   comma list of client counts (default 1,2,4,8,16)
+#   SEPTIC_BENCH_SCAN_ROWS     scan-heavy table size (default 100000)
+#   SEPTIC_BENCH_SCAN_CYCLES   point+range+orderlimit cycles per client (default 50)
+#   SEPTIC_BENCH_SCAN_CLIENTS  comma list for the scan-heavy sweep (default 1,4)
 #   SEPTIC_BENCH_SKIP_BASELINE set to 1 to skip the worktree baseline run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 jobs=$(nproc 2>/dev/null || echo 4)
-# Last commit before the epoll front end: thread-per-connection server,
-# prepared statements re-verdicted on every EXEC.
-baseline_commit="463d8f1"
+# Last commit before the ordered-index planner: hash secondary indexes
+# (equality only, current row images only), no cost-based access paths.
+baseline_commit="de201c7"
 baseline_dir=".bench-baseline"
 
 cmake --preset release-nofailpoints
@@ -52,10 +55,10 @@ if [[ "${SEPTIC_BENCH_SKIP_BASELINE:-0}" != "1" ]]; then
     # (pinned to that PR's baseline commit) — re-pin it, don't trust it.
     git -C "${baseline_dir}" checkout --force --detach "${baseline_commit}"
   fi
-  # Same workload on both sides: the PR9 bench source replaces the
-  # worktree's own (the pipeline sweep and the re-verdict counter are
-  # gated on __has_include of engine/prepared.h, so the file compiles
-  # against the pre-epoll API).
+  # Same workload on both sides: the current bench source replaces the
+  # worktree's own (feature-gated sweeps compile themselves out against
+  # older APIs via __has_include; the scan-heavy sweep needs only CREATE
+  # INDEX + transactions, which the baseline already has).
   cp bench/throughput_concurrent.cpp "${baseline_dir}/bench/"
   (
     cd "${baseline_dir}"
@@ -73,11 +76,12 @@ with open(base_path) as f:
     base = json.load(f)
 cur["baseline"] = {
     "commit": commit,
-    "note": "pre-epoll server (thread per connection), prepared EXEC "
-            "re-verdicted per call, identical workload",
+    "note": "pre-planner engine: hash secondary indexes, equality only, "
+            "current row images only; identical workload",
     "configs": base.get("configs", {}),
     "durability": base.get("durability", {}),
     "prepared": base.get("prepared", {}),
+    "scanheavy": base.get("scanheavy", {}),
     "idle": base.get("idle", {}),
 }
 with open(out_path, "w") as f:

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "engine/error.h"
 #include "engine/eval.h"
+#include "engine/planner.h"
 
 namespace septic::engine {
 
@@ -233,14 +234,51 @@ class TableView {
     }
   }
 
+  /// True when the statement's transaction has buffered writes against
+  /// this table — index paths must degrade to a scan (the overlay's
+  /// inserts/updates/deletes are invisible to the table's indexes).
+  bool overlay_active() const { return w_ != nullptr && !w_->empty(); }
+
   /// Index-assisted equality candidates, or nullopt when only a full scan
-  /// answers correctly (write-set overlay present, or the table carries
-  /// old versions the indexes don't cover). Extra candidates are fine —
-  /// the caller re-evaluates WHERE on each.
+  /// answers correctly (write-set overlay present, or a pure PK probe
+  /// into version history the PK hash doesn't cover). Extra candidates
+  /// are fine — the caller re-evaluates WHERE on each.
   std::optional<std::vector<std::pair<size_t, Row>>> index_candidates(
       std::string_view column, const sql::Value& key) const {
-    if (w_ != nullptr && !w_->empty()) return std::nullopt;
+    if (overlay_active()) return std::nullopt;
     return t_.index_eq_snapshot(column, key, ctx_.snapshot_ts);
+  }
+
+  /// Stream candidate rows for `plan`. Point and range paths yield a
+  /// superset of the WHERE matches (callers re-evaluate); a scan plan, an
+  /// active overlay, or a declined PK probe degrades to scan(). Returns
+  /// true iff rows were streamed in the plan's index order (callers may
+  /// then skip sorting). Legacy-plane statements read the same snapshot
+  /// APIs at snapshot_ts == txn::kTsMax, where every live row is visible.
+  bool scan_plan(const AccessPlan& plan,
+                 const std::function<bool(size_t, const Row&)>& fn) const {
+    using Kind = AccessPlan::Kind;
+    if (plan.kind == Kind::kFullScan || overlay_active()) {
+      scan(fn);
+      return false;
+    }
+    if (plan.kind == Kind::kPkPoint || plan.kind == Kind::kIndexPoint) {
+      auto candidates = index_candidates(plan.column, *plan.eq_value);
+      if (!candidates) {
+        scan(fn);
+        return false;
+      }
+      for (auto& [slot, row] : *candidates) {
+        if (!fn(slot, row)) break;
+      }
+      return false;  // point streams carry no meaningful order
+    }
+    t_.index_range_snapshot(
+        plan.column, plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
+        plan.desc,
+        /*include_nulls=*/plan.kind == Kind::kIndexOrder, ctx_.snapshot_ts,
+        fn);
+    return true;
   }
 
   /// The image of a slot as the statement sees it (overlay-aware).
@@ -303,35 +341,9 @@ void finalize_txn_image(const Table& t, Row& row) {
   }
 }
 
-/// Access-path selection: for a single-table SELECT whose WHERE is (or
-/// conjunctively contains at top level) `col = literal` with an index on
-/// `col` (or the primary key), fetch candidate slots from the index
-/// instead of scanning. The WHERE clause is still evaluated on every
-/// candidate, so this is purely an optimization, never a semantic change.
-const sql::Expr* find_indexable_equality(const sql::Expr& e,
-                                         const Table& table) {
-  if (e.kind == sql::ExprKind::kBinary && e.op == "AND") {
-    if (const sql::Expr* hit = find_indexable_equality(*e.children[0], table)) {
-      return hit;
-    }
-    return find_indexable_equality(*e.children[1], table);
-  }
-  if (e.kind != sql::ExprKind::kBinary || e.op != "=") return nullptr;
-  const sql::Expr* col = e.children[0].get();
-  const sql::Expr* lit = e.children[1].get();
-  if (col->kind != sql::ExprKind::kColumn) std::swap(col, lit);
-  if (col->kind != sql::ExprKind::kColumn ||
-      lit->kind != sql::ExprKind::kLiteral) {
-    return nullptr;
-  }
-  int idx = table.schema().column_index(col->column);
-  if (idx < 0) return nullptr;
-  bool is_pk = table.schema().primary_key_index() == idx;
-  if (is_pk || table.has_index_on(col->column)) return &e;
-  return nullptr;
-}
-
 /// Produce the cross/joined row set of FROM + JOINs with ON filtering.
+/// Single-table join-free SELECTs don't come here — execute_select plans
+/// an access path and streams the table directly.
 std::vector<Row> materialize_joined_rows(ExecContext& ctx,
                                          const sql::SelectStmt& sel,
                                          const NameScope& scope) {
@@ -340,44 +352,6 @@ std::vector<Row> materialize_joined_rows(ExecContext& ctx,
   if (sel.from.empty()) {
     rows.emplace_back();  // one empty row for table-less SELECT
     return rows;
-  }
-
-  // Single table, no joins: try an index path.
-  if (sel.from.size() == 1 && sel.joins.empty() && sel.where != nullptr) {
-    const Table& t = catalog.require(sel.from[0].name);
-    if (const sql::Expr* eq = find_indexable_equality(*sel.where, t)) {
-      const sql::Expr* col = eq->children[0].get();
-      const sql::Expr* lit = eq->children[1].get();
-      if (col->kind != sql::ExprKind::kColumn) std::swap(col, lit);
-      int col_idx = t.schema().column_index(col->column);
-      if (!ctx.versioned) {
-        std::vector<size_t> slots;
-        if (t.schema().primary_key_index() == col_idx) {
-          int64_t slot = t.find_by_pk(lit->literal);
-          if (slot >= 0) slots.push_back(static_cast<size_t>(slot));
-        } else {
-          slots = t.index_lookup(col->column, lit->literal);
-        }
-        rows.reserve(slots.size());
-        for (size_t slot : slots) {
-          Row r = t.row(slot);
-          r.resize(scope.width());
-          rows.push_back(std::move(r));
-        }
-        return rows;
-      }
-      TableView view(ctx, t);
-      if (auto candidates =
-              view.index_candidates(col->column, lit->literal)) {
-        rows.reserve(candidates->size());
-        for (auto& [slot, r] : *candidates) {
-          r.resize(scope.width());
-          rows.push_back(std::move(r));
-        }
-        return rows;
-      }
-      // No index answer (overlay or history present): fall through to scan.
-    }
   }
   // Seed with first table. Tables are scanned strictly one at a time
   // (each scan's prefixes are fully materialized before the next table is
@@ -632,17 +606,56 @@ void materialize_subqueries(sql::Expr& e, ExecContext& ctx) {
 
 ResultSet execute_select(ExecContext& ctx, const sql::SelectStmt& sel) {
   NameScope scope = build_select_scope(ctx.catalog, sel);
-  std::vector<Row> rows = materialize_joined_rows(ctx, sel, scope);
 
-  // WHERE filter (IN-subqueries materialized into a private copy first).
-  if (sel.where) {
-    const sql::Expr* where = sel.where.get();
-    sql::ExprPtr materialized;
-    if (contains_subquery(*sel.where)) {
-      materialized = sel.where->clone();
-      materialize_subqueries(*materialized, ctx);
-      where = materialized.get();
+  // IN-subqueries in WHERE are materialized into a private copy up front
+  // (they are uncorrelated, so once per statement is exact).
+  const sql::Expr* where = sel.where.get();
+  sql::ExprPtr materialized;
+  if (where != nullptr && contains_subquery(*where)) {
+    materialized = sel.where->clone();
+    materialize_subqueries(*materialized, ctx);
+    where = materialized.get();
+  }
+
+  std::vector<Row> rows;
+  bool where_applied = false;
+  bool order_applied = false;
+  if (sel.from.size() == 1 && sel.joins.empty()) {
+    // Single table: plan an access path and stream it, evaluating WHERE
+    // inline (point/range candidates are supersets; WHERE decides).
+    const Table& t = ctx.catalog.require(sel.from[0].name);
+    AccessPlan plan = plan_select_access(t, sel);
+    TableView view(ctx, t);
+    // Stopping early at offset+limit matches is only sound when the rows
+    // already arrive in final order. Without ORDER BY any order is final.
+    // With ORDER BY the planner only pushes the limit alongside order
+    // pushdown, which survives unless the stream degrades to a scan — and
+    // range/order streams degrade only under a write-set overlay.
+    const size_t needed =
+        plan.limit_pushdown && (sel.order_by.empty() || !view.overlay_active())
+            ? plan.stop_after
+            : SIZE_MAX;
+    bool ordered = false;
+    if (needed > 0) {
+      ordered = view.scan_plan(plan, [&](size_t, const Row& r) {
+        Row padded = r;
+        padded.resize(scope.width());
+        if (where != nullptr) {
+          Value v = eval_expr(*where, &scope, &padded);
+          if (v.is_null() || !v.truthy()) return true;
+        }
+        rows.push_back(std::move(padded));
+        return rows.size() < needed;
+      });
     }
+    where_applied = true;
+    order_applied = plan.order_pushdown && ordered;
+  } else {
+    rows = materialize_joined_rows(ctx, sel, scope);
+  }
+
+  // WHERE filter for the joined/table-less paths.
+  if (!where_applied && where != nullptr) {
     std::vector<Row> kept;
     kept.reserve(rows.size());
     for (auto& r : rows) {
@@ -662,7 +675,7 @@ ResultSet execute_select(ExecContext& ctx, const sql::SelectStmt& sel) {
 
   ResultSet out = has_agg ? project_aggregate(sel, scope, rows)
                           : project_plain(sel, scope, rows);
-  order_result(sel, scope, rows, out);
+  if (!order_applied) order_result(sel, scope, rows, out);
 
   // LIMIT/OFFSET.
   if (sel.offset) {
@@ -829,9 +842,11 @@ ResultSet execute_update(ExecContext& ctx, const sql::UpdateStmt& up) {
 
   TableView view(ctx, table);
   // Collect targets first (with their images: the view's rows are copies
-  // valid only during the scan callback), then mutate.
+  // valid only during the scan callback), then mutate. The planner may
+  // stream candidates from an index; WHERE still decides per row.
+  AccessPlan plan = plan_where_access(table, up.where.get());
   std::vector<std::pair<size_t, Row>> matched;
-  view.scan([&](size_t slot, const Row& row) {
+  view.scan_plan(plan, [&](size_t slot, const Row& row) {
     if (up.where) {
       Value v = eval_expr(*up.where, &scope, &row);
       if (v.is_null() || !v.truthy()) return true;
@@ -892,8 +907,9 @@ ResultSet execute_delete(ExecContext& ctx, const sql::DeleteStmt& del) {
   scope.add(del.table, &table.schema(), 0);
 
   TableView view(ctx, table);
+  AccessPlan plan = plan_where_access(table, del.where.get());
   std::vector<size_t> slots;
-  view.scan([&](size_t slot, const Row& row) {
+  view.scan_plan(plan, [&](size_t slot, const Row& row) {
     if (del.where) {
       Value v = eval_expr(*del.where, &scope, &row);
       if (v.is_null() || !v.truthy()) return true;
@@ -1126,36 +1142,35 @@ ResultSet execute_statement(ExecContext& ctx, const sql::Statement& stmt) {
     case sql::StatementKind::kExplain: {
       const auto& sel = *std::get<sql::ExplainStmt>(stmt).select;
       ResultSet out;
-      out.columns = {"table", "access_path", "key"};
+      out.columns = {"table", "access_path", "index", "key", "pushdown"};
       if (sel.from.empty()) {
         out.rows.push_back({Value(std::string("<none>")),
-                            Value(std::string("const")), Value::null()});
+                            Value(std::string("const")), Value::null(),
+                            Value::null(), Value(std::string())});
         return out;
       }
       for (size_t i = 0; i < sel.from.size(); ++i) {
         std::string path = "scan";
+        sql::Value index = Value::null();
         sql::Value key = Value::null();
-        if (i == 0 && sel.from.size() == 1 && sel.joins.empty() &&
-            sel.where != nullptr) {
+        std::string pushdown;
+        if (i == 0 && sel.from.size() == 1 && sel.joins.empty()) {
           const Table& t = catalog.require(sel.from[0].name);
-          if (const sql::Expr* eq = find_indexable_equality(*sel.where, t)) {
-            const sql::Expr* col = eq->children[0].get();
-            if (col->kind != sql::ExprKind::kColumn) {
-              col = eq->children[1].get();
-            }
-            int col_idx = t.schema().column_index(col->column);
-            path = t.schema().primary_key_index() == col_idx
-                       ? "const (primary key)"
-                       : "ref (secondary index)";
-            key = Value(col->column);
+          AccessPlan plan = plan_select_access(t, sel);
+          path = access_path_name(plan);
+          pushdown = pushdown_flags(plan);
+          if (plan.kind != AccessPlan::Kind::kFullScan) {
+            key = Value(plan.column);
           }
+          if (!plan.index_name.empty()) index = Value(plan.index_name);
         }
-        out.rows.push_back({Value(sel.from[i].name), Value(path), key});
+        out.rows.push_back({Value(sel.from[i].name), Value(path), index, key,
+                            Value(pushdown)});
       }
       for (const auto& j : sel.joins) {
         out.rows.push_back({Value(j.table.name),
-                            Value(std::string("scan (join)")),
-                            Value::null()});
+                            Value(std::string("scan (join)")), Value::null(),
+                            Value::null(), Value(std::string())});
       }
       return out;
     }

@@ -1,0 +1,305 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/eval.h"
+
+namespace septic::engine {
+namespace {
+
+void collect_conjuncts(const sql::Expr& e,
+                       std::vector<const sql::Expr*>& out) {
+  if (e.kind == sql::ExprKind::kBinary && e.op == "AND") {
+    collect_conjuncts(*e.children[0], out);
+    collect_conjuncts(*e.children[1], out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+/// `column op literal` with the column normalized to the left (the
+/// operator flips when the source had the literal first).
+struct SargRef {
+  const sql::Expr* col = nullptr;
+  const sql::Expr* lit = nullptr;
+  std::string op;
+};
+
+std::optional<SargRef> classify_comparison(const sql::Expr& e) {
+  if (e.kind != sql::ExprKind::kBinary) return std::nullopt;
+  if (e.op != "=" && e.op != "<" && e.op != "<=" && e.op != ">" &&
+      e.op != ">=") {
+    return std::nullopt;
+  }
+  const sql::Expr* l = e.children[0].get();
+  const sql::Expr* r = e.children[1].get();
+  std::string op = e.op;
+  if (l->kind != sql::ExprKind::kColumn) {
+    std::swap(l, r);
+    if (op == "<") op = ">";
+    else if (op == "<=") op = ">=";
+    else if (op == ">") op = "<";
+    else if (op == ">=") op = "<=";
+  }
+  if (l->kind != sql::ExprKind::kColumn ||
+      r->kind != sql::ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  return SargRef{l, r, op};
+}
+
+/// Can an index on `col` answer for this literal with eval's comparison
+/// semantics? TEXT indexes sort case-folded strings lexicographically,
+/// but eval compares numerically the moment the literal is numeric — so
+/// TEXT columns demand a string literal. Numeric columns accept anything:
+/// the bound is rewritten into the numeric domain eval compares in.
+bool sarg_compatible(const storage::TableSchema& schema, size_t col,
+                     const sql::Value& lit) {
+  if (lit.is_null()) return false;  // comparisons with NULL match nothing
+  if (schema.column(col).type == storage::ColumnType::kText) {
+    return lit.type() == sql::ValueType::kString;
+  }
+  return true;
+}
+
+/// The bound value in eval's comparison domain: numeric columns compare
+/// via coerce_double on both sides (Value::compare), so a numeric-column
+/// bound is exactly the literal's double coercion — inclusivity carries
+/// over verbatim. TEXT bounds stay strings (folded at probe time).
+sql::Value range_bound(const storage::TableSchema& schema, size_t col,
+                       const sql::Value& lit) {
+  if (schema.column(col).type == storage::ColumnType::kText) return lit;
+  return sql::Value(lit.coerce_double());
+}
+
+struct Bound {
+  sql::Value v;
+  bool inclusive = false;
+};
+
+void merge_lo(std::optional<Bound>& cur, sql::Value v, bool inclusive) {
+  if (!cur || v.compare(cur->v) > 0 ||
+      (v.compare(cur->v) == 0 && !inclusive)) {
+    cur = Bound{std::move(v), inclusive};
+  }
+}
+
+void merge_hi(std::optional<Bound>& cur, sql::Value v, bool inclusive) {
+  if (!cur || v.compare(cur->v) < 0 ||
+      (v.compare(cur->v) == 0 && !inclusive)) {
+    cur = Bound{std::move(v), inclusive};
+  }
+}
+
+struct RangeAcc {
+  std::optional<Bound> lo, hi;
+};
+
+/// Core planning over WHERE conjuncts; order/limit handling layers on top
+/// in plan_select_access.
+AccessPlan plan_conjuncts(const storage::Table& t, const sql::Expr* where) {
+  const storage::TableSchema& schema = t.schema();
+  const double n = std::max<double>(1.0, static_cast<double>(t.row_count()));
+  AccessPlan best;
+  best.kind = AccessPlan::Kind::kFullScan;
+  best.est_rows = n;
+  best.scan_rows = n;
+  double best_cost = n;
+  if (where == nullptr) return best;
+
+  std::vector<const sql::Expr*> conjuncts;
+  collect_conjuncts(*where, conjuncts);
+
+  auto consider = [&](AccessPlan cand, double cost) {
+    if (cost < best_cost) {
+      cand.est_rows = cost;
+      cand.scan_rows = n;
+      best = std::move(cand);
+      best_cost = cost;
+    }
+  };
+
+  std::map<std::string, RangeAcc> ranges;  // indexed column -> bounds
+  auto fold_range = [&](const std::string& column, const sql::Value& lit,
+                        std::string_view op) {
+    int ci = schema.column_index(column);
+    if (ci < 0 || !t.secondary_index_on(column)) return;
+    if (!sarg_compatible(schema, static_cast<size_t>(ci), lit)) return;
+    sql::Value bound = range_bound(schema, static_cast<size_t>(ci), lit);
+    RangeAcc& acc = ranges[column];
+    if (op == ">") merge_lo(acc.lo, std::move(bound), false);
+    else if (op == ">=") merge_lo(acc.lo, std::move(bound), true);
+    else if (op == "<") merge_hi(acc.hi, std::move(bound), false);
+    else if (op == "<=") merge_hi(acc.hi, std::move(bound), true);
+  };
+
+  for (const sql::Expr* c : conjuncts) {
+    if (c->kind == sql::ExprKind::kBetween && !c->negated &&
+        c->children.size() == 3 &&
+        c->children[0]->kind == sql::ExprKind::kColumn &&
+        c->children[1]->kind == sql::ExprKind::kLiteral &&
+        c->children[2]->kind == sql::ExprKind::kLiteral) {
+      const std::string& column = c->children[0]->column;
+      fold_range(column, c->children[1]->literal, ">=");
+      fold_range(column, c->children[2]->literal, "<=");
+      continue;
+    }
+    auto sarg = classify_comparison(*c);
+    if (!sarg) continue;
+    const std::string& column = sarg->col->column;
+    int ci = schema.column_index(column);
+    if (ci < 0) continue;
+    const sql::Value& lit = sarg->lit->literal;
+    if (!sarg_compatible(schema, static_cast<size_t>(ci), lit)) continue;
+    if (sarg->op == "=") {
+      if (schema.primary_key_index() == ci) {
+        AccessPlan p;
+        p.kind = AccessPlan::Kind::kPkPoint;
+        p.column = column;
+        p.eq_value = lit;
+        consider(std::move(p), 1.0);
+      }
+      if (auto info = t.secondary_index_on(column)) {
+        AccessPlan p;
+        p.kind = AccessPlan::Kind::kIndexPoint;
+        p.index_name = info->name;
+        p.column = column;
+        p.eq_value = lit;
+        double bucket = static_cast<double>(info->entries) /
+                        std::max<double>(1.0,
+                                         static_cast<double>(
+                                             info->distinct_keys));
+        consider(std::move(p), std::max(1.0, bucket));
+      }
+      continue;
+    }
+    fold_range(column, lit, sarg->op);
+  }
+
+  for (auto& [column, acc] : ranges) {
+    auto info = t.secondary_index_on(column);
+    if (!info) continue;
+    // No histograms: a bounded-both-sides range is guessed at N/4, a
+    // half-open one at N/2. WHERE re-evaluation makes a bad guess a
+    // performance bug only.
+    double cost = acc.lo && acc.hi ? n / 4.0 : n / 2.0;
+    AccessPlan p;
+    p.kind = AccessPlan::Kind::kIndexRange;
+    p.index_name = info->name;
+    p.column = column;
+    if (acc.lo) {
+      p.lo = acc.lo->v;
+      p.lo_inclusive = acc.lo->inclusive;
+    }
+    if (acc.hi) {
+      p.hi = acc.hi->v;
+      p.hi_inclusive = acc.hi->inclusive;
+    }
+    consider(std::move(p), std::max(1.0, cost));
+  }
+  return best;
+}
+
+/// ORDER BY pushdown eligibility: exactly one key, a plain column of this
+/// table, not shadowed by a select-item alias (order_result would sort by
+/// the aliased output column instead).
+std::optional<std::pair<std::string, bool>> pushable_order_key(
+    const sql::SelectStmt& sel, const storage::Table& t,
+    const std::string& binding) {
+  if (sel.order_by.size() != 1) return std::nullopt;
+  const sql::OrderKey& key = sel.order_by[0];
+  const sql::Expr& e = *key.expr;
+  if (e.kind != sql::ExprKind::kColumn) return std::nullopt;
+  if (!e.table.empty() && !common::iequals(e.table, binding)) {
+    return std::nullopt;
+  }
+  if (t.schema().column_index(e.column) < 0) return std::nullopt;
+  for (const auto& it : sel.items) {
+    if (!it.star && common::iequals(it.alias, e.column)) return std::nullopt;
+  }
+  return std::make_pair(e.column, key.desc);
+}
+
+}  // namespace
+
+AccessPlan plan_select_access(const storage::Table& t,
+                              const sql::SelectStmt& sel) {
+  AccessPlan plan = plan_conjuncts(t, sel.where.get());
+
+  bool has_agg = !sel.group_by.empty();
+  for (const auto& it : sel.items) {
+    if (!it.star && contains_aggregate(*it.expr)) has_agg = true;
+  }
+  // Aggregates/DISTINCT consume the whole row stream before producing
+  // output — neither pushdown applies (index predicate paths still do).
+  const bool pushdown_eligible = !has_agg && !sel.distinct;
+
+  const std::string binding =
+      sel.from.size() == 1
+          ? (sel.from[0].alias.empty() ? sel.from[0].name : sel.from[0].alias)
+          : std::string();
+  auto order = pushable_order_key(sel, t, binding);
+
+  if (order && pushdown_eligible) {
+    if (plan.kind == AccessPlan::Kind::kIndexRange &&
+        common::iequals(plan.column, order->first)) {
+      plan.order_pushdown = true;
+      plan.desc = order->second;
+    } else if (plan.kind == AccessPlan::Kind::kFullScan &&
+               t.secondary_index_on(order->first)) {
+      // Ordered walk costs the same row visits as a scan but replaces the
+      // sort; with a LIMIT it stops early and beats the scan outright.
+      auto info = t.secondary_index_on(order->first);
+      plan.kind = AccessPlan::Kind::kIndexOrder;
+      plan.index_name = info->name;
+      plan.column = order->first;
+      plan.order_pushdown = true;
+      plan.desc = order->second;
+      if (sel.limit) {
+        size_t stop = static_cast<size_t>(std::max<int64_t>(0, *sel.limit)) +
+                      static_cast<size_t>(
+                          std::max<int64_t>(0, sel.offset.value_or(0)));
+        plan.est_rows = std::min(plan.scan_rows, static_cast<double>(stop));
+      }
+    }
+  }
+
+  if (pushdown_eligible && sel.limit &&
+      (sel.order_by.empty() || plan.order_pushdown)) {
+    plan.limit_pushdown = true;
+    plan.stop_after =
+        static_cast<size_t>(std::max<int64_t>(0, *sel.limit)) +
+        static_cast<size_t>(std::max<int64_t>(0, sel.offset.value_or(0)));
+  }
+  return plan;
+}
+
+AccessPlan plan_where_access(const storage::Table& t, const sql::Expr* where) {
+  return plan_conjuncts(t, where);
+}
+
+std::string access_path_name(const AccessPlan& plan) {
+  switch (plan.kind) {
+    case AccessPlan::Kind::kFullScan: return "scan";
+    case AccessPlan::Kind::kPkPoint: return "const (primary key)";
+    case AccessPlan::Kind::kIndexPoint: return "ref (secondary index)";
+    case AccessPlan::Kind::kIndexRange: return "range (secondary index)";
+    case AccessPlan::Kind::kIndexOrder: return "index (secondary index)";
+  }
+  return "scan";
+}
+
+std::string pushdown_flags(const AccessPlan& plan) {
+  std::string out;
+  if (plan.order_pushdown) out = "order";
+  if (plan.limit_pushdown) {
+    if (!out.empty()) out += ',';
+    out += "limit";
+  }
+  return out;
+}
+
+}  // namespace septic::engine

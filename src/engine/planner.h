@@ -1,0 +1,84 @@
+// Cost-aware access-path selection for single-table statements.
+//
+// The planner is a pure function of (table statistics, statement shape):
+// it walks the top-level AND conjuncts of WHERE looking for sargable
+// predicates against the primary key or an ordered secondary index
+// (`=`, `<`, `<=`, `>`, `>=`, non-negated BETWEEN with literal bounds),
+// scores each candidate with a deliberately simple cost model built from
+// two statistics (table row count, index distinct-key count), and picks
+// the cheapest. For ORDER BY on an indexed column it can additionally
+// push the ordering (walk the index instead of sorting) and the LIMIT
+// (stop streaming after offset+limit matching rows).
+//
+// Every index path yields a *superset* of the matching rows — the
+// executor re-evaluates WHERE on each candidate — so a planner mistake
+// costs performance, never correctness. The executor may also degrade a
+// chosen index path back to a full scan at runtime (transaction write-set
+// overlay present, or a PK probe into version history the PK hash cannot
+// see); plans carry enough information for that downgrade to stay
+// correct.
+//
+// What the planner does NOT do: join ordering or per-join access paths
+// (joins always nested-loop scan), multi-column indexes, histograms, OR
+// optimization, expression indexes, or cost-based rewrites. See
+// DESIGN.md's planner section.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sqlcore/ast.h"
+#include "storage/table.h"
+
+namespace septic::engine {
+
+/// The chosen access path for one table.
+struct AccessPlan {
+  enum class Kind {
+    kFullScan,    // visit every visible row
+    kPkPoint,     // primary-key hash probe
+    kIndexPoint,  // secondary-index equality probe
+    kIndexRange,  // ordered secondary-index range scan
+    kIndexOrder,  // full ordered walk of a secondary index (ORDER BY)
+  };
+  Kind kind = Kind::kFullScan;
+  std::string index_name;  // kIndexPoint/kIndexRange/kIndexOrder
+  std::string column;      // key column (also set for kPkPoint)
+
+  /// Point probes: the literal to look up.
+  std::optional<sql::Value> eq_value;
+
+  /// kIndexRange bounds in eval's comparison domain (numeric columns get
+  /// the literal's numeric coercion — exactly what eval compares with —
+  /// so inclusivity is preserved verbatim).
+  std::optional<sql::Value> lo, hi;
+  bool lo_inclusive = false;
+  bool hi_inclusive = false;
+
+  bool desc = false;            // walk the index high-to-low
+  bool order_pushdown = false;  // stream order satisfies ORDER BY: skip sort
+  bool limit_pushdown = false;  // stop streaming after stop_after matches
+  size_t stop_after = 0;        // offset+limit rows, when limit_pushdown
+
+  double est_rows = 0;   // cost estimate of the chosen path
+  double scan_rows = 0;  // full-scan cost it was compared against
+};
+
+/// Plan the access path for a single-table, join-free SELECT. (Callers
+/// with joins or an empty FROM keep the nested-loop scan path.)
+AccessPlan plan_select_access(const storage::Table& table,
+                              const sql::SelectStmt& sel);
+
+/// Plan for UPDATE/DELETE: WHERE conjuncts only. No order/limit pushdown —
+/// their LIMIT-without-ORDER semantics ("any N matching rows") are already
+/// honored by the executor's collect-then-mutate loop.
+AccessPlan plan_where_access(const storage::Table& table,
+                             const sql::Expr* where);
+
+/// EXPLAIN rendering: the access_path cell ("scan", "const (primary
+/// key)", "ref (secondary index)", "range (secondary index)", "index
+/// (secondary index)") and the pushdown flag list ("order,limit" / "").
+std::string access_path_name(const AccessPlan& plan);
+std::string pushdown_flags(const AccessPlan& plan);
+
+}  // namespace septic::engine

@@ -77,12 +77,6 @@ void QmStore::add_loaded(std::string id, QueryModel qm) {
   bump_generation();
 }
 
-std::vector<QueryModel> QmStore::lookup(const std::string& id) const {
-  ModelSet set = snapshot(id);
-  if (!set) return {};
-  return *set;
-}
-
 QmStore::ModelSet QmStore::snapshot(const std::string& id) const {
   const Shard& s = shard_for(id);
   std::shared_lock lock(s.mu);

@@ -76,12 +76,6 @@ class QmStore {
   /// when the model was new.
   bool add(const std::string& id, const QueryModel& qm);
 
-  /// Models learned for an ID (empty vector when unknown). Copies the
-  /// whole set under the shard lock — every caller has been migrated to
-  /// the copy-free reads below, and new code must use them too.
-  [[deprecated("copies the model set; use lookup_apply() or snapshot()")]]
-  std::vector<QueryModel> lookup(const std::string& id) const;
-
   /// Copy-free read: the ID's current model set pinned by refcount
   /// (nullptr when unknown). The set is immutable — concurrent training
   /// replaces the vector rather than mutating it, so the caller may read

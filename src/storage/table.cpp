@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <mutex>
+#include <tuple>
 
 #include "common/string_util.h"
 
@@ -10,6 +11,87 @@ namespace septic::storage {
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
 
 std::string Table::pk_key(const sql::Value& v) const { return v.repr(); }
+
+bool Table::IndexKeyLess::operator()(const sql::Value& a,
+                                     const sql::Value& b) const {
+  const bool an = a.is_null();
+  const bool bn = b.is_null();
+  if (an || bn) return an && !bn;  // NULL sorts before every value
+  if (a.type() == sql::ValueType::kString &&
+      b.type() == sql::ValueType::kString) {
+    // Keys are stored pre-folded (index_key_value), so raw byte order is
+    // the case-insensitive order eval's comparisons use.
+    return a.as_string() < b.as_string();
+  }
+  return a.compare(b) < 0;
+}
+
+sql::Value Table::index_key_value(size_t column, const sql::Value& v) const {
+  // Keys must agree with eval's comparison semantics: TEXT compares
+  // ASCII-case-insensitively, so text keys are folded before storing.
+  if (schema_.column(column).type == ColumnType::kText && !v.is_null()) {
+    return sql::Value(common::to_lower(v.coerce_string()));
+  }
+  return v;
+}
+
+bool Table::index_key_eq(const sql::Value& a, const sql::Value& b) {
+  IndexKeyLess less;
+  return !less(a, b) && !less(b, a);
+}
+
+void Table::index_add_entry(SecondaryIndex& idx, const sql::Value& key,
+                            size_t slot) {
+  auto [begin, end] = idx.map.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == slot) return;  // (key, slot) pairs are unique
+  }
+  if (begin == end) ++idx.distinct_keys;
+  idx.map.emplace_hint(end, key, slot);
+}
+
+void Table::index_remove_entry(SecondaryIndex& idx, const sql::Value& key,
+                               size_t slot) {
+  auto [begin, end] = idx.map.equal_range(key);
+  size_t bucket = 0;
+  auto hit = end;
+  for (auto it = begin; it != end; ++it) {
+    ++bucket;
+    if (it->second == slot) hit = it;
+  }
+  if (hit == end) return;
+  idx.map.erase(hit);
+  if (bucket == 1) --idx.distinct_keys;
+}
+
+bool Table::slot_refs_key_locked(size_t slot, size_t column,
+                                 const sql::Value& key) const {
+  if (live_[slot] &&
+      index_key_eq(index_key_value(column, rows_[slot][column]), key)) {
+    return true;
+  }
+  auto it = old_versions_.find(slot);
+  if (it == old_versions_.end()) return false;
+  for (const auto& v : it->second) {
+    if (index_key_eq(index_key_value(column, v.row[column]), key)) return true;
+  }
+  return false;
+}
+
+void Table::index_insert(size_t slot, const Row& row) {
+  for (auto& idx : indexes_) {
+    index_add_entry(idx, index_key_value(idx.column, row[idx.column]), slot);
+  }
+}
+
+void Table::index_erase_unreferenced(size_t slot, const Row& row) {
+  for (auto& idx : indexes_) {
+    sql::Value key = index_key_value(idx.column, row[idx.column]);
+    if (!slot_refs_key_locked(slot, idx.column, key)) {
+      index_remove_entry(idx, key, slot);
+    }
+  }
+}
 
 void Table::check_not_null(const Row& row) const {
   for (size_t i = 0; i < schema_.column_count(); ++i) {
@@ -104,8 +186,15 @@ void Table::update_locked(
       pk_index_[new_key] = slot;
     }
   }
-  index_erase(slot, rows_[slot]);
-  index_insert(slot, candidate);
+  // Capture per-index old keys before the current image is replaced; the
+  // new image is indexed first, then each old key is dropped only if no
+  // surviving version (the chained image, on the versioned plane) still
+  // carries it.
+  std::vector<sql::Value> old_keys;
+  old_keys.reserve(indexes_.size());
+  for (const auto& idx : indexes_) {
+    old_keys.push_back(index_key_value(idx.column, rows_[slot][idx.column]));
+  }
   if (record_old) {
     old_versions_[slot].push_back({std::move(rows_[slot]), begin_ts_[slot], ts});
     old_version_count_.fetch_add(1, std::memory_order_release);
@@ -113,6 +202,15 @@ void Table::update_locked(
     begin_ts_[slot] = ts;
   }
   rows_[slot] = std::move(candidate);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    auto& idx = indexes_[i];
+    sql::Value new_key = index_key_value(idx.column, rows_[slot][idx.column]);
+    if (index_key_eq(old_keys[i], new_key)) continue;
+    index_add_entry(idx, new_key, slot);
+    if (!slot_refs_key_locked(slot, idx.column, old_keys[i])) {
+      index_remove_entry(idx, old_keys[i], slot);
+    }
+  }
 }
 
 void Table::update(size_t slot,
@@ -131,10 +229,11 @@ void Table::erase(size_t slot) {
   assert(slot < rows_.size() && live_[slot]);
   int pk = schema_.primary_key_index();
   if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
-  index_erase(slot, rows_[slot]);
+  Row old = std::move(rows_[slot]);
   live_[slot] = false;
   rows_[slot].clear();
   live_count_.fetch_sub(1, std::memory_order_relaxed);
+  index_erase_unreferenced(slot, old);
 }
 
 void Table::erase_versioned(size_t slot, uint64_t ts) {
@@ -142,7 +241,10 @@ void Table::erase_versioned(size_t slot, uint64_t ts) {
   assert(slot < rows_.size() && live_[slot]);
   int pk = schema_.primary_key_index();
   if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
-  index_erase(slot, rows_[slot]);
+  // The final image joins the chain, so its index entries stay put: the
+  // covering invariant keeps older snapshots reading it through indexes.
+  // (The PK hash is current-images-only by design — it doubles as the
+  // duplicate-key check, which must not see dead keys.)
   old_versions_[slot].push_back({std::move(rows_[slot]), begin_ts_[slot], ts});
   old_version_count_.fetch_add(1, std::memory_order_release);
   if (ts > max_old_end_ts_) max_old_end_ts_ = ts;
@@ -185,43 +287,117 @@ std::optional<std::vector<std::pair<size_t, Row>>> Table::index_eq_snapshot(
     std::string_view column, const sql::Value& key,
     uint64_t snapshot_ts) const {
   std::shared_lock lock(mu_);
-  // Indexes cover current images only, so they are incomplete exactly for
-  // snapshots that can still see a superseded image. Every old version has
-  // end_ts <= max_old_end_ts_ and is invisible to any snapshot >= its end,
-  // so at or past the mark current images are the complete visible set and
-  // the index is authoritative. Fresh autocommit snapshots always pass
-  // (their snapshot is the published clock, which no recorded end_ts can
-  // exceed); older transaction snapshots decline and the caller scans.
-  if (snapshot_ts < max_old_end_ts_) {
-    return std::nullopt;
-  }
   std::vector<std::pair<size_t, Row>> out;
   int col = schema_.column_index(column);
   if (col < 0) return out;
   auto pi = static_cast<size_t>(col);
   sql::Value probe = schema_.coerce_to_column(pi, key);
-  auto emit = [&](size_t slot) {
-    if (slot < rows_.size() && live_[slot] && begin_ts_[slot] <= snapshot_ts) {
-      out.emplace_back(slot, rows_[slot]);
-    }
-  };
-  if (schema_.primary_key_index() == col) {
+  const bool is_pk = schema_.primary_key_index() == col;
+  // The PK hash covers current images only, so it answers iff the
+  // snapshot can see no superseded image: every old version has
+  // end_ts <= max_old_end_ts_ and is invisible to any snapshot >= its
+  // end. When it qualifies, prefer it — O(1) beats the ordered probe.
+  if (is_pk && snapshot_ts >= max_old_end_ts_) {
     auto it = pk_index_.find(pk_key(probe));
-    if (it != pk_index_.end()) emit(it->second);
+    if (it != pk_index_.end() && it->second < rows_.size() &&
+        live_[it->second] && begin_ts_[it->second] <= snapshot_ts) {
+      out.emplace_back(it->second, rows_[it->second]);
+    }
     return out;
   }
+  // Secondary indexes are covering at any snapshot: entries span every
+  // version of a slot, so probe, then re-check visibility and the visible
+  // image's key per hit (a hit through a chained key whose visible image
+  // no longer carries it is skipped).
   for (const auto& idx : indexes_) {
     if (idx.column != pi) continue;
-    std::string k = schema_.column(pi).type == ColumnType::kText &&
-                            !probe.is_null()
-                        ? sql::Value(common::to_lower(probe.coerce_string()))
-                              .repr()
-                        : probe.repr();
+    sql::Value k = index_key_value(pi, probe);
     auto [begin, end] = idx.map.equal_range(k);
-    for (auto it = begin; it != end; ++it) emit(it->second);
+    for (auto it = begin; it != end; ++it) {
+      const Row* r = visible_locked(it->second, snapshot_ts);
+      if (r != nullptr && index_key_eq(index_key_value(pi, (*r)[pi]), k)) {
+        out.emplace_back(it->second, *r);
+      }
+    }
     return out;
   }
+  // A pure PK probe into history the hash cannot see: caller must scan.
+  if (is_pk) return std::nullopt;
   return out;
+}
+
+void Table::index_range_snapshot(
+    std::string_view column, const std::optional<sql::Value>& lo,
+    bool lo_inclusive, const std::optional<sql::Value>& hi, bool hi_inclusive,
+    bool desc, bool include_nulls, uint64_t snapshot_ts,
+    const std::function<bool(size_t, const Row&)>& fn) const {
+  std::shared_lock lock(mu_);
+  int col = schema_.column_index(column);
+  if (col < 0) return;
+  auto pi = static_cast<size_t>(col);
+  const SecondaryIndex* idx = nullptr;
+  for (const auto& i : indexes_) {
+    if (i.column == pi) {
+      idx = &i;
+      break;
+    }
+  }
+  if (idx == nullptr) return;
+  std::optional<sql::Value> lo_key;
+  std::optional<sql::Value> hi_key;
+  if (lo) lo_key = index_key_value(pi, schema_.coerce_to_column(pi, *lo));
+  if (hi) hi_key = index_key_value(pi, schema_.coerce_to_column(pi, *hi));
+  IndexKeyLess less;
+  // Per-hit emit: the slot's visible image must actually carry the
+  // entry's key (covering-index re-check, same as index_eq_snapshot).
+  auto emit = [&](const sql::Value& entry_key, size_t slot) {
+    const Row* r = visible_locked(slot, snapshot_ts);
+    if (r == nullptr) return true;
+    if (!index_key_eq(index_key_value(pi, (*r)[pi]), entry_key)) return true;
+    return fn(slot, *r);
+  };
+  if (!desc) {
+    auto it = lo_key ? (lo_inclusive ? idx->map.lower_bound(*lo_key)
+                                     : idx->map.upper_bound(*lo_key))
+             : include_nulls
+                 ? idx->map.begin()
+                 : idx->map.upper_bound(sql::Value());  // NULLs sort first
+    for (; it != idx->map.end(); ++it) {
+      // Checking the high bound per entry (instead of a precomputed end
+      // iterator) keeps crossed bounds safely empty.
+      if (hi_key && (hi_inclusive ? less(*hi_key, it->first)
+                                  : !less(it->first, *hi_key))) {
+        break;
+      }
+      if (!emit(it->first, it->second)) return;
+    }
+    return;
+  }
+  auto stop = hi_key ? (hi_inclusive ? idx->map.upper_bound(*hi_key)
+                                     : idx->map.lower_bound(*hi_key))
+                     : idx->map.end();
+  for (auto rit = std::make_reverse_iterator(stop); rit != idx->map.rend();
+       ++rit) {
+    if (lo_key && (lo_inclusive ? less(rit->first, *lo_key)
+                                : !less(*lo_key, rit->first))) {
+      break;
+    }
+    if (!lo_key && !include_nulls && rit->first.is_null()) break;
+    if (!emit(rit->first, rit->second)) return;
+  }
+}
+
+std::optional<Table::IndexInfo> Table::secondary_index_on(
+    std::string_view column) const {
+  std::shared_lock lock(mu_);
+  int col = schema_.column_index(column);
+  if (col < 0) return std::nullopt;
+  for (const auto& idx : indexes_) {
+    if (idx.column == static_cast<size_t>(col)) {
+      return IndexInfo{idx.name, idx.map.size(), idx.distinct_keys};
+    }
+  }
+  return std::nullopt;
 }
 
 bool Table::slot_live(size_t slot) const {
@@ -248,12 +424,22 @@ void Table::maybe_advance_auto_increment(int64_t v) {
 size_t Table::vacuum(uint64_t horizon) {
   std::unique_lock lock(mu_);
   size_t freed = 0;
+  // (index #, key, slot) owned by freed versions; their entries drop
+  // after the prune unless a surviving version still references the key.
+  std::vector<std::tuple<size_t, sql::Value, size_t>> dead_keys;
   for (auto it = old_versions_.begin(); it != old_versions_.end();) {
     auto& chain = it->second;
     size_t kept = 0;
     for (size_t i = 0; i < chain.size(); ++i) {
       if (chain[i].end_ts <= horizon) {
         ++freed;
+        for (size_t ix = 0; ix < indexes_.size(); ++ix) {
+          dead_keys.emplace_back(
+              ix,
+              index_key_value(indexes_[ix].column,
+                              chain[i].row[indexes_[ix].column]),
+              it->first);
+        }
       } else {
         if (kept != i) chain[kept] = std::move(chain[i]);
         ++kept;
@@ -261,6 +447,11 @@ size_t Table::vacuum(uint64_t horizon) {
     }
     chain.resize(kept);
     it = chain.empty() ? old_versions_.erase(it) : std::next(it);
+  }
+  for (const auto& [ix, key, slot] : dead_keys) {
+    if (!slot_refs_key_locked(slot, indexes_[ix].column, key)) {
+      index_remove_entry(indexes_[ix], key, slot);
+    }
   }
   if (freed != 0) old_version_count_.fetch_sub(freed, std::memory_order_release);
   return freed;
@@ -271,10 +462,11 @@ void Table::undo_insert(size_t slot) {
   assert(slot < rows_.size() && live_[slot]);
   int pk = schema_.primary_key_index();
   if (pk >= 0) pk_index_.erase(pk_key(rows_[slot][static_cast<size_t>(pk)]));
-  index_erase(slot, rows_[slot]);
+  Row old = std::move(rows_[slot]);
   live_[slot] = false;
   rows_[slot].clear();
   live_count_.fetch_sub(1, std::memory_order_relaxed);
+  index_erase_unreferenced(slot, old);
 }
 
 void Table::undo_update(size_t slot) {
@@ -292,10 +484,14 @@ void Table::undo_update(size_t slot) {
     pk_index_.erase(pk_key(rows_[slot][pi]));
     pk_index_[pk_key(prev.row[pi])] = slot;
   }
-  index_erase(slot, rows_[slot]);
-  index_insert(slot, prev.row);
+  Row undone = std::move(rows_[slot]);
   rows_[slot] = std::move(prev.row);
   begin_ts_[slot] = prev.begin_ts;
+  // The restored image's entries still exist (the chain referenced them);
+  // re-adding is an idempotent no-op. The undone image's keys drop unless
+  // an older chained version also carries them.
+  index_insert(slot, rows_[slot]);
+  index_erase_unreferenced(slot, undone);
 }
 
 void Table::undo_erase(size_t slot) {
@@ -355,39 +551,12 @@ void Table::load_row_at_slot(size_t slot, Row row) {
   live_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
-namespace {
-/// Index keys must agree with eval's comparison semantics: TEXT compares
-/// ASCII-case-insensitively, so text keys are folded before hashing.
-std::string index_key(const TableSchema& schema, size_t column,
-                      const sql::Value& v) {
-  if (schema.column(column).type == ColumnType::kText && !v.is_null()) {
-    return sql::Value(common::to_lower(v.coerce_string())).repr();
-  }
-  return v.repr();
-}
-}  // namespace
-
-void Table::index_insert(size_t slot, const Row& row) {
-  for (auto& idx : indexes_) {
-    idx.map.emplace(index_key(schema_, idx.column, row[idx.column]), slot);
-  }
-}
-
-void Table::index_erase(size_t slot, const Row& row) {
-  for (auto& idx : indexes_) {
-    auto [begin, end] =
-        idx.map.equal_range(index_key(schema_, idx.column, row[idx.column]));
-    for (auto it = begin; it != end; ++it) {
-      if (it->second == slot) {
-        idx.map.erase(it);
-        break;
-      }
-    }
-  }
-}
-
 void Table::create_index(const std::string& index_name,
                          const std::string& column) {
+  // DDL callers hold the engine's exclusive catalog lock, but snapshot
+  // readers of *other* statements never take that — self-lock so the
+  // build and the indexes_ push are atomic against them.
+  std::unique_lock lock(mu_);
   for (const auto& idx : indexes_) {
     if (idx.name == index_name) {
       throw StorageError("index '" + index_name + "' already exists");
@@ -402,7 +571,15 @@ void Table::create_index(const std::string& index_name,
   idx.column = static_cast<size_t>(col);
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     if (live_[slot]) {
-      idx.map.emplace(index_key(schema_, idx.column, rows_[slot][idx.column]),
+      index_add_entry(idx, index_key_value(idx.column, rows_[slot][idx.column]),
+                      slot);
+    }
+  }
+  // Chained old versions are indexed too, so a transaction whose snapshot
+  // predates this CREATE INDEX reads correctly through the new index.
+  for (const auto& [slot, chain] : old_versions_) {
+    for (const auto& v : chain) {
+      index_add_entry(idx, index_key_value(idx.column, v.row[idx.column]),
                       slot);
     }
   }
@@ -410,6 +587,7 @@ void Table::create_index(const std::string& index_name,
 }
 
 void Table::drop_index(const std::string& index_name) {
+  std::unique_lock lock(mu_);
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if (it->name == index_name) {
       indexes_.erase(it);
@@ -420,6 +598,7 @@ void Table::drop_index(const std::string& index_name) {
 }
 
 bool Table::has_index_on(std::string_view column) const {
+  std::shared_lock lock(mu_);
   int col = schema_.column_index(column);
   if (col < 0) return false;
   for (const auto& idx : indexes_) {
@@ -430,27 +609,39 @@ bool Table::has_index_on(std::string_view column) const {
 
 std::vector<size_t> Table::index_lookup(std::string_view column,
                                         const sql::Value& key) const {
+  std::shared_lock lock(mu_);
   int col = schema_.column_index(column);
   std::vector<size_t> out;
   if (col < 0) return out;
-  sql::Value probe = schema_.coerce_to_column(static_cast<size_t>(col), key);
+  auto pi = static_cast<size_t>(col);
+  sql::Value probe = schema_.coerce_to_column(pi, key);
   for (const auto& idx : indexes_) {
-    if (idx.column != static_cast<size_t>(col)) continue;
-    auto [begin, end] =
-        idx.map.equal_range(index_key(schema_, idx.column, probe));
-    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    if (idx.column != pi) continue;
+    sql::Value k = index_key_value(pi, probe);
+    auto [begin, end] = idx.map.equal_range(k);
+    for (auto it = begin; it != end; ++it) {
+      // Entries may belong to chained versions only; the legacy lookup
+      // answers for current images.
+      size_t slot = it->second;
+      if (slot < rows_.size() && live_[slot] &&
+          index_key_eq(index_key_value(pi, rows_[slot][pi]), k)) {
+        out.push_back(slot);
+      }
+    }
     return out;
   }
   return out;
 }
 
 std::vector<std::string> Table::index_names() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   for (const auto& idx : indexes_) out.push_back(idx.name);
   return out;
 }
 
 std::vector<std::pair<std::string, std::string>> Table::index_defs() const {
+  std::shared_lock lock(mu_);
   std::vector<std::pair<std::string, std::string>> out;
   for (const auto& idx : indexes_) {
     out.emplace_back(idx.name, schema_.column(idx.column).name);

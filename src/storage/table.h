@@ -1,5 +1,6 @@
-// Heap table with an optional hash index on the primary key and
-// auto-increment support. Rows are dense vectors of sql::Value.
+// Heap table with an optional hash index on the primary key, ordered
+// (multimap) secondary indexes, and auto-increment support. Rows are
+// dense vectors of sql::Value.
 //
 // Two access planes share the storage:
 //
@@ -25,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -125,21 +127,54 @@ class Table {
   std::optional<Row> fetch_snapshot(size_t slot, uint64_t snapshot_ts) const;
 
   /// Index-assisted equality lookup at a snapshot: (slot, row) pairs whose
-  /// column equals `key`. Indexes cover only current images, so the lookup
-  /// is answered iff `snapshot_ts` is at or past the newest old-version
-  /// end timestamp ever recorded — past it, every superseded image is
-  /// invisible (visibility needs snapshot < end) and current images are
-  /// the complete visible set. Fresh autocommit snapshots always qualify;
-  /// a transaction reading an older snapshot gets nullopt and must fall
-  /// back to scan_snapshot (the mark is checked under the lock, which is
-  /// what makes the answer complete when granted). `column` must be the
-  /// PK or an indexed column.
+  /// column equals `key`, correct at any snapshot. Secondary indexes are
+  /// *covering*: they hold one entry per (key, slot) over the union of a
+  /// slot's version chain, and each hit re-checks visibility plus the key
+  /// against the visible image, so history never makes the answer stale.
+  /// The primary-key hash still covers current images only, so a pure PK
+  /// probe is answered iff `snapshot_ts` is at or past the newest
+  /// old-version end timestamp ever recorded (past it every superseded
+  /// image is invisible); an older snapshot gets nullopt and must fall
+  /// back to scan_snapshot — unless a secondary index also covers the PK
+  /// column, which then answers. `column` must be the PK or an indexed
+  /// column.
   std::optional<std::vector<std::pair<size_t, Row>>> index_eq_snapshot(
       std::string_view column, const sql::Value& key,
       uint64_t snapshot_ts) const;
 
-  /// True when any slot has old versions (racy hint; index_eq_snapshot
-  /// re-checks under the lock).
+  /// Ordered, snapshot-correct walk of the secondary index on `column`
+  /// (no-op when none exists). Emits (slot, visible row) in key order —
+  /// reverse order when `desc` — for keys within [lo, hi] (either bound
+  /// optional; inclusivity per flag; bounds are coerced to the column
+  /// type, TEXT bounds case-folded like the stored keys). NULL keys sort
+  /// first and are skipped unless `include_nulls` (SQL comparisons never
+  /// match NULL; pure ORDER BY walks want them). Per hit the slot's
+  /// visible image is re-checked to actually carry the entry's key, so
+  /// chained (dead-at-S) entries are silently skipped. Rows are handed to
+  /// fn under the table's shared lock — copy what must outlive the call.
+  /// Return false from fn to stop.
+  void index_range_snapshot(std::string_view column,
+                            const std::optional<sql::Value>& lo,
+                            bool lo_inclusive,
+                            const std::optional<sql::Value>& hi,
+                            bool hi_inclusive, bool desc, bool include_nulls,
+                            uint64_t snapshot_ts,
+                            const std::function<bool(size_t, const Row&)>& fn)
+      const;
+
+  /// Size statistics of the secondary index covering `column`, if any —
+  /// the planner's selectivity input. `entries` counts (key, slot) pairs
+  /// (≥ live rows when history is chained), `distinct_keys` distinct key
+  /// values.
+  struct IndexInfo {
+    std::string name;
+    size_t entries = 0;
+    size_t distinct_keys = 0;
+  };
+  std::optional<IndexInfo> secondary_index_on(std::string_view column) const;
+
+  /// True when any slot has old versions (racy hint; callers that care
+  /// re-check under the lock).
   bool has_old_versions() const {
     return old_version_count_.load(std::memory_order_acquire) != 0;
   }
@@ -172,8 +207,12 @@ class Table {
 
   // ---- secondary indexes ------------------------------------------------
 
-  /// Build (and maintain from then on) a hash index over one column.
-  /// Throws StorageError for unknown columns or duplicate index names.
+  /// Build (and maintain from then on) an ordered index over one column.
+  /// The build covers current images *and* every chained old version, so
+  /// the covering invariant holds immediately — a transaction holding an
+  /// older snapshot reads correctly through an index created after its
+  /// snapshot. Throws StorageError for unknown columns or duplicate index
+  /// names.
   void create_index(const std::string& index_name, const std::string& column);
 
   /// Drop by name; throws StorageError when unknown.
@@ -197,10 +236,24 @@ class Table {
   void set_auto_increment(int64_t v) { auto_inc_ = v; }
 
  private:
+  /// Strict weak order over index keys: NULL sorts before everything,
+  /// then sql::Value comparison order. TEXT keys are stored pre-folded to
+  /// lowercase (see index_key_value), so two strings compare by raw bytes
+  /// — consistent with the case-folded comparison eval uses.
+  struct IndexKeyLess {
+    bool operator()(const sql::Value& a, const sql::Value& b) const;
+  };
+
   struct SecondaryIndex {
     std::string name;
     size_t column = 0;
-    std::unordered_multimap<std::string, size_t> map;  // value repr -> slot
+    /// Ordered entries, unique per (key, slot): `slot` appears under every
+    /// key that *some* version of it (current image or old-version chain)
+    /// carries in the indexed column. That union makes the index covering
+    /// for any snapshot; readers re-check visibility and key per hit.
+    std::multimap<sql::Value, size_t, IndexKeyLess> map;
+    /// Distinct key values currently in `map` (planner selectivity stat).
+    size_t distinct_keys = 0;
   };
 
   /// A superseded or deleted row image, visible to snapshots in
@@ -213,8 +266,25 @@ class Table {
 
   std::string pk_key(const sql::Value& v) const;
   void check_not_null(const Row& row) const;
+  /// The stored index key for `v` in `column`: TEXT values case-folded to
+  /// lowercase, everything else as-is (values are already column-coerced).
+  sql::Value index_key_value(size_t column, const sql::Value& v) const;
+  static bool index_key_eq(const sql::Value& a, const sql::Value& b);
+  /// Add/remove one (key, slot) entry. add is idempotent (no-op when the
+  /// pair exists); remove tolerates a missing pair. Both keep
+  /// distinct_keys exact.
+  static void index_add_entry(SecondaryIndex& idx, const sql::Value& key,
+                              size_t slot);
+  static void index_remove_entry(SecondaryIndex& idx, const sql::Value& key,
+                                 size_t slot);
+  /// True when any version of `slot` (current image or chain) still
+  /// carries `key` in `column` — the "may I drop this entry?" check.
+  bool slot_refs_key_locked(size_t slot, size_t column,
+                            const sql::Value& key) const;
   void index_insert(size_t slot, const Row& row);
-  void index_erase(size_t slot, const Row& row);
+  /// Remove `slot`'s entries for the keys of `row`, except those some
+  /// surviving version still references.
+  void index_erase_unreferenced(size_t slot, const Row& row);
   InsertResult insert_locked(Row row, uint64_t begin_ts);
   void update_locked(size_t slot,
                      const std::vector<std::pair<size_t, sql::Value>>& changes,

@@ -162,6 +162,7 @@ void decode_table_block(Cursor& c, Catalog& catalog) {
     std::string idx_name{c.str()};
     std::string idx_col{c.str()};
     if (!c.ok) throw WalError("checkpoint: bad index def");
+    crashpoint("recovery.crash_index_rebuild");
     t.create_index(idx_name, idx_col);
   }
 }
@@ -503,6 +504,7 @@ uint64_t DurableStorage::log_ddl(uint64_t txn_id, DdlRedo op,
   rec.txn_id = txn_id;
   rec.ddl.push_back(std::move(op));
   rec.ddl_undo = std::move(undo);
+  crashpoint("wal.ddl.crash_before");
   uint64_t lsn = append_record(std::move(rec));
   crashpoint("wal.ddl.crash_after");
   return lsn;

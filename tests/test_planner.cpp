@@ -1,0 +1,612 @@
+// The cost-aware access-path planner (PR 10): EXPLAIN-visible plan
+// choices, range/order/limit pushdown, result parity between indexed and
+// unindexed execution, snapshot-correct index reads under MVCC (the PR 9
+// "current images only" wart, fixed), index maintenance across
+// transactional DML and DDL, storage-level undo/vacuum bookkeeping, and
+// the prepared/digest-cache interaction with CREATE INDEX.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/error.h"
+#include "engine/planner.h"
+#include "septic/septic.h"
+#include "sqlcore/parser.h"
+#include "storage/table.h"
+
+namespace septic::engine {
+namespace {
+
+using sql::Value;
+
+// EXPLAIN column layout: table | access_path | index | key | pushdown.
+constexpr size_t kPath = 1;
+constexpr size_t kIndex = 2;
+constexpr size_t kKey = 3;
+constexpr size_t kPushdown = 4;
+
+// ---- plan shape via EXPLAIN ---------------------------------------------
+
+class PlannerExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, k INT, "
+        "name TEXT)");
+    // 32 rows, k distinct 1..32, name cycles through 4 values: the k
+    // index is highly selective, the name index much less so.
+    for (int i = 1; i <= 32; ++i) {
+      db.execute_admin("INSERT INTO t (k, name) VALUES (" +
+                       std::to_string(i) + ", 'n" + std::to_string(i % 4) +
+                       "')");
+    }
+    db.execute_admin("CREATE INDEX idx_k ON t (k)");
+    db.execute_admin("CREATE INDEX idx_name ON t (name)");
+  }
+  std::vector<Value> explain(const std::string& q) {
+    auto rs = db.execute(session, "EXPLAIN " + q);
+    EXPECT_EQ(rs.rows.size(), 1u) << q;
+    return rs.rows.empty() ? std::vector<Value>{} : rs.rows[0];
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(PlannerExplainTest, EqualityUsesSecondaryIndex) {
+  auto row = explain("SELECT id FROM t WHERE k = 7");
+  EXPECT_EQ(row[kPath].as_string(), "ref (secondary index)");
+  EXPECT_EQ(row[kIndex].as_string(), "idx_k");
+  EXPECT_EQ(row[kKey].as_string(), "k");
+}
+
+TEST_F(PlannerExplainTest, PkEqualityUsesPkPath) {
+  auto row = explain("SELECT k FROM t WHERE id = 3");
+  EXPECT_EQ(row[kPath].as_string(), "const (primary key)");
+  EXPECT_EQ(row[kKey].as_string(), "id");
+}
+
+TEST_F(PlannerExplainTest, InequalityUsesRangePath) {
+  for (const char* q : {"SELECT id FROM t WHERE k < 5",
+                        "SELECT id FROM t WHERE k <= 5",
+                        "SELECT id FROM t WHERE k > 28",
+                        "SELECT id FROM t WHERE k >= 28",
+                        "SELECT id FROM t WHERE k BETWEEN 4 AND 6"}) {
+    auto row = explain(q);
+    EXPECT_EQ(row[kPath].as_string(), "range (secondary index)") << q;
+    EXPECT_EQ(row[kIndex].as_string(), "idx_k") << q;
+  }
+}
+
+TEST_F(PlannerExplainTest, BothBoundsBeatOneBound) {
+  // A closed interval estimates N/4, a half-open one N/2; with two range
+  // candidates the planner must pick the closed one.
+  db.execute_admin("CREATE INDEX idx_id2 ON t (name)");  // noise
+  auto row = explain("SELECT id FROM t WHERE k > 3 AND k < 9 AND name > 'a'");
+  EXPECT_EQ(row[kPath].as_string(), "range (secondary index)");
+  EXPECT_EQ(row[kKey].as_string(), "k");
+}
+
+TEST_F(PlannerExplainTest, EqualityBeatsRangeOnSameColumn) {
+  auto row = explain("SELECT id FROM t WHERE k = 7 AND k < 100");
+  EXPECT_EQ(row[kPath].as_string(), "ref (secondary index)");
+}
+
+TEST_F(PlannerExplainTest, PrefersMoreSelectiveEquality) {
+  // k is unique per row (cost ~1); name has 4 distinct values over 32
+  // rows (cost ~8). The AND must probe through idx_k.
+  auto row = explain("SELECT id FROM t WHERE name = 'n1' AND k = 7");
+  EXPECT_EQ(row[kPath].as_string(), "ref (secondary index)");
+  EXPECT_EQ(row[kIndex].as_string(), "idx_k");
+}
+
+TEST_F(PlannerExplainTest, OrderByLimitWalksIndexInOrder) {
+  auto row = explain("SELECT id FROM t ORDER BY k LIMIT 3");
+  EXPECT_EQ(row[kPath].as_string(), "index (secondary index)");
+  EXPECT_EQ(row[kIndex].as_string(), "idx_k");
+  EXPECT_EQ(row[kPushdown].as_string(), "order,limit");
+}
+
+TEST_F(PlannerExplainTest, OrderByDescStillPushesDown) {
+  auto row = explain("SELECT id FROM t ORDER BY k DESC LIMIT 3");
+  EXPECT_EQ(row[kPath].as_string(), "index (secondary index)");
+  EXPECT_EQ(row[kPushdown].as_string(), "order,limit");
+}
+
+TEST_F(PlannerExplainTest, RangePlusOrderOnSameColumnPushesOrder) {
+  auto row = explain("SELECT id FROM t WHERE k > 10 ORDER BY k");
+  EXPECT_EQ(row[kPath].as_string(), "range (secondary index)");
+  EXPECT_EQ(row[kPushdown].as_string(), "order");
+}
+
+TEST_F(PlannerExplainTest, OrderByUnindexedColumnScans) {
+  auto row = explain("SELECT id FROM t ORDER BY id LIMIT 3");
+  EXPECT_EQ(row[kPath].as_string(), "scan");
+  EXPECT_EQ(row[kPushdown].as_string(), "");
+}
+
+TEST_F(PlannerExplainTest, AliasShadowBlocksOrderPushdown) {
+  // ORDER BY k names the select-item alias, not the column: sorting by
+  // the index key would sort the wrong values.
+  auto row = explain("SELECT name AS k FROM t ORDER BY k LIMIT 3");
+  EXPECT_EQ(row[kPushdown].as_string(), "");
+}
+
+TEST_F(PlannerExplainTest, NumericLiteralOnTextColumnDeclinesIndex) {
+  // eval compares TEXT-vs-number numerically; the index is ordered
+  // lexicographically, so the planner must not use it.
+  auto row = explain("SELECT id FROM t WHERE name < 5");
+  EXPECT_EQ(row[kPath].as_string(), "scan");
+}
+
+TEST_F(PlannerExplainTest, OrConditionScans) {
+  auto row = explain("SELECT id FROM t WHERE k = 1 OR k = 2");
+  EXPECT_EQ(row[kPath].as_string(), "scan");
+}
+
+TEST_F(PlannerExplainTest, AggregateBlocksLimitPushdownButKeepsRange) {
+  auto row = explain("SELECT COUNT(*) FROM t WHERE k < 5 LIMIT 1");
+  EXPECT_EQ(row[kPath].as_string(), "range (secondary index)");
+  EXPECT_EQ(row[kPushdown].as_string(), "");
+}
+
+TEST_F(PlannerExplainTest, JoinReportsJoinScan) {
+  db.execute_admin("CREATE TABLE u (id INT PRIMARY KEY, t_id INT)");
+  auto rs =
+      db.execute(session, "EXPLAIN SELECT * FROM t JOIN u ON t.id = u.t_id");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  // Joined tables never take the single-table planner path.
+  EXPECT_EQ(rs.rows[0][kPath].as_string(), "scan");
+  EXPECT_EQ(rs.rows[1][kPath].as_string(), "scan (join)");
+}
+
+// ---- indexed vs unindexed result parity ---------------------------------
+
+class PlannerParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"with_ix", "no_ix"}) {
+      db.execute_admin(std::string("CREATE TABLE ") + name +
+                       " (id INT PRIMARY KEY, k INT, f DOUBLE, s TEXT)");
+      int id = 0;
+      for (const char* row :
+           {"1, NULL, 'Apple'", "2, 2.5, 'banana'", "3, -1.0, 'CHERRY'",
+            "7, 7.5, 'date'", "10, 0.0, NULL", "15, 2.5, 'apple'",
+            "20, -3.25, 'Banana'", "30, 30.0, 'fig'"}) {
+        db.execute_admin(std::string("INSERT INTO ") + name + " VALUES (" +
+                         std::to_string(++id * 10) + ", " + row + ")");
+      }
+    }
+    db.execute_admin("CREATE INDEX pk_k ON with_ix (k)");
+    db.execute_admin("CREATE INDEX pk_f ON with_ix (f)");
+    db.execute_admin("CREATE INDEX pk_s ON with_ix (s)");
+  }
+  void expect_parity(const std::string& tail) {
+    auto ix = db.execute_admin("SELECT id FROM with_ix " + tail).to_text();
+    auto scan = db.execute_admin("SELECT id FROM no_ix " + tail).to_text();
+    EXPECT_EQ(ix, scan) << tail;
+  }
+  Database db;
+  Session session;
+};
+
+TEST_F(PlannerParityTest, RangeBoundariesMatchScan) {
+  for (const char* tail : {
+           "WHERE k = 2 ORDER BY id",
+           "WHERE k < 7 ORDER BY id",
+           "WHERE k <= 7 ORDER BY id",
+           "WHERE k > 7 ORDER BY id",
+           "WHERE k >= 7 ORDER BY id",
+           "WHERE k BETWEEN 2 AND 15 ORDER BY id",
+           "WHERE k BETWEEN 15 AND 2 ORDER BY id",  // empty interval
+           "WHERE k > 100 ORDER BY id",
+           "WHERE k > 2 AND k < 2 ORDER BY id",  // crossed bounds
+       }) {
+    expect_parity(tail);
+  }
+}
+
+TEST_F(PlannerParityTest, DoubleAndCoercedStringProbes) {
+  for (const char* tail : {
+           "WHERE f = 2.5 ORDER BY id",
+           "WHERE f < 0 ORDER BY id",
+           "WHERE f >= '2.5' ORDER BY id",  // string literal, numeric column
+           "WHERE k = '7' ORDER BY id",
+           "WHERE f BETWEEN -2 AND 3 ORDER BY id",
+       }) {
+    expect_parity(tail);
+  }
+}
+
+TEST_F(PlannerParityTest, TextRangesAreCaseInsensitiveLikeEval) {
+  for (const char* tail : {
+           "WHERE s = 'APPLE' ORDER BY id",
+           "WHERE s < 'cherry' ORDER BY id",
+           "WHERE s >= 'Banana' ORDER BY id",
+           "WHERE s BETWEEN 'apple' AND 'CHERRY' ORDER BY id",
+       }) {
+    expect_parity(tail);
+  }
+}
+
+TEST_F(PlannerParityTest, NullsNeverMatchRangesButOrderFirst) {
+  // NULL k (id 10) must not appear in any range result...
+  expect_parity("WHERE k >= -100 ORDER BY id");
+  expect_parity("WHERE k <= 100 ORDER BY id");
+  // ...but the pushed-down ORDER BY walk must still emit it, first for
+  // ASC and last for DESC, exactly like the sort.
+  expect_parity("ORDER BY k LIMIT 3");
+  expect_parity("ORDER BY k");
+  expect_parity("ORDER BY k DESC LIMIT 3");
+  expect_parity("ORDER BY k DESC");
+}
+
+TEST_F(PlannerParityTest, LimitOffsetUnderPushdown) {
+  expect_parity("ORDER BY k LIMIT 2 OFFSET 3");
+  expect_parity("WHERE k > 2 ORDER BY k LIMIT 2 OFFSET 1");
+  expect_parity("WHERE k > 2 ORDER BY k DESC LIMIT 3");
+  // Limit without ORDER BY picks arbitrary rows; only the count is
+  // contract.
+  EXPECT_EQ(db.execute_admin("SELECT id FROM with_ix WHERE k > 0 LIMIT 3")
+                .rows.size(),
+            db.execute_admin("SELECT id FROM no_ix WHERE k > 0 LIMIT 3")
+                .rows.size());
+}
+
+// ---- MVCC: snapshot-correct index reads (the PR 9 wart, fixed) ----------
+
+class PlannerMvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin(
+        "CREATE TABLE acct (id INT PRIMARY KEY, owner TEXT, bal INT)");
+    for (int i = 1; i <= 8; ++i) {
+      db.execute_admin("INSERT INTO acct VALUES (" + std::to_string(i) +
+                       ", 'o" + std::to_string(i) + "', " +
+                       std::to_string(i * 100) + ")");
+    }
+    db.execute_admin("CREATE INDEX idx_bal ON acct (bal)");
+  }
+  Database db;
+  Session reader;
+};
+
+TEST_F(PlannerMvccTest, IndexEqReadInsideTxnIgnoresConcurrentUpdate) {
+  db.execute(reader, "BEGIN");
+  // Pin the snapshot with any read.
+  db.execute(reader, "SELECT COUNT(*) FROM acct");
+  // A concurrent autocommit update moves bal 300 -> 999 (old version
+  // chained). The reader's snapshot predates it.
+  db.execute_admin("UPDATE acct SET bal = 999 WHERE id = 3");
+  auto rs = db.execute(reader, "SELECT id FROM acct WHERE bal = 300");
+  ASSERT_EQ(rs.rows.size(), 1u) << "index read lost the chained old version";
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+  EXPECT_TRUE(
+      db.execute(reader, "SELECT id FROM acct WHERE bal = 999").rows.empty());
+  db.execute(reader, "COMMIT");
+  // After the snapshot is released, the new image is what the index sees.
+  EXPECT_EQ(
+      db.execute_admin("SELECT id FROM acct WHERE bal = 999").rows.size(),
+      1u);
+}
+
+TEST_F(PlannerMvccTest, IndexReadIgnoresUncommittedConcurrentUpdate) {
+  // The satellite regression: a second session holds an UNCOMMITTED
+  // UPDATE while the reader goes through the index. Buffered writes
+  // live in the writer's overlay, never in the index, so the reader
+  // must see the pre-update image whether it reads before or after the
+  // writer's statement — and the new image only after COMMIT.
+  Session writer("writer");
+  db.execute(reader, "BEGIN");
+  db.execute(reader, "SELECT COUNT(*) FROM acct");
+  db.execute(writer, "BEGIN");
+  db.execute(writer, "UPDATE acct SET bal = 999 WHERE id = 3");
+  auto rs = db.execute(reader, "SELECT id FROM acct WHERE bal = 300");
+  ASSERT_EQ(rs.rows.size(), 1u)
+      << "uncommitted concurrent UPDATE leaked into an index read";
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+  EXPECT_TRUE(
+      db.execute(reader, "SELECT id FROM acct WHERE bal = 999").rows.empty());
+  db.execute(reader, "COMMIT");
+  // Still invisible after the reader's txn ends: the writer hasn't
+  // committed.
+  EXPECT_TRUE(
+      db.execute_admin("SELECT id FROM acct WHERE bal = 999").rows.empty());
+  db.execute(writer, "COMMIT");
+  EXPECT_EQ(
+      db.execute_admin("SELECT id FROM acct WHERE bal = 999").rows.size(),
+      1u);
+}
+
+TEST_F(PlannerMvccTest, IndexRangeReadInsideTxnIgnoresConcurrentUpdate) {
+  db.execute(reader, "BEGIN");
+  db.execute(reader, "SELECT COUNT(*) FROM acct");
+  db.execute_admin("UPDATE acct SET bal = 5000 WHERE bal >= 600");
+  auto rs = db.execute(reader,
+                       "SELECT id FROM acct WHERE bal >= 600 ORDER BY bal");
+  ASSERT_EQ(rs.rows.size(), 3u);  // 600, 700, 800 as of the snapshot
+  EXPECT_EQ(rs.rows[0][0].as_int(), 6);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 8);
+  db.execute(reader, "ROLLBACK");
+}
+
+TEST_F(PlannerMvccTest, IndexReadInsideTxnStillSeesConcurrentlyDeletedRows) {
+  db.execute(reader, "BEGIN");
+  db.execute(reader, "SELECT COUNT(*) FROM acct");
+  db.execute_admin("DELETE FROM acct WHERE bal = 400");
+  auto rs = db.execute(reader, "SELECT id FROM acct WHERE bal = 400");
+  ASSERT_EQ(rs.rows.size(), 1u) << "deleted row must stay visible to the "
+                                   "older snapshot through the index";
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);
+  db.execute(reader, "COMMIT");
+  EXPECT_TRUE(
+      db.execute_admin("SELECT id FROM acct WHERE bal = 400").rows.empty());
+}
+
+TEST_F(PlannerMvccTest, IndexCreatedAfterSnapshotStillAnswersCorrectly) {
+  db.execute_admin("DROP INDEX idx_bal ON acct");
+  db.execute(reader, "BEGIN");
+  db.execute(reader, "SELECT COUNT(*) FROM acct");
+  // History accumulates *before* the index exists; the build must index
+  // the chained old versions too.
+  db.execute_admin("UPDATE acct SET bal = 7777 WHERE id = 2");
+  db.execute_admin("CREATE INDEX idx_bal2 ON acct (bal)");
+  auto rs = db.execute(reader, "SELECT id FROM acct WHERE bal = 200");
+  ASSERT_EQ(rs.rows.size(), 1u)
+      << "CREATE INDEX must cover pre-existing old versions";
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  db.execute(reader, "COMMIT");
+}
+
+// ---- index maintenance across transactional DML and DDL -----------------
+
+class PlannerTxnMaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute_admin("CREATE TABLE m (id INT PRIMARY KEY, v INT)");
+    for (int i = 1; i <= 6; ++i) {
+      db.execute_admin("INSERT INTO m VALUES (" + std::to_string(i) + ", " +
+                       std::to_string(i) + ")");
+    }
+    db.execute_admin("CREATE INDEX idx_v ON m (v)");
+  }
+  int64_t count_v(int v) {
+    return db
+        .execute_admin("SELECT COUNT(*) FROM m WHERE v = " +
+                       std::to_string(v))
+        .rows[0][0]
+        .as_int();
+  }
+  Database db;
+  Session s;
+};
+
+TEST_F(PlannerTxnMaintenanceTest, CommittedTxnDmlVisibleThroughIndex) {
+  db.execute(s, "BEGIN");
+  db.execute(s, "INSERT INTO m VALUES (10, 100)");
+  db.execute(s, "UPDATE m SET v = 200 WHERE id = 2");
+  db.execute(s, "DELETE FROM m WHERE id = 3");
+  db.execute(s, "COMMIT");
+  EXPECT_EQ(count_v(100), 1);
+  EXPECT_EQ(count_v(200), 1);
+  EXPECT_EQ(count_v(2), 0);
+  EXPECT_EQ(count_v(3), 0);
+}
+
+TEST_F(PlannerTxnMaintenanceTest, RolledBackTxnDmlInvisibleThroughIndex) {
+  db.execute(s, "BEGIN");
+  db.execute(s, "INSERT INTO m VALUES (10, 100)");
+  db.execute(s, "UPDATE m SET v = 200 WHERE id = 2");
+  db.execute(s, "DELETE FROM m WHERE id = 3");
+  db.execute(s, "ROLLBACK");
+  EXPECT_EQ(count_v(100), 0);
+  EXPECT_EQ(count_v(200), 0);
+  EXPECT_EQ(count_v(2), 1);
+  EXPECT_EQ(count_v(3), 1);
+}
+
+TEST_F(PlannerTxnMaintenanceTest, OwnBufferedWritesVisibleInsideTxn) {
+  // The txn's overlay forces the executor off the index path; results
+  // must still include the buffered (uncommitted) rows.
+  db.execute(s, "BEGIN");
+  db.execute(s, "INSERT INTO m VALUES (10, 3)");
+  auto rs = db.execute(s, "SELECT COUNT(*) FROM m WHERE v = 3");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  db.execute(s, "ROLLBACK");
+  EXPECT_EQ(count_v(3), 1);
+}
+
+TEST_F(PlannerTxnMaintenanceTest, CreateIndexInTxnRollsBack) {
+  db.execute(s, "BEGIN");
+  db.execute(s, "CREATE INDEX idx_txn ON m (id)");
+  db.execute(s, "ROLLBACK");
+  EXPECT_FALSE(db.catalog().require("m").has_index_on("id"));
+  // The surviving index still answers.
+  EXPECT_EQ(count_v(4), 1);
+}
+
+TEST_F(PlannerTxnMaintenanceTest, DropIndexFallsBackToScanSeamlessly) {
+  db.execute_admin("DROP INDEX idx_v ON m");
+  auto rs = db.execute_admin("EXPLAIN SELECT id FROM m WHERE v = 4");
+  EXPECT_EQ(rs.rows[0][kPath].as_string(), "scan");
+  EXPECT_EQ(count_v(4), 1);
+}
+
+// ---- storage-level bookkeeping: undo paths and vacuum -------------------
+
+storage::TableSchema two_col_schema() {
+  return storage::TableSchema(
+      "u", {{"id", storage::ColumnType::kInt, false, true, false,
+             std::nullopt},
+            {"v", storage::ColumnType::kInt, true, false, false,
+             std::nullopt}});
+}
+
+TEST(PlannerStorage, UndoUpdateRestoresIndexEntries) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  size_t slot = t.insert_versioned({Value(int64_t{1}), Value(int64_t{10})},
+                                   5).slot;
+  t.update_versioned(slot, {{1, Value(int64_t{20})}}, 8);
+  t.undo_update(slot);
+  auto hits = t.index_eq_snapshot("v", Value(int64_t{10}), 100);
+  ASSERT_TRUE(hits.has_value());
+  ASSERT_EQ(hits->size(), 1u);
+  // The undone key must be gone (no version carries 20 any more).
+  size_t n20 = 0;
+  t.index_range_snapshot("v", Value(int64_t{20}), true, Value(int64_t{20}),
+                         true, false, false, 100,
+                         [&](size_t, const storage::Row&) {
+                           ++n20;
+                           return true;
+                         });
+  EXPECT_EQ(n20, 0u);
+  auto info = t.secondary_index_on("v");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->entries, 1u);
+  EXPECT_EQ(info->distinct_keys, 1u);
+}
+
+TEST(PlannerStorage, UndoInsertRemovesIndexEntries) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  size_t slot = t.insert_versioned({Value(int64_t{1}), Value(int64_t{10})},
+                                   5).slot;
+  t.undo_insert(slot);
+  auto hits = t.index_eq_snapshot("v", Value(int64_t{10}), 100);
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_TRUE(hits->empty());
+  EXPECT_EQ(t.secondary_index_on("v")->entries, 0u);
+}
+
+TEST(PlannerStorage, VacuumPrunesDeadIndexKeysButKeepsLiveOnes) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  size_t slot = t.insert_versioned({Value(int64_t{1}), Value(int64_t{10})},
+                                   5).slot;
+  t.update_versioned(slot, {{1, Value(int64_t{20})}}, 8);   // 10 chained
+  t.update_versioned(slot, {{1, Value(int64_t{20})}}, 12);  // same key
+  auto info = t.secondary_index_on("v");
+  EXPECT_EQ(info->entries, 2u);  // 10 (chained) + 20 (live, deduped)
+  EXPECT_EQ(info->distinct_keys, 2u);
+  // Before the horizon passes, snapshot 6 still reads 10 via the index.
+  auto hits = t.index_eq_snapshot("v", Value(int64_t{10}), 6);
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_GE(t.vacuum(50), 1u);
+  info = t.secondary_index_on("v");
+  EXPECT_EQ(info->entries, 1u) << "dead key 10 must be pruned";
+  EXPECT_EQ(info->distinct_keys, 1u);
+  hits = t.index_eq_snapshot("v", Value(int64_t{20}), 100);
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST(PlannerStorage, ErasedRowKeysSurviveUntilVacuum) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  size_t slot = t.insert_versioned({Value(int64_t{1}), Value(int64_t{10})},
+                                   5).slot;
+  t.erase_versioned(slot, 9);
+  // Snapshot 7 predates the delete: the index must still serve the row.
+  auto hits = t.index_eq_snapshot("v", Value(int64_t{10}), 7);
+  ASSERT_TRUE(hits.has_value());
+  ASSERT_EQ(hits->size(), 1u);
+  // Snapshot 100 postdates it: same index, no hit.
+  hits = t.index_eq_snapshot("v", Value(int64_t{10}), 100);
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_TRUE(hits->empty());
+  EXPECT_GE(t.vacuum(50), 1u);
+  EXPECT_EQ(t.secondary_index_on("v")->entries, 0u);
+}
+
+// ---- planner unit: pure plan function over the storage stats ------------
+
+TEST(PlannerUnit, SmallTablePrefersScanOnTies) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  for (int i = 0; i < 4; ++i) {
+    t.insert({Value(int64_t{i}), Value(int64_t{7})});  // one distinct key
+  }
+  sql::ParsedQuery pr = sql::parse("SELECT id FROM u WHERE v = 7");
+  const auto& sel =
+      *std::get<std::unique_ptr<sql::SelectStmt>>(pr.statement);
+  AccessPlan plan = plan_select_access(t, sel);
+  EXPECT_EQ(plan.kind, AccessPlan::Kind::kFullScan)
+      << "entries/distinct == N: the index probe saves nothing";
+}
+
+TEST(PlannerUnit, StopAfterAccountsForOffset) {
+  storage::Table t(two_col_schema());
+  t.create_index("iv", "v");
+  for (int i = 0; i < 32; ++i) {
+    t.insert({Value(int64_t{i}), Value(int64_t{i})});
+  }
+  sql::ParsedQuery pr =
+      sql::parse("SELECT id FROM u ORDER BY v LIMIT 5 OFFSET 3");
+  const auto& sel =
+      *std::get<std::unique_ptr<sql::SelectStmt>>(pr.statement);
+  AccessPlan plan = plan_select_access(t, sel);
+  EXPECT_EQ(plan.kind, AccessPlan::Kind::kIndexOrder);
+  EXPECT_TRUE(plan.limit_pushdown);
+  EXPECT_EQ(plan.stop_after, 8u);
+}
+
+// ---- prepared statements and the digest cache across CREATE INDEX -------
+
+TEST(PlannerPrepared, CreateIndexRevalidatesWithoutReverdicting) {
+  Database db;
+  Session s;
+  db.execute_admin("CREATE TABLE p (id INT PRIMARY KEY, v INT)");
+  for (int i = 1; i <= 8; ++i) {
+    db.execute_admin("INSERT INTO p VALUES (" + std::to_string(i) + ", " +
+                     std::to_string(i) + ")");
+  }
+  auto septic = std::make_shared<core::Septic>();
+  db.set_interceptor(septic);
+  septic->set_mode(core::Mode::kTraining);
+  db.execute(s, "SELECT id FROM p WHERE v = 3");
+  // Teach the DDL shapes too: otherwise the prevention-mode CREATE INDEX
+  // below is an unknown query and incremental learning mutates the model
+  // store — a legitimate but different reason to re-verdict than the one
+  // under test.
+  db.execute(s, "CREATE INDEX idx_v ON p (v)");
+  db.execute(s, "DROP INDEX idx_v ON p");
+  septic->set_mode(core::Mode::kPrevention);
+
+  auto stmt = db.prepare(s, "SELECT id FROM p WHERE v = ?");
+  db.execute_prepared(s, *stmt, {Value(int64_t{3})});
+  db.execute_prepared(s, *stmt, {Value(int64_t{3})});
+  const uint64_t reverdicts0 = db.prepared_reverdicts();
+  const uint64_t ddl0 = db.ddl_version();
+  DigestCacheStats warm = db.digest_cache_stats();
+
+  db.execute_admin("CREATE INDEX idx_v ON p (v)");
+  EXPECT_EQ(db.ddl_version(), ddl0 + 1)
+      << "CREATE INDEX is a schema change and must bump the DDL epoch";
+
+  // The next EXEC re-validates the template against the new catalog but
+  // keeps the PREPARE-time SEPTIC verdict: an index changes the access
+  // path, not the query's structure, so "EXEC performs no per-call
+  // verdict" survives index DDL — while the result now flows through the
+  // new index.
+  auto rs = db.execute_prepared(s, *stmt, {Value(int64_t{3})});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+  EXPECT_EQ(db.prepared_reverdicts(), reverdicts0);
+
+  // Text-protocol repeats must NOT replay a pre-index cached entry: the
+  // DDL epoch bump invalidates it and the full path re-validates.
+  db.execute(s, "SELECT id FROM p WHERE v = 3");
+  db.execute(s, "SELECT id FROM p WHERE v = 3");  // warm a cached entry
+  warm = db.digest_cache_stats();
+  db.execute_admin("DROP INDEX idx_v ON p");
+  db.execute(s, "SELECT id FROM p WHERE v = 3");
+  DigestCacheStats after = db.digest_cache_stats();
+  EXPECT_GE(after.invalidations, warm.invalidations + 1);
+  db.set_interceptor(nullptr);
+}
+
+}  // namespace
+}  // namespace septic::engine

@@ -44,19 +44,6 @@ TEST(QmStore, MultipleModelsPerIdOnCollision) {
   EXPECT_EQ(store.model_count(), 2u);
 }
 
-// The deprecated copying read must keep working until it is deleted
-// outright — external callers may still be on it. Only this test may call
-// it; everything else goes through snapshot()/lookup_apply().
-TEST(QmStore, DeprecatedCopyingLookupStillWorks) {
-  QmStore store;
-  store.add("id1", model_of("SELECT a FROM t WHERE b = 1"));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(store.lookup("id1").size(), 1u);
-  EXPECT_TRUE(store.lookup("missing").empty());
-#pragma GCC diagnostic pop
-}
-
 TEST(QmStore, Clear) {
   QmStore store;
   store.add("id1", model_of("SELECT 1"));

@@ -120,6 +120,12 @@ std::vector<int> read_acks(const std::string& acks_path) {
         db.execute_admin("CREATE TABLE side" + std::to_string(i) +
                          " (id INT PRIMARY KEY)");
       }
+      if (i % 9 == 8) {
+        // Index DDL rides the same kDdl WAL path; unique names keep the
+        // loop restartable across checkpoints.
+        db.execute_admin("CREATE INDEX kvi" + std::to_string(i) +
+                         " ON kv (v)");
+      }
       if (i % 7 == 6) {
         db.checkpoint_now();
       }
@@ -213,6 +219,7 @@ TEST_F(RecoveryCrashTest, KillAtEveryWritePathCrashpointRecovers) {
       "wal.append.crash_after",
       "wal.sync.crash_before",
       "wal.sync.crash_after",
+      "wal.ddl.crash_before",
       "wal.ddl.crash_after",
       "wal.rotate.crash_before",
       "wal.rotate.crash_mid",
@@ -289,6 +296,107 @@ TEST_F(RecoveryCrashTest, KillBeforeWalReopenThenRecoverCleanly) {
 }
 
 // ---- crash mid-transaction: no partial effects, DDL undone --------------
+
+// ---- index DDL durability and rebuild-on-recovery (PR 10) ---------------
+
+TEST_F(RecoveryCrashTest, CrashBeforeCreateIndexHitsWalLosesOnlyTheIndex) {
+  std::string dir = make_dir("ixddlbefore");
+  run_child_expect_crash([&] {
+    try {
+      Database db(dir_opts(dir));
+      db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)");
+      for (int id = 1; id <= 5; ++id) {
+        db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                         ", 'v" + std::to_string(id) + "')");
+      }
+      // Die inside log_ddl before the kDdl record reaches the file: the
+      // index must vanish on recovery, the acked rows must not.
+      fp::arm("wal.ddl.crash_before", 1);
+      db.execute_admin("CREATE INDEX kv_v ON kv (v)");
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            5);
+  // The record never hit the log, so re-creating the index must succeed —
+  // a surviving ghost index would make this a duplicate-name error.
+  db.execute_admin("CREATE INDEX kv_v ON kv (v)");
+  auto ex = db.execute_admin("EXPLAIN SELECT id FROM kv WHERE v = 'v3'");
+  ASSERT_EQ(ex.rows.size(), 1u);
+  EXPECT_EQ(ex.rows[0][1].as_string(), "ref (secondary index)");
+}
+
+TEST_F(RecoveryCrashTest, CrashAfterCreateIndexHitsWalKeepsTheIndex) {
+  std::string dir = make_dir("ixddlafter");
+  run_child_expect_crash([&] {
+    try {
+      Database db(dir_opts(dir));
+      db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)");
+      for (int id = 1; id <= 5; ++id) {
+        db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                         ", 'v" + std::to_string(id) + "')");
+      }
+      // Die right after the kDdl record is appended: the index is durable
+      // and recovery must rebuild it.
+      fp::arm("wal.ddl.crash_after", 1);
+      db.execute_admin("CREATE INDEX kv_v ON kv (v)");
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  Database db(dir_opts(dir));
+  EXPECT_THROW(db.execute_admin("CREATE INDEX kv_v ON kv (v)"),
+               engine::DbError);  // already exists: recovery rebuilt it
+  auto ex = db.execute_admin("EXPLAIN SELECT id FROM kv WHERE v = 'v3'");
+  ASSERT_EQ(ex.rows.size(), 1u);
+  EXPECT_EQ(ex.rows[0][1].as_string(), "ref (secondary index)");
+  auto rs = db.execute_admin("SELECT COUNT(*) FROM kv WHERE v = 'v3'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+}
+
+TEST_F(RecoveryCrashTest, KillDuringIndexRebuildOnRecoveryThenRecover) {
+  std::string dir = make_dir("ixrebuild");
+  run_child_expect_crash([&] {
+    try {
+      {
+        Database db(dir_opts(dir));
+        db.execute_admin("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)");
+        db.execute_admin("CREATE INDEX kv_v ON kv (v)");
+        for (int id = 1; id <= 5; ++id) {
+          db.execute_admin("INSERT INTO kv VALUES (" + std::to_string(id) +
+                           ", 'x" + std::to_string(id) + "')");
+        }
+        db.checkpoint_now();  // checkpoint image carries the index def
+      }
+      // Second boot rebuilds kv_v while decoding the checkpoint; die there.
+      fp::arm("recovery.crash_index_rebuild", 1);
+      Database again(dir_opts(dir));
+      std::_Exit(kExitNeverFired);
+    } catch (...) {
+      std::_Exit(kExitChildError);
+    }
+  });
+  if (HasFatalFailure()) return;
+  // The aborted rebuild read, never wrote: a third boot rebuilds the index
+  // from the same checkpoint and serves range reads through it.
+  Database db(dir_opts(dir));
+  EXPECT_EQ(db.execute_admin("SELECT COUNT(*) FROM kv").rows[0][0].as_int(),
+            5);
+  auto ex = db.execute_admin(
+      "EXPLAIN SELECT id FROM kv WHERE v >= 'x2' AND v <= 'x4'");
+  ASSERT_EQ(ex.rows.size(), 1u);
+  EXPECT_EQ(ex.rows[0][1].as_string(), "range (secondary index)");
+  auto rs = db.execute_admin(
+      "SELECT id FROM kv WHERE v >= 'x2' AND v <= 'x4' ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  db.execute_admin("INSERT INTO kv VALUES (6, 'x6')");
+}
 
 TEST_F(RecoveryCrashTest, CrashDuringCommitDiscardsTxnAndUndoesItsDdl) {
   std::string dir = make_dir("txncommit");
